@@ -1,0 +1,70 @@
+//! Microbenchmarks of the availability profile — the inner loop of every
+//! backfilling decision. Measures anchor search, reservation, and release
+//! at several profile densities (number of live segments).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sched::Profile;
+use simcore::{SimRng, SimSpan, SimTime};
+
+/// Build a profile with roughly `n` reservations of mixed shape.
+fn dense_profile(n: usize, cap: u32, seed: u64) -> Profile {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut p = Profile::new(cap);
+    for _ in 0..n {
+        let earliest = SimTime::new(rng.below(500_000));
+        let dur = SimSpan::new(1 + rng.below(20_000));
+        let width = 1 + rng.below(cap as u64 / 4) as u32;
+        let anchor = p.find_anchor(earliest, dur, width);
+        p.reserve(anchor, dur, width);
+    }
+    p
+}
+
+fn bench_find_anchor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile/find_anchor");
+    for &n in &[16usize, 128, 1024] {
+        let p = dense_profile(n, 430, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            let mut rng = SimRng::seed_from_u64(7);
+            b.iter(|| {
+                let earliest = SimTime::new(rng.below(500_000));
+                black_box(p.find_anchor(earliest, SimSpan::new(5_000), 64))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reserve_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile/reserve_release");
+    for &n in &[16usize, 128, 1024] {
+        let p = dense_profile(n, 430, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            let mut rng = SimRng::seed_from_u64(9);
+            b.iter_batched(
+                || p.clone(),
+                |mut p| {
+                    let earliest = SimTime::new(rng.below(500_000));
+                    let dur = SimSpan::new(5_000);
+                    let anchor = p.find_anchor(earliest, dur, 32);
+                    p.reserve(anchor, dur, 32);
+                    p.release(anchor, dur, 32);
+                    p
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_free_at(c: &mut Criterion) {
+    let p = dense_profile(1024, 430, 42);
+    c.bench_function("profile/free_at/1024segs", |b| {
+        let mut rng = SimRng::seed_from_u64(11);
+        b.iter(|| black_box(p.free_at(SimTime::new(rng.below(1_000_000)))))
+    });
+}
+
+criterion_group!(benches, bench_find_anchor, bench_reserve_release, bench_free_at);
+criterion_main!(benches);

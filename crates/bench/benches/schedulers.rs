@@ -1,0 +1,75 @@
+//! Simulator throughput benchmarks: events per second through each
+//! scheduler × estimate regime. These are the numbers that bound how big a
+//! parameter sweep the repro harness can afford.
+
+use backfill_sim::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn trace_for(estimate: EstimateModel, jobs: usize) -> Trace {
+    Scenario {
+        source: TraceSource::Ctc { jobs, seed: 42 },
+        estimate,
+        estimate_seed: 1,
+        load: Some(0.9),
+    }
+    .materialize()
+}
+
+fn bench_schedulers_exact(c: &mut Criterion) {
+    let jobs = 3_000;
+    let trace = trace_for(EstimateModel::Exact, jobs);
+    let mut group = c.benchmark_group("simulate/exact");
+    group.throughput(Throughput::Elements(jobs as u64));
+    for (name, kind) in [
+        ("nobf", SchedulerKind::NoBackfill),
+        ("conservative", SchedulerKind::Conservative),
+        ("easy", SchedulerKind::Easy),
+        ("selective", SchedulerKind::Selective { threshold: 2.0 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| black_box(simulate(t, kind, Policy::Fcfs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedulers_noisy(c: &mut Criterion) {
+    // Noisy estimates are the stress case: every completion is early, so
+    // conservative compression and EASY re-sorting run constantly.
+    let jobs = 3_000;
+    let user = EstimateModel::User(UserModelParams::default());
+    let trace = trace_for(user, jobs);
+    let mut group = c.benchmark_group("simulate/noisy");
+    group.throughput(Throughput::Elements(jobs as u64));
+    for (name, kind) in [
+        ("conservative", SchedulerKind::Conservative),
+        ("cons-reanchor", SchedulerKind::ConservativeReanchor),
+        ("easy", SchedulerKind::Easy),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| black_box(simulate(t, kind, Policy::Sjf)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // How simulation cost scales with trace length (queue depths grow at
+    // fixed load, so this is super-linear for reservation-based schemes).
+    let mut group = c.benchmark_group("simulate/scaling-easy");
+    for &jobs in &[1_000usize, 4_000, 16_000] {
+        let trace = trace_for(EstimateModel::Exact, jobs);
+        group.throughput(Throughput::Elements(jobs as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &trace, |b, t| {
+            b.iter(|| black_box(simulate(t, SchedulerKind::Easy, Policy::XFactor)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_schedulers_exact, bench_schedulers_noisy, bench_scaling
+}
+criterion_main!(benches);

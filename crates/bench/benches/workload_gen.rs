@@ -1,0 +1,89 @@
+//! Workload-substrate benchmarks: trace generation, estimate models, SWF
+//! serialization, and the distribution samplers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simcore::{SimRng, SimSpan};
+use workload::dist::{Categorical, Exponential, LogNormal, Sample, Weibull, Zipf};
+use workload::models::{ctc, sdsc};
+use workload::{swf, EstimateModel, UserModelParams};
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload/generate");
+    for (name, model) in [("ctc", ctc()), ("sdsc", sdsc())] {
+        let jobs = 10_000usize;
+        group.throughput(Throughput::Elements(jobs as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, m| {
+            b.iter(|| black_box(m.generate(jobs, 42)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate_models(c: &mut Criterion) {
+    let trace = ctc().generate(10_000, 42);
+    let mut group = c.benchmark_group("workload/estimates");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    let models = [
+        ("exact", EstimateModel::Exact),
+        ("systematic4", EstimateModel::systematic(4.0)),
+        (
+            "user",
+            EstimateModel::User(UserModelParams::capped(SimSpan::from_hours(18))),
+        ),
+    ];
+    for (name, model) in models {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| black_box(model.apply(t, 7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_swf(c: &mut Criterion) {
+    let trace = ctc().generate(10_000, 42);
+    let text = swf::write_trace(&trace);
+    let mut group = c.benchmark_group("workload/swf");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("write", |b| b.iter(|| black_box(swf::write_trace(&trace))));
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(swf::parse_trace(&text, "bench", None).expect("parses")))
+    });
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload/samplers");
+    let lognormal = LogNormal::from_median(380.0, 1.4);
+    let weibull = Weibull::new(0.6, 500.0);
+    let exponential = Exponential::with_mean(1_000.0);
+    let zipf = Zipf::new(430, 0.8);
+    let cat = Categorical::new(&[0.45, 0.12, 0.30, 0.13]);
+    group.bench_function("lognormal", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| black_box(lognormal.sample(&mut rng)))
+    });
+    group.bench_function("weibull", |b| {
+        let mut rng = SimRng::seed_from_u64(2);
+        b.iter(|| black_box(weibull.sample(&mut rng)))
+    });
+    group.bench_function("exponential", |b| {
+        let mut rng = SimRng::seed_from_u64(3);
+        b.iter(|| black_box(exponential.sample(&mut rng)))
+    });
+    group.bench_function("zipf430", |b| {
+        let mut rng = SimRng::seed_from_u64(4);
+        b.iter(|| black_box(zipf.sample_rank(&mut rng)))
+    });
+    group.bench_function("categorical-alias", |b| {
+        let mut rng = SimRng::seed_from_u64(5);
+        b.iter(|| black_box(cat.sample_index(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_trace_generation, bench_estimate_models, bench_swf, bench_samplers
+}
+criterion_main!(benches);

@@ -1,0 +1,369 @@
+//! Ablations and extensions beyond the paper's printed artifacts.
+//!
+//! * **Load sweep** — Section 3 notes the trends are "pronounced under high
+//!   load"; this sweep quantifies that by varying ρ.
+//! * **Selective-backfilling threshold sweep** — Section 6's future-work
+//!   strategy, instantiated: how the xfactor threshold trades average
+//!   slowdown against worst-case turnaround.
+//! * **Extra priority policies** — LJF and Widest-First, sanity baselines
+//!   showing the SJF/XF gains are not artifacts of re-sorting per event.
+//! * **No-backfill baseline** — what backfilling buys at all.
+
+use super::{pooled_stats, sweep, Opts};
+use backfill_sim::prelude::*;
+use metrics::{capacity_report, fairness, fnum, Table};
+
+/// Load sweep: average slowdown of the main schemes as offered load rises.
+pub fn load_sweep(opts: &Opts, loads: &[f64]) -> Table {
+    let cells: Vec<(SchedulerKind, Policy)> = vec![
+        (SchedulerKind::Conservative, Policy::Fcfs),
+        (SchedulerKind::Easy, Policy::Fcfs),
+        (SchedulerKind::Easy, Policy::Sjf),
+    ];
+    let mut t = Table::new(
+        "Ablation — Average slowdown vs offered load (CTC, accurate estimates)",
+        &["load", "Cons/FCFS", "EASY/FCFS", "EASY/SJF"],
+    );
+    for &rho in loads {
+        let o = Opts { load: rho, ..opts.clone() };
+        let results = sweep(&o, &o.ctc_sources(), &cells, EstimateModel::Exact);
+        let mut row = vec![format!("{rho:.2}")];
+        for cell in results {
+            row.push(fnum(pooled_stats(&cell).overall.avg_slowdown()));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Selective-backfilling threshold sweep: slowdown and worst-case
+/// turnaround as the reservation threshold varies, bracketed by
+/// conservative (reserve everyone) and EASY (reserve the head only).
+pub fn selective_sweep(opts: &Opts, thresholds: &[f64]) -> Table {
+    let mut cells: Vec<(SchedulerKind, Policy)> = vec![
+        (SchedulerKind::Conservative, Policy::Fcfs),
+        (SchedulerKind::Easy, Policy::Fcfs),
+    ];
+    for &tau in thresholds {
+        cells.push((SchedulerKind::Selective { threshold: tau }, Policy::Fcfs));
+    }
+    let results = sweep(opts, &opts.ctc_sources(), &cells, user_estimates_for_sweep());
+    let mut t = Table::new(
+        "Extension — Selective backfilling threshold sweep (CTC, actual estimates, FCFS)",
+        &["scheme", "avg slowdown", "worst turnaround (s)"],
+    );
+    for ((kind, _), cell) in cells.iter().zip(&results) {
+        let stats = pooled_stats(cell);
+        t.row(vec![
+            kind.label(),
+            fnum(stats.overall.avg_slowdown()),
+            fnum(stats.overall.worst_turnaround()),
+        ]);
+    }
+    t
+}
+
+fn user_estimates_for_sweep() -> EstimateModel {
+    super::estimates::user_estimates()
+}
+
+/// Reservation-depth sweep — the EASY ↔ conservative continuum (Chiang et
+/// al.): protect the top k queued jobs. Depth 1 is EASY; large depths
+/// approach conservative's protection with dynamic re-planning.
+pub fn depth_sweep(opts: &Opts, depths: &[usize]) -> Table {
+    let mut cells: Vec<(SchedulerKind, Policy)> = vec![
+        (SchedulerKind::Easy, Policy::Fcfs),
+        (SchedulerKind::Conservative, Policy::Fcfs),
+    ];
+    for &d in depths {
+        cells.push((SchedulerKind::Depth { depth: d }, Policy::Fcfs));
+    }
+    let results =
+        sweep(opts, &opts.ctc_sources(), &cells, super::estimates::user_estimates());
+    let mut t = Table::new(
+        "Extension — Reservation-depth sweep (CTC, actual estimates, FCFS)",
+        &["scheme", "avg slowdown", "worst turnaround (s)"],
+    );
+    for ((kind, _), cell) in cells.iter().zip(&results) {
+        let stats = pooled_stats(cell);
+        t.row(vec![
+            kind.label(),
+            fnum(stats.overall.avg_slowdown()),
+            fnum(stats.overall.worst_turnaround()),
+        ]);
+    }
+    t
+}
+
+/// Selective-preemption sweep — the authors' companion strategy (their
+/// reference [6]): suspend running jobs once the queue head's expansion
+/// factor crosses a threshold. Reports the average/worst trade-off plus
+/// how many jobs were suspended, bracketed by EASY (no preemption).
+pub fn preemption_sweep(opts: &Opts, thresholds: &[f64]) -> Table {
+    let mut cells: Vec<(SchedulerKind, Policy)> =
+        vec![(SchedulerKind::Easy, Policy::Fcfs)];
+    for &tau in thresholds {
+        cells.push((SchedulerKind::Preemptive { threshold: tau }, Policy::Fcfs));
+    }
+    let results =
+        sweep(opts, &opts.ctc_sources(), &cells, super::estimates::user_estimates());
+    let mut t = Table::new(
+        "Extension — Selective preemption sweep (CTC, actual estimates, FCFS)",
+        &["scheme", "avg slowdown", "worst turnaround (s)", "jobs suspended"],
+    );
+    for ((kind, _), cell) in cells.iter().zip(&results) {
+        let stats = pooled_stats(cell);
+        let suspended: usize = cell
+            .iter()
+            .map(|s| s.outcomes.iter().filter(|o| o.was_preempted()).count())
+            .sum();
+        t.row(vec![
+            kind.label(),
+            fnum(stats.overall.avg_slowdown()),
+            fnum(stats.overall.worst_turnaround()),
+            suspended.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Fairness and capacity ablation — quantifying Tables 4/7's starvation
+/// story with proper metrics (the authors' own follow-up research line):
+/// Gini coefficient of slowdowns, max-stretch, overtake rate, and
+/// Feitelson's loss-of-capacity κ (idle processors while jobs wait).
+pub fn fairness_ablation(opts: &Opts) -> Table {
+    let cells: Vec<(SchedulerKind, Policy)> = vec![
+        (SchedulerKind::NoBackfill, Policy::Fcfs),
+        (SchedulerKind::Conservative, Policy::Fcfs),
+        (SchedulerKind::Easy, Policy::Fcfs),
+        (SchedulerKind::Easy, Policy::Sjf),
+        (SchedulerKind::Easy, Policy::XFactor),
+        (SchedulerKind::Selective { threshold: 2.0 }, Policy::Fcfs),
+        (SchedulerKind::Slack { slack_factor: 2.0 }, Policy::Fcfs),
+    ];
+    let results = sweep(opts, &opts.ctc_sources(), &cells, EstimateModel::Exact);
+    let mut t = Table::new(
+        "Ablation — Fairness and capacity (CTC, accurate estimates)",
+        &["scheme", "slowdown", "gini", "max stretch", "overtake", "lost capacity"],
+    );
+    for ((kind, policy), cell) in cells.iter().zip(&results) {
+        // Fairness numbers pooled by averaging per-seed reports.
+        let n = cell.len() as f64;
+        let mut gini = 0.0;
+        let mut stretch: f64 = 0.0;
+        let mut overtake = 0.0;
+        let mut lost = 0.0;
+        for s in cell {
+            let f = fairness(&s.outcomes);
+            gini += f.slowdown_gini / n;
+            stretch = stretch.max(f.max_stretch);
+            overtake += f.overtake_rate / n;
+            lost += capacity_report(&s.outcomes, s.nodes).lost / n;
+        }
+        let stats = pooled_stats(cell);
+        t.row(vec![
+            format!("{}/{}", kind.label(), policy),
+            fnum(stats.overall.avg_slowdown()),
+            format!("{gini:.3}"),
+            fnum(stretch),
+            format!("{overtake:.3}"),
+            format!("{lost:.3}"),
+        ]);
+    }
+    t
+}
+
+/// Slack-based backfilling sweep (Talby & Feitelson — the paper's
+/// reference [13]): growing the promise slack trades guarantee tightness
+/// for backfill freedom, interpolating conservative → EASY-like behaviour
+/// with a hard per-job delay bound.
+pub fn slack_sweep(opts: &Opts, factors: &[f64]) -> Table {
+    let mut cells: Vec<(SchedulerKind, Policy)> = vec![
+        (SchedulerKind::Conservative, Policy::Fcfs),
+        (SchedulerKind::Easy, Policy::Fcfs),
+    ];
+    for &f in factors {
+        cells.push((SchedulerKind::Slack { slack_factor: f }, Policy::Fcfs));
+    }
+    let results = sweep(opts, &opts.ctc_sources(), &cells, super::estimates::user_estimates());
+    let mut t = Table::new(
+        "Extension — Slack-based backfilling sweep (CTC, actual estimates, FCFS)",
+        &["scheme", "avg slowdown", "worst turnaround (s)"],
+    );
+    for ((kind, _), cell) in cells.iter().zip(&results) {
+        let stats = pooled_stats(cell);
+        t.row(vec![
+            kind.label(),
+            fnum(stats.overall.avg_slowdown()),
+            fnum(stats.overall.worst_turnaround()),
+        ]);
+    }
+    t
+}
+
+/// Compression ablation — the design choice the paper's prose leaves
+/// underdetermined: what happens to queued reservations when a job
+/// completes early. Four readings of conservative backfilling are compared
+/// under three estimate regimes. This single knob decides which of the
+/// paper's Section 5 claims reproduce (see `EXPERIMENTS.md`).
+pub fn compression_ablation(opts: &Opts) -> Table {
+    let kinds = [
+        SchedulerKind::Conservative,
+        SchedulerKind::ConservativeReanchor,
+        SchedulerKind::ConservativeHeadStart,
+        SchedulerKind::ConservativeNoCompress,
+        SchedulerKind::Easy,
+    ];
+    let cells: Vec<(SchedulerKind, Policy)> =
+        kinds.iter().map(|&k| (k, Policy::Fcfs)).collect();
+    let regimes = [
+        ("accurate", EstimateModel::Exact),
+        ("R = 4", EstimateModel::systematic(4.0)),
+        ("user", super::estimates::user_estimates()),
+    ];
+    let mut t = Table::new(
+        "Ablation — Conservative compression policy × estimate regime (avg slowdown, CTC, FCFS)",
+        &["scheme", "accurate", "R = 4", "user"],
+    );
+    let per_regime: Vec<_> = regimes
+        .iter()
+        .map(|&(_, est)| sweep(opts, &opts.ctc_sources(), &cells, est))
+        .collect();
+    for (ki, kind) in kinds.iter().enumerate() {
+        let mut row = vec![kind.label()];
+        for results in &per_regime {
+            row.push(fnum(pooled_stats(&results[ki]).overall.avg_slowdown()));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Extra priority policies under EASY, including the no-backfill baseline:
+/// how much of the win is backfilling, and how much is ordering.
+pub fn policy_ablation(opts: &Opts) -> Table {
+    let cells: Vec<(SchedulerKind, Policy)> = vec![
+        (SchedulerKind::NoBackfill, Policy::Fcfs),
+        (SchedulerKind::Easy, Policy::Fcfs),
+        (SchedulerKind::Easy, Policy::Sjf),
+        (SchedulerKind::Easy, Policy::XFactor),
+        (SchedulerKind::Easy, Policy::Ljf),
+        (SchedulerKind::Easy, Policy::WidestFirst),
+    ];
+    let results = sweep(opts, &opts.ctc_sources(), &cells, EstimateModel::Exact);
+    let mut t = Table::new(
+        "Ablation — Priority policies under EASY + no-backfill baseline (CTC)",
+        &["scheme", "avg slowdown", "avg turnaround (s)", "utilization"],
+    );
+    for ((kind, policy), cell) in cells.iter().zip(&results) {
+        let stats = pooled_stats(cell);
+        t.row(vec![
+            format!("{}/{}", kind.label(), policy),
+            fnum(stats.overall.avg_slowdown()),
+            fnum(stats.overall.avg_turnaround()),
+            format!("{:.3}", stats.utilization),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_load_hurts() {
+        let t = load_sweep(&Opts::quick(), &[0.7, 1.0]);
+        let rows: Vec<Vec<f64>> = t
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').skip(1).map(|x| x.parse().unwrap()).collect())
+            .collect();
+        // Conservative/FCFS slowdown should rise with load.
+        assert!(rows[1][0] > rows[0][0], "load 1.0 should beat 0.7 in slowdown");
+    }
+
+    #[test]
+    fn no_backfill_is_worst() {
+        let t = policy_ablation(&Opts::quick());
+        let slowdowns: Vec<f64> = t
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        let nobf = slowdowns[0];
+        assert!(
+            slowdowns[1] < nobf && slowdowns[2] < nobf,
+            "backfilling must beat the no-backfill baseline: {slowdowns:?}"
+        );
+    }
+
+    #[test]
+    fn selective_sweep_runs() {
+        let t = selective_sweep(&Opts::quick(), &[2.0]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn preemption_sweep_runs_and_suspends() {
+        let t = preemption_sweep(&Opts::quick(), &[2.0]);
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        let suspended: usize = csv
+            .lines()
+            .find(|l| l.starts_with("Preempt"))
+            .unwrap()
+            .split(',')
+            .nth(3)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(suspended > 0, "threshold 2 at high load should trigger suspensions");
+        // EASY row reports zero suspensions.
+        let easy: usize =
+            csv.lines().find(|l| l.starts_with("EASY")).unwrap().split(',').nth(3).unwrap().parse().unwrap();
+        assert_eq!(easy, 0);
+    }
+
+    #[test]
+    fn depth_sweep_runs() {
+        let t = depth_sweep(&Opts::quick(), &[1, 4]);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn slack_sweep_runs() {
+        let t = slack_sweep(&Opts::quick(), &[0.0, 2.0]);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn fairness_ablation_runs() {
+        let t = fairness_ablation(&Opts::quick());
+        assert_eq!(t.len(), 7);
+        // No-backfill FCFS never overtakes; SJF-ordered EASY overtakes a lot.
+        let csv = t.to_csv();
+        let overtake = |prefix: &str| -> f64 {
+            csv.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap()
+                .split(',')
+                .nth(4)
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(overtake("EASY/SJF") > overtake("NoBF/FCFS"));
+    }
+
+    #[test]
+    fn compression_ablation_has_all_variants() {
+        let t = compression_ablation(&Opts::quick());
+        assert_eq!(t.len(), 5);
+        let csv = t.to_csv();
+        assert!(csv.contains("Cons(hs)"));
+        assert!(csv.contains("Cons(no)"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Robustness experiments: do the paper's conclusions survive input
+//! perturbation?
+//!
+//! Two methodologies from the follow-on literature, applied to this
+//! paper's headline comparison:
+//!
+//! * **Input shaking** (Tsafrir, Ouaknine & Feitelson) — rerun the
+//!   comparison on many copies of the trace with arrivals perturbed by a
+//!   few minutes; a robust conclusion holds on every copy.
+//! * **Workload flurries** (Tsafrir & Feitelson) — inject a burst of
+//!   near-identical jobs from one "user" and check whether the comparison
+//!   flips, both with the flurry jobs counted in the metric and with them
+//!   excluded.
+
+use super::{Opts};
+use backfill_sim::prelude::*;
+use metrics::{fnum, Table, Welford};
+use workload::flurry::{inject_flurry, FlurrySpec};
+use workload::shake::shake;
+
+/// The headline cells whose robustness we probe.
+fn headline_cells() -> Vec<(SchedulerKind, Policy)> {
+    vec![
+        (SchedulerKind::Conservative, Policy::Fcfs),
+        (SchedulerKind::Easy, Policy::Fcfs),
+        (SchedulerKind::Easy, Policy::Sjf),
+        (SchedulerKind::Easy, Policy::XFactor),
+    ]
+}
+
+fn base_trace(opts: &Opts) -> Trace {
+    Scenario {
+        source: TraceSource::Ctc { jobs: opts.jobs, seed: opts.seeds[0] },
+        estimate: EstimateModel::Exact,
+        estimate_seed: 1,
+        load: Some(opts.load),
+    }
+    .materialize()
+}
+
+/// Shaking: `replicas` perturbed copies with ±`magnitude` arrival jitter.
+/// Reports min / mean / max of the overall avg slowdown per scheme, and
+/// whether EASY/SJF beat conservative on every single copy.
+pub fn shaking(opts: &Opts, replicas: u32, magnitude: SimSpan) -> Table {
+    let trace = base_trace(opts);
+    let cells = headline_cells();
+    let criteria = CategoryCriteria::default();
+
+    let mut per_cell: Vec<Welford> = vec![Welford::new(); cells.len()];
+    let mut sjf_always_wins = true;
+    for r in 0..replicas {
+        let shaken = if r == 0 { trace.clone() } else { shake(&trace, magnitude, r as u64) };
+        let mut slowdowns = Vec::with_capacity(cells.len());
+        for (ci, &(kind, policy)) in cells.iter().enumerate() {
+            let s = simulate(&shaken, kind, policy);
+            let v = s.stats(&criteria).overall.avg_slowdown();
+            per_cell[ci].push(v);
+            slowdowns.push(v);
+        }
+        // cells[0] = Cons/FCFS, cells[2] = EASY/SJF.
+        if slowdowns[2] >= slowdowns[0] {
+            sjf_always_wins = false;
+        }
+    }
+
+    let mut t = Table::new(
+        format!(
+            "Robustness — input shaking (CTC, {replicas} copies, ±{magnitude} arrival jitter)"
+        ),
+        &["scheme", "min", "mean", "max", "spread %"],
+    );
+    for (w, &(kind, policy)) in per_cell.iter().zip(&cells) {
+        let spread = if w.mean() > 0.0 {
+            (w.max().unwrap_or(0.0) - w.min().unwrap_or(0.0)) / w.mean() * 100.0
+        } else {
+            0.0
+        };
+        t.row(vec![
+            format!("{}/{}", kind.label(), policy),
+            fnum(w.min().unwrap_or(0.0)),
+            fnum(w.mean()),
+            fnum(w.max().unwrap_or(0.0)),
+            format!("{spread:.1}%"),
+        ]);
+    }
+    t.row(vec![
+        "EASY/SJF < Cons on every copy".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        if sjf_always_wins { "yes".into() } else { "NO".into() },
+    ]);
+    t
+}
+
+/// Flurries: inject a short-narrow burst of `count` jobs mid-trace and
+/// compare each scheme's overall slowdown without the flurry, with it, and
+/// with it present but excluded from the metric (Tsafrir's recommended
+/// reporting).
+pub fn flurry(opts: &Opts, count: u32) -> Table {
+    let trace = base_trace(opts);
+    let mid = SimTime::new(
+        trace.first_arrival().as_secs() + trace.arrival_span().as_secs() / 2,
+    );
+    let spec = FlurrySpec::short_narrow(mid, count);
+    let (with_flurry, _) = inject_flurry(&trace, &spec, 99);
+    let criteria = CategoryCriteria::default();
+
+    let mut t = Table::new(
+        format!("Robustness — flurry injection ({count} short-narrow jobs mid-trace, CTC)"),
+        &["scheme", "clean", "with flurry", "flurry excluded"],
+    );
+    for (kind, policy) in headline_cells() {
+        let clean = simulate(&trace, kind, policy).stats(&criteria).overall.avg_slowdown();
+        let burst_schedule = simulate(&with_flurry, kind, policy);
+        let all = burst_schedule.stats(&criteria).overall.avg_slowdown();
+        // Excluded: average over jobs that are NOT flurry jobs (the flurry
+        // spec uses width 1 + 5 min runtimes; identify by the exact shape).
+        let mut w = Welford::new();
+        for o in &burst_schedule.outcomes {
+            let is_flurry = o.job.width == spec.width
+                && o.job.estimate == spec.estimate
+                && o.job.runtime.as_secs().abs_diff(spec.runtime.as_secs())
+                    <= (spec.runtime.as_secs() as f64 * spec.runtime_jitter) as u64 + 1;
+            if !is_flurry {
+                w.push(o.bounded_slowdown());
+            }
+        }
+        t.row(vec![
+            format!("{}/{}", kind.label(), policy),
+            fnum(clean),
+            fnum(all),
+            fnum(w.mean()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shaking_runs_and_reports_verdict() {
+        let t = shaking(&Opts::quick(), 3, SimSpan::from_mins(2));
+        assert_eq!(t.len(), 5);
+        let csv = t.to_csv();
+        assert!(csv.contains("EASY/SJF < Cons"));
+    }
+
+    #[test]
+    fn flurry_runs_with_three_columns() {
+        let t = flurry(&Opts::quick(), 100);
+        assert_eq!(t.len(), 4);
+        // Every cell parses as a number.
+        for line in t.to_csv().lines().skip(1) {
+            for cell in line.split(',').skip(1) {
+                cell.parse::<f64>().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn flurry_inflates_unweighted_average() {
+        // A flurry of short jobs that wait behind a busy machine inflates
+        // the with-flurry average relative to the flurry-excluded one for
+        // FCFS-ordered schemes (each flurry job has high bounded slowdown).
+        let t = flurry(&Opts::quick(), 300);
+        let csv = t.to_csv();
+        let cons: Vec<f64> = csv
+            .lines()
+            .find(|l| l.starts_with("Cons/FCFS"))
+            .unwrap()
+            .split(',')
+            .skip(1)
+            .map(|x| x.parse().unwrap())
+            .collect();
+        // with-flurry vs excluded differ (the flurry jobs matter).
+        assert!((cons[1] - cons[2]).abs() > 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Tables 1–3: job categorization criteria and trace category mixes.
+
+use super::Opts;
+use backfill_sim::prelude::*;
+use metrics::Table;
+use workload::models::{ctc, sdsc, WorkloadModel};
+
+/// Table 1 — the categorization criteria (static; printed for completeness).
+pub fn table1() -> Table {
+    let c = CategoryCriteria::default();
+    let mut t = Table::new(
+        "Table 1 — Job categorization criteria",
+        &["", "<= 8 processors", "> 8 processors"],
+    );
+    let hours = c.short_max.as_secs() / 3600;
+    t.row(vec![format!("<= {hours} hr"), "SN".into(), "SW".into()]);
+    t.row(vec![format!("> {hours} hr"), "LN".into(), "LW".into()]);
+    t
+}
+
+fn distribution_table(title: &str, model: &WorkloadModel, target: [f64; 4], opts: &Opts) -> Table {
+    let mut counts = [0f64; 4];
+    for &seed in &opts.seeds {
+        let trace = model.generate(opts.jobs, seed);
+        let d = model.criteria.distribution(&trace);
+        for (acc, x) in counts.iter_mut().zip(d) {
+            *acc += x;
+        }
+    }
+    let n = opts.seeds.len() as f64;
+    let mut t = Table::new(title, &["category", "generated", "paper target"]);
+    for (i, cat) in Category::ALL.iter().enumerate() {
+        t.row(vec![
+            cat.to_string(),
+            format!("{:.2}%", counts[i] / n * 100.0),
+            format!("{:.2}%", target[i] * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Table 2 — CTC category distribution (generated vs the paper's target).
+pub fn table2(opts: &Opts) -> Table {
+    distribution_table(
+        "Table 2 — Job distribution, CTC trace",
+        &ctc(),
+        workload::models::ctc::CTC_CATEGORY_MIX,
+        opts,
+    )
+}
+
+/// Table 3 — SDSC category distribution.
+pub fn table3(opts: &Opts) -> Table {
+    distribution_table(
+        "Table 3 — Job distribution, SDSC trace",
+        &sdsc(),
+        workload::models::sdsc::SDSC_CATEGORY_MIX,
+        opts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_static() {
+        let t = table1();
+        assert_eq!(t.len(), 2);
+        assert!(t.render().contains("SN"));
+        assert!(t.render().contains("LW"));
+    }
+
+    #[test]
+    fn table2_matches_target_within_band() {
+        let t = table2(&Opts::quick());
+        let csv = t.to_csv();
+        // Every row carries generated and target; spot-check SN row exists.
+        assert!(csv.contains("SN"));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn table3_has_four_rows() {
+        assert_eq!(table3(&Opts::quick()).len(), 4);
+    }
+}

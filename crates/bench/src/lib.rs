@@ -1,0 +1,10 @@
+//! # bench — experiment harness and benchmarks for `backfill-sim`
+//!
+//! * [`experiments`] — regenerates every table and figure of the paper
+//!   (plus ablations); driven by the `repro` binary;
+//! * `benches/` — Criterion microbenchmarks of the simulator itself
+//!   (profile operations, scheduler throughput, trace generation).
+
+#![warn(missing_docs)]
+
+pub mod experiments;

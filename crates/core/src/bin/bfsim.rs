@@ -1,0 +1,311 @@
+//! `bfsim` — the command-line front end of the simulator.
+//!
+//! ```text
+//! bfsim simulate [WORKLOAD] [SCHED] [--gantt] [--series] [--fairness]
+//! bfsim generate [WORKLOAD] -o OUT.swf
+//! bfsim inspect FILE.swf
+//! bfsim compare [WORKLOAD] [--seeds a,b,c]
+//!
+//! WORKLOAD: --model ctc|sdsc|lublin | --trace FILE.swf
+//!           --jobs N --seed S --load RHO
+//!           --estimate exact|systematic:R|user
+//! SCHED:    --scheduler nobf|cons|cons-reanchor|cons-headstart|cons-none|
+//!                       easy|selective:T|slack:F|depth:K|preemptive:T
+//!           --policy fcfs|sjf|xf|ljf|widest
+//! ```
+
+use backfill_sim::prelude::*;
+use metrics::{fairness, queue_depth_series, utilization_series, viz};
+use workload::models::LublinModel;
+use workload::{load::scale_to_load, swf, TraceStats};
+
+fn die(msg: &str) -> ! {
+    eprintln!("bfsim: {msg}");
+    std::process::exit(2);
+}
+
+#[derive(Debug, Clone)]
+struct Cli {
+    command: String,
+    model: String,
+    trace_file: Option<String>,
+    jobs: usize,
+    seed: u64,
+    seeds: Vec<u64>,
+    load: Option<f64>,
+    estimate: EstimateModel,
+    scheduler: SchedulerKind,
+    policy: Policy,
+    out: Option<String>,
+    gantt: bool,
+    series: bool,
+    fairness: bool,
+    journal: Option<String>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            command: String::new(),
+            model: "ctc".into(),
+            trace_file: None,
+            jobs: 5_000,
+            seed: 42,
+            seeds: vec![42, 1337, 2002],
+            load: Some(0.9),
+            estimate: EstimateModel::Exact,
+            scheduler: SchedulerKind::Easy,
+            policy: Policy::Fcfs,
+            out: None,
+            gantt: false,
+            series: false,
+            fairness: false,
+            journal: None,
+        }
+    }
+}
+
+fn parse_estimate(s: &str) -> EstimateModel {
+    match s {
+        "exact" => EstimateModel::Exact,
+        "user" => EstimateModel::User(UserModelParams::capped(SimSpan::from_hours(18))),
+        other => match other.strip_prefix("systematic:").and_then(|r| r.parse::<f64>().ok()) {
+            Some(r) if r >= 1.0 => EstimateModel::systematic(r),
+            _ => die(&format!("bad --estimate {other:?} (exact | systematic:R | user)")),
+        },
+    }
+}
+
+fn parse_scheduler(s: &str) -> SchedulerKind {
+    match s {
+        "nobf" => SchedulerKind::NoBackfill,
+        "cons" => SchedulerKind::Conservative,
+        "cons-reanchor" => SchedulerKind::ConservativeReanchor,
+        "cons-headstart" => SchedulerKind::ConservativeHeadStart,
+        "cons-none" => SchedulerKind::ConservativeNoCompress,
+        "easy" => SchedulerKind::Easy,
+        other => {
+            if let Some(t) = other.strip_prefix("selective:").and_then(|t| t.parse().ok()) {
+                SchedulerKind::Selective { threshold: t }
+            } else if let Some(f) = other.strip_prefix("slack:").and_then(|f| f.parse().ok()) {
+                SchedulerKind::Slack { slack_factor: f }
+            } else if let Some(d) = other.strip_prefix("depth:").and_then(|d| d.parse().ok()) {
+                SchedulerKind::Depth { depth: d }
+            } else if let Some(t) =
+                other.strip_prefix("preemptive:").and_then(|t| t.parse().ok())
+            {
+                SchedulerKind::Preemptive { threshold: t }
+            } else {
+                die(&format!("bad --scheduler {other:?}"))
+            }
+        }
+    }
+}
+
+fn parse_policy(s: &str) -> Policy {
+    match s {
+        "fcfs" => Policy::Fcfs,
+        "sjf" => Policy::Sjf,
+        "xf" => Policy::XFactor,
+        "ljf" => Policy::Ljf,
+        "widest" => Policy::WidestFirst,
+        other => die(&format!("bad --policy {other:?}")),
+    }
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli::default();
+    let mut it = std::env::args().skip(1);
+    cli.command = it.next().unwrap_or_else(|| die("missing command (try --help)"));
+    if cli.command == "--help" || cli.command == "-h" {
+        println!("usage: bfsim <simulate|generate|inspect|compare> [flags]; see module docs");
+        std::process::exit(0);
+    }
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => cli.model = next(&mut it, "--model"),
+            "--trace" => cli.trace_file = Some(next(&mut it, "--trace")),
+            "--jobs" => {
+                cli.jobs = next(&mut it, "--jobs").parse().unwrap_or_else(|_| die("bad --jobs"))
+            }
+            "--seed" => {
+                cli.seed = next(&mut it, "--seed").parse().unwrap_or_else(|_| die("bad --seed"))
+            }
+            "--seeds" => {
+                cli.seeds = next(&mut it, "--seeds")
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| die("bad --seeds")))
+                    .collect()
+            }
+            "--load" => {
+                let v = next(&mut it, "--load");
+                cli.load = if v == "native" {
+                    None
+                } else {
+                    Some(v.parse().unwrap_or_else(|_| die("bad --load")))
+                }
+            }
+            "--estimate" => cli.estimate = parse_estimate(&next(&mut it, "--estimate")),
+            "--scheduler" => cli.scheduler = parse_scheduler(&next(&mut it, "--scheduler")),
+            "--policy" => cli.policy = parse_policy(&next(&mut it, "--policy")),
+            "-o" | "--out" => cli.out = Some(next(&mut it, "-o")),
+            "--gantt" => cli.gantt = true,
+            "--journal" => cli.journal = Some(next(&mut it, "--journal")),
+            "--series" => cli.series = true,
+            "--fairness" => cli.fairness = true,
+            other if !other.starts_with('-') && cli.command == "inspect" => {
+                cli.trace_file = Some(other.to_string())
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    cli
+}
+
+fn build_trace(cli: &Cli) -> Trace {
+    let base = match &cli.trace_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+            swf::parse_trace(&text, path, None)
+                .unwrap_or_else(|e| die(&format!("parsing {path}: {e}")))
+                .trace
+        }
+        None => match cli.model.as_str() {
+            "ctc" => workload::models::ctc().generate(cli.jobs, cli.seed),
+            "sdsc" => workload::models::sdsc().generate(cli.jobs, cli.seed),
+            "lublin" => LublinModel::default_for(256).generate(cli.jobs, cli.seed),
+            other => die(&format!("unknown model {other:?} (ctc | sdsc | lublin)")),
+        },
+    };
+    let estimated = cli.estimate.apply(&base, cli.seed ^ 0xE57);
+    match cli.load {
+        Some(rho) => scale_to_load(&estimated, rho),
+        None => estimated,
+    }
+}
+
+fn cmd_simulate(cli: &Cli) {
+    let trace = build_trace(cli);
+    let schedule = if let Some(path) = &cli.journal {
+        let (schedule, journal) = simulate_journaled(&trace, cli.scheduler, cli.policy);
+        let mut out = String::new();
+        for e in &journal {
+            out.push_str(&serde_json::to_string(e).expect("journal serializes"));
+            out.push('\n');
+        }
+        std::fs::write(path, out).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("journal: {} events -> {path}", journal.len());
+        schedule
+    } else {
+        simulate(&trace, cli.scheduler, cli.policy)
+    };
+    schedule.validate().unwrap_or_else(|e| die(&format!("audit failed: {e}")));
+    let stats = schedule.stats(&CategoryCriteria::default());
+    println!("scheduler: {}", schedule.scheduler);
+    println!("{}", TraceStats::of(&trace).render());
+    println!(
+        "avg bounded slowdown {:.2} | avg wait {:.0} s | avg turnaround {:.0} s",
+        stats.overall.avg_slowdown(),
+        stats.overall.avg_wait(),
+        stats.overall.avg_turnaround()
+    );
+    println!(
+        "worst turnaround {:.1} h | utilization {:.3} | makespan {}",
+        stats.overall.worst_turnaround() / 3600.0,
+        stats.utilization,
+        stats.makespan
+    );
+    for cat in Category::ALL {
+        let m = stats.category(cat);
+        println!("  {cat}: {:6} jobs  slowdown {:8.2}", m.count(), m.avg_slowdown());
+    }
+    if cli.fairness {
+        let f = fairness(&schedule.outcomes);
+        println!(
+            "fairness: slowdown gini {:.3} | max stretch {:.1} | overtake rate {:.3}",
+            f.slowdown_gini, f.max_stretch, f.overtake_rate
+        );
+    }
+    if cli.series {
+        let bin = SimSpan::new((stats.makespan.as_secs() / 72).max(1));
+        let util = utilization_series(&schedule.outcomes, trace.nodes(), bin);
+        let depth = queue_depth_series(&schedule.outcomes, bin);
+        println!("utilization  {}", viz::sparkline(&util));
+        println!("queue depth  {}  (peak {:.0})", viz::sparkline(&depth), depth.peak());
+    }
+    if cli.gantt {
+        println!("{}", viz::gantt(&schedule.outcomes, 100));
+    }
+}
+
+fn cmd_generate(cli: &Cli) {
+    let trace = build_trace(cli);
+    let out = cli.out.clone().unwrap_or_else(|| die("generate needs -o OUT.swf"));
+    std::fs::write(&out, swf::write_trace(&trace))
+        .unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
+    println!("wrote {} jobs to {out}", trace.len());
+}
+
+fn cmd_inspect(cli: &Cli) {
+    let trace = build_trace(cli);
+    println!("{}", TraceStats::of(&trace).render());
+    let grid = workload::arrival_heatmap(&trace);
+    let rows: Vec<Vec<f64>> =
+        grid.iter().map(|day| day.iter().map(|&c| c as f64).collect()).collect();
+    println!("weekly arrival heatmap (rows = day of week, cols = hour of day):");
+    println!("{}", viz::heatmap(&rows, &["d0", "d1", "d2", "d3", "d4", "d5", "d6"]));
+}
+
+fn cmd_compare(cli: &Cli) {
+    let source = match cli.model.as_str() {
+        "ctc" => TraceSource::Ctc { jobs: cli.jobs, seed: cli.seed },
+        "sdsc" => TraceSource::Sdsc { jobs: cli.jobs, seed: cli.seed },
+        other => die(&format!("compare supports ctc|sdsc models, got {other:?}")),
+    };
+    let campaign = Campaign {
+        scenario: Scenario {
+            source,
+            estimate: cli.estimate,
+            estimate_seed: 1,
+            load: cli.load,
+        },
+        seeds: cli.seeds.clone(),
+        grid: vec![
+            (SchedulerKind::NoBackfill, Policy::Fcfs),
+            (SchedulerKind::Conservative, Policy::Fcfs),
+            (SchedulerKind::Easy, Policy::Fcfs),
+            (SchedulerKind::Easy, Policy::Sjf),
+            (SchedulerKind::Easy, Policy::XFactor),
+            (SchedulerKind::Selective { threshold: 2.0 }, Policy::Fcfs),
+        ],
+        threads: None,
+    };
+    let mut table = Table::new(
+        format!("Campaign over seeds {:?}", cli.seeds),
+        &["scheme", "slowdown", "turnaround (s)", "utilization"],
+    );
+    for cell in campaign.run() {
+        table.row(vec![
+            format!("{}/{}", cell.kind.label(), cell.policy),
+            cell.slowdown.to_string(),
+            cell.turnaround.to_string(),
+            format!("{:.3} ± {:.3}", cell.utilization.mean, cell.utilization.ci95),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    let cli = parse_cli();
+    match cli.command.as_str() {
+        "simulate" => cmd_simulate(&cli),
+        "generate" => cmd_generate(&cli),
+        "inspect" => cmd_inspect(&cli),
+        "compare" => cmd_compare(&cli),
+        other => die(&format!("unknown command {other:?} (simulate|generate|inspect|compare)")),
+    }
+}

@@ -1,0 +1,189 @@
+//! Declarative experiment configuration.
+//!
+//! An experiment is fully described by a [`RunConfig`]: where the workload
+//! comes from, how estimates are derived, what offered load to impose, and
+//! which scheduler × priority policy to run. Configs are plain serde data,
+//! so sweeps can be written down, saved, diffed, and reproduced exactly.
+
+use crate::driver::{simulate, SchedulerKind};
+use crate::schedule::Schedule;
+use sched::Policy;
+use serde::{Deserialize, Serialize};
+use workload::load::scale_to_load;
+use workload::models::{ctc, sdsc};
+use workload::{EstimateModel, Trace};
+
+/// Where the workload trace comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceSource {
+    /// Synthetic CTC SP2 model (430 nodes).
+    Ctc {
+        /// Number of jobs to generate.
+        jobs: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Synthetic SDSC SP2 model (128 nodes).
+    Sdsc {
+        /// Number of jobs to generate.
+        jobs: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl TraceSource {
+    /// Generate the base trace (exact estimates).
+    pub fn generate(&self) -> Trace {
+        match *self {
+            TraceSource::Ctc { jobs, seed } => ctc().generate(jobs, seed),
+            TraceSource::Sdsc { jobs, seed } => sdsc().generate(jobs, seed),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceSource::Ctc { .. } => "CTC",
+            TraceSource::Sdsc { .. } => "SDSC",
+        }
+    }
+}
+
+/// A workload scenario: source trace + estimate model + load level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Trace source.
+    pub source: TraceSource,
+    /// How user estimates are derived from runtimes.
+    pub estimate: EstimateModel,
+    /// Seed for stochastic estimate models.
+    pub estimate_seed: u64,
+    /// Target offered load ρ (`None` keeps the model's base load).
+    pub load: Option<f64>,
+}
+
+impl Scenario {
+    /// A scenario with exact estimates at the paper's high load.
+    pub fn high_load(source: TraceSource) -> Self {
+        Scenario { source, estimate: EstimateModel::Exact, estimate_seed: 1, load: Some(0.9) }
+    }
+
+    /// Materialize the trace: generate, apply estimates, rescale load.
+    pub fn materialize(&self) -> Trace {
+        let base = self.source.generate();
+        let estimated = self.estimate.apply(&base, self.estimate_seed);
+        match self.load {
+            Some(rho) => scale_to_load(&estimated, rho),
+            None => estimated,
+        }
+    }
+}
+
+/// One full simulation run: a scenario under a scheduler and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// The workload scenario.
+    pub scenario: Scenario,
+    /// Backfilling strategy.
+    pub kind: SchedulerKind,
+    /// Queue-priority policy.
+    pub policy: Policy,
+}
+
+impl RunConfig {
+    /// Materialize the trace and simulate. Deterministic: equal configs
+    /// produce byte-identical schedules.
+    pub fn run(&self) -> Schedule {
+        let trace = self.scenario.materialize();
+        simulate(&trace, self.kind, self.policy)
+    }
+
+    /// Run against an already materialized trace (callers sharing one
+    /// trace across many scheduler configs avoid regenerating it).
+    pub fn run_on(&self, trace: &Trace) -> Schedule {
+        simulate(trace, self.kind, self.policy)
+    }
+
+    /// Report label, e.g. `"CTC EASY/SJF"`.
+    pub fn label(&self) -> String {
+        format!("{} {}/{}", self.scenario.source.label(), self.kind.label(), self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ctc() -> TraceSource {
+        TraceSource::Ctc { jobs: 300, seed: 11 }
+    }
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let sc = Scenario::high_load(small_ctc());
+        assert_eq!(sc.materialize().jobs(), sc.materialize().jobs());
+    }
+
+    #[test]
+    fn load_targeting_applies() {
+        let sc = Scenario {
+            source: small_ctc(),
+            estimate: EstimateModel::Exact,
+            estimate_seed: 1,
+            load: Some(1.1),
+        };
+        let t = sc.materialize();
+        assert!((t.offered_load() - 1.1).abs() < 0.05, "rho {}", t.offered_load());
+    }
+
+    #[test]
+    fn estimate_model_applies() {
+        let sc = Scenario {
+            source: small_ctc(),
+            estimate: EstimateModel::systematic(4.0),
+            estimate_seed: 1,
+            load: None,
+        };
+        let t = sc.materialize();
+        for j in t.jobs() {
+            assert!((j.overestimation() - 4.0).abs() < 0.51, "R {}", j.overestimation());
+        }
+    }
+
+    #[test]
+    fn run_produces_valid_schedule() {
+        let cfg = RunConfig {
+            scenario: Scenario::high_load(small_ctc()),
+            kind: SchedulerKind::Easy,
+            policy: Policy::Sjf,
+        };
+        let s = cfg.run();
+        assert_eq!(s.outcomes.len(), 300);
+        s.validate().unwrap();
+        assert_eq!(cfg.label(), "CTC EASY/SJF");
+    }
+
+    #[test]
+    fn run_on_shared_trace_matches_run() {
+        let cfg = RunConfig {
+            scenario: Scenario::high_load(small_ctc()),
+            kind: SchedulerKind::Conservative,
+            policy: Policy::Fcfs,
+        };
+        let trace = cfg.scenario.materialize();
+        assert_eq!(cfg.run().fingerprint(), cfg.run_on(&trace).fingerprint());
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let cfg = RunConfig {
+            scenario: Scenario::high_load(TraceSource::Sdsc { jobs: 10, seed: 3 }),
+            kind: SchedulerKind::Selective { threshold: 2.5 },
+            policy: Policy::XFactor,
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: RunConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

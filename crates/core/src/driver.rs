@@ -1,0 +1,608 @@
+//! The simulation driver: feeds a trace through a scheduler on a machine.
+//!
+//! The driver is the only component that knows jobs' **actual** runtimes.
+//! It primes the event engine with every arrival, relays events to the
+//! scheduler, physically allocates/releases processors on the [`Machine`]
+//! for every start the scheduler orders (so over-subscription is caught at
+//! the moment it happens, not post-hoc), and schedules each started job's
+//! completion at `start + runtime`.
+//!
+//! Simultaneous events process in a fixed class order — completions, then
+//! arrivals, then scheduler wake-ups — so that a job ending at instant *t*
+//! frees its processors before anything else at *t* is considered, and
+//! wake-ups observe fully updated state.
+
+use crate::schedule::Schedule;
+use metrics::JobOutcome;
+use sched::{Decisions, JobMeta, Policy, Scheduler};
+use sched::conservative::Compression;
+use sched::slack::SlackPolicy;
+use sched::{
+    ConservativeScheduler, DepthScheduler, EasyScheduler, FcfsScheduler, PreemptiveScheduler,
+    SelectiveScheduler, SlackScheduler,
+};
+use serde::{Deserialize, Serialize};
+use simcore::{Actor, Ctx, Engine, EventClass, JobId, Machine, SimSpan, SimTime};
+use workload::Trace;
+
+/// Which scheduling strategy to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Priority order, no backfilling (the pre-backfilling baseline).
+    NoBackfill,
+    /// Conservative backfilling: a reservation for every job. Holes are
+    /// filled per the paper (a queued job moves only to start immediately).
+    Conservative,
+    /// Conservative backfilling with full re-anchoring compression: every
+    /// early completion re-anchors all queued reservations as early as
+    /// possible (ablation variant).
+    ConservativeReanchor,
+    /// Conservative backfilling where early-completion holes are offered to
+    /// queued jobs strictly in priority order, stopping at the first that
+    /// cannot start immediately (ablation variant).
+    ConservativeHeadStart,
+    /// Conservative backfilling that never moves queued reservations:
+    /// holes from early completions benefit only later arrivals
+    /// (ablation variant).
+    ConservativeNoCompress,
+    /// Aggressive (EASY) backfilling: one pivot reservation.
+    Easy,
+    /// Selective backfilling: reservation once the expansion factor
+    /// crosses the threshold.
+    Selective {
+        /// Expansion-factor threshold (≥ 1).
+        threshold: f64,
+    },
+    /// Slack-based backfilling: every job is promised its earliest anchor
+    /// plus `slack_factor × estimate`; the window in between is open for
+    /// backfilling (Talby & Feitelson, the paper's reference [13]).
+    Slack {
+        /// Multiple of the estimate used as the promise slack.
+        slack_factor: f64,
+    },
+    /// Reservation-depth backfilling: the top `depth` queued jobs hold
+    /// reservations, recomputed per event (EASY = depth 1; the
+    /// EASY↔conservative continuum of Chiang et al.).
+    Depth {
+        /// Number of protected queue positions (≥ 1).
+        depth: usize,
+    },
+    /// EASY with selective preemption: once the queue head's expansion
+    /// factor crosses the threshold, running jobs may be suspended to make
+    /// room (the authors' companion strategy, their reference [6]).
+    Preemptive {
+        /// Expansion-factor threshold that triggers a preemption episode.
+        threshold: f64,
+    },
+}
+
+impl SchedulerKind {
+    /// Instantiate the scheduler for a machine of `capacity` processors.
+    pub fn build(&self, capacity: u32, policy: Policy) -> Box<dyn Scheduler> {
+        match *self {
+            SchedulerKind::NoBackfill => Box::new(FcfsScheduler::new(capacity, policy)),
+            SchedulerKind::Conservative => {
+                Box::new(ConservativeScheduler::new(capacity, policy))
+            }
+            SchedulerKind::ConservativeReanchor => Box::new(
+                ConservativeScheduler::with_compression(capacity, policy, Compression::Reanchor),
+            ),
+            SchedulerKind::ConservativeHeadStart => Box::new(
+                ConservativeScheduler::with_compression(capacity, policy, Compression::HeadStart),
+            ),
+            SchedulerKind::ConservativeNoCompress => Box::new(
+                ConservativeScheduler::with_compression(capacity, policy, Compression::None),
+            ),
+            SchedulerKind::Easy => Box::new(EasyScheduler::new(capacity, policy)),
+            SchedulerKind::Selective { threshold } => {
+                Box::new(SelectiveScheduler::new(capacity, policy, threshold))
+            }
+            SchedulerKind::Slack { slack_factor } => Box::new(SlackScheduler::new(
+                capacity,
+                policy,
+                SlackPolicy::ProportionalToEstimate(slack_factor),
+            )),
+            SchedulerKind::Depth { depth } => {
+                Box::new(DepthScheduler::new(capacity, policy, depth))
+            }
+            SchedulerKind::Preemptive { threshold } => {
+                Box::new(PreemptiveScheduler::new(capacity, policy, threshold))
+            }
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            SchedulerKind::NoBackfill => "NoBF".into(),
+            SchedulerKind::Conservative => "Cons".into(),
+            SchedulerKind::ConservativeReanchor => "Cons(re)".into(),
+            SchedulerKind::ConservativeHeadStart => "Cons(hs)".into(),
+            SchedulerKind::ConservativeNoCompress => "Cons(no)".into(),
+            SchedulerKind::Easy => "EASY".into(),
+            SchedulerKind::Selective { threshold } => format!("Sel({threshold})"),
+            SchedulerKind::Slack { slack_factor } => format!("Slack({slack_factor})"),
+            SchedulerKind::Depth { depth } => format!("Depth({depth})"),
+            SchedulerKind::Preemptive { threshold } => format!("Preempt({threshold})"),
+        }
+    }
+}
+
+/// One record of the simulation's event journal (optional instrumentation
+/// for debugging, visualization, and causality tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// When the event fired.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: JournalKind,
+    /// The job involved (absent for wake-ups).
+    pub job: Option<JobId>,
+    /// Queue length *after* the event was handled.
+    pub queue_len: u32,
+}
+
+/// Journal event kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JournalKind {
+    /// A job was submitted.
+    Arrive,
+    /// The scheduler started (or resumed) a job.
+    Start,
+    /// A running job completed.
+    Complete,
+    /// A running job was suspended.
+    Preempt,
+    /// A scheduler-requested timer fired.
+    Wake,
+}
+
+/// Bin a journal's queue-length trajectory into a time series: the
+/// time-average number of queued jobs per bin. The queue length is
+/// piecewise constant between journal entries (it changes only at events).
+pub fn journal_queue_series(
+    journal: &[crate::driver::JournalEntry],
+    bin: simcore::SimSpan,
+) -> metrics::TimeSeries {
+    assert!(!bin.is_zero(), "need a positive bin width");
+    let Some(first) = journal.first() else {
+        return metrics::TimeSeries::from_parts(SimTime::ZERO, bin, vec![]);
+    };
+    let last = journal.last().expect("non-empty");
+    let origin = first.time;
+    let span = last.time.since(origin).as_secs();
+    let n = (span.div_ceil(bin.as_secs()).max(1)) as usize;
+    let mut weighted = vec![0u128; n];
+    let mut level = 0u32;
+    let mut prev = origin;
+    for e in journal {
+        // Integrate `level` over [prev, e.time).
+        let (mut t, end) = (prev, e.time);
+        while t < end {
+            let b = (t.since(origin).as_secs() / bin.as_secs()) as usize;
+            let bin_end = origin + simcore::SimSpan::new((b as u64 + 1) * bin.as_secs());
+            let hi = end.min(bin_end);
+            weighted[b.min(n - 1)] += level as u128 * hi.since(t).as_secs() as u128;
+            t = hi;
+        }
+        level = e.queue_len;
+        prev = e.time;
+    }
+    let values = weighted.iter().map(|&w| w as f64 / bin.as_secs_f64()).collect();
+    metrics::TimeSeries::from_parts(origin, bin, values)
+}
+
+/// Event classes: completions release processors before anything else at
+/// the same instant; wake-ups run last, over fully updated state.
+const CLASS_COMPLETION: EventClass = EventClass::FIRST;
+const CLASS_ARRIVAL: EventClass = EventClass::NORMAL;
+const CLASS_WAKE: EventClass = EventClass::LAST;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Arrive(u32),
+    /// Completion of the run-epoch given by the second field; a stale
+    /// epoch means the job was preempted after this event was scheduled,
+    /// and the event is ignored.
+    Complete(JobId, u32),
+    Wake,
+}
+
+struct Driver<'a> {
+    trace: &'a Trace,
+    scheduler: Box<dyn Scheduler>,
+    machine: Machine,
+    /// First start per job.
+    starts: Vec<Option<SimTime>>,
+    /// Final completion per job.
+    ends: Vec<Option<SimTime>>,
+    /// Actual runtime still owed per job (shrinks across preemptions).
+    remaining: Vec<SimSpan>,
+    /// Start of the current run segment, when running.
+    running_since: Vec<Option<SimTime>>,
+    /// Run-epoch per job; bumped on every preemption to invalidate the
+    /// pending completion event.
+    epoch: Vec<u32>,
+    /// Completed run segments, for capacity auditing of preemptive
+    /// schedules (a suspended job holds no processors).
+    segments: Vec<simcore::PlacedJob>,
+    completions: u32,
+    journal: Option<Vec<JournalEntry>>,
+    /// Times with a wake event already in flight. Schedulers restate their
+    /// earliest wake-up need after every event; scheduling each request
+    /// verbatim would let stale wake chains multiply. The invariant kept
+    /// here is: if the scheduler needs a wake at `W`, a wake event is
+    /// pending at some time `<= W` — and whenever a wake fires, the
+    /// scheduler restates its need, re-establishing the invariant.
+    pending_wakes: std::collections::BTreeSet<SimTime>,
+}
+
+impl Driver<'_> {
+    fn record(&mut self, time: SimTime, kind: JournalKind, job: Option<JobId>) {
+        if let Some(journal) = &mut self.journal {
+            let queue_len = self.scheduler.queue_len() as u32;
+            journal.push(JournalEntry { time, kind, job, queue_len });
+        }
+    }
+
+    fn apply(&mut self, decisions: Decisions, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        for id in decisions.preempts {
+            let i = id.0 as usize;
+            let seg_start = self.running_since[i]
+                .take()
+                .unwrap_or_else(|| panic!("{id} preempted while not running"));
+            let job = self.trace.job(id);
+            let ran_now = now.since(seg_start);
+            // ran_now == remaining is possible: the victim's completion is
+            // pending at this very instant behind the event that decided
+            // the preemption. The suspension wins (epoch bump voids the
+            // completion); the job resumes later with zero remaining work
+            // and completes immediately on restart.
+            debug_assert!(ran_now <= self.remaining[i], "{id} ran past its runtime");
+            self.remaining[i] = self.remaining[i] - ran_now;
+            self.epoch[i] += 1; // invalidates the pending completion event
+            self.machine.release(id, now).expect("preempt of unallocated job");
+            self.segments.push(simcore::PlacedJob {
+                id: id.0,
+                arrival: job.arrival,
+                start: seg_start,
+                end: now,
+                width: job.width,
+            });
+            let total_ran = job.runtime - self.remaining[i];
+            self.scheduler.on_preempted(id, total_ran, now);
+            self.record(now, JournalKind::Preempt, Some(id));
+        }
+        for id in decisions.starts {
+            let i = id.0 as usize;
+            let job = self.trace.job(id);
+            assert!(
+                self.running_since[i].is_none() && self.ends[i].is_none(),
+                "{id} started while already running or done ({})",
+                self.scheduler.name()
+            );
+            self.machine
+                .allocate(id, job.width, now)
+                .unwrap_or_else(|e| panic!("{} oversubscribed: {e}", self.scheduler.name()));
+            if self.starts[i].is_none() {
+                self.starts[i] = Some(now);
+            }
+            self.running_since[i] = Some(now);
+            self.record(now, JournalKind::Start, Some(id));
+            ctx.schedule_classed(
+                now + self.remaining[i],
+                CLASS_COMPLETION,
+                Ev::Complete(id, self.epoch[i]),
+            );
+        }
+        if let Some(at) = decisions.wakeup {
+            debug_assert!(at >= now, "wake-up scheduled in the past");
+            let at = at.max(now);
+            if self.pending_wakes.range(..=at).next().is_none() {
+                self.pending_wakes.insert(at);
+                ctx.schedule_classed(at, CLASS_WAKE, Ev::Wake);
+            }
+        }
+    }
+}
+
+impl Actor<Ev> for Driver<'_> {
+    fn handle(&mut self, event: Ev, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        let decisions = match event {
+            Ev::Arrive(idx) => {
+                let job = self.trace.jobs()[idx as usize];
+                let meta = JobMeta {
+                    id: job.id,
+                    arrival: job.arrival,
+                    estimate: job.estimate,
+                    width: job.width,
+                };
+                let d = self.scheduler.on_arrival(meta, now);
+                self.record(now, JournalKind::Arrive, Some(job.id));
+                d
+            }
+            Ev::Complete(id, epoch) => {
+                let i = id.0 as usize;
+                if epoch != self.epoch[i] {
+                    // The job was preempted after this completion was
+                    // scheduled; its resume scheduled a fresh one.
+                    return;
+                }
+                let seg_start =
+                    self.running_since[i].take().expect("completion of idle job");
+                let job = self.trace.job(id);
+                self.machine.release(id, now).expect("completion without allocation");
+                self.segments.push(simcore::PlacedJob {
+                    id: id.0,
+                    arrival: job.arrival,
+                    start: seg_start,
+                    end: now,
+                    width: job.width,
+                });
+                self.remaining[i] = SimSpan::ZERO;
+                self.ends[i] = Some(now);
+                self.completions += 1;
+                let d = self.scheduler.on_completion(id, now);
+                self.record(now, JournalKind::Complete, Some(id));
+                d
+            }
+            Ev::Wake => {
+                self.pending_wakes.remove(&now);
+                let d = self.scheduler.on_wake(now);
+                self.record(now, JournalKind::Wake, None);
+                d
+            }
+        };
+        self.apply(decisions, ctx);
+    }
+}
+
+/// Simulate `trace` under the given scheduler and priority policy.
+///
+/// Panics if the scheduler misbehaves (oversubscribes, loses a job, or
+/// never starts one) — scheduler bugs must be loud in a study whose output
+/// is comparative numbers.
+pub fn simulate(trace: &Trace, kind: SchedulerKind, policy: Policy) -> Schedule {
+    simulate_inner(trace, kind, policy, false).0
+}
+
+/// Like [`simulate`], additionally returning the full event journal
+/// (arrivals, starts, completions, wake-ups, in processing order).
+pub fn simulate_journaled(
+    trace: &Trace,
+    kind: SchedulerKind,
+    policy: Policy,
+) -> (Schedule, Vec<JournalEntry>) {
+    let (schedule, journal) = simulate_inner(trace, kind, policy, true);
+    (schedule, journal.expect("journaling was enabled"))
+}
+
+fn simulate_inner(
+    trace: &Trace,
+    kind: SchedulerKind,
+    policy: Policy,
+    journal: bool,
+) -> (Schedule, Option<Vec<JournalEntry>>) {
+    let scheduler = kind.build(trace.nodes(), policy);
+    let name = scheduler.name();
+    let mut driver = Driver {
+        trace,
+        scheduler,
+        machine: Machine::new(trace.nodes()),
+        starts: vec![None; trace.len()],
+        ends: vec![None; trace.len()],
+        remaining: trace.jobs().iter().map(|j| j.runtime).collect(),
+        running_since: vec![None; trace.len()],
+        epoch: vec![0; trace.len()],
+        segments: Vec::with_capacity(trace.len()),
+        completions: 0,
+        journal: journal.then(Vec::new),
+        pending_wakes: std::collections::BTreeSet::new(),
+    };
+    let mut engine = Engine::new();
+    for job in trace.jobs() {
+        engine.prime_classed(job.arrival, CLASS_ARRIVAL, Ev::Arrive(job.id.0));
+    }
+    engine.run(&mut driver);
+
+    assert_eq!(
+        driver.completions,
+        trace.len() as u32,
+        "{name}: {} of {} jobs never completed",
+        trace.len() as u32 - driver.completions,
+        trace.len()
+    );
+    assert_eq!(driver.machine.in_use(), 0, "{name}: machine not drained");
+    assert_eq!(driver.scheduler.queue_len(), 0, "{name}: jobs stranded in queue");
+
+    let outcomes: Vec<JobOutcome> = trace
+        .jobs()
+        .iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let start =
+                driver.starts[i].unwrap_or_else(|| panic!("{name}: {} never started", job.id));
+            let end =
+                driver.ends[i].unwrap_or_else(|| panic!("{name}: {} never finished", job.id));
+            JobOutcome::with_end(*job, start, end)
+        })
+        .collect();
+    (
+        Schedule {
+            scheduler: name,
+            nodes: trace.nodes(),
+            outcomes,
+            run_segments: driver.segments,
+        },
+        driver.journal,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimSpan;
+    use workload::Job;
+
+    fn job(id: u32, arrival: u64, runtime: u64, estimate: u64, width: u32) -> Job {
+        Job {
+            id: JobId(id),
+            arrival: SimTime::new(arrival),
+            runtime: SimSpan::new(runtime),
+            estimate: SimSpan::new(estimate),
+            width,
+        }
+    }
+
+    fn tiny_trace() -> Trace {
+        Trace::new(
+            "tiny",
+            8,
+            vec![
+                job(0, 0, 100, 100, 6),
+                job(1, 10, 500, 500, 8),
+                job(2, 20, 80, 80, 2),
+                job(3, 30, 50, 50, 4),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_schedulers_complete_and_validate() {
+        let trace = tiny_trace();
+        for kind in [
+            SchedulerKind::NoBackfill,
+            SchedulerKind::Conservative,
+            SchedulerKind::Easy,
+            SchedulerKind::Selective { threshold: 2.0 },
+        ] {
+            for policy in Policy::PAPER {
+                let s = simulate(&trace, kind, policy);
+                assert_eq!(s.outcomes.len(), 4, "{}", s.scheduler);
+                s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.scheduler));
+            }
+        }
+    }
+
+    #[test]
+    fn easy_backfills_where_fcfs_waits() {
+        let trace = tiny_trace();
+        let nobf = simulate(&trace, SchedulerKind::NoBackfill, Policy::Fcfs);
+        let easy = simulate(&trace, SchedulerKind::Easy, Policy::Fcfs);
+        // Job 2 (2 procs, 80 s, ends before job 0's 100 s) backfills under
+        // EASY but waits behind job 1 under plain FCFS.
+        assert_eq!(easy.outcomes[2].start, SimTime::new(20));
+        assert!(nobf.outcomes[2].start > SimTime::new(100));
+    }
+
+    #[test]
+    fn exact_estimates_make_schedules_deterministic_and_repeatable() {
+        let trace = tiny_trace();
+        let a = simulate(&trace, SchedulerKind::Easy, Policy::Sjf);
+        let b = simulate(&trace, SchedulerKind::Easy, Policy::Sjf);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn conservative_priority_equivalence_on_tiny_trace() {
+        // Section 4.1: with accurate estimates, conservative backfilling
+        // produces the same schedule under every priority policy.
+        let trace = tiny_trace();
+        let fp: Vec<u64> = Policy::PAPER
+            .iter()
+            .map(|&p| simulate(&trace, SchedulerKind::Conservative, p).fingerprint())
+            .collect();
+        assert_eq!(fp[0], fp[1]);
+        assert_eq!(fp[1], fp[2]);
+    }
+
+    #[test]
+    fn early_completions_are_exploited() {
+        // Job 0 estimated 1000 s but runs 100 s; conservative must compress
+        // job 1 into the hole.
+        let trace = Trace::new(
+            "early",
+            8,
+            vec![job(0, 0, 100, 1000, 8), job(1, 10, 100, 100, 8)],
+        )
+        .unwrap();
+        let s = simulate(&trace, SchedulerKind::Conservative, Policy::Fcfs);
+        assert_eq!(s.outcomes[1].start, SimTime::new(100));
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let trace = Trace::new("empty", 4, vec![]).unwrap();
+        let s = simulate(&trace, SchedulerKind::Easy, Policy::Fcfs);
+        assert!(s.outcomes.is_empty());
+    }
+
+    #[test]
+    fn journal_records_full_causal_history() {
+        let trace = tiny_trace();
+        let (schedule, journal) = simulate_journaled(&trace, SchedulerKind::Easy, Policy::Fcfs);
+        // Times are non-decreasing in processing order.
+        for w in journal.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        // Every job has exactly one Arrive, one Start, one Complete, in
+        // causal order.
+        for job in trace.jobs() {
+            let times: Vec<(JournalKind, SimTime)> = journal
+                .iter()
+                .filter(|e| e.job == Some(job.id))
+                .map(|e| (e.kind, e.time))
+                .collect();
+            let arrive = times.iter().filter(|(k, _)| *k == JournalKind::Arrive).count();
+            let start = times.iter().filter(|(k, _)| *k == JournalKind::Start).count();
+            let complete = times.iter().filter(|(k, _)| *k == JournalKind::Complete).count();
+            assert_eq!((arrive, start, complete), (1, 1, 1), "{}", job.id);
+            let t = |kind: JournalKind| times.iter().find(|(k, _)| *k == kind).unwrap().1;
+            assert!(t(JournalKind::Arrive) <= t(JournalKind::Start));
+            assert!(t(JournalKind::Start) <= t(JournalKind::Complete));
+            // The journal's start matches the schedule's outcome.
+            assert_eq!(t(JournalKind::Start), schedule.outcomes[job.id.0 as usize].start);
+        }
+    }
+
+    #[test]
+    fn journal_queue_series_tracks_backlog() {
+        // Machine 8 procs; three 8-wide jobs arriving together: queue
+        // holds 2 then 1 then 0 jobs as they drain.
+        let trace = Trace::new(
+            "q",
+            8,
+            vec![job(0, 0, 100, 100, 8), job(1, 1, 100, 100, 8), job(2, 2, 100, 100, 8)],
+        )
+        .unwrap();
+        let (_, journal) = simulate_journaled(&trace, SchedulerKind::Easy, Policy::Fcfs);
+        let ts = journal_queue_series(&journal, SimSpan::new(100));
+        // Bin [0,100): 2 queued; bin [100,200): 1 queued; bin [200,300): 0.
+        assert!(ts.values()[0] > 1.9, "bin0 {:?}", ts.values());
+        assert!((ts.values()[1] - 1.0).abs() < 0.1, "bin1 {:?}", ts.values());
+    }
+
+    #[test]
+    fn journal_queue_series_of_empty_journal() {
+        let ts = journal_queue_series(&[], SimSpan::new(10));
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn journaled_and_plain_simulation_agree() {
+        let trace = tiny_trace();
+        let plain = simulate(&trace, SchedulerKind::Conservative, Policy::Sjf);
+        let (journaled, _) = simulate_journaled(&trace, SchedulerKind::Conservative, Policy::Sjf);
+        assert_eq!(plain.fingerprint(), journaled.fingerprint());
+    }
+
+    #[test]
+    fn scheduler_kind_labels() {
+        assert_eq!(SchedulerKind::Easy.label(), "EASY");
+        assert_eq!(SchedulerKind::Selective { threshold: 2.0 }.label(), "Sel(2)");
+    }
+}

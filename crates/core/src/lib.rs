@@ -1,0 +1,62 @@
+//! # backfill-sim — characterization of backfilling strategies
+//!
+//! A trace-driven simulator for parallel job scheduling, reproducing
+//! *"Characterization of Backfilling Strategies for Parallel Job
+//! Scheduling"* (Srinivasan, Kettimuthu, Subramani, Sadayappan; ICPP 2002).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use backfill_sim::prelude::*;
+//!
+//! // A small synthetic CTC-like workload at high load, exact estimates.
+//! let scenario = Scenario::high_load(TraceSource::Ctc { jobs: 200, seed: 42 });
+//! let trace = scenario.materialize();
+//!
+//! // EASY backfilling with shortest-job-first priorities.
+//! let schedule = simulate(&trace, SchedulerKind::Easy, Policy::Sjf);
+//! schedule.validate().expect("no capacity violations");
+//!
+//! let stats = schedule.stats(&CategoryCriteria::default());
+//! assert!(stats.overall.avg_slowdown() >= 1.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`driver`] — the event loop binding trace + scheduler + machine;
+//! * [`config`] — declarative scenario/run configuration;
+//! * [`runner`] — parallel sweep execution (deterministic results);
+//! * [`campaign`] — multi-seed replication with confidence intervals;
+//! * [`schedule`] — the simulated schedule, auditing, fingerprints;
+//! * re-exported substrates: `sched` (policies), `workload` (traces,
+//!   estimate models), `metrics` (statistics), `simcore` (engine).
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod config;
+pub mod driver;
+pub mod runner;
+pub mod schedule;
+
+pub use campaign::{Campaign, CampaignCell, Estimate};
+pub use config::{RunConfig, Scenario, TraceSource};
+pub use driver::{journal_queue_series, simulate, simulate_journaled, JournalEntry, JournalKind, SchedulerKind};
+pub use runner::{run_all, RunResult};
+pub use schedule::Schedule;
+
+/// Everything a typical experiment needs, in one import.
+pub mod prelude {
+    pub use crate::campaign::{Campaign, CampaignCell, Estimate};
+    pub use crate::config::{RunConfig, Scenario, TraceSource};
+    pub use crate::driver::{simulate, simulate_journaled, JournalEntry, JournalKind, SchedulerKind};
+    pub use crate::runner::{run_all, RunResult};
+    pub use crate::schedule::Schedule;
+    pub use metrics::{percent_change, fnum, fpct, JobOutcome, Quantiles, ScheduleStats, Table, Welford};
+    pub use sched::{Policy, Scheduler};
+    pub use simcore::{JobId, SimSpan, SimTime};
+    pub use workload::{
+        Category, CategoryCriteria, EstimateModel, EstimateQuality, Job, Trace,
+        UserModelParams,
+    };
+}

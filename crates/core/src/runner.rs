@@ -1,0 +1,122 @@
+//! Parallel execution of simulation sweeps.
+//!
+//! Every figure in the paper is a sweep — (trace × scheduler × policy ×
+//! estimate model) — and each cell is an independent, deterministic
+//! simulation. This module fans the cells out over worker threads
+//! (crossbeam channel as the work queue, scoped threads so no `'static`
+//! bounds infect the configs) and returns results **in input order**, so
+//! parallelism never changes any report.
+
+use crate::config::RunConfig;
+use crate::schedule::Schedule;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use std::num::NonZeroUsize;
+
+/// Result of one sweep cell.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The config that produced it.
+    pub config: RunConfig,
+    /// The resulting schedule.
+    pub schedule: Schedule,
+}
+
+/// Run every config, in parallel, returning results in input order.
+///
+/// `threads = None` uses the machine's available parallelism.
+pub fn run_all(configs: &[RunConfig], threads: Option<NonZeroUsize>) -> Vec<RunResult> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads
+        .or_else(|| std::thread::available_parallelism().ok())
+        .map_or(1, NonZeroUsize::get)
+        .min(configs.len());
+
+    if threads == 1 {
+        return configs
+            .iter()
+            .map(|&config| RunResult { config, schedule: config.run() })
+            .collect();
+    }
+
+    let (tx, rx) = channel::unbounded::<usize>();
+    for i in 0..configs.len() {
+        tx.send(i).expect("queue open");
+    }
+    drop(tx);
+
+    let slots: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..configs.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let slots = &slots;
+            scope.spawn(move || {
+                while let Ok(i) = rx.recv() {
+                    let config = configs[i];
+                    let result = RunResult { config, schedule: config.run() };
+                    slots.lock()[i] = Some(result);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every cell completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Scenario, TraceSource};
+    use crate::driver::SchedulerKind;
+    use sched::Policy;
+
+    fn sweep() -> Vec<RunConfig> {
+        let scenario = Scenario::high_load(TraceSource::Ctc { jobs: 150, seed: 5 });
+        let mut configs = Vec::new();
+        for kind in [SchedulerKind::Conservative, SchedulerKind::Easy] {
+            for policy in Policy::PAPER {
+                configs.push(RunConfig { scenario, kind, policy });
+            }
+        }
+        configs
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let configs = sweep();
+        let serial = run_all(&configs, NonZeroUsize::new(1));
+        let parallel = run_all(&configs, NonZeroUsize::new(4));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.config, p.config, "order changed");
+            assert_eq!(s.schedule.fingerprint(), p.schedule.fingerprint());
+        }
+    }
+
+    #[test]
+    fn results_preserve_input_order() {
+        let configs = sweep();
+        let results = run_all(&configs, None);
+        for (cfg, res) in configs.iter().zip(&results) {
+            assert_eq!(*cfg, res.config);
+        }
+    }
+
+    #[test]
+    fn empty_sweep() {
+        assert!(run_all(&[], None).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_work_is_fine() {
+        let configs = sweep()[..2].to_vec();
+        let results = run_all(&configs, NonZeroUsize::new(16));
+        assert_eq!(results.len(), 2);
+    }
+}

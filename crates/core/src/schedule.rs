@@ -1,0 +1,146 @@
+//! The result of simulating one trace under one scheduler.
+
+use metrics::{JobOutcome, ScheduleStats};
+use simcore::{validate_schedule, PlacedJob, SimError, SimTime};
+use workload::CategoryCriteria;
+
+/// A completed schedule: one outcome per job, in job-id order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Name of the scheduler that produced it (e.g. `"EASY/SJF"`).
+    pub scheduler: String,
+    /// Machine size the schedule ran on.
+    pub nodes: u32,
+    /// Per-job outcomes, indexed by job id.
+    pub outcomes: Vec<JobOutcome>,
+    /// Contiguous run segments (one per job for non-preemptive schedules;
+    /// one per run for preemptive ones). This, not `outcomes`, is what
+    /// capacity auditing sweeps — a suspended job holds no processors.
+    pub run_segments: Vec<PlacedJob>,
+}
+
+impl Schedule {
+    /// Aggregate the paper's statistics.
+    pub fn stats(&self, criteria: &CategoryCriteria) -> ScheduleStats {
+        ScheduleStats::from_outcomes(&self.outcomes, self.nodes, criteria)
+    }
+
+    /// Audit the schedule against machine capacity, independent of the
+    /// scheduler's own bookkeeping. Sweeps the run segments, and checks
+    /// that each job's segments cover exactly its runtime within its
+    /// `[start, end]` outcome window.
+    pub fn validate(&self) -> Result<(), SimError> {
+        validate_schedule(&self.run_segments, self.nodes)?;
+        let mut covered = vec![0u64; self.outcomes.len()];
+        for seg in &self.run_segments {
+            let o = &self.outcomes[seg.id as usize];
+            if seg.start < o.start || seg.end > o.end() {
+                return Err(SimError::AuditFailure(format!(
+                    "job#{} segment [{}, {}] outside its outcome window",
+                    seg.id, seg.start, seg.end
+                )));
+            }
+            covered[seg.id as usize] += seg.end.since(seg.start).as_secs();
+        }
+        for (o, &c) in self.outcomes.iter().zip(&covered) {
+            if c != o.job.runtime.as_secs() {
+                return Err(SimError::AuditFailure(format!(
+                    "{} ran {c} s of its {} runtime",
+                    o.id(),
+                    o.job.runtime
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Completion time of the last job (zero for an empty schedule).
+    pub fn last_end(&self) -> SimTime {
+        self.outcomes.iter().map(|o| o.end()).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// FNV-1a fingerprint of the `(job id, start time)` assignment —
+    /// two schedules are behaviourally identical iff their fingerprints
+    /// match. Used to verify the paper's Section 4.1 equivalence theorem.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for o in &self.outcomes {
+            eat(o.id().0 as u64);
+            eat(o.start.as_secs());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{JobId, SimSpan};
+    use workload::Job;
+
+    fn outcome(id: u32, arrival: u64, runtime: u64, width: u32, start: u64) -> JobOutcome {
+        JobOutcome::new(
+            Job {
+                id: JobId(id),
+                arrival: SimTime::new(arrival),
+                runtime: SimSpan::new(runtime),
+                estimate: SimSpan::new(runtime),
+                width,
+            },
+            SimTime::new(start),
+        )
+    }
+
+    fn schedule(outcomes: Vec<JobOutcome>) -> Schedule {
+        let run_segments = outcomes
+            .iter()
+            .map(|o| PlacedJob {
+                id: o.id().0,
+                arrival: o.job.arrival,
+                start: o.start,
+                end: o.end(),
+                width: o.job.width,
+            })
+            .collect();
+        Schedule { scheduler: "test".into(), nodes: 8, outcomes, run_segments }
+    }
+
+    #[test]
+    fn valid_schedule_passes_audit() {
+        let s = schedule(vec![outcome(0, 0, 100, 8, 0), outcome(1, 0, 50, 8, 100)]);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.last_end(), SimTime::new(150));
+    }
+
+    #[test]
+    fn oversubscribed_schedule_fails_audit() {
+        let s = schedule(vec![outcome(0, 0, 100, 6, 0), outcome(1, 0, 100, 6, 50)]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_detects_start_time_differences() {
+        let a = schedule(vec![outcome(0, 0, 100, 4, 0), outcome(1, 0, 100, 4, 0)]);
+        let b = schedule(vec![outcome(0, 0, 100, 4, 0), outcome(1, 0, 100, 4, 0)]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = schedule(vec![outcome(0, 0, 100, 4, 0), outcome(1, 0, 100, 4, 7)]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = schedule(vec![]);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.last_end(), SimTime::ZERO);
+        let stats = s.stats(&CategoryCriteria::default());
+        assert_eq!(stats.overall.count(), 0);
+    }
+}

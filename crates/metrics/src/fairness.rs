@@ -1,0 +1,204 @@
+//! Fairness metrics for schedules.
+//!
+//! The paper's worst-case turnaround rows (Tables 4, 7) are a fairness
+//! signal: EASY's averages improve while individual jobs starve. This
+//! module quantifies that trade-off properly — the same research group's
+//! follow-up line of work ("Unfairness in parallel job scheduling") made
+//! these first-class metrics:
+//!
+//! * **Gini coefficient** of per-job bounded slowdowns — 0 is perfectly
+//!   even service, 1 is maximally concentrated pain;
+//! * **max-stretch** — the worst bounded slowdown (the classic theory
+//!   metric);
+//! * **overtake count** — how many job pairs ran in the opposite order to
+//!   their arrival (a direct measure of how much a policy deviates from
+//!   FCFS service order).
+
+use crate::outcome::JobOutcome;
+
+/// Gini coefficient of a set of non-negative values.
+///
+/// Uses the sorted-rank formula `G = (2·Σᵢ i·xᵢ)/(n·Σ xᵢ) − (n+1)/n` with
+/// 1-based ranks over ascending values. Returns 0 for empty input or an
+/// all-zero sum.
+pub fn gini(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        values.iter().all(|v| v.is_finite() && *v >= 0.0),
+        "gini requires finite non-negative values"
+    );
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+/// A schedule's fairness summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairnessReport {
+    /// Gini coefficient of bounded slowdowns.
+    pub slowdown_gini: f64,
+    /// Worst bounded slowdown (max-stretch).
+    pub max_stretch: f64,
+    /// Fraction of job pairs served out of arrival order
+    /// (0 = pure FCFS service, 0.5 ≈ arrival order ignored).
+    pub overtake_rate: f64,
+}
+
+/// Compute the fairness summary of a schedule's outcomes.
+///
+/// The overtake rate is exact (O(n log n) via merge-sort inversion
+/// counting over start times in arrival order).
+pub fn fairness(outcomes: &[JobOutcome]) -> FairnessReport {
+    let slowdowns: Vec<f64> = outcomes.iter().map(JobOutcome::bounded_slowdown).collect();
+    let max_stretch = slowdowns.iter().cloned().fold(0.0, f64::max);
+
+    // Outcomes are in job-id order; sort keys by arrival (stable: ties keep
+    // id order), then count inversions of start times.
+    let mut by_arrival: Vec<(u64, u64)> = outcomes
+        .iter()
+        .map(|o| (o.job.arrival.as_secs(), o.start.as_secs()))
+        .collect();
+    by_arrival.sort_by_key(|&(arrival, _)| arrival);
+    let starts: Vec<u64> = by_arrival.into_iter().map(|(_, s)| s).collect();
+    let inversions = count_inversions(&starts);
+    let n = outcomes.len() as u64;
+    let pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let overtake_rate = if pairs == 0 { 0.0 } else { inversions as f64 / pairs as f64 };
+
+    FairnessReport { slowdown_gini: gini(&slowdowns), max_stretch, overtake_rate }
+}
+
+/// Count pairs `(i, j)` with `i < j` but `v[i] > v[j]` (strict inversions).
+fn count_inversions(v: &[u64]) -> u64 {
+    fn sort_count(v: &mut Vec<u64>) -> u64 {
+        let n = v.len();
+        if n <= 1 {
+            return 0;
+        }
+        let mut right = v.split_off(n / 2);
+        let mut inv = sort_count(v) + sort_count(&mut right);
+        // Merge, counting cross inversions (left element strictly greater).
+        let left = std::mem::take(v);
+        let (mut i, mut j) = (0, 0);
+        let mut merged = Vec::with_capacity(left.len() + right.len());
+        while i < left.len() && j < right.len() {
+            if left[i] <= right[j] {
+                merged.push(left[i]);
+                i += 1;
+            } else {
+                inv += (left.len() - i) as u64;
+                merged.push(right[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&left[i..]);
+        merged.extend_from_slice(&right[j..]);
+        *v = merged;
+        inv
+    }
+    let mut copy = v.to_vec();
+    sort_count(&mut copy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{JobId, SimSpan, SimTime};
+    use workload::Job;
+
+    fn outcome(arrival: u64, runtime: u64, start: u64) -> JobOutcome {
+        JobOutcome::new(
+            Job {
+                id: JobId(0),
+                arrival: SimTime::new(arrival),
+                runtime: SimSpan::new(runtime),
+                estimate: SimSpan::new(runtime),
+                width: 1,
+            },
+            SimTime::new(start),
+        )
+    }
+
+    #[test]
+    fn gini_of_equal_values_is_zero() {
+        assert!(gini(&[5.0, 5.0, 5.0, 5.0]).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn gini_of_concentrated_values_approaches_one() {
+        let mut v = vec![0.0; 99];
+        v.push(100.0);
+        let g = gini(&v);
+        assert!(g > 0.95, "gini {g}");
+    }
+
+    #[test]
+    fn gini_known_value() {
+        // For [1, 3]: G = (2*(1*1 + 2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+        assert!((gini(&[1.0, 3.0]) - 0.25).abs() < 1e-12);
+        // Order independence.
+        assert!((gini(&[3.0, 1.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn gini_rejects_negative() {
+        gini(&[1.0, -2.0]);
+    }
+
+    #[test]
+    fn inversion_counting() {
+        assert_eq!(count_inversions(&[1, 2, 3, 4]), 0);
+        assert_eq!(count_inversions(&[4, 3, 2, 1]), 6);
+        assert_eq!(count_inversions(&[2, 1, 3]), 1);
+        assert_eq!(count_inversions(&[]), 0);
+        assert_eq!(count_inversions(&[7]), 0);
+        // Equal elements are not inversions.
+        assert_eq!(count_inversions(&[5, 5, 5]), 0);
+    }
+
+    #[test]
+    fn fcfs_service_has_zero_overtakes() {
+        let outcomes =
+            vec![outcome(0, 10, 0), outcome(5, 10, 10), outcome(8, 10, 20)];
+        let r = fairness(&outcomes);
+        assert_eq!(r.overtake_rate, 0.0);
+    }
+
+    #[test]
+    fn reversed_service_has_full_overtake_rate() {
+        let outcomes =
+            vec![outcome(0, 10, 40), outcome(5, 10, 20), outcome(8, 10, 8)];
+        let r = fairness(&outcomes);
+        assert!((r.overtake_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_stretch_is_worst_slowdown() {
+        let outcomes = vec![outcome(0, 100, 0), outcome(0, 100, 300)];
+        let r = fairness(&outcomes);
+        assert!((r.max_stretch - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let r = fairness(&[]);
+        assert_eq!(r.overtake_rate, 0.0);
+        assert_eq!(r.max_stretch, 0.0);
+        assert_eq!(r.slowdown_gini, 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Logarithmically binned histograms.
+//!
+//! Wait times and slowdowns span five orders of magnitude; log-spaced bins
+//! give useful resolution everywhere. Used by the distribution-shape
+//! reports that complement the paper's averages.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[min, max)` with logarithmically spaced bins, plus
+/// underflow/overflow counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    min: f64,
+    max: f64,
+    log_min: f64,
+    log_width: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl LogHistogram {
+    /// Create with `bins` log-spaced buckets over `[min, max)`.
+    /// Requires `0 < min < max` and at least one bin.
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(min > 0.0 && min.is_finite(), "log histogram needs min > 0, got {min}");
+        assert!(max > min && max.is_finite(), "log histogram needs max > min");
+        assert!(bins >= 1, "log histogram needs at least one bin");
+        let log_min = min.ln();
+        let log_width = (max.ln() - log_min) / bins as f64;
+        LogHistogram {
+            min,
+            max,
+            log_min,
+            log_width,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite observation {x}");
+        self.count += 1;
+        if x < self.min {
+            self.underflow += 1;
+        } else if x >= self.max {
+            self.overflow += 1;
+        } else {
+            let idx = ((x.ln() - self.log_min) / self.log_width) as usize;
+            let idx = idx.min(self.bins.len() - 1); // float-edge safety
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below `min`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `max`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The `[lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len());
+        let lo = (self.log_min + self.log_width * i as f64).exp();
+        let hi = (self.log_min + self.log_width * (i + 1) as f64).exp();
+        (lo, hi)
+    }
+
+    /// Fraction of in-range mass at or below bin `i` (empirical CDF at the
+    /// bin's upper edge, counting underflow as below).
+    pub fn cdf_at_bin(&self, i: usize) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let upto: u64 = self.underflow + self.bins[..=i].iter().sum::<u64>();
+        upto as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_cover_range_logarithmically() {
+        let h = LogHistogram::new(1.0, 1000.0, 3);
+        let (lo, hi) = h.bin_edges(0);
+        assert!((lo - 1.0).abs() < 1e-9);
+        assert!((hi - 10.0).abs() < 1e-6);
+        let (lo, hi) = h.bin_edges(2);
+        assert!((lo - 100.0).abs() < 1e-4);
+        assert!((hi - 1000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn observations_land_in_correct_bins() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 3);
+        for &x in &[2.0, 5.0, 20.0, 500.0, 999.0] {
+            h.push(x);
+        }
+        assert_eq!(h.bins(), &[2, 1, 2]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = LogHistogram::new(1.0, 100.0, 2);
+        h.push(0.5);
+        h.push(100.0);
+        h.push(1e9);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bins(), &[0, 0]);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut h = LogHistogram::new(1.0, 100.0, 2);
+        h.push(1.0); // exactly min -> bin 0
+        h.push(10.0 - 1e-12); // just under the edge -> bin 0
+        h.push(10.0 + 1e-9); // just over -> bin 1
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[1], 1);
+    }
+
+    #[test]
+    fn cdf_accumulates() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 3);
+        for &x in &[2.0, 20.0, 200.0, 0.5] {
+            h.push(x);
+        }
+        assert!((h.cdf_at_bin(0) - 0.5).abs() < 1e-12); // underflow + bin0
+        assert!((h.cdf_at_bin(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "min > 0")]
+    fn rejects_non_positive_min() {
+        LogHistogram::new(0.0, 10.0, 4);
+    }
+}

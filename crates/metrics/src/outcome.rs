@@ -1,0 +1,203 @@
+//! Per-job scheduling outcomes and the paper's job-level metrics.
+//!
+//! A simulation reduces to one [`JobOutcome`] per job; from it derive:
+//!
+//! * **wait time** — `start − arrival`;
+//! * **turnaround time** — `end − arrival = wait + runtime`;
+//! * **bounded slowdown** — `(wait + max(runtime, τ)) / max(runtime, τ)`
+//!   with the paper's τ = 10 s threshold, which caps the leverage of very
+//!   short jobs on the average.
+
+use serde::{Deserialize, Serialize};
+use simcore::{JobId, SimSpan, SimTime};
+use workload::Job;
+
+/// The bounded-slowdown threshold (10 seconds, per the paper and
+/// Mu'alem–Feitelson's original definition).
+pub const BOUNDED_SLOWDOWN_THRESHOLD_SECS: u64 = 10;
+
+/// What happened to one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// The job as submitted (arrival, runtime, estimate, width).
+    pub job: Job,
+    /// When the scheduler first started it.
+    pub start: SimTime,
+    /// When it finally completed. For a job that ran uninterrupted this is
+    /// `start + runtime`; a preempted job completes later (the suspended
+    /// spans count as waiting).
+    end: SimTime,
+}
+
+impl JobOutcome {
+    /// Construct an uninterrupted outcome, checking `start ≥ arrival`.
+    pub fn new(job: Job, start: SimTime) -> Self {
+        assert!(start >= job.arrival, "{} started before it arrived", job.id);
+        JobOutcome { job, start, end: start + job.runtime }
+    }
+
+    /// Construct an outcome with an explicit completion instant (for
+    /// preemptive schedules). Requires `end ≥ start + runtime`: suspension
+    /// can only push completion later.
+    pub fn with_end(job: Job, start: SimTime, end: SimTime) -> Self {
+        assert!(start >= job.arrival, "{} started before it arrived", job.id);
+        assert!(
+            end >= start + job.runtime,
+            "{} completed before its work was done",
+            job.id
+        );
+        JobOutcome { job, start, end }
+    }
+
+    /// The job's identifier.
+    pub fn id(&self) -> JobId {
+        self.job.id
+    }
+
+    /// Completion instant.
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// Total time the job was not running: queue wait plus (for preempted
+    /// jobs) suspended time. `end − arrival − runtime`.
+    pub fn wait(&self) -> SimSpan {
+        self.end.since(self.job.arrival) - self.job.runtime
+    }
+
+    /// Turnaround (`end − arrival`).
+    pub fn turnaround(&self) -> SimSpan {
+        self.end().since(self.job.arrival)
+    }
+
+    /// Bounded slowdown with the standard 10 s threshold. Always ≥ 1.
+    pub fn bounded_slowdown(&self) -> f64 {
+        self.bounded_slowdown_with(SimSpan::new(BOUNDED_SLOWDOWN_THRESHOLD_SECS))
+    }
+
+    /// Bounded slowdown with an explicit threshold τ:
+    /// `(wait + max(runtime, τ)) / max(runtime, τ)`.
+    pub fn bounded_slowdown_with(&self, tau: SimSpan) -> f64 {
+        let denom = self.job.runtime.max(tau).max(SimSpan::SECOND).as_secs_f64();
+        (self.wait().as_secs_f64() + denom) / denom
+    }
+
+    /// Raw (unbounded) slowdown `turnaround / runtime`, guarding zero
+    /// runtimes. Reported alongside the bounded variant in ablations.
+    pub fn slowdown(&self) -> f64 {
+        let rt = self.job.runtime.as_secs().max(1) as f64;
+        (self.wait().as_secs_f64() + self.job.runtime.as_secs_f64()) / rt
+    }
+
+    /// True if the job was suspended at least once.
+    pub fn was_preempted(&self) -> bool {
+        self.end > self.start + self.job.runtime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(arrival: u64, runtime: u64, start: u64) -> JobOutcome {
+        JobOutcome::new(
+            Job {
+                id: JobId(1),
+                arrival: SimTime::new(arrival),
+                runtime: SimSpan::new(runtime),
+                estimate: SimSpan::new(runtime),
+                width: 4,
+            },
+            SimTime::new(start),
+        )
+    }
+
+    #[test]
+    fn derived_times() {
+        let o = outcome(100, 50, 130);
+        assert_eq!(o.wait(), SimSpan::new(30));
+        assert_eq!(o.end(), SimTime::new(180));
+        assert_eq!(o.turnaround(), SimSpan::new(80));
+    }
+
+    #[test]
+    fn zero_wait_job() {
+        let o = outcome(100, 50, 100);
+        assert_eq!(o.wait(), SimSpan::ZERO);
+        assert!((o.bounded_slowdown() - 1.0).abs() < 1e-12);
+        assert!((o.slowdown() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_slowdown_matches_definition_for_long_jobs() {
+        // runtime 100 > tau: slowdown = (wait + runtime)/runtime.
+        let o = outcome(0, 100, 300);
+        assert!((o.bounded_slowdown() - 4.0).abs() < 1e-12);
+        assert!((o.slowdown() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_slowdown_caps_short_job_leverage() {
+        // runtime 1 s, wait 99 s. Unbounded slowdown = 100; bounded uses
+        // tau = 10: (99 + 10)/10 = 10.9.
+        let o = outcome(0, 1, 99);
+        assert!((o.slowdown() - 100.0).abs() < 1e-12);
+        assert!((o.bounded_slowdown() - 10.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_threshold() {
+        let o = outcome(0, 1, 99);
+        let s = o.bounded_slowdown_with(SimSpan::new(100));
+        assert!((s - 1.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_is_at_least_one() {
+        for (a, r, s) in [(0u64, 10u64, 0u64), (5, 1, 5), (0, 10_000, 123_456)] {
+            let o = outcome(a, r, s.max(a));
+            assert!(o.bounded_slowdown() >= 1.0);
+            assert!(o.slowdown() >= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "started before it arrived")]
+    fn rejects_clairvoyant_start() {
+        outcome(100, 10, 50);
+    }
+
+    #[test]
+    fn preempted_outcome_counts_suspension_as_wait() {
+        let job = Job {
+            id: JobId(1),
+            arrival: SimTime::new(0),
+            runtime: SimSpan::new(100),
+            estimate: SimSpan::new(100),
+            width: 4,
+        };
+        // Started at 10, ran 40 s, suspended 50 s, ran 60 s: end at 160.
+        let o = JobOutcome::with_end(job, SimTime::new(10), SimTime::new(160));
+        assert!(o.was_preempted());
+        assert_eq!(o.end(), SimTime::new(160));
+        assert_eq!(o.turnaround(), SimSpan::new(160));
+        // wait = 160 - 0 - 100 = 60 (10 queued + 50 suspended).
+        assert_eq!(o.wait(), SimSpan::new(60));
+        let plain = JobOutcome::new(job, SimTime::new(10));
+        assert!(!plain.was_preempted());
+        assert_eq!(plain.wait(), SimSpan::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "completed before its work")]
+    fn with_end_rejects_too_early_completion() {
+        let job = Job {
+            id: JobId(1),
+            arrival: SimTime::new(0),
+            runtime: SimSpan::new(100),
+            estimate: SimSpan::new(100),
+            width: 4,
+        };
+        JobOutcome::with_end(job, SimTime::new(10), SimTime::new(50));
+    }
+}

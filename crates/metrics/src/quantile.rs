@@ -1,0 +1,158 @@
+//! Exact quantile computation.
+//!
+//! Workload metric distributions are wildly skewed, so reports include
+//! medians and tail percentiles alongside means. At simulation scale
+//! (≤ a few hundred thousand jobs) exact quantiles are affordable:
+//! [`Quantiles`] buffers observations and sorts lazily. Exactness keeps
+//! reports bit-reproducible, which approximate sketches would forfeit.
+
+use serde::{Deserialize, Serialize};
+
+/// An exact quantile estimator over buffered observations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Quantiles {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Quantiles {
+    /// An empty estimator.
+    pub fn new() -> Self {
+        Quantiles::default()
+    }
+
+    /// Record one observation (must be finite).
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite observation {x}");
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`), with linear interpolation between
+    /// order statistics (the "type 7" definition used by R and NumPy).
+    /// Returns `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        self.ensure_sorted();
+        let n = self.values.len();
+        if n == 0 {
+            return None;
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.values[lo] * (1.0 - frac) + self.values[hi] * frac)
+    }
+
+    /// Convenience: the median.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Convenience: several quantiles at once.
+    pub fn quantiles(&mut self, qs: &[f64]) -> Vec<Option<f64>> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
+    }
+
+    /// Merge another estimator's observations into this one.
+    pub fn merge(&mut self, other: &Quantiles) {
+        self.values.extend_from_slice(&other.values);
+        self.sorted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_counts() {
+        let mut q = Quantiles::new();
+        for x in [3.0, 1.0, 2.0] {
+            q.push(x);
+        }
+        assert_eq!(q.median(), Some(2.0));
+        q.push(4.0);
+        assert_eq!(q.median(), Some(2.5));
+    }
+
+    #[test]
+    fn extremes_are_min_and_max() {
+        let mut q = Quantiles::new();
+        for x in [5.0, 9.0, 1.0, 7.0] {
+            q.push(x);
+        }
+        assert_eq!(q.quantile(0.0), Some(1.0));
+        assert_eq!(q.quantile(1.0), Some(9.0));
+    }
+
+    #[test]
+    fn interpolation_matches_numpy_type7() {
+        let mut q = Quantiles::new();
+        for x in [10.0, 20.0, 30.0, 40.0] {
+            q.push(x);
+        }
+        // numpy.percentile([10,20,30,40], 25) == 17.5
+        assert_eq!(q.quantile(0.25), Some(17.5));
+        assert_eq!(q.quantile(0.75), Some(32.5));
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let mut q = Quantiles::new();
+        assert_eq!(q.quantile(0.5), None);
+        assert_eq!(q.count(), 0);
+    }
+
+    #[test]
+    fn push_after_query_resorts() {
+        let mut q = Quantiles::new();
+        q.push(10.0);
+        assert_eq!(q.median(), Some(10.0));
+        q.push(0.0);
+        assert_eq!(q.median(), Some(5.0));
+    }
+
+    #[test]
+    fn merge_combines_observations() {
+        let mut a = Quantiles::new();
+        a.push(1.0);
+        let mut b = Quantiles::new();
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.median(), Some(2.0));
+    }
+
+    #[test]
+    fn batch_quantiles() {
+        let mut q = Quantiles::new();
+        for i in 1..=100 {
+            q.push(i as f64);
+        }
+        let v = q.quantiles(&[0.5, 0.9, 0.99]);
+        assert_eq!(v[0], Some(50.5));
+        assert!((v[1].unwrap() - 90.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_q() {
+        let mut q = Quantiles::new();
+        q.push(1.0);
+        q.quantile(1.5);
+    }
+}

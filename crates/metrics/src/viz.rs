@@ -1,0 +1,206 @@
+//! Terminal visualizations: occupancy charts and Gantt views.
+//!
+//! The paper's mental model is the "2D chart" of processors × time; being
+//! able to *see* a schedule catches bugs and explains results faster than
+//! any aggregate. These renderers are deterministic text, so they are also
+//! used in documentation and debugging sessions.
+
+use crate::outcome::JobOutcome;
+use crate::timeseries::TimeSeries;
+use simcore::{SimSpan, SimTime};
+
+/// Render a time series as a one-line unicode sparkline
+/// (`▁▂▃▄▅▆▇█`), scaled to the series' own maximum.
+pub fn sparkline(series: &TimeSeries) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let peak = series.peak();
+    if series.is_empty() || peak <= 0.0 {
+        return "▁".repeat(series.len());
+    }
+    series
+        .values()
+        .iter()
+        .map(|&v| {
+            let idx = ((v / peak) * (LEVELS.len() as f64 - 1.0)).round() as usize;
+            LEVELS[idx.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Render a matrix as a shaded text heatmap (rows × columns), scaled to
+/// the matrix's own maximum. Used for the hour-of-day × day-of-week
+/// arrival heatmaps of workload characterization.
+pub fn heatmap(rows: &[Vec<f64>], row_labels: &[&str]) -> String {
+    const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+    assert_eq!(rows.len(), row_labels.len(), "one label per row");
+    let peak = rows
+        .iter()
+        .flat_map(|r| r.iter())
+        .cloned()
+        .fold(0.0f64, f64::max);
+    let mut out = String::new();
+    for (row, label) in rows.iter().zip(row_labels) {
+        out.push_str(&format!("{label:>4} "));
+        for &v in row {
+            let idx = if peak <= 0.0 {
+                0
+            } else {
+                ((v / peak) * (SHADES.len() as f64 - 1.0)).round() as usize
+            };
+            out.push(SHADES[idx.min(SHADES.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a schedule as an ASCII Gantt chart: one row per job (in start
+/// order), time flowing right, `#` for running and `.` for waiting.
+/// `columns` is the chart width in characters. Intended for small
+/// schedules (≤ a few dozen jobs); larger inputs are truncated with a note.
+pub fn gantt(outcomes: &[JobOutcome], columns: usize) -> String {
+    const MAX_ROWS: usize = 40;
+    assert!(columns >= 10, "gantt needs at least 10 columns");
+    if outcomes.is_empty() {
+        return "(empty schedule)\n".to_string();
+    }
+    let first = outcomes.iter().map(|o| o.job.arrival).min().expect("non-empty");
+    let last = outcomes.iter().map(|o| o.end()).max().expect("non-empty");
+    let span = last.since(first).as_secs().max(1);
+    let scale = |t: SimTime| -> usize {
+        ((t.since(first).as_secs() as u128 * (columns as u128 - 1)) / span as u128) as usize
+    };
+
+    let mut rows: Vec<&JobOutcome> = outcomes.iter().collect();
+    rows.sort_by_key(|o| (o.start, o.id()));
+    let truncated = rows.len() > MAX_ROWS;
+    rows.truncate(MAX_ROWS);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time: {first} .. {last} ({}), one column ≈ {}\n",
+        last.since(first),
+        SimSpan::new(span / columns as u64)
+    ));
+    for o in rows {
+        let a = scale(o.job.arrival);
+        let s = scale(o.start);
+        let e = scale(o.end()).max(s);
+        let mut line = vec![' '; columns];
+        for (i, c) in line.iter_mut().enumerate() {
+            if i >= a && i < s {
+                *c = '.';
+            } else if i >= s && i <= e {
+                *c = '#';
+            }
+        }
+        out.push_str(&format!(
+            "{:>6} |{}| w={}\n",
+            format!("#{}", o.id().0),
+            line.iter().collect::<String>(),
+            o.job.width
+        ));
+    }
+    if truncated {
+        out.push_str(&format!("... ({} more jobs)\n", outcomes.len() - MAX_ROWS));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::utilization_series;
+    use simcore::JobId;
+    use workload::Job;
+
+    fn outcome(id: u32, arrival: u64, runtime: u64, width: u32, start: u64) -> JobOutcome {
+        JobOutcome::new(
+            Job {
+                id: JobId(id),
+                arrival: SimTime::new(arrival),
+                runtime: SimSpan::new(runtime),
+                estimate: SimSpan::new(runtime),
+                width,
+            },
+            SimTime::new(start),
+        )
+    }
+
+    #[test]
+    fn sparkline_scales_to_peak() {
+        let outcomes = vec![outcome(0, 0, 50, 8, 0), outcome(1, 50, 50, 4, 50)];
+        let ts = utilization_series(&outcomes, 8, SimSpan::new(50));
+        let s = sparkline(&ts);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0], '█', "full bin should be the top glyph");
+        assert!(chars[1] < chars[0], "half-full bin should be lower");
+    }
+
+    #[test]
+    fn sparkline_of_empty_or_flat_series() {
+        let ts = utilization_series(&[], 8, SimSpan::new(10));
+        assert_eq!(sparkline(&ts), "");
+    }
+
+    #[test]
+    fn gantt_shows_wait_and_run_phases() {
+        let outcomes = vec![outcome(0, 0, 100, 8, 0), outcome(1, 0, 100, 8, 100)];
+        let chart = gantt(&outcomes, 20);
+        assert!(chart.contains("#0"));
+        assert!(chart.contains("#1"));
+        // Job 1 waited (dots) then ran (hashes).
+        let line1 = chart.lines().find(|l| l.contains("#1 ")).unwrap_or_else(|| {
+            chart.lines().nth(2).unwrap()
+        });
+        assert!(line1.contains('.'), "wait phase missing: {line1}");
+        assert!(line1.contains('#'), "run phase missing: {line1}");
+    }
+
+    #[test]
+    fn gantt_truncates_large_schedules() {
+        let outcomes: Vec<JobOutcome> =
+            (0..60).map(|i| outcome(i, 0, 10, 1, (i as u64) * 10)).collect();
+        let chart = gantt(&outcomes, 40);
+        assert!(chart.contains("more jobs"));
+        assert!(chart.lines().count() <= 45);
+    }
+
+    #[test]
+    fn heatmap_shades_scale_to_peak() {
+        let rows = vec![vec![0.0, 5.0, 10.0], vec![10.0, 0.0, 2.5]];
+        let h = heatmap(&rows, &["a", "b"]);
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('█'), "{h}");
+        assert!(lines[0].ends_with('█'));
+        assert!(lines[1].contains('█'));
+        // Zero cells are blank.
+        assert!(lines[0].contains("a"));
+    }
+
+    #[test]
+    fn heatmap_of_all_zero_matrix_is_blank() {
+        let rows = vec![vec![0.0; 4]];
+        let h = heatmap(&rows, &["z"]);
+        assert!(!h.contains('█'));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn heatmap_rejects_label_mismatch() {
+        heatmap(&[vec![1.0]], &[]);
+    }
+
+    #[test]
+    fn gantt_of_empty_schedule() {
+        assert_eq!(gantt(&[], 40), "(empty schedule)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10 columns")]
+    fn gantt_rejects_tiny_width() {
+        gantt(&[outcome(0, 0, 1, 1, 0)], 3);
+    }
+}

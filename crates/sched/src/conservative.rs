@@ -1,0 +1,361 @@
+//! Conservative backfilling.
+//!
+//! Every job receives a **start-time reservation the moment it arrives**,
+//! at the earliest anchor that delays no previously existing reservation
+//! (Section 2 of the paper). Because guarantees are handed out in arrival
+//! order, the schedule is completely determined when estimates are exact —
+//! the paper's Section 4.1 equivalence result, which this implementation
+//! reproduces mechanically.
+//!
+//! The priority policy only matters when a job **completes earlier than its
+//! estimate**: the hole it leaves lets queued jobs be *re-anchored*
+//! ("compressed") to earlier start times. Jobs are re-anchored in priority
+//! order, and each job's new anchor is provably never later than its old
+//! guarantee (its old rectangle remains feasible throughout the pass), so
+//! guarantees only improve — asserted in code.
+
+use crate::policy::Policy;
+use crate::profile::Profile;
+use crate::scheduler::{Decisions, JobMeta, Scheduler};
+use serde::{Deserialize, Serialize};
+use simcore::{JobId, SimTime};
+use std::collections::HashMap;
+
+/// What happens to queued jobs' reservations when a hole opens (a running
+/// job completed earlier than its estimate).
+///
+/// The paper's wording — queued jobs are "considered for backfill in the
+/// priority order" — is [`Compression::Backfill`]: a job moves only if it
+/// can start *immediately* in the hole; otherwise it keeps its original
+/// guarantee. [`Compression::Reanchor`] is the stronger variant that
+/// re-anchors every queued reservation to its earliest feasible time,
+/// whether or not that is now. Both preserve all guarantees (a job never
+/// moves later); the ablation bench compares them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Compression {
+    /// Move a queued job only if it can start now (paper semantics).
+    #[default]
+    Backfill,
+    /// Re-anchor every queued job as early as possible.
+    Reanchor,
+    /// Move jobs into the hole in priority order, stopping at the first
+    /// that cannot start now — the head may start early but nothing jumps
+    /// a blocked higher-priority job (backfilling happens at arrival only).
+    HeadStart,
+    /// Never move queued jobs; holes benefit only later arrivals
+    /// (ablation: isolates arrival-time backfilling).
+    None,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Reservation {
+    meta: JobMeta,
+    start: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    width: u32,
+    est_end: SimTime,
+}
+
+/// Conservative backfilling scheduler.
+#[derive(Debug, Clone)]
+pub struct ConservativeScheduler {
+    policy: Policy,
+    profile: Profile,
+    queue: Vec<Reservation>,
+    running: HashMap<JobId, Running>,
+    /// Processors actually free *right now*. The profile alone is not
+    /// enough: at an instant with several simultaneous completions, the
+    /// profile already shows all of them done while the driver is still
+    /// delivering the completion events one by one. A due reservation only
+    /// starts once the processors are physically free; until then it is
+    /// deferred to a same-instant wake-up.
+    free: u32,
+    mode: Compression,
+}
+
+impl ConservativeScheduler {
+    /// Create for a machine with `capacity` processors, with the paper's
+    /// hole-backfilling compression.
+    pub fn new(capacity: u32, policy: Policy) -> Self {
+        Self::with_compression(capacity, policy, Compression::Backfill)
+    }
+
+    /// Create with an explicit compression mode.
+    pub fn with_compression(capacity: u32, policy: Policy, mode: Compression) -> Self {
+        ConservativeScheduler {
+            policy,
+            profile: Profile::new(capacity),
+            queue: Vec::new(),
+            running: HashMap::new(),
+            free: capacity,
+            mode,
+        }
+    }
+
+    /// The currently guaranteed start time of a queued job (tests/metrics).
+    pub fn guarantee(&self, id: JobId) -> Option<SimTime> {
+        self.queue.iter().find(|r| r.meta.id == id).map(|r| r.start)
+    }
+
+    fn start_job(&mut self, res: Reservation, now: SimTime) {
+        debug_assert!(res.start <= now, "started before its reservation");
+        self.free -= res.meta.width;
+        self.running.insert(
+            res.meta.id,
+            Running { width: res.meta.width, est_end: now + res.meta.estimate },
+        );
+        // The reservation rectangle simply becomes the running occupancy;
+        // the profile needs no update.
+    }
+
+    /// Start every queued job whose reservation is due *and* whose
+    /// processors are physically free, then report the next wake-up. A due
+    /// job that does not fit yet is waiting on a sibling completion at this
+    /// same instant; the returned same-instant wake-up retries it after the
+    /// remaining events are delivered.
+    fn collect(&mut self, now: SimTime) -> Decisions {
+        let mut starts = Vec::new();
+        let mut deferred = false;
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].start <= now && self.queue[i].meta.width <= self.free {
+                let res = self.queue.remove(i);
+                starts.push(res.meta.id);
+                self.start_job(res, now);
+                // Restart the scan: freeing the slot order never matters,
+                // but simultaneous reservations may unlock in any order.
+                i = 0;
+            } else {
+                if self.queue[i].start <= now {
+                    deferred = true;
+                }
+                i += 1;
+            }
+        }
+        let wakeup = if deferred {
+            Some(now)
+        } else {
+            self.queue.iter().map(|r| r.start).min()
+        };
+        self.profile.trim_before(now);
+        Decisions { preempts: Vec::new(), starts, wakeup }
+    }
+
+    /// Consider queued jobs for the hole that just opened, in priority
+    /// order. A job may only ever move *earlier*: its old rectangle stays
+    /// feasible throughout the pass (each mover's new position was chosen
+    /// against a profile still containing everyone else's guarantee), so
+    /// restoring it is always possible — asserted below.
+    fn compress(&mut self, now: SimTime) {
+        self.queue
+            .sort_by(|a, b| self.policy.compare(&a.meta, &b.meta, now));
+        for i in 0..self.queue.len() {
+            let res = self.queue[i];
+            if res.start <= now {
+                continue; // already due; collect() will start it
+            }
+            self.profile.release(res.start, res.meta.estimate, res.meta.width);
+            let anchor = self.profile.find_anchor(now, res.meta.estimate, res.meta.width);
+            assert!(
+                anchor <= res.start,
+                "compression pushed {} from {} to {}",
+                res.meta.id,
+                res.start,
+                anchor
+            );
+            let new_start = match self.mode {
+                // Move into the hole only to start now.
+                Compression::Backfill | Compression::HeadStart if anchor == now => now,
+                Compression::Backfill | Compression::HeadStart | Compression::None => res.start,
+                Compression::Reanchor => anchor,
+            };
+            self.profile.reserve(new_start, res.meta.estimate, res.meta.width);
+            self.queue[i].start = new_start;
+            if self.mode == Compression::HeadStart && new_start > now {
+                // Strict priority: nothing may start ahead of a blocked
+                // higher-priority job.
+                break;
+            }
+        }
+    }
+}
+
+impl Scheduler for ConservativeScheduler {
+    fn name(&self) -> String {
+        format!("Conservative/{}", self.policy)
+    }
+
+    fn on_arrival(&mut self, job: JobMeta, now: SimTime) -> Decisions {
+        assert!(job.width <= self.profile.capacity(), "{} wider than machine", job.id);
+        let anchor = self.profile.find_anchor(now, job.estimate, job.width);
+        self.profile.reserve(anchor, job.estimate, job.width);
+        self.queue.push(Reservation { meta: job, start: anchor });
+        self.collect(now)
+    }
+
+    fn on_completion(&mut self, id: JobId, now: SimTime) -> Decisions {
+        let run = self.running.remove(&id).expect("completion for unknown job");
+        self.free += run.width;
+        if now < run.est_end {
+            // Early completion: return the unused tail of the rectangle and
+            // let queued jobs compress into the hole.
+            self.profile.release(now, run.est_end.since(now), run.width);
+            if self.mode != Compression::None {
+                self.compress(now);
+            }
+        }
+        self.collect(now)
+    }
+
+    fn on_wake(&mut self, now: SimTime) -> Decisions {
+        self.collect(now)
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimSpan;
+
+    fn meta(id: u32, arrival: u64, estimate: u64, width: u32) -> JobMeta {
+        JobMeta {
+            id: JobId(id),
+            arrival: SimTime::new(arrival),
+            estimate: SimSpan::new(estimate),
+            width,
+        }
+    }
+
+    #[test]
+    fn immediate_start_on_idle_machine() {
+        let mut s = ConservativeScheduler::new(8, Policy::Fcfs);
+        let d = s.on_arrival(meta(0, 0, 100, 8), SimTime::ZERO);
+        assert_eq!(d.starts, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn narrow_job_backfills_past_blocked_wide_job() {
+        let mut s = ConservativeScheduler::new(8, Policy::Fcfs);
+        s.on_arrival(meta(0, 0, 100, 6), SimTime::ZERO); // runs [0,100) on 6
+        // Wide job 1 can't fit until 100: reserved at 100.
+        let d = s.on_arrival(meta(1, 1, 50, 8), SimTime::new(1));
+        assert!(d.starts.is_empty());
+        assert_eq!(s.guarantee(JobId(1)), Some(SimTime::new(100)));
+        // Narrow short job 2 fits in the 2-proc sliver before 100: backfills.
+        let d = s.on_arrival(meta(2, 2, 50, 2), SimTime::new(2));
+        assert_eq!(d.starts, vec![JobId(2)]);
+    }
+
+    #[test]
+    fn backfill_may_not_delay_existing_guarantee() {
+        let mut s = ConservativeScheduler::new(8, Policy::Fcfs);
+        s.on_arrival(meta(0, 0, 100, 6), SimTime::ZERO);
+        s.on_arrival(meta(1, 1, 50, 8), SimTime::new(1)); // reserved [100,150)
+        // Job 2 (2 procs, 200 s) would overlap job 1's reservation if
+        // started now: must be anchored after 1's rectangle instead.
+        let d = s.on_arrival(meta(2, 2, 200, 2), SimTime::new(2));
+        assert!(d.starts.is_empty());
+        let g2 = s.guarantee(JobId(2)).unwrap();
+        assert!(g2 >= SimTime::new(150), "job 2 anchored at {g2}, delaying job 1");
+        assert_eq!(s.guarantee(JobId(1)), Some(SimTime::new(100)));
+    }
+
+    #[test]
+    fn reservation_fires_via_wakeup() {
+        let mut s = ConservativeScheduler::new(8, Policy::Fcfs);
+        s.on_arrival(meta(0, 0, 100, 8), SimTime::ZERO);
+        let d = s.on_arrival(meta(1, 1, 10, 8), SimTime::new(1));
+        assert_eq!(d.wakeup, Some(SimTime::new(100)));
+        // Exact completion at the estimate: the queued job starts.
+        let d = s.on_completion(JobId(0), SimTime::new(100));
+        assert_eq!(d.starts, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn early_completion_compresses_guarantees() {
+        let mut s = ConservativeScheduler::new(8, Policy::Fcfs);
+        s.on_arrival(meta(0, 0, 1000, 8), SimTime::ZERO);
+        s.on_arrival(meta(1, 1, 10, 8), SimTime::new(1));
+        assert_eq!(s.guarantee(JobId(1)), Some(SimTime::new(1000)));
+        // Job 0 finishes at 400, far before its estimate.
+        let d = s.on_completion(JobId(0), SimTime::new(400));
+        assert_eq!(d.starts, vec![JobId(1)], "compressed job must start in the hole");
+    }
+
+    #[test]
+    fn compression_respects_priority_order() {
+        let mut s = ConservativeScheduler::new(8, Policy::Sjf);
+        s.on_arrival(meta(0, 0, 1000, 8), SimTime::ZERO);
+        // Arrival order: long job 1 first, short job 2 second.
+        s.on_arrival(meta(1, 1, 500, 8), SimTime::new(1)); // reserved [1000,1500)
+        s.on_arrival(meta(2, 2, 100, 8), SimTime::new(2)); // reserved [1500,1600)
+        assert_eq!(s.guarantee(JobId(1)), Some(SimTime::new(1000)));
+        assert_eq!(s.guarantee(JobId(2)), Some(SimTime::new(1500)));
+        // Early completion at 100: SJF considers the *short* job first, and
+        // it starts in the hole.
+        let d = s.on_completion(JobId(0), SimTime::new(100));
+        assert_eq!(d.starts, vec![JobId(2)]);
+        // Paper semantics (Backfill): the long job cannot start now (the
+        // short job holds the machine), so it keeps its original guarantee.
+        assert_eq!(s.guarantee(JobId(1)), Some(SimTime::new(1000)));
+    }
+
+    #[test]
+    fn reanchor_mode_also_improves_future_guarantees() {
+        let mut s =
+            ConservativeScheduler::with_compression(8, Policy::Sjf, Compression::Reanchor);
+        s.on_arrival(meta(0, 0, 1000, 8), SimTime::ZERO);
+        s.on_arrival(meta(1, 1, 500, 8), SimTime::new(1)); // reserved [1000,1500)
+        s.on_arrival(meta(2, 2, 100, 8), SimTime::new(2)); // reserved [1500,1600)
+        let d = s.on_completion(JobId(0), SimTime::new(100));
+        assert_eq!(d.starts, vec![JobId(2)]);
+        // Full re-anchoring: the long job's guarantee moves up to follow the
+        // short job, even though it cannot start yet.
+        assert_eq!(s.guarantee(JobId(1)), Some(SimTime::new(200)));
+    }
+
+    #[test]
+    fn compression_under_fcfs_keeps_arrival_order() {
+        let mut s = ConservativeScheduler::new(8, Policy::Fcfs);
+        s.on_arrival(meta(0, 0, 1000, 8), SimTime::ZERO);
+        s.on_arrival(meta(1, 1, 500, 8), SimTime::new(1));
+        s.on_arrival(meta(2, 2, 100, 8), SimTime::new(2));
+        let d = s.on_completion(JobId(0), SimTime::new(100));
+        assert_eq!(d.starts, vec![JobId(1)], "FCFS compresses the earlier arrival first");
+    }
+
+    #[test]
+    fn accurate_estimates_never_compress() {
+        // With exact completions there are no holes; guarantees are final.
+        let mut s = ConservativeScheduler::new(4, Policy::XFactor);
+        s.on_arrival(meta(0, 0, 100, 4), SimTime::ZERO);
+        s.on_arrival(meta(1, 0, 100, 4), SimTime::ZERO);
+        s.on_arrival(meta(2, 0, 100, 4), SimTime::ZERO);
+        assert_eq!(s.guarantee(JobId(1)), Some(SimTime::new(100)));
+        assert_eq!(s.guarantee(JobId(2)), Some(SimTime::new(200)));
+        let d = s.on_completion(JobId(0), SimTime::new(100));
+        assert_eq!(d.starts, vec![JobId(1)]);
+        assert_eq!(s.guarantee(JobId(2)), Some(SimTime::new(200)));
+    }
+
+    #[test]
+    fn queue_len_tracks_waiting_jobs() {
+        let mut s = ConservativeScheduler::new(4, Policy::Fcfs);
+        s.on_arrival(meta(0, 0, 100, 4), SimTime::ZERO);
+        assert_eq!(s.queue_len(), 0);
+        s.on_arrival(meta(1, 1, 100, 4), SimTime::new(1));
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn name_includes_policy() {
+        assert_eq!(ConservativeScheduler::new(4, Policy::Sjf).name(), "Conservative/SJF");
+    }
+}

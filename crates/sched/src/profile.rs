@@ -1,0 +1,457 @@
+//! The availability profile — the scheduler's "2D chart".
+//!
+//! The paper describes scheduling as a chart with time on one axis and
+//! processors on the other; each job or reservation is a rectangle.
+//! [`Profile`] is that chart's free-capacity silhouette: a stepwise
+//! function from time to the number of free processors, represented as a
+//! sorted list of segments. The final segment extends to infinity.
+//!
+//! Everything the backfilling schedulers do reduces to three operations:
+//!
+//! * [`Profile::find_anchor`] — the earliest instant at or after a given
+//!   time where a `width × duration` rectangle fits ("where can this job's
+//!   reservation go?");
+//! * [`Profile::reserve`] — carve the rectangle out;
+//! * [`Profile::release`] — put capacity back (cancelled reservation, or
+//!   the unused tail of an over-estimated job that finished early).
+//!
+//! Invariants (checked by `debug_assert` internally and by property tests):
+//! segments are strictly ordered in time, free counts stay within
+//! `[0, capacity]`, and adjacent segments always differ (coalesced).
+
+use simcore::{SimSpan, SimTime};
+
+/// One step of the free-capacity silhouette: `free` processors are
+/// available from `start` until the next segment's start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// When this level of availability begins.
+    pub start: SimTime,
+    /// Free processors over the segment.
+    pub free: u32,
+}
+
+/// The free-capacity timeline of a machine, including running jobs and any
+/// future reservations the scheduler maintains.
+///
+/// ```
+/// use sched::Profile;
+/// use simcore::{SimSpan, SimTime};
+///
+/// let mut p = Profile::new(8);
+/// // A 6-wide job runs for 100 s starting now.
+/// p.reserve(SimTime::ZERO, SimSpan::new(100), 6);
+/// // Earliest slot for an 8-wide, 50 s job: after the running job.
+/// assert_eq!(p.find_anchor(SimTime::ZERO, SimSpan::new(50), 8), SimTime::new(100));
+/// // A 2-wide job backfills immediately alongside it.
+/// assert_eq!(p.find_anchor(SimTime::ZERO, SimSpan::new(50), 2), SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    capacity: u32,
+    /// Sorted by `start`, strictly increasing, values coalesced.
+    /// Non-empty: the last segment extends to infinity.
+    segs: Vec<Segment>,
+}
+
+impl Profile {
+    /// A fully free machine with `capacity` processors. Panics if zero.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "profile needs positive capacity");
+        Profile { capacity, segs: vec![Segment { start: SimTime::ZERO, free: capacity }] }
+    }
+
+    /// The machine's total processor count.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// The underlying segments (for inspection and tests).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segs
+    }
+
+    /// Free processors at instant `t`.
+    pub fn free_at(&self, t: SimTime) -> u32 {
+        // Index of the last segment with start <= t.
+        let idx = self.segs.partition_point(|s| s.start <= t);
+        if idx == 0 {
+            // Before all segments: the profile began fully free.
+            self.capacity
+        } else {
+            self.segs[idx - 1].free
+        }
+    }
+
+    /// True if a `width × duration` rectangle fits with its left edge
+    /// exactly at `start`.
+    pub fn fits(&self, start: SimTime, duration: SimSpan, width: u32) -> bool {
+        self.find_anchor(start, duration, width) == start
+    }
+
+    /// The earliest instant `t >= earliest` where a `width × duration`
+    /// rectangle fits. Always terminates because the profile eventually
+    /// returns to an (infinitely long) final segment.
+    ///
+    /// Panics if `width > capacity` or the final segment has fewer than
+    /// `width` free processors (a rectangle that could never fit).
+    pub fn find_anchor(&self, earliest: SimTime, duration: SimSpan, width: u32) -> SimTime {
+        assert!(
+            width <= self.capacity,
+            "width {width} exceeds capacity {}",
+            self.capacity
+        );
+        let last_free = self.segs.last().expect("non-empty").free;
+        assert!(
+            width <= last_free,
+            "width {width} never fits: final free level is {last_free}"
+        );
+        if duration.is_zero() || width == 0 {
+            return earliest;
+        }
+
+        let mut anchor = earliest;
+        // The region before the first segment boundary is implicitly fully
+        // free (it only exists after trim_before); a rectangle fitting
+        // entirely inside it anchors immediately.
+        let first_start = self.segs[0].start;
+        if anchor < first_start && anchor + duration <= first_start {
+            return anchor;
+        }
+
+        // Scan from the segment containing (or first after) the anchor.
+        // Invariant on entry to each iteration: free >= width over
+        // [anchor, seg.start) — either empty, the implicit free region, or
+        // previously verified segments.
+        let mut idx = self.segs.partition_point(|s| s.start <= anchor).saturating_sub(1);
+        loop {
+            let seg = self.segs[idx];
+            let seg_end = if idx + 1 < self.segs.len() {
+                self.segs[idx + 1].start
+            } else {
+                // The final segment is infinite; asserted wide enough above.
+                if seg.free >= width {
+                    return anchor;
+                }
+                unreachable!("final segment narrower than asserted");
+            };
+            if seg.free >= width {
+                if seg_end >= anchor + duration {
+                    return anchor;
+                }
+            } else {
+                // Blocked: restart the anchor at the end of this segment.
+                anchor = seg_end;
+            }
+            idx += 1;
+        }
+    }
+
+    /// Index of the segment containing `t`, splitting a segment at `t` if
+    /// needed so a boundary exists exactly at `t`.
+    fn split_at(&mut self, t: SimTime) -> usize {
+        let idx = self.segs.partition_point(|s| s.start <= t);
+        if idx == 0 {
+            // t precedes the whole profile: prepend a fully-free segment.
+            self.segs.insert(0, Segment { start: t, free: self.capacity });
+            return 0;
+        }
+        let prev = self.segs[idx - 1];
+        if prev.start == t {
+            idx - 1
+        } else {
+            self.segs.insert(idx, Segment { start: t, free: prev.free });
+            idx
+        }
+    }
+
+    fn coalesce(&mut self) {
+        self.segs.dedup_by(|next, prev| next.free == prev.free);
+    }
+
+    /// Subtract `width` processors over `[start, start + duration)`.
+    ///
+    /// Panics if that would drive any segment negative — callers must place
+    /// rectangles with [`find_anchor`]/[`fits`] first (a violation is a
+    /// scheduler bug, not an operational condition).
+    ///
+    /// [`find_anchor`]: Profile::find_anchor
+    /// [`fits`]: Profile::fits
+    pub fn reserve(&mut self, start: SimTime, duration: SimSpan, width: u32) {
+        if duration.is_zero() || width == 0 {
+            return;
+        }
+        let end = start + duration;
+        let first = self.split_at(start);
+        let last = self.split_at(end); // boundary at end; affected segs are first..last
+        for seg in &mut self.segs[first..last] {
+            assert!(
+                seg.free >= width,
+                "reservation of {width} at {} underflows segment at {} (free {})",
+                start,
+                seg.start,
+                seg.free
+            );
+            seg.free -= width;
+        }
+        self.coalesce();
+        debug_assert!(self.invariants_ok());
+    }
+
+    /// Add `width` processors back over `[start, start + duration)` —
+    /// the inverse of [`reserve`](Profile::reserve).
+    ///
+    /// Panics if that would push any segment above capacity (releasing
+    /// something that was never reserved).
+    pub fn release(&mut self, start: SimTime, duration: SimSpan, width: u32) {
+        if duration.is_zero() || width == 0 {
+            return;
+        }
+        let end = start + duration;
+        let first = self.split_at(start);
+        let last = self.split_at(end);
+        for seg in &mut self.segs[first..last] {
+            assert!(
+                seg.free + width <= self.capacity,
+                "release of {width} at {} overflows segment at {} (free {}, capacity {})",
+                start,
+                seg.start,
+                seg.free,
+                self.capacity
+            );
+            seg.free += width;
+        }
+        self.coalesce();
+        debug_assert!(self.invariants_ok());
+    }
+
+    /// Drop segment boundaries strictly before `now` (they can never matter
+    /// again), keeping the level at `now` intact. Bounds memory on long runs.
+    pub fn trim_before(&mut self, now: SimTime) {
+        let idx = self.segs.partition_point(|s| s.start <= now);
+        if idx > 1 {
+            self.segs.drain(..idx - 1);
+        }
+        debug_assert!(self.invariants_ok());
+    }
+
+    /// Check structural invariants (used by tests; internal operations
+    /// `debug_assert` it).
+    pub fn invariants_ok(&self) -> bool {
+        if self.segs.is_empty() {
+            return false;
+        }
+        for w in self.segs.windows(2) {
+            if w[0].start >= w[1].start || w[0].free == w[1].free {
+                return false;
+            }
+        }
+        self.segs.iter().all(|s| s.free <= self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::new(s)
+    }
+    fn d(s: u64) -> SimSpan {
+        SimSpan::new(s)
+    }
+
+    #[test]
+    fn fresh_profile_is_fully_free() {
+        let p = Profile::new(16);
+        assert_eq!(p.free_at(t(0)), 16);
+        assert_eq!(p.free_at(t(1_000_000)), 16);
+        assert!(p.invariants_ok());
+        assert_eq!(p.segments().len(), 1);
+    }
+
+    #[test]
+    fn reserve_carves_a_rectangle() {
+        let mut p = Profile::new(10);
+        p.reserve(t(100), d(50), 4);
+        assert_eq!(p.free_at(t(99)), 10);
+        assert_eq!(p.free_at(t(100)), 6);
+        assert_eq!(p.free_at(t(149)), 6);
+        assert_eq!(p.free_at(t(150)), 10);
+        assert!(p.invariants_ok());
+    }
+
+    #[test]
+    fn overlapping_reservations_stack() {
+        let mut p = Profile::new(10);
+        p.reserve(t(0), d(100), 4);
+        p.reserve(t(50), d(100), 4);
+        assert_eq!(p.free_at(t(25)), 6);
+        assert_eq!(p.free_at(t(75)), 2);
+        assert_eq!(p.free_at(t(125)), 6);
+        assert_eq!(p.free_at(t(150)), 10);
+    }
+
+    #[test]
+    fn release_undoes_reserve() {
+        let mut p = Profile::new(8);
+        let snapshot = p.clone();
+        p.reserve(t(10), d(30), 5);
+        p.release(t(10), d(30), 5);
+        assert_eq!(p, snapshot);
+    }
+
+    #[test]
+    fn partial_release_models_early_completion() {
+        let mut p = Profile::new(8);
+        // Job estimated to run [0, 100) with 4 procs...
+        p.reserve(t(0), d(100), 4);
+        // ...actually completes at 60: give back [60, 100).
+        p.release(t(60), d(40), 4);
+        assert_eq!(p.free_at(t(59)), 4);
+        assert_eq!(p.free_at(t(60)), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflows")]
+    fn reserve_panics_on_overcommit() {
+        let mut p = Profile::new(4);
+        p.reserve(t(0), d(10), 3);
+        p.reserve(t(5), d(10), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn release_panics_on_phantom_capacity() {
+        let mut p = Profile::new(4);
+        p.release(t(0), d(10), 1);
+    }
+
+    #[test]
+    fn zero_duration_or_width_are_noops() {
+        let mut p = Profile::new(4);
+        let snapshot = p.clone();
+        p.reserve(t(5), d(0), 4);
+        p.reserve(t(5), d(10), 0);
+        p.release(t(5), d(0), 4);
+        assert_eq!(p, snapshot);
+    }
+
+    #[test]
+    fn find_anchor_on_empty_profile_is_immediate() {
+        let p = Profile::new(8);
+        assert_eq!(p.find_anchor(t(42), d(1000), 8), t(42));
+    }
+
+    #[test]
+    fn find_anchor_skips_blocked_interval() {
+        let mut p = Profile::new(8);
+        p.reserve(t(0), d(100), 6); // only 2 free until 100
+        assert_eq!(p.find_anchor(t(0), d(10), 2), t(0));
+        assert_eq!(p.find_anchor(t(0), d(10), 3), t(100));
+    }
+
+    #[test]
+    fn find_anchor_needs_contiguous_fit() {
+        let mut p = Profile::new(8);
+        // Free window [0, 50) of 8, then blocked [50, 100), then free.
+        p.reserve(t(50), d(50), 8);
+        // A 60-second job cannot use the [0, 50) hole.
+        assert_eq!(p.find_anchor(t(0), d(60), 1), t(100));
+        // A 50-second job fits exactly in the hole.
+        assert_eq!(p.find_anchor(t(0), d(50), 1), t(0));
+    }
+
+    #[test]
+    fn find_anchor_spans_multiple_segments() {
+        let mut p = Profile::new(8);
+        p.reserve(t(0), d(100), 2); // 6 free on [0, 100)
+        p.reserve(t(100), d(100), 4); // 4 free on [100, 200)
+        // Width 4 for 150 s fits at 0: covered by both segments.
+        assert_eq!(p.find_anchor(t(0), d(150), 4), t(0));
+        // Width 5 for 150 s: blocked on [100, 200), so anchor is 200.
+        assert_eq!(p.find_anchor(t(0), d(150), 5), t(200));
+    }
+
+    #[test]
+    fn find_anchor_respects_earliest_bound() {
+        let p = Profile::new(8);
+        assert_eq!(p.find_anchor(t(500), d(10), 1), t(500));
+    }
+
+    #[test]
+    fn find_anchor_mid_segment_start() {
+        let mut p = Profile::new(8);
+        p.reserve(t(0), d(100), 6);
+        // Asking from t=30 for width 2 (fits alongside): anchor 30.
+        assert_eq!(p.find_anchor(t(30), d(10), 2), t(30));
+        // Width 3 must wait for the reservation to end.
+        assert_eq!(p.find_anchor(t(30), d(10), 3), t(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn find_anchor_rejects_impossible_width() {
+        Profile::new(4).find_anchor(t(0), d(1), 5);
+    }
+
+    #[test]
+    fn fits_matches_find_anchor() {
+        let mut p = Profile::new(8);
+        p.reserve(t(10), d(80), 5);
+        for &(start, dur, width) in
+            &[(0u64, 10u64, 8u32), (0, 11, 4), (0, 11, 3), (10, 80, 3), (90, 5, 8), (5, 100, 3)]
+        {
+            let fits = p.fits(t(start), d(dur), width);
+            let anchor = p.find_anchor(t(start), d(dur), width);
+            assert_eq!(
+                fits,
+                anchor == t(start),
+                "fits({start},{dur},{width}) = {fits} but anchor = {anchor}"
+            );
+        }
+    }
+
+    #[test]
+    fn coalescing_keeps_profile_minimal() {
+        let mut p = Profile::new(8);
+        p.reserve(t(0), d(100), 4);
+        p.reserve(t(100), d(100), 4);
+        // Same level on both sides of t=100: must be one segment.
+        assert_eq!(p.free_at(t(50)), 4);
+        assert_eq!(p.free_at(t(150)), 4);
+        assert_eq!(
+            p.segments().iter().filter(|s| s.free == 4).count(),
+            1,
+            "adjacent equal segments not coalesced: {:?}",
+            p.segments()
+        );
+    }
+
+    #[test]
+    fn trim_before_preserves_future_shape() {
+        let mut p = Profile::new(8);
+        p.reserve(t(0), d(10), 1);
+        p.reserve(t(20), d(10), 2);
+        p.reserve(t(40), d(10), 3);
+        let f50 = p.free_at(t(50));
+        let f45 = p.free_at(t(45));
+        p.trim_before(t(45));
+        assert_eq!(p.free_at(t(45)), f45);
+        assert_eq!(p.free_at(t(50)), f50);
+        assert!(p.invariants_ok());
+        assert!(p.segments().len() <= 3);
+    }
+
+    #[test]
+    fn reserve_before_profile_origin_works() {
+        // Anchoring earlier than any existing boundary (possible after
+        // trim) must still work.
+        let mut p = Profile::new(8);
+        p.reserve(t(100), d(10), 2);
+        p.trim_before(t(100));
+        p.reserve(t(50), d(10), 3);
+        assert_eq!(p.free_at(t(55)), 5);
+        assert!(p.invariants_ok());
+    }
+}

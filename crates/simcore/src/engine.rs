@@ -1,0 +1,190 @@
+//! A minimal, deterministic discrete-event simulation engine.
+//!
+//! The engine owns the clock and the pending-event set; domain logic lives in
+//! an [`Actor`] that receives each event together with a scheduling context.
+//! Determinism guarantees:
+//!
+//! * the clock never moves backwards;
+//! * simultaneous events fire in `(class, insertion order)` — a total order;
+//! * the engine itself holds no hidden randomness.
+
+use crate::event::{EventClass, EventQueue};
+use crate::time::SimTime;
+
+/// Handle through which an [`Actor`] schedules future events while one is
+/// being processed.
+pub struct Ctx<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Ctx<'_, E> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at` (must be `>= now`).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.queue.push(at, event);
+    }
+
+    /// Schedule `event` at `at` with an explicit simultaneity class.
+    pub fn schedule_classed(&mut self, at: SimTime, class: EventClass, event: E) {
+        self.queue.push_classed(at, class, event);
+    }
+}
+
+/// Domain logic plugged into the engine.
+pub trait Actor<E> {
+    /// Handle one event. New events may be scheduled through `ctx`.
+    fn handle(&mut self, event: E, ctx: &mut Ctx<'_, E>);
+}
+
+/// The discrete-event engine.
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Create an engine with an empty event set at `t = 0`.
+    pub fn new() -> Self {
+        Engine { queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+    }
+
+    /// Current simulated time (time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Seed an initial event before running.
+    pub fn prime(&mut self, at: SimTime, event: E) {
+        self.queue.push(at, event);
+    }
+
+    /// Seed an initial event with an explicit class.
+    pub fn prime_classed(&mut self, at: SimTime, class: EventClass, event: E) {
+        self.queue.push_classed(at, class, event);
+    }
+
+    /// Process a single event, if any. Returns `false` when the event set is
+    /// exhausted.
+    pub fn step(&mut self, actor: &mut impl Actor<E>) -> bool {
+        let Some((time, event)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = time;
+        self.processed += 1;
+        let mut ctx = Ctx { queue: &mut self.queue, now: time };
+        actor.handle(event, &mut ctx);
+        true
+    }
+
+    /// Run until no events remain.
+    pub fn run(&mut self, actor: &mut impl Actor<E>) {
+        while self.step(actor) {}
+    }
+
+    /// Run until no events remain or `limit` events have been processed
+    /// (a runaway guard for schedulers that might self-schedule forever).
+    /// Returns `true` if the event set drained before the limit.
+    pub fn run_bounded(&mut self, actor: &mut impl Actor<E>, limit: u64) -> bool {
+        let start = self.processed;
+        while self.processed - start < limit {
+            if !self.step(actor) {
+                return true;
+            }
+        }
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An actor that records event order and spawns follow-ups.
+    struct Recorder {
+        seen: Vec<(u64, &'static str)>,
+    }
+
+    impl Actor<&'static str> for Recorder {
+        fn handle(&mut self, event: &'static str, ctx: &mut Ctx<'_, &'static str>) {
+            self.seen.push((ctx.now().as_secs(), event));
+            if event == "spawn" {
+                ctx.schedule(ctx.now() + crate::time::SimSpan::new(5), "child");
+            }
+        }
+    }
+
+    #[test]
+    fn runs_events_in_order_and_children_fire() {
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(10), "spawn");
+        engine.prime(SimTime::new(1), "first");
+        let mut actor = Recorder { seen: vec![] };
+        engine.run(&mut actor);
+        assert_eq!(actor.seen, vec![(1, "first"), (10, "spawn"), (15, "child")]);
+        assert_eq!(engine.processed(), 3);
+        assert_eq!(engine.now(), SimTime::new(15));
+    }
+
+    #[test]
+    fn step_returns_false_when_drained() {
+        let mut engine: Engine<&str> = Engine::new();
+        let mut actor = Recorder { seen: vec![] };
+        assert!(!engine.step(&mut actor));
+    }
+
+    #[test]
+    fn run_bounded_stops_runaways() {
+        struct Forever;
+        impl Actor<()> for Forever {
+            fn handle(&mut self, _: (), ctx: &mut Ctx<'_, ()>) {
+                ctx.schedule(ctx.now() + crate::time::SimSpan::SECOND, ());
+            }
+        }
+        let mut engine = Engine::new();
+        engine.prime(SimTime::ZERO, ());
+        assert!(!engine.run_bounded(&mut Forever, 1000));
+        assert_eq!(engine.processed(), 1000);
+    }
+
+    #[test]
+    fn zero_delay_self_schedule_is_legal() {
+        struct Once(bool);
+        impl Actor<u32> for Once {
+            fn handle(&mut self, ev: u32, ctx: &mut Ctx<'_, u32>) {
+                if ev == 0 && !self.0 {
+                    self.0 = true;
+                    ctx.schedule(ctx.now(), 1);
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(3), 0);
+        let mut a = Once(false);
+        engine.run(&mut a);
+        assert_eq!(engine.processed(), 2);
+        assert_eq!(engine.now(), SimTime::new(3));
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for the simulation substrate.
+
+use std::fmt;
+
+/// Errors surfaced by the substrate. Most indicate scheduler bugs (the
+/// simulator is deterministic, so none of these are "operational" errors),
+/// which is why the driver treats them as fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A job asked for more processors than are currently free.
+    OverSubscribed {
+        /// The offending job.
+        job: u32,
+        /// Processors requested.
+        requested: u32,
+        /// Processors actually free.
+        free: u32,
+    },
+    /// A job asked for zero processors.
+    ZeroWidthAllocation {
+        /// The offending job.
+        job: u32,
+    },
+    /// A job was allocated twice without an intervening release.
+    DoubleAllocation {
+        /// The offending job.
+        job: u32,
+    },
+    /// A job released processors it never held.
+    ReleaseWithoutAllocation {
+        /// The offending job.
+        job: u32,
+    },
+    /// A job requests more processors than the machine has in total, so it
+    /// can never be scheduled.
+    JobWiderThanMachine {
+        /// The offending job.
+        job: u32,
+        /// Processors requested.
+        width: u32,
+        /// Machine size.
+        machine: u32,
+    },
+    /// A schedule audit found a constraint violation.
+    AuditFailure(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OverSubscribed { job, requested, free } => write!(
+                f,
+                "job#{job} requested {requested} processors but only {free} are free"
+            ),
+            SimError::ZeroWidthAllocation { job } => {
+                write!(f, "job#{job} requested zero processors")
+            }
+            SimError::DoubleAllocation { job } => {
+                write!(f, "job#{job} allocated twice without release")
+            }
+            SimError::ReleaseWithoutAllocation { job } => {
+                write!(f, "job#{job} released processors it never held")
+            }
+            SimError::JobWiderThanMachine { job, width, machine } => write!(
+                f,
+                "job#{job} requests {width} processors but the machine only has {machine}"
+            ),
+            SimError::AuditFailure(msg) => write!(f, "schedule audit failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::OverSubscribed { job: 3, requested: 8, free: 2 };
+        assert!(e.to_string().contains("job#3"));
+        assert!(e.to_string().contains("8"));
+        assert!(e.to_string().contains("2"));
+        let e = SimError::JobWiderThanMachine { job: 1, width: 600, machine: 430 };
+        assert!(e.to_string().contains("600"));
+        let e = SimError::AuditFailure("cap".into());
+        assert!(e.to_string().contains("cap"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(SimError::ZeroWidthAllocation { job: 0 });
+    }
+}

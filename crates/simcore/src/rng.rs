@@ -1,0 +1,332 @@
+//! Deterministic pseudo-random number generation for the simulator.
+//!
+//! The substrate carries its own small RNG rather than depending on the
+//! `rand` crate so that simulated traces are **bit-reproducible forever**:
+//! a trace generated with seed 42 today must be identical after any
+//! dependency upgrade. Two generators are provided:
+//!
+//! * [`SplitMix64`] — the seeding/stream-splitting generator. Fast, passes
+//!   BigCrush, and has the useful property that any seed (including 0) gives
+//!   a good stream.
+//! * [`Xoshiro256pp`] — xoshiro256++ 1.0, the main workhorse. Seeded from
+//!   SplitMix64 per the authors' recommendation.
+//!
+//! [`SimRng`] wraps xoshiro and layers the sampling helpers the workload
+//! models need (floats, bounded ints, Bernoulli, shuffles) plus `split()`,
+//! which derives an independent child stream — used so that, e.g., the
+//! arrival process and the runtime sampler of a workload model consume
+//! separate streams and adding a job field never perturbs arrivals.
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Used for seeding and stream splits.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a new generator from a seed. All seeds are valid.
+    #[inline]
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna 2019).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seed via SplitMix64 expansion, per the xoshiro authors' guidance.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        // SplitMix64 output is equidistributed, so the all-zero state
+        // (the one invalid xoshiro state) occurs with probability 2^-256.
+        // Guard anyway: determinism bugs from "impossible" states are the
+        // worst kind.
+        loop {
+            let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+            if s.iter().any(|&w| w != 0) {
+                return Xoshiro256pp { s };
+            }
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The simulator's RNG: deterministic, splittable, with sampling helpers.
+///
+/// ```
+/// use simcore::SimRng;
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // bit-reproducible
+/// let die = a.range_inclusive(1, 6);
+/// assert!((1..=6).contains(&die));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    core: Xoshiro256pp,
+    /// Mixer used to derive child streams; advanced on every `split`.
+    splitter: SplitMix64,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            core: Xoshiro256pp::seed_from_u64(seed),
+            // Decorrelate the split stream from the value stream.
+            splitter: SplitMix64::new(seed ^ 0xA5A5_A5A5_5A5A_5A5A),
+        }
+    }
+
+    /// Derive an independent child generator. Successive splits from the
+    /// same parent yield distinct, decorrelated streams, and splitting does
+    /// not consume from the parent's *value* stream.
+    pub fn split(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.splitter.next_u64())
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.core.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // Take the top 53 bits; multiply by 2^-53.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the open interval `(0, 1)` — never exactly zero,
+    /// safe as input to `ln()`.
+    #[inline]
+    pub fn f64_open(&mut self) -> f64 {
+        loop {
+            let x = self.f64();
+            if x > 0.0 {
+                return x;
+            }
+        }
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's unbiased method.
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`. Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive: lo={lo} > hi={hi}");
+        let width = hi - lo;
+        if width == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(width + 1)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element reference. Panics on empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose on empty slice");
+        &slice[self.below(slice.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for SplitMix64 with seed 1234567
+        // (from the public-domain reference implementation).
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256pp::seed_from_u64(7);
+        let mut b = Xoshiro256pp::seed_from_u64(7);
+        let mut c = Xoshiro256pp::seed_from_u64(8);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x), "f64 out of range: {x}");
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn f64_open_never_zero() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(rng.f64_open() > 0.0);
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[rng.below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            // Expect 10k each; 4-sigma band is about +-400.
+            assert!((9_500..10_500).contains(&c), "bucket count {c} suspicious");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn below_zero_panics() {
+        SimRng::seed_from_u64(0).below(0);
+    }
+
+    #[test]
+    fn range_inclusive_covers_endpoints() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1_000 {
+            match rng.range_inclusive(3, 6) {
+                3 => saw_lo = true,
+                6 => saw_hi = true,
+                4 | 5 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn range_inclusive_full_domain_does_not_panic() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let _ = rng.range_inclusive(0, u64::MAX);
+    }
+
+    #[test]
+    fn split_streams_are_decorrelated() {
+        let mut parent = SimRng::seed_from_u64(9);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn split_does_not_consume_value_stream() {
+        let mut x = SimRng::seed_from_u64(10);
+        let mut y = SimRng::seed_from_u64(10);
+        let _ = x.split();
+        assert_eq!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(11);
+        for _ in 0..100 {
+            assert!(!rng.chance(0.0));
+            assert!(rng.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from_u64(12);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input untouched");
+    }
+
+    #[test]
+    fn choose_picks_all_elements_eventually() {
+        let mut rng = SimRng::seed_from_u64(13);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*rng.choose(&items) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -1,0 +1,307 @@
+//! Simulation time newtypes.
+//!
+//! All simulation time is measured in integral **seconds** since the start of
+//! the simulated epoch. Using integers (rather than `f64`) keeps the
+//! simulation bit-for-bit deterministic across platforms and makes event
+//! ordering a total order with no epsilon headaches.
+//!
+//! Two distinct types are provided so the compiler rejects category errors:
+//!
+//! * [`SimTime`] — an absolute instant ("when").
+//! * [`SimSpan`] — a non-negative duration ("how long").
+//!
+//! `SimTime + SimSpan = SimTime`, `SimTime - SimTime = SimSpan` (saturating),
+//! and spans add together. Arithmetic that could overflow saturates: a
+//! scheduler that anchors a reservation at `SimTime::FAR_FUTURE` must not wrap
+//! around to zero and corrupt the schedule.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute simulated instant, in seconds since the simulated epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A non-negative span of simulated time, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimSpan(u64);
+
+impl SimTime {
+    /// The simulated epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// A sentinel far enough in the future that no real event reaches it
+    /// (about 292 billion years), yet far from `u64::MAX` so that adding a
+    /// realistic span to it cannot overflow before saturation kicks in.
+    pub const FAR_FUTURE: SimTime = SimTime(u64::MAX / 2);
+
+    /// Construct from raw seconds.
+    #[inline]
+    pub const fn new(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// The raw seconds-since-epoch value.
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed span since `earlier`, saturating to zero if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimSpan {
+        SimSpan(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimSpan {
+    /// The zero-length span.
+    pub const ZERO: SimSpan = SimSpan(0);
+    /// One second.
+    pub const SECOND: SimSpan = SimSpan(1);
+    /// One minute.
+    pub const MINUTE: SimSpan = SimSpan(60);
+    /// One hour.
+    pub const HOUR: SimSpan = SimSpan(3600);
+    /// One day.
+    pub const DAY: SimSpan = SimSpan(86_400);
+
+    /// Construct from raw seconds.
+    #[inline]
+    pub const fn new(secs: u64) -> Self {
+        SimSpan(secs)
+    }
+
+    /// Construct from whole hours.
+    #[inline]
+    pub const fn from_hours(hours: u64) -> Self {
+        SimSpan(hours * 3600)
+    }
+
+    /// Construct from whole minutes.
+    #[inline]
+    pub const fn from_mins(mins: u64) -> Self {
+        SimSpan(mins * 60)
+    }
+
+    /// The raw length in seconds.
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The length in (lossy) floating-point seconds, for metric computation.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// True if this span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scale the span by a non-negative factor, rounding to nearest second
+    /// and saturating on overflow. Panics if `factor` is negative or NaN.
+    #[must_use]
+    pub fn scale(self, factor: f64) -> SimSpan {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "span scale factor must be finite and non-negative, got {factor}"
+        );
+        let scaled = (self.0 as f64 * factor).round();
+        if scaled >= u64::MAX as f64 {
+            SimSpan(u64::MAX)
+        } else {
+            SimSpan(scaled as u64)
+        }
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, other: SimSpan) -> SimSpan {
+        SimSpan(self.0.max(other.0))
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, other: SimSpan) -> SimSpan {
+        SimSpan(self.0.min(other.0))
+    }
+}
+
+impl Add<SimSpan> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimSpan) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimSpan> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimSpan;
+    /// Saturating difference: `a - b` is zero when `b > a`.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimSpan {
+        SimSpan(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimSpan {
+    type Output = SimSpan;
+    #[inline]
+    fn add(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimSpan {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimSpan {
+    type Output = SimSpan;
+    #[inline]
+    fn sub(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}s", self.0)
+    }
+}
+
+impl fmt::Display for SimSpan {
+    /// Human-readable `1d 2h 3m 4s` rendering (largest nonzero units only).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut rem = self.0;
+        let days = rem / 86_400;
+        rem %= 86_400;
+        let hours = rem / 3600;
+        rem %= 3600;
+        let mins = rem / 60;
+        let secs = rem % 60;
+        let mut wrote = false;
+        if days > 0 {
+            write!(f, "{days}d")?;
+            wrote = true;
+        }
+        if hours > 0 {
+            write!(f, "{}{hours}h", if wrote { " " } else { "" })?;
+            wrote = true;
+        }
+        if mins > 0 {
+            write!(f, "{}{mins}m", if wrote { " " } else { "" })?;
+            wrote = true;
+        }
+        if secs > 0 || !wrote {
+            write!(f, "{}{secs}s", if wrote { " " } else { "" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_plus_span() {
+        assert_eq!(SimTime::new(10) + SimSpan::new(5), SimTime::new(15));
+    }
+
+    #[test]
+    fn time_minus_time_saturates() {
+        assert_eq!(SimTime::new(10) - SimTime::new(3), SimSpan::new(7));
+        assert_eq!(SimTime::new(3) - SimTime::new(10), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn since_is_saturating_difference() {
+        assert_eq!(SimTime::new(20).since(SimTime::new(5)), SimSpan::new(15));
+        assert_eq!(SimTime::new(5).since(SimTime::new(20)), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn far_future_does_not_wrap() {
+        let t = SimTime::FAR_FUTURE + SimSpan::new(u64::MAX);
+        assert!(t >= SimTime::FAR_FUTURE);
+    }
+
+    #[test]
+    fn span_constructors() {
+        assert_eq!(SimSpan::from_hours(2).as_secs(), 7200);
+        assert_eq!(SimSpan::from_mins(3).as_secs(), 180);
+        assert_eq!(SimSpan::HOUR.as_secs(), 3600);
+        assert_eq!(SimSpan::DAY.as_secs(), 86_400);
+    }
+
+    #[test]
+    fn span_scale_rounds_and_saturates() {
+        assert_eq!(SimSpan::new(10).scale(1.5), SimSpan::new(15));
+        assert_eq!(SimSpan::new(10).scale(0.0), SimSpan::ZERO);
+        assert_eq!(SimSpan::new(3).scale(0.5), SimSpan::new(2)); // 1.5 rounds to 2
+        assert_eq!(SimSpan::new(u64::MAX).scale(2.0), SimSpan::new(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn span_scale_rejects_negative() {
+        let _ = SimSpan::new(1).scale(-1.0);
+    }
+
+    #[test]
+    fn span_arithmetic_saturates() {
+        assert_eq!(SimSpan::new(u64::MAX) + SimSpan::new(1), SimSpan::new(u64::MAX));
+        assert_eq!(SimSpan::new(1) - SimSpan::new(2), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimSpan::new(0).to_string(), "0s");
+        assert_eq!(SimSpan::new(61).to_string(), "1m 1s");
+        assert_eq!(SimSpan::new(86_400 + 3600 + 60 + 1).to_string(), "1d 1h 1m 1s");
+        assert_eq!(SimSpan::new(7200).to_string(), "2h");
+        assert_eq!(SimTime::new(42).to_string(), "t+42s");
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(SimTime::new(3).max(SimTime::new(5)), SimTime::new(5));
+        assert_eq!(SimTime::new(3).min(SimTime::new(5)), SimTime::new(3));
+        assert_eq!(SimSpan::new(3).max(SimSpan::new(5)), SimSpan::new(5));
+        assert_eq!(SimSpan::new(3).min(SimSpan::new(5)), SimSpan::new(3));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![SimTime::new(5), SimTime::new(1), SimTime::new(3)];
+        v.sort();
+        assert_eq!(v, vec![SimTime::new(1), SimTime::new(3), SimTime::new(5)]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Job categorization — the paper's analytical lens.
+//!
+//! Table 1 of the paper splits jobs two ways:
+//! * **length**: Short (runtime ≤ 1 h) vs Long (> 1 h);
+//! * **width**: Narrow (≤ 8 processors) vs Wide (> 8);
+//!
+//! giving the four categories SN, SW, LN, LW. Section 5 adds a second,
+//! orthogonal split by estimate quality: **well estimated**
+//! (estimate ≤ 2 × runtime) vs **poorly estimated** (estimate > 2 × runtime).
+
+use crate::job::Job;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use simcore::SimSpan;
+
+/// The Short/Long × Narrow/Wide category of a job (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Short (≤ 1 h) and Narrow (≤ 8 processors).
+    SN,
+    /// Short and Wide (> 8 processors).
+    SW,
+    /// Long (> 1 h) and Narrow.
+    LN,
+    /// Long and Wide.
+    LW,
+}
+
+impl Category {
+    /// All categories, in the paper's presentation order.
+    pub const ALL: [Category; 4] = [Category::SN, Category::SW, Category::LN, Category::LW];
+
+    /// Short name as printed in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::SN => "SN",
+            Category::SW => "SW",
+            Category::LN => "LN",
+            Category::LW => "LW",
+        }
+    }
+
+    /// True for the Short categories.
+    pub fn is_short(self) -> bool {
+        matches!(self, Category::SN | Category::SW)
+    }
+
+    /// True for the Narrow categories.
+    pub fn is_narrow(self) -> bool {
+        matches!(self, Category::SN | Category::LN)
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The categorization thresholds. Defaults follow paper Table 1
+/// (1 hour, 8 processors); configurable for sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CategoryCriteria {
+    /// Jobs with runtime `<= short_max` are Short.
+    pub short_max: SimSpan,
+    /// Jobs with width `<= narrow_max` are Narrow.
+    pub narrow_max: u32,
+}
+
+impl Default for CategoryCriteria {
+    fn default() -> Self {
+        CategoryCriteria { short_max: SimSpan::HOUR, narrow_max: 8 }
+    }
+}
+
+impl CategoryCriteria {
+    /// Categorize a job by its **actual runtime** and width.
+    ///
+    /// The paper categorizes on real behaviour (a job is "short" because it
+    /// ran short), not on the user's claim; estimate quality is the separate
+    /// [`EstimateQuality`] axis.
+    pub fn categorize(&self, job: &Job) -> Category {
+        match (job.runtime <= self.short_max, job.width <= self.narrow_max) {
+            (true, true) => Category::SN,
+            (true, false) => Category::SW,
+            (false, true) => Category::LN,
+            (false, false) => Category::LW,
+        }
+    }
+
+    /// Fraction of jobs in each category, in [`Category::ALL`] order.
+    /// Returns zeros for an empty trace.
+    pub fn distribution(&self, trace: &Trace) -> [f64; 4] {
+        let mut counts = [0usize; 4];
+        for job in trace.jobs() {
+            counts[self.categorize(job) as usize] += 1;
+        }
+        let n = trace.len().max(1) as f64;
+        counts.map(|c| c as f64 / n)
+    }
+}
+
+/// Estimate-quality classes from Section 5 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EstimateQuality {
+    /// `estimate ≤ 2 × runtime`.
+    Well,
+    /// `estimate > 2 × runtime`.
+    Poor,
+}
+
+impl EstimateQuality {
+    /// Classify a job. The boundary (exactly 2×) counts as well estimated,
+    /// per the paper's "less than or equal to twice" wording.
+    pub fn of(job: &Job) -> EstimateQuality {
+        if job.estimate.as_secs() <= 2 * job.runtime.as_secs() {
+            EstimateQuality::Well
+        } else {
+            EstimateQuality::Poor
+        }
+    }
+
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EstimateQuality::Well => "well",
+            EstimateQuality::Poor => "poor",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{JobId, SimTime};
+
+    fn job(runtime: u64, estimate: u64, width: u32) -> Job {
+        Job {
+            id: JobId(0),
+            arrival: SimTime::ZERO,
+            runtime: SimSpan::new(runtime),
+            estimate: SimSpan::new(estimate),
+            width,
+        }
+    }
+
+    #[test]
+    fn four_quadrants() {
+        let c = CategoryCriteria::default();
+        assert_eq!(c.categorize(&job(100, 100, 2)), Category::SN);
+        assert_eq!(c.categorize(&job(100, 100, 64)), Category::SW);
+        assert_eq!(c.categorize(&job(7200, 7200, 2)), Category::LN);
+        assert_eq!(c.categorize(&job(7200, 7200, 64)), Category::LW);
+    }
+
+    #[test]
+    fn boundaries_are_inclusive_short_and_narrow() {
+        let c = CategoryCriteria::default();
+        // Exactly 1 hour is Short; exactly 8 processors is Narrow.
+        assert_eq!(c.categorize(&job(3600, 3600, 8)), Category::SN);
+        assert_eq!(c.categorize(&job(3601, 3601, 9)), Category::LW);
+    }
+
+    #[test]
+    fn categorize_ignores_estimate() {
+        let c = CategoryCriteria::default();
+        // Estimated long but actually short: Short by runtime.
+        assert_eq!(c.categorize(&job(100, 86_400, 2)), Category::SN);
+    }
+
+    #[test]
+    fn labels_and_predicates() {
+        assert_eq!(Category::SN.label(), "SN");
+        assert_eq!(Category::LW.to_string(), "LW");
+        assert!(Category::SW.is_short() && !Category::SW.is_narrow());
+        assert!(Category::LN.is_narrow() && !Category::LN.is_short());
+        assert_eq!(Category::ALL.len(), 4);
+    }
+
+    #[test]
+    fn custom_criteria() {
+        let c = CategoryCriteria { short_max: SimSpan::new(100), narrow_max: 4 };
+        assert_eq!(c.categorize(&job(150, 150, 4)), Category::LN);
+        assert_eq!(c.categorize(&job(50, 50, 5)), Category::SW);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let jobs =
+            vec![job(10, 10, 1), job(10, 10, 16), job(7000, 7000, 1), job(7000, 7000, 16)];
+        let t = Trace::new("t", 32, jobs).unwrap();
+        let d = CategoryCriteria::default().distribution(&t);
+        assert_eq!(d, [0.25, 0.25, 0.25, 0.25]);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_of_empty_trace_is_zeros() {
+        let t = Trace::new("t", 8, vec![]).unwrap();
+        assert_eq!(CategoryCriteria::default().distribution(&t), [0.0; 4]);
+    }
+
+    #[test]
+    fn estimate_quality_boundary() {
+        assert_eq!(EstimateQuality::of(&job(100, 200, 1)), EstimateQuality::Well);
+        assert_eq!(EstimateQuality::of(&job(100, 201, 1)), EstimateQuality::Poor);
+        assert_eq!(EstimateQuality::of(&job(100, 100, 1)), EstimateQuality::Well);
+        assert_eq!(EstimateQuality::Well.label(), "well");
+        assert_eq!(EstimateQuality::Poor.label(), "poor");
+    }
+}

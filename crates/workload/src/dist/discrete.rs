@@ -1,0 +1,177 @@
+//! Discrete distributions: weighted categorical (Walker alias method) and
+//! empirical resampling.
+
+use super::Sample;
+use simcore::SimRng;
+
+/// A weighted categorical distribution over `{0, …, n-1}` using Walker's
+/// alias method: O(n) setup, O(1) per draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl Categorical {
+    /// Create from non-negative weights (at least one must be positive).
+    /// Weights need not be normalized.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "categorical needs at least one weight");
+        let total: f64 = weights.iter().copied().sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "categorical weights must be finite with positive sum, got {total}"
+        );
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "negative or non-finite weight {w}");
+        }
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = (0..n).filter(|&i| prob[i] < 1.0).collect();
+        let mut large: Vec<usize> = (0..n).filter(|&i| prob[i] >= 1.0).collect();
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Categorical { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when there are no categories (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw a category index.
+    pub fn sample_index(&self, rng: &mut SimRng) -> usize {
+        let i = rng.below(self.prob.len() as u64) as usize;
+        if rng.f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+impl Sample for Categorical {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.sample_index(rng) as f64
+    }
+}
+
+/// Resamples uniformly from a fixed set of observed values — the
+/// nonparametric bootstrap used to mimic a real trace's marginal exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    values: Vec<f64>,
+}
+
+impl Empirical {
+    /// Create from observed values (must be non-empty and finite).
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "empirical distribution needs observations");
+        assert!(values.iter().all(|v| v.is_finite()), "non-finite observation");
+        Empirical { values }
+    }
+}
+
+impl Sample for Empirical {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        *rng.choose(&self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_method_matches_weights() {
+        let d = Categorical::new(&[1.0, 2.0, 3.0, 4.0]);
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut counts = [0u32; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[d.sample_index(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = (i + 1) as f64 / 10.0;
+            let got = c as f64 / n as f64;
+            assert!((got - expected).abs() < 0.005, "cat {i}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_drawn() {
+        let d = Categorical::new(&[0.0, 1.0, 0.0]);
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert_eq!(d.sample_index(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn unnormalized_weights_are_fine() {
+        let a = Categorical::new(&[2.0, 6.0]);
+        let mut rng = SimRng::seed_from_u64(3);
+        let ones = (0..100_000).filter(|_| a.sample_index(&mut rng) == 1).count();
+        assert!((ones as f64 / 100_000.0 - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_category() {
+        let d = Categorical::new(&[42.0]);
+        let mut rng = SimRng::seed_from_u64(4);
+        assert_eq!(d.sample_index(&mut rng), 0);
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn rejects_all_zero_weights() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative or non-finite")]
+    fn rejects_negative_weight() {
+        Categorical::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn empirical_resamples_only_observations() {
+        let d = Empirical::new(vec![1.5, 2.5, 3.5]);
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut seen = [false; 3];
+        for _ in 0..1_000 {
+            match d.sample(&mut rng) {
+                x if x == 1.5 => seen[0] = true,
+                x if x == 2.5 => seen[1] = true,
+                x if x == 3.5 => seen[2] = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs observations")]
+    fn empirical_rejects_empty() {
+        Empirical::new(vec![]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Exponential and hyper-exponential distributions.
+//!
+//! The exponential models memoryless arrival gaps; the hyper-exponential
+//! (a probabilistic mixture of exponentials) is the classic model for
+//! high-variance job runtimes in batch workloads — most jobs are short, a
+//! heavy minority are very long.
+
+use super::Sample;
+use simcore::SimRng;
+
+/// Exponential with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Create from rate `λ > 0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "exponential rate must be positive, got {rate}");
+        Exponential { rate }
+    }
+
+    /// Create from the mean `1/λ`.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive, got {mean}");
+        Exponential { rate: 1.0 / mean }
+    }
+
+    /// Theoretical mean.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        -rng.f64_open().ln() / self.rate
+    }
+}
+
+/// A k-phase hyper-exponential: with probability `pᵢ`, draw Exp(λᵢ).
+///
+/// Squared coefficient of variation exceeds 1 whenever the phase means
+/// differ, which is what makes it fit batch-job runtimes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperExponential {
+    /// Cumulative phase-selection probabilities (last is 1.0).
+    cumulative: Vec<f64>,
+    phases: Vec<Exponential>,
+}
+
+impl HyperExponential {
+    /// Create from `(probability, mean)` pairs. Probabilities must be
+    /// positive and sum to 1 (±1e-9).
+    pub fn new(phases: &[(f64, f64)]) -> Self {
+        assert!(!phases.is_empty(), "hyper-exponential needs at least one phase");
+        let total: f64 = phases.iter().map(|&(p, _)| p).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "phase probabilities must sum to 1, got {total}"
+        );
+        let mut cumulative = Vec::with_capacity(phases.len());
+        let mut acc = 0.0;
+        for &(p, _mean) in phases {
+            assert!(p > 0.0, "phase probability must be positive, got {p}");
+            acc += p;
+            cumulative.push(acc);
+        }
+        *cumulative.last_mut().expect("non-empty") = 1.0; // kill rounding residue
+        let phases = phases.iter().map(|&(_, mean)| Exponential::with_mean(mean)).collect();
+        HyperExponential { cumulative, phases }
+    }
+
+    /// Theoretical mean `Σ pᵢ/λᵢ`.
+    pub fn mean(&self) -> f64 {
+        let mut prev = 0.0;
+        let mut m = 0.0;
+        for (c, ph) in self.cumulative.iter().zip(&self.phases) {
+            m += (c - prev) * ph.mean();
+            prev = *c;
+        }
+        m
+    }
+}
+
+impl Sample for HyperExponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = rng.f64();
+        let idx = self
+            .cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.phases.len() - 1);
+        self.phases[idx].sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{ecdf, moments};
+    use super::*;
+
+    #[test]
+    fn exponential_mean_matches_theory() {
+        let d = Exponential::with_mean(42.0);
+        let (mean, var) = moments(&d, 1, 200_000);
+        assert!((mean - 42.0).abs() / 42.0 < 0.02, "mean {mean}");
+        // Var = mean^2
+        assert!((var - 42.0 * 42.0).abs() / (42.0 * 42.0) < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_cdf_at_mean() {
+        // P(X <= mean) = 1 - e^-1 ≈ 0.6321.
+        let d = Exponential::with_mean(10.0);
+        let p = ecdf(&d, 2, 100_000, 10.0);
+        assert!((p - 0.6321).abs() < 0.01, "cdf {p}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let d = Exponential::new(0.001);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn rate_and_mean_constructors_agree() {
+        assert_eq!(Exponential::new(0.5).mean(), Exponential::with_mean(2.0).mean());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_rate() {
+        Exponential::new(0.0);
+    }
+
+    #[test]
+    fn hyperexp_mean_matches_theory() {
+        let d = HyperExponential::new(&[(0.7, 10.0), (0.3, 1000.0)]);
+        let expected = 0.7 * 10.0 + 0.3 * 1000.0;
+        assert!((d.mean() - expected).abs() < 1e-9);
+        let (mean, _) = moments(&d, 4, 400_000);
+        assert!((mean - expected).abs() / expected < 0.03, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn hyperexp_has_high_variance() {
+        // CV^2 > 1 distinguishes it from a plain exponential.
+        let d = HyperExponential::new(&[(0.9, 10.0), (0.1, 1000.0)]);
+        let (mean, var) = moments(&d, 5, 400_000);
+        let cv2 = var / (mean * mean);
+        assert!(cv2 > 2.0, "cv^2 {cv2} not heavy-tailed");
+    }
+
+    #[test]
+    fn hyperexp_single_phase_degenerates_to_exponential() {
+        let h = HyperExponential::new(&[(1.0, 25.0)]);
+        let (mean, _) = moments(&h, 6, 100_000);
+        assert!((mean - 25.0).abs() / 25.0 < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_unnormalized_probabilities() {
+        HyperExponential::new(&[(0.5, 1.0), (0.4, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn rejects_empty_phase_list() {
+        HyperExponential::new(&[]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Gamma distribution via the Marsaglia–Tsang (2000) squeeze method.
+
+use super::{standard_normal, Sample};
+use simcore::SimRng;
+
+/// Gamma with shape `k > 0` and scale `θ > 0` (mean `kθ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Create from shape and scale.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape.is_finite() && shape > 0.0, "gamma shape must be positive, got {shape}");
+        assert!(scale.is_finite() && scale > 0.0, "gamma scale must be positive, got {scale}");
+        Gamma { shape, scale }
+    }
+
+    /// Theoretical mean `kθ`.
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Theoretical variance `kθ²`.
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    /// Draw from Gamma(shape, 1) for shape >= 1 (Marsaglia–Tsang).
+    fn sample_standard(shape: f64, rng: &mut SimRng) -> f64 {
+        debug_assert!(shape >= 1.0);
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v = v * v * v;
+            let u = rng.f64_open();
+            // Squeeze check, then the full acceptance test.
+            if u < 1.0 - 0.0331 * x.powi(4) {
+                return d * v;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl Sample for Gamma {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        if self.shape >= 1.0 {
+            self.scale * Self::sample_standard(self.shape, rng)
+        } else {
+            // Boost: Gamma(k) = Gamma(k+1) · U^(1/k).
+            let g = Self::sample_standard(self.shape + 1.0, rng);
+            self.scale * g * rng.f64_open().powf(1.0 / self.shape)
+        }
+    }
+}
+
+/// A two-component gamma mixture ("hyper-gamma", Lublin & Feitelson 2003):
+/// with probability `p` draw from the first gamma, else the second. The
+/// canonical fit for parallel-job runtimes, where the first component
+/// captures the short-job body and the second the long-job bulge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperGamma {
+    first: Gamma,
+    second: Gamma,
+    p: f64,
+}
+
+impl HyperGamma {
+    /// Create from two gammas and the first-component probability.
+    pub fn new(first: Gamma, second: Gamma, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "mixture probability must be in [0,1], got {p}");
+        HyperGamma { first, second, p }
+    }
+
+    /// Theoretical mean `p·E[G₁] + (1−p)·E[G₂]`.
+    pub fn mean(&self) -> f64 {
+        self.p * self.first.mean() + (1.0 - self.p) * self.second.mean()
+    }
+
+    /// Draw with an overridden first-component probability — the hook the
+    /// Lublin model uses to correlate runtime with job size (larger jobs
+    /// lean toward the long component).
+    pub fn sample_with_p(&self, p: f64, rng: &mut SimRng) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        if rng.chance(p) {
+            self.first.sample(rng)
+        } else {
+            self.second.sample(rng)
+        }
+    }
+}
+
+impl Sample for HyperGamma {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.sample_with_p(self.p, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::moments;
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_shape_above_one() {
+        let d = Gamma::new(4.0, 5.0);
+        let (mean, var) = moments(&d, 1, 300_000);
+        assert!((mean - 20.0).abs() / 20.0 < 0.02, "mean {mean}");
+        assert!((var - 100.0).abs() / 100.0 < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn mean_and_variance_shape_below_one() {
+        let d = Gamma::new(0.5, 2.0);
+        let (mean, var) = moments(&d, 2, 300_000);
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 2.0).abs() / 2.0 < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let d = Gamma::new(1.0, 7.0);
+        let (mean, var) = moments(&d, 3, 300_000);
+        assert!((mean - 7.0).abs() / 7.0 < 0.02, "mean {mean}");
+        assert!((var - 49.0).abs() / 49.0 < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn always_positive() {
+        for &k in &[0.3, 1.0, 10.0] {
+            let d = Gamma::new(k, 1.0);
+            let mut rng = SimRng::seed_from_u64(4);
+            for _ in 0..5_000 {
+                assert!(d.sample(&mut rng) > 0.0, "shape {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn rejects_bad_shape() {
+        Gamma::new(-1.0, 1.0);
+    }
+
+    #[test]
+    fn hypergamma_mean_matches_theory() {
+        let h = HyperGamma::new(Gamma::new(2.0, 5.0), Gamma::new(4.0, 100.0), 0.7);
+        let expected = 0.7 * 10.0 + 0.3 * 400.0;
+        assert!((h.mean() - expected).abs() < 1e-9);
+        let (mean, _) = moments(&h, 10, 300_000);
+        assert!((mean - expected).abs() / expected < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn hypergamma_p_extremes_select_components() {
+        let h = HyperGamma::new(Gamma::new(2.0, 1.0), Gamma::new(2.0, 1000.0), 0.5);
+        let mut rng = SimRng::seed_from_u64(11);
+        // p = 1: all draws from the small component.
+        for _ in 0..200 {
+            assert!(h.sample_with_p(1.0, &mut rng) < 100.0);
+        }
+        // p = 0: all draws from the big component (its mean is 2000).
+        let mean0: f64 = (0..500).map(|_| h.sample_with_p(0.0, &mut rng)).sum::<f64>() / 500.0;
+        assert!(mean0 > 500.0, "mean {mean0}");
+    }
+
+    #[test]
+    fn hypergamma_sample_with_p_clamps() {
+        let h = HyperGamma::new(Gamma::new(1.0, 1.0), Gamma::new(1.0, 2.0), 0.5);
+        let mut rng = SimRng::seed_from_u64(12);
+        // Out-of-range p must not panic.
+        let _ = h.sample_with_p(-3.0, &mut rng);
+        let _ = h.sample_with_p(7.0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixture probability")]
+    fn hypergamma_rejects_bad_p() {
+        HyperGamma::new(Gamma::new(1.0, 1.0), Gamma::new(1.0, 1.0), 1.5);
+    }
+}

@@ -1,0 +1,161 @@
+//! One-sample Kolmogorov–Smirnov goodness-of-fit testing.
+//!
+//! The distribution toolkit's unit tests check moments; moments can agree
+//! while shapes differ. The KS statistic — the supremum gap between the
+//! empirical CDF and a reference CDF — catches shape errors, and is used
+//! by the samplers' own test suites and available to users validating a
+//! synthetic trace against a real log.
+
+use super::Sample;
+use simcore::SimRng;
+
+/// The one-sample KS statistic `D_n = sup |F_n(x) − F(x)|` of `samples`
+/// against a reference CDF. `samples` need not be sorted.
+pub fn ks_statistic(samples: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    assert!(!samples.is_empty(), "KS needs at least one sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        assert!((0.0..=1.0).contains(&f), "reference CDF out of range at {x}: {f}");
+        // Compare against the ECDF just before and just after the step.
+        let lo = i as f64 / n;
+        let hi = (i as f64 + 1.0) / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Critical value of the KS statistic at significance `alpha` for sample
+/// size `n` (asymptotic formula `c(α)·√(1/n)`, good for n ≳ 35).
+pub fn ks_critical(n: usize, alpha: f64) -> f64 {
+    assert!(n > 0, "KS needs samples");
+    let c = match alpha {
+        a if (a - 0.10).abs() < 1e-9 => 1.224,
+        a if (a - 0.05).abs() < 1e-9 => 1.358,
+        a if (a - 0.01).abs() < 1e-9 => 1.628,
+        a if (a - 0.001).abs() < 1e-9 => 1.949,
+        _ => panic!("unsupported alpha {alpha}; use 0.10, 0.05, 0.01 or 0.001"),
+    };
+    c / (n as f64).sqrt()
+}
+
+/// Draw `n` samples from `dist` and test against `cdf` at significance
+/// `alpha`. Returns `(statistic, critical, passes)`.
+pub fn ks_test(
+    dist: &impl Sample,
+    cdf: impl Fn(f64) -> f64,
+    n: usize,
+    seed: u64,
+    alpha: f64,
+) -> (f64, f64, bool) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+    let d = ks_statistic(&samples, cdf);
+    let crit = ks_critical(n, alpha);
+    (d, crit, d < crit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Exponential, LogNormal, Uniform, Weibull};
+    use super::*;
+
+    fn erf(x: f64) -> f64 {
+        // Abramowitz–Stegun 7.1.26, |error| < 1.5e-7: plenty for tests.
+        let sign = if x < 0.0 { -1.0 } else { 1.0 };
+        let x = x.abs();
+        let t = 1.0 / (1.0 + 0.3275911 * x);
+        let y = 1.0
+            - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+                + 0.254829592)
+                * t
+                * (-x * x).exp();
+        sign * y
+    }
+
+    fn normal_cdf(x: f64) -> f64 {
+        0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+    }
+
+    #[test]
+    fn exponential_passes_against_its_own_cdf() {
+        let d = Exponential::with_mean(50.0);
+        let (stat, crit, pass) =
+            ks_test(&d, |x| 1.0 - (-x / 50.0).exp().min(1.0), 5_000, 1, 0.01);
+        assert!(pass, "KS {stat} >= critical {crit}");
+    }
+
+    #[test]
+    fn uniform_passes_against_linear_cdf() {
+        let d = Uniform::new(2.0, 8.0);
+        let cdf = |x: f64| ((x - 2.0) / 6.0).clamp(0.0, 1.0);
+        let (stat, crit, pass) = ks_test(&d, cdf, 5_000, 2, 0.01);
+        assert!(pass, "KS {stat} >= critical {crit}");
+    }
+
+    #[test]
+    fn weibull_passes_against_closed_form() {
+        let d = Weibull::new(0.7, 30.0);
+        let cdf = |x: f64| {
+            if x <= 0.0 {
+                0.0
+            } else {
+                1.0 - (-(x / 30.0).powf(0.7)).exp()
+            }
+        };
+        let (stat, crit, pass) = ks_test(&d, cdf, 5_000, 3, 0.01);
+        assert!(pass, "KS {stat} >= critical {crit}");
+    }
+
+    #[test]
+    fn lognormal_passes_against_normal_cdf_of_log() {
+        let d = LogNormal::new(2.0, 0.75);
+        let cdf = |x: f64| {
+            if x <= 0.0 {
+                0.0
+            } else {
+                normal_cdf((x.ln() - 2.0) / 0.75)
+            }
+        };
+        let (stat, crit, pass) = ks_test(&d, cdf, 5_000, 4, 0.01);
+        assert!(pass, "KS {stat} >= critical {crit}");
+    }
+
+    #[test]
+    fn wrong_distribution_fails() {
+        // Exponential samples against a uniform CDF: must reject loudly.
+        let d = Exponential::with_mean(50.0);
+        let cdf = |x: f64| (x / 100.0).clamp(0.0, 1.0);
+        let (stat, crit, pass) = ks_test(&d, cdf, 5_000, 5, 0.01);
+        assert!(!pass, "KS {stat} < critical {crit} for a wrong model");
+    }
+
+    #[test]
+    fn statistic_of_perfect_fit_is_small() {
+        // ECDF of 0..n against the uniform CDF on [0, n).
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64 + 0.5).collect();
+        let d = ks_statistic(&samples, |x| (x / 1000.0).clamp(0.0, 1.0));
+        assert!(d < 0.002, "D {d}");
+    }
+
+    #[test]
+    fn critical_values_scale_with_n() {
+        assert!(ks_critical(100, 0.05) > ks_critical(10_000, 0.05));
+        assert!((ks_critical(100, 0.05) - 0.1358).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported alpha")]
+    fn rejects_unknown_alpha() {
+        ks_critical(100, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn rejects_empty_samples() {
+        ks_statistic(&[], |_| 0.5);
+    }
+}

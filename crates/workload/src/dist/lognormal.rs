@@ -1,0 +1,113 @@
+//! Log-normal distribution.
+//!
+//! `exp(N(μ, σ²))` — the standard model for parallel-job runtimes in the
+//! workload-modeling literature (Lublin & Feitelson use a closely related
+//! hyper-gamma; log-normal matches the same body shape with one fewer
+//! parameter and an equally heavy right tail for our purposes).
+
+use super::{standard_normal, Sample};
+use simcore::SimRng;
+
+/// Log-normal with location `mu` and scale `sigma` (of the underlying
+/// normal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create from the underlying normal's parameters. `sigma` must be
+    /// non-negative and finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "lognormal mu must be finite, got {mu}");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "lognormal sigma must be finite and >= 0, got {sigma}"
+        );
+        LogNormal { mu, sigma }
+    }
+
+    /// Create from the distribution's own median and the multiplicative
+    /// spread `sigma` — often the more intuitive parameterization:
+    /// the median is `exp(mu)`.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "lognormal median must be positive, got {median}");
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Theoretical mean `exp(μ + σ²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    /// Theoretical median `exp(μ)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{ecdf, moments};
+    use super::*;
+
+    #[test]
+    fn mean_matches_theory() {
+        let d = LogNormal::new(3.0, 0.8);
+        let (mean, _) = moments(&d, 1, 400_000);
+        assert!((mean - d.mean()).abs() / d.mean() < 0.03, "mean {mean} vs {}", d.mean());
+    }
+
+    #[test]
+    fn median_splits_mass_in_half() {
+        let d = LogNormal::from_median(100.0, 1.5);
+        assert!((d.median() - 100.0).abs() < 1e-9);
+        let p = ecdf(&d, 2, 200_000, 100.0);
+        assert!((p - 0.5).abs() < 0.01, "cdf at median {p}");
+    }
+
+    #[test]
+    fn zero_sigma_is_point_mass_at_median() {
+        let d = LogNormal::from_median(7.0, 0.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!((d.sample(&mut rng) - 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn always_positive() {
+        let d = LogNormal::new(-5.0, 3.0);
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn right_tail_is_heavy() {
+        // For sigma = 2, mean/median = exp(2) ≈ 7.4: mean far above median.
+        let d = LogNormal::from_median(1.0, 2.0);
+        let (mean, _) = moments(&d, 5, 400_000);
+        assert!(mean > 4.0, "mean {mean} not >> median 1.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn rejects_negative_sigma() {
+        LogNormal::new(0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "median must be positive")]
+    fn rejects_non_positive_median() {
+        LogNormal::from_median(0.0, 1.0);
+    }
+}

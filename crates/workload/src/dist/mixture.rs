@@ -1,0 +1,92 @@
+//! Finite mixtures of arbitrary samplers.
+
+use super::{Categorical, Sample};
+use simcore::SimRng;
+
+/// A finite mixture: pick component `i` with probability `wᵢ`, then draw
+/// from it. The general tool for "80 % short jobs, 20 % long jobs" shapes.
+pub struct Mixture {
+    selector: Categorical,
+    components: Vec<Box<dyn Sample + Send + Sync>>,
+}
+
+impl Mixture {
+    /// Create from `(weight, sampler)` pairs. Weights follow
+    /// [`Categorical`]'s rules (non-negative, positive sum).
+    pub fn new(parts: Vec<(f64, Box<dyn Sample + Send + Sync>)>) -> Self {
+        assert!(!parts.is_empty(), "mixture needs at least one component");
+        let weights: Vec<f64> = parts.iter().map(|(w, _)| *w).collect();
+        let components = parts.into_iter().map(|(_, c)| c).collect();
+        Mixture { selector: Categorical::new(&weights), components }
+    }
+}
+
+impl std::fmt::Debug for Mixture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mixture")
+            .field("components", &self.components.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sample for Mixture {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let idx = self.selector.sample_index(rng);
+        self.components[idx].sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::moments;
+    use super::super::{Exponential, Uniform};
+    use super::*;
+
+    #[test]
+    fn mixture_mean_is_weighted_average() {
+        let m = Mixture::new(vec![
+            (0.25, Box::new(Uniform::new(0.0, 2.0)) as Box<dyn Sample + Send + Sync>),
+            (0.75, Box::new(Exponential::with_mean(9.0))),
+        ]);
+        // E = 0.25*1 + 0.75*9 = 7.
+        let (mean, _) = moments(&m, 1, 300_000);
+        assert!((mean - 7.0).abs() / 7.0 < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn degenerate_single_component() {
+        let m = Mixture::new(vec![(
+            1.0,
+            Box::new(Uniform::new(5.0, 5.0)) as Box<dyn Sample + Send + Sync>,
+        )]);
+        let mut rng = SimRng::seed_from_u64(2);
+        assert_eq!(m.sample(&mut rng), 5.0);
+    }
+
+    #[test]
+    fn zero_weight_component_never_sampled() {
+        let m = Mixture::new(vec![
+            (0.0, Box::new(Uniform::new(100.0, 100.0)) as Box<dyn Sample + Send + Sync>),
+            (1.0, Box::new(Uniform::new(1.0, 1.0))),
+        ]);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            assert_eq!(m.sample(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn rejects_empty_mixture() {
+        Mixture::new(vec![]);
+    }
+
+    #[test]
+    fn debug_impl_reports_component_count() {
+        let m = Mixture::new(vec![(
+            1.0,
+            Box::new(Uniform::new(0.0, 1.0)) as Box<dyn Sample + Send + Sync>,
+        )]);
+        assert!(format!("{m:?}").contains("components: 1"));
+    }
+}

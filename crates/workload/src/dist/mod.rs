@@ -1,0 +1,172 @@
+//! Hand-built random-variate samplers for workload modeling.
+//!
+//! The workload models need heavy-tailed runtime distributions, bursty
+//! arrival gaps, and power-of-two-biased width distributions. We implement
+//! the samplers ourselves (rather than pulling `rand_distr`) so that
+//! generated traces stay bit-identical across dependency upgrades and every
+//! algorithm is auditable in-tree.
+//!
+//! All samplers implement [`Sample`]; discrete ones additionally expose
+//! integer draws.
+
+mod discrete;
+mod exponential;
+pub mod ks;
+mod gamma;
+mod lognormal;
+mod mixture;
+mod pareto;
+mod twostage;
+mod uniform;
+mod weibull;
+mod zipf;
+
+pub use discrete::{Categorical, Empirical};
+pub use exponential::{Exponential, HyperExponential};
+pub use ks::{ks_critical, ks_statistic, ks_test};
+pub use gamma::{Gamma, HyperGamma};
+pub use lognormal::LogNormal;
+pub use mixture::Mixture;
+pub use pareto::{BoundedPareto, Pareto};
+pub use twostage::TwoStageUniform;
+pub use uniform::Uniform;
+pub use weibull::Weibull;
+pub use zipf::Zipf;
+
+use simcore::SimRng;
+
+/// A real-valued random variate.
+pub trait Sample {
+    /// Draw one value.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// Draw a value, clamp it to `[lo, hi]`, and round to the nearest
+    /// integer. The universal adapter from continuous models to integral
+    /// job attributes (seconds, processors).
+    fn sample_clamped_int(&self, rng: &mut SimRng, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let x = self.sample(rng);
+        if !x.is_finite() || x <= lo as f64 {
+            lo
+        } else if x >= hi as f64 {
+            hi
+        } else {
+            (x.round() as u64).clamp(lo, hi)
+        }
+    }
+}
+
+impl<S: Sample + ?Sized> Sample for Box<S> {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Sample + ?Sized> Sample for &S {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (**self).sample(rng)
+    }
+}
+
+/// Draw from the standard normal distribution N(0, 1) via Box–Muller.
+///
+/// Stateless (the second variate of the pair is discarded) so that samplers
+/// built on it need no interior mutability and streams stay splittable.
+pub fn standard_normal(rng: &mut SimRng) -> f64 {
+    let u1 = rng.f64_open();
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+
+    /// Sample `n` values and return (mean, variance).
+    pub fn moments(dist: &impl Sample, seed: u64, n: usize) -> (f64, f64) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        for i in 0..n {
+            let x = dist.sample(&mut rng);
+            let delta = x - mean;
+            mean += delta / (i + 1) as f64;
+            m2 += delta * (x - mean);
+        }
+        (mean, m2 / (n - 1) as f64)
+    }
+
+    /// Empirical CDF at `x`.
+    pub fn ecdf(dist: &impl Sample, seed: u64, n: usize, x: f64) -> f64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let hits = (0..n).filter(|_| dist.sample(&mut rng) <= x).count();
+        hits as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use test_util::moments;
+
+    struct Constant(f64);
+    impl Sample for Constant {
+        fn sample(&self, _: &mut SimRng) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        for i in 0..n {
+            let x = standard_normal(&mut rng);
+            let d = x - mean;
+            mean += d / (i + 1) as f64;
+            m2 += d * (x - mean);
+        }
+        let var = m2 / (n - 1) as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn standard_normal_symmetry() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let n = 100_000;
+        let pos = (0..n).filter(|_| standard_normal(&mut rng) > 0.0).count();
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn sample_clamped_int_clamps_and_rounds() {
+        let mut rng = SimRng::seed_from_u64(3);
+        assert_eq!(Constant(5.4).sample_clamped_int(&mut rng, 0, 10), 5);
+        assert_eq!(Constant(5.6).sample_clamped_int(&mut rng, 0, 10), 6);
+        assert_eq!(Constant(-3.0).sample_clamped_int(&mut rng, 2, 10), 2);
+        assert_eq!(Constant(1e300).sample_clamped_int(&mut rng, 2, 10), 10);
+        assert_eq!(Constant(f64::NAN).sample_clamped_int(&mut rng, 2, 10), 2);
+        assert_eq!(Constant(f64::INFINITY).sample_clamped_int(&mut rng, 2, 10), 2);
+    }
+
+    #[test]
+    fn boxed_and_borrowed_samplers_delegate() {
+        let boxed: Box<dyn Sample> = Box::new(Constant(7.0));
+        let mut rng = SimRng::seed_from_u64(4);
+        assert_eq!(boxed.sample(&mut rng), 7.0);
+        let c = Constant(8.0);
+        let by_ref: &dyn Sample = &c;
+        assert_eq!(by_ref.sample(&mut rng), 8.0);
+    }
+
+    #[test]
+    fn moments_helper_on_constant() {
+        let (mean, var) = moments(&Constant(3.0), 5, 1000);
+        assert_eq!(mean, 3.0);
+        assert_eq!(var, 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Pareto and bounded Pareto distributions (inverse-CDF sampling).
+
+use super::Sample;
+use simcore::SimRng;
+
+/// Pareto (type I) with minimum `x_m > 0` and tail index `α > 0`.
+/// The heavier-tailed the smaller `α`; the mean is infinite for `α <= 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Create from scale (minimum value) and tail index.
+    pub fn new(xm: f64, alpha: f64) -> Self {
+        assert!(xm.is_finite() && xm > 0.0, "pareto scale must be positive, got {xm}");
+        assert!(alpha.is_finite() && alpha > 0.0, "pareto alpha must be positive, got {alpha}");
+        Pareto { xm, alpha }
+    }
+
+    /// Theoretical mean (infinite for `α <= 1`).
+    pub fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.xm / (self.alpha - 1.0)
+        }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.xm / rng.f64_open().powf(1.0 / self.alpha)
+    }
+}
+
+/// Pareto truncated to `[lo, hi]` — used where a genuinely unbounded tail
+/// would produce nonsense jobs (nothing runs for a millennium).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Create from bounds `0 < lo < hi` and tail index `α > 0`.
+    pub fn new(lo: f64, hi: f64, alpha: f64) -> Self {
+        assert!(lo.is_finite() && lo > 0.0, "bounded-pareto lo must be positive, got {lo}");
+        assert!(hi.is_finite() && hi > lo, "bounded-pareto hi must exceed lo, got [{lo}, {hi}]");
+        assert!(alpha.is_finite() && alpha > 0.0, "bounded-pareto alpha must be positive");
+        BoundedPareto { lo, hi, alpha }
+    }
+}
+
+impl Sample for BoundedPareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF of the truncated distribution.
+        let u = rng.f64();
+        let la = self.lo.powf(self.alpha);
+        let ha = self.hi.powf(self.alpha);
+        let x = -(u * ha - u * la - ha) / (ha * la);
+        x.powf(-1.0 / self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{ecdf, moments};
+    use super::*;
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let d = Pareto::new(5.0, 2.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 5.0);
+        }
+    }
+
+    #[test]
+    fn pareto_mean_matches_theory() {
+        let d = Pareto::new(1.0, 3.0);
+        assert!((d.mean() - 1.5).abs() < 1e-12);
+        let (mean, _) = moments(&d, 2, 400_000);
+        assert!((mean - 1.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_infinite_mean_flagged() {
+        assert!(Pareto::new(1.0, 1.0).mean().is_infinite());
+        assert!(Pareto::new(1.0, 0.5).mean().is_infinite());
+    }
+
+    #[test]
+    fn pareto_cdf_matches_closed_form() {
+        // F(x) = 1 - (xm/x)^alpha; at x = 2*xm, alpha = 2: 1 - 0.25 = 0.75.
+        let d = Pareto::new(1.0, 2.0);
+        let p = ecdf(&d, 3, 200_000, 2.0);
+        assert!((p - 0.75).abs() < 0.01, "cdf {p}");
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let d = BoundedPareto::new(2.0, 100.0, 1.1);
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..=100.0).contains(&x), "out of bounds: {x}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_mass_concentrates_at_low_end() {
+        // With alpha = 1.5, well over half the mass sits below 2*lo.
+        let d = BoundedPareto::new(1.0, 1000.0, 1.5);
+        let p = ecdf(&d, 5, 200_000, 2.0);
+        assert!(p > 0.6, "cdf at 2*lo = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "hi must exceed lo")]
+    fn bounded_pareto_rejects_bad_bounds() {
+        BoundedPareto::new(10.0, 10.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn pareto_rejects_bad_alpha() {
+        Pareto::new(1.0, 0.0);
+    }
+}

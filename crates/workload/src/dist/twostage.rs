@@ -1,0 +1,100 @@
+//! The two-stage uniform distribution of Lublin & Feitelson (2003).
+//!
+//! Used for the log₂ of parallel-job sizes: with probability `prob` the
+//! value is uniform on `[low, med]`, otherwise uniform on `[med, high]`.
+//! This captures the empirical shape where most jobs are small-to-medium
+//! with a plateau of large ones, without committing to a parametric tail.
+
+use super::Sample;
+use simcore::SimRng;
+
+/// Two-stage uniform on `[low, high]` with breakpoint `med`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoStageUniform {
+    low: f64,
+    med: f64,
+    high: f64,
+    prob: f64,
+}
+
+impl TwoStageUniform {
+    /// Create from `low ≤ med ≤ high` and the first-stage probability.
+    pub fn new(low: f64, med: f64, high: f64, prob: f64) -> Self {
+        assert!(
+            low.is_finite() && med.is_finite() && high.is_finite(),
+            "two-stage uniform bounds must be finite"
+        );
+        assert!(low <= med && med <= high, "need low <= med <= high, got {low}/{med}/{high}");
+        assert!((0.0..=1.0).contains(&prob), "stage probability must be in [0,1], got {prob}");
+        TwoStageUniform { low, med, high, prob }
+    }
+
+    /// Theoretical mean.
+    pub fn mean(&self) -> f64 {
+        self.prob * 0.5 * (self.low + self.med) + (1.0 - self.prob) * 0.5 * (self.med + self.high)
+    }
+}
+
+impl Sample for TwoStageUniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        if rng.chance(self.prob) {
+            self.low + (self.med - self.low) * rng.f64()
+        } else {
+            self.med + (self.high - self.med) * rng.f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::moments;
+    use super::*;
+
+    #[test]
+    fn stays_in_range() {
+        let d = TwoStageUniform::new(1.0, 3.0, 9.0, 0.7);
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=9.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn first_stage_mass_matches_prob() {
+        let d = TwoStageUniform::new(0.0, 1.0, 10.0, 0.8);
+        let mut rng = SimRng::seed_from_u64(2);
+        let n = 100_000;
+        let below = (0..n).filter(|_| d.sample(&mut rng) < 1.0).count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.01, "first-stage mass {frac}");
+    }
+
+    #[test]
+    fn mean_matches_theory() {
+        let d = TwoStageUniform::new(2.0, 4.0, 10.0, 0.6);
+        // 0.6*3 + 0.4*7 = 4.6
+        assert!((d.mean() - 4.6).abs() < 1e-12);
+        let (mean, _) = moments(&d, 3, 200_000);
+        assert!((mean - 4.6).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn degenerate_stages() {
+        // prob = 1: plain uniform on [low, med].
+        let d = TwoStageUniform::new(0.0, 2.0, 100.0, 1.0);
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..1_000 {
+            assert!(d.sample(&mut rng) <= 2.0);
+        }
+        // All points equal: point mass.
+        let d = TwoStageUniform::new(5.0, 5.0, 5.0, 0.5);
+        assert_eq!(d.sample(&mut SimRng::seed_from_u64(5)), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "low <= med <= high")]
+    fn rejects_disordered_bounds() {
+        TwoStageUniform::new(3.0, 2.0, 5.0, 0.5);
+    }
+}

@@ -1,0 +1,69 @@
+//! Continuous uniform distribution.
+
+use super::Sample;
+use simcore::SimRng;
+
+/// Uniform on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Create a uniform sampler. Panics if the bounds are not finite and
+    /// ordered (`lo <= hi`; equal bounds give a point mass).
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad uniform bounds [{lo}, {hi})");
+        Uniform { lo, hi }
+    }
+
+    /// Theoretical mean `(lo + hi) / 2`.
+    pub fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+impl Sample for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::moments;
+    use super::*;
+
+    #[test]
+    fn stays_in_range() {
+        let d = Uniform::new(2.0, 5.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn mean_and_variance_match_theory() {
+        let d = Uniform::new(10.0, 20.0);
+        let (mean, var) = moments(&d, 2, 100_000);
+        assert!((mean - 15.0).abs() < 0.05, "mean {mean}");
+        // Var = (hi-lo)^2/12 = 100/12 ≈ 8.333
+        assert!((var - 100.0 / 12.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn point_mass_when_bounds_equal() {
+        let d = Uniform::new(3.0, 3.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        assert_eq!(d.sample(&mut rng), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad uniform bounds")]
+    fn rejects_reversed_bounds() {
+        Uniform::new(5.0, 2.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Weibull distribution (inverse-CDF sampling).
+
+use super::Sample;
+use simcore::SimRng;
+
+/// Weibull with shape `k` and scale `λ`. `k < 1` gives a heavier-than-
+/// exponential tail (common for inter-arrival gaps in bursty workloads),
+/// `k = 1` is exponential.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Create from shape `k > 0` and scale `λ > 0`.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape.is_finite() && shape > 0.0, "weibull shape must be positive, got {shape}");
+        assert!(scale.is_finite() && scale > 0.0, "weibull scale must be positive, got {scale}");
+        Weibull { shape, scale }
+    }
+
+    /// Theoretical mean `λ·Γ(1 + 1/k)`.
+    pub fn mean(&self) -> f64 {
+        self.scale * gamma_fn(1.0 + 1.0 / self.shape)
+    }
+}
+
+impl Sample for Weibull {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF: λ·(-ln U)^(1/k).
+        self.scale * (-rng.f64_open().ln()).powf(1.0 / self.shape)
+    }
+}
+
+/// Lanczos approximation of Γ(x) for x > 0 (plenty accurate for moments).
+pub(crate) fn gamma_fn(x: f64) -> f64 {
+    // g = 7, n = 9 Lanczos coefficients.
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_fn(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{ecdf, moments};
+    use super::*;
+
+    #[test]
+    fn gamma_fn_known_values() {
+        assert!((gamma_fn(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma_fn(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma_fn(5.0) - 24.0).abs() < 1e-7);
+        assert!((gamma_fn(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+        assert!((gamma_fn(1.5) - 0.5 * std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let d = Weibull::new(1.0, 30.0);
+        let (mean, var) = moments(&d, 1, 200_000);
+        assert!((mean - 30.0).abs() / 30.0 < 0.02, "mean {mean}");
+        assert!((var - 900.0).abs() / 900.0 < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn mean_matches_theory_for_fractional_shape() {
+        let d = Weibull::new(0.5, 10.0);
+        // mean = 10 * Γ(3) = 20.
+        assert!((d.mean() - 20.0).abs() < 1e-6);
+        let (mean, _) = moments(&d, 2, 400_000);
+        assert!((mean - 20.0).abs() / 20.0 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn cdf_at_scale_is_one_minus_inv_e() {
+        // F(λ) = 1 - e^-1 for every shape.
+        for &k in &[0.5, 1.0, 2.0] {
+            let d = Weibull::new(k, 42.0);
+            let p = ecdf(&d, 3, 100_000, 42.0);
+            assert!((p - 0.6321).abs() < 0.01, "k={k}: cdf {p}");
+        }
+    }
+
+    #[test]
+    fn always_positive() {
+        let d = Weibull::new(0.3, 1.0);
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn rejects_bad_shape() {
+        Weibull::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Zipf distribution over `{1, …, n}`.
+
+use super::Sample;
+use simcore::SimRng;
+
+/// Zipf with exponent `s >= 0` over ranks `1..=n`:
+/// `P(k) ∝ 1/k^s`. `s = 0` is uniform.
+///
+/// Sampling is by inverse CDF over a precomputed cumulative table —
+/// exact, O(log n) per draw, and fine for the `n ≤ few hundred` rank
+/// spaces workload models use (e.g. processor counts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a Zipf sampler over `1..=n` with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be >= 0, got {s}");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Zipf { cumulative }
+    }
+
+    /// Draw a rank in `1..=n`.
+    pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        // First index whose cumulative weight exceeds u; u < 1 = last entry,
+        // so the index is always in range (clamped for belt and braces).
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        (idx + 1).min(self.cumulative.len())
+    }
+}
+
+impl Sample for Zipf {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.sample_rank(rng) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank_counts(d: &Zipf, n: usize, draws: usize, seed: u64) -> Vec<u32> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut counts = vec![0u32; n];
+        for _ in 0..draws {
+            let r = d.sample_rank(&mut rng);
+            assert!((1..=n).contains(&r), "rank {r} out of range");
+            counts[r - 1] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let d = Zipf::new(5, 0.0);
+        let counts = rank_counts(&d, 5, 100_000, 1);
+        for &c in &counts {
+            assert!((19_000..21_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn classic_zipf_ratios() {
+        // s = 1 over 3 ranks: weights 1, 1/2, 1/3 -> probs 6/11, 3/11, 2/11.
+        let d = Zipf::new(3, 1.0);
+        let counts = rank_counts(&d, 3, 110_000, 2);
+        assert!((counts[0] as f64 / 110_000.0 - 6.0 / 11.0).abs() < 0.01);
+        assert!((counts[1] as f64 / 110_000.0 - 3.0 / 11.0).abs() < 0.01);
+        assert!((counts[2] as f64 / 110_000.0 - 2.0 / 11.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_rank_always_one() {
+        let d = Zipf::new(1, 2.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(d.sample_rank(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn heavy_exponent_concentrates_on_rank_one() {
+        let d = Zipf::new(100, 3.0);
+        let counts = rank_counts(&d, 100, 50_000, 4);
+        assert!(counts[0] as f64 / 50_000.0 > 0.8, "rank-1 share too small");
+    }
+
+    #[test]
+    fn sample_matches_sample_rank() {
+        let d = Zipf::new(10, 1.0);
+        let mut r1 = SimRng::seed_from_u64(5);
+        let mut r2 = SimRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r1), d.sample_rank(&mut r2) as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn rejects_empty_rank_space() {
+        Zipf::new(0, 1.0);
+    }
+}

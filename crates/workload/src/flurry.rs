@@ -1,0 +1,184 @@
+//! Workload flurries — bursts of near-identical jobs from one user.
+//!
+//! Tsafrir & Feitelson showed that real archive logs contain *flurries*:
+//! a single user submitting hundreds of nearly identical jobs in a short
+//! window, and that simulation conclusions can hinge on whether such a
+//! flurry is present ("Instability in parallel job scheduling simulation:
+//! the role of workload flurries"). This module injects controlled
+//! flurries into a trace so that robustness of any comparison can be
+//! tested directly — the `flurry` repro experiment does exactly that for
+//! this paper's headline results.
+
+use crate::job::Job;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use simcore::{JobId, SimRng, SimSpan, SimTime};
+
+/// Description of one injected flurry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlurrySpec {
+    /// When the burst starts.
+    pub start: SimTime,
+    /// Number of jobs in the burst.
+    pub count: u32,
+    /// Mean gap between burst submissions (seconds; exponential).
+    pub mean_gap_secs: f64,
+    /// Runtime of each flurry job.
+    pub runtime: SimSpan,
+    /// Estimate of each flurry job (≥ runtime).
+    pub estimate: SimSpan,
+    /// Width of each flurry job.
+    pub width: u32,
+    /// Relative jitter applied to each job's runtime (0 = identical jobs;
+    /// 0.1 = ±10 % uniform).
+    pub runtime_jitter: f64,
+}
+
+impl FlurrySpec {
+    /// A typical "parameter sweep gone wild" flurry: many short narrow
+    /// jobs submitted seconds apart.
+    pub fn short_narrow(start: SimTime, count: u32) -> Self {
+        FlurrySpec {
+            start,
+            count,
+            mean_gap_secs: 10.0,
+            runtime: SimSpan::from_mins(5),
+            estimate: SimSpan::from_mins(30),
+            width: 1,
+            runtime_jitter: 0.1,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.count > 0, "flurry needs at least one job");
+        assert!(self.width > 0, "flurry jobs need processors");
+        assert!(!self.runtime.is_zero(), "flurry jobs need positive runtime");
+        assert!(self.estimate >= self.runtime, "flurry estimate below runtime");
+        assert!(
+            self.mean_gap_secs > 0.0 && self.mean_gap_secs.is_finite(),
+            "flurry mean gap must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.runtime_jitter),
+            "runtime jitter must be in [0, 1)"
+        );
+    }
+}
+
+/// Inject a flurry into a trace, deterministically from `seed`.
+/// Returns the combined trace (re-sorted, ids reassigned) plus the number
+/// of injected jobs.
+pub fn inject_flurry(trace: &Trace, spec: &FlurrySpec, seed: u64) -> (Trace, u32) {
+    spec.validate();
+    assert!(spec.width <= trace.nodes(), "flurry wider than the machine");
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut jobs: Vec<Job> = trace.jobs().to_vec();
+    let mut t = spec.start;
+    for _ in 0..spec.count {
+        let jitter = 1.0 + spec.runtime_jitter * (2.0 * rng.f64() - 1.0);
+        let runtime = SimSpan::new(
+            (spec.runtime.as_secs() as f64 * jitter).round().max(1.0) as u64,
+        );
+        jobs.push(Job {
+            id: JobId(0),
+            arrival: t,
+            runtime,
+            estimate: spec.estimate.max(runtime),
+            width: spec.width,
+        });
+        let gap = (-rng.f64_open().ln() * spec.mean_gap_secs).ceil().max(1.0) as u64;
+        t = t + SimSpan::new(gap);
+    }
+    let combined = Trace::new(trace.name().to_string(), trace.nodes(), jobs)
+        .expect("flurry jobs are valid");
+    (combined, spec.count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_trace() -> Trace {
+        let jobs = (0..20)
+            .map(|i| Job {
+                id: JobId(0),
+                arrival: SimTime::new(i * 1_000),
+                runtime: SimSpan::new(500),
+                estimate: SimSpan::new(500),
+                width: 4,
+            })
+            .collect();
+        Trace::new("base", 16, jobs).unwrap()
+    }
+
+    #[test]
+    fn injection_adds_exactly_count_jobs() {
+        let spec = FlurrySpec::short_narrow(SimTime::new(5_000), 50);
+        let (t, added) = inject_flurry(&base_trace(), &spec, 1);
+        assert_eq!(added, 50);
+        assert_eq!(t.len(), 70);
+    }
+
+    #[test]
+    fn flurry_jobs_cluster_after_start() {
+        let spec = FlurrySpec::short_narrow(SimTime::new(5_000), 100);
+        let (t, _) = inject_flurry(&base_trace(), &spec, 2);
+        let flurry_jobs: Vec<&Job> = t.jobs().iter().filter(|j| j.width == 1).collect();
+        assert_eq!(flurry_jobs.len(), 100);
+        for j in &flurry_jobs {
+            assert!(j.arrival >= SimTime::new(5_000));
+        }
+        // Mean gap ~10 s: the whole burst spans far less than the base
+        // trace's 1000 s inter-arrival scale.
+        let last = flurry_jobs.iter().map(|j| j.arrival).max().unwrap();
+        assert!(last < SimTime::new(5_000 + 100 * 60), "burst too spread: {last}");
+    }
+
+    #[test]
+    fn jitter_zero_gives_identical_runtimes() {
+        let spec = FlurrySpec {
+            runtime_jitter: 0.0,
+            ..FlurrySpec::short_narrow(SimTime::ZERO, 30)
+        };
+        let (t, _) = inject_flurry(&base_trace(), &spec, 3);
+        let runtimes: Vec<u64> = t
+            .jobs()
+            .iter()
+            .filter(|j| j.width == 1)
+            .map(|j| j.runtime.as_secs())
+            .collect();
+        assert!(runtimes.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn jitter_bounds_respected() {
+        let spec = FlurrySpec {
+            runtime_jitter: 0.2,
+            ..FlurrySpec::short_narrow(SimTime::ZERO, 200)
+        };
+        let (t, _) = inject_flurry(&base_trace(), &spec, 4);
+        let base = spec.runtime.as_secs() as f64;
+        for j in t.jobs().iter().filter(|j| j.width == 1) {
+            let r = j.runtime.as_secs() as f64;
+            assert!(r >= base * 0.79 && r <= base * 1.21, "runtime {r} out of jitter band");
+            assert!(j.estimate >= j.runtime);
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let spec = FlurrySpec::short_narrow(SimTime::new(100), 25);
+        let (a, _) = inject_flurry(&base_trace(), &spec, 7);
+        let (b, _) = inject_flurry(&base_trace(), &spec, 7);
+        let (c, _) = inject_flurry(&base_trace(), &spec, 8);
+        assert_eq!(a.jobs(), b.jobs());
+        assert_ne!(a.jobs(), c.jobs());
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than the machine")]
+    fn rejects_overwide_flurry() {
+        let spec = FlurrySpec { width: 64, ..FlurrySpec::short_narrow(SimTime::ZERO, 5) };
+        inject_flurry(&base_trace(), &spec, 1);
+    }
+}

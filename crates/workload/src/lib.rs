@@ -1,0 +1,45 @@
+//! # workload — parallel-job workload modeling substrate
+//!
+//! Everything about *what arrives at the scheduler*:
+//!
+//! * [`job`]/[`trace`] — the validated job and trace model;
+//! * [`swf`] — Standard Workload Format parsing/writing, so real Parallel
+//!   Workloads Archive logs drop straight into the simulator;
+//! * [`dist`] — hand-built random-variate samplers (uniform, exponential,
+//!   hyper-exponential, log-normal, Weibull, gamma, Pareto, Zipf,
+//!   categorical/alias, empirical, mixtures);
+//! * [`arrival`] — Poisson / diurnal / renewal arrival processes;
+//! * [`models`] — calibrated synthetic CTC and SDSC workload generators;
+//! * [`estimate`] — user runtime-estimate models (exact, systematic
+//!   overestimation, realistic user noise);
+//! * [`category`] — the paper's Short/Long × Narrow/Wide job categories and
+//!   well/poorly-estimated classes;
+//! * [`load`] — offered-load computation and inter-arrival rescaling;
+//! * [`stats`] — trace characterization reports (marginals, correlations,
+//!   power-of-two shares);
+//! * [`flurry`] — injection of user flurries (burst robustness testing);
+//! * [`shake`] — input shaking (micro-perturbation robustness testing).
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod category;
+pub mod dist;
+pub mod estimate;
+pub mod flurry;
+pub mod job;
+pub mod load;
+pub mod models;
+pub mod shake;
+pub mod stats;
+pub mod swf;
+pub mod trace;
+
+pub use category::{Category, CategoryCriteria, EstimateQuality};
+pub use estimate::{EstimateModel, UserModelParams};
+pub use flurry::{inject_flurry, FlurrySpec};
+pub use shake::shake;
+pub use job::{Job, JobDefect};
+pub use models::{LublinModel, ModelSpec, WorkloadModel};
+pub use stats::{arrival_heatmap, pearson, MarginalSummary, TraceStats};
+pub use trace::{Trace, TraceError};

@@ -1,0 +1,311 @@
+//! Calibrated synthetic workload models.
+//!
+//! The paper drives its simulations with the CTC SP2 and SDSC SP2 logs from
+//! the Parallel Workloads Archive. Those logs cannot be redistributed here,
+//! so this module provides *calibrated generative stand-ins*:
+//!
+//! * the Short/Long × Narrow/Wide **category mix matches the paper's
+//!   Tables 2 and 3** by construction (the category is drawn first, then
+//!   the job's runtime and width are sampled conditioned on it);
+//! * **widths** are power-of-two biased with a Zipf-like decay, as in every
+//!   archive log;
+//! * **runtimes** are log-normal within each length class — heavy-tailed
+//!   bodies like the real logs;
+//! * **arrivals** follow a diurnal non-homogeneous Poisson process.
+//!
+//! Real logs remain first-class citizens: parse them with
+//! [`crate::swf::parse_trace`] and run the same experiments.
+
+pub mod ctc;
+pub mod lublin;
+pub mod sdsc;
+pub mod sites;
+
+pub use ctc::ctc;
+pub use lublin::LublinModel;
+pub use sites::{blue_horizon, by_name, kth, lanl_cm5, SITE_NAMES};
+pub use sdsc::sdsc;
+
+use crate::category::{Category, CategoryCriteria};
+use crate::dist::{Categorical, LogNormal, Sample};
+use crate::job::Job;
+use crate::trace::Trace;
+use crate::arrival::{ArrivalProcess, DiurnalPoisson};
+use simcore::{JobId, SimRng, SimSpan, SimTime};
+
+/// A discrete width sampler over an inclusive range with power-of-two bias.
+#[derive(Debug, Clone)]
+pub struct WidthSampler {
+    widths: Vec<u32>,
+    dist: Categorical,
+}
+
+impl WidthSampler {
+    /// Build a sampler over `[lo, hi]` where weight decays like
+    /// `1/w^decay`, powers of two get `pow2_boost ×` weight, and other even
+    /// widths get a mild 1.5× boost (serial-ish odd requests are rare above
+    /// 1). `lo = hi` gives a point mass.
+    pub fn new(lo: u32, hi: u32, decay: f64, pow2_boost: f64) -> Self {
+        assert!(lo >= 1 && lo <= hi, "bad width range [{lo}, {hi}]");
+        assert!(decay >= 0.0 && pow2_boost >= 1.0, "bad width-bias parameters");
+        let widths: Vec<u32> = (lo..=hi).collect();
+        let weights: Vec<f64> = widths
+            .iter()
+            .map(|&w| {
+                let base = 1.0 / (w as f64).powf(decay);
+                if w.is_power_of_two() {
+                    base * pow2_boost
+                } else if w % 2 == 0 {
+                    base * 1.5
+                } else {
+                    base
+                }
+            })
+            .collect();
+        WidthSampler { dist: Categorical::new(&weights), widths }
+    }
+
+    /// Draw a width.
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        self.widths[self.dist.sample_index(rng)]
+    }
+}
+
+/// A calibrated synthetic workload generator.
+#[derive(Debug, Clone)]
+pub struct WorkloadModel {
+    /// Model name; stamped onto generated traces.
+    pub name: &'static str,
+    /// Machine size (processors).
+    pub nodes: u32,
+    /// Target SN/SW/LN/LW fractions (paper Tables 2–3).
+    pub category_mix: [f64; 4],
+    /// Mean inter-arrival gap in seconds at the model's base load.
+    pub mean_gap_secs: f64,
+    /// Category thresholds (1 h / 8 procs by default).
+    pub criteria: CategoryCriteria,
+    /// Maximum runtime (the site's wall-clock cap).
+    pub max_runtime: SimSpan,
+    category_dist: Categorical,
+    narrow_widths: WidthSampler,
+    wide_widths: WidthSampler,
+    short_runtime: LogNormal,
+    long_runtime: LogNormal,
+}
+
+/// Everything needed to assemble a [`WorkloadModel`]; used by the CTC and
+/// SDSC presets and available for user-defined sites.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelSpec {
+    /// Model name.
+    pub name: &'static str,
+    /// Machine size.
+    pub nodes: u32,
+    /// Target SN/SW/LN/LW fractions; must sum to 1 (±1e-6).
+    pub category_mix: [f64; 4],
+    /// Mean inter-arrival gap in seconds.
+    pub mean_gap_secs: f64,
+    /// Site wall-clock cap.
+    pub max_runtime: SimSpan,
+    /// Median runtime of Short jobs, seconds.
+    pub short_median: f64,
+    /// Log-scale spread of Short runtimes.
+    pub short_sigma: f64,
+    /// Median runtime of Long jobs, seconds.
+    pub long_median: f64,
+    /// Log-scale spread of Long runtimes.
+    pub long_sigma: f64,
+    /// Zipf-like decay of the width distribution.
+    pub width_decay: f64,
+    /// Extra weight multiplier for power-of-two widths.
+    pub pow2_boost: f64,
+}
+
+impl WorkloadModel {
+    /// Assemble a model from a spec.
+    pub fn from_spec(spec: ModelSpec) -> Self {
+        let mix_sum: f64 = spec.category_mix.iter().sum();
+        assert!(
+            (mix_sum - 1.0).abs() < 1e-6,
+            "category mix must sum to 1, got {mix_sum}"
+        );
+        let criteria = CategoryCriteria::default();
+        assert!(
+            spec.nodes > criteria.narrow_max,
+            "machine must be wider than the narrow threshold"
+        );
+        assert!(spec.max_runtime > criteria.short_max, "wall-clock cap must allow Long jobs");
+        WorkloadModel {
+            name: spec.name,
+            nodes: spec.nodes,
+            category_mix: spec.category_mix,
+            mean_gap_secs: spec.mean_gap_secs,
+            criteria,
+            max_runtime: spec.max_runtime,
+            category_dist: Categorical::new(&spec.category_mix),
+            narrow_widths: WidthSampler::new(
+                1,
+                criteria.narrow_max,
+                spec.width_decay,
+                spec.pow2_boost,
+            ),
+            wide_widths: WidthSampler::new(
+                criteria.narrow_max + 1,
+                spec.nodes,
+                spec.width_decay,
+                spec.pow2_boost,
+            ),
+            short_runtime: LogNormal::from_median(spec.short_median, spec.short_sigma),
+            long_runtime: LogNormal::from_median(spec.long_median, spec.long_sigma),
+        }
+    }
+
+    /// Sample one job's `(runtime, width)` for a given category.
+    fn sample_shape(&self, cat: Category, rng: &mut SimRng) -> (SimSpan, u32) {
+        let short_max = self.criteria.short_max.as_secs();
+        let runtime = if cat.is_short() {
+            self.short_runtime.sample_clamped_int(rng, 1, short_max)
+        } else {
+            self.long_runtime
+                .sample_clamped_int(rng, short_max + 1, self.max_runtime.as_secs())
+        };
+        let width = if cat.is_narrow() {
+            self.narrow_widths.sample(rng)
+        } else {
+            self.wide_widths.sample(rng)
+        };
+        (SimSpan::new(runtime), width)
+    }
+
+    /// Generate an `n`-job trace, deterministically from `seed`.
+    /// Estimates are exact (`estimate = runtime`); layer an
+    /// [`crate::estimate::EstimateModel`] on top for the Section-5 studies.
+    pub fn generate(&self, n: usize, seed: u64) -> Trace {
+        let mut root = SimRng::seed_from_u64(seed);
+        // Separate streams so arrivals never shift when shape sampling
+        // changes, and vice versa.
+        let mut arrival_rng = root.split();
+        let mut shape_rng = root.split();
+
+        let arrivals = DiurnalPoisson::working_hours(self.mean_gap_secs);
+        let mut t = SimTime::ZERO;
+        let mut jobs = Vec::with_capacity(n);
+        for _ in 0..n {
+            t = arrivals.next_after(t, &mut arrival_rng);
+            let cat = Category::ALL[self.category_dist.sample_index(&mut shape_rng)];
+            let (runtime, width) = self.sample_shape(cat, &mut shape_rng);
+            jobs.push(Job { id: JobId(0), arrival: t, runtime, estimate: runtime, width });
+        }
+        Trace::new(self.name, self.nodes, jobs).expect("generated jobs are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> ModelSpec {
+        ModelSpec {
+            name: "tiny",
+            nodes: 64,
+            category_mix: [0.4, 0.2, 0.3, 0.1],
+            mean_gap_secs: 120.0,
+            max_runtime: SimSpan::from_hours(18),
+            short_median: 400.0,
+            short_sigma: 1.2,
+            long_median: 10_000.0,
+            long_sigma: 0.9,
+            width_decay: 0.7,
+            pow2_boost: 8.0,
+        }
+    }
+
+    #[test]
+    fn width_sampler_respects_range() {
+        let w = WidthSampler::new(9, 64, 0.7, 8.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = w.sample(&mut rng);
+            assert!((9..=64).contains(&x));
+        }
+    }
+
+    #[test]
+    fn width_sampler_prefers_powers_of_two() {
+        let w = WidthSampler::new(1, 64, 0.7, 8.0);
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut pow2 = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            if w.sample(&mut rng).is_power_of_two() {
+                pow2 += 1;
+            }
+        }
+        // 7 of 64 widths are powers of two (11 %); the boost should push
+        // their share well past half.
+        assert!(pow2 as f64 / n as f64 > 0.5, "pow2 share {}", pow2 as f64 / n as f64);
+    }
+
+    #[test]
+    fn width_sampler_point_mass() {
+        let w = WidthSampler::new(5, 5, 1.0, 2.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        assert_eq!(w.sample(&mut rng), 5);
+    }
+
+    #[test]
+    fn generated_trace_matches_category_mix() {
+        let model = WorkloadModel::from_spec(tiny_spec());
+        let trace = model.generate(20_000, 42);
+        let dist = model.criteria.distribution(&trace);
+        for (got, want) in dist.iter().zip(&model.category_mix) {
+            assert!(
+                (got - want).abs() < 0.02,
+                "category mix off: got {dist:?}, want {:?}",
+                model.category_mix
+            );
+        }
+    }
+
+    #[test]
+    fn generated_jobs_are_valid_and_exactly_estimated() {
+        let model = WorkloadModel::from_spec(tiny_spec());
+        let trace = model.generate(5_000, 7);
+        for j in trace.jobs() {
+            assert!(j.validate().is_ok());
+            assert_eq!(j.estimate, j.runtime);
+            assert!(j.width <= 64);
+            assert!(j.runtime <= model.max_runtime);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let model = WorkloadModel::from_spec(tiny_spec());
+        assert_eq!(model.generate(500, 1).jobs(), model.generate(500, 1).jobs());
+        assert_ne!(model.generate(500, 1).jobs(), model.generate(500, 2).jobs());
+    }
+
+    #[test]
+    fn short_and_long_runtimes_straddle_the_threshold() {
+        let model = WorkloadModel::from_spec(tiny_spec());
+        let trace = model.generate(5_000, 3);
+        let c = &model.criteria;
+        for j in trace.jobs() {
+            let cat = c.categorize(j);
+            if cat.is_short() {
+                assert!(j.runtime <= c.short_max);
+            } else {
+                assert!(j.runtime > c.short_max);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_mix() {
+        let mut spec = tiny_spec();
+        spec.category_mix = [0.5, 0.5, 0.5, 0.5];
+        WorkloadModel::from_spec(spec);
+    }
+}

@@ -1,0 +1,84 @@
+//! The SDSC SP2 workload model.
+//!
+//! Stand-in for the San Diego Supercomputer Center 128-node IBM SP2 log
+//! (`SDSC-SP2-1998-4.2-cln`). Calibration targets, from the paper:
+//!
+//! * machine size 128;
+//! * Table 3 category mix: SN 47.24 %, SW 21.44 %, LN 20.94 %, LW 10.38 %
+//!   (digits reconstructed from the OCR-damaged "47.24 / 21.44 / 2.94 /
+//!   1.38" — the unique completion consistent with the printed suffixes
+//!   that sums to 100.00 %).
+//!
+//! Compared to CTC, SDSC has relatively more wide jobs (its 128-node
+//! machine ran capability workloads) and fewer long-narrow ones — which is
+//! exactly why the paper's *overall* averages differ between traces while
+//! the *per-category* trends agree.
+
+use super::{ModelSpec, WorkloadModel};
+use simcore::SimSpan;
+
+/// The target category mix of the SDSC trace (paper Table 3).
+pub const SDSC_CATEGORY_MIX: [f64; 4] = [0.4724, 0.2144, 0.2094, 0.1038];
+
+/// Number of processors in the SDSC SP2.
+pub const SDSC_NODES: u32 = 128;
+
+/// Build the SDSC workload model. Base load near 0.6, as for CTC.
+pub fn sdsc() -> WorkloadModel {
+    WorkloadModel::from_spec(ModelSpec {
+        name: "SDSC-syn",
+        nodes: SDSC_NODES,
+        category_mix: SDSC_CATEGORY_MIX,
+        mean_gap_secs: 1500.0,
+        max_runtime: SimSpan::from_hours(36),
+        short_median: 330.0,
+        short_sigma: 1.5,
+        long_median: 12_500.0,
+        long_sigma: 0.9,
+        width_decay: 0.65,
+        pow2_boost: 10.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_sums_to_one() {
+        assert!((SDSC_CATEGORY_MIX.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_mix_matches_table_3() {
+        let model = sdsc();
+        let trace = model.generate(30_000, 42);
+        let dist = model.criteria.distribution(&trace);
+        for (got, want) in dist.iter().zip(&SDSC_CATEGORY_MIX) {
+            assert!((got - want).abs() < 0.015, "got {dist:?}, want {SDSC_CATEGORY_MIX:?}");
+        }
+    }
+
+    #[test]
+    fn base_load_is_normal() {
+        let trace = sdsc().generate(20_000, 7);
+        let rho = trace.offered_load();
+        assert!((0.3..0.95).contains(&rho), "base offered load {rho} out of band");
+    }
+
+    #[test]
+    fn machine_size() {
+        let model = sdsc();
+        assert_eq!(model.nodes, 128);
+        assert_eq!(model.generate(2_000, 1).nodes(), 128);
+    }
+
+    #[test]
+    fn sdsc_is_wider_than_ctc_relatively() {
+        // Wide fraction: SDSC ≈ 32 %, CTC ≈ 25 %.
+        let wide_sdsc = SDSC_CATEGORY_MIX[1] + SDSC_CATEGORY_MIX[3];
+        let wide_ctc =
+            super::super::ctc::CTC_CATEGORY_MIX[1] + super::super::ctc::CTC_CATEGORY_MIX[3];
+        assert!(wide_sdsc > wide_ctc);
+    }
+}

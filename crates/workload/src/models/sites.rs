@@ -1,0 +1,138 @@
+//! Additional machine-scale presets.
+//!
+//! The paper evaluates CTC and SDSC; studies in its bibliography span a
+//! wider range of machine scales, and scale interacts with backfilling
+//! (narrow/wide is relative to the machine). These presets give users
+//! ready-made models at characteristic scales of the era's archive logs.
+//!
+//! **Calibration status**: unlike [`super::ctc`]/[`super::sdsc`] (whose
+//! category mixes are pinned to the paper's Tables 2–3), these mixes are
+//! *illustrative*, chosen to reflect each site's qualitative character as
+//! described in the Parallel Workloads Archive notes — KTH ran mostly
+//! narrow jobs with short queues; the LANL CM-5 ran fixed power-of-two
+//! partitions with many wide jobs. Pin them to real logs with
+//! [`crate::swf::parse_trace`] before drawing per-site conclusions.
+
+use super::{ModelSpec, WorkloadModel};
+use simcore::SimSpan;
+
+/// KTH SP2 (100 processors, Stockholm): small machine, strongly narrow
+/// workload, 4-hour default queue limits.
+pub fn kth() -> WorkloadModel {
+    WorkloadModel::from_spec(ModelSpec {
+        name: "KTH-syn",
+        nodes: 100,
+        category_mix: [0.52, 0.08, 0.32, 0.08],
+        mean_gap_secs: 1_800.0,
+        max_runtime: SimSpan::from_hours(60),
+        short_median: 300.0,
+        short_sigma: 1.5,
+        long_median: 9_000.0,
+        long_sigma: 1.0,
+        width_decay: 0.9,
+        pow2_boost: 6.0,
+    })
+}
+
+/// LANL CM-5 (1024 processors): capability machine with rigid power-of-two
+/// partitions of at least 32 nodes — everything is "wide" by the paper's
+/// 8-processor criterion.
+pub fn lanl_cm5() -> WorkloadModel {
+    WorkloadModel::from_spec(ModelSpec {
+        name: "LANL-CM5-syn",
+        nodes: 1024,
+        category_mix: [0.05, 0.55, 0.05, 0.35],
+        mean_gap_secs: 1_200.0,
+        max_runtime: SimSpan::from_hours(24),
+        short_median: 600.0,
+        short_sigma: 1.2,
+        long_median: 10_000.0,
+        long_sigma: 0.8,
+        width_decay: 0.3,
+        pow2_boost: 40.0,
+    })
+}
+
+/// SDSC Blue Horizon (1152 processors): large IBM SP at the turn of the
+/// millennium; wide mix with long site limits.
+pub fn blue_horizon() -> WorkloadModel {
+    WorkloadModel::from_spec(ModelSpec {
+        name: "BLUE-syn",
+        nodes: 1152,
+        category_mix: [0.38, 0.22, 0.22, 0.18],
+        mean_gap_secs: 500.0,
+        max_runtime: SimSpan::from_hours(36),
+        short_median: 400.0,
+        short_sigma: 1.4,
+        long_median: 12_000.0,
+        long_sigma: 0.9,
+        width_decay: 0.6,
+        pow2_boost: 10.0,
+    })
+}
+
+/// Look up any built-in model (the paper's two plus the presets) by name.
+pub fn by_name(name: &str) -> Option<WorkloadModel> {
+    match name {
+        "ctc" => Some(super::ctc()),
+        "sdsc" => Some(super::sdsc()),
+        "kth" => Some(kth()),
+        "lanl-cm5" => Some(lanl_cm5()),
+        "blue-horizon" => Some(blue_horizon()),
+        _ => None,
+    }
+}
+
+/// Names accepted by [`by_name`].
+pub const SITE_NAMES: [&str; 5] = ["ctc", "sdsc", "kth", "lanl-cm5", "blue-horizon"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_generate_valid_traces() {
+        for name in SITE_NAMES {
+            let model = by_name(name).unwrap();
+            let trace = model.generate(2_000, 7);
+            assert_eq!(trace.len(), 2_000, "{name}");
+            for j in trace.jobs() {
+                assert!(j.validate().is_ok(), "{name}");
+                assert!(j.width <= model.nodes);
+            }
+            let rho = trace.offered_load();
+            assert!(rho.is_finite() && rho > 0.05, "{name}: rho {rho}");
+        }
+    }
+
+    #[test]
+    fn category_mixes_hit_targets() {
+        for name in SITE_NAMES {
+            let model = by_name(name).unwrap();
+            let trace = model.generate(20_000, 42);
+            let dist = model.criteria.distribution(&trace);
+            for (got, want) in dist.iter().zip(&model.category_mix) {
+                assert!((got - want).abs() < 0.02, "{name}: {dist:?} vs {:?}", model.category_mix);
+            }
+        }
+    }
+
+    #[test]
+    fn cm5_is_wide_dominated() {
+        let trace = lanl_cm5().generate(5_000, 1);
+        let wide = trace.jobs().iter().filter(|j| j.width > 8).count();
+        assert!(wide as f64 / trace.len() as f64 > 0.8, "CM-5 should be mostly wide");
+    }
+
+    #[test]
+    fn kth_is_narrow_dominated() {
+        let trace = kth().generate(5_000, 1);
+        let narrow = trace.jobs().iter().filter(|j| j.width <= 8).count();
+        assert!(narrow as f64 / trace.len() as f64 > 0.75, "KTH should be mostly narrow");
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("asci-white").is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! Input shaking — robustness testing by micro-perturbation.
+//!
+//! Tsafrir, Ouaknine & Feitelson ("Reducing performance evaluation
+//! sensitivity and variability by input shaking") observed that simulation
+//! conclusions sometimes hinge on razor-thin timing coincidences in one
+//! trace, and proposed *shaking*: rerun the experiment on many copies of
+//! the input with tiny random perturbations of the arrival times, and
+//! report the distribution instead of the single number. A conclusion
+//! that survives shaking is robust; one that flips is an artifact.
+//!
+//! [`shake`] produces one perturbed copy; experiment harnesses map over
+//! seeds to build the shaken ensemble (see the `shaking` repro command).
+
+use crate::job::Job;
+use crate::trace::Trace;
+use simcore::{SimRng, SimSpan};
+
+/// Perturb each job's arrival by an independent uniform offset in
+/// `[-magnitude, +magnitude]`, clamped at zero, deterministically from
+/// `seed`. Runtimes, estimates and widths are untouched; the trace is
+/// re-sorted (so ids may permute — shapes, not identities, are preserved).
+pub fn shake(trace: &Trace, magnitude: SimSpan, seed: u64) -> Trace {
+    assert!(!magnitude.is_zero(), "shaking needs a positive magnitude");
+    let mut rng = SimRng::seed_from_u64(seed);
+    let m = magnitude.as_secs();
+    let jobs: Vec<Job> = trace
+        .jobs()
+        .iter()
+        .map(|j| {
+            // Uniform integer offset in [-m, +m].
+            let offset = rng.range_inclusive(0, 2 * m) as i128 - m as i128;
+            let arrival = (j.arrival.as_secs() as i128 + offset).max(0) as u64;
+            Job { arrival: simcore::SimTime::new(arrival), ..*j }
+        })
+        .collect();
+    Trace::new(trace.name().to_string(), trace.nodes(), jobs)
+        .expect("shaking preserves job validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{JobId, SimTime};
+
+    fn base_trace() -> Trace {
+        let jobs = (0..200)
+            .map(|i| Job {
+                id: JobId(0),
+                arrival: SimTime::new(1_000 + i * 500),
+                runtime: SimSpan::new(300 + i % 7),
+                estimate: SimSpan::new(600),
+                width: 1 + (i % 8) as u32,
+            })
+            .collect();
+        Trace::new("base", 16, jobs).unwrap()
+    }
+
+    #[test]
+    fn shapes_are_preserved() {
+        let t = base_trace();
+        let shaken = shake(&t, SimSpan::new(60), 1);
+        assert_eq!(shaken.len(), t.len());
+        // The multiset of (runtime, estimate, width) is unchanged.
+        let key = |j: &Job| (j.runtime.as_secs(), j.estimate.as_secs(), j.width);
+        let mut a: Vec<_> = t.jobs().iter().map(key).collect();
+        let mut b: Vec<_> = shaken.jobs().iter().map(key).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn perturbations_stay_within_magnitude() {
+        let t = base_trace();
+        let shaken = shake(&t, SimSpan::new(60), 2);
+        // Arrivals in both traces are sorted; pairwise distance after
+        // sorting is bounded by the magnitude (offsets can reorder only
+        // jobs closer than 2m, so sorted positions shift by <= m... the
+        // robust check: each shaken arrival lies within m of *some*
+        // original arrival is implied by per-job bound before sorting;
+        // check the per-position bound loosely).
+        for (a, b) in t.jobs().iter().zip(shaken.jobs()) {
+            let d = a.arrival.as_secs().abs_diff(b.arrival.as_secs());
+            assert!(d <= 120, "sorted arrival moved {d}s > 2x magnitude");
+        }
+    }
+
+    #[test]
+    fn shaking_is_deterministic_and_seed_sensitive() {
+        let t = base_trace();
+        assert_eq!(shake(&t, SimSpan::new(30), 5).jobs(), shake(&t, SimSpan::new(30), 5).jobs());
+        assert_ne!(shake(&t, SimSpan::new(30), 5).jobs(), shake(&t, SimSpan::new(30), 6).jobs());
+    }
+
+    #[test]
+    fn early_arrivals_clamp_at_zero() {
+        let jobs = vec![Job {
+            id: JobId(0),
+            arrival: SimTime::new(5),
+            runtime: SimSpan::new(10),
+            estimate: SimSpan::new(10),
+            width: 1,
+        }];
+        let t = Trace::new("t", 4, jobs).unwrap();
+        // With magnitude 1000 the offset is very likely negative past zero
+        // for some seed; clamping must hold for all seeds tried.
+        for seed in 0..50 {
+            let s = shake(&t, SimSpan::new(1_000), seed);
+            assert!(s.jobs()[0].arrival >= SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive magnitude")]
+    fn rejects_zero_magnitude() {
+        shake(&base_trace(), SimSpan::ZERO, 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Trace characterization statistics.
+//!
+//! Before trusting any simulation result, characterize the input: the
+//! whole point of the paper's Section 3. [`TraceStats`] computes the
+//! marginal summaries (runtime, width, inter-arrival), the power-of-two
+//! share, the runtime/width correlation, and the category mix, and renders
+//! them as a report table.
+
+use crate::category::{Category, CategoryCriteria};
+use crate::trace::Trace;
+
+/// Five-number-ish summary of a marginal: min / median / mean / p90 / max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginalSummary {
+    /// Smallest observation.
+    pub min: f64,
+    /// 50th percentile.
+    pub median: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl MarginalSummary {
+    fn from_values(mut values: Vec<f64>) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(f64::total_cmp);
+        let n = values.len();
+        let q = |p: f64| -> f64 {
+            let pos = p * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            values[lo] * (1.0 - frac) + values[hi] * frac
+        };
+        Some(MarginalSummary {
+            min: values[0],
+            median: q(0.5),
+            mean: values.iter().sum::<f64>() / n as f64,
+            p90: q(0.9),
+            max: values[n - 1],
+        })
+    }
+}
+
+/// Full characterization of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Machine size.
+    pub nodes: u32,
+    /// Offered load ρ.
+    pub offered_load: f64,
+    /// Runtime marginal (seconds).
+    pub runtime: Option<MarginalSummary>,
+    /// Width marginal (processors).
+    pub width: Option<MarginalSummary>,
+    /// Inter-arrival gap marginal (seconds).
+    pub interarrival: Option<MarginalSummary>,
+    /// Share of jobs whose width is a power of two.
+    pub pow2_share: f64,
+    /// Share of serial (width 1) jobs.
+    pub serial_share: f64,
+    /// Pearson correlation between log-runtime and log-width.
+    pub runtime_width_correlation: f64,
+    /// SN/SW/LN/LW mix.
+    pub category_mix: [f64; 4],
+    /// Mean overestimation factor `estimate / runtime`.
+    pub mean_overestimation: f64,
+}
+
+/// Hour-of-day × day-of-week arrival counts (7 rows of 24), for weekly
+/// heatmaps of a trace's submission pattern.
+pub fn arrival_heatmap(trace: &Trace) -> [[u32; 24]; 7] {
+    let mut grid = [[0u32; 24]; 7];
+    for j in trace.jobs() {
+        let day = ((j.arrival.as_secs() / 86_400) % 7) as usize;
+        let hour = ((j.arrival.as_secs() / 3_600) % 24) as usize;
+        grid[day][hour] += 1;
+    }
+    grid
+}
+
+/// Pearson correlation of two equal-length samples (0 if degenerate).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation needs paired samples");
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+impl TraceStats {
+    /// Characterize a trace with the default category criteria.
+    pub fn of(trace: &Trace) -> Self {
+        let criteria = CategoryCriteria::default();
+        let runtimes: Vec<f64> =
+            trace.jobs().iter().map(|j| j.runtime.as_secs_f64()).collect();
+        let widths: Vec<f64> = trace.jobs().iter().map(|j| j.width as f64).collect();
+        let gaps: Vec<f64> = trace
+            .jobs()
+            .windows(2)
+            .map(|w| w[1].arrival.since(w[0].arrival).as_secs_f64())
+            .collect();
+        let n = trace.len().max(1) as f64;
+        let pow2 =
+            trace.jobs().iter().filter(|j| j.width.is_power_of_two()).count() as f64 / n;
+        let serial = trace.jobs().iter().filter(|j| j.width == 1).count() as f64 / n;
+        let log_rt: Vec<f64> = runtimes.iter().map(|&r| r.max(1.0).ln()).collect();
+        let log_w: Vec<f64> = widths.iter().map(|&w| w.max(1.0).ln()).collect();
+        let over = if trace.is_empty() {
+            1.0
+        } else {
+            trace.jobs().iter().map(|j| j.overestimation()).sum::<f64>() / n
+        };
+        TraceStats {
+            jobs: trace.len(),
+            nodes: trace.nodes(),
+            offered_load: trace.offered_load(),
+            runtime: MarginalSummary::from_values(runtimes),
+            width: MarginalSummary::from_values(widths),
+            interarrival: MarginalSummary::from_values(gaps),
+            pow2_share: pow2,
+            serial_share: serial,
+            runtime_width_correlation: pearson(&log_rt, &log_w),
+            category_mix: criteria.distribution(trace),
+            mean_overestimation: over,
+        }
+    }
+
+    /// Render as a human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} jobs on {} processors, offered load {:.3}\n",
+            self.jobs, self.nodes, self.offered_load
+        ));
+        let marginal = |name: &str, m: &Option<MarginalSummary>| -> String {
+            match m {
+                Some(m) => format!(
+                    "{name:<14} min {:>10.0}  median {:>10.0}  mean {:>10.0}  p90 {:>10.0}  max {:>10.0}\n",
+                    m.min, m.median, m.mean, m.p90, m.max
+                ),
+                None => format!("{name:<14} (empty)\n"),
+            }
+        };
+        out.push_str(&marginal("runtime (s)", &self.runtime));
+        out.push_str(&marginal("width (procs)", &self.width));
+        out.push_str(&marginal("gap (s)", &self.interarrival));
+        out.push_str(&format!(
+            "power-of-two widths {:.1}%, serial jobs {:.1}%, corr(log rt, log w) {:+.2}\n",
+            self.pow2_share * 100.0,
+            self.serial_share * 100.0,
+            self.runtime_width_correlation
+        ));
+        out.push_str(&format!(
+            "categories: SN {:.1}%  SW {:.1}%  LN {:.1}%  LW {:.1}%  |  mean overestimation {:.2}x\n",
+            self.category_mix[Category::SN as usize] * 100.0,
+            self.category_mix[Category::SW as usize] * 100.0,
+            self.category_mix[Category::LN as usize] * 100.0,
+            self.category_mix[Category::LW as usize] * 100.0,
+            self.mean_overestimation
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use simcore::{JobId, SimSpan, SimTime};
+
+    fn job(arrival: u64, runtime: u64, estimate: u64, width: u32) -> Job {
+        Job {
+            id: JobId(0),
+            arrival: SimTime::new(arrival),
+            runtime: SimSpan::new(runtime),
+            estimate: SimSpan::new(estimate),
+            width,
+        }
+    }
+
+    #[test]
+    fn marginals_on_known_trace() {
+        let t = Trace::new(
+            "t",
+            16,
+            vec![job(0, 100, 100, 1), job(10, 200, 200, 2), job(30, 300, 300, 4)],
+        )
+        .unwrap();
+        let s = TraceStats::of(&t);
+        assert_eq!(s.jobs, 3);
+        let rt = s.runtime.unwrap();
+        assert_eq!(rt.min, 100.0);
+        assert_eq!(rt.median, 200.0);
+        assert_eq!(rt.max, 300.0);
+        assert!((rt.mean - 200.0).abs() < 1e-12);
+        let gaps = s.interarrival.unwrap();
+        assert_eq!(gaps.min, 10.0);
+        assert_eq!(gaps.max, 20.0);
+        assert_eq!(s.pow2_share, 1.0);
+        assert!((s.serial_share - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_detects_monotone_relation() {
+        // Runtime grows with width: strong positive correlation.
+        let jobs: Vec<Job> =
+            (1..=32).map(|w| job(w as u64, 100 * w as u64, 100 * w as u64, w)).collect();
+        let t = Trace::new("t", 32, jobs).unwrap();
+        let s = TraceStats::of(&t);
+        assert!(s.runtime_width_correlation > 0.99, "corr {}", s.runtime_width_correlation);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0); // degenerate x
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn pearson_rejects_mismatched_lengths() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn overestimation_mean() {
+        let t = Trace::new("t", 8, vec![job(0, 100, 200, 1), job(1, 100, 400, 1)]).unwrap();
+        let s = TraceStats::of(&t);
+        assert!((s.mean_overestimation - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let t = Trace::new("t", 8, vec![]).unwrap();
+        let s = TraceStats::of(&t);
+        assert_eq!(s.jobs, 0);
+        assert!(s.runtime.is_none());
+        assert!(s.render().contains("(empty)"));
+    }
+
+    #[test]
+    fn arrival_heatmap_buckets_correctly() {
+        // One job on day 0 hour 0, one on day 1 hour 3, two on day 6 hour 23.
+        let mk = |secs: u64| job(secs, 10, 10, 1);
+        let t = Trace::new(
+            "t",
+            8,
+            vec![
+                mk(0),
+                mk(86_400 + 3 * 3_600),
+                mk(6 * 86_400 + 23 * 3_600),
+                mk(6 * 86_400 + 23 * 3_600 + 59),
+            ],
+        )
+        .unwrap();
+        let g = arrival_heatmap(&t);
+        assert_eq!(g[0][0], 1);
+        assert_eq!(g[1][3], 1);
+        assert_eq!(g[6][23], 2);
+        let total: u32 = g.iter().flatten().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn render_contains_key_lines() {
+        let t = Trace::new("t", 8, vec![job(0, 100, 100, 2)]).unwrap();
+        let text = TraceStats::of(&t).render();
+        assert!(text.contains("1 jobs on 8 processors"));
+        assert!(text.contains("categories:"));
+        assert!(text.contains("power-of-two"));
+    }
+}

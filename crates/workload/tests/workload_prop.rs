@@ -1,0 +1,153 @@
+//! Property-based tests of the workload substrate: SWF round-trips,
+//! estimate-model invariants, trace-transform laws, and distribution
+//! sanity under arbitrary parameters.
+
+use proptest::prelude::*;
+use simcore::{JobId, SimRng, SimSpan, SimTime};
+use workload::dist::{Exponential, LogNormal, Sample, Uniform, Weibull};
+use workload::load::{scale_interarrival, scale_to_load};
+use workload::{swf, CategoryCriteria, EstimateModel, Job, Trace, UserModelParams};
+
+fn arb_jobs() -> impl Strategy<Value = Vec<Job>> {
+    proptest::collection::vec(
+        (0u64..1_000_000, 1u64..200_000, 0u64..400_000, 1u32..=128),
+        1..50,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(arrival, runtime, slack, width)| Job {
+                id: JobId(0),
+                arrival: SimTime::new(arrival),
+                runtime: SimSpan::new(runtime),
+                estimate: SimSpan::new(runtime + slack),
+                width,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SWF write → parse is the identity on valid traces.
+    #[test]
+    fn swf_round_trip(jobs in arb_jobs()) {
+        let trace = Trace::new("rt", 128, jobs).expect("valid");
+        let text = swf::write_trace(&trace);
+        let parsed = swf::parse_trace(&text, "rt", None).expect("parses");
+        prop_assert_eq!(parsed.trace.jobs(), trace.jobs());
+        prop_assert_eq!(parsed.trace.nodes(), trace.nodes());
+        prop_assert_eq!(parsed.dropped.total(), 0);
+    }
+
+    /// Every estimate model preserves `estimate >= runtime` and never
+    /// touches runtime, width, or arrival.
+    #[test]
+    fn estimate_models_preserve_invariants(
+        jobs in arb_jobs(),
+        seed in any::<u64>(),
+        factor in 1.0f64..16.0,
+        exact_frac in 0.0f64..1.0,
+        max_factor in 1.0f64..64.0,
+    ) {
+        let trace = Trace::new("est", 128, jobs).expect("valid");
+        let models = [
+            EstimateModel::Exact,
+            EstimateModel::systematic(factor),
+            EstimateModel::User(UserModelParams {
+                exact_frac,
+                max_factor,
+                round_values: true,
+                max_estimate: Some(SimSpan::from_hours(18)),
+            }),
+        ];
+        for model in models {
+            let out = model.apply(&trace, seed);
+            prop_assert_eq!(out.len(), trace.len());
+            for (a, b) in trace.jobs().iter().zip(out.jobs()) {
+                prop_assert!(b.estimate >= b.runtime);
+                prop_assert_eq!(a.runtime, b.runtime);
+                prop_assert_eq!(a.width, b.width);
+                prop_assert_eq!(a.arrival, b.arrival);
+            }
+        }
+    }
+
+    /// Inter-arrival scaling: factor 1 is identity; composing f then 1/f
+    /// returns arrivals to within rounding; load targeting hits its target.
+    #[test]
+    fn load_scaling_laws(jobs in arb_jobs(), factor in 0.05f64..20.0) {
+        let trace = Trace::new("load", 128, jobs).expect("valid");
+        let same = scale_interarrival(&trace, 1.0);
+        prop_assert_eq!(same.jobs(), trace.jobs());
+
+        let scaled = scale_interarrival(&trace, factor);
+        let back = scale_interarrival(&scaled, 1.0 / factor);
+        for (a, b) in trace.jobs().iter().zip(back.jobs()) {
+            let da = a.arrival.as_secs() as i128;
+            let db = b.arrival.as_secs() as i128;
+            // One rounding step each way.
+            prop_assert!((da - db).abs() <= (factor.max(1.0 / factor)).ceil() as i128 + 1);
+        }
+
+        if trace.offered_load().is_finite() && trace.offered_load() > 0.0 {
+            let hot = scale_to_load(&trace, 0.9);
+            let rho = hot.offered_load();
+            // Integral arrival rounding perturbs the span slightly.
+            prop_assert!((rho - 0.9).abs() < 0.05, "rho {rho}");
+        }
+    }
+
+    /// Categorization is total and consistent with its defining predicate.
+    #[test]
+    fn categorization_matches_definition(jobs in arb_jobs()) {
+        let c = CategoryCriteria::default();
+        let trace = Trace::new("cat", 128, jobs).expect("valid");
+        let dist = c.distribution(&trace);
+        prop_assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for j in trace.jobs() {
+            let cat = c.categorize(j);
+            prop_assert_eq!(cat.is_short(), j.runtime <= c.short_max);
+            prop_assert_eq!(cat.is_narrow(), j.width <= c.narrow_max);
+        }
+    }
+
+    /// All continuous samplers produce positive, finite values for any
+    /// valid parameters.
+    #[test]
+    fn samplers_are_finite_and_positive(
+        seed in any::<u64>(),
+        mean in 0.001f64..1e6,
+        shape in 0.05f64..20.0,
+        sigma in 0.0f64..4.0,
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let dists: Vec<Box<dyn Sample>> = vec![
+            Box::new(Exponential::with_mean(mean)),
+            Box::new(Weibull::new(shape, mean)),
+            Box::new(LogNormal::new(mean.ln(), sigma)),
+            Box::new(Uniform::new(0.0, mean)),
+        ];
+        for d in &dists {
+            for _ in 0..50 {
+                let x = d.sample(&mut rng);
+                prop_assert!(x.is_finite());
+                prop_assert!(x >= 0.0);
+            }
+        }
+    }
+
+    /// Trace construction sorts by arrival and assigns dense ids, for any
+    /// input order.
+    #[test]
+    fn trace_normalization(jobs in arb_jobs()) {
+        let trace = Trace::new("norm", 128, jobs).expect("valid");
+        for (i, w) in trace.jobs().windows(2).enumerate() {
+            prop_assert!(w[0].arrival <= w[1].arrival);
+            prop_assert_eq!(w[0].id, JobId(i as u32));
+        }
+        if let Some(last) = trace.jobs().last() {
+            prop_assert_eq!(last.id, JobId(trace.len() as u32 - 1));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Capacity planning: how hot can the machine run before user experience
+//! collapses, under each scheduling strategy?
+//!
+//! Sweeps the offered load on an SDSC-like (128-node) machine and prints
+//! the average bounded slowdown per strategy, locating the "knee" — the
+//! load beyond which slowdown grows super-linearly. The paper's Section 3
+//! observation ("trends are pronounced under high load") is visible as the
+//! strategies separating as ρ grows.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning [-- jobs]
+//! ```
+
+use backfill_sim::prelude::*;
+use std::num::NonZeroUsize;
+
+fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8_000);
+    let loads = [0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 1.0];
+    let kinds = [
+        ("Cons/FCFS", SchedulerKind::Conservative, Policy::Fcfs),
+        ("EASY/FCFS", SchedulerKind::Easy, Policy::Fcfs),
+        ("EASY/SJF", SchedulerKind::Easy, Policy::Sjf),
+        ("EASY/XF", SchedulerKind::Easy, Policy::XFactor),
+    ];
+
+    let mut configs = Vec::new();
+    for &rho in &loads {
+        for &(_, kind, policy) in &kinds {
+            configs.push(RunConfig {
+                scenario: Scenario {
+                    source: TraceSource::Sdsc { jobs, seed: 7 },
+                    estimate: EstimateModel::Exact,
+                    estimate_seed: 1,
+                    load: Some(rho),
+                },
+                kind,
+                policy,
+            });
+        }
+    }
+    let results = run_all(&configs, None::<NonZeroUsize>);
+    let criteria = CategoryCriteria::default();
+
+    let mut table = Table::new(
+        format!("Average bounded slowdown vs offered load — SDSC-like, {jobs} jobs"),
+        &["load", "Cons/FCFS", "EASY/FCFS", "EASY/SJF", "EASY/XF"],
+    );
+    let mut knee: Option<f64> = None;
+    let mut prev_easy_xf: Option<f64> = None;
+    for (li, &rho) in loads.iter().enumerate() {
+        let mut row = vec![format!("{rho:.2}")];
+        for (ki, _) in kinds.iter().enumerate() {
+            let stats = results[li * kinds.len() + ki].schedule.stats(&criteria);
+            let s = stats.overall.avg_slowdown();
+            row.push(fnum(s));
+            if ki == 3 {
+                if let Some(prev) = prev_easy_xf {
+                    if knee.is_none() && s > prev * 2.0 {
+                        knee = Some(rho);
+                    }
+                }
+                prev_easy_xf = Some(s);
+            }
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    match knee {
+        Some(rho) => println!(
+            "=> even under EASY/XF, slowdown more than doubles stepping into rho = {rho}: \
+             plan capacity below that."
+        ),
+        None => println!("=> no knee in the sweep range; the machine absorbs this trace shape."),
+    }
+}

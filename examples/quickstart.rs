@@ -1,0 +1,48 @@
+//! Quickstart: simulate one synthetic workload under EASY backfilling and
+//! print the paper's metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use backfill_sim::prelude::*;
+
+fn main() {
+    // 1. A CTC-like synthetic workload: 5 000 jobs, deterministic from the
+    //    seed, rescaled to the paper's high-load condition (rho = 0.9).
+    let scenario = Scenario::high_load(TraceSource::Ctc { jobs: 5_000, seed: 42 });
+    let trace = scenario.materialize();
+    println!(
+        "workload: {} jobs on {} processors, offered load {:.2}",
+        trace.len(),
+        trace.nodes(),
+        trace.offered_load()
+    );
+
+    // 2. Simulate EASY backfilling with FCFS queue priority.
+    let schedule = simulate(&trace, SchedulerKind::Easy, Policy::Fcfs);
+
+    // 3. Audit the schedule independently of the scheduler's bookkeeping.
+    schedule.validate().expect("schedule violates machine capacity");
+
+    // 4. Report the paper's metrics, overall and per job category.
+    let stats = schedule.stats(&CategoryCriteria::default());
+    println!("\nscheduler: {}", schedule.scheduler);
+    println!("utilization: {:.3}", stats.utilization);
+    println!(
+        "overall: avg bounded slowdown {:.2}, avg turnaround {:.0} s, worst turnaround {:.0} s",
+        stats.overall.avg_slowdown(),
+        stats.overall.avg_turnaround(),
+        stats.overall.worst_turnaround()
+    );
+    println!("\nper category (the paper's SN/SW/LN/LW lens):");
+    for cat in Category::ALL {
+        let m = stats.category(cat);
+        println!(
+            "  {cat}: {:5} jobs, avg slowdown {:8.2}, avg wait {:8.0} s",
+            m.count(),
+            m.avg_slowdown(),
+            m.avg_wait()
+        );
+    }
+}

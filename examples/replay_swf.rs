@@ -1,0 +1,85 @@
+//! Replay a real Standard Workload Format log through the simulator.
+//!
+//! Point it at any SWF file from the Parallel Workloads Archive (e.g. the
+//! actual CTC or SDSC logs the paper used) and it reruns the paper's main
+//! comparison on the real data:
+//!
+//! ```text
+//! cargo run --release --example replay_swf -- path/to/CTC-SP2-1996-3.1-cln.swf
+//! ```
+//!
+//! Without an argument it demonstrates the full round trip on itself: it
+//! generates a synthetic trace, serializes it to SWF in a temp file, parses
+//! it back, verifies the round trip was lossless, and replays it.
+
+use backfill_sim::prelude::*;
+use workload::swf;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let (text, name) = match &arg {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            (text, path.clone())
+        }
+        None => {
+            println!("no SWF file given; demonstrating on a generated trace\n");
+            let trace = Scenario::high_load(TraceSource::Ctc { jobs: 3_000, seed: 9 })
+                .materialize();
+            let text = swf::write_trace(&trace);
+            let dir = std::env::temp_dir().join("backfill-sim-demo.swf");
+            std::fs::write(&dir, &text).expect("write temp SWF");
+            println!("wrote {} ({} bytes)", dir.display(), text.len());
+            // Prove the round trip is lossless.
+            let reparsed = swf::parse_trace(&text, trace.name(), None).expect("parse");
+            assert_eq!(reparsed.trace.jobs(), trace.jobs(), "SWF round trip lost data");
+            (text, dir.display().to_string())
+        }
+    };
+
+    let parsed = swf::parse_trace(&text, &name, None).unwrap_or_else(|e| {
+        eprintln!("cannot parse {name}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "parsed {}: {} usable jobs on {} processors ({} records dropped: \
+         {} bad runtime, {} bad width, {} too wide, {} bad submit)",
+        name,
+        parsed.trace.len(),
+        parsed.trace.nodes(),
+        parsed.dropped.total(),
+        parsed.dropped.bad_runtime,
+        parsed.dropped.bad_width,
+        parsed.dropped.too_wide,
+        parsed.dropped.bad_submit,
+    );
+    println!("offered load: {:.3}\n", parsed.trace.offered_load());
+
+    let criteria = CategoryCriteria::default();
+    let dist = criteria.distribution(&parsed.trace);
+    println!("category mix: SN {:.1}%  SW {:.1}%  LN {:.1}%  LW {:.1}%\n",
+        dist[0] * 100.0, dist[1] * 100.0, dist[2] * 100.0, dist[3] * 100.0);
+
+    let mut table = Table::new(
+        "Replay — conservative vs EASY on this log (its own estimates)",
+        &["scheme", "avg slowdown", "avg wait (min)", "worst TA (h)", "utilization"],
+    );
+    for kind in [SchedulerKind::Conservative, SchedulerKind::Easy] {
+        for policy in Policy::PAPER {
+            let schedule = simulate(&parsed.trace, kind, policy);
+            schedule.validate().expect("audit");
+            let stats = schedule.stats(&criteria);
+            table.row(vec![
+                format!("{}/{}", kind.label(), policy),
+                fnum(stats.overall.avg_slowdown()),
+                fnum(stats.overall.avg_wait() / 60.0),
+                fnum(stats.overall.worst_turnaround() / 3600.0),
+                format!("{:.3}", stats.utilization),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

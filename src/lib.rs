@@ -1,0 +1,2 @@
+//! Meta-crate for the `backfill-sim` workspace: re-exports the public facade.
+pub use backfill_sim::*;

@@ -1,0 +1,121 @@
+//! Pinning tests for the four conservative-compression semantics.
+//!
+//! These hand-constructed scenarios document *exactly* how each variant
+//! reacts to an early completion — the under-specified design axis that
+//! EXPERIMENTS.md shows can swing inaccurate-estimate results by 45×.
+//! If any of these start times change, the compression semantics changed,
+//! and every Section-5 number in EXPERIMENTS.md must be re-derived.
+
+use backfill_sim::prelude::*;
+
+fn job(id: u32, arrival: u64, runtime: u64, estimate: u64, width: u32) -> Job {
+    Job {
+        id: JobId(id),
+        arrival: SimTime::new(arrival),
+        runtime: SimSpan::new(runtime),
+        estimate: SimSpan::new(estimate),
+        width,
+    }
+}
+
+fn starts(trace: &Trace, kind: SchedulerKind) -> Vec<u64> {
+    let s = simulate(trace, kind, Policy::Fcfs);
+    s.validate().expect("audit");
+    s.outcomes.iter().map(|o| o.start.as_secs()).collect()
+}
+
+/// Scenario 1: one badly overestimated hog, two full-width followers.
+///
+/// j0 claims 1000 s but runs 100 s (8-wide). j1 (500 s, 8-wide) is anchored
+/// at 1000; j2 (100 s, 8-wide) at 1500. The hole at t = 100 separates the
+/// variants.
+#[test]
+fn scenario_full_width_chain() {
+    let trace = Trace::new(
+        "chain",
+        8,
+        vec![job(0, 0, 100, 1000, 8), job(1, 1, 500, 500, 8), job(2, 2, 100, 100, 8)],
+    )
+    .unwrap();
+
+    // Backfill: j1 hops into the hole (it can start *now*); j2's anchor at
+    // 1500 is untouched — the gap [600, 1500) stays reserved-but-idle
+    // because j1's completion at 600 is exact (no new hole, no compression).
+    assert_eq!(starts(&trace, SchedulerKind::Conservative), vec![0, 100, 1500]);
+
+    // Reanchor: j1 hops in AND j2 is re-anchored to follow at 600.
+    assert_eq!(starts(&trace, SchedulerKind::ConservativeReanchor), vec![0, 100, 600]);
+
+    // HeadStart behaves like Backfill here (the head itself could start).
+    assert_eq!(starts(&trace, SchedulerKind::ConservativeHeadStart), vec![0, 100, 1500]);
+
+    // None: nobody moves; j1 waits for its original guarantee at 1000.
+    assert_eq!(starts(&trace, SchedulerKind::ConservativeNoCompress), vec![0, 1000, 1500]);
+
+    // EASY for reference: identical to Reanchor on this trace.
+    assert_eq!(starts(&trace, SchedulerKind::Easy), vec![0, 100, 600]);
+}
+
+/// Scenario 2: the hole fits only a *lower-priority* job.
+///
+/// Two 4-wide hogs (j0a runs 100 s of a 1000 s claim; j0b runs 500 s,
+/// freeing everything at t = 500). j1 (8-wide) cannot use the 4-proc hole
+/// at t = 100; j2 (4-wide) can.
+/// Whether j2 is allowed to grab it past the blocked j1 is exactly the
+/// Backfill-vs-HeadStart distinction.
+#[test]
+fn scenario_hole_fits_only_lower_priority() {
+    let trace = Trace::new(
+        "hole",
+        8,
+        vec![
+            job(0, 0, 100, 1000, 4), // j0a: early completion at 100
+            job(1, 0, 500, 1000, 4), // j0b: early completion at 600
+            job(2, 1, 500, 500, 8),  // j1: anchored at 1000
+            job(3, 2, 100, 100, 4),  // j2: anchored at 1500
+        ],
+    )
+    .unwrap();
+
+    // Backfill: j2 grabs the t=100 hole past the blocked j1; the full
+    // machine frees at j0b's early completion (t=500), letting j1 start.
+    assert_eq!(starts(&trace, SchedulerKind::Conservative), vec![0, 0, 500, 100]);
+
+    // Reanchor agrees here (j1's earliest anchor at t=100 is still 1000,
+    // limited by j0b's estimate; j2 compresses to now).
+    assert_eq!(starts(&trace, SchedulerKind::ConservativeReanchor), vec![0, 0, 500, 100]);
+
+    // HeadStart: the blocked 8-wide head stops the scan — j2 may NOT jump
+    // it, and keeps its 1500 guarantee. The head itself starts at t=500.
+    assert_eq!(
+        starts(&trace, SchedulerKind::ConservativeHeadStart),
+        vec![0, 0, 500, 1500]
+    );
+
+    // None: original guarantees throughout.
+    assert_eq!(
+        starts(&trace, SchedulerKind::ConservativeNoCompress),
+        vec![0, 0, 1000, 1500]
+    );
+}
+
+/// With accurate estimates these traces produce identical schedules under
+/// every variant (the proptest law, pinned concretely here).
+#[test]
+fn scenarios_collapse_with_accurate_estimates() {
+    let trace = Trace::new(
+        "exact",
+        8,
+        vec![job(0, 0, 100, 100, 8), job(1, 1, 500, 500, 8), job(2, 2, 100, 100, 8)],
+    )
+    .unwrap();
+    let base = starts(&trace, SchedulerKind::Conservative);
+    assert_eq!(base, vec![0, 100, 600]);
+    for kind in [
+        SchedulerKind::ConservativeReanchor,
+        SchedulerKind::ConservativeHeadStart,
+        SchedulerKind::ConservativeNoCompress,
+    ] {
+        assert_eq!(starts(&trace, kind), base);
+    }
+}

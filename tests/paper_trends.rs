@@ -1,0 +1,201 @@
+//! End-to-end reproduction checks: the paper's qualitative claims must
+//! hold on freshly generated workloads, across seeds. These are the same
+//! checks `EXPERIMENTS.md` documents, run at test scale.
+
+use backfill_sim::prelude::*;
+
+fn stats_for(
+    source: TraceSource,
+    estimate: EstimateModel,
+    kind: SchedulerKind,
+    policy: Policy,
+) -> ScheduleStats {
+    let scenario = Scenario { source, estimate, estimate_seed: 1, load: Some(0.9) };
+    let schedule = simulate(&scenario.materialize(), kind, policy);
+    schedule.validate().expect("audit");
+    schedule.stats(&CategoryCriteria::default())
+}
+
+const CTC: TraceSource = TraceSource::Ctc { jobs: 4_000, seed: 42 };
+const SDSC: TraceSource = TraceSource::Sdsc { jobs: 4_000, seed: 42 };
+
+/// Figure 1: EASY with SJF or XFactor beats conservative on overall
+/// average slowdown, on both traces.
+#[test]
+fn fig1_easy_sjf_xf_beat_conservative() {
+    for source in [CTC, SDSC] {
+        let cons =
+            stats_for(source, EstimateModel::Exact, SchedulerKind::Conservative, Policy::Fcfs);
+        for policy in [Policy::Sjf, Policy::XFactor] {
+            let easy = stats_for(source, EstimateModel::Exact, SchedulerKind::Easy, policy);
+            assert!(
+                easy.overall.avg_slowdown() < cons.overall.avg_slowdown(),
+                "{source:?} {policy}: EASY {} !< conservative {}",
+                easy.overall.avg_slowdown(),
+                cons.overall.avg_slowdown()
+            );
+        }
+    }
+}
+
+/// Section 4.1: conservative backfilling with accurate estimates is
+/// priority-policy invariant (schedule fingerprints identical).
+#[test]
+fn sec41_priority_equivalence() {
+    for source in [CTC, SDSC] {
+        let scenario = Scenario::high_load(source);
+        let trace = scenario.materialize();
+        let fps: Vec<u64> = Policy::PAPER
+            .iter()
+            .map(|&p| simulate(&trace, SchedulerKind::Conservative, p).fingerprint())
+            .collect();
+        assert_eq!(fps[0], fps[1], "{source:?}: FCFS vs SJF diverged");
+        assert_eq!(fps[1], fps[2], "{source:?}: SJF vs XF diverged");
+    }
+}
+
+/// Figure 2: under accurate estimates, the long-narrow category benefits
+/// from EASY relative to conservative (the paper's central category-wise
+/// claim), under every priority policy.
+#[test]
+fn fig2_long_narrow_benefits_from_easy() {
+    for policy in Policy::PAPER {
+        let cons = stats_for(CTC, EstimateModel::Exact, SchedulerKind::Conservative, policy);
+        let easy = stats_for(CTC, EstimateModel::Exact, SchedulerKind::Easy, policy);
+        let cons_ln = cons.category(Category::LN).avg_slowdown();
+        let easy_ln = easy.category(Category::LN).avg_slowdown();
+        assert!(
+            easy_ln < cons_ln,
+            "{policy}: LN slowdown {easy_ln} !< {cons_ln} (EASY should free long-narrow jobs)"
+        );
+    }
+}
+
+/// Figure 2, dual claim: short-wide jobs prefer conservative under FCFS
+/// (reservations protect them from being overtaken).
+#[test]
+fn fig2_short_wide_prefers_conservative_under_fcfs() {
+    let cons = stats_for(CTC, EstimateModel::Exact, SchedulerKind::Conservative, Policy::Fcfs);
+    let easy = stats_for(CTC, EstimateModel::Exact, SchedulerKind::Easy, Policy::Fcfs);
+    let cons_sw = cons.category(Category::SW).avg_slowdown();
+    let easy_sw = easy.category(Category::SW).avg_slowdown();
+    assert!(
+        easy_sw > cons_sw * 0.9,
+        "SW should not improve materially under EASY/FCFS: {easy_sw} vs {cons_sw}"
+    );
+}
+
+/// Table 4: worst-case turnaround under EASY/SJF exceeds conservative's
+/// (unbounded delay risk), with accurate estimates.
+#[test]
+fn table4_easy_worst_case_is_worse() {
+    let cons = stats_for(CTC, EstimateModel::Exact, SchedulerKind::Conservative, Policy::Sjf);
+    let easy = stats_for(CTC, EstimateModel::Exact, SchedulerKind::Easy, Policy::Sjf);
+    assert!(
+        easy.overall.worst_turnaround() > cons.overall.worst_turnaround(),
+        "EASY/SJF worst {} !> conservative {}",
+        easy.overall.worst_turnaround(),
+        cons.overall.worst_turnaround()
+    );
+}
+
+/// Tables 5/6: systematic overestimation improves conservative's average
+/// slowdown markedly; EASY's response is much smaller in magnitude.
+#[test]
+fn tables56_overestimation_response() {
+    let r1_cons =
+        stats_for(CTC, EstimateModel::Exact, SchedulerKind::Conservative, Policy::Fcfs);
+    let r4_cons = stats_for(
+        CTC,
+        EstimateModel::systematic(4.0),
+        SchedulerKind::Conservative,
+        Policy::Fcfs,
+    );
+    assert!(
+        r4_cons.overall.avg_slowdown() < r1_cons.overall.avg_slowdown() * 0.8,
+        "conservative should gain >20% from R=4: {} vs {}",
+        r4_cons.overall.avg_slowdown(),
+        r1_cons.overall.avg_slowdown()
+    );
+
+    let r1_easy = stats_for(CTC, EstimateModel::Exact, SchedulerKind::Easy, Policy::Fcfs);
+    let r4_easy =
+        stats_for(CTC, EstimateModel::systematic(4.0), SchedulerKind::Easy, Policy::Fcfs);
+    let cons_gain = r1_cons.overall.avg_slowdown() - r4_cons.overall.avg_slowdown();
+    let easy_gain = r1_easy.overall.avg_slowdown() - r4_easy.overall.avg_slowdown();
+    assert!(
+        cons_gain > easy_gain,
+        "the overestimation effect must be more pronounced under conservative \
+         (cons gain {cons_gain}, easy gain {easy_gain})"
+    );
+}
+
+/// Figure 4 (EASY panel): with realistic noisy estimates, poorly estimated
+/// jobs fare worse than they would with accurate estimates.
+#[test]
+fn fig4_poor_jobs_suffer_under_easy() {
+    let user = EstimateModel::User(UserModelParams {
+        exact_frac: 0.2,
+        max_factor: 16.0,
+        round_values: true,
+        max_estimate: Some(SimSpan::from_hours(18)),
+    });
+    let scenario_user = Scenario { source: CTC, estimate: user, estimate_seed: 1, load: Some(0.9) };
+    let scenario_exact =
+        Scenario { source: CTC, estimate: EstimateModel::Exact, estimate_seed: 1, load: Some(0.9) };
+    let trace_user = scenario_user.materialize();
+    let trace_exact = scenario_exact.materialize();
+    let poor: Vec<bool> = trace_user
+        .jobs()
+        .iter()
+        .map(|j| EstimateQuality::of(j) == EstimateQuality::Poor)
+        .collect();
+
+    let mean_poor = |s: &Schedule| {
+        let mut w = Welford::new();
+        for o in &s.outcomes {
+            if poor[o.id().0 as usize] {
+                w.push(o.bounded_slowdown());
+            }
+        }
+        w.mean()
+    };
+    let with_user = mean_poor(&simulate(&trace_user, SchedulerKind::Easy, Policy::Fcfs));
+    let with_exact = mean_poor(&simulate(&trace_exact, SchedulerKind::Easy, Policy::Fcfs));
+    assert!(
+        with_user > with_exact,
+        "poorly estimated jobs should worsen under EASY: {with_user} !> {with_exact}"
+    );
+}
+
+/// The backfilling premise: both backfilling schemes crush the no-backfill
+/// baseline at high load.
+#[test]
+fn backfilling_beats_no_backfill() {
+    let nobf = stats_for(CTC, EstimateModel::Exact, SchedulerKind::NoBackfill, Policy::Fcfs);
+    for kind in [SchedulerKind::Conservative, SchedulerKind::Easy] {
+        let s = stats_for(CTC, EstimateModel::Exact, kind, Policy::Fcfs);
+        assert!(
+            s.overall.avg_slowdown() < nobf.overall.avg_slowdown() / 2.0,
+            "{kind:?} should at least halve the no-backfill slowdown"
+        );
+    }
+}
+
+/// Selective backfilling (the paper's Section 6 proposal) bounds the worst
+/// case better than EASY/SJF while beating conservative-like averages.
+#[test]
+fn selective_interpolates() {
+    let user = EstimateModel::User(UserModelParams {
+        exact_frac: 0.2,
+        max_factor: 16.0,
+        round_values: true,
+        max_estimate: Some(SimSpan::from_hours(18)),
+    });
+    let sel = stats_for(CTC, user, SchedulerKind::Selective { threshold: 2.0 }, Policy::Fcfs);
+    let easy = stats_for(CTC, user, SchedulerKind::Easy, Policy::Fcfs);
+    // Average slowdown within striking distance of EASY (not 10x worse).
+    assert!(sel.overall.avg_slowdown() < easy.overall.avg_slowdown() * 3.0);
+    // And it must schedule everything (already guaranteed by simulate).
+    assert_eq!(sel.overall.count(), 4_000);
+}

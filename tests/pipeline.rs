@@ -1,0 +1,116 @@
+//! Cross-crate pipeline tests: SWF persistence, determinism across thread
+//! counts, schedule auditing, and config serialization — the plumbing a
+//! downstream user relies on.
+
+use backfill_sim::prelude::*;
+use std::num::NonZeroUsize;
+use workload::swf;
+
+#[test]
+fn swf_export_import_simulate_identical() {
+    let trace = Scenario::high_load(TraceSource::Ctc { jobs: 800, seed: 3 }).materialize();
+    let text = swf::write_trace(&trace);
+    let parsed = swf::parse_trace(&text, trace.name(), None).expect("parse");
+    assert_eq!(parsed.trace.jobs(), trace.jobs());
+    let direct = simulate(&trace, SchedulerKind::Easy, Policy::XFactor);
+    let via_swf = simulate(&parsed.trace, SchedulerKind::Easy, Policy::XFactor);
+    assert_eq!(direct.fingerprint(), via_swf.fingerprint());
+}
+
+#[test]
+fn run_all_is_thread_count_invariant() {
+    let scenario = Scenario::high_load(TraceSource::Sdsc { jobs: 400, seed: 5 });
+    let mut configs = Vec::new();
+    for kind in [SchedulerKind::Conservative, SchedulerKind::Easy, SchedulerKind::NoBackfill] {
+        for policy in Policy::PAPER {
+            configs.push(RunConfig { scenario, kind, policy });
+        }
+    }
+    let one = run_all(&configs, NonZeroUsize::new(1));
+    let many = run_all(&configs, NonZeroUsize::new(8));
+    for (a, b) in one.iter().zip(&many) {
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.schedule.fingerprint(), b.schedule.fingerprint());
+        assert_eq!(a.schedule.outcomes, b.schedule.outcomes);
+    }
+}
+
+#[test]
+fn every_schedule_passes_the_independent_audit() {
+    let trace = Scenario::high_load(TraceSource::Ctc { jobs: 1_000, seed: 11 }).materialize();
+    for kind in [
+        SchedulerKind::NoBackfill,
+        SchedulerKind::Conservative,
+        SchedulerKind::ConservativeReanchor,
+        SchedulerKind::ConservativeHeadStart,
+        SchedulerKind::ConservativeNoCompress,
+        SchedulerKind::Easy,
+        SchedulerKind::Selective { threshold: 2.0 },
+    ] {
+        for policy in Policy::PAPER {
+            let s = simulate(&trace, kind, policy);
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.scheduler));
+        }
+    }
+}
+
+#[test]
+fn estimate_noise_still_audits_cleanly() {
+    let user = EstimateModel::User(UserModelParams::default());
+    let scenario = Scenario {
+        source: TraceSource::Ctc { jobs: 1_000, seed: 13 },
+        estimate: user,
+        estimate_seed: 99,
+        load: Some(1.1), // deliberately overloaded
+    };
+    let trace = scenario.materialize();
+    for kind in [SchedulerKind::Conservative, SchedulerKind::Easy] {
+        let s = simulate(&trace, kind, Policy::Sjf);
+        s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.scheduler));
+        // Overload means growing queues, but everything still completes.
+        assert_eq!(s.outcomes.len(), 1_000);
+    }
+}
+
+#[test]
+fn configs_round_trip_through_json_and_rerun_identically() {
+    let cfg = RunConfig {
+        scenario: Scenario {
+            source: TraceSource::Sdsc { jobs: 300, seed: 21 },
+            estimate: EstimateModel::systematic(2.0),
+            estimate_seed: 4,
+            load: Some(0.85),
+        },
+        kind: SchedulerKind::Selective { threshold: 3.5 },
+        policy: Policy::XFactor,
+    };
+    let json = serde_json::to_string_pretty(&cfg).expect("serialize");
+    let back: RunConfig = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(cfg.run().fingerprint(), back.run().fingerprint());
+}
+
+#[test]
+fn stats_are_reproducible_to_the_bit() {
+    let scenario = Scenario::high_load(TraceSource::Ctc { jobs: 500, seed: 77 });
+    let render = |s: &Schedule| {
+        let stats = s.stats(&CategoryCriteria::default());
+        format!(
+            "{:?} {:?} {:?}",
+            stats.overall.avg_slowdown(),
+            stats.overall.avg_turnaround(),
+            stats.utilization
+        )
+    };
+    let a = render(&scenario.clone_run(SchedulerKind::Easy, Policy::XFactor));
+    let b = render(&scenario.clone_run(SchedulerKind::Easy, Policy::XFactor));
+    assert_eq!(a, b);
+}
+
+trait CloneRun {
+    fn clone_run(&self, kind: SchedulerKind, policy: Policy) -> Schedule;
+}
+impl CloneRun for Scenario {
+    fn clone_run(&self, kind: SchedulerKind, policy: Policy) -> Schedule {
+        simulate(&self.materialize(), kind, policy)
+    }
+}
