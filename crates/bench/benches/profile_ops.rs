@@ -20,6 +20,17 @@ fn dense_profile(n: usize, cap: u32, seed: u64) -> Profile {
     p
 }
 
+/// Query stream for the anchor benches: random earliest instants with
+/// widths drawn from the same distribution the reservations were — anchor
+/// queries in the simulator carry real job widths, so the bench must span
+/// narrow probes (answered near `earliest`) and wide ones (long scans over
+/// congested terrain, where the block index pays off).
+fn query(rng: &mut SimRng, cap: u32) -> (SimTime, u32) {
+    let earliest = SimTime::new(rng.below(500_000));
+    let width = 1 + rng.below(cap as u64 / 4) as u32;
+    (earliest, width)
+}
+
 fn bench_find_anchor(c: &mut Criterion) {
     let mut group = c.benchmark_group("profile/find_anchor");
     for &n in &[16usize, 128, 1024] {
@@ -27,8 +38,26 @@ fn bench_find_anchor(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
             let mut rng = SimRng::seed_from_u64(7);
             b.iter(|| {
-                let earliest = SimTime::new(rng.below(500_000));
-                black_box(p.find_anchor(earliest, SimSpan::new(5_000), 64))
+                let (earliest, width) = query(&mut rng, 430);
+                black_box(p.find_anchor(earliest, SimSpan::new(5_000), width))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The pre-index linear scan over the same profiles and query stream —
+/// the baseline the block index is measured against.
+fn bench_find_anchor_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile/find_anchor_linear");
+    for &n in &[16usize, 128, 1024] {
+        let p = dense_profile(n, 430, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            // Identical query stream to `profile/find_anchor` (same seed).
+            let mut rng = SimRng::seed_from_u64(7);
+            b.iter(|| {
+                let (earliest, width) = query(&mut rng, 430);
+                black_box(p.find_anchor_linear(earliest, SimSpan::new(5_000), width))
             })
         });
     }
@@ -66,5 +95,11 @@ fn bench_free_at(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_find_anchor, bench_reserve_release, bench_free_at);
+criterion_group!(
+    benches,
+    bench_find_anchor,
+    bench_find_anchor_linear,
+    bench_reserve_release,
+    bench_free_at
+);
 criterion_main!(benches);

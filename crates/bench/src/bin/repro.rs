@@ -27,7 +27,12 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--quick" => opts = Opts { threads: opts.threads, ..Opts::quick() },
+            "--quick" => {
+                opts = Opts {
+                    threads: opts.threads,
+                    ..Opts::quick()
+                }
+            }
             "--jobs" => {
                 opts.jobs = it
                     .next()
@@ -57,7 +62,11 @@ fn parse_args() -> Args {
             other => names.push(other.to_string()),
         }
     }
-    Args { names, opts, csv_dir }
+    Args {
+        names,
+        opts,
+        csv_dir,
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -66,9 +75,29 @@ fn die(msg: &str) -> ! {
 }
 
 const ALL: [&str; 23] = [
-    "table1", "table2", "table3", "fig1", "fig2", "table4", "equiv", "table5", "table6",
-    "fig3", "fig4", "table7", "normal-load", "load-sweep", "selective", "slack", "depth",
-    "compression", "policies", "fairness", "shaking", "flurry", "preemption",
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "table4",
+    "equiv",
+    "table5",
+    "table6",
+    "fig3",
+    "fig4",
+    "table7",
+    "normal-load",
+    "load-sweep",
+    "selective",
+    "slack",
+    "depth",
+    "compression",
+    "policies",
+    "fairness",
+    "shaking",
+    "flurry",
+    "preemption",
 ];
 
 fn run(name: &str, opts: &Opts) -> Vec<Table> {
@@ -92,15 +121,25 @@ fn run(name: &str, opts: &Opts) -> Vec<Table> {
         "load-sweep" => {
             vec![ablations::load_sweep(opts, &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0])]
         }
-        "selective" => vec![ablations::selective_sweep(opts, &[1.5, 2.0, 3.0, 5.0, 10.0])],
-        "slack" => vec![ablations::slack_sweep(opts, &[0.0, 0.5, 1.0, 2.0, 5.0, 10.0])],
+        "selective" => vec![ablations::selective_sweep(
+            opts,
+            &[1.5, 2.0, 3.0, 5.0, 10.0],
+        )],
+        "slack" => vec![ablations::slack_sweep(
+            opts,
+            &[0.0, 0.5, 1.0, 2.0, 5.0, 10.0],
+        )],
         "depth" => vec![ablations::depth_sweep(opts, &[1, 2, 4, 8, 16, 64])],
         "preemption" => vec![ablations::preemption_sweep(opts, &[1.5, 2.0, 5.0, 20.0])],
         "compression" => vec![ablations::compression_ablation(opts)],
         "policies" => vec![ablations::policy_ablation(opts)],
         "fairness" => vec![ablations::fairness_ablation(opts)],
         "shaking" => {
-            vec![robustness::shaking(opts, 10, simcore::SimSpan::from_mins(3))]
+            vec![robustness::shaking(
+                opts,
+                10,
+                simcore::SimSpan::from_mins(3),
+            )]
         }
         "flurry" => vec![robustness::flurry(opts, 500)],
         other => die(&format!("unknown experiment {other:?} (try --help)")),
@@ -127,7 +166,11 @@ fn main() {
         for (i, table) in tables.iter().enumerate() {
             println!("{}", table.render());
             if let Some(dir) = &args.csv_dir {
-                let suffix = if tables.len() > 1 { format!("-{}", i + 1) } else { String::new() };
+                let suffix = if tables.len() > 1 {
+                    format!("-{}", i + 1)
+                } else {
+                    String::new()
+                };
                 let path = format!("{dir}/{name}{suffix}.csv");
                 std::fs::write(&path, table.to_csv())
                     .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));

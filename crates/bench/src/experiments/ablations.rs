@@ -25,7 +25,10 @@ pub fn load_sweep(opts: &Opts, loads: &[f64]) -> Table {
         &["load", "Cons/FCFS", "EASY/FCFS", "EASY/SJF"],
     );
     for &rho in loads {
-        let o = Opts { load: rho, ..opts.clone() };
+        let o = Opts {
+            load: rho,
+            ..opts.clone()
+        };
         let results = sweep(&o, &o.ctc_sources(), &cells, EstimateModel::Exact);
         let mut row = vec![format!("{rho:.2}")];
         for cell in results {
@@ -47,7 +50,12 @@ pub fn selective_sweep(opts: &Opts, thresholds: &[f64]) -> Table {
     for &tau in thresholds {
         cells.push((SchedulerKind::Selective { threshold: tau }, Policy::Fcfs));
     }
-    let results = sweep(opts, &opts.ctc_sources(), &cells, user_estimates_for_sweep());
+    let results = sweep(
+        opts,
+        &opts.ctc_sources(),
+        &cells,
+        user_estimates_for_sweep(),
+    );
     let mut t = Table::new(
         "Extension — Selective backfilling threshold sweep (CTC, actual estimates, FCFS)",
         &["scheme", "avg slowdown", "worst turnaround (s)"],
@@ -78,8 +86,12 @@ pub fn depth_sweep(opts: &Opts, depths: &[usize]) -> Table {
     for &d in depths {
         cells.push((SchedulerKind::Depth { depth: d }, Policy::Fcfs));
     }
-    let results =
-        sweep(opts, &opts.ctc_sources(), &cells, super::estimates::user_estimates());
+    let results = sweep(
+        opts,
+        &opts.ctc_sources(),
+        &cells,
+        super::estimates::user_estimates(),
+    );
     let mut t = Table::new(
         "Extension — Reservation-depth sweep (CTC, actual estimates, FCFS)",
         &["scheme", "avg slowdown", "worst turnaround (s)"],
@@ -100,16 +112,24 @@ pub fn depth_sweep(opts: &Opts, depths: &[usize]) -> Table {
 /// factor crosses a threshold. Reports the average/worst trade-off plus
 /// how many jobs were suspended, bracketed by EASY (no preemption).
 pub fn preemption_sweep(opts: &Opts, thresholds: &[f64]) -> Table {
-    let mut cells: Vec<(SchedulerKind, Policy)> =
-        vec![(SchedulerKind::Easy, Policy::Fcfs)];
+    let mut cells: Vec<(SchedulerKind, Policy)> = vec![(SchedulerKind::Easy, Policy::Fcfs)];
     for &tau in thresholds {
         cells.push((SchedulerKind::Preemptive { threshold: tau }, Policy::Fcfs));
     }
-    let results =
-        sweep(opts, &opts.ctc_sources(), &cells, super::estimates::user_estimates());
+    let results = sweep(
+        opts,
+        &opts.ctc_sources(),
+        &cells,
+        super::estimates::user_estimates(),
+    );
     let mut t = Table::new(
         "Extension — Selective preemption sweep (CTC, actual estimates, FCFS)",
-        &["scheme", "avg slowdown", "worst turnaround (s)", "jobs suspended"],
+        &[
+            "scheme",
+            "avg slowdown",
+            "worst turnaround (s)",
+            "jobs suspended",
+        ],
     );
     for ((kind, _), cell) in cells.iter().zip(&results) {
         let stats = pooled_stats(cell);
@@ -144,7 +164,14 @@ pub fn fairness_ablation(opts: &Opts) -> Table {
     let results = sweep(opts, &opts.ctc_sources(), &cells, EstimateModel::Exact);
     let mut t = Table::new(
         "Ablation — Fairness and capacity (CTC, accurate estimates)",
-        &["scheme", "slowdown", "gini", "max stretch", "overtake", "lost capacity"],
+        &[
+            "scheme",
+            "slowdown",
+            "gini",
+            "max stretch",
+            "overtake",
+            "lost capacity",
+        ],
     );
     for ((kind, policy), cell) in cells.iter().zip(&results) {
         // Fairness numbers pooled by averaging per-seed reports.
@@ -185,7 +212,12 @@ pub fn slack_sweep(opts: &Opts, factors: &[f64]) -> Table {
     for &f in factors {
         cells.push((SchedulerKind::Slack { slack_factor: f }, Policy::Fcfs));
     }
-    let results = sweep(opts, &opts.ctc_sources(), &cells, super::estimates::user_estimates());
+    let results = sweep(
+        opts,
+        &opts.ctc_sources(),
+        &cells,
+        super::estimates::user_estimates(),
+    );
     let mut t = Table::new(
         "Extension — Slack-based backfilling sweep (CTC, actual estimates, FCFS)",
         &["scheme", "avg slowdown", "worst turnaround (s)"],
@@ -214,8 +246,7 @@ pub fn compression_ablation(opts: &Opts) -> Table {
         SchedulerKind::ConservativeNoCompress,
         SchedulerKind::Easy,
     ];
-    let cells: Vec<(SchedulerKind, Policy)> =
-        kinds.iter().map(|&k| (k, Policy::Fcfs)).collect();
+    let cells: Vec<(SchedulerKind, Policy)> = kinds.iter().map(|&k| (k, Policy::Fcfs)).collect();
     let regimes = [
         ("accurate", EstimateModel::Exact),
         ("R = 4", EstimateModel::systematic(4.0)),
@@ -253,7 +284,12 @@ pub fn policy_ablation(opts: &Opts) -> Table {
     let results = sweep(opts, &opts.ctc_sources(), &cells, EstimateModel::Exact);
     let mut t = Table::new(
         "Ablation — Priority policies under EASY + no-backfill baseline (CTC)",
-        &["scheme", "avg slowdown", "avg turnaround (s)", "utilization"],
+        &[
+            "scheme",
+            "avg slowdown",
+            "avg turnaround (s)",
+            "utilization",
+        ],
     );
     for ((kind, policy), cell) in cells.iter().zip(&results) {
         let stats = pooled_stats(cell);
@@ -281,7 +317,10 @@ mod tests {
             .map(|l| l.split(',').skip(1).map(|x| x.parse().unwrap()).collect())
             .collect();
         // Conservative/FCFS slowdown should rise with load.
-        assert!(rows[1][0] > rows[0][0], "load 1.0 should beat 0.7 in slowdown");
+        assert!(
+            rows[1][0] > rows[0][0],
+            "load 1.0 should beat 0.7 in slowdown"
+        );
     }
 
     #[test]
@@ -320,10 +359,20 @@ mod tests {
             .unwrap()
             .parse()
             .unwrap();
-        assert!(suspended > 0, "threshold 2 at high load should trigger suspensions");
+        assert!(
+            suspended > 0,
+            "threshold 2 at high load should trigger suspensions"
+        );
         // EASY row reports zero suspensions.
-        let easy: usize =
-            csv.lines().find(|l| l.starts_with("EASY")).unwrap().split(',').nth(3).unwrap().parse().unwrap();
+        let easy: usize = csv
+            .lines()
+            .find(|l| l.starts_with("EASY"))
+            .unwrap()
+            .split(',')
+            .nth(3)
+            .unwrap()
+            .parse()
+            .unwrap();
         assert_eq!(easy, 0);
     }
 

@@ -17,13 +17,16 @@ use metrics::{fnum, fpct, percent_change, Table};
 pub fn fig1(opts: &Opts) -> Vec<Table> {
     let grid = paper_grid();
     let mut tables = Vec::new();
-    for (label, sources) in
-        [("CTC", opts.ctc_sources()), ("SDSC", opts.sdsc_sources())]
-    {
+    for (label, sources) in [("CTC", opts.ctc_sources()), ("SDSC", opts.sdsc_sources())] {
         let results = sweep(opts, &sources, &grid, EstimateModel::Exact);
         let mut t = Table::new(
             format!("Figure 1 — Conservative vs EASY, {label} trace, accurate estimates"),
-            &["scheme", "avg slowdown", "avg turnaround (s)", "utilization"],
+            &[
+                "scheme",
+                "avg slowdown",
+                "avg turnaround (s)",
+                "utilization",
+            ],
         );
         for ((kind, policy), schedules) in grid.iter().zip(&results) {
             let stats = pooled_stats(schedules);
@@ -47,9 +50,7 @@ pub fn fig1(opts: &Opts) -> Vec<Table> {
 pub fn fig2(opts: &Opts) -> Vec<Table> {
     let grid = paper_grid();
     let mut tables = Vec::new();
-    for (label, sources) in
-        [("CTC", opts.ctc_sources()), ("SDSC", opts.sdsc_sources())]
-    {
+    for (label, sources) in [("CTC", opts.ctc_sources()), ("SDSC", opts.sdsc_sources())] {
         let results = sweep(opts, &sources, &grid, EstimateModel::Exact);
         let mut t = Table::new(
             format!(
@@ -97,7 +98,10 @@ pub fn table4(opts: &Opts) -> Table {
     for kind in [SchedulerKind::Conservative, SchedulerKind::Easy] {
         let mut row = vec![kind.label()];
         for policy in Policy::PAPER {
-            let idx = grid.iter().position(|&(k, p)| k == kind && p == policy).expect("cell");
+            let idx = grid
+                .iter()
+                .position(|&(k, p)| k == kind && p == policy)
+                .expect("cell");
             let stats = pooled_stats(&results[idx]);
             row.push(fnum(stats.overall.worst_turnaround()));
         }
@@ -112,7 +116,10 @@ pub fn table4(opts: &Opts) -> Table {
 /// side, so the claim is checkable at a glance.
 pub fn normal_vs_high_load(opts: &Opts) -> Table {
     let grid = paper_grid();
-    let normal = Opts { load: 0.6, ..opts.clone() };
+    let normal = Opts {
+        load: 0.6,
+        ..opts.clone()
+    };
     let res_normal = sweep(&normal, &normal.ctc_sources(), &grid, EstimateModel::Exact);
     let res_high = sweep(opts, &opts.ctc_sources(), &grid, EstimateModel::Exact);
     let mut t = Table::new(
@@ -147,9 +154,7 @@ pub fn equivalence(opts: &Opts) -> Table {
         "Section 4.1 — Priority equivalence under conservative backfilling (accurate estimates)",
         &["trace", "seed", "FCFS = SJF = XF", "fingerprint"],
     );
-    for (label, sources) in
-        [("CTC", opts.ctc_sources()), ("SDSC", opts.sdsc_sources())]
-    {
+    for (label, sources) in [("CTC", opts.ctc_sources()), ("SDSC", opts.sdsc_sources())] {
         let results = sweep(opts, &sources, &grid, EstimateModel::Exact);
         for (si, &seed) in opts.seeds.iter().enumerate() {
             let fps: Vec<u64> = results.iter().map(|cell| cell[si].fingerprint()).collect();
@@ -157,7 +162,11 @@ pub fn equivalence(opts: &Opts) -> Table {
             t.row(vec![
                 label.to_string(),
                 seed.to_string(),
-                if all_equal { "yes".into() } else { "NO — VIOLATION".into() },
+                if all_equal {
+                    "yes".into()
+                } else {
+                    "NO — VIOLATION".into()
+                },
                 format!("{:016x}", fps[0]),
             ]);
         }
@@ -176,7 +185,10 @@ mod tests {
         let grid = paper_grid();
         let results = sweep(&opts, &opts.ctc_sources(), &grid, EstimateModel::Exact);
         let get = |kind, policy| {
-            let idx = grid.iter().position(|&(k, p)| k == kind && p == policy).unwrap();
+            let idx = grid
+                .iter()
+                .position(|&(k, p)| k == kind && p == policy)
+                .unwrap();
             pooled_stats(&results[idx]).overall.avg_slowdown()
         };
         let cons = get(SchedulerKind::Conservative, Policy::Fcfs);
@@ -208,7 +220,10 @@ mod tests {
         }
         let gap_normal = get("Cons/FCFS", 1) - get("EASY/SJF", 1);
         let gap_high = get("Cons/FCFS", 2) - get("EASY/SJF", 2);
-        assert!(gap_high > gap_normal, "trend should be pronounced under high load");
+        assert!(
+            gap_high > gap_normal,
+            "trend should be pronounced under high load"
+        );
     }
 
     #[test]
@@ -238,8 +253,12 @@ mod tests {
         let tables = fig2(&Opts::quick());
         for t in &tables {
             let csv = t.to_csv();
-            let sjf: Vec<&str> =
-                csv.lines().find(|l| l.starts_with("SJF")).unwrap().split(',').collect();
+            let sjf: Vec<&str> = csv
+                .lines()
+                .find(|l| l.starts_with("SJF"))
+                .unwrap()
+                .split(',')
+                .collect();
             let ln: f64 = sjf[3].trim_end_matches('%').parse().unwrap();
             assert!(ln < 0.0, "LN should improve under EASY/SJF: {ln}%");
         }

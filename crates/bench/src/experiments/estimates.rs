@@ -54,8 +54,7 @@ pub fn tables5_6(opts: &Opts) -> Vec<Table> {
     let factors = [1.0, 2.0, 4.0];
     let mut tables = Vec::new();
     for kind in [SchedulerKind::Conservative, SchedulerKind::Easy] {
-        let grid: Vec<(SchedulerKind, Policy)> =
-            Policy::PAPER.iter().map(|&p| (kind, p)).collect();
+        let grid: Vec<(SchedulerKind, Policy)> = Policy::PAPER.iter().map(|&p| (kind, p)).collect();
         let title = match kind {
             SchedulerKind::Conservative => "Table 5 — Systematic overestimation: Conservative",
             _ => "Table 6 — Systematic overestimation: EASY",
@@ -68,7 +67,12 @@ pub fn tables5_6(opts: &Opts) -> Vec<Table> {
         let per_factor: Vec<_> = factors
             .iter()
             .map(|&r| {
-                sweep(opts, &opts.ctc_sources(), &grid, EstimateModel::systematic(r))
+                sweep(
+                    opts,
+                    &opts.ctc_sources(),
+                    &grid,
+                    EstimateModel::systematic(r),
+                )
             })
             .collect();
         for (pi, policy) in Policy::PAPER.iter().enumerate() {
@@ -135,13 +139,16 @@ pub fn fig4(opts: &Opts) -> Table {
         // Membership per seed, from the user-estimate run's own jobs.
         let membership: Vec<Vec<EstimateQuality>> = user[0]
             .iter()
-            .map(|s| s.outcomes.iter().map(|o| EstimateQuality::of(&o.job)).collect())
+            .map(|s| {
+                s.outcomes
+                    .iter()
+                    .map(|o| EstimateQuality::of(&o.job))
+                    .collect()
+            })
             .collect();
 
         for quality in [EstimateQuality::Well, EstimateQuality::Poor] {
-            let pick = |si: usize, o: &JobOutcome| {
-                membership[si][o.id().0 as usize] == quality
-            };
+            let pick = |si: usize, o: &JobOutcome| membership[si][o.id().0 as usize] == quality;
             let with_exact = super::subset_slowdown(&exact[0], pick);
             let with_user = super::subset_slowdown(&user[0], pick);
             t.row(vec![
@@ -171,7 +178,10 @@ pub fn table7(opts: &Opts) -> Table {
     for kind in section5_kinds() {
         let mut row = vec![kind.label()];
         for policy in Policy::PAPER {
-            let idx = grid.iter().position(|&(k, p)| k == kind && p == policy).expect("cell");
+            let idx = grid
+                .iter()
+                .position(|&(k, p)| k == kind && p == policy)
+                .expect("cell");
             row.push(fnum(pooled_stats(&results[idx]).overall.worst_turnaround()));
         }
         t.row(row);
@@ -189,11 +199,18 @@ mod tests {
         // conservative backfilling.
         let tables = tables5_6(&Opts::quick());
         let csv = tables[0].to_csv();
-        let fcfs_row: Vec<&str> =
-            csv.lines().find(|l| l.starts_with("FCFS")).unwrap().split(',').collect();
+        let fcfs_row: Vec<&str> = csv
+            .lines()
+            .find(|l| l.starts_with("FCFS"))
+            .unwrap()
+            .split(',')
+            .collect();
         let r1: f64 = fcfs_row[1].parse().unwrap();
         let r4: f64 = fcfs_row[3].parse().unwrap();
-        assert!(r4 < r1, "R=4 ({r4}) should improve on R=1 ({r1}) under conservative");
+        assert!(
+            r4 < r1,
+            "R=4 ({r4}) should improve on R=1 ({r1}) under conservative"
+        );
     }
 
     #[test]
@@ -203,16 +220,27 @@ mod tests {
         let rows: Vec<Vec<f64>> = csv
             .lines()
             .skip(1)
-            .map(|l| l.split(',').skip(2).map(|x| x.parse::<f64>().unwrap()).collect())
+            .map(|l| {
+                l.split(',')
+                    .skip(2)
+                    .map(|x| x.parse::<f64>().unwrap())
+                    .collect()
+            })
             .collect();
         // Rows: [Cons well, Cons poor, Cons(hs) well, Cons(hs) poor,
         //        EASY well, EASY poor] — columns [accurate, actual].
         // Hole-backfilling conservative: well jobs improve with actual
         // estimates (the slack effect).
-        assert!(rows[0][1] < rows[0][0], "Cons/well should improve: {rows:?}");
+        assert!(
+            rows[0][1] < rows[0][0],
+            "Cons/well should improve: {rows:?}"
+        );
         // Head-start conservative: poorly estimated jobs deteriorate (the
         // paper's Figure 4 direction).
-        assert!(rows[3][1] > rows[3][0], "Cons(hs)/poor should worsen: {rows:?}");
+        assert!(
+            rows[3][1] > rows[3][0],
+            "Cons(hs)/poor should worsen: {rows:?}"
+        );
     }
 
     #[test]

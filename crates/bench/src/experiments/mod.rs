@@ -10,8 +10,8 @@
 //! over `opts.seeds` independent synthetic traces, so no conclusion hangs
 //! on one lucky workload.
 
-pub mod accurate;
 pub mod ablations;
+pub mod accurate;
 pub mod estimates;
 pub mod robustness;
 pub mod workload_tables;
@@ -34,24 +34,46 @@ pub struct Opts {
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { jobs: 20_000, seeds: vec![42, 1337, 2002], load: 0.9, threads: None }
+        Opts {
+            jobs: 20_000,
+            seeds: vec![42, 1337, 2002],
+            load: 0.9,
+            threads: None,
+        }
     }
 }
 
 impl Opts {
     /// A reduced configuration for fast test runs.
     pub fn quick() -> Self {
-        Opts { jobs: 2_000, seeds: vec![42], load: 0.9, threads: None }
+        Opts {
+            jobs: 2_000,
+            seeds: vec![42],
+            load: 0.9,
+            threads: None,
+        }
     }
 
     /// The CTC trace sources, one per seed.
     pub fn ctc_sources(&self) -> Vec<TraceSource> {
-        self.seeds.iter().map(|&seed| TraceSource::Ctc { jobs: self.jobs, seed }).collect()
+        self.seeds
+            .iter()
+            .map(|&seed| TraceSource::Ctc {
+                jobs: self.jobs,
+                seed,
+            })
+            .collect()
     }
 
     /// The SDSC trace sources, one per seed.
     pub fn sdsc_sources(&self) -> Vec<TraceSource> {
-        self.seeds.iter().map(|&seed| TraceSource::Sdsc { jobs: self.jobs, seed }).collect()
+        self.seeds
+            .iter()
+            .map(|&seed| TraceSource::Sdsc {
+                jobs: self.jobs,
+                seed,
+            })
+            .collect()
     }
 }
 
@@ -169,19 +191,33 @@ mod tests {
 
     #[test]
     fn sweep_shape_and_determinism() {
-        let opts = Opts { jobs: 300, seeds: vec![1, 2], load: 0.9, threads: None };
+        let opts = Opts {
+            jobs: 300,
+            seeds: vec![1, 2],
+            load: 0.9,
+            threads: None,
+        };
         let grid = [(SchedulerKind::Easy, Policy::Fcfs)];
         let a = sweep(&opts, &opts.ctc_sources(), &grid, EstimateModel::Exact);
         let b = sweep(&opts, &opts.ctc_sources(), &grid, EstimateModel::Exact);
         assert_eq!(a.len(), 1);
         assert_eq!(a[0].len(), 2);
         assert_eq!(a[0][0].fingerprint(), b[0][0].fingerprint());
-        assert_ne!(a[0][0].fingerprint(), a[0][1].fingerprint(), "seeds should differ");
+        assert_ne!(
+            a[0][0].fingerprint(),
+            a[0][1].fingerprint(),
+            "seeds should differ"
+        );
     }
 
     #[test]
     fn pooled_stats_counts_all_seeds() {
-        let opts = Opts { jobs: 200, seeds: vec![1, 2], load: 0.9, threads: None };
+        let opts = Opts {
+            jobs: 200,
+            seeds: vec![1, 2],
+            load: 0.9,
+            threads: None,
+        };
         let grid = [(SchedulerKind::Easy, Policy::Fcfs)];
         let res = sweep(&opts, &opts.ctc_sources(), &grid, EstimateModel::Exact);
         let pooled = pooled_stats(&res[0]);
@@ -190,7 +226,12 @@ mod tests {
 
     #[test]
     fn subset_slowdown_of_everything_matches_overall() {
-        let opts = Opts { jobs: 200, seeds: vec![7], load: 0.9, threads: None };
+        let opts = Opts {
+            jobs: 200,
+            seeds: vec![7],
+            load: 0.9,
+            threads: None,
+        };
         let grid = [(SchedulerKind::Conservative, Policy::Fcfs)];
         let res = sweep(&opts, &opts.ctc_sources(), &grid, EstimateModel::Exact);
         let all = subset_slowdown(&res[0], |_, _| true);

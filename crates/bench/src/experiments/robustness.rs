@@ -12,7 +12,7 @@
 //!   flips, both with the flurry jobs counted in the metric and with them
 //!   excluded.
 
-use super::{Opts};
+use super::Opts;
 use backfill_sim::prelude::*;
 use metrics::{fnum, Table, Welford};
 use workload::flurry::{inject_flurry, FlurrySpec};
@@ -30,7 +30,10 @@ fn headline_cells() -> Vec<(SchedulerKind, Policy)> {
 
 fn base_trace(opts: &Opts) -> Trace {
     Scenario {
-        source: TraceSource::Ctc { jobs: opts.jobs, seed: opts.seeds[0] },
+        source: TraceSource::Ctc {
+            jobs: opts.jobs,
+            seed: opts.seeds[0],
+        },
         estimate: EstimateModel::Exact,
         estimate_seed: 1,
         load: Some(opts.load),
@@ -49,7 +52,11 @@ pub fn shaking(opts: &Opts, replicas: u32, magnitude: SimSpan) -> Table {
     let mut per_cell: Vec<Welford> = vec![Welford::new(); cells.len()];
     let mut sjf_always_wins = true;
     for r in 0..replicas {
-        let shaken = if r == 0 { trace.clone() } else { shake(&trace, magnitude, r as u64) };
+        let shaken = if r == 0 {
+            trace.clone()
+        } else {
+            shake(&trace, magnitude, r as u64)
+        };
         let mut slowdowns = Vec::with_capacity(cells.len());
         for (ci, &(kind, policy)) in cells.iter().enumerate() {
             let s = simulate(&shaken, kind, policy);
@@ -64,9 +71,7 @@ pub fn shaking(opts: &Opts, replicas: u32, magnitude: SimSpan) -> Table {
     }
 
     let mut t = Table::new(
-        format!(
-            "Robustness — input shaking (CTC, {replicas} copies, ±{magnitude} arrival jitter)"
-        ),
+        format!("Robustness — input shaking (CTC, {replicas} copies, ±{magnitude} arrival jitter)"),
         &["scheme", "min", "mean", "max", "spread %"],
     );
     for (w, &(kind, policy)) in per_cell.iter().zip(&cells) {
@@ -88,7 +93,11 @@ pub fn shaking(opts: &Opts, replicas: u32, magnitude: SimSpan) -> Table {
         String::new(),
         String::new(),
         String::new(),
-        if sjf_always_wins { "yes".into() } else { "NO".into() },
+        if sjf_always_wins {
+            "yes".into()
+        } else {
+            "NO".into()
+        },
     ]);
     t
 }
@@ -99,9 +108,7 @@ pub fn shaking(opts: &Opts, replicas: u32, magnitude: SimSpan) -> Table {
 /// reporting).
 pub fn flurry(opts: &Opts, count: u32) -> Table {
     let trace = base_trace(opts);
-    let mid = SimTime::new(
-        trace.first_arrival().as_secs() + trace.arrival_span().as_secs() / 2,
-    );
+    let mid = SimTime::new(trace.first_arrival().as_secs() + trace.arrival_span().as_secs() / 2);
     let spec = FlurrySpec::short_narrow(mid, count);
     let (with_flurry, _) = inject_flurry(&trace, &spec, 99);
     let criteria = CategoryCriteria::default();
@@ -111,7 +118,10 @@ pub fn flurry(opts: &Opts, count: u32) -> Table {
         &["scheme", "clean", "with flurry", "flurry excluded"],
     );
     for (kind, policy) in headline_cells() {
-        let clean = simulate(&trace, kind, policy).stats(&criteria).overall.avg_slowdown();
+        let clean = simulate(&trace, kind, policy)
+            .stats(&criteria)
+            .overall
+            .avg_slowdown();
         let burst_schedule = simulate(&with_flurry, kind, policy);
         let all = burst_schedule.stats(&criteria).overall.avg_slowdown();
         // Excluded: average over jobs that are NOT flurry jobs (the flurry

@@ -69,9 +69,14 @@ fn parse_estimate(s: &str) -> EstimateModel {
     match s {
         "exact" => EstimateModel::Exact,
         "user" => EstimateModel::User(UserModelParams::capped(SimSpan::from_hours(18))),
-        other => match other.strip_prefix("systematic:").and_then(|r| r.parse::<f64>().ok()) {
+        other => match other
+            .strip_prefix("systematic:")
+            .and_then(|r| r.parse::<f64>().ok())
+        {
             Some(r) if r >= 1.0 => EstimateModel::systematic(r),
-            _ => die(&format!("bad --estimate {other:?} (exact | systematic:R | user)")),
+            _ => die(&format!(
+                "bad --estimate {other:?} (exact | systematic:R | user)"
+            )),
         },
     }
 }
@@ -85,14 +90,18 @@ fn parse_scheduler(s: &str) -> SchedulerKind {
         "cons-none" => SchedulerKind::ConservativeNoCompress,
         "easy" => SchedulerKind::Easy,
         other => {
-            if let Some(t) = other.strip_prefix("selective:").and_then(|t| t.parse().ok()) {
+            if let Some(t) = other
+                .strip_prefix("selective:")
+                .and_then(|t| t.parse().ok())
+            {
                 SchedulerKind::Selective { threshold: t }
             } else if let Some(f) = other.strip_prefix("slack:").and_then(|f| f.parse().ok()) {
                 SchedulerKind::Slack { slack_factor: f }
             } else if let Some(d) = other.strip_prefix("depth:").and_then(|d| d.parse().ok()) {
                 SchedulerKind::Depth { depth: d }
-            } else if let Some(t) =
-                other.strip_prefix("preemptive:").and_then(|t| t.parse().ok())
+            } else if let Some(t) = other
+                .strip_prefix("preemptive:")
+                .and_then(|t| t.parse().ok())
             {
                 SchedulerKind::Preemptive { threshold: t }
             } else {
@@ -116,23 +125,30 @@ fn parse_policy(s: &str) -> Policy {
 fn parse_cli() -> Cli {
     let mut cli = Cli::default();
     let mut it = std::env::args().skip(1);
-    cli.command = it.next().unwrap_or_else(|| die("missing command (try --help)"));
+    cli.command = it
+        .next()
+        .unwrap_or_else(|| die("missing command (try --help)"));
     if cli.command == "--help" || cli.command == "-h" {
         println!("usage: bfsim <simulate|generate|inspect|compare> [flags]; see module docs");
         std::process::exit(0);
     }
     let next = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
-        it.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        it.next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--model" => cli.model = next(&mut it, "--model"),
             "--trace" => cli.trace_file = Some(next(&mut it, "--trace")),
             "--jobs" => {
-                cli.jobs = next(&mut it, "--jobs").parse().unwrap_or_else(|_| die("bad --jobs"))
+                cli.jobs = next(&mut it, "--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --jobs"))
             }
             "--seed" => {
-                cli.seed = next(&mut it, "--seed").parse().unwrap_or_else(|_| die("bad --seed"))
+                cli.seed = next(&mut it, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --seed"))
             }
             "--seeds" => {
                 cli.seeds = next(&mut it, "--seeds")
@@ -203,7 +219,9 @@ fn cmd_simulate(cli: &Cli) {
     } else {
         simulate(&trace, cli.scheduler, cli.policy)
     };
-    schedule.validate().unwrap_or_else(|e| die(&format!("audit failed: {e}")));
+    schedule
+        .validate()
+        .unwrap_or_else(|e| die(&format!("audit failed: {e}")));
     let stats = schedule.stats(&CategoryCriteria::default());
     println!("scheduler: {}", schedule.scheduler);
     println!("{}", TraceStats::of(&trace).render());
@@ -221,7 +239,24 @@ fn cmd_simulate(cli: &Cli) {
     );
     for cat in Category::ALL {
         let m = stats.category(cat);
-        println!("  {cat}: {:6} jobs  slowdown {:8.2}", m.count(), m.avg_slowdown());
+        println!(
+            "  {cat}: {:6} jobs  slowdown {:8.2}",
+            m.count(),
+            m.avg_slowdown()
+        );
+    }
+    if let Some(p) = schedule.profile_stats {
+        println!(
+            "profile ops: {} anchors ({:.1} segs/anchor, {} blocks skipped) | \
+             {} reserves | {} releases | {} compress passes | peak {} segments",
+            p.find_anchor_calls,
+            p.segments_per_anchor(),
+            p.blocks_skipped,
+            p.reserves,
+            p.releases,
+            p.compress_passes,
+            p.peak_segments
+        );
     }
     if cli.fairness {
         let f = fairness(&schedule.outcomes);
@@ -235,7 +270,11 @@ fn cmd_simulate(cli: &Cli) {
         let util = utilization_series(&schedule.outcomes, trace.nodes(), bin);
         let depth = queue_depth_series(&schedule.outcomes, bin);
         println!("utilization  {}", viz::sparkline(&util));
-        println!("queue depth  {}  (peak {:.0})", viz::sparkline(&depth), depth.peak());
+        println!(
+            "queue depth  {}  (peak {:.0})",
+            viz::sparkline(&depth),
+            depth.peak()
+        );
     }
     if cli.gantt {
         println!("{}", viz::gantt(&schedule.outcomes, 100));
@@ -244,7 +283,10 @@ fn cmd_simulate(cli: &Cli) {
 
 fn cmd_generate(cli: &Cli) {
     let trace = build_trace(cli);
-    let out = cli.out.clone().unwrap_or_else(|| die("generate needs -o OUT.swf"));
+    let out = cli
+        .out
+        .clone()
+        .unwrap_or_else(|| die("generate needs -o OUT.swf"));
     std::fs::write(&out, swf::write_trace(&trace))
         .unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
     println!("wrote {} jobs to {out}", trace.len());
@@ -254,16 +296,27 @@ fn cmd_inspect(cli: &Cli) {
     let trace = build_trace(cli);
     println!("{}", TraceStats::of(&trace).render());
     let grid = workload::arrival_heatmap(&trace);
-    let rows: Vec<Vec<f64>> =
-        grid.iter().map(|day| day.iter().map(|&c| c as f64).collect()).collect();
+    let rows: Vec<Vec<f64>> = grid
+        .iter()
+        .map(|day| day.iter().map(|&c| c as f64).collect())
+        .collect();
     println!("weekly arrival heatmap (rows = day of week, cols = hour of day):");
-    println!("{}", viz::heatmap(&rows, &["d0", "d1", "d2", "d3", "d4", "d5", "d6"]));
+    println!(
+        "{}",
+        viz::heatmap(&rows, &["d0", "d1", "d2", "d3", "d4", "d5", "d6"])
+    );
 }
 
 fn cmd_compare(cli: &Cli) {
     let source = match cli.model.as_str() {
-        "ctc" => TraceSource::Ctc { jobs: cli.jobs, seed: cli.seed },
-        "sdsc" => TraceSource::Sdsc { jobs: cli.jobs, seed: cli.seed },
+        "ctc" => TraceSource::Ctc {
+            jobs: cli.jobs,
+            seed: cli.seed,
+        },
+        "sdsc" => TraceSource::Sdsc {
+            jobs: cli.jobs,
+            seed: cli.seed,
+        },
         other => die(&format!("compare supports ctc|sdsc models, got {other:?}")),
     };
     let campaign = Campaign {
@@ -293,7 +346,10 @@ fn cmd_compare(cli: &Cli) {
             format!("{}/{}", cell.kind.label(), cell.policy),
             cell.slowdown.to_string(),
             cell.turnaround.to_string(),
-            format!("{:.3} ± {:.3}", cell.utilization.mean, cell.utilization.ci95),
+            format!(
+                "{:.3} ± {:.3}",
+                cell.utilization.mean, cell.utilization.ci95
+            ),
         ]);
     }
     println!("{}", table.render());
@@ -306,6 +362,8 @@ fn main() {
         "generate" => cmd_generate(&cli),
         "inspect" => cmd_inspect(&cli),
         "compare" => cmd_compare(&cli),
-        other => die(&format!("unknown command {other:?} (simulate|generate|inspect|compare)")),
+        other => die(&format!(
+            "unknown command {other:?} (simulate|generate|inspect|compare)"
+        )),
     }
 }

@@ -31,12 +31,19 @@ impl Estimate {
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         if n == 1 {
-            return Estimate { mean, ci95: 0.0, replicates: 1 };
+            return Estimate {
+                mean,
+                ci95: 0.0,
+                replicates: 1,
+            };
         }
-        let var =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
         let se = (var / n as f64).sqrt();
-        Estimate { mean, ci95: t_crit_95(n - 1) * se, replicates: n }
+        Estimate {
+            mean,
+            ci95: t_crit_95(n - 1) * se,
+            replicates: n,
+        }
     }
 
     /// True when the two estimates' CIs do not overlap — a conservative
@@ -60,9 +67,9 @@ impl std::fmt::Display for Estimate {
 /// (table for small df, 1.96 asymptote beyond).
 fn t_crit_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -115,7 +122,10 @@ impl Campaign {
                     TraceSource::Sdsc { jobs, .. } => TraceSource::Sdsc { jobs, seed },
                 };
                 configs.push(RunConfig {
-                    scenario: Scenario { source, ..self.scenario },
+                    scenario: Scenario {
+                        source,
+                        ..self.scenario
+                    },
                     kind,
                     policy,
                 });
@@ -131,7 +141,7 @@ impl Campaign {
                 let cell = &results[i * per_cell..(i + 1) * per_cell];
                 let stats: Vec<_> = cell.iter().map(|r| r.schedule.stats(&criteria)).collect();
                 let collect = |f: &dyn Fn(&metrics::ScheduleStats) -> f64| -> Estimate {
-                    Estimate::from_samples(&stats.iter().map(|s| f(s)).collect::<Vec<_>>())
+                    Estimate::from_samples(&stats.iter().map(f).collect::<Vec<_>>())
                 };
                 CampaignCell {
                     kind,
@@ -174,11 +184,23 @@ mod tests {
 
     #[test]
     fn clearly_below_requires_separation() {
-        let low = Estimate { mean: 5.0, ci95: 1.0, replicates: 3 };
-        let high = Estimate { mean: 10.0, ci95: 2.0, replicates: 3 };
+        let low = Estimate {
+            mean: 5.0,
+            ci95: 1.0,
+            replicates: 3,
+        };
+        let high = Estimate {
+            mean: 10.0,
+            ci95: 2.0,
+            replicates: 3,
+        };
         assert!(low.clearly_below(&high));
         assert!(!high.clearly_below(&low));
-        let wide = Estimate { mean: 7.0, ci95: 3.0, replicates: 3 };
+        let wide = Estimate {
+            mean: 7.0,
+            ci95: 3.0,
+            replicates: 3,
+        };
         assert!(!low.clearly_below(&wide), "overlapping CIs are not 'clear'");
     }
 

@@ -66,7 +66,12 @@ pub struct Scenario {
 impl Scenario {
     /// A scenario with exact estimates at the paper's high load.
     pub fn high_load(source: TraceSource) -> Self {
-        Scenario { source, estimate: EstimateModel::Exact, estimate_seed: 1, load: Some(0.9) }
+        Scenario {
+            source,
+            estimate: EstimateModel::Exact,
+            estimate_seed: 1,
+            load: Some(0.9),
+        }
     }
 
     /// Materialize the trace: generate, apply estimates, rescale load.
@@ -107,7 +112,12 @@ impl RunConfig {
 
     /// Report label, e.g. `"CTC EASY/SJF"`.
     pub fn label(&self) -> String {
-        format!("{} {}/{}", self.scenario.source.label(), self.kind.label(), self.policy)
+        format!(
+            "{} {}/{}",
+            self.scenario.source.label(),
+            self.kind.label(),
+            self.policy
+        )
     }
 }
 
@@ -116,7 +126,10 @@ mod tests {
     use super::*;
 
     fn small_ctc() -> TraceSource {
-        TraceSource::Ctc { jobs: 300, seed: 11 }
+        TraceSource::Ctc {
+            jobs: 300,
+            seed: 11,
+        }
     }
 
     #[test]
@@ -134,7 +147,11 @@ mod tests {
             load: Some(1.1),
         };
         let t = sc.materialize();
-        assert!((t.offered_load() - 1.1).abs() < 0.05, "rho {}", t.offered_load());
+        assert!(
+            (t.offered_load() - 1.1).abs() < 0.05,
+            "rho {}",
+            t.offered_load()
+        );
     }
 
     #[test]
@@ -147,7 +164,11 @@ mod tests {
         };
         let t = sc.materialize();
         for j in t.jobs() {
-            assert!((j.overestimation() - 4.0).abs() < 0.51, "R {}", j.overestimation());
+            assert!(
+                (j.overestimation() - 4.0).abs() < 0.51,
+                "R {}",
+                j.overestimation()
+            );
         }
     }
 

@@ -14,13 +14,13 @@
 
 use crate::schedule::Schedule;
 use metrics::JobOutcome;
-use sched::{Decisions, JobMeta, Policy, Scheduler};
 use sched::conservative::Compression;
 use sched::slack::SlackPolicy;
 use sched::{
     ConservativeScheduler, DepthScheduler, EasyScheduler, FcfsScheduler, PreemptiveScheduler,
     SelectiveScheduler, SlackScheduler,
 };
+use sched::{Decisions, JobMeta, Policy, Scheduler};
 use serde::{Deserialize, Serialize};
 use simcore::{Actor, Ctx, Engine, EventClass, JobId, Machine, SimSpan, SimTime};
 use workload::Trace;
@@ -81,9 +81,7 @@ impl SchedulerKind {
     pub fn build(&self, capacity: u32, policy: Policy) -> Box<dyn Scheduler> {
         match *self {
             SchedulerKind::NoBackfill => Box::new(FcfsScheduler::new(capacity, policy)),
-            SchedulerKind::Conservative => {
-                Box::new(ConservativeScheduler::new(capacity, policy))
-            }
+            SchedulerKind::Conservative => Box::new(ConservativeScheduler::new(capacity, policy)),
             SchedulerKind::ConservativeReanchor => Box::new(
                 ConservativeScheduler::with_compression(capacity, policy, Compression::Reanchor),
             ),
@@ -188,7 +186,10 @@ pub fn journal_queue_series(
         level = e.queue_len;
         prev = e.time;
     }
-    let values = weighted.iter().map(|&w| w as f64 / bin.as_secs_f64()).collect();
+    let values = weighted
+        .iter()
+        .map(|&w| w as f64 / bin.as_secs_f64())
+        .collect();
     metrics::TimeSeries::from_parts(origin, bin, values)
 }
 
@@ -241,7 +242,12 @@ impl Driver<'_> {
     fn record(&mut self, time: SimTime, kind: JournalKind, job: Option<JobId>) {
         if let Some(journal) = &mut self.journal {
             let queue_len = self.scheduler.queue_len() as u32;
-            journal.push(JournalEntry { time, kind, job, queue_len });
+            journal.push(JournalEntry {
+                time,
+                kind,
+                job,
+                queue_len,
+            });
         }
     }
 
@@ -262,7 +268,9 @@ impl Driver<'_> {
             debug_assert!(ran_now <= self.remaining[i], "{id} ran past its runtime");
             self.remaining[i] = self.remaining[i] - ran_now;
             self.epoch[i] += 1; // invalidates the pending completion event
-            self.machine.release(id, now).expect("preempt of unallocated job");
+            self.machine
+                .release(id, now)
+                .expect("preempt of unallocated job");
             self.segments.push(simcore::PlacedJob {
                 id: id.0,
                 arrival: job.arrival,
@@ -330,10 +338,13 @@ impl Actor<Ev> for Driver<'_> {
                     // scheduled; its resume scheduled a fresh one.
                     return;
                 }
-                let seg_start =
-                    self.running_since[i].take().expect("completion of idle job");
+                let seg_start = self.running_since[i]
+                    .take()
+                    .expect("completion of idle job");
                 let job = self.trace.job(id);
-                self.machine.release(id, now).expect("completion without allocation");
+                self.machine
+                    .release(id, now)
+                    .expect("completion without allocation");
                 self.segments.push(simcore::PlacedJob {
                     id: id.0,
                     arrival: job.arrival,
@@ -415,7 +426,11 @@ fn simulate_inner(
         trace.len()
     );
     assert_eq!(driver.machine.in_use(), 0, "{name}: machine not drained");
-    assert_eq!(driver.scheduler.queue_len(), 0, "{name}: jobs stranded in queue");
+    assert_eq!(
+        driver.scheduler.queue_len(),
+        0,
+        "{name}: jobs stranded in queue"
+    );
 
     let outcomes: Vec<JobOutcome> = trace
         .jobs()
@@ -424,8 +439,7 @@ fn simulate_inner(
         .map(|(i, job)| {
             let start =
                 driver.starts[i].unwrap_or_else(|| panic!("{name}: {} never started", job.id));
-            let end =
-                driver.ends[i].unwrap_or_else(|| panic!("{name}: {} never finished", job.id));
+            let end = driver.ends[i].unwrap_or_else(|| panic!("{name}: {} never finished", job.id));
             JobOutcome::with_end(*job, start, end)
         })
         .collect();
@@ -435,6 +449,7 @@ fn simulate_inner(
             nodes: trace.nodes(),
             outcomes,
             run_segments: driver.segments,
+            profile_stats: driver.scheduler.profile_stats(),
         },
         driver.journal,
     )
@@ -482,7 +497,8 @@ mod tests {
             for policy in Policy::PAPER {
                 let s = simulate(&trace, kind, policy);
                 assert_eq!(s.outcomes.len(), 4, "{}", s.scheduler);
-                s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.scheduler));
+                s.validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.scheduler));
             }
         }
     }
@@ -557,15 +573,27 @@ mod tests {
                 .filter(|e| e.job == Some(job.id))
                 .map(|e| (e.kind, e.time))
                 .collect();
-            let arrive = times.iter().filter(|(k, _)| *k == JournalKind::Arrive).count();
-            let start = times.iter().filter(|(k, _)| *k == JournalKind::Start).count();
-            let complete = times.iter().filter(|(k, _)| *k == JournalKind::Complete).count();
+            let arrive = times
+                .iter()
+                .filter(|(k, _)| *k == JournalKind::Arrive)
+                .count();
+            let start = times
+                .iter()
+                .filter(|(k, _)| *k == JournalKind::Start)
+                .count();
+            let complete = times
+                .iter()
+                .filter(|(k, _)| *k == JournalKind::Complete)
+                .count();
             assert_eq!((arrive, start, complete), (1, 1, 1), "{}", job.id);
             let t = |kind: JournalKind| times.iter().find(|(k, _)| *k == kind).unwrap().1;
             assert!(t(JournalKind::Arrive) <= t(JournalKind::Start));
             assert!(t(JournalKind::Start) <= t(JournalKind::Complete));
             // The journal's start matches the schedule's outcome.
-            assert_eq!(t(JournalKind::Start), schedule.outcomes[job.id.0 as usize].start);
+            assert_eq!(
+                t(JournalKind::Start),
+                schedule.outcomes[job.id.0 as usize].start
+            );
         }
     }
 
@@ -576,7 +604,11 @@ mod tests {
         let trace = Trace::new(
             "q",
             8,
-            vec![job(0, 0, 100, 100, 8), job(1, 1, 100, 100, 8), job(2, 2, 100, 100, 8)],
+            vec![
+                job(0, 0, 100, 100, 8),
+                job(1, 1, 100, 100, 8),
+                job(2, 2, 100, 100, 8),
+            ],
         )
         .unwrap();
         let (_, journal) = simulate_journaled(&trace, SchedulerKind::Easy, Policy::Fcfs);
@@ -603,6 +635,9 @@ mod tests {
     #[test]
     fn scheduler_kind_labels() {
         assert_eq!(SchedulerKind::Easy.label(), "EASY");
-        assert_eq!(SchedulerKind::Selective { threshold: 2.0 }.label(), "Sel(2)");
+        assert_eq!(
+            SchedulerKind::Selective { threshold: 2.0 }.label(),
+            "Sel(2)"
+        );
     }
 }

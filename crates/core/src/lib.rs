@@ -41,22 +41,27 @@ pub mod schedule;
 
 pub use campaign::{Campaign, CampaignCell, Estimate};
 pub use config::{RunConfig, Scenario, TraceSource};
-pub use driver::{journal_queue_series, simulate, simulate_journaled, JournalEntry, JournalKind, SchedulerKind};
-pub use runner::{run_all, RunResult};
+pub use driver::{
+    journal_queue_series, simulate, simulate_journaled, JournalEntry, JournalKind, SchedulerKind,
+};
+pub use runner::{aggregate_profile_stats, run_all, RunResult};
 pub use schedule::Schedule;
 
 /// Everything a typical experiment needs, in one import.
 pub mod prelude {
     pub use crate::campaign::{Campaign, CampaignCell, Estimate};
     pub use crate::config::{RunConfig, Scenario, TraceSource};
-    pub use crate::driver::{simulate, simulate_journaled, JournalEntry, JournalKind, SchedulerKind};
-    pub use crate::runner::{run_all, RunResult};
+    pub use crate::driver::{
+        simulate, simulate_journaled, JournalEntry, JournalKind, SchedulerKind,
+    };
+    pub use crate::runner::{aggregate_profile_stats, run_all, RunResult};
     pub use crate::schedule::Schedule;
-    pub use metrics::{percent_change, fnum, fpct, JobOutcome, Quantiles, ScheduleStats, Table, Welford};
+    pub use metrics::{
+        fnum, fpct, percent_change, JobOutcome, Quantiles, ScheduleStats, Table, Welford,
+    };
     pub use sched::{Policy, Scheduler};
     pub use simcore::{JobId, SimSpan, SimTime};
     pub use workload::{
-        Category, CategoryCriteria, EstimateModel, EstimateQuality, Job, Trace,
-        UserModelParams,
+        Category, CategoryCriteria, EstimateModel, EstimateQuality, Job, Trace, UserModelParams,
     };
 }

@@ -11,6 +11,7 @@ use crate::config::RunConfig;
 use crate::schedule::Schedule;
 use crossbeam::channel;
 use parking_lot::Mutex;
+use sched::ProfileStats;
 use std::num::NonZeroUsize;
 
 /// Result of one sweep cell.
@@ -37,7 +38,10 @@ pub fn run_all(configs: &[RunConfig], threads: Option<NonZeroUsize>) -> Vec<RunR
     if threads == 1 {
         return configs
             .iter()
-            .map(|&config| RunResult { config, schedule: config.run() })
+            .map(|&config| RunResult {
+                config,
+                schedule: config.run(),
+            })
             .collect();
     }
 
@@ -47,7 +51,8 @@ pub fn run_all(configs: &[RunConfig], threads: Option<NonZeroUsize>) -> Vec<RunR
     }
     drop(tx);
 
-    let slots: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..configs.len()).map(|_| None).collect());
+    let slots: Mutex<Vec<Option<RunResult>>> =
+        Mutex::new((0..configs.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let rx = rx.clone();
@@ -55,7 +60,10 @@ pub fn run_all(configs: &[RunConfig], threads: Option<NonZeroUsize>) -> Vec<RunR
             scope.spawn(move || {
                 while let Ok(i) = rx.recv() {
                     let config = configs[i];
-                    let result = RunResult { config, schedule: config.run() };
+                    let result = RunResult {
+                        config,
+                        schedule: config.run(),
+                    };
                     slots.lock()[i] = Some(result);
                 }
             });
@@ -67,6 +75,22 @@ pub fn run_all(configs: &[RunConfig], threads: Option<NonZeroUsize>) -> Vec<RunR
         .into_iter()
         .map(|r| r.expect("every cell completed"))
         .collect()
+}
+
+/// Sum the availability-profile counters across a sweep's results.
+/// Returns `None` if no cell reported stats (all profile-free schedulers);
+/// otherwise counts add and `peak_segments` takes the maximum.
+pub fn aggregate_profile_stats(results: &[RunResult]) -> Option<ProfileStats> {
+    let mut total: Option<ProfileStats> = None;
+    for stats in results
+        .iter()
+        .filter_map(|r| r.schedule.profile_stats.as_ref())
+    {
+        total
+            .get_or_insert_with(ProfileStats::default)
+            .absorb(stats);
+    }
+    total
 }
 
 #[cfg(test)]
@@ -81,7 +105,11 @@ mod tests {
         let mut configs = Vec::new();
         for kind in [SchedulerKind::Conservative, SchedulerKind::Easy] {
             for policy in Policy::PAPER {
-                configs.push(RunConfig { scenario, kind, policy });
+                configs.push(RunConfig {
+                    scenario,
+                    kind,
+                    policy,
+                });
             }
         }
         configs
@@ -118,5 +146,22 @@ mod tests {
         let configs = sweep()[..2].to_vec();
         let results = run_all(&configs, NonZeroUsize::new(16));
         assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn aggregates_profile_stats_across_cells() {
+        let configs = sweep();
+        let results = run_all(&configs, NonZeroUsize::new(2));
+        // Conservative and EASY both maintain profiles, so every cell
+        // reports stats and the totals must dominate each cell's.
+        let total = aggregate_profile_stats(&results).expect("profiled schedulers");
+        assert!(total.find_anchor_calls > 0);
+        assert!(total.reserves > 0);
+        for r in &results {
+            let cell = r.schedule.profile_stats.expect("each cell profiled");
+            assert!(total.find_anchor_calls >= cell.find_anchor_calls);
+            assert!(total.peak_segments >= cell.peak_segments);
+        }
+        assert_eq!(aggregate_profile_stats(&[]), None);
     }
 }

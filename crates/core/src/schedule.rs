@@ -1,6 +1,7 @@
 //! The result of simulating one trace under one scheduler.
 
 use metrics::{JobOutcome, ScheduleStats};
+use sched::ProfileStats;
 use simcore::{validate_schedule, PlacedJob, SimError, SimTime};
 use workload::CategoryCriteria;
 
@@ -17,6 +18,10 @@ pub struct Schedule {
     /// one per run for preemptive ones). This, not `outcomes`, is what
     /// capacity auditing sweeps — a suspended job holds no processors.
     pub run_segments: Vec<PlacedJob>,
+    /// Availability-profile operation counters accumulated by the
+    /// scheduler over the run, if it maintains a profile (`None` for
+    /// profile-free schedulers such as plain FCFS).
+    pub profile_stats: Option<ProfileStats>,
 }
 
 impl Schedule {
@@ -56,7 +61,11 @@ impl Schedule {
 
     /// Completion time of the last job (zero for an empty schedule).
     pub fn last_end(&self) -> SimTime {
-        self.outcomes.iter().map(|o| o.end()).max().unwrap_or(SimTime::ZERO)
+        self.outcomes
+            .iter()
+            .map(|o| o.end())
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// FNV-1a fingerprint of the `(job id, start time)` assignment —
@@ -110,7 +119,13 @@ mod tests {
                 width: o.job.width,
             })
             .collect();
-        Schedule { scheduler: "test".into(), nodes: 8, outcomes, run_segments }
+        Schedule {
+            scheduler: "test".into(),
+            nodes: 8,
+            outcomes,
+            run_segments,
+            profile_stats: None,
+        }
     }
 
     #[test]

@@ -9,10 +9,10 @@ use proptest::prelude::*;
 fn arb_trace() -> impl Strategy<Value = Trace> {
     (8u32..=64).prop_flat_map(|nodes| {
         let job = (
-            0u64..20_000,        // arrival
-            1u64..5_000,         // runtime
-            0u64..10_000,        // estimate slack
-            1u32..=nodes,        // width
+            0u64..20_000, // arrival
+            1u64..5_000,  // runtime
+            0u64..10_000, // estimate slack
+            1u32..=nodes, // width
         );
         proptest::collection::vec(job, 1..60).prop_map(move |raw| {
             let jobs: Vec<Job> = raw
@@ -39,13 +39,17 @@ fn all_kinds() -> Vec<SchedulerKind> {
         SchedulerKind::ConservativeNoCompress,
         SchedulerKind::Easy,
         SchedulerKind::Selective { threshold: 2.0 },
-        SchedulerKind::Selective { threshold: f64::INFINITY },
+        SchedulerKind::Selective {
+            threshold: f64::INFINITY,
+        },
         SchedulerKind::Slack { slack_factor: 0.0 },
         SchedulerKind::Slack { slack_factor: 2.0 },
         SchedulerKind::Depth { depth: 1 },
         SchedulerKind::Depth { depth: 4 },
         SchedulerKind::Preemptive { threshold: 2.0 },
-        SchedulerKind::Preemptive { threshold: f64::INFINITY },
+        SchedulerKind::Preemptive {
+            threshold: f64::INFINITY,
+        },
     ]
 }
 

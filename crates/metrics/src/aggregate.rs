@@ -80,11 +80,7 @@ pub struct ScheduleStats {
 impl ScheduleStats {
     /// Aggregate a schedule's outcomes. `nodes` is the machine size the
     /// schedule ran on (for utilization).
-    pub fn from_outcomes(
-        outcomes: &[JobOutcome],
-        nodes: u32,
-        criteria: &CategoryCriteria,
-    ) -> Self {
+    pub fn from_outcomes(outcomes: &[JobOutcome], nodes: u32, criteria: &CategoryCriteria) -> Self {
         assert!(nodes > 0, "machine size must be positive");
         let mut stats = ScheduleStats {
             overall: MetricSummary::default(),
@@ -139,8 +135,16 @@ impl ScheduleStats {
         if outcomes.is_empty() {
             return Self::from_outcomes(outcomes, nodes, criteria);
         }
-        let first = outcomes.iter().map(|o| o.job.arrival).min().expect("non-empty");
-        let last = outcomes.iter().map(|o| o.job.arrival).max().expect("non-empty");
+        let first = outcomes
+            .iter()
+            .map(|o| o.job.arrival)
+            .min()
+            .expect("non-empty");
+        let last = outcomes
+            .iter()
+            .map(|o| o.job.arrival)
+            .max()
+            .expect("non-empty");
         let span = last.since(first).as_secs() as f64;
         let lo = first + simcore::SimSpan::new((span * warmup) as u64);
         let hi = first + simcore::SimSpan::new((span * (1.0 - cooldown)) as u64);
@@ -226,9 +230,9 @@ mod tests {
     #[test]
     fn quality_split() {
         let outcomes = vec![
-            outcome(0, 100, 150, 1, 0),  // well (1.5x)
-            outcome(0, 100, 500, 1, 0),  // poor (5x)
-            outcome(0, 100, 100, 1, 0),  // well (exact)
+            outcome(0, 100, 150, 1, 0), // well (1.5x)
+            outcome(0, 100, 500, 1, 0), // poor (5x)
+            outcome(0, 100, 100, 1, 0), // well (exact)
         ];
         let s = ScheduleStats::from_outcomes(&outcomes, 8, &CategoryCriteria::default());
         assert_eq!(s.quality(EstimateQuality::Well).count(), 2);
@@ -267,8 +271,9 @@ mod tests {
     #[test]
     fn trimming_excludes_boundary_jobs() {
         // Arrivals at 0, 250, 500, 750, 1000: 10% trims drop 0 and 1000.
-        let outcomes: Vec<JobOutcome> =
-            (0..5).map(|i| outcome(i * 250, 100, 100, 1, i * 250)).collect();
+        let outcomes: Vec<JobOutcome> = (0..5)
+            .map(|i| outcome(i * 250, 100, 100, 1, i * 250))
+            .collect();
         let full = ScheduleStats::from_outcomes(&outcomes, 8, &CategoryCriteria::default());
         let trimmed = ScheduleStats::from_outcomes_trimmed(
             &outcomes,
@@ -283,8 +288,9 @@ mod tests {
 
     #[test]
     fn zero_trims_equal_untrimmed() {
-        let outcomes: Vec<JobOutcome> =
-            (0..5).map(|i| outcome(i * 100, 50, 50, 2, i * 100 + 10)).collect();
+        let outcomes: Vec<JobOutcome> = (0..5)
+            .map(|i| outcome(i * 100, 50, 50, 2, i * 100 + 10))
+            .collect();
         let a = ScheduleStats::from_outcomes(&outcomes, 8, &CategoryCriteria::default());
         let b = ScheduleStats::from_outcomes_trimmed(
             &outcomes,

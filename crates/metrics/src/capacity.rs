@@ -30,7 +30,11 @@ pub struct CapacityReport {
 pub fn capacity_report(outcomes: &[JobOutcome], nodes: u32) -> CapacityReport {
     assert!(nodes > 0, "machine size must be positive");
     if outcomes.is_empty() {
-        return CapacityReport { utilized: 0.0, idle_no_demand: 0.0, lost: 0.0 };
+        return CapacityReport {
+            utilized: 0.0,
+            idle_no_demand: 0.0,
+            lost: 0.0,
+        };
     }
 
     // Event deltas: (time, running-procs delta, waiting-jobs delta).
@@ -41,11 +45,19 @@ pub fn capacity_report(outcomes: &[JobOutcome], nodes: u32) -> CapacityReport {
         events.push((o.end(), -(o.job.width as i64), 0));
     }
     events.sort_by_key(|&(t, dp, _)| (t, dp)); // releases before claims at equal t
-    let horizon_start = outcomes.iter().map(|o| o.job.arrival).min().expect("non-empty");
+    let horizon_start = outcomes
+        .iter()
+        .map(|o| o.job.arrival)
+        .min()
+        .expect("non-empty");
     let horizon_end = outcomes.iter().map(|o| o.end()).max().expect("non-empty");
     let total = horizon_end.since(horizon_start).as_secs() as u128 * nodes as u128;
     if total == 0 {
-        return CapacityReport { utilized: 0.0, idle_no_demand: 0.0, lost: 0.0 };
+        return CapacityReport {
+            utilized: 0.0,
+            idle_no_demand: 0.0,
+            lost: 0.0,
+        };
     }
 
     let mut busy_int: u128 = 0;
@@ -68,7 +80,11 @@ pub fn capacity_report(outcomes: &[JobOutcome], nodes: u32) -> CapacityReport {
     }
     let utilized = busy_int as f64 / total as f64;
     let lost = lost_int as f64 / total as f64;
-    CapacityReport { utilized, lost, idle_no_demand: (1.0 - utilized - lost).max(0.0) }
+    CapacityReport {
+        utilized,
+        lost,
+        idle_no_demand: (1.0 - utilized - lost).max(0.0),
+    }
 }
 
 #[cfg(test)]

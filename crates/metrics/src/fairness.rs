@@ -75,9 +75,17 @@ pub fn fairness(outcomes: &[JobOutcome]) -> FairnessReport {
     let inversions = count_inversions(&starts);
     let n = outcomes.len() as u64;
     let pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
-    let overtake_rate = if pairs == 0 { 0.0 } else { inversions as f64 / pairs as f64 };
+    let overtake_rate = if pairs == 0 {
+        0.0
+    } else {
+        inversions as f64 / pairs as f64
+    };
 
-    FairnessReport { slowdown_gini: gini(&slowdowns), max_stretch, overtake_rate }
+    FairnessReport {
+        slowdown_gini: gini(&slowdowns),
+        max_stretch,
+        overtake_rate,
+    }
 }
 
 /// Count pairs `(i, j)` with `i < j` but `v[i] > v[j]` (strict inversions).
@@ -173,16 +181,14 @@ mod tests {
 
     #[test]
     fn fcfs_service_has_zero_overtakes() {
-        let outcomes =
-            vec![outcome(0, 10, 0), outcome(5, 10, 10), outcome(8, 10, 20)];
+        let outcomes = vec![outcome(0, 10, 0), outcome(5, 10, 10), outcome(8, 10, 20)];
         let r = fairness(&outcomes);
         assert_eq!(r.overtake_rate, 0.0);
     }
 
     #[test]
     fn reversed_service_has_full_overtake_rate() {
-        let outcomes =
-            vec![outcome(0, 10, 40), outcome(5, 10, 20), outcome(8, 10, 8)];
+        let outcomes = vec![outcome(0, 10, 40), outcome(5, 10, 20), outcome(8, 10, 8)];
         let r = fairness(&outcomes);
         assert!((r.overtake_rate - 1.0).abs() < 1e-12);
     }

@@ -24,8 +24,14 @@ impl LogHistogram {
     /// Create with `bins` log-spaced buckets over `[min, max)`.
     /// Requires `0 < min < max` and at least one bin.
     pub fn new(min: f64, max: f64, bins: usize) -> Self {
-        assert!(min > 0.0 && min.is_finite(), "log histogram needs min > 0, got {min}");
-        assert!(max > min && max.is_finite(), "log histogram needs max > min");
+        assert!(
+            min > 0.0 && min.is_finite(),
+            "log histogram needs min > 0, got {min}"
+        );
+        assert!(
+            max > min && max.is_finite(),
+            "log histogram needs max > min"
+        );
         assert!(bins >= 1, "log histogram needs at least one bin");
         let log_min = min.ln();
         let log_width = (max.ln() - log_min) / bins as f64;

@@ -32,6 +32,6 @@ pub use fairness::{fairness, gini, FairnessReport};
 pub use histogram::LogHistogram;
 pub use outcome::{JobOutcome, BOUNDED_SLOWDOWN_THRESHOLD_SECS};
 pub use quantile::Quantiles;
-pub use timeseries::{queue_depth_series, utilization_series, TimeSeries};
 pub use report::{fnum, fpct, Table};
+pub use timeseries::{queue_depth_series, utilization_series, TimeSeries};
 pub use welford::Welford;

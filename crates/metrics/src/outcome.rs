@@ -33,7 +33,11 @@ impl JobOutcome {
     /// Construct an uninterrupted outcome, checking `start ≥ arrival`.
     pub fn new(job: Job, start: SimTime) -> Self {
         assert!(start >= job.arrival, "{} started before it arrived", job.id);
-        JobOutcome { job, start, end: start + job.runtime }
+        JobOutcome {
+            job,
+            start,
+            end: start + job.runtime,
+        }
     }
 
     /// Construct an outcome with an explicit completion instant (for

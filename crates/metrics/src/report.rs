@@ -112,7 +112,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(escape).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(escape)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(escape).collect::<Vec<_>>().join(","));
@@ -202,7 +209,7 @@ mod tests {
     #[test]
     fn number_formatting() {
         assert_eq!(fnum(0.0), "0");
-        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(3.17159), "3.17");
         assert_eq!(fnum(42.42), "42.4");
         assert_eq!(fnum(12345.6), "12346");
         assert_eq!(fpct(-12.34), "-12.3%");

@@ -21,7 +21,11 @@ impl TimeSeries {
     /// data, e.g. the driver's event journal).
     pub fn from_parts(origin: SimTime, bin: SimSpan, values: Vec<f64>) -> Self {
         assert!(!bin.is_zero(), "need a positive bin width");
-        TimeSeries { origin, bin, values }
+        TimeSeries {
+            origin,
+            bin,
+            values,
+        }
     }
 
     /// Start of the series.
@@ -79,9 +83,16 @@ fn bins_for(first: SimTime, last: SimTime, bin: SimSpan) -> usize {
 /// Utilization per bin: busy processor-seconds in the bin divided by
 /// `nodes × bin`. Values are in `[0, 1]`.
 pub fn utilization_series(outcomes: &[JobOutcome], nodes: u32, bin: SimSpan) -> TimeSeries {
-    assert!(nodes > 0 && !bin.is_zero(), "need positive nodes and bin width");
+    assert!(
+        nodes > 0 && !bin.is_zero(),
+        "need positive nodes and bin width"
+    );
     let Some((first, last)) = horizon(outcomes) else {
-        return TimeSeries { origin: SimTime::ZERO, bin, values: vec![] };
+        return TimeSeries {
+            origin: SimTime::ZERO,
+            bin,
+            values: vec![],
+        };
     };
     let n = bins_for(first, last, bin);
     let mut busy = vec![0u128; n];
@@ -93,7 +104,12 @@ pub fn utilization_series(outcomes: &[JobOutcome], nodes: u32, bin: SimSpan) -> 
         // Distribute width × overlap into each covered bin.
         let first_bin = (s.since(first).as_secs() / bin.as_secs()) as usize;
         let last_bin = ((e.since(first).as_secs().saturating_sub(1)) / bin.as_secs()) as usize;
-        for (b, slot) in busy.iter_mut().enumerate().take(last_bin + 1).skip(first_bin) {
+        for (b, slot) in busy
+            .iter_mut()
+            .enumerate()
+            .take(last_bin + 1)
+            .skip(first_bin)
+        {
             let bin_start = first + SimSpan::new(b as u64 * bin.as_secs());
             let bin_end = bin_start + bin;
             let lo = s.max(bin_start);
@@ -102,7 +118,11 @@ pub fn utilization_series(outcomes: &[JobOutcome], nodes: u32, bin: SimSpan) -> 
         }
     }
     let denom = nodes as f64 * bin.as_secs_f64();
-    TimeSeries { origin: first, bin, values: busy.iter().map(|&b| b as f64 / denom).collect() }
+    TimeSeries {
+        origin: first,
+        bin,
+        values: busy.iter().map(|&b| b as f64 / denom).collect(),
+    }
 }
 
 /// Mean number of waiting jobs per bin (sampled as the time-average of the
@@ -110,7 +130,11 @@ pub fn utilization_series(outcomes: &[JobOutcome], nodes: u32, bin: SimSpan) -> 
 pub fn queue_depth_series(outcomes: &[JobOutcome], bin: SimSpan) -> TimeSeries {
     assert!(!bin.is_zero(), "need positive bin width");
     let Some((first, last)) = horizon(outcomes) else {
-        return TimeSeries { origin: SimTime::ZERO, bin, values: vec![] };
+        return TimeSeries {
+            origin: SimTime::ZERO,
+            bin,
+            values: vec![],
+        };
     };
     let n = bins_for(first, last, bin);
     let mut waiting_secs = vec![0u128; n];
@@ -121,7 +145,11 @@ pub fn queue_depth_series(outcomes: &[JobOutcome], bin: SimSpan) -> TimeSeries {
         }
         let first_bin = (s.since(first).as_secs() / bin.as_secs()) as usize;
         let last_bin = ((e.since(first).as_secs().saturating_sub(1)) / bin.as_secs()) as usize;
-        for (b, slot) in waiting_secs.iter_mut().enumerate().take(last_bin + 1).skip(first_bin)
+        for (b, slot) in waiting_secs
+            .iter_mut()
+            .enumerate()
+            .take(last_bin + 1)
+            .skip(first_bin)
         {
             let bin_start = first + SimSpan::new(b as u64 * bin.as_secs());
             let bin_end = bin_start + bin;
@@ -133,7 +161,10 @@ pub fn queue_depth_series(outcomes: &[JobOutcome], bin: SimSpan) -> TimeSeries {
     TimeSeries {
         origin: first,
         bin,
-        values: waiting_secs.iter().map(|&w| w as f64 / bin.as_secs_f64()).collect(),
+        values: waiting_secs
+            .iter()
+            .map(|&w| w as f64 / bin.as_secs_f64())
+            .collect(),
     }
 }
 

@@ -64,7 +64,11 @@ pub fn gantt(outcomes: &[JobOutcome], columns: usize) -> String {
     if outcomes.is_empty() {
         return "(empty schedule)\n".to_string();
     }
-    let first = outcomes.iter().map(|o| o.job.arrival).min().expect("non-empty");
+    let first = outcomes
+        .iter()
+        .map(|o| o.job.arrival)
+        .min()
+        .expect("non-empty");
     let last = outcomes.iter().map(|o| o.end()).max().expect("non-empty");
     let span = last.since(first).as_secs().max(1);
     let scale = |t: SimTime| -> usize {
@@ -151,17 +155,19 @@ mod tests {
         assert!(chart.contains("#0"));
         assert!(chart.contains("#1"));
         // Job 1 waited (dots) then ran (hashes).
-        let line1 = chart.lines().find(|l| l.contains("#1 ")).unwrap_or_else(|| {
-            chart.lines().nth(2).unwrap()
-        });
+        let line1 = chart
+            .lines()
+            .find(|l| l.contains("#1 "))
+            .unwrap_or_else(|| chart.lines().nth(2).unwrap());
         assert!(line1.contains('.'), "wait phase missing: {line1}");
         assert!(line1.contains('#'), "run phase missing: {line1}");
     }
 
     #[test]
     fn gantt_truncates_large_schedules() {
-        let outcomes: Vec<JobOutcome> =
-            (0..60).map(|i| outcome(i, 0, 10, 1, (i as u64) * 10)).collect();
+        let outcomes: Vec<JobOutcome> = (0..60)
+            .map(|i| outcome(i, 0, 10, 1, (i as u64) * 10))
+            .collect();
         let chart = gantt(&outcomes, 40);
         assert!(chart.contains("more jobs"));
         assert!(chart.lines().count() <= 45);

@@ -35,7 +35,13 @@ impl Default for Welford {
 impl Welford {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Welford { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add one observation. Non-finite values are rejected with a panic —
@@ -64,7 +70,8 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -190,7 +197,11 @@ mod tests {
             w.push(x);
         }
         assert!((w.mean() - (1e9 + 10.0)).abs() < 1e-3);
-        assert!((w.variance() - 30.0).abs() < 1e-3, "variance {}", w.variance());
+        assert!(
+            (w.variance() - 30.0).abs() < 1e-3,
+            "variance {}",
+            w.variance()
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! guarantees only improve — asserted in code.
 
 use crate::policy::Policy;
-use crate::profile::Profile;
+use crate::profile::{Profile, ProfileStats};
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
 use serde::{Deserialize, Serialize};
 use simcore::{JobId, SimTime};
@@ -105,18 +105,40 @@ impl ConservativeScheduler {
         self.free -= res.meta.width;
         self.running.insert(
             res.meta.id,
-            Running { width: res.meta.width, est_end: now + res.meta.estimate },
+            Running {
+                width: res.meta.width,
+                est_end: now + res.meta.estimate,
+            },
         );
         // The reservation rectangle simply becomes the running occupancy;
-        // the profile needs no update.
+        // the profile needs no update. This relies on the job starting at
+        // its reserved instant: on valid traces (runtime <= estimate) a due
+        // job is deferred only by same-instant sibling completions, so it
+        // starts with `now == res.start` and consumes exactly the rectangle
+        // the profile carries. If a job overruns its estimate (`res.start <
+        // now`), the `free` gate in collect() still prevents any capacity
+        // violation — tests cover both cases.
     }
 
     /// Start every queued job whose reservation is due *and* whose
     /// processors are physically free, then report the next wake-up. A due
     /// job that does not fit yet is waiting on a sibling completion at this
-    /// same instant; the returned same-instant wake-up retries it after the
-    /// remaining events are delivered.
-    fn collect(&mut self, now: SimTime) -> Decisions {
+    /// same instant; with `retry_same_instant` set, the returned
+    /// same-instant wake-up retries it after the remaining events are
+    /// delivered.
+    ///
+    /// `on_wake` passes `retry_same_instant = false`: wake-ups are the
+    /// *last* event class at an instant, so everything that could free
+    /// processors at `now` has already been delivered, and re-requesting
+    /// `now` would spin forever (reachable when a job runs past its
+    /// estimate). The deferred job instead waits for the next completion or
+    /// a strictly later reservation.
+    ///
+    /// A single ascending pass suffices: starting a job only *consumes*
+    /// processors, so a job skipped earlier in the pass can never become
+    /// startable later in the same pass — rescanning from the front would
+    /// find exactly the same starts in the same order.
+    fn collect(&mut self, now: SimTime, retry_same_instant: bool) -> Decisions {
         let mut starts = Vec::new();
         let mut deferred = false;
         let mut i = 0;
@@ -125,9 +147,7 @@ impl ConservativeScheduler {
                 let res = self.queue.remove(i);
                 starts.push(res.meta.id);
                 self.start_job(res, now);
-                // Restart the scan: freeing the slot order never matters,
-                // but simultaneous reservations may unlock in any order.
-                i = 0;
+                // `remove` shifted the next candidate into slot `i`.
             } else {
                 if self.queue[i].start <= now {
                     deferred = true;
@@ -135,13 +155,28 @@ impl ConservativeScheduler {
                 i += 1;
             }
         }
-        let wakeup = if deferred {
+        let wakeup = if deferred && retry_same_instant {
             Some(now)
+        } else if deferred {
+            // Deferred at a wake-up: nothing else frees processors at
+            // `now`. Fall back to the next strictly future reservation;
+            // completions and arrivals re-trigger collection on their own.
+            self.queue
+                .iter()
+                .map(|r| r.start)
+                .filter(|&s| s > now)
+                .min()
         } else {
+            // Not deferred: every due job started, so all remaining
+            // reservations are strictly in the future.
             self.queue.iter().map(|r| r.start).min()
         };
         self.profile.trim_before(now);
-        Decisions { preempts: Vec::new(), starts, wakeup }
+        Decisions {
+            preempts: Vec::new(),
+            starts,
+            wakeup,
+        }
     }
 
     /// Consider queued jobs for the hole that just opened, in priority
@@ -149,7 +184,27 @@ impl ConservativeScheduler {
     /// feasible throughout the pass (each mover's new position was chosen
     /// against a profile still containing everyone else's guarantee), so
     /// restoring it is always possible — asserted below.
+    ///
+    /// For the start-now modes (`Backfill`/`HeadStart`) the decision per
+    /// job is a yes/no — "can it start at `now`?" — and the full
+    /// release → find_anchor → reserve round-trip is needed only when the
+    /// job's own rectangle could influence the answer:
+    ///
+    /// * if the rectangle `[now, now + estimate)` already fits with the
+    ///   job's own reservation still in place, releasing that reservation
+    ///   only adds capacity, so the re-anchor would land at `now` — move
+    ///   directly, one release + one reserve;
+    /// * if it does not fit and the job's own rectangle is disjoint from
+    ///   the candidate window (`start >= now + estimate`), releasing it
+    ///   cannot change the answer — skip the round-trip entirely, zero
+    ///   profile mutations;
+    /// * only when the job's own rectangle overlaps the window is the full
+    ///   round-trip performed.
+    ///
+    /// Each branch is decision-for-decision identical to the round-trip
+    /// (the differential and compression property tests check this).
     fn compress(&mut self, now: SimTime) {
+        self.profile.note_compress_pass();
         self.queue
             .sort_by(|a, b| self.policy.compare(&a.meta, &b.meta, now));
         for i in 0..self.queue.len() {
@@ -157,27 +212,60 @@ impl ConservativeScheduler {
             if res.start <= now {
                 continue; // already due; collect() will start it
             }
-            self.profile.release(res.start, res.meta.estimate, res.meta.width);
-            let anchor = self.profile.find_anchor(now, res.meta.estimate, res.meta.width);
-            assert!(
-                anchor <= res.start,
-                "compression pushed {} from {} to {}",
-                res.meta.id,
-                res.start,
-                anchor
-            );
-            let new_start = match self.mode {
-                // Move into the hole only to start now.
-                Compression::Backfill | Compression::HeadStart if anchor == now => now,
-                Compression::Backfill | Compression::HeadStart | Compression::None => res.start,
-                Compression::Reanchor => anchor,
-            };
-            self.profile.reserve(new_start, res.meta.estimate, res.meta.width);
-            self.queue[i].start = new_start;
-            if self.mode == Compression::HeadStart && new_start > now {
-                // Strict priority: nothing may start ahead of a blocked
-                // higher-priority job.
-                break;
+            match self.mode {
+                Compression::Backfill | Compression::HeadStart => {
+                    let moved = if self.profile.fits(now, res.meta.estimate, res.meta.width) {
+                        self.profile
+                            .release(res.start, res.meta.estimate, res.meta.width);
+                        self.profile.reserve(now, res.meta.estimate, res.meta.width);
+                        self.queue[i].start = now;
+                        true
+                    } else if res.start < now + res.meta.estimate {
+                        self.profile
+                            .release(res.start, res.meta.estimate, res.meta.width);
+                        let anchor =
+                            self.profile
+                                .find_anchor(now, res.meta.estimate, res.meta.width);
+                        assert!(
+                            anchor <= res.start,
+                            "compression pushed {} from {} to {}",
+                            res.meta.id,
+                            res.start,
+                            anchor
+                        );
+                        let new_start = if anchor == now { now } else { res.start };
+                        self.profile
+                            .reserve(new_start, res.meta.estimate, res.meta.width);
+                        self.queue[i].start = new_start;
+                        new_start == now
+                    } else {
+                        false
+                    };
+                    if self.mode == Compression::HeadStart && !moved {
+                        // Strict priority: nothing may start ahead of a
+                        // blocked higher-priority job.
+                        break;
+                    }
+                }
+                Compression::Reanchor => {
+                    self.profile
+                        .release(res.start, res.meta.estimate, res.meta.width);
+                    let anchor = self
+                        .profile
+                        .find_anchor(now, res.meta.estimate, res.meta.width);
+                    assert!(
+                        anchor <= res.start,
+                        "compression pushed {} from {} to {}",
+                        res.meta.id,
+                        res.start,
+                        anchor
+                    );
+                    self.profile
+                        .reserve(anchor, res.meta.estimate, res.meta.width);
+                    self.queue[i].start = anchor;
+                }
+                // compress() is only reached when compression is enabled.
+                Compression::None => unreachable!("compress called in None mode"),
             }
         }
     }
@@ -189,15 +277,25 @@ impl Scheduler for ConservativeScheduler {
     }
 
     fn on_arrival(&mut self, job: JobMeta, now: SimTime) -> Decisions {
-        assert!(job.width <= self.profile.capacity(), "{} wider than machine", job.id);
+        assert!(
+            job.width <= self.profile.capacity(),
+            "{} wider than machine",
+            job.id
+        );
         let anchor = self.profile.find_anchor(now, job.estimate, job.width);
         self.profile.reserve(anchor, job.estimate, job.width);
-        self.queue.push(Reservation { meta: job, start: anchor });
-        self.collect(now)
+        self.queue.push(Reservation {
+            meta: job,
+            start: anchor,
+        });
+        self.collect(now, true)
     }
 
     fn on_completion(&mut self, id: JobId, now: SimTime) -> Decisions {
-        let run = self.running.remove(&id).expect("completion for unknown job");
+        let run = self
+            .running
+            .remove(&id)
+            .expect("completion for unknown job");
         self.free += run.width;
         if now < run.est_end {
             // Early completion: return the unused tail of the rectangle and
@@ -207,15 +305,21 @@ impl Scheduler for ConservativeScheduler {
                 self.compress(now);
             }
         }
-        self.collect(now)
+        self.collect(now, true)
     }
 
     fn on_wake(&mut self, now: SimTime) -> Decisions {
-        self.collect(now)
+        // Wakes fire after all same-instant completions and arrivals:
+        // a deferral observed here cannot resolve at this instant.
+        self.collect(now, false)
     }
 
     fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    fn profile_stats(&self) -> Option<ProfileStats> {
+        Some(self.profile.stats())
     }
 }
 
@@ -244,7 +348,7 @@ mod tests {
     fn narrow_job_backfills_past_blocked_wide_job() {
         let mut s = ConservativeScheduler::new(8, Policy::Fcfs);
         s.on_arrival(meta(0, 0, 100, 6), SimTime::ZERO); // runs [0,100) on 6
-        // Wide job 1 can't fit until 100: reserved at 100.
+                                                         // Wide job 1 can't fit until 100: reserved at 100.
         let d = s.on_arrival(meta(1, 1, 50, 8), SimTime::new(1));
         assert!(d.starts.is_empty());
         assert_eq!(s.guarantee(JobId(1)), Some(SimTime::new(100)));
@@ -258,12 +362,15 @@ mod tests {
         let mut s = ConservativeScheduler::new(8, Policy::Fcfs);
         s.on_arrival(meta(0, 0, 100, 6), SimTime::ZERO);
         s.on_arrival(meta(1, 1, 50, 8), SimTime::new(1)); // reserved [100,150)
-        // Job 2 (2 procs, 200 s) would overlap job 1's reservation if
-        // started now: must be anchored after 1's rectangle instead.
+                                                          // Job 2 (2 procs, 200 s) would overlap job 1's reservation if
+                                                          // started now: must be anchored after 1's rectangle instead.
         let d = s.on_arrival(meta(2, 2, 200, 2), SimTime::new(2));
         assert!(d.starts.is_empty());
         let g2 = s.guarantee(JobId(2)).unwrap();
-        assert!(g2 >= SimTime::new(150), "job 2 anchored at {g2}, delaying job 1");
+        assert!(
+            g2 >= SimTime::new(150),
+            "job 2 anchored at {g2}, delaying job 1"
+        );
         assert_eq!(s.guarantee(JobId(1)), Some(SimTime::new(100)));
     }
 
@@ -286,7 +393,11 @@ mod tests {
         assert_eq!(s.guarantee(JobId(1)), Some(SimTime::new(1000)));
         // Job 0 finishes at 400, far before its estimate.
         let d = s.on_completion(JobId(0), SimTime::new(400));
-        assert_eq!(d.starts, vec![JobId(1)], "compressed job must start in the hole");
+        assert_eq!(
+            d.starts,
+            vec![JobId(1)],
+            "compressed job must start in the hole"
+        );
     }
 
     #[test]
@@ -309,8 +420,7 @@ mod tests {
 
     #[test]
     fn reanchor_mode_also_improves_future_guarantees() {
-        let mut s =
-            ConservativeScheduler::with_compression(8, Policy::Sjf, Compression::Reanchor);
+        let mut s = ConservativeScheduler::with_compression(8, Policy::Sjf, Compression::Reanchor);
         s.on_arrival(meta(0, 0, 1000, 8), SimTime::ZERO);
         s.on_arrival(meta(1, 1, 500, 8), SimTime::new(1)); // reserved [1000,1500)
         s.on_arrival(meta(2, 2, 100, 8), SimTime::new(2)); // reserved [1500,1600)
@@ -328,7 +438,11 @@ mod tests {
         s.on_arrival(meta(1, 1, 500, 8), SimTime::new(1));
         s.on_arrival(meta(2, 2, 100, 8), SimTime::new(2));
         let d = s.on_completion(JobId(0), SimTime::new(100));
-        assert_eq!(d.starts, vec![JobId(1)], "FCFS compresses the earlier arrival first");
+        assert_eq!(
+            d.starts,
+            vec![JobId(1)],
+            "FCFS compresses the earlier arrival first"
+        );
     }
 
     #[test]
@@ -356,6 +470,111 @@ mod tests {
 
     #[test]
     fn name_includes_policy() {
-        assert_eq!(ConservativeScheduler::new(4, Policy::Sjf).name(), "Conservative/SJF");
+        assert_eq!(
+            ConservativeScheduler::new(4, Policy::Sjf).name(),
+            "Conservative/SJF"
+        );
+    }
+
+    #[test]
+    fn due_but_unstartable_job_does_not_spin_same_instant_wakeups() {
+        // Regression: a job that overruns its estimate (possible when the
+        // scheduler is driven directly; the driver's traces forbid it)
+        // leaves a due-but-unstartable reservation behind. A wake-up is the
+        // last event class at its instant, so answering it with
+        // `wakeup = Some(now)` can never make progress — it used to spin
+        // the event loop at that instant forever.
+        let mut s = ConservativeScheduler::new(8, Policy::Fcfs);
+        s.on_arrival(meta(0, 0, 100, 8), SimTime::ZERO); // starts; est_end 100
+        let d = s.on_arrival(meta(1, 1, 50, 8), SimTime::new(1));
+        assert_eq!(d.wakeup, Some(SimTime::new(100)));
+        // Job 0 never completes by 150: job 1 is due but the machine is
+        // still occupied when the (stale) wake fires.
+        let d = s.on_wake(SimTime::new(150));
+        assert!(d.starts.is_empty());
+        assert_ne!(
+            d.wakeup,
+            Some(SimTime::new(150)),
+            "same-instant wake-up after a wake-up would spin forever"
+        );
+        // Repeated wakes stay stable (no wake-up churn)...
+        let d = s.on_wake(SimTime::new(151));
+        assert!(d.starts.is_empty());
+        assert_ne!(d.wakeup, Some(SimTime::new(151)));
+        // ...and the eventual completion still starts the deferred job.
+        let d = s.on_completion(JobId(0), SimTime::new(200));
+        assert_eq!(d.starts, vec![JobId(1)]);
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn deferred_job_starts_exactly_at_reservation_instant() {
+        // start_job() assumes the profile needs no update when a job
+        // starts: on a valid trace a due job is deferred only by sibling
+        // completions at the *same* instant, so it starts at exactly
+        // `res.start` and consumes precisely the rectangle the profile
+        // already carries.
+        let mut s = ConservativeScheduler::new(8, Policy::Fcfs);
+        s.on_arrival(meta(0, 0, 100, 4), SimTime::ZERO);
+        s.on_arrival(meta(1, 0, 100, 4), SimTime::ZERO);
+        let d = s.on_arrival(meta(2, 1, 50, 8), SimTime::new(1));
+        assert_eq!(d.wakeup, Some(SimTime::new(100)));
+        // First of two simultaneous completions: only 4 procs free, so the
+        // due reservation defers with a same-instant retry.
+        let d = s.on_completion(JobId(0), SimTime::new(100));
+        assert!(d.starts.is_empty(), "only half the processors are free");
+        assert_eq!(
+            d.wakeup,
+            Some(SimTime::new(100)),
+            "retry once siblings complete"
+        );
+        // Second completion at the same instant: the job starts at exactly
+        // its reserved time.
+        let d = s.on_completion(JobId(1), SimTime::new(100));
+        assert_eq!(d.starts, vec![JobId(2)]);
+        // The profile still shows job 2's rectangle [100, 150) — full, then
+        // free — with no post-start fixup.
+        assert_eq!(s.profile.free_at(SimTime::new(125)), 0);
+        assert_eq!(s.profile.free_at(SimTime::new(150)), 8);
+        assert!(s.profile.invariants_ok());
+    }
+
+    #[test]
+    fn late_start_past_reservation_never_overcommits() {
+        // The other half of the start_job assumption: when a job *does*
+        // start later than its reservation (overrun scenario), the `free`
+        // gate — not the profile — is what prevents overcommitting the
+        // machine.
+        let mut s = ConservativeScheduler::new(8, Policy::Fcfs);
+        s.on_arrival(meta(0, 0, 100, 8), SimTime::ZERO);
+        s.on_arrival(meta(1, 1, 50, 8), SimTime::new(1)); // reserved [100,150)
+                                                          // Job 0 overruns; its completion arrives at 120.
+        let d = s.on_completion(JobId(0), SimTime::new(120));
+        assert_eq!(
+            d.starts,
+            vec![JobId(1)],
+            "starts late, at 120 > reserved 100"
+        );
+        // A new arrival while job 1 runs [120, 170): must defer to the free
+        // gate even though the stale profile shows capacity from 150.
+        let d = s.on_arrival(meta(2, 121, 10, 8), SimTime::new(121));
+        assert!(d.starts.is_empty(), "no processors are physically free");
+        let d = s.on_completion(JobId(1), SimTime::new(170));
+        assert_eq!(d.starts, vec![JobId(2)]);
+    }
+
+    #[test]
+    fn profile_stats_are_exposed_and_grow() {
+        let mut s = ConservativeScheduler::new(8, Policy::Fcfs);
+        s.on_arrival(meta(0, 0, 1000, 8), SimTime::ZERO);
+        s.on_arrival(meta(1, 1, 10, 8), SimTime::new(1));
+        let before = s.profile_stats().expect("conservative keeps a profile");
+        assert!(before.find_anchor_calls >= 2);
+        assert!(before.reserves >= 2);
+        assert_eq!(before.compress_passes, 0);
+        s.on_completion(JobId(0), SimTime::new(400)); // early → compress
+        let after = s.profile_stats().unwrap();
+        assert_eq!(after.compress_passes, 1);
+        assert!(after.releases > before.releases);
     }
 }

@@ -15,7 +15,7 @@
 //! scheduler's persistent-guarantee bookkeeping.
 
 use crate::policy::Policy;
-use crate::profile::Profile;
+use crate::profile::{Profile, ProfileStats};
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
 use simcore::{JobId, SimTime};
 use std::collections::HashMap;
@@ -35,6 +35,8 @@ pub struct DepthScheduler {
     free: u32,
     queue: Vec<JobMeta>,
     running: HashMap<JobId, Running>,
+    /// Accumulated counters from the throwaway per-event profiles.
+    stats: ProfileStats,
 }
 
 impl DepthScheduler {
@@ -50,13 +52,20 @@ impl DepthScheduler {
             free: capacity,
             queue: Vec::new(),
             running: HashMap::new(),
+            stats: ProfileStats::default(),
         }
     }
 
     fn start(&mut self, job: JobMeta, now: SimTime, starts: &mut Vec<JobId>) {
         debug_assert!(job.width <= self.free);
         self.free -= job.width;
-        self.running.insert(job.id, Running { width: job.width, est_end: now + job.estimate });
+        self.running.insert(
+            job.id,
+            Running {
+                width: job.width,
+                est_end: now + job.estimate,
+            },
+        );
         starts.push(job.id);
     }
 
@@ -109,6 +118,8 @@ impl DepthScheduler {
                 i += 1;
             }
         }
+        self.stats.compress_passes += 1; // one replanning pass per event
+        self.stats.absorb(&profile.stats());
         Decisions::start(starts)
     }
 }
@@ -125,7 +136,10 @@ impl Scheduler for DepthScheduler {
     }
 
     fn on_completion(&mut self, id: JobId, now: SimTime) -> Decisions {
-        let run = self.running.remove(&id).expect("completion for unknown job");
+        let run = self
+            .running
+            .remove(&id)
+            .expect("completion for unknown job");
         self.free += run.width;
         self.reschedule(now)
     }
@@ -136,6 +150,10 @@ impl Scheduler for DepthScheduler {
 
     fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    fn profile_stats(&self) -> Option<ProfileStats> {
+        Some(self.stats)
     }
 }
 
@@ -216,11 +234,18 @@ mod tests {
         };
         let mut d1 = setup(1);
         let got = d1.on_arrival(meta(3, 3, 250, 2), SimTime::new(3));
-        assert_eq!(got.starts, vec![JobId(3)], "depth 1 should admit (only pivot protected)");
+        assert_eq!(
+            got.starts,
+            vec![JobId(3)],
+            "depth 1 should admit (only pivot protected)"
+        );
 
         let mut d2 = setup(2);
         let got = d2.on_arrival(meta(3, 3, 250, 2), SimTime::new(3));
-        assert!(got.starts.is_empty(), "depth 2 must protect the second reservation");
+        assert!(
+            got.starts.is_empty(),
+            "depth 2 must protect the second reservation"
+        );
     }
 
     #[test]
@@ -235,7 +260,10 @@ mod tests {
 
     #[test]
     fn name_reports_depth() {
-        assert_eq!(DepthScheduler::new(4, Policy::Sjf, 3).name(), "Depth(3)/SJF");
+        assert_eq!(
+            DepthScheduler::new(4, Policy::Sjf, 3).name(),
+            "Depth(3)/SJF"
+        );
     }
 
     #[test]

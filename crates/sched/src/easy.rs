@@ -22,7 +22,7 @@
 //! backfills accepted earlier in this pass.
 
 use crate::policy::Policy;
-use crate::profile::Profile;
+use crate::profile::{Profile, ProfileStats};
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
 use simcore::{JobId, SimTime};
 use std::collections::HashMap;
@@ -41,19 +41,34 @@ pub struct EasyScheduler {
     free: u32,
     queue: Vec<JobMeta>,
     running: HashMap<JobId, Running>,
+    /// Accumulated counters from the throwaway per-event profiles.
+    stats: ProfileStats,
 }
 
 impl EasyScheduler {
     /// Create for a machine with `capacity` processors.
     pub fn new(capacity: u32, policy: Policy) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        EasyScheduler { policy, capacity, free: capacity, queue: Vec::new(), running: HashMap::new() }
+        EasyScheduler {
+            policy,
+            capacity,
+            free: capacity,
+            queue: Vec::new(),
+            running: HashMap::new(),
+            stats: ProfileStats::default(),
+        }
     }
 
     fn start(&mut self, job: JobMeta, now: SimTime, starts: &mut Vec<JobId>) {
         debug_assert!(job.width <= self.free);
         self.free -= job.width;
-        self.running.insert(job.id, Running { width: job.width, est_end: now + job.estimate });
+        self.running.insert(
+            job.id,
+            Running {
+                width: job.width,
+                est_end: now + job.estimate,
+            },
+        );
         starts.push(job.id);
     }
 
@@ -85,6 +100,7 @@ impl EasyScheduler {
         if self.queue.is_empty() {
             return Decisions::start(starts);
         }
+        self.stats.compress_passes += 1; // one backfill pass per event
 
         // Phase 2: the blocked head becomes the pivot and gets the unique
         // reservation.
@@ -112,6 +128,7 @@ impl EasyScheduler {
                 i += 1;
             }
         }
+        self.stats.absorb(&profile.stats());
         Decisions::start(starts)
     }
 }
@@ -128,7 +145,10 @@ impl Scheduler for EasyScheduler {
     }
 
     fn on_completion(&mut self, id: JobId, now: SimTime) -> Decisions {
-        let run = self.running.remove(&id).expect("completion for unknown job");
+        let run = self
+            .running
+            .remove(&id)
+            .expect("completion for unknown job");
         self.free += run.width;
         self.reschedule(now)
     }
@@ -139,6 +159,10 @@ impl Scheduler for EasyScheduler {
 
     fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    fn profile_stats(&self) -> Option<ProfileStats> {
+        Some(self.stats)
     }
 }
 
@@ -161,7 +185,7 @@ mod tests {
         let mut s = EasyScheduler::new(8, Policy::Fcfs);
         s.on_arrival(meta(0, 0, 100, 6), SimTime::ZERO); // running [0,100)
         s.on_arrival(meta(1, 1, 500, 8), SimTime::new(1)); // pivot, anchor 100
-        // 2 procs free until 100. Job 2: 2 procs, 90 s -> ends at 92 < 100.
+                                                           // 2 procs free until 100. Job 2: 2 procs, 90 s -> ends at 92 < 100.
         let d = s.on_arrival(meta(2, 2, 90, 2), SimTime::new(2));
         assert_eq!(d.starts, vec![JobId(2)]);
     }
@@ -171,8 +195,8 @@ mod tests {
         let mut s = EasyScheduler::new(8, Policy::Fcfs);
         s.on_arrival(meta(0, 0, 100, 6), SimTime::ZERO);
         s.on_arrival(meta(1, 1, 500, 8), SimTime::new(1)); // pivot at 100
-        // Job 2 wants 2 procs for 200 s: would run past 100 using procs the
-        // pivot needs (pivot needs all 8). Refused.
+                                                           // Job 2 wants 2 procs for 200 s: would run past 100 using procs the
+                                                           // pivot needs (pivot needs all 8). Refused.
         let d = s.on_arrival(meta(2, 2, 200, 2), SimTime::new(2));
         assert!(d.starts.is_empty());
     }
@@ -182,8 +206,8 @@ mod tests {
         let mut s = EasyScheduler::new(8, Policy::Fcfs);
         s.on_arrival(meta(0, 0, 100, 6), SimTime::ZERO);
         s.on_arrival(meta(1, 1, 500, 6), SimTime::new(1)); // pivot: 6 procs at 100
-        // Job 2: 2 procs for 1000 s. Pivot leaves 2 spare procs, so running
-        // past the pivot's start is fine — the EASY "extra processors" rule.
+                                                           // Job 2: 2 procs for 1000 s. Pivot leaves 2 spare procs, so running
+                                                           // past the pivot's start is fine — the EASY "extra processors" rule.
         let d = s.on_arrival(meta(2, 2, 1000, 2), SimTime::new(2));
         assert_eq!(d.starts, vec![JobId(2)]);
     }
@@ -194,10 +218,13 @@ mod tests {
         s.on_arrival(meta(0, 0, 100, 8), SimTime::ZERO);
         s.on_arrival(meta(1, 1, 100, 8), SimTime::new(1)); // pivot at 100
         s.on_arrival(meta(2, 2, 100, 8), SimTime::new(2)); // second in queue: no guarantee
-        // Job 3 (1 proc, 95 s) fits before the pivot's anchor: backfills,
-        // even though it may delay job 2.
+                                                           // Job 3 (1 proc, 95 s) fits before the pivot's anchor: backfills,
+                                                           // even though it may delay job 2.
         let d = s.on_arrival(meta(3, 3, 95, 1), SimTime::new(3));
-        assert!(d.starts.is_empty(), "8-wide pivot needs the whole machine; nothing is free");
+        assert!(
+            d.starts.is_empty(),
+            "8-wide pivot needs the whole machine; nothing is free"
+        );
         // Free the machine at 100; pivot starts; job 2 becomes pivot.
         let d = s.on_completion(JobId(0), SimTime::new(100));
         assert_eq!(d.starts, vec![JobId(1)]);
@@ -233,7 +260,7 @@ mod tests {
         let mut s = EasyScheduler::new(8, Policy::Fcfs);
         s.on_arrival(meta(0, 0, 100, 6), SimTime::ZERO);
         s.on_arrival(meta(1, 1, 500, 8), SimTime::new(1)); // pivot at 100
-        // Two 1-proc 50 s jobs both fit before 100.
+                                                           // Two 1-proc 50 s jobs both fit before 100.
         let d = s.on_arrival(meta(2, 2, 50, 1), SimTime::new(2));
         assert_eq!(d.starts, vec![JobId(2)]);
         let d = s.on_arrival(meta(3, 3, 50, 1), SimTime::new(3));

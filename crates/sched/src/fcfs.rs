@@ -26,7 +26,13 @@ impl FcfsScheduler {
     /// Create for a machine with `capacity` processors.
     pub fn new(capacity: u32, policy: Policy) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        FcfsScheduler { policy, capacity, free: capacity, queue: Vec::new(), running: HashMap::new() }
+        FcfsScheduler {
+            policy,
+            capacity,
+            free: capacity,
+            queue: Vec::new(),
+            running: HashMap::new(),
+        }
     }
 
     fn reschedule(&mut self, now: SimTime) -> Decisions {
@@ -57,7 +63,10 @@ impl Scheduler for FcfsScheduler {
     }
 
     fn on_completion(&mut self, id: JobId, now: SimTime) -> Decisions {
-        let width = self.running.remove(&id).expect("completion for unknown job");
+        let width = self
+            .running
+            .remove(&id)
+            .expect("completion for unknown job");
         self.free += width;
         self.reschedule(now)
     }
@@ -101,7 +110,10 @@ mod tests {
         let d = s.on_arrival(meta(1, 1, 100, 4), SimTime::new(1));
         assert!(d.starts.is_empty());
         let d = s.on_arrival(meta(2, 2, 10, 1), SimTime::new(2));
-        assert!(d.starts.is_empty(), "no-backfill scheduler must not backfill");
+        assert!(
+            d.starts.is_empty(),
+            "no-backfill scheduler must not backfill"
+        );
         assert_eq!(s.queue_len(), 2);
     }
 
@@ -135,7 +147,10 @@ mod tests {
 
     #[test]
     fn name_includes_policy() {
-        assert_eq!(FcfsScheduler::new(4, Policy::XFactor).name(), "NoBackfill/XF");
+        assert_eq!(
+            FcfsScheduler::new(4, Policy::XFactor).name(),
+            "NoBackfill/XF"
+        );
     }
 
     #[test]

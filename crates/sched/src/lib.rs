@@ -40,7 +40,7 @@ pub use easy::EasyScheduler;
 pub use fcfs::FcfsScheduler;
 pub use policy::Policy;
 pub use preemptive::PreemptiveScheduler;
-pub use profile::{Profile, Segment};
+pub use profile::{Profile, ProfileStats, Segment};
 pub use scheduler::{Decisions, JobMeta, Scheduler};
 pub use selective::SelectiveScheduler;
 pub use slack::{SlackPolicy, SlackScheduler};

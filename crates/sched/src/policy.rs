@@ -192,9 +192,19 @@ mod tests {
     #[test]
     fn ordering_is_total_and_antisymmetric() {
         let now = SimTime::new(123);
-        let jobs =
-            vec![meta(1, 0, 50, 2), meta(2, 5, 50, 2), meta(3, 5, 70, 1), meta(4, 9, 10, 8)];
-        for p in [Policy::Fcfs, Policy::Sjf, Policy::XFactor, Policy::Ljf, Policy::WidestFirst] {
+        let jobs = vec![
+            meta(1, 0, 50, 2),
+            meta(2, 5, 50, 2),
+            meta(3, 5, 70, 1),
+            meta(4, 9, 10, 8),
+        ];
+        for p in [
+            Policy::Fcfs,
+            Policy::Sjf,
+            Policy::XFactor,
+            Policy::Ljf,
+            Policy::WidestFirst,
+        ] {
             for a in &jobs {
                 assert_eq!(p.compare(a, a, now), Ordering::Equal);
                 for b in &jobs {

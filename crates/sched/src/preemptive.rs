@@ -19,7 +19,7 @@
 //! degenerates to EASY — tested below.
 
 use crate::policy::Policy;
-use crate::profile::Profile;
+use crate::profile::{Profile, ProfileStats};
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
 use simcore::{JobId, SimSpan, SimTime};
 use std::collections::HashMap;
@@ -55,6 +55,8 @@ pub struct PreemptiveScheduler {
     min_run: SimSpan,
     /// Per-job suspension cap.
     max_preemptions: u32,
+    /// Accumulated counters from the throwaway per-event profiles.
+    stats: ProfileStats,
 }
 
 impl PreemptiveScheduler {
@@ -62,7 +64,10 @@ impl PreemptiveScheduler {
     /// starving job's expansion factor that triggers preemption (≥ 1;
     /// infinity disables preemption entirely, yielding EASY).
     pub fn new(capacity: u32, policy: Policy, threshold: f64) -> Self {
-        assert!(threshold >= 1.0, "preemption threshold must be >= 1, got {threshold}");
+        assert!(
+            threshold >= 1.0,
+            "preemption threshold must be >= 1, got {threshold}"
+        );
         PreemptiveScheduler {
             policy,
             capacity,
@@ -74,6 +79,7 @@ impl PreemptiveScheduler {
             threshold,
             min_run: SimSpan::from_mins(10),
             max_preemptions: 2,
+            stats: ProfileStats::default(),
         }
     }
 
@@ -90,7 +96,12 @@ impl PreemptiveScheduler {
         let preemptions = self.suspended_count.get(&job.id).copied().unwrap_or(0);
         self.running.insert(
             job.id,
-            Running { meta: job, est_end: now + job.estimate, started_at: now, preemptions },
+            Running {
+                meta: job,
+                est_end: now + job.estimate,
+                started_at: now,
+                preemptions,
+            },
         );
         starts.push(job.id);
     }
@@ -112,8 +123,7 @@ impl PreemptiveScheduler {
             .running
             .values()
             .filter(|r| {
-                now.since(r.started_at) >= self.min_run
-                    && r.preemptions < self.max_preemptions
+                now.since(r.started_at) >= self.min_run && r.preemptions < self.max_preemptions
             })
             .collect();
         // Lowest priority last in `compare` order; victimize from the back.
@@ -164,7 +174,11 @@ impl PreemptiveScheduler {
         }
 
         if self.queue.is_empty() {
-            return Decisions { preempts, starts, wakeup: None };
+            return Decisions {
+                preempts,
+                starts,
+                wakeup: None,
+            };
         }
 
         // EASY phases 2–3: pivot reservation and backfilling.
@@ -183,19 +197,24 @@ impl PreemptiveScheduler {
                 i += 1;
             }
         }
+        self.stats.compress_passes += 1; // one replanning pass per event
+        self.stats.absorb(&profile.stats());
 
         // Wake when the head crosses the starvation threshold (so a quiet
         // machine still triggers the episode).
         let wakeup = if self.threshold.is_finite() {
             let head = self.queue[0];
             let est = head.estimate.as_secs().max(1) as f64;
-            let cross =
-                head.arrival + SimSpan::new(((self.threshold - 1.0) * est).ceil() as u64);
+            let cross = head.arrival + SimSpan::new(((self.threshold - 1.0) * est).ceil() as u64);
             (cross > now).then_some(cross)
         } else {
             None
         };
-        Decisions { preempts, starts, wakeup }
+        Decisions {
+            preempts,
+            starts,
+            wakeup,
+        }
     }
 }
 
@@ -216,7 +235,10 @@ impl Scheduler for PreemptiveScheduler {
     }
 
     fn on_completion(&mut self, id: JobId, now: SimTime) -> Decisions {
-        let run = self.running.remove(&id).expect("completion for unknown job");
+        let run = self
+            .running
+            .remove(&id)
+            .expect("completion for unknown job");
         self.free += run.meta.width;
         self.reschedule(now)
     }
@@ -240,6 +262,10 @@ impl Scheduler for PreemptiveScheduler {
     fn queue_len(&self) -> usize {
         self.queue.len()
     }
+
+    fn profile_stats(&self) -> Option<ProfileStats> {
+        Some(self.stats)
+    }
 }
 
 #[cfg(test)]
@@ -256,8 +282,7 @@ mod tests {
     }
 
     fn sched(threshold: f64) -> PreemptiveScheduler {
-        PreemptiveScheduler::new(8, Policy::Fcfs, threshold)
-            .with_safeguards(SimSpan::new(60), 2)
+        PreemptiveScheduler::new(8, Policy::Fcfs, threshold).with_safeguards(SimSpan::new(60), 2)
     }
 
     #[test]

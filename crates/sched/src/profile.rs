@@ -15,11 +15,52 @@
 //! * [`Profile::release`] — put capacity back (cancelled reservation, or
 //!   the unused tail of an over-estimated job that finished early).
 //!
+//! # The anchor index
+//!
+//! `find_anchor` dominates every backfilling decision, and a naive scan
+//! walks the profile one segment at a time — on a congested profile with
+//! a thousand live segments, most queries walk most of it. The profile
+//! keeps two acceleration layers, both pure functions of the segment list
+//! rebuilt after every mutation:
+//!
+//! * a **run index**: for each power-of-two threshold `t` up to the
+//!   capacity, the sorted maximal time intervals where `free >= t`. Every
+//!   `width`-anchor must sit inside a `free >= 2^⌊log2 width⌋` run long
+//!   enough to hold the rectangle, so the search binary-searches that
+//!   level and hops run-to-run, skipping everything in between wholesale.
+//!   A power-of-two width *equals* its threshold, making those queries a
+//!   single binary search;
+//! * a **block index**: per [`BLOCK`]-sized run of segments, the minimum
+//!   and maximum free level. The in-run scan for non-power-of-two widths
+//!   advances block-at-a-time over uniformly infeasible (`max < width`)
+//!   and uniformly feasible (`min >= width`) stretches.
+//!
+//! A mutation is already O(n) (segment insertion shifts the vector), so
+//! the O(n · log capacity) rebuild does not change the asymptotics of
+//! `reserve`/`release`. Profiles at or below [`SMALL`] segments skip the
+//! index entirely: a plain scan answers typical queries in a handful of
+//! visits, cheaper than the index arithmetic.
+//!
+//! [`Profile::find_anchor_linear`] preserves the plain scan; differential
+//! property tests (`tests/profile_differential.rs`) assert the two agree
+//! decision-for-decision (against a naive quadratic reference as well),
+//! and the `profile_ops` bench compares their cost.
+//!
+//! # Instrumentation
+//!
+//! Every profile keeps cheap operation counters ([`ProfileStats`]): anchor
+//! probes, segments visited, blocks skipped, reserve/release counts,
+//! compression passes, and the peak segment count. Schedulers expose them
+//! via [`crate::Scheduler::profile_stats`] and the driver threads them into
+//! the final [`Schedule`](../core) for reports and benches.
+//!
 //! Invariants (checked by `debug_assert` internally and by property tests):
 //! segments are strictly ordered in time, free counts stay within
 //! `[0, capacity]`, and adjacent segments always differ (coalesced).
 
+use serde::{Deserialize, Serialize};
 use simcore::{SimSpan, SimTime};
+use std::cell::Cell;
 
 /// One step of the free-capacity silhouette: `free` processors are
 /// available from `start` until the next segment's start.
@@ -29,6 +70,109 @@ pub struct Segment {
     pub start: SimTime,
     /// Free processors over the segment.
     pub free: u32,
+}
+
+/// Segments per index block. Small enough that boundary-block scans stay
+/// cheap, large enough that skipping a block skips real work.
+const BLOCK: usize = 8;
+
+/// Below this many segments the whole index is skipped: a plain scan
+/// resolves typical queries in a handful of segment visits, while the run
+/// lookup alone costs two extra binary searches. The index starts paying
+/// off when congested profiles force scans across hundreds of segments.
+const SMALL: usize = 512;
+
+/// `floor(log2 width)` — the run-index level serving `width`. `width >= 1`.
+fn level_of(width: u32) -> usize {
+    (31 - width.leading_zeros()) as usize
+}
+
+/// A maximal stretch of time over which the free level stays at or above
+/// one power-of-two threshold. `end` is exclusive; `u64::MAX` encodes a run
+/// that reaches the profile's infinite final segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    start: SimTime,
+    end: SimTime,
+}
+
+/// The acceleration structures behind [`Profile::find_anchor`], rebuilt
+/// eagerly after every structural mutation:
+///
+/// * per-block min/max free levels over [`BLOCK`]-sized runs of the
+///   segment vector, letting scans hop uniformly (in)feasible blocks;
+/// * per power-of-two threshold `t = 1 << level`, the sorted list of
+///   maximal time intervals where `free >= t` ([`Run`]s). A query of width
+///   `w` binary-searches level `floor(log2 w)` for the first run long
+///   enough to host its rectangle: for power-of-two widths that run *is*
+///   the answer, otherwise it prunes the scan to the few runs that could
+///   contain one.
+#[derive(Debug, Clone, Default)]
+struct ProfileIndex {
+    min_free: Vec<u32>,
+    max_free: Vec<u32>,
+    /// `runs[level]` holds the maximal `free >= 1 << level` intervals,
+    /// sorted and disjoint; levels run up to `floor(log2 capacity)`.
+    runs: Vec<Vec<Run>>,
+}
+
+/// Operation counters of one [`Profile`] (or aggregated over several — see
+/// [`ProfileStats::absorb`]). All counts are cumulative since creation or
+/// the last [`Profile::reset_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileStats {
+    /// Calls to [`Profile::find_anchor`] (including via `fits`).
+    pub find_anchor_calls: u64,
+    /// Segments examined one-by-one during anchor searches.
+    pub segments_visited: u64,
+    /// Whole index blocks skipped during anchor searches.
+    pub blocks_skipped: u64,
+    /// Calls to [`Profile::reserve`] that changed the profile.
+    pub reserves: u64,
+    /// Calls to [`Profile::release`] that changed the profile.
+    pub releases: u64,
+    /// Compression passes noted by the owning scheduler
+    /// (see [`Profile::note_compress_pass`]).
+    pub compress_passes: u64,
+    /// Largest segment count the profile ever reached.
+    pub peak_segments: u64,
+}
+
+impl ProfileStats {
+    /// Merge another profile's counters into this one: counts add, the
+    /// peak takes the maximum.
+    pub fn absorb(&mut self, other: &ProfileStats) {
+        self.find_anchor_calls += other.find_anchor_calls;
+        self.segments_visited += other.segments_visited;
+        self.blocks_skipped += other.blocks_skipped;
+        self.reserves += other.reserves;
+        self.releases += other.releases;
+        self.compress_passes += other.compress_passes;
+        self.peak_segments = self.peak_segments.max(other.peak_segments);
+    }
+
+    /// Mean segments examined per anchor search (0 if none ran).
+    pub fn segments_per_anchor(&self) -> f64 {
+        if self.find_anchor_calls == 0 {
+            0.0
+        } else {
+            self.segments_visited as f64 / self.find_anchor_calls as f64
+        }
+    }
+}
+
+/// Interior-mutable counters: `find_anchor` takes `&self`, so the probe
+/// counters live in `Cell`s. Excluded from `PartialEq` — two profiles with
+/// the same silhouette are equal regardless of how they were probed.
+#[derive(Debug, Clone, Default)]
+struct Counters {
+    find_anchor_calls: Cell<u64>,
+    segments_visited: Cell<u64>,
+    blocks_skipped: Cell<u64>,
+    reserves: Cell<u64>,
+    releases: Cell<u64>,
+    compress_passes: Cell<u64>,
+    peak_segments: Cell<u64>,
 }
 
 /// The free-capacity timeline of a machine, including running jobs and any
@@ -46,19 +190,41 @@ pub struct Segment {
 /// // A 2-wide job backfills immediately alongside it.
 /// assert_eq!(p.find_anchor(SimTime::ZERO, SimSpan::new(50), 2), SimTime::ZERO);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Profile {
     capacity: u32,
     /// Sorted by `start`, strictly increasing, values coalesced.
     /// Non-empty: the last segment extends to infinity.
     segs: Vec<Segment>,
+    index: ProfileIndex,
+    stats: Counters,
 }
+
+impl PartialEq for Profile {
+    fn eq(&self, other: &Self) -> bool {
+        // The index is a pure function of the segments, and the counters
+        // are instrumentation: the silhouette alone defines identity.
+        self.capacity == other.capacity && self.segs == other.segs
+    }
+}
+
+impl Eq for Profile {}
 
 impl Profile {
     /// A fully free machine with `capacity` processors. Panics if zero.
     pub fn new(capacity: u32) -> Self {
         assert!(capacity > 0, "profile needs positive capacity");
-        Profile { capacity, segs: vec![Segment { start: SimTime::ZERO, free: capacity }] }
+        let mut p = Profile {
+            capacity,
+            segs: vec![Segment {
+                start: SimTime::ZERO,
+                free: capacity,
+            }],
+            index: ProfileIndex::default(),
+            stats: Counters::default(),
+        };
+        p.reindex();
+        p
     }
 
     /// The machine's total processor count.
@@ -69,6 +235,100 @@ impl Profile {
     /// The underlying segments (for inspection and tests).
     pub fn segments(&self) -> &[Segment] {
         &self.segs
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> ProfileStats {
+        ProfileStats {
+            find_anchor_calls: self.stats.find_anchor_calls.get(),
+            segments_visited: self.stats.segments_visited.get(),
+            blocks_skipped: self.stats.blocks_skipped.get(),
+            reserves: self.stats.reserves.get(),
+            releases: self.stats.releases.get(),
+            compress_passes: self.stats.compress_passes.get(),
+            peak_segments: self.stats.peak_segments.get(),
+        }
+    }
+
+    /// Zero the operation counters (the peak resets to the current size).
+    pub fn reset_stats(&self) {
+        self.stats.find_anchor_calls.set(0);
+        self.stats.segments_visited.set(0);
+        self.stats.blocks_skipped.set(0);
+        self.stats.reserves.set(0);
+        self.stats.releases.set(0);
+        self.stats.compress_passes.set(0);
+        self.stats.peak_segments.set(self.segs.len() as u64);
+    }
+
+    /// Record one compression pass by the owning scheduler. The pass itself
+    /// happens at the scheduler level; the counter lives here so a single
+    /// [`ProfileStats`] carries the whole hot-path story.
+    pub fn note_compress_pass(&self) {
+        self.stats
+            .compress_passes
+            .set(self.stats.compress_passes.get() + 1);
+    }
+
+    /// Rebuild the block and run indexes and track the peak segment count.
+    /// Called after every mutation; O(n · log capacity) with a trivial
+    /// constant, alongside the O(n) segment-vector shift the mutation
+    /// already paid for.
+    fn reindex(&mut self) {
+        let blocks = self.segs.len().div_ceil(BLOCK);
+        self.index.min_free.clear();
+        self.index.min_free.resize(blocks, u32::MAX);
+        self.index.max_free.clear();
+        self.index.max_free.resize(blocks, 0);
+        for (i, seg) in self.segs.iter().enumerate() {
+            let b = i / BLOCK;
+            self.index.min_free[b] = self.index.min_free[b].min(seg.free);
+            self.index.max_free[b] = self.index.max_free[b].max(seg.free);
+        }
+
+        // Threshold runs, one level per power of two up to the capacity.
+        let levels = level_of(self.capacity) + 1;
+        self.index.runs.resize_with(levels, Vec::new);
+        let mut open = [SimTime::ZERO; 32];
+        let mut is_open = [false; 32];
+        for (l, runs) in self.index.runs.iter_mut().enumerate() {
+            runs.clear();
+            // The region before the first boundary is implicitly fully free
+            // (it only exists after trim_before), so every level starts open.
+            if self.segs[0].start > SimTime::ZERO {
+                open[l] = SimTime::ZERO;
+                is_open[l] = true;
+            }
+        }
+        for seg in &self.segs {
+            for (l, runs) in self.index.runs.iter_mut().enumerate() {
+                let feasible = seg.free >> l != 0; // free >= 1 << l
+                if feasible {
+                    if !is_open[l] {
+                        open[l] = seg.start;
+                        is_open[l] = true;
+                    }
+                } else if is_open[l] {
+                    runs.push(Run {
+                        start: open[l],
+                        end: seg.start,
+                    });
+                    is_open[l] = false;
+                }
+            }
+        }
+        let inf = SimTime::new(u64::MAX);
+        for (l, runs) in self.index.runs.iter_mut().enumerate() {
+            if is_open[l] {
+                runs.push(Run {
+                    start: open[l],
+                    end: inf,
+                });
+            }
+        }
+
+        let peak = self.stats.peak_segments.get().max(self.segs.len() as u64);
+        self.stats.peak_segments.set(peak);
     }
 
     /// Free processors at instant `t`.
@@ -89,13 +349,49 @@ impl Profile {
         self.find_anchor(start, duration, width) == start
     }
 
-    /// The earliest instant `t >= earliest` where a `width × duration`
-    /// rectangle fits. Always terminates because the profile eventually
-    /// returns to an (infinitely long) final segment.
-    ///
-    /// Panics if `width > capacity` or the final segment has fewer than
-    /// `width` free processors (a rectangle that could never fit).
-    pub fn find_anchor(&self, earliest: SimTime, duration: SimSpan, width: u32) -> SimTime {
+    /// First segment index `>= from` with `free >= width`, skipping blocks
+    /// whose maximum free level rules every segment out. The caller
+    /// guarantees one exists (the final segment is asserted wide enough,
+    /// so the last block's max is always feasible and the skip loop stops
+    /// before running off the end). Returns `None` if the first such
+    /// segment starts at or past `bound` (the caller's run is exhausted).
+    #[inline]
+    fn next_feasible(
+        &self,
+        from: usize,
+        width: u32,
+        bound: SimTime,
+        visited: &mut u64,
+        skipped: &mut u64,
+    ) -> Option<usize> {
+        let segs = &self.segs[..];
+        let n = segs.len();
+        let mut k = from;
+        while k < n {
+            if k.is_multiple_of(BLOCK) {
+                if segs[k].start >= bound {
+                    return None;
+                }
+                if self.index.max_free[k / BLOCK] < width {
+                    *skipped += 1;
+                    k += BLOCK;
+                    continue;
+                }
+            }
+            *visited += 1;
+            let seg = segs[k];
+            if seg.start >= bound {
+                return None;
+            }
+            if seg.free >= width {
+                return Some(k);
+            }
+            k += 1;
+        }
+        None
+    }
+
+    fn assert_possible(&self, width: u32) {
         assert!(
             width <= self.capacity,
             "width {width} exceeds capacity {}",
@@ -106,14 +402,212 @@ impl Profile {
             width <= last_free,
             "width {width} never fits: final free level is {last_free}"
         );
+    }
+
+    /// The earliest instant `t >= earliest` where a `width × duration`
+    /// rectangle fits. Always terminates because the profile eventually
+    /// returns to an (infinitely long) final segment.
+    ///
+    /// Uses the block index to hop over uniformly infeasible (and, inside a
+    /// candidate run, uniformly feasible) stretches of the profile instead
+    /// of walking them segment by segment.
+    ///
+    /// Panics if `width > capacity` or the final segment has fewer than
+    /// `width` free processors (a rectangle that could never fit).
+    pub fn find_anchor(&self, earliest: SimTime, duration: SimSpan, width: u32) -> SimTime {
+        self.assert_possible(width);
+        if duration.is_zero() || width == 0 {
+            return earliest;
+        }
+
+        // Probe counts accumulate in locals and hit the `Cell`s once per
+        // call: the interior-mutability bookkeeping must stay off the scan
+        // itself, which is the hottest loop in the simulator.
+        let mut visited: u64 = 0;
+        let mut skipped: u64 = 0;
+        let anchor =
+            self.find_anchor_indexed(earliest, duration, width, &mut visited, &mut skipped);
+        self.stats
+            .find_anchor_calls
+            .set(self.stats.find_anchor_calls.get() + 1);
+        self.stats
+            .segments_visited
+            .set(self.stats.segments_visited.get() + visited);
+        if skipped > 0 {
+            self.stats
+                .blocks_skipped
+                .set(self.stats.blocks_skipped.get() + skipped);
+        }
+        anchor
+    }
+
+    /// The indexed search behind [`find_anchor`](Profile::find_anchor).
+    ///
+    /// The run index answers "where could a `width`-wide rectangle possibly
+    /// live": every anchor must sit inside a maximal `free >= t` run (with
+    /// `t = 2^⌊log2 width⌋ <= width`) long enough to hold `duration`. The
+    /// search walks those runs in time order — skipping the (often vast)
+    /// stretches between them wholesale — and, since a power-of-two width
+    /// equals its threshold, resolves such queries straight from the run
+    /// list. Other widths fall back to a block-accelerated segment scan
+    /// *inside* each candidate run.
+    fn find_anchor_indexed(
+        &self,
+        earliest: SimTime,
+        duration: SimSpan,
+        width: u32,
+        visited: &mut u64,
+        skipped: &mut u64,
+    ) -> SimTime {
+        // Small profiles: index arithmetic costs more than it saves.
+        if self.segs.len() <= SMALL {
+            return self.scan_plain(earliest, duration, width, visited);
+        }
+
+        let runs = &self.index.runs[level_of(width)];
+        let exact = width.is_power_of_two();
+        let mut ri = runs.partition_point(|r| r.end <= earliest);
+        while let Some(&run) = runs.get(ri) {
+            *visited += 1;
+            let anchor = run.start.max(earliest);
+            if run.end - anchor >= duration {
+                if exact {
+                    // free >= width over the whole run, by construction.
+                    return anchor;
+                }
+                if let Some(a) = self.scan_run(anchor, run.end, duration, width, visited, skipped) {
+                    return a;
+                }
+            }
+            ri += 1;
+        }
+        // The final segment reaches infinity and is asserted wide enough,
+        // so its run always terminates the loop above.
+        unreachable!("final segment narrower than asserted");
+    }
+
+    /// The small-profile scan: the plain linear algorithm plus visit
+    /// counting, with no block or run arithmetic on the hot path.
+    fn scan_plain(
+        &self,
+        earliest: SimTime,
+        duration: SimSpan,
+        width: u32,
+        visited: &mut u64,
+    ) -> SimTime {
+        let segs = &self.segs[..];
+        let mut anchor = earliest;
+        let first_start = segs[0].start;
+        if anchor < first_start && anchor + duration <= first_start {
+            return anchor;
+        }
+        let mut idx = segs
+            .partition_point(|s| s.start <= anchor)
+            .saturating_sub(1);
+        loop {
+            *visited += 1;
+            let seg = segs[idx];
+            let seg_end = if idx + 1 < segs.len() {
+                segs[idx + 1].start
+            } else {
+                // The final segment is infinite; asserted wide enough.
+                if seg.free >= width {
+                    return anchor;
+                }
+                unreachable!("final segment narrower than asserted");
+            };
+            if seg.free >= width {
+                if seg_end >= anchor + duration {
+                    return anchor;
+                }
+            } else {
+                anchor = seg_end;
+            }
+            idx += 1;
+        }
+    }
+
+    /// Scan `[anchor0, run_end)` for the earliest `width`-anchor, knowing
+    /// nothing at or past `run_end` is feasible (so a rectangle must end by
+    /// then). Establishes a feasible candidate segment (hopping infeasible
+    /// blocks via the max index), verifies only the segments overlapping
+    /// `[anchor, anchor + duration)` (hopping uniformly feasible blocks via
+    /// the min index), and restarts past any blockage. Returns `None` once
+    /// no anchor in the window can work.
+    fn scan_run(
+        &self,
+        anchor0: SimTime,
+        run_end: SimTime,
+        duration: SimSpan,
+        width: u32,
+        visited: &mut u64,
+        skipped: &mut u64,
+    ) -> Option<SimTime> {
+        let segs = &self.segs[..];
+        let n = segs.len();
+        let mut anchor = anchor0;
+        // The region before the first segment boundary is implicitly fully
+        // free (it only exists after trim_before); a rectangle fitting
+        // entirely inside it anchors immediately. One that spills into the
+        // first segment is handled by the scan below: the implicit region
+        // never blocks, so the candidate run simply starts at `anchor`.
+        let first_start = segs[0].start;
+        if anchor < first_start && anchor + duration <= first_start {
+            return Some(anchor);
+        }
+
+        let mut idx = segs
+            .partition_point(|s| s.start <= anchor)
+            .saturating_sub(1);
+        loop {
+            // Establish a candidate: `segs[idx]` must host the anchor.
+            *visited += 1;
+            if segs[idx].free < width {
+                idx = self.next_feasible(idx + 1, width, run_end, visited, skipped)?;
+                anchor = segs[idx].start;
+            }
+            let target = anchor + duration;
+            if target > run_end {
+                // Anchors only move later; none left in this window.
+                return None;
+            }
+            // Verify the candidate only as far as `target`: every segment
+            // overlapping [anchor, target) must stay feasible.
+            let mut k = idx + 1;
+            loop {
+                if k >= n || segs[k].start >= target {
+                    return Some(anchor); // the rectangle fits
+                }
+                if k.is_multiple_of(BLOCK) && self.index.min_free[k / BLOCK] >= width {
+                    // A uniformly feasible block cannot blockade; hop it.
+                    *skipped += 1;
+                    k += BLOCK;
+                    continue;
+                }
+                *visited += 1;
+                if segs[k].free < width {
+                    break; // blocked: the candidate dies at segs[k]
+                }
+                k += 1;
+            }
+            // Restart the search after the blockage.
+            idx = self.next_feasible(k + 1, width, run_end, visited, skipped)?;
+            anchor = segs[idx].start;
+        }
+    }
+
+    /// The pre-index linear anchor scan, kept verbatim as a reference:
+    /// the differential property test asserts it agrees with
+    /// [`find_anchor`](Profile::find_anchor) decision-for-decision, and the
+    /// `profile_ops` bench measures what the index buys. Maintains the same
+    /// panics; does not update the probe counters.
+    pub fn find_anchor_linear(&self, earliest: SimTime, duration: SimSpan, width: u32) -> SimTime {
+        self.assert_possible(width);
         if duration.is_zero() || width == 0 {
             return earliest;
         }
 
         let mut anchor = earliest;
-        // The region before the first segment boundary is implicitly fully
-        // free (it only exists after trim_before); a rectangle fitting
-        // entirely inside it anchors immediately.
         let first_start = self.segs[0].start;
         if anchor < first_start && anchor + duration <= first_start {
             return anchor;
@@ -123,7 +617,10 @@ impl Profile {
         // Invariant on entry to each iteration: free >= width over
         // [anchor, seg.start) — either empty, the implicit free region, or
         // previously verified segments.
-        let mut idx = self.segs.partition_point(|s| s.start <= anchor).saturating_sub(1);
+        let mut idx = self
+            .segs
+            .partition_point(|s| s.start <= anchor)
+            .saturating_sub(1);
         loop {
             let seg = self.segs[idx];
             let seg_end = if idx + 1 < self.segs.len() {
@@ -153,14 +650,26 @@ impl Profile {
         let idx = self.segs.partition_point(|s| s.start <= t);
         if idx == 0 {
             // t precedes the whole profile: prepend a fully-free segment.
-            self.segs.insert(0, Segment { start: t, free: self.capacity });
+            self.segs.insert(
+                0,
+                Segment {
+                    start: t,
+                    free: self.capacity,
+                },
+            );
             return 0;
         }
         let prev = self.segs[idx - 1];
         if prev.start == t {
             idx - 1
         } else {
-            self.segs.insert(idx, Segment { start: t, free: prev.free });
+            self.segs.insert(
+                idx,
+                Segment {
+                    start: t,
+                    free: prev.free,
+                },
+            );
             idx
         }
     }
@@ -181,6 +690,7 @@ impl Profile {
         if duration.is_zero() || width == 0 {
             return;
         }
+        self.stats.reserves.set(self.stats.reserves.get() + 1);
         let end = start + duration;
         let first = self.split_at(start);
         let last = self.split_at(end); // boundary at end; affected segs are first..last
@@ -195,6 +705,7 @@ impl Profile {
             seg.free -= width;
         }
         self.coalesce();
+        self.reindex();
         debug_assert!(self.invariants_ok());
     }
 
@@ -207,6 +718,7 @@ impl Profile {
         if duration.is_zero() || width == 0 {
             return;
         }
+        self.stats.releases.set(self.stats.releases.get() + 1);
         let end = start + duration;
         let first = self.split_at(start);
         let last = self.split_at(end);
@@ -222,6 +734,7 @@ impl Profile {
             seg.free += width;
         }
         self.coalesce();
+        self.reindex();
         debug_assert!(self.invariants_ok());
     }
 
@@ -231,6 +744,7 @@ impl Profile {
         let idx = self.segs.partition_point(|s| s.start <= now);
         if idx > 1 {
             self.segs.drain(..idx - 1);
+            self.reindex();
         }
         debug_assert!(self.invariants_ok());
     }
@@ -246,7 +760,56 @@ impl Profile {
                 return false;
             }
         }
-        self.segs.iter().all(|s| s.free <= self.capacity)
+        if !self.segs.iter().all(|s| s.free <= self.capacity) {
+            return false;
+        }
+        // The index must mirror the segments exactly.
+        let blocks = self.segs.len().div_ceil(BLOCK);
+        if self.index.min_free.len() != blocks || self.index.max_free.len() != blocks {
+            return false;
+        }
+        if !self.segs.chunks(BLOCK).enumerate().all(|(b, chunk)| {
+            let min = chunk.iter().map(|s| s.free).min().expect("non-empty chunk");
+            let max = chunk.iter().map(|s| s.free).max().expect("non-empty chunk");
+            self.index.min_free[b] == min && self.index.max_free[b] == max
+        }) {
+            return false;
+        }
+        // Each run level must list exactly the maximal `free >= 1 << level`
+        // intervals (with the implicit fully-free region before the first
+        // boundary included, and `u64::MAX` closing a run that reaches the
+        // infinite final segment).
+        if self.index.runs.len() != level_of(self.capacity) + 1 {
+            return false;
+        }
+        self.index.runs.iter().enumerate().all(|(level, runs)| {
+            let mut expect: Vec<Run> = Vec::new();
+            let mut open: Option<SimTime> = None;
+            if self.segs[0].start > SimTime::ZERO {
+                open = Some(SimTime::ZERO);
+            }
+            for seg in &self.segs {
+                let feasible = seg.free >> level != 0;
+                match (feasible, open) {
+                    (true, None) => open = Some(seg.start),
+                    (false, Some(start)) => {
+                        expect.push(Run {
+                            start,
+                            end: seg.start,
+                        });
+                        open = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(start) = open {
+                expect.push(Run {
+                    start,
+                    end: SimTime::new(u64::MAX),
+                });
+            }
+            runs == &expect
+        })
     }
 }
 
@@ -313,6 +876,37 @@ mod tests {
     }
 
     #[test]
+    fn partial_release_coalesces_adjacent_equal_segments() {
+        // Regression: releasing the elapsed-tail of a rectangle must merge
+        // the restored span with its equal neighbours and never push any
+        // segment above capacity.
+        let mut p = Profile::new(8);
+        p.reserve(t(0), d(100), 4); // [0,100) at 4 free
+        p.reserve(t(0), d(60), 4); // [0,60) at 0 free
+                                   // The [0,60) job "ends" at 60 having consumed its whole rectangle;
+                                   // the [0,100) job completes early at 60: give back [60,100).
+        p.release(t(60), d(40), 4);
+        // [60,100) returns to 8 free — the same level as [100,∞), so the
+        // boundary at 100 must vanish.
+        assert_eq!(
+            p.segments(),
+            &[
+                Segment {
+                    start: t(0),
+                    free: 0
+                },
+                Segment {
+                    start: t(60),
+                    free: 8
+                }
+            ],
+            "adjacent equal segments must coalesce across the released span"
+        );
+        assert!(p.segments().iter().all(|s| s.free <= p.capacity()));
+        assert!(p.invariants_ok());
+    }
+
+    #[test]
     #[should_panic(expected = "underflows")]
     fn reserve_panics_on_overcommit() {
         let mut p = Profile::new(4);
@@ -367,7 +961,7 @@ mod tests {
         let mut p = Profile::new(8);
         p.reserve(t(0), d(100), 2); // 6 free on [0, 100)
         p.reserve(t(100), d(100), 4); // 4 free on [100, 200)
-        // Width 4 for 150 s fits at 0: covered by both segments.
+                                      // Width 4 for 150 s fits at 0: covered by both segments.
         assert_eq!(p.find_anchor(t(0), d(150), 4), t(0));
         // Width 5 for 150 s: blocked on [100, 200), so anchor is 200.
         assert_eq!(p.find_anchor(t(0), d(150), 5), t(200));
@@ -399,9 +993,14 @@ mod tests {
     fn fits_matches_find_anchor() {
         let mut p = Profile::new(8);
         p.reserve(t(10), d(80), 5);
-        for &(start, dur, width) in
-            &[(0u64, 10u64, 8u32), (0, 11, 4), (0, 11, 3), (10, 80, 3), (90, 5, 8), (5, 100, 3)]
-        {
+        for &(start, dur, width) in &[
+            (0u64, 10u64, 8u32),
+            (0, 11, 4),
+            (0, 11, 3),
+            (10, 80, 3),
+            (90, 5, 8),
+            (5, 100, 3),
+        ] {
             let fits = p.fits(t(start), d(dur), width);
             let anchor = p.find_anchor(t(start), d(dur), width);
             assert_eq!(
@@ -410,6 +1009,93 @@ mod tests {
                 "fits({start},{dur},{width}) = {fits} but anchor = {anchor}"
             );
         }
+    }
+
+    #[test]
+    fn indexed_and_linear_anchors_agree_on_dense_profile() {
+        // A profile long enough to bypass the small-profile cutoff and span
+        // many index blocks, with levels that force both block-skip paths
+        // (uniformly infeasible and uniformly feasible runs for mid-range
+        // widths) and the run-index walk.
+        let mut p = Profile::new(64);
+        for i in 0..(2 * SMALL as u64) {
+            let width = 1 + ((i * 7 + 3) % 60) as u32;
+            p.reserve(
+                t(i * 10),
+                d(10 + (i % 13) * 5),
+                width.min(p.free_at(t(i * 10))),
+            );
+        }
+        assert!(
+            p.segments().len() > SMALL,
+            "want a profile past the index cutoff"
+        );
+        for earliest in (0..2 * SMALL as u64 * 10).step_by(53) {
+            for &width in &[1u32, 7, 23, 40, 64] {
+                for &dur in &[1u64, 50, 400, 5_000] {
+                    assert_eq!(
+                        p.find_anchor(t(earliest), d(dur), width),
+                        p.find_anchor_linear(t(earliest), d(dur), width),
+                        "diverged at earliest={earliest} dur={dur} width={width}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut p = Profile::new(8);
+        p.reserve(t(0), d(100), 4);
+        p.reserve(t(200), d(100), 4);
+        p.release(t(50), d(50), 4);
+        p.find_anchor(t(0), d(10), 8);
+        p.find_anchor(t(0), d(10), 2);
+        p.note_compress_pass();
+        let s = p.stats();
+        assert_eq!(s.reserves, 2);
+        assert_eq!(s.releases, 1);
+        assert_eq!(s.find_anchor_calls, 2);
+        assert_eq!(s.compress_passes, 1);
+        assert!(s.segments_visited >= 2, "anchor scans examine segments");
+        assert!(s.peak_segments >= 3);
+        assert!(s.segments_per_anchor() > 0.0);
+        p.reset_stats();
+        let s = p.stats();
+        assert_eq!(s.find_anchor_calls, 0);
+        assert_eq!(s.reserves, 0);
+        assert_eq!(s.peak_segments, p.segments().len() as u64);
+    }
+
+    #[test]
+    fn stats_ignore_noop_calls_and_equality_ignores_stats() {
+        let mut p = Profile::new(8);
+        p.reserve(t(0), d(0), 4); // no-op
+        p.release(t(0), d(10), 0); // no-op
+        assert_eq!(p.stats().reserves, 0);
+        assert_eq!(p.stats().releases, 0);
+        let q = Profile::new(8);
+        q.find_anchor(t(0), d(5), 1); // probe only q
+        assert_eq!(p, q, "probe counters must not affect equality");
+    }
+
+    #[test]
+    fn stats_absorb_sums_counts_and_maxes_peak() {
+        let mut a = ProfileStats {
+            find_anchor_calls: 2,
+            peak_segments: 5,
+            ..Default::default()
+        };
+        let b = ProfileStats {
+            find_anchor_calls: 3,
+            reserves: 1,
+            peak_segments: 9,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.find_anchor_calls, 5);
+        assert_eq!(a.reserves, 1);
+        assert_eq!(a.peak_segments, 9);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! *estimated* runtime, width) — never the actual runtime. The driver alone
 //! knows when jobs will really complete.
 
+use crate::profile::ProfileStats;
 use simcore::{JobId, SimSpan, SimTime};
 
 /// What the scheduler is allowed to know about a job.
@@ -53,7 +54,11 @@ impl Decisions {
 
     /// Starts only.
     pub fn start(starts: Vec<JobId>) -> Self {
-        Decisions { preempts: Vec::new(), starts, wakeup: None }
+        Decisions {
+            preempts: Vec::new(),
+            starts,
+            wakeup: None,
+        }
     }
 }
 
@@ -91,6 +96,15 @@ pub trait Scheduler {
 
     /// Number of jobs currently waiting (diagnostics).
     fn queue_len(&self) -> usize;
+
+    /// Cumulative availability-profile operation counters, if this
+    /// scheduler maintains a profile. Schedulers that keep a persistent
+    /// profile report it directly; ones that rebuild a throwaway profile
+    /// per event report the accumulated counters across all rebuilds.
+    /// Default: `None` (profile-free schedulers, e.g. plain FCFS).
+    fn profile_stats(&self) -> Option<ProfileStats> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -101,7 +115,11 @@ mod tests {
     fn decisions_constructors() {
         assert_eq!(
             Decisions::none(),
-            Decisions { preempts: vec![], starts: vec![], wakeup: None }
+            Decisions {
+                preempts: vec![],
+                starts: vec![],
+                wakeup: None
+            }
         );
         let d = Decisions::start(vec![JobId(3)]);
         assert_eq!(d.starts, vec![JobId(3)]);

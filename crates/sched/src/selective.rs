@@ -22,7 +22,7 @@
 //! (pure free-for-all backfilling, more aggressive than EASY).
 
 use crate::policy::Policy;
-use crate::profile::Profile;
+use crate::profile::{Profile, ProfileStats};
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
 use simcore::{JobId, SimSpan, SimTime};
 use std::collections::HashMap;
@@ -59,7 +59,10 @@ impl SelectiveScheduler {
     /// expansion-factor level at which a job is promoted to a reservation
     /// (must be ≥ 1; pass `f64::INFINITY` to disable reservations).
     pub fn new(capacity: u32, policy: Policy, threshold: f64) -> Self {
-        assert!(threshold >= 1.0, "xfactor threshold must be >= 1, got {threshold}");
+        assert!(
+            threshold >= 1.0,
+            "xfactor threshold must be >= 1, got {threshold}"
+        );
         SelectiveScheduler {
             policy,
             threshold,
@@ -90,26 +93,41 @@ impl SelectiveScheduler {
     fn start_running(&mut self, meta: JobMeta, now: SimTime, starts: &mut Vec<JobId>) {
         debug_assert!(meta.width <= self.free);
         self.free -= meta.width;
-        self.running
-            .insert(meta.id, Running { width: meta.width, est_end: now + meta.estimate });
+        self.running.insert(
+            meta.id,
+            Running {
+                width: meta.width,
+                est_end: now + meta.estimate,
+            },
+        );
         starts.push(meta.id);
     }
 
     /// Re-anchor reservations after a hole opened (early completion).
     fn compress(&mut self, now: SimTime) {
+        self.profile.note_compress_pass();
         self.reserved
             .sort_by(|a, b| self.policy.compare(&a.meta, &b.meta, now));
         for i in 0..self.reserved.len() {
             let res = self.reserved[i];
-            self.profile.release(res.start, res.meta.estimate, res.meta.width);
-            let anchor = self.profile.find_anchor(now, res.meta.estimate, res.meta.width);
+            self.profile
+                .release(res.start, res.meta.estimate, res.meta.width);
+            let anchor = self
+                .profile
+                .find_anchor(now, res.meta.estimate, res.meta.width);
             assert!(anchor <= res.start, "compression delayed a protected job");
-            self.profile.reserve(anchor, res.meta.estimate, res.meta.width);
+            self.profile
+                .reserve(anchor, res.meta.estimate, res.meta.width);
             self.reserved[i].start = anchor;
         }
     }
 
-    fn reschedule(&mut self, now: SimTime) -> Decisions {
+    /// Promote, start, and backfill; report the next wake-up. See
+    /// the conservative scheduler for the `retry_same_instant` contract:
+    /// wake-ups are the last event class at an instant, so a deferral
+    /// observed during `on_wake` cannot resolve at `now` and asking for a
+    /// same-instant wake-up again would spin forever.
+    fn reschedule(&mut self, now: SimTime, retry_same_instant: bool) -> Decisions {
         let mut starts = Vec::new();
 
         // Promote jobs whose expansion factor crossed the threshold, in
@@ -121,7 +139,10 @@ impl SelectiveScheduler {
                 let meta = self.unreserved.remove(i);
                 let anchor = self.profile.find_anchor(now, meta.estimate, meta.width);
                 self.profile.reserve(anchor, meta.estimate, meta.width);
-                self.reserved.push(Reservation { meta, start: anchor });
+                self.reserved.push(Reservation {
+                    meta,
+                    start: anchor,
+                });
             } else {
                 i += 1;
             }
@@ -129,14 +150,16 @@ impl SelectiveScheduler {
 
         // Start protected jobs whose reservation is due and physically
         // fits. A due job blocked by a sibling same-instant completion is
-        // retried via the same-instant wake-up below.
+        // retried via the same-instant wake-up below. One ascending pass
+        // suffices: starting a job only consumes processors (the rectangle
+        // stays where it was), so nothing skipped can become startable
+        // within the pass.
         let mut deferred = false;
         let mut i = 0;
         while i < self.reserved.len() {
             if self.reserved[i].start <= now && self.reserved[i].meta.width <= self.free {
                 let res = self.reserved.remove(i);
                 self.start_running(res.meta, now, &mut starts);
-                i = 0;
             } else {
                 if self.reserved[i].start <= now {
                     deferred = true;
@@ -159,17 +182,25 @@ impl SelectiveScheduler {
         }
 
         self.profile.trim_before(now);
-        let wakeup = if deferred {
+        let wakeup = if deferred && retry_same_instant {
             Some(now)
         } else {
+            // Next strictly-future reservation or threshold crossing.
+            // (Outside the deferred case nothing due remains, so the
+            // `> now` filter changes nothing; in the deferred-at-wake case
+            // it is what prevents the same-instant spin.)
             self.reserved
                 .iter()
                 .map(|r| r.start)
                 .chain(self.unreserved.iter().map(|j| self.crossing_time(j)))
-                .filter(|&t| t < SimTime::FAR_FUTURE)
+                .filter(|&t| t > now && t < SimTime::FAR_FUTURE)
                 .min()
         };
-        Decisions { preempts: Vec::new(), starts, wakeup }
+        Decisions {
+            preempts: Vec::new(),
+            starts,
+            wakeup,
+        }
     }
 }
 
@@ -183,27 +214,38 @@ impl Scheduler for SelectiveScheduler {
     }
 
     fn on_arrival(&mut self, job: JobMeta, now: SimTime) -> Decisions {
-        assert!(job.width <= self.profile.capacity(), "{} wider than machine", job.id);
+        assert!(
+            job.width <= self.profile.capacity(),
+            "{} wider than machine",
+            job.id
+        );
         self.unreserved.push(job);
-        self.reschedule(now)
+        self.reschedule(now, true)
     }
 
     fn on_completion(&mut self, id: JobId, now: SimTime) -> Decisions {
-        let run = self.running.remove(&id).expect("completion for unknown job");
+        let run = self
+            .running
+            .remove(&id)
+            .expect("completion for unknown job");
         self.free += run.width;
         if now < run.est_end {
             self.profile.release(now, run.est_end.since(now), run.width);
             self.compress(now);
         }
-        self.reschedule(now)
+        self.reschedule(now, true)
     }
 
     fn on_wake(&mut self, now: SimTime) -> Decisions {
-        self.reschedule(now)
+        self.reschedule(now, false)
     }
 
     fn queue_len(&self) -> usize {
         self.reserved.len() + self.unreserved.len()
+    }
+
+    fn profile_stats(&self) -> Option<ProfileStats> {
+        Some(self.profile.stats())
     }
 }
 
@@ -232,8 +274,8 @@ mod tests {
         let mut s = SelectiveScheduler::new(8, Policy::Fcfs, 100.0);
         s.on_arrival(meta(0, 0, 100, 6), SimTime::ZERO);
         s.on_arrival(meta(1, 1, 500, 8), SimTime::new(1)); // waits, unprotected
-        // A long 2-wide job backfills at once — EASY would refuse it
-        // (it would delay job 1's reservation); selective has none to delay.
+                                                           // A long 2-wide job backfills at once — EASY would refuse it
+                                                           // (it would delay job 1's reservation); selective has none to delay.
         let d = s.on_arrival(meta(2, 2, 9_000, 2), SimTime::new(2));
         assert_eq!(d.starts, vec![JobId(2)]);
     }
@@ -254,7 +296,11 @@ mod tests {
         s.on_arrival(meta(0, 0, 1_000, 8), SimTime::ZERO);
         // Job 1 (est 100): crosses at t = 1 + 100 = 101.
         let d = s.on_arrival(meta(1, 1, 100, 8), SimTime::new(1));
-        assert_eq!(d.wakeup, Some(SimTime::new(101)), "wake at the crossing time");
+        assert_eq!(
+            d.wakeup,
+            Some(SimTime::new(101)),
+            "wake at the crossing time"
+        );
         let d = s.on_wake(SimTime::new(101));
         assert!(d.starts.is_empty());
         // Now protected: a new job that would delay it must not backfill.
@@ -299,5 +345,37 @@ mod tests {
     #[should_panic(expected = "must be >= 1")]
     fn rejects_sub_one_threshold() {
         SelectiveScheduler::new(8, Policy::Fcfs, 0.5);
+    }
+
+    #[test]
+    fn due_protected_job_does_not_spin_same_instant_wakeups() {
+        // A protected job whose reservation is due but whose processors are
+        // held by an overrunning job must not answer a wake-up with another
+        // same-instant wake-up (nothing else can happen at that instant).
+        let mut s = SelectiveScheduler::new(8, Policy::Fcfs, 1.0);
+        s.on_arrival(meta(0, 0, 100, 8), SimTime::ZERO); // starts; est_end 100
+        let d = s.on_arrival(meta(1, 1, 50, 8), SimTime::new(1)); // protected at 100
+        assert_eq!(d.wakeup, Some(SimTime::new(100)));
+        // Job 0 overruns its estimate; the wake at 150 finds the machine busy.
+        let d = s.on_wake(SimTime::new(150));
+        assert!(d.starts.is_empty());
+        assert_ne!(
+            d.wakeup,
+            Some(SimTime::new(150)),
+            "would spin the event loop"
+        );
+        let d = s.on_completion(JobId(0), SimTime::new(200));
+        assert_eq!(d.starts, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn exposes_profile_stats() {
+        let mut s = SelectiveScheduler::new(8, Policy::Fcfs, 1.0);
+        s.on_arrival(meta(0, 0, 1_000, 8), SimTime::ZERO);
+        s.on_arrival(meta(1, 1, 100, 8), SimTime::new(1));
+        s.on_completion(JobId(0), SimTime::new(300)); // early → compress
+        let stats = s.profile_stats().expect("selective keeps a profile");
+        assert!(stats.find_anchor_calls > 0);
+        assert_eq!(stats.compress_passes, 1);
     }
 }

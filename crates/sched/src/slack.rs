@@ -20,7 +20,7 @@
 //! immediately, and its promise never moves later).
 
 use crate::policy::Policy;
-use crate::profile::Profile;
+use crate::profile::{Profile, ProfileStats};
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
 use serde::{Deserialize, Serialize};
 use simcore::{JobId, SimSpan, SimTime};
@@ -91,10 +91,19 @@ impl SlackScheduler {
     }
 
     fn start_job(&mut self, p: Promise, now: SimTime) {
-        debug_assert!(p.start >= now, "promise {} already passed at {now}", p.start);
+        debug_assert!(
+            p.start >= now,
+            "promise {} already passed at {now}",
+            p.start
+        );
         self.free -= p.meta.width;
-        self.running
-            .insert(p.meta.id, Running { width: p.meta.width, est_end: now + p.meta.estimate });
+        self.running.insert(
+            p.meta.id,
+            Running {
+                width: p.meta.width,
+                est_end: now + p.meta.estimate,
+            },
+        );
         if p.start > now {
             // Starting ahead of the promise: move the rectangle to now.
             self.profile.release(p.start, p.meta.estimate, p.meta.width);
@@ -104,9 +113,15 @@ impl SlackScheduler {
 
     /// Start queued jobs that fit immediately (in priority order) and any
     /// whose promise is due; report the next wake-up.
-    fn collect(&mut self, now: SimTime) -> Decisions {
+    ///
+    /// See the conservative scheduler for the `retry_same_instant`
+    /// contract: a deferral observed during `on_wake` cannot resolve at
+    /// `now` (wakes are the last event class at an instant), so asking for
+    /// a same-instant wake-up again would spin forever.
+    fn collect(&mut self, now: SimTime, retry_same_instant: bool) -> Decisions {
         let mut starts = Vec::new();
-        self.queue.sort_by(|a, b| self.policy.compare(&a.meta, &b.meta, now));
+        self.queue
+            .sort_by(|a, b| self.policy.compare(&a.meta, &b.meta, now));
         let mut deferred = false;
         let mut i = 0;
         while i < self.queue.len() {
@@ -114,15 +129,36 @@ impl SlackScheduler {
             let due = p.start <= now;
             if p.meta.width <= self.free {
                 // Can it start now without breaking any other promise?
-                // Temporarily lift its own rectangle, test the hole.
-                self.profile.release(p.start, p.meta.estimate, p.meta.width);
-                let fits_now = self.profile.fits(now, p.meta.estimate, p.meta.width);
-                self.profile.reserve(p.start, p.meta.estimate, p.meta.width);
+                // The release → fits → reserve probe of the job's own
+                // rectangle is needed only when that rectangle could change
+                // the answer: if the hole fits with the rectangle still in
+                // place, lifting it only adds capacity (still fits); if it
+                // does not fit and the rectangle is disjoint from the
+                // candidate window, lifting it cannot help.
+                let fits_now = if self.profile.fits(now, p.meta.estimate, p.meta.width) {
+                    true
+                } else if p.start < now + p.meta.estimate {
+                    self.profile.release(p.start, p.meta.estimate, p.meta.width);
+                    let fits = self.profile.fits(now, p.meta.estimate, p.meta.width);
+                    self.profile.reserve(p.start, p.meta.estimate, p.meta.width);
+                    fits
+                } else {
+                    false
+                };
                 if fits_now || due {
                     let p = self.queue.remove(i);
+                    // Starting ahead of the promise relocates the job's
+                    // rectangle to `now`, which frees capacity at its old
+                    // position — that can unblock a higher-priority job
+                    // already skipped this pass, so only then rescan.
+                    // A start at the promise itself only consumes
+                    // processors and can unblock nothing.
+                    let moved = p.start > now;
                     self.start_job(p, now);
                     starts.push(p.meta.id);
-                    i = 0;
+                    if moved {
+                        i = 0;
+                    }
                     continue;
                 }
             } else if due {
@@ -130,13 +166,25 @@ impl SlackScheduler {
             }
             i += 1;
         }
-        let wakeup = if deferred {
+        let wakeup = if deferred && retry_same_instant {
             Some(now)
+        } else if deferred {
+            // Deferred at a wake-up: wait for the next strictly-future
+            // promise; completions re-trigger collection on their own.
+            self.queue
+                .iter()
+                .map(|p| p.start)
+                .filter(|&s| s > now)
+                .min()
         } else {
             self.queue.iter().map(|p| p.start).min()
         };
         self.profile.trim_before(now);
-        Decisions { preempts: Vec::new(), starts, wakeup }
+        Decisions {
+            preempts: Vec::new(),
+            starts,
+            wakeup,
+        }
     }
 }
 
@@ -149,7 +197,11 @@ impl Scheduler for SlackScheduler {
     }
 
     fn on_arrival(&mut self, job: JobMeta, now: SimTime) -> Decisions {
-        assert!(job.width <= self.profile.capacity(), "{} wider than machine", job.id);
+        assert!(
+            job.width <= self.profile.capacity(),
+            "{} wider than machine",
+            job.id
+        );
         // Earliest feasible anchor, then park the rectangle σ later (at the
         // first feasible position at or after anchor + σ).
         let earliest = self.profile.find_anchor(now, job.estimate, job.width);
@@ -157,28 +209,39 @@ impl Scheduler for SlackScheduler {
         let promise = if sigma.is_zero() {
             earliest
         } else {
-            self.profile.find_anchor(earliest + sigma, job.estimate, job.width)
+            self.profile
+                .find_anchor(earliest + sigma, job.estimate, job.width)
         };
         self.profile.reserve(promise, job.estimate, job.width);
-        self.queue.push(Promise { meta: job, start: promise });
-        self.collect(now)
+        self.queue.push(Promise {
+            meta: job,
+            start: promise,
+        });
+        self.collect(now, true)
     }
 
     fn on_completion(&mut self, id: JobId, now: SimTime) -> Decisions {
-        let run = self.running.remove(&id).expect("completion for unknown job");
+        let run = self
+            .running
+            .remove(&id)
+            .expect("completion for unknown job");
         self.free += run.width;
         if now < run.est_end {
             self.profile.release(now, run.est_end.since(now), run.width);
         }
-        self.collect(now)
+        self.collect(now, true)
     }
 
     fn on_wake(&mut self, now: SimTime) -> Decisions {
-        self.collect(now)
+        self.collect(now, false)
     }
 
     fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    fn profile_stats(&self) -> Option<ProfileStats> {
+        Some(self.profile.stats())
     }
 }
 
@@ -221,7 +284,7 @@ mod tests {
         let mut s = sched(SlackPolicy::Constant(SimSpan::new(500)));
         s.on_arrival(meta(0, 0, 100, 8), SimTime::ZERO);
         s.on_arrival(meta(1, 1, 50, 8), SimTime::new(1)); // promised 600
-        // Machine frees at 100: job 1 starts right away, well before 600.
+                                                          // Machine frees at 100: job 1 starts right away, well before 600.
         let d = s.on_completion(JobId(0), SimTime::new(100));
         assert_eq!(d.starts, vec![JobId(1)]);
     }
@@ -235,7 +298,11 @@ mod tests {
         s.on_arrival(meta(0, 0, 100, 6), SimTime::ZERO);
         s.on_arrival(meta(1, 1, 50, 8), SimTime::new(1));
         let d = s.on_arrival(meta(2, 2, 200, 2), SimTime::new(2));
-        assert_eq!(d.starts, vec![JobId(2)], "slack window should admit the backfill");
+        assert_eq!(
+            d.starts,
+            vec![JobId(2)],
+            "slack window should admit the backfill"
+        );
     }
 
     #[test]
@@ -275,5 +342,31 @@ mod tests {
             sched(SlackPolicy::ProportionalToEstimate(2.0)).name(),
             "Slack(2×est)/FCFS"
         );
+    }
+
+    #[test]
+    fn due_promise_does_not_spin_same_instant_wakeups() {
+        let mut s = sched(SlackPolicy::Constant(SimSpan::ZERO));
+        s.on_arrival(meta(0, 0, 100, 8), SimTime::ZERO); // starts; est_end 100
+        let d = s.on_arrival(meta(1, 1, 50, 8), SimTime::new(1)); // promised 100
+        assert_eq!(d.wakeup, Some(SimTime::new(100)));
+        // Job 0 overruns; the wake at 150 finds the machine still busy.
+        let d = s.on_wake(SimTime::new(150));
+        assert!(d.starts.is_empty());
+        assert_ne!(
+            d.wakeup,
+            Some(SimTime::new(150)),
+            "would spin the event loop"
+        );
+    }
+
+    #[test]
+    fn exposes_profile_stats() {
+        let mut s = sched(SlackPolicy::Constant(SimSpan::new(500)));
+        s.on_arrival(meta(0, 0, 100, 8), SimTime::ZERO);
+        s.on_arrival(meta(1, 1, 50, 8), SimTime::new(1));
+        let stats = s.profile_stats().expect("slack keeps a profile");
+        assert!(stats.find_anchor_calls >= 2);
+        assert!(stats.reserves >= 2);
     }
 }

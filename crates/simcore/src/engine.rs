@@ -58,7 +58,11 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// Create an engine with an empty event set at `t = 0`.
     pub fn new() -> Self {
-        Engine { queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
     }
 
     /// Current simulated time (time of the last processed event).
@@ -94,7 +98,10 @@ impl<E> Engine<E> {
         };
         self.now = time;
         self.processed += 1;
-        let mut ctx = Ctx { queue: &mut self.queue, now: time };
+        let mut ctx = Ctx {
+            queue: &mut self.queue,
+            now: time,
+        };
         actor.handle(event, &mut ctx);
         true
     }

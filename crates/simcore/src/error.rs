@@ -48,7 +48,11 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OverSubscribed { job, requested, free } => write!(
+            SimError::OverSubscribed {
+                job,
+                requested,
+                free,
+            } => write!(
                 f,
                 "job#{job} requested {requested} processors but only {free} are free"
             ),
@@ -61,7 +65,11 @@ impl fmt::Display for SimError {
             SimError::ReleaseWithoutAllocation { job } => {
                 write!(f, "job#{job} released processors it never held")
             }
-            SimError::JobWiderThanMachine { job, width, machine } => write!(
+            SimError::JobWiderThanMachine {
+                job,
+                width,
+                machine,
+            } => write!(
                 f,
                 "job#{job} requests {width} processors but the machine only has {machine}"
             ),
@@ -78,11 +86,19 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SimError::OverSubscribed { job: 3, requested: 8, free: 2 };
+        let e = SimError::OverSubscribed {
+            job: 3,
+            requested: 8,
+            free: 2,
+        };
         assert!(e.to_string().contains("job#3"));
         assert!(e.to_string().contains("8"));
         assert!(e.to_string().contains("2"));
-        let e = SimError::JobWiderThanMachine { job: 1, width: 600, machine: 430 };
+        let e = SimError::JobWiderThanMachine {
+            job: 1,
+            width: 600,
+            machine: 430,
+        };
         assert!(e.to_string().contains("600"));
         let e = SimError::AuditFailure("cap".into());
         assert!(e.to_string().contains("cap"));

@@ -110,7 +110,12 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, class, seq, payload });
+        self.heap.push(Entry {
+            time,
+            class,
+            seq,
+            payload,
+        });
     }
 
     /// Remove and return the earliest event as `(time, payload)`.
@@ -209,7 +214,9 @@ mod tests {
         // Insert a pseudo-random but deterministic pattern of times.
         let mut x: u64 = 0x12345;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             q.push(SimTime::new(x >> 40), x);
         }
         let mut last = SimTime::ZERO;

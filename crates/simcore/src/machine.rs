@@ -8,8 +8,8 @@
 //! without replaying the schedule.
 
 use crate::error::SimError;
-use serde::{Deserialize, Serialize};
 use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifies a job throughout the simulator. Dense indices into the trace.
@@ -161,7 +161,14 @@ mod tests {
         let mut m = Machine::new(8);
         m.allocate(JobId(1), 6, SimTime::ZERO).unwrap();
         let err = m.allocate(JobId(2), 3, SimTime::ZERO).unwrap_err();
-        assert!(matches!(err, SimError::OverSubscribed { requested: 3, free: 2, .. }));
+        assert!(matches!(
+            err,
+            SimError::OverSubscribed {
+                requested: 3,
+                free: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

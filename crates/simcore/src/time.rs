@@ -20,11 +20,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// An absolute simulated instant, in seconds since the simulated epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A non-negative span of simulated time, in seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimSpan(u64);
 
 impl SimTime {
@@ -277,7 +281,10 @@ mod tests {
 
     #[test]
     fn span_arithmetic_saturates() {
-        assert_eq!(SimSpan::new(u64::MAX) + SimSpan::new(1), SimSpan::new(u64::MAX));
+        assert_eq!(
+            SimSpan::new(u64::MAX) + SimSpan::new(1),
+            SimSpan::new(u64::MAX)
+        );
         assert_eq!(SimSpan::new(1) - SimSpan::new(2), SimSpan::ZERO);
     }
 
@@ -285,7 +292,10 @@ mod tests {
     fn display_formats() {
         assert_eq!(SimSpan::new(0).to_string(), "0s");
         assert_eq!(SimSpan::new(61).to_string(), "1m 1s");
-        assert_eq!(SimSpan::new(86_400 + 3600 + 60 + 1).to_string(), "1d 1h 1m 1s");
+        assert_eq!(
+            SimSpan::new(86_400 + 3600 + 60 + 1).to_string(),
+            "1d 1h 1m 1s"
+        );
         assert_eq!(SimSpan::new(7200).to_string(), "2h");
         assert_eq!(SimTime::new(42).to_string(), "t+42s");
     }

@@ -49,7 +49,10 @@ pub fn validate_schedule(jobs: &[PlacedJob], capacity: u32) -> Result<(), SimErr
             )));
         }
         if j.width == 0 {
-            return Err(SimError::AuditFailure(format!("job#{} has zero width", j.id)));
+            return Err(SimError::AuditFailure(format!(
+                "job#{} has zero width",
+                j.id
+            )));
         }
         if j.width > capacity {
             return Err(SimError::JobWiderThanMachine {
@@ -200,6 +203,9 @@ mod tests {
 
     #[test]
     fn utilization_empty_window_is_zero() {
-        assert_eq!(schedule_utilization(&[], 8, SimTime::new(5), SimTime::new(5)), 0.0);
+        assert_eq!(
+            schedule_utilization(&[], 8, SimTime::new(5), SimTime::new(5)),
+            0.0
+        );
     }
 }

@@ -39,7 +39,9 @@ impl Poisson {
             mean_gap_secs.is_finite() && mean_gap_secs > 0.0,
             "mean inter-arrival gap must be positive, got {mean_gap_secs}"
         );
-        Poisson { mean_gap: mean_gap_secs }
+        Poisson {
+            mean_gap: mean_gap_secs,
+        }
     }
 }
 
@@ -127,8 +129,11 @@ impl DiurnalPoisson {
     fn rate_multiplier(&self, t: SimTime) -> f64 {
         let hour = (t.as_secs() / 3600) % 24;
         let day_of_week = (t.as_secs() / 86_400) % 7;
-        let weekly =
-            if day_of_week >= 5 { self.weekend_mult } else { self.weekday_mult };
+        let weekly = if day_of_week >= 5 {
+            self.weekend_mult
+        } else {
+            self.weekday_mult
+        };
         self.hourly[hour as usize] * weekly
     }
 }
@@ -141,7 +146,7 @@ impl ArrivalProcess for DiurnalPoisson {
         let mut t = after;
         loop {
             let gap = -rng.f64_open().ln() * envelope_gap;
-            t = t + SimSpan::new(gap.ceil().max(1.0) as u64);
+            t += SimSpan::new(gap.ceil().max(1.0) as u64);
             if rng.f64() * self.peak < self.rate_multiplier(t) {
                 return t;
             }
@@ -216,7 +221,10 @@ mod tests {
         let n = 50_000;
         let arrivals = d.generate(n, &mut rng);
         let mean_gap = arrivals.last().unwrap().as_secs() as f64 / n as f64;
-        assert!((mean_gap - 120.0).abs() / 120.0 < 0.08, "mean gap {mean_gap}");
+        assert!(
+            (mean_gap - 120.0).abs() / 120.0 < 0.08,
+            "mean gap {mean_gap}"
+        );
     }
 
     #[test]
@@ -257,7 +265,10 @@ mod tests {
         let n = 50_000;
         let arrivals = d.generate(n, &mut rng);
         let mean_gap = arrivals.last().unwrap().as_secs() as f64 / n as f64;
-        assert!((mean_gap - 120.0).abs() / 120.0 < 0.08, "mean gap {mean_gap}");
+        assert!(
+            (mean_gap - 120.0).abs() / 120.0 < 0.08,
+            "mean gap {mean_gap}"
+        );
     }
 
     #[test]
@@ -276,7 +287,10 @@ mod tests {
         }
         // Weibull(0.5, 50) has mean 100.
         let mean_gap = arrivals.last().unwrap().as_secs() as f64 / 10_000.0;
-        assert!((mean_gap - 100.0).abs() / 100.0 < 0.1, "mean gap {mean_gap}");
+        assert!(
+            (mean_gap - 100.0).abs() / 100.0 < 0.1,
+            "mean gap {mean_gap}"
+        );
     }
 
     #[test]

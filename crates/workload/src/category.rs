@@ -69,7 +69,10 @@ pub struct CategoryCriteria {
 
 impl Default for CategoryCriteria {
     fn default() -> Self {
-        CategoryCriteria { short_max: SimSpan::HOUR, narrow_max: 8 }
+        CategoryCriteria {
+            short_max: SimSpan::HOUR,
+            narrow_max: 8,
+        }
     }
 }
 
@@ -179,15 +182,22 @@ mod tests {
 
     #[test]
     fn custom_criteria() {
-        let c = CategoryCriteria { short_max: SimSpan::new(100), narrow_max: 4 };
+        let c = CategoryCriteria {
+            short_max: SimSpan::new(100),
+            narrow_max: 4,
+        };
         assert_eq!(c.categorize(&job(150, 150, 4)), Category::LN);
         assert_eq!(c.categorize(&job(50, 50, 5)), Category::SW);
     }
 
     #[test]
     fn distribution_sums_to_one() {
-        let jobs =
-            vec![job(10, 10, 1), job(10, 10, 16), job(7000, 7000, 1), job(7000, 7000, 16)];
+        let jobs = vec![
+            job(10, 10, 1),
+            job(10, 10, 16),
+            job(7000, 7000, 1),
+            job(7000, 7000, 16),
+        ];
         let t = Trace::new("t", 32, jobs).unwrap();
         let d = CategoryCriteria::default().distribution(&t);
         assert_eq!(d, [0.25, 0.25, 0.25, 0.25]);
@@ -202,9 +212,18 @@ mod tests {
 
     #[test]
     fn estimate_quality_boundary() {
-        assert_eq!(EstimateQuality::of(&job(100, 200, 1)), EstimateQuality::Well);
-        assert_eq!(EstimateQuality::of(&job(100, 201, 1)), EstimateQuality::Poor);
-        assert_eq!(EstimateQuality::of(&job(100, 100, 1)), EstimateQuality::Well);
+        assert_eq!(
+            EstimateQuality::of(&job(100, 200, 1)),
+            EstimateQuality::Well
+        );
+        assert_eq!(
+            EstimateQuality::of(&job(100, 201, 1)),
+            EstimateQuality::Poor
+        );
+        assert_eq!(
+            EstimateQuality::of(&job(100, 100, 1)),
+            EstimateQuality::Well
+        );
         assert_eq!(EstimateQuality::Well.label(), "well");
         assert_eq!(EstimateQuality::Poor.label(), "poor");
     }

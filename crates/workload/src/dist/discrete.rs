@@ -23,7 +23,10 @@ impl Categorical {
             "categorical weights must be finite with positive sum, got {total}"
         );
         for &w in weights {
-            assert!(w >= 0.0 && w.is_finite(), "negative or non-finite weight {w}");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "negative or non-finite weight {w}"
+            );
         }
         let n = weights.len();
         let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
@@ -83,8 +86,14 @@ pub struct Empirical {
 impl Empirical {
     /// Create from observed values (must be non-empty and finite).
     pub fn new(values: Vec<f64>) -> Self {
-        assert!(!values.is_empty(), "empirical distribution needs observations");
-        assert!(values.iter().all(|v| v.is_finite()), "non-finite observation");
+        assert!(
+            !values.is_empty(),
+            "empirical distribution needs observations"
+        );
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "non-finite observation"
+        );
         Empirical { values }
     }
 }
@@ -111,7 +120,10 @@ mod tests {
         for (i, &c) in counts.iter().enumerate() {
             let expected = (i + 1) as f64 / 10.0;
             let got = c as f64 / n as f64;
-            assert!((got - expected).abs() < 0.005, "cat {i}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 0.005,
+                "cat {i}: {got} vs {expected}"
+            );
         }
     }
 
@@ -128,7 +140,9 @@ mod tests {
     fn unnormalized_weights_are_fine() {
         let a = Categorical::new(&[2.0, 6.0]);
         let mut rng = SimRng::seed_from_u64(3);
-        let ones = (0..100_000).filter(|_| a.sample_index(&mut rng) == 1).count();
+        let ones = (0..100_000)
+            .filter(|_| a.sample_index(&mut rng) == 1)
+            .count();
         assert!((ones as f64 / 100_000.0 - 0.75).abs() < 0.01);
     }
 
@@ -159,12 +173,12 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(5);
         let mut seen = [false; 3];
         for _ in 0..1_000 {
-            match d.sample(&mut rng) {
-                x if x == 1.5 => seen[0] = true,
-                x if x == 2.5 => seen[1] = true,
-                x if x == 3.5 => seen[2] = true,
-                other => panic!("unexpected value {other}"),
-            }
+            let x = d.sample(&mut rng);
+            let slot = [1.5, 2.5, 3.5]
+                .iter()
+                .position(|&v| v == x)
+                .unwrap_or_else(|| panic!("unexpected value {x}"));
+            seen[slot] = true;
         }
         assert_eq!(seen, [true; 3]);
     }

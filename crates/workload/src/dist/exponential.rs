@@ -17,13 +17,19 @@ pub struct Exponential {
 impl Exponential {
     /// Create from rate `λ > 0`.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "exponential rate must be positive, got {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be positive, got {rate}"
+        );
         Exponential { rate }
     }
 
     /// Create from the mean `1/λ`.
     pub fn with_mean(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
         Exponential { rate: 1.0 / mean }
     }
 
@@ -54,7 +60,10 @@ impl HyperExponential {
     /// Create from `(probability, mean)` pairs. Probabilities must be
     /// positive and sum to 1 (±1e-9).
     pub fn new(phases: &[(f64, f64)]) -> Self {
-        assert!(!phases.is_empty(), "hyper-exponential needs at least one phase");
+        assert!(
+            !phases.is_empty(),
+            "hyper-exponential needs at least one phase"
+        );
         let total: f64 = phases.iter().map(|&(p, _)| p).sum();
         assert!(
             (total - 1.0).abs() < 1e-9,
@@ -68,7 +77,10 @@ impl HyperExponential {
             cumulative.push(acc);
         }
         *cumulative.last_mut().expect("non-empty") = 1.0; // kill rounding residue
-        let phases = phases.iter().map(|&(_, mean)| Exponential::with_mean(mean)).collect();
+        let phases = phases
+            .iter()
+            .map(|&(_, mean)| Exponential::with_mean(mean))
+            .collect();
         HyperExponential { cumulative, phases }
     }
 
@@ -107,7 +119,10 @@ mod tests {
         let (mean, var) = moments(&d, 1, 200_000);
         assert!((mean - 42.0).abs() / 42.0 < 0.02, "mean {mean}");
         // Var = mean^2
-        assert!((var - 42.0 * 42.0).abs() / (42.0 * 42.0) < 0.05, "var {var}");
+        assert!(
+            (var - 42.0 * 42.0).abs() / (42.0 * 42.0) < 0.05,
+            "var {var}"
+        );
     }
 
     #[test]
@@ -129,7 +144,10 @@ mod tests {
 
     #[test]
     fn rate_and_mean_constructors_agree() {
-        assert_eq!(Exponential::new(0.5).mean(), Exponential::with_mean(2.0).mean());
+        assert_eq!(
+            Exponential::new(0.5).mean(),
+            Exponential::with_mean(2.0).mean()
+        );
     }
 
     #[test]
@@ -144,7 +162,10 @@ mod tests {
         let expected = 0.7 * 10.0 + 0.3 * 1000.0;
         assert!((d.mean() - expected).abs() < 1e-9);
         let (mean, _) = moments(&d, 4, 400_000);
-        assert!((mean - expected).abs() / expected < 0.03, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() / expected < 0.03,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]

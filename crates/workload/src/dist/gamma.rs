@@ -13,8 +13,14 @@ pub struct Gamma {
 impl Gamma {
     /// Create from shape and scale.
     pub fn new(shape: f64, scale: f64) -> Self {
-        assert!(shape.is_finite() && shape > 0.0, "gamma shape must be positive, got {shape}");
-        assert!(scale.is_finite() && scale > 0.0, "gamma scale must be positive, got {scale}");
+        assert!(
+            shape.is_finite() && shape > 0.0,
+            "gamma shape must be positive, got {shape}"
+        );
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "gamma scale must be positive, got {scale}"
+        );
         Gamma { shape, scale }
     }
 
@@ -78,7 +84,10 @@ pub struct HyperGamma {
 impl HyperGamma {
     /// Create from two gammas and the first-component probability.
     pub fn new(first: Gamma, second: Gamma, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "mixture probability must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "mixture probability must be in [0,1], got {p}"
+        );
         HyperGamma { first, second, p }
     }
 
@@ -170,7 +179,10 @@ mod tests {
             assert!(h.sample_with_p(1.0, &mut rng) < 100.0);
         }
         // p = 0: all draws from the big component (its mean is 2000).
-        let mean0: f64 = (0..500).map(|_| h.sample_with_p(0.0, &mut rng)).sum::<f64>() / 500.0;
+        let mean0: f64 = (0..500)
+            .map(|_| h.sample_with_p(0.0, &mut rng))
+            .sum::<f64>()
+            / 500.0;
         assert!(mean0 > 500.0, "mean {mean0}");
     }
 

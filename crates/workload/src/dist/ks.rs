@@ -19,7 +19,10 @@ pub fn ks_statistic(samples: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
     let mut d: f64 = 0.0;
     for (i, &x) in sorted.iter().enumerate() {
         let f = cdf(x);
-        assert!((0.0..=1.0).contains(&f), "reference CDF out of range at {x}: {f}");
+        assert!(
+            (0.0..=1.0).contains(&f),
+            "reference CDF out of range at {x}: {f}"
+        );
         // Compare against the ECDF just before and just after the step.
         let lo = i as f64 / n;
         let hi = (i as f64 + 1.0) / n;
@@ -83,8 +86,7 @@ mod tests {
     #[test]
     fn exponential_passes_against_its_own_cdf() {
         let d = Exponential::with_mean(50.0);
-        let (stat, crit, pass) =
-            ks_test(&d, |x| 1.0 - (-x / 50.0).exp().min(1.0), 5_000, 1, 0.01);
+        let (stat, crit, pass) = ks_test(&d, |x| 1.0 - (-x / 50.0).exp().min(1.0), 5_000, 1, 0.01);
         assert!(pass, "KS {stat} >= critical {crit}");
     }
 

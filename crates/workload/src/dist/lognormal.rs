@@ -32,7 +32,10 @@ impl LogNormal {
     /// spread `sigma` — often the more intuitive parameterization:
     /// the median is `exp(mu)`.
     pub fn from_median(median: f64, sigma: f64) -> Self {
-        assert!(median > 0.0, "lognormal median must be positive, got {median}");
+        assert!(
+            median > 0.0,
+            "lognormal median must be positive, got {median}"
+        );
         LogNormal::new(median.ln(), sigma)
     }
 
@@ -62,7 +65,11 @@ mod tests {
     fn mean_matches_theory() {
         let d = LogNormal::new(3.0, 0.8);
         let (mean, _) = moments(&d, 1, 400_000);
-        assert!((mean - d.mean()).abs() / d.mean() < 0.03, "mean {mean} vs {}", d.mean());
+        assert!(
+            (mean - d.mean()).abs() / d.mean() < 0.03,
+            "mean {mean} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

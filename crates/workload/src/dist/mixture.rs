@@ -17,7 +17,10 @@ impl Mixture {
         assert!(!parts.is_empty(), "mixture needs at least one component");
         let weights: Vec<f64> = parts.iter().map(|(w, _)| *w).collect();
         let components = parts.into_iter().map(|(_, c)| c).collect();
-        Mixture { selector: Categorical::new(&weights), components }
+        Mixture {
+            selector: Categorical::new(&weights),
+            components,
+        }
     }
 }
 
@@ -45,7 +48,10 @@ mod tests {
     #[test]
     fn mixture_mean_is_weighted_average() {
         let m = Mixture::new(vec![
-            (0.25, Box::new(Uniform::new(0.0, 2.0)) as Box<dyn Sample + Send + Sync>),
+            (
+                0.25,
+                Box::new(Uniform::new(0.0, 2.0)) as Box<dyn Sample + Send + Sync>,
+            ),
             (0.75, Box::new(Exponential::with_mean(9.0))),
         ]);
         // E = 0.25*1 + 0.75*9 = 7.
@@ -66,7 +72,10 @@ mod tests {
     #[test]
     fn zero_weight_component_never_sampled() {
         let m = Mixture::new(vec![
-            (0.0, Box::new(Uniform::new(100.0, 100.0)) as Box<dyn Sample + Send + Sync>),
+            (
+                0.0,
+                Box::new(Uniform::new(100.0, 100.0)) as Box<dyn Sample + Send + Sync>,
+            ),
             (1.0, Box::new(Uniform::new(1.0, 1.0))),
         ]);
         let mut rng = SimRng::seed_from_u64(3);

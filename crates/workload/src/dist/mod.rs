@@ -11,8 +11,8 @@
 
 mod discrete;
 mod exponential;
-pub mod ks;
 mod gamma;
+pub mod ks;
 mod lognormal;
 mod mixture;
 mod pareto;
@@ -23,8 +23,8 @@ mod zipf;
 
 pub use discrete::{Categorical, Empirical};
 pub use exponential::{Exponential, HyperExponential};
-pub use ks::{ks_critical, ks_statistic, ks_test};
 pub use gamma::{Gamma, HyperGamma};
+pub use ks::{ks_critical, ks_statistic, ks_test};
 pub use lognormal::LogNormal;
 pub use mixture::Mixture;
 pub use pareto::{BoundedPareto, Pareto};
@@ -150,7 +150,10 @@ mod tests {
         assert_eq!(Constant(-3.0).sample_clamped_int(&mut rng, 2, 10), 2);
         assert_eq!(Constant(1e300).sample_clamped_int(&mut rng, 2, 10), 10);
         assert_eq!(Constant(f64::NAN).sample_clamped_int(&mut rng, 2, 10), 2);
-        assert_eq!(Constant(f64::INFINITY).sample_clamped_int(&mut rng, 2, 10), 2);
+        assert_eq!(
+            Constant(f64::INFINITY).sample_clamped_int(&mut rng, 2, 10),
+            2
+        );
     }
 
     #[test]

@@ -14,8 +14,14 @@ pub struct Pareto {
 impl Pareto {
     /// Create from scale (minimum value) and tail index.
     pub fn new(xm: f64, alpha: f64) -> Self {
-        assert!(xm.is_finite() && xm > 0.0, "pareto scale must be positive, got {xm}");
-        assert!(alpha.is_finite() && alpha > 0.0, "pareto alpha must be positive, got {alpha}");
+        assert!(
+            xm.is_finite() && xm > 0.0,
+            "pareto scale must be positive, got {xm}"
+        );
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "pareto alpha must be positive, got {alpha}"
+        );
         Pareto { xm, alpha }
     }
 
@@ -47,9 +53,18 @@ pub struct BoundedPareto {
 impl BoundedPareto {
     /// Create from bounds `0 < lo < hi` and tail index `α > 0`.
     pub fn new(lo: f64, hi: f64, alpha: f64) -> Self {
-        assert!(lo.is_finite() && lo > 0.0, "bounded-pareto lo must be positive, got {lo}");
-        assert!(hi.is_finite() && hi > lo, "bounded-pareto hi must exceed lo, got [{lo}, {hi}]");
-        assert!(alpha.is_finite() && alpha > 0.0, "bounded-pareto alpha must be positive");
+        assert!(
+            lo.is_finite() && lo > 0.0,
+            "bounded-pareto lo must be positive, got {lo}"
+        );
+        assert!(
+            hi.is_finite() && hi > lo,
+            "bounded-pareto hi must exceed lo, got [{lo}, {hi}]"
+        );
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "bounded-pareto alpha must be positive"
+        );
         BoundedPareto { lo, hi, alpha }
     }
 }

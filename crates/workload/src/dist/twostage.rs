@@ -24,9 +24,20 @@ impl TwoStageUniform {
             low.is_finite() && med.is_finite() && high.is_finite(),
             "two-stage uniform bounds must be finite"
         );
-        assert!(low <= med && med <= high, "need low <= med <= high, got {low}/{med}/{high}");
-        assert!((0.0..=1.0).contains(&prob), "stage probability must be in [0,1], got {prob}");
-        TwoStageUniform { low, med, high, prob }
+        assert!(
+            low <= med && med <= high,
+            "need low <= med <= high, got {low}/{med}/{high}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "stage probability must be in [0,1], got {prob}"
+        );
+        TwoStageUniform {
+            low,
+            med,
+            high,
+            prob,
+        }
     }
 
     /// Theoretical mean.

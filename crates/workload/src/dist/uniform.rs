@@ -14,7 +14,10 @@ impl Uniform {
     /// Create a uniform sampler. Panics if the bounds are not finite and
     /// ordered (`lo <= hi`; equal bounds give a point mass).
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad uniform bounds [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad uniform bounds [{lo}, {hi})"
+        );
         Uniform { lo, hi }
     }
 

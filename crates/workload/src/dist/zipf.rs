@@ -18,7 +18,10 @@ impl Zipf {
     /// Create a Zipf sampler over `1..=n` with exponent `s`.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n >= 1, "zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be >= 0, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf exponent must be >= 0, got {s}"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {

@@ -53,7 +53,10 @@ impl FlurrySpec {
         assert!(self.count > 0, "flurry needs at least one job");
         assert!(self.width > 0, "flurry jobs need processors");
         assert!(!self.runtime.is_zero(), "flurry jobs need positive runtime");
-        assert!(self.estimate >= self.runtime, "flurry estimate below runtime");
+        assert!(
+            self.estimate >= self.runtime,
+            "flurry estimate below runtime"
+        );
         assert!(
             self.mean_gap_secs > 0.0 && self.mean_gap_secs.is_finite(),
             "flurry mean gap must be positive"
@@ -76,9 +79,8 @@ pub fn inject_flurry(trace: &Trace, spec: &FlurrySpec, seed: u64) -> (Trace, u32
     let mut t = spec.start;
     for _ in 0..spec.count {
         let jitter = 1.0 + spec.runtime_jitter * (2.0 * rng.f64() - 1.0);
-        let runtime = SimSpan::new(
-            (spec.runtime.as_secs() as f64 * jitter).round().max(1.0) as u64,
-        );
+        let runtime =
+            SimSpan::new((spec.runtime.as_secs() as f64 * jitter).round().max(1.0) as u64);
         jobs.push(Job {
             id: JobId(0),
             arrival: t,
@@ -87,10 +89,10 @@ pub fn inject_flurry(trace: &Trace, spec: &FlurrySpec, seed: u64) -> (Trace, u32
             width: spec.width,
         });
         let gap = (-rng.f64_open().ln() * spec.mean_gap_secs).ceil().max(1.0) as u64;
-        t = t + SimSpan::new(gap);
+        t += SimSpan::new(gap);
     }
-    let combined = Trace::new(trace.name().to_string(), trace.nodes(), jobs)
-        .expect("flurry jobs are valid");
+    let combined =
+        Trace::new(trace.name().to_string(), trace.nodes(), jobs).expect("flurry jobs are valid");
     (combined, spec.count)
 }
 
@@ -131,7 +133,10 @@ mod tests {
         // Mean gap ~10 s: the whole burst spans far less than the base
         // trace's 1000 s inter-arrival scale.
         let last = flurry_jobs.iter().map(|j| j.arrival).max().unwrap();
-        assert!(last < SimTime::new(5_000 + 100 * 60), "burst too spread: {last}");
+        assert!(
+            last < SimTime::new(5_000 + 100 * 60),
+            "burst too spread: {last}"
+        );
     }
 
     #[test]
@@ -160,7 +165,10 @@ mod tests {
         let base = spec.runtime.as_secs() as f64;
         for j in t.jobs().iter().filter(|j| j.width == 1) {
             let r = j.runtime.as_secs() as f64;
-            assert!(r >= base * 0.79 && r <= base * 1.21, "runtime {r} out of jitter band");
+            assert!(
+                r >= base * 0.79 && r <= base * 1.21,
+                "runtime {r} out of jitter band"
+            );
             assert!(j.estimate >= j.runtime);
         }
     }
@@ -178,7 +186,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "wider than the machine")]
     fn rejects_overwide_flurry() {
-        let spec = FlurrySpec { width: 64, ..FlurrySpec::short_narrow(SimTime::ZERO, 5) };
+        let spec = FlurrySpec {
+            width: 64,
+            ..FlurrySpec::short_narrow(SimTime::ZERO, 5)
+        };
         inject_flurry(&base_trace(), &spec, 1);
     }
 }

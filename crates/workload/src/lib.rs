@@ -38,8 +38,8 @@ pub mod trace;
 pub use category::{Category, CategoryCriteria, EstimateQuality};
 pub use estimate::{EstimateModel, UserModelParams};
 pub use flurry::{inject_flurry, FlurrySpec};
-pub use shake::shake;
 pub use job::{Job, JobDefect};
 pub use models::{LublinModel, ModelSpec, WorkloadModel};
+pub use shake::shake;
 pub use stats::{arrival_heatmap, pearson, MarginalSummary, TraceStats};
 pub use trace::{Trace, TraceError};

@@ -21,7 +21,10 @@ pub fn scale_interarrival(trace: &Trace, factor: f64) -> Trace {
     let jobs: Vec<Job> = trace
         .jobs()
         .iter()
-        .map(|j| Job { arrival: first + j.arrival.since(first).scale(factor), ..*j })
+        .map(|j| Job {
+            arrival: first + j.arrival.since(first).scale(factor),
+            ..*j
+        })
         .collect();
     Trace::new(trace.name().to_string(), trace.nodes(), jobs)
         .expect("arrival scaling preserves validity")
@@ -111,7 +114,11 @@ mod tests {
         let t = trace_with_arrivals(&[0, 1000]);
         assert!((t.offered_load() - 0.1).abs() < 1e-12);
         let hot = scale_to_load(&t, 0.8);
-        assert!((hot.offered_load() - 0.8).abs() < 0.01, "rho {}", hot.offered_load());
+        assert!(
+            (hot.offered_load() - 0.8).abs() < 0.01,
+            "rho {}",
+            hot.offered_load()
+        );
     }
 
     #[test]

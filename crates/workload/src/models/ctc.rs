@@ -61,7 +61,10 @@ mod tests {
         let trace = model.generate(30_000, 42);
         let dist = model.criteria.distribution(&trace);
         for (got, want) in dist.iter().zip(&CTC_CATEGORY_MIX) {
-            assert!((got - want).abs() < 0.015, "got {dist:?}, want {CTC_CATEGORY_MIX:?}");
+            assert!(
+                (got - want).abs() < 0.015,
+                "got {dist:?}, want {CTC_CATEGORY_MIX:?}"
+            );
         }
     }
 
@@ -69,7 +72,10 @@ mod tests {
     fn base_load_is_normal() {
         let trace = ctc().generate(20_000, 7);
         let rho = trace.offered_load();
-        assert!((0.3..0.95).contains(&rho), "base offered load {rho} out of band");
+        assert!(
+            (0.3..0.95).contains(&rho),
+            "base offered load {rho} out of band"
+        );
     }
 
     #[test]

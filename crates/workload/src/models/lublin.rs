@@ -75,7 +75,10 @@ impl LublinModel {
         if rng.chance(self.serial_prob) {
             return 1;
         }
-        let u = self.log_size.sample(rng).clamp(0.0, (self.nodes as f64).log2());
+        let u = self
+            .log_size
+            .sample(rng)
+            .clamp(0.0, (self.nodes as f64).log2());
         let width = if rng.chance(self.pow2_prob) {
             2f64.powf(u.round())
         } else {
@@ -104,7 +107,13 @@ impl LublinModel {
             t = arrivals.next_after(t, &mut arrival_rng);
             let width = self.sample_width(&mut shape_rng);
             let runtime = self.sample_runtime(width, &mut shape_rng);
-            jobs.push(Job { id: JobId(0), arrival: t, runtime, estimate: runtime, width });
+            jobs.push(Job {
+                id: JobId(0),
+                arrival: t,
+                runtime,
+                estimate: runtime,
+                width,
+            });
         }
         Trace::new("Lublin-syn", self.nodes, jobs).expect("generated jobs are valid")
     }
@@ -130,7 +139,10 @@ mod tests {
     fn powers_of_two_dominate_parallel_widths() {
         let trace = model().generate(20_000, 2);
         let parallel: Vec<&Job> = trace.jobs().iter().filter(|j| j.width > 1).collect();
-        let pow2 = parallel.iter().filter(|j| j.width.is_power_of_two()).count();
+        let pow2 = parallel
+            .iter()
+            .filter(|j| j.width.is_power_of_two())
+            .count();
         let frac = pow2 as f64 / parallel.len() as f64;
         assert!(frac > 0.7, "pow2 fraction {frac}");
     }

@@ -23,14 +23,14 @@ pub mod sites;
 
 pub use ctc::ctc;
 pub use lublin::LublinModel;
-pub use sites::{blue_horizon, by_name, kth, lanl_cm5, SITE_NAMES};
 pub use sdsc::sdsc;
+pub use sites::{blue_horizon, by_name, kth, lanl_cm5, SITE_NAMES};
 
+use crate::arrival::{ArrivalProcess, DiurnalPoisson};
 use crate::category::{Category, CategoryCriteria};
 use crate::dist::{Categorical, LogNormal, Sample};
 use crate::job::Job;
 use crate::trace::Trace;
-use crate::arrival::{ArrivalProcess, DiurnalPoisson};
 use simcore::{JobId, SimRng, SimSpan, SimTime};
 
 /// A discrete width sampler over an inclusive range with power-of-two bias.
@@ -47,7 +47,10 @@ impl WidthSampler {
     /// 1). `lo = hi` gives a point mass.
     pub fn new(lo: u32, hi: u32, decay: f64, pow2_boost: f64) -> Self {
         assert!(lo >= 1 && lo <= hi, "bad width range [{lo}, {hi}]");
-        assert!(decay >= 0.0 && pow2_boost >= 1.0, "bad width-bias parameters");
+        assert!(
+            decay >= 0.0 && pow2_boost >= 1.0,
+            "bad width-bias parameters"
+        );
         let widths: Vec<u32> = (lo..=hi).collect();
         let weights: Vec<f64> = widths
             .iter()
@@ -62,7 +65,10 @@ impl WidthSampler {
                 }
             })
             .collect();
-        WidthSampler { dist: Categorical::new(&weights), widths }
+        WidthSampler {
+            dist: Categorical::new(&weights),
+            widths,
+        }
     }
 
     /// Draw a width.
@@ -134,7 +140,10 @@ impl WorkloadModel {
             spec.nodes > criteria.narrow_max,
             "machine must be wider than the narrow threshold"
         );
-        assert!(spec.max_runtime > criteria.short_max, "wall-clock cap must allow Long jobs");
+        assert!(
+            spec.max_runtime > criteria.short_max,
+            "wall-clock cap must allow Long jobs"
+        );
         WorkloadModel {
             name: spec.name,
             nodes: spec.nodes,
@@ -194,7 +203,13 @@ impl WorkloadModel {
             t = arrivals.next_after(t, &mut arrival_rng);
             let cat = Category::ALL[self.category_dist.sample_index(&mut shape_rng)];
             let (runtime, width) = self.sample_shape(cat, &mut shape_rng);
-            jobs.push(Job { id: JobId(0), arrival: t, runtime, estimate: runtime, width });
+            jobs.push(Job {
+                id: JobId(0),
+                arrival: t,
+                runtime,
+                estimate: runtime,
+                width,
+            });
         }
         Trace::new(self.name, self.nodes, jobs).expect("generated jobs are valid")
     }
@@ -243,7 +258,11 @@ mod tests {
         }
         // 7 of 64 widths are powers of two (11 %); the boost should push
         // their share well past half.
-        assert!(pow2 as f64 / n as f64 > 0.5, "pow2 share {}", pow2 as f64 / n as f64);
+        assert!(
+            pow2 as f64 / n as f64 > 0.5,
+            "pow2 share {}",
+            pow2 as f64 / n as f64
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ mod tests {
         let trace = model.generate(30_000, 42);
         let dist = model.criteria.distribution(&trace);
         for (got, want) in dist.iter().zip(&SDSC_CATEGORY_MIX) {
-            assert!((got - want).abs() < 0.015, "got {dist:?}, want {SDSC_CATEGORY_MIX:?}");
+            assert!(
+                (got - want).abs() < 0.015,
+                "got {dist:?}, want {SDSC_CATEGORY_MIX:?}"
+            );
         }
     }
 
@@ -63,7 +66,10 @@ mod tests {
     fn base_load_is_normal() {
         let trace = sdsc().generate(20_000, 7);
         let rho = trace.offered_load();
-        assert!((0.3..0.95).contains(&rho), "base offered load {rho} out of band");
+        assert!(
+            (0.3..0.95).contains(&rho),
+            "base offered load {rho} out of band"
+        );
     }
 
     #[test]

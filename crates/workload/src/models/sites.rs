@@ -112,7 +112,11 @@ mod tests {
             let trace = model.generate(20_000, 42);
             let dist = model.criteria.distribution(&trace);
             for (got, want) in dist.iter().zip(&model.category_mix) {
-                assert!((got - want).abs() < 0.02, "{name}: {dist:?} vs {:?}", model.category_mix);
+                assert!(
+                    (got - want).abs() < 0.02,
+                    "{name}: {dist:?} vs {:?}",
+                    model.category_mix
+                );
             }
         }
     }
@@ -121,14 +125,20 @@ mod tests {
     fn cm5_is_wide_dominated() {
         let trace = lanl_cm5().generate(5_000, 1);
         let wide = trace.jobs().iter().filter(|j| j.width > 8).count();
-        assert!(wide as f64 / trace.len() as f64 > 0.8, "CM-5 should be mostly wide");
+        assert!(
+            wide as f64 / trace.len() as f64 > 0.8,
+            "CM-5 should be mostly wide"
+        );
     }
 
     #[test]
     fn kth_is_narrow_dominated() {
         let trace = kth().generate(5_000, 1);
         let narrow = trace.jobs().iter().filter(|j| j.width <= 8).count();
-        assert!(narrow as f64 / trace.len() as f64 > 0.75, "KTH should be mostly narrow");
+        assert!(
+            narrow as f64 / trace.len() as f64 > 0.75,
+            "KTH should be mostly narrow"
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub fn shake(trace: &Trace, magnitude: SimSpan, seed: u64) -> Trace {
             // Uniform integer offset in [-m, +m].
             let offset = rng.range_inclusive(0, 2 * m) as i128 - m as i128;
             let arrival = (j.arrival.as_secs() as i128 + offset).max(0) as u64;
-            Job { arrival: simcore::SimTime::new(arrival), ..*j }
+            Job {
+                arrival: simcore::SimTime::new(arrival),
+                ..*j
+            }
         })
         .collect();
     Trace::new(trace.name().to_string(), trace.nodes(), jobs)
@@ -88,8 +91,14 @@ mod tests {
     #[test]
     fn shaking_is_deterministic_and_seed_sensitive() {
         let t = base_trace();
-        assert_eq!(shake(&t, SimSpan::new(30), 5).jobs(), shake(&t, SimSpan::new(30), 5).jobs());
-        assert_ne!(shake(&t, SimSpan::new(30), 5).jobs(), shake(&t, SimSpan::new(30), 6).jobs());
+        assert_eq!(
+            shake(&t, SimSpan::new(30), 5).jobs(),
+            shake(&t, SimSpan::new(30), 5).jobs()
+        );
+        assert_ne!(
+            shake(&t, SimSpan::new(30), 5).jobs(),
+            shake(&t, SimSpan::new(30), 6).jobs()
+        );
     }
 
     #[test]

@@ -115,8 +115,11 @@ impl TraceStats {
     /// Characterize a trace with the default category criteria.
     pub fn of(trace: &Trace) -> Self {
         let criteria = CategoryCriteria::default();
-        let runtimes: Vec<f64> =
-            trace.jobs().iter().map(|j| j.runtime.as_secs_f64()).collect();
+        let runtimes: Vec<f64> = trace
+            .jobs()
+            .iter()
+            .map(|j| j.runtime.as_secs_f64())
+            .collect();
         let widths: Vec<f64> = trace.jobs().iter().map(|j| j.width as f64).collect();
         let gaps: Vec<f64> = trace
             .jobs()
@@ -124,8 +127,12 @@ impl TraceStats {
             .map(|w| w[1].arrival.since(w[0].arrival).as_secs_f64())
             .collect();
         let n = trace.len().max(1) as f64;
-        let pow2 =
-            trace.jobs().iter().filter(|j| j.width.is_power_of_two()).count() as f64 / n;
+        let pow2 = trace
+            .jobs()
+            .iter()
+            .filter(|j| j.width.is_power_of_two())
+            .count() as f64
+            / n;
         let serial = trace.jobs().iter().filter(|j| j.width == 1).count() as f64 / n;
         let log_rt: Vec<f64> = runtimes.iter().map(|&r| r.max(1.0).ln()).collect();
         let log_w: Vec<f64> = widths.iter().map(|&w| w.max(1.0).ln()).collect();
@@ -207,7 +214,11 @@ mod tests {
         let t = Trace::new(
             "t",
             16,
-            vec![job(0, 100, 100, 1), job(10, 200, 200, 2), job(30, 300, 300, 4)],
+            vec![
+                job(0, 100, 100, 1),
+                job(10, 200, 200, 2),
+                job(30, 300, 300, 4),
+            ],
         )
         .unwrap();
         let s = TraceStats::of(&t);
@@ -227,11 +238,16 @@ mod tests {
     #[test]
     fn correlation_detects_monotone_relation() {
         // Runtime grows with width: strong positive correlation.
-        let jobs: Vec<Job> =
-            (1..=32).map(|w| job(w as u64, 100 * w as u64, 100 * w as u64, w)).collect();
+        let jobs: Vec<Job> = (1..=32)
+            .map(|w| job(w as u64, 100 * w as u64, 100 * w as u64, w))
+            .collect();
         let t = Trace::new("t", 32, jobs).unwrap();
         let s = TraceStats::of(&t);
-        assert!(s.runtime_width_correlation > 0.99, "corr {}", s.runtime_width_correlation);
+        assert!(
+            s.runtime_width_correlation > 0.99,
+            "corr {}",
+            s.runtime_width_correlation
+        );
     }
 
     #[test]

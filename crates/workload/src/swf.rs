@@ -95,7 +95,10 @@ impl std::fmt::Display for SwfError {
                 write!(f, "SWF line {line}: {reason}")
             }
             SwfError::UnknownMachineSize => {
-                write!(f, "no MaxProcs/MaxNodes header; pass an explicit machine size")
+                write!(
+                    f,
+                    "no MaxProcs/MaxNodes header; pass an explicit machine size"
+                )
             }
             SwfError::Trace(e) => write!(f, "trace validation: {e}"),
         }
@@ -120,7 +123,10 @@ fn parse_field(s: &str, line: usize) -> Result<i64, SwfError> {
             return Ok(v as i64);
         }
     }
-    Err(SwfError::MalformedLine { line, reason: format!("unparseable field {s:?}") })
+    Err(SwfError::MalformedLine {
+        line,
+        reason: format!("unparseable field {s:?}"),
+    })
 }
 
 fn opt(v: i64) -> Option<i64> {
@@ -132,9 +138,7 @@ fn opt(v: i64) -> Option<i64> {
 }
 
 /// Parse raw SWF text into records and header pairs.
-pub fn parse_records(
-    input: &str,
-) -> Result<(Vec<SwfRecord>, BTreeMap<String, String>), SwfError> {
+pub fn parse_records(input: &str) -> Result<(Vec<SwfRecord>, BTreeMap<String, String>), SwfError> {
     let mut header = BTreeMap::new();
     let mut records = Vec::new();
     for (i, raw) in input.lines().enumerate() {
@@ -243,7 +247,11 @@ pub fn parse_trace(
         });
     }
     let trace = Trace::new(name, nodes, jobs)?;
-    Ok(SwfParse { trace, header, dropped })
+    Ok(SwfParse {
+        trace,
+        header,
+        dropped,
+    })
 }
 
 /// Serialize a trace to SWF text (round-trippable through [`parse_trace`]).
@@ -315,7 +323,10 @@ mod tests {
     #[test]
     fn missing_machine_size_is_an_error() {
         let input = "1 0 5 100 4 -1 -1 4 200 -1 1 1 1 1 1 1 -1 -1\n";
-        assert_eq!(parse_trace(input, "t", None), Err(SwfError::UnknownMachineSize));
+        assert_eq!(
+            parse_trace(input, "t", None),
+            Err(SwfError::UnknownMachineSize)
+        );
         assert!(parse_trace(input, "t", Some(8)).is_ok());
     }
 
@@ -354,7 +365,10 @@ mod tests {
     #[test]
     fn garbage_field_is_an_error() {
         let input = "; MaxProcs: 8\n1 0 5 abc 4 -1 -1 4 200 -1 1 1 1 1 1 1 -1 -1\n";
-        assert!(matches!(parse_trace(input, "t", None), Err(SwfError::MalformedLine { .. })));
+        assert!(matches!(
+            parse_trace(input, "t", None),
+            Err(SwfError::MalformedLine { .. })
+        ));
     }
 
     #[test]

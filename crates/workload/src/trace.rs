@@ -45,7 +45,11 @@ impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::BadJob { index, defect } => write!(f, "job at index {index}: {defect}"),
-            TraceError::TooWide { index, width, nodes } => {
+            TraceError::TooWide {
+                index,
+                width,
+                nodes,
+            } => {
                 write!(f, "job at index {index} requests {width} > {nodes} nodes")
             }
             TraceError::NoNodes => write!(f, "machine has zero nodes"),
@@ -67,9 +71,14 @@ impl Trace {
             return Err(TraceError::NoNodes);
         }
         for (index, job) in jobs.iter().enumerate() {
-            job.validate().map_err(|defect| TraceError::BadJob { index, defect })?;
+            job.validate()
+                .map_err(|defect| TraceError::BadJob { index, defect })?;
             if job.width > nodes {
-                return Err(TraceError::TooWide { index, width: job.width, nodes });
+                return Err(TraceError::TooWide {
+                    index,
+                    width: job.width,
+                    nodes,
+                });
             }
         }
         // Stable sort keeps submission order among simultaneous arrivals.
@@ -77,7 +86,11 @@ impl Trace {
         for (i, job) in jobs.iter_mut().enumerate() {
             job.id = JobId(i as u32);
         }
-        Ok(Trace { name: name.into(), nodes, jobs })
+        Ok(Trace {
+            name: name.into(),
+            nodes,
+            jobs,
+        })
     }
 
     /// Build a trace, silently dropping defective records (the standard
@@ -158,7 +171,11 @@ impl Trace {
     pub fn offered_load(&self) -> f64 {
         let span = self.arrival_span().as_secs();
         if span == 0 {
-            return if self.total_area() == 0 { 0.0 } else { f64::INFINITY };
+            return if self.total_area() == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.total_area() as f64 / (self.nodes as f64 * span as f64)
     }
@@ -168,14 +185,14 @@ impl Trace {
     /// Panics (in the returned `Trace::new` error) if `f` produces an
     /// estimate below the runtime; estimate models must respect
     /// `estimate ≥ runtime`.
-    pub fn map_estimates(
-        &self,
-        mut f: impl FnMut(&Job) -> SimSpan,
-    ) -> Result<Trace, TraceError> {
+    pub fn map_estimates(&self, mut f: impl FnMut(&Job) -> SimSpan) -> Result<Trace, TraceError> {
         let jobs = self
             .jobs
             .iter()
-            .map(|j| Job { estimate: f(j), ..*j })
+            .map(|j| Job {
+                estimate: f(j),
+                ..*j
+            })
             .collect();
         Trace::new(self.name.clone(), self.nodes, jobs)
     }
@@ -232,9 +249,16 @@ mod tests {
         ));
         assert!(matches!(
             Trace::new("t", 8, vec![raw(0, 1, 1, 9)]),
-            Err(TraceError::TooWide { width: 9, nodes: 8, .. })
+            Err(TraceError::TooWide {
+                width: 9,
+                nodes: 8,
+                ..
+            })
         ));
-        assert!(matches!(Trace::new("t", 0, vec![]), Err(TraceError::NoNodes)));
+        assert!(matches!(
+            Trace::new("t", 0, vec![]),
+            Err(TraceError::NoNodes)
+        ));
     }
 
     #[test]
@@ -242,7 +266,12 @@ mod tests {
         let (t, dropped) = Trace::new_lossy(
             "t",
             8,
-            vec![raw(0, 1, 1, 1), raw(1, 0, 1, 1), raw(2, 1, 1, 20), raw(3, 2, 2, 2)],
+            vec![
+                raw(0, 1, 1, 1),
+                raw(1, 0, 1, 1),
+                raw(2, 1, 1, 20),
+                raw(3, 2, 2, 2),
+            ],
         )
         .unwrap();
         assert_eq!(t.len(), 2);
@@ -284,8 +313,12 @@ mod tests {
 
     #[test]
     fn truncated_keeps_prefix() {
-        let t =
-            Trace::new("t", 8, vec![raw(0, 1, 1, 1), raw(1, 1, 1, 1), raw(2, 1, 1, 1)]).unwrap();
+        let t = Trace::new(
+            "t",
+            8,
+            vec![raw(0, 1, 1, 1), raw(1, 1, 1, 1), raw(2, 1, 1, 1)],
+        )
+        .unwrap();
         let p = t.truncated(2);
         assert_eq!(p.len(), 2);
         assert_eq!(p.last_arrival(), SimTime::new(1));

@@ -25,7 +25,11 @@ fn main() {
         SchedulerKind::Selective { threshold: 2.0 },
     ] {
         for policy in Policy::PAPER {
-            configs.push(RunConfig { scenario, kind, policy });
+            configs.push(RunConfig {
+                scenario,
+                kind,
+                policy,
+            });
         }
     }
 

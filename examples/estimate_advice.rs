@@ -52,7 +52,11 @@ fn main() {
             ]);
         }
         println!("{}", table.render());
-        println!("=> best factor for the {site}: R = {} (slowdown {:.1})\n", best.0, fnum_f(best.1));
+        println!(
+            "=> best factor for the {site}: R = {} (slowdown {:.1})\n",
+            best.0,
+            fnum_f(best.1)
+        );
     }
     println!(
         "The paper's caveat (Section 5.2) applies: uniform inflation is not\n\

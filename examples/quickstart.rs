@@ -10,7 +10,10 @@ use backfill_sim::prelude::*;
 fn main() {
     // 1. A CTC-like synthetic workload: 5 000 jobs, deterministic from the
     //    seed, rescaled to the paper's high-load condition (rho = 0.9).
-    let scenario = Scenario::high_load(TraceSource::Ctc { jobs: 5_000, seed: 42 });
+    let scenario = Scenario::high_load(TraceSource::Ctc {
+        jobs: 5_000,
+        seed: 42,
+    });
     let trace = scenario.materialize();
     println!(
         "workload: {} jobs on {} processors, offered load {:.2}",
@@ -23,7 +26,9 @@ fn main() {
     let schedule = simulate(&trace, SchedulerKind::Easy, Policy::Fcfs);
 
     // 3. Audit the schedule independently of the scheduler's bookkeeping.
-    schedule.validate().expect("schedule violates machine capacity");
+    schedule
+        .validate()
+        .expect("schedule violates machine capacity");
 
     // 4. Report the paper's metrics, overall and per job category.
     let stats = schedule.stats(&CategoryCriteria::default());

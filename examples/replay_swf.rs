@@ -27,15 +27,22 @@ fn main() {
         }
         None => {
             println!("no SWF file given; demonstrating on a generated trace\n");
-            let trace = Scenario::high_load(TraceSource::Ctc { jobs: 3_000, seed: 9 })
-                .materialize();
+            let trace = Scenario::high_load(TraceSource::Ctc {
+                jobs: 3_000,
+                seed: 9,
+            })
+            .materialize();
             let text = swf::write_trace(&trace);
             let dir = std::env::temp_dir().join("backfill-sim-demo.swf");
             std::fs::write(&dir, &text).expect("write temp SWF");
             println!("wrote {} ({} bytes)", dir.display(), text.len());
             // Prove the round trip is lossless.
             let reparsed = swf::parse_trace(&text, trace.name(), None).expect("parse");
-            assert_eq!(reparsed.trace.jobs(), trace.jobs(), "SWF round trip lost data");
+            assert_eq!(
+                reparsed.trace.jobs(),
+                trace.jobs(),
+                "SWF round trip lost data"
+            );
             (text, dir.display().to_string())
         }
     };
@@ -60,12 +67,23 @@ fn main() {
 
     let criteria = CategoryCriteria::default();
     let dist = criteria.distribution(&parsed.trace);
-    println!("category mix: SN {:.1}%  SW {:.1}%  LN {:.1}%  LW {:.1}%\n",
-        dist[0] * 100.0, dist[1] * 100.0, dist[2] * 100.0, dist[3] * 100.0);
+    println!(
+        "category mix: SN {:.1}%  SW {:.1}%  LN {:.1}%  LW {:.1}%\n",
+        dist[0] * 100.0,
+        dist[1] * 100.0,
+        dist[2] * 100.0,
+        dist[3] * 100.0
+    );
 
     let mut table = Table::new(
         "Replay — conservative vs EASY on this log (its own estimates)",
-        &["scheme", "avg slowdown", "avg wait (min)", "worst TA (h)", "utilization"],
+        &[
+            "scheme",
+            "avg slowdown",
+            "avg wait (min)",
+            "worst TA (h)",
+            "utilization",
+        ],
     );
     for kind in [SchedulerKind::Conservative, SchedulerKind::Easy] {
         for policy in Policy::PAPER {

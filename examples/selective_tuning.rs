@@ -36,8 +36,16 @@ fn main() {
     };
 
     let mut configs: Vec<RunConfig> = vec![
-        RunConfig { scenario, kind: SchedulerKind::Conservative, policy: Policy::Fcfs },
-        RunConfig { scenario, kind: SchedulerKind::Easy, policy: Policy::Fcfs },
+        RunConfig {
+            scenario,
+            kind: SchedulerKind::Conservative,
+            policy: Policy::Fcfs,
+        },
+        RunConfig {
+            scenario,
+            kind: SchedulerKind::Easy,
+            policy: Policy::Fcfs,
+        },
     ];
     for &tau in &thresholds {
         configs.push(RunConfig {

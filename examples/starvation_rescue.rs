@@ -55,7 +55,11 @@ fn report(label: &str, schedule: &Schedule) {
         .iter()
         .find(|o| o.job.width == 8)
         .expect("the wide job");
-    let suspended = schedule.outcomes.iter().filter(|o| o.was_preempted()).count();
+    let suspended = schedule
+        .outcomes
+        .iter()
+        .filter(|o| o.was_preempted())
+        .count();
     println!(
         "== {label}: wide job waited {} (slowdown {:.1}); {} job(s) suspended",
         wide.wait(),
@@ -78,8 +82,18 @@ fn main() {
     );
     report("EASY + selective preemption (threshold 2)", &rescued);
 
-    let wide_easy = easy.outcomes.iter().find(|o| o.job.width == 8).unwrap().wait();
-    let wide_pre = rescued.outcomes.iter().find(|o| o.job.width == 8).unwrap().wait();
+    let wide_easy = easy
+        .outcomes
+        .iter()
+        .find(|o| o.job.width == 8)
+        .unwrap()
+        .wait();
+    let wide_pre = rescued
+        .outcomes
+        .iter()
+        .find(|o| o.job.width == 8)
+        .unwrap()
+        .wait();
     println!(
         "=> preemption cut the wide job's wait from {wide_easy} to {wide_pre};\n\
            the suspended hog finished later but still within bounds — the\n\

@@ -34,23 +34,39 @@ fn scenario_full_width_chain() {
     let trace = Trace::new(
         "chain",
         8,
-        vec![job(0, 0, 100, 1000, 8), job(1, 1, 500, 500, 8), job(2, 2, 100, 100, 8)],
+        vec![
+            job(0, 0, 100, 1000, 8),
+            job(1, 1, 500, 500, 8),
+            job(2, 2, 100, 100, 8),
+        ],
     )
     .unwrap();
 
     // Backfill: j1 hops into the hole (it can start *now*); j2's anchor at
     // 1500 is untouched — the gap [600, 1500) stays reserved-but-idle
     // because j1's completion at 600 is exact (no new hole, no compression).
-    assert_eq!(starts(&trace, SchedulerKind::Conservative), vec![0, 100, 1500]);
+    assert_eq!(
+        starts(&trace, SchedulerKind::Conservative),
+        vec![0, 100, 1500]
+    );
 
     // Reanchor: j1 hops in AND j2 is re-anchored to follow at 600.
-    assert_eq!(starts(&trace, SchedulerKind::ConservativeReanchor), vec![0, 100, 600]);
+    assert_eq!(
+        starts(&trace, SchedulerKind::ConservativeReanchor),
+        vec![0, 100, 600]
+    );
 
     // HeadStart behaves like Backfill here (the head itself could start).
-    assert_eq!(starts(&trace, SchedulerKind::ConservativeHeadStart), vec![0, 100, 1500]);
+    assert_eq!(
+        starts(&trace, SchedulerKind::ConservativeHeadStart),
+        vec![0, 100, 1500]
+    );
 
     // None: nobody moves; j1 waits for its original guarantee at 1000.
-    assert_eq!(starts(&trace, SchedulerKind::ConservativeNoCompress), vec![0, 1000, 1500]);
+    assert_eq!(
+        starts(&trace, SchedulerKind::ConservativeNoCompress),
+        vec![0, 1000, 1500]
+    );
 
     // EASY for reference: identical to Reanchor on this trace.
     assert_eq!(starts(&trace, SchedulerKind::Easy), vec![0, 100, 600]);
@@ -79,11 +95,17 @@ fn scenario_hole_fits_only_lower_priority() {
 
     // Backfill: j2 grabs the t=100 hole past the blocked j1; the full
     // machine frees at j0b's early completion (t=500), letting j1 start.
-    assert_eq!(starts(&trace, SchedulerKind::Conservative), vec![0, 0, 500, 100]);
+    assert_eq!(
+        starts(&trace, SchedulerKind::Conservative),
+        vec![0, 0, 500, 100]
+    );
 
     // Reanchor agrees here (j1's earliest anchor at t=100 is still 1000,
     // limited by j0b's estimate; j2 compresses to now).
-    assert_eq!(starts(&trace, SchedulerKind::ConservativeReanchor), vec![0, 0, 500, 100]);
+    assert_eq!(
+        starts(&trace, SchedulerKind::ConservativeReanchor),
+        vec![0, 0, 500, 100]
+    );
 
     // HeadStart: the blocked 8-wide head stops the scan — j2 may NOT jump
     // it, and keeps its 1500 guarantee. The head itself starts at t=500.
@@ -106,7 +128,11 @@ fn scenarios_collapse_with_accurate_estimates() {
     let trace = Trace::new(
         "exact",
         8,
-        vec![job(0, 0, 100, 100, 8), job(1, 1, 500, 500, 8), job(2, 2, 100, 100, 8)],
+        vec![
+            job(0, 0, 100, 100, 8),
+            job(1, 1, 500, 500, 8),
+            job(2, 2, 100, 100, 8),
+        ],
     )
     .unwrap();
     let base = starts(&trace, SchedulerKind::Conservative);

@@ -10,22 +10,37 @@ fn stats_for(
     kind: SchedulerKind,
     policy: Policy,
 ) -> ScheduleStats {
-    let scenario = Scenario { source, estimate, estimate_seed: 1, load: Some(0.9) };
+    let scenario = Scenario {
+        source,
+        estimate,
+        estimate_seed: 1,
+        load: Some(0.9),
+    };
     let schedule = simulate(&scenario.materialize(), kind, policy);
     schedule.validate().expect("audit");
     schedule.stats(&CategoryCriteria::default())
 }
 
-const CTC: TraceSource = TraceSource::Ctc { jobs: 4_000, seed: 42 };
-const SDSC: TraceSource = TraceSource::Sdsc { jobs: 4_000, seed: 42 };
+const CTC: TraceSource = TraceSource::Ctc {
+    jobs: 4_000,
+    seed: 42,
+};
+const SDSC: TraceSource = TraceSource::Sdsc {
+    jobs: 4_000,
+    seed: 42,
+};
 
 /// Figure 1: EASY with SJF or XFactor beats conservative on overall
 /// average slowdown, on both traces.
 #[test]
 fn fig1_easy_sjf_xf_beat_conservative() {
     for source in [CTC, SDSC] {
-        let cons =
-            stats_for(source, EstimateModel::Exact, SchedulerKind::Conservative, Policy::Fcfs);
+        let cons = stats_for(
+            source,
+            EstimateModel::Exact,
+            SchedulerKind::Conservative,
+            Policy::Fcfs,
+        );
         for policy in [Policy::Sjf, Policy::XFactor] {
             let easy = stats_for(source, EstimateModel::Exact, SchedulerKind::Easy, policy);
             assert!(
@@ -60,7 +75,12 @@ fn sec41_priority_equivalence() {
 #[test]
 fn fig2_long_narrow_benefits_from_easy() {
     for policy in Policy::PAPER {
-        let cons = stats_for(CTC, EstimateModel::Exact, SchedulerKind::Conservative, policy);
+        let cons = stats_for(
+            CTC,
+            EstimateModel::Exact,
+            SchedulerKind::Conservative,
+            policy,
+        );
         let easy = stats_for(CTC, EstimateModel::Exact, SchedulerKind::Easy, policy);
         let cons_ln = cons.category(Category::LN).avg_slowdown();
         let easy_ln = easy.category(Category::LN).avg_slowdown();
@@ -75,7 +95,12 @@ fn fig2_long_narrow_benefits_from_easy() {
 /// (reservations protect them from being overtaken).
 #[test]
 fn fig2_short_wide_prefers_conservative_under_fcfs() {
-    let cons = stats_for(CTC, EstimateModel::Exact, SchedulerKind::Conservative, Policy::Fcfs);
+    let cons = stats_for(
+        CTC,
+        EstimateModel::Exact,
+        SchedulerKind::Conservative,
+        Policy::Fcfs,
+    );
     let easy = stats_for(CTC, EstimateModel::Exact, SchedulerKind::Easy, Policy::Fcfs);
     let cons_sw = cons.category(Category::SW).avg_slowdown();
     let easy_sw = easy.category(Category::SW).avg_slowdown();
@@ -89,7 +114,12 @@ fn fig2_short_wide_prefers_conservative_under_fcfs() {
 /// (unbounded delay risk), with accurate estimates.
 #[test]
 fn table4_easy_worst_case_is_worse() {
-    let cons = stats_for(CTC, EstimateModel::Exact, SchedulerKind::Conservative, Policy::Sjf);
+    let cons = stats_for(
+        CTC,
+        EstimateModel::Exact,
+        SchedulerKind::Conservative,
+        Policy::Sjf,
+    );
     let easy = stats_for(CTC, EstimateModel::Exact, SchedulerKind::Easy, Policy::Sjf);
     assert!(
         easy.overall.worst_turnaround() > cons.overall.worst_turnaround(),
@@ -103,8 +133,12 @@ fn table4_easy_worst_case_is_worse() {
 /// slowdown markedly; EASY's response is much smaller in magnitude.
 #[test]
 fn tables56_overestimation_response() {
-    let r1_cons =
-        stats_for(CTC, EstimateModel::Exact, SchedulerKind::Conservative, Policy::Fcfs);
+    let r1_cons = stats_for(
+        CTC,
+        EstimateModel::Exact,
+        SchedulerKind::Conservative,
+        Policy::Fcfs,
+    );
     let r4_cons = stats_for(
         CTC,
         EstimateModel::systematic(4.0),
@@ -119,8 +153,12 @@ fn tables56_overestimation_response() {
     );
 
     let r1_easy = stats_for(CTC, EstimateModel::Exact, SchedulerKind::Easy, Policy::Fcfs);
-    let r4_easy =
-        stats_for(CTC, EstimateModel::systematic(4.0), SchedulerKind::Easy, Policy::Fcfs);
+    let r4_easy = stats_for(
+        CTC,
+        EstimateModel::systematic(4.0),
+        SchedulerKind::Easy,
+        Policy::Fcfs,
+    );
     let cons_gain = r1_cons.overall.avg_slowdown() - r4_cons.overall.avg_slowdown();
     let easy_gain = r1_easy.overall.avg_slowdown() - r4_easy.overall.avg_slowdown();
     assert!(
@@ -140,9 +178,18 @@ fn fig4_poor_jobs_suffer_under_easy() {
         round_values: true,
         max_estimate: Some(SimSpan::from_hours(18)),
     });
-    let scenario_user = Scenario { source: CTC, estimate: user, estimate_seed: 1, load: Some(0.9) };
-    let scenario_exact =
-        Scenario { source: CTC, estimate: EstimateModel::Exact, estimate_seed: 1, load: Some(0.9) };
+    let scenario_user = Scenario {
+        source: CTC,
+        estimate: user,
+        estimate_seed: 1,
+        load: Some(0.9),
+    };
+    let scenario_exact = Scenario {
+        source: CTC,
+        estimate: EstimateModel::Exact,
+        estimate_seed: 1,
+        load: Some(0.9),
+    };
     let trace_user = scenario_user.materialize();
     let trace_exact = scenario_exact.materialize();
     let poor: Vec<bool> = trace_user
@@ -172,7 +219,12 @@ fn fig4_poor_jobs_suffer_under_easy() {
 /// baseline at high load.
 #[test]
 fn backfilling_beats_no_backfill() {
-    let nobf = stats_for(CTC, EstimateModel::Exact, SchedulerKind::NoBackfill, Policy::Fcfs);
+    let nobf = stats_for(
+        CTC,
+        EstimateModel::Exact,
+        SchedulerKind::NoBackfill,
+        Policy::Fcfs,
+    );
     for kind in [SchedulerKind::Conservative, SchedulerKind::Easy] {
         let s = stats_for(CTC, EstimateModel::Exact, kind, Policy::Fcfs);
         assert!(
@@ -192,7 +244,12 @@ fn selective_interpolates() {
         round_values: true,
         max_estimate: Some(SimSpan::from_hours(18)),
     });
-    let sel = stats_for(CTC, user, SchedulerKind::Selective { threshold: 2.0 }, Policy::Fcfs);
+    let sel = stats_for(
+        CTC,
+        user,
+        SchedulerKind::Selective { threshold: 2.0 },
+        Policy::Fcfs,
+    );
     let easy = stats_for(CTC, user, SchedulerKind::Easy, Policy::Fcfs);
     // Average slowdown within striking distance of EASY (not 10x worse).
     assert!(sel.overall.avg_slowdown() < easy.overall.avg_slowdown() * 3.0);

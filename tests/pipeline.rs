@@ -21,9 +21,17 @@ fn swf_export_import_simulate_identical() {
 fn run_all_is_thread_count_invariant() {
     let scenario = Scenario::high_load(TraceSource::Sdsc { jobs: 400, seed: 5 });
     let mut configs = Vec::new();
-    for kind in [SchedulerKind::Conservative, SchedulerKind::Easy, SchedulerKind::NoBackfill] {
+    for kind in [
+        SchedulerKind::Conservative,
+        SchedulerKind::Easy,
+        SchedulerKind::NoBackfill,
+    ] {
         for policy in Policy::PAPER {
-            configs.push(RunConfig { scenario, kind, policy });
+            configs.push(RunConfig {
+                scenario,
+                kind,
+                policy,
+            });
         }
     }
     let one = run_all(&configs, NonZeroUsize::new(1));
@@ -37,7 +45,11 @@ fn run_all_is_thread_count_invariant() {
 
 #[test]
 fn every_schedule_passes_the_independent_audit() {
-    let trace = Scenario::high_load(TraceSource::Ctc { jobs: 1_000, seed: 11 }).materialize();
+    let trace = Scenario::high_load(TraceSource::Ctc {
+        jobs: 1_000,
+        seed: 11,
+    })
+    .materialize();
     for kind in [
         SchedulerKind::NoBackfill,
         SchedulerKind::Conservative,
@@ -49,7 +61,8 @@ fn every_schedule_passes_the_independent_audit() {
     ] {
         for policy in Policy::PAPER {
             let s = simulate(&trace, kind, policy);
-            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.scheduler));
+            s.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.scheduler));
         }
     }
 }
@@ -58,7 +71,10 @@ fn every_schedule_passes_the_independent_audit() {
 fn estimate_noise_still_audits_cleanly() {
     let user = EstimateModel::User(UserModelParams::default());
     let scenario = Scenario {
-        source: TraceSource::Ctc { jobs: 1_000, seed: 13 },
+        source: TraceSource::Ctc {
+            jobs: 1_000,
+            seed: 13,
+        },
         estimate: user,
         estimate_seed: 99,
         load: Some(1.1), // deliberately overloaded
@@ -66,7 +82,8 @@ fn estimate_noise_still_audits_cleanly() {
     let trace = scenario.materialize();
     for kind in [SchedulerKind::Conservative, SchedulerKind::Easy] {
         let s = simulate(&trace, kind, Policy::Sjf);
-        s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.scheduler));
+        s.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", s.scheduler));
         // Overload means growing queues, but everything still completes.
         assert_eq!(s.outcomes.len(), 1_000);
     }
@@ -76,7 +93,10 @@ fn estimate_noise_still_audits_cleanly() {
 fn configs_round_trip_through_json_and_rerun_identically() {
     let cfg = RunConfig {
         scenario: Scenario {
-            source: TraceSource::Sdsc { jobs: 300, seed: 21 },
+            source: TraceSource::Sdsc {
+                jobs: 300,
+                seed: 21,
+            },
             estimate: EstimateModel::systematic(2.0),
             estimate_seed: 4,
             load: Some(0.85),
@@ -91,7 +111,10 @@ fn configs_round_trip_through_json_and_rerun_identically() {
 
 #[test]
 fn stats_are_reproducible_to_the_bit() {
-    let scenario = Scenario::high_load(TraceSource::Ctc { jobs: 500, seed: 77 });
+    let scenario = Scenario::high_load(TraceSource::Ctc {
+        jobs: 500,
+        seed: 77,
+    });
     let render = |s: &Schedule| {
         let stats = s.stats(&CategoryCriteria::default());
         format!(

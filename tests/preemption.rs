@@ -33,7 +33,9 @@ fn starving_job_preempts_and_hog_resumes() {
         SchedulerKind::Preemptive { threshold: 2.0 },
         Policy::Fcfs,
     );
-    schedule.validate().expect("audit incl. segment work conservation");
+    schedule
+        .validate()
+        .expect("audit incl. segment work conservation");
 
     let hog = &schedule.outcomes[0];
     let starved = &schedule.outcomes[1];
@@ -48,9 +50,11 @@ fn starving_job_preempts_and_hog_resumes() {
     // Work conservation shows up as end - start > runtime for the hog.
     assert!(hog.end() > hog.start + hog.job.runtime);
     // Both segments of the hog appear in the run-segment audit trail.
-    let hog_segments =
-        schedule.run_segments.iter().filter(|s| s.id == 0).count();
-    assert_eq!(hog_segments, 2, "one segment before and one after suspension");
+    let hog_segments = schedule.run_segments.iter().filter(|s| s.id == 0).count();
+    assert_eq!(
+        hog_segments, 2,
+        "one segment before and one after suspension"
+    );
 }
 
 /// With an infinite threshold nothing is ever suspended and the schedule
@@ -71,11 +75,17 @@ fn infinite_threshold_is_easy() {
     let easy = simulate(&trace, SchedulerKind::Easy, Policy::Sjf);
     let pre = simulate(
         &trace,
-        SchedulerKind::Preemptive { threshold: f64::INFINITY },
+        SchedulerKind::Preemptive {
+            threshold: f64::INFINITY,
+        },
         Policy::Sjf,
     );
     assert_eq!(easy.fingerprint(), pre.fingerprint());
-    assert_eq!(pre.run_segments.len(), 4, "one segment per job, no suspensions");
+    assert_eq!(
+        pre.run_segments.len(),
+        4,
+        "one segment per job, no suspensions"
+    );
 }
 
 /// The journal records preemption events in causal order.
@@ -114,17 +124,30 @@ fn journal_shows_preempt_between_starts() {
 #[test]
 fn preemption_at_scale_is_sound() {
     let scenario = Scenario {
-        source: TraceSource::Ctc { jobs: 3_000, seed: 11 },
+        source: TraceSource::Ctc {
+            jobs: 3_000,
+            seed: 11,
+        },
         estimate: EstimateModel::User(UserModelParams::capped(SimSpan::from_hours(18))),
         estimate_seed: 3,
         load: Some(0.95),
     };
     let trace = scenario.materialize();
-    let schedule =
-        simulate(&trace, SchedulerKind::Preemptive { threshold: 2.0 }, Policy::Fcfs);
+    let schedule = simulate(
+        &trace,
+        SchedulerKind::Preemptive { threshold: 2.0 },
+        Policy::Fcfs,
+    );
     schedule.validate().expect("audit");
-    let suspended = schedule.outcomes.iter().filter(|o| o.was_preempted()).count();
-    assert!(suspended > 0, "high load + threshold 2 should suspend someone");
+    let suspended = schedule
+        .outcomes
+        .iter()
+        .filter(|o| o.was_preempted())
+        .count();
+    assert!(
+        suspended > 0,
+        "high load + threshold 2 should suspend someone"
+    );
     assert!(
         suspended < trace.len() / 2,
         "safeguards should keep suspensions bounded ({suspended})"

@@ -1,0 +1,307 @@
+//! Offline stand-in for `criterion`: a small wall-clock benchmark harness.
+//!
+//! Supports the subset of the criterion API this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups with throughput
+//! annotations, `iter` and `iter_batched`). Each benchmark is warmed up,
+//! then sampled `sample_size` times; the mean and minimum per-iteration
+//! times are printed to stdout. No statistics beyond that — the goal is
+//! honest relative numbers, offline.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target time for one measurement sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
+/// Warm-up budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// The benchmark harness.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of measurement samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&id.to_string(), self.sample_size, None, f);
+    }
+}
+
+/// Throughput annotation: per-iteration work, reported as a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_benchmark(
+            &format!("{}/{}", self.name, id.text),
+            self.criterion.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// Benchmark a function within the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.criterion.sample_size,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the stand-in treats
+/// every variant as one-setup-per-iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real criterion.
+    LargeInput,
+    /// Exactly one input per batch.
+    PerIteration,
+}
+
+/// Measures the routine handed to it; one per benchmark invocation.
+pub struct Bencher {
+    /// Number of timed iterations to run when measuring.
+    iters: u64,
+    /// Accumulated routine time for the current sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Measure `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+fn run_once(f: &mut impl FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibrate: find an iteration count whose sample fits the budget.
+    let mut iters: u64 = 1;
+    let warmup_start = Instant::now();
+    loop {
+        let took = run_once(&mut f, iters);
+        if took >= SAMPLE_BUDGET || warmup_start.elapsed() >= WARMUP_BUDGET {
+            if took < SAMPLE_BUDGET && took > Duration::ZERO {
+                let scale = SAMPLE_BUDGET.as_nanos() / took.as_nanos().max(1);
+                iters = iters.saturating_mul(scale.clamp(1, 1 << 20) as u64).max(1);
+            }
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+
+    let mut total = Duration::ZERO;
+    let mut best_per_iter = f64::INFINITY;
+    let mut total_iters: u128 = 0;
+    for _ in 0..sample_size {
+        let took = run_once(&mut f, iters);
+        total += took;
+        total_iters += u128::from(iters);
+        let per_iter = took.as_nanos() as f64 / iters as f64;
+        if per_iter < best_per_iter {
+            best_per_iter = per_iter;
+        }
+    }
+    let mean_ns = total.as_nanos() as f64 / total_iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!(", {:.3} Melem/s", n as f64 / mean_ns * 1e3)
+        }
+        Throughput::Bytes(n) => format!(", {:.1} MiB/s", n as f64 / mean_ns * 1e9 / 1048576.0),
+    });
+    println!(
+        "bench {name:<44} mean {mean_ns:>12.1} ns/iter  min {best_per_iter:>12.1} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Define a named group of benchmark functions, with optional config:
+///
+/// ```ignore
+/// criterion_group!(benches, bench_a, bench_b);
+/// criterion_group! {
+///     name = benches;
+///     config = Criterion::default().sample_size(20);
+///     targets = bench_a, bench_b
+/// }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_iterations() {
+        let mut calls = 0u64;
+        let mut bencher = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        bencher.iter(|| calls += 1);
+        assert_eq!(calls, 100);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut setups = 0u64;
+        let mut bencher = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        bencher.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 10);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).text, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(128).text, "128");
+    }
+}

@@ -1,0 +1,435 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Generates [`Serialize`]/[`Deserialize`] impls over the `serde::Value`
+//! tree for the shapes this workspace actually uses: structs with named
+//! fields, tuple structs, unit structs, and enums whose variants are unit,
+//! tuple, or struct-like. Parsing is done directly on the token stream
+//! (no `syn`/`quote` — the build must work offline), which constrains the
+//! macro to non-generic types; deriving on a generic type is a compile
+//! error rather than a silent misbehavior.
+//!
+//! Encoding:
+//! * named struct → object of fields, in declaration order;
+//! * tuple struct → array of fields;
+//! * unit struct → `null`;
+//! * unit enum variant → the variant name as a string;
+//! * tuple/struct enum variant → one-key object `{ "Variant": payload }`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attrs(iter: &mut Iter) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(_))) {
+            iter.next();
+        }
+    }
+}
+
+fn skip_vis(iter: &mut Iter) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consume tokens until a `,` at angle-bracket depth zero (the end of a
+/// field type or a discriminant expression). The comma itself is consumed.
+fn skip_past_top_level_comma(iter: &mut Iter) {
+    let mut depth = 0i32;
+    for tree in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => return Ok(fields),
+            Some(other) => return Err(format!("expected field name, got `{other}`")),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, got {other:?}")),
+        }
+        skip_past_top_level_comma(&mut iter);
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tree in stream {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return Ok(variants),
+            Some(other) => return Err(format!("expected variant name, got `{other}`")),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                iter.next();
+                Shape::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                iter.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                iter.next();
+            }
+            Some(_) => skip_past_top_level_comma(&mut iter),
+            None => return Ok(variants),
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs(&mut iter);
+    skip_vis(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in cannot derive for generic type `{name}`"
+            ));
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Shape::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Shape::Unit),
+            None => Kind::Struct(Shape::Unit),
+            Some(other) => return Err(format!("unsupported struct body at `{other}`")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, got {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Input { name, kind })
+}
+
+fn error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+// ---- Serialize -------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Array(::std::vec![{items}]))])",
+                                binds = binds.join(", "),
+                                items = items.join(", "),
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Object(::std::vec![{entries}]))])",
+                                entries = entries.join(", "),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+            fn to_value(&self) -> ::serde::Value {{ {body} }}\
+        }}"
+    )
+}
+
+// ---- Deserialize -----------------------------------------------------------
+
+fn gen_named_constructor(path: &str, fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value({source}.field({f:?})?)?"))
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_tuple_constructor(path: &str, n: usize, arr: &str) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&{arr}[{i}])?"))
+        .collect();
+    format!("{path}({})", inits.join(", "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            format!(
+                "::std::result::Result::Ok({})",
+                gen_named_constructor(name, fields, "value")
+            )
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            format!(
+                "let arr = value.as_array()?;\
+                 if arr.len() != {n} {{\
+                    return ::std::result::Result::Err(::serde::Error::custom(\
+                        ::std::format!(\"expected array of {n} for {name}, got {{}}\", arr.len())));\
+                 }}\
+                 ::std::result::Result::Ok({})",
+                gen_tuple_constructor(name, *n, "arr")
+            )
+        }
+        Kind::Struct(Shape::Unit) => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn})",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(n) => Some(format!(
+                            "{vn:?} => {{\
+                                let arr = payload.as_array()?;\
+                                if arr.len() != {n} {{\
+                                    return ::std::result::Result::Err(::serde::Error::custom(\
+                                        \"wrong payload arity for variant {vn}\"));\
+                                }}\
+                                ::std::result::Result::Ok({ctor})\
+                             }}",
+                            ctor = gen_tuple_constructor(&format!("{name}::{vn}"), *n, "arr"),
+                        )),
+                        Shape::Named(fields) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({ctor})",
+                            ctor =
+                                gen_named_constructor(&format!("{name}::{vn}"), fields, "payload"),
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{\
+                    ::serde::Value::Str(s) => match s.as_str() {{\
+                        {unit_arms}\
+                        other => ::std::result::Result::Err(::serde::Error::custom(\
+                            ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\
+                    }},\
+                    ::serde::Value::Object(entries) if entries.len() == 1 => {{\
+                        let (variant, payload) = &entries[0];\
+                        match variant.as_str() {{\
+                            {payload_arms}\
+                            other => ::std::result::Result::Err(::serde::Error::custom(\
+                                ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\
+                        }}\
+                    }}\
+                    other => ::std::result::Result::Err(::serde::Error::custom(\
+                        ::std::format!(\"cannot read {name} from {{}}\", other.kind()))),\
+                }}",
+                unit_arms = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                },
+                payload_arms = if payload_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", payload_arms.join(", "))
+                },
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+            fn from_value(value: &::serde::Value) \
+                -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\
+        }}"
+    )
+}
+
+/// Derive `serde::Serialize` (Value-tree encoding).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .expect("generated code parses"),
+        Err(message) => error(&message),
+    }
+}
+
+/// Derive `serde::Deserialize` (Value-tree decoding).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .expect("generated code parses"),
+        Err(message) => error(&message),
+    }
+}
