@@ -1,0 +1,123 @@
+//! Canonical serialization and stable content hashing of configs.
+//!
+//! The simulation service (`crates/service`) memoizes completed runs in a
+//! content-addressed cache. A cache key must satisfy two properties:
+//!
+//! 1. **Stability** — the same [`RunConfig`](crate::RunConfig) value must
+//!    produce the same key in every process, on every run (no pointer or
+//!    randomized-hasher input).
+//! 2. **Injectivity** — two configs that differ in any field must produce
+//!    different keys; aliasing would silently serve the wrong report.
+//!
+//! Both are achieved by serializing through the workspace `serde` stub
+//! (whose derive emits fields in declaration order, deterministically) and
+//! then *canonicalizing* the value tree: every object's keys are sorted
+//! byte-wise, recursively. The canonical JSON **text** is the cache key —
+//! content addressing by the full content, so distinct scenarios can never
+//! alias — and a 64-bit FNV-1a hash of that text is the compact label used
+//! in responses, logs, and stats.
+
+use serde::{Serialize, Value};
+
+/// Recursively sort every object's keys byte-wise. Arrays keep their
+/// order (sequence order is semantic); scalar values pass through.
+pub fn canonicalize(value: &Value) -> Value {
+    match value {
+        Value::Object(fields) => {
+            let mut sorted: Vec<(String, Value)> = fields
+                .iter()
+                .map(|(k, v)| (k.clone(), canonicalize(v)))
+                .collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(sorted)
+        }
+        Value::Array(items) => Value::Array(items.iter().map(canonicalize).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Canonical compact JSON of any serializable value: keys sorted
+/// recursively, no whitespace. Equal values produce byte-identical text.
+pub fn canonical_json<T: Serialize + ?Sized>(value: &T) -> String {
+    serde_json::to_string(&canonicalize(&value.to_value())).expect("canonical value serializes")
+}
+
+/// 64-bit FNV-1a over a byte string. Stable across processes and
+/// platforms (unlike `std::hash`'s randomized `DefaultHasher`).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Stable content hash of a serializable value: FNV-1a of its canonical
+/// JSON. The compact form of the cache key, for display and stats; the
+/// cache itself keys on the full canonical text (see [`canonical_json`]).
+pub fn content_hash<T: Serialize + ?Sized>(value: &T) -> u64 {
+    fnv1a_64(canonical_json(value).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_keys_sort_recursively() {
+        let v = Value::Object(vec![
+            (
+                "z".into(),
+                Value::Object(vec![
+                    ("b".into(), Value::U64(2)),
+                    ("a".into(), Value::U64(1)),
+                ]),
+            ),
+            ("a".into(), Value::Bool(true)),
+        ]);
+        let canon = canonicalize(&v);
+        assert_eq!(
+            serde_json::to_string(&canon).unwrap(),
+            r#"{"a":true,"z":{"a":1,"b":2}}"#
+        );
+    }
+
+    #[test]
+    fn arrays_keep_order() {
+        let v = Value::Array(vec![Value::U64(3), Value::U64(1), Value::U64(2)]);
+        assert_eq!(canonicalize(&v), v);
+    }
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn field_order_does_not_change_key() {
+        let a = Value::Object(vec![
+            ("x".into(), Value::U64(1)),
+            ("y".into(), Value::U64(2)),
+        ]);
+        let b = Value::Object(vec![
+            ("y".into(), Value::U64(2)),
+            ("x".into(), Value::U64(1)),
+        ]);
+        assert_eq!(canonical_json(&a), canonical_json(&b));
+        assert_eq!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn value_differences_change_key() {
+        let a = Value::Object(vec![("x".into(), Value::U64(1))]);
+        let b = Value::Object(vec![("x".into(), Value::U64(2))]);
+        assert_ne!(canonical_json(&a), canonical_json(&b));
+        assert_ne!(content_hash(&a), content_hash(&b));
+    }
+}

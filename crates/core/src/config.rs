@@ -110,6 +110,20 @@ impl RunConfig {
         simulate(trace, self.kind, self.policy)
     }
 
+    /// Canonical compact JSON of this config (object keys sorted
+    /// recursively). Equal configs produce byte-identical text, so this
+    /// is the content-addressed cache key used by the simulation service.
+    pub fn canonical_json(&self) -> String {
+        crate::canon::canonical_json(self)
+    }
+
+    /// Stable 64-bit content hash of [`Self::canonical_json`] (FNV-1a).
+    /// The compact display form of the cache key; equal configs hash
+    /// equal in every process on every platform.
+    pub fn content_hash(&self) -> u64 {
+        crate::canon::content_hash(self)
+    }
+
     /// Report label, e.g. `"CTC EASY/SJF"`.
     pub fn label(&self) -> String {
         format!(

@@ -25,6 +25,7 @@
 //!
 //! * [`driver`] — the event loop binding trace + scheduler + machine;
 //! * [`config`] — declarative scenario/run configuration;
+//! * [`canon`] — canonical JSON + stable content hashing (cache keys);
 //! * [`runner`] — parallel sweep execution (deterministic results);
 //! * [`campaign`] — multi-seed replication with confidence intervals;
 //! * [`schedule`] — the simulated schedule, auditing, fingerprints;
@@ -34,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod canon;
 pub mod config;
 pub mod driver;
 pub mod runner;
@@ -44,7 +46,9 @@ pub use config::{RunConfig, Scenario, TraceSource};
 pub use driver::{
     journal_queue_series, simulate, simulate_journaled, JournalEntry, JournalKind, SchedulerKind,
 };
-pub use runner::{aggregate_profile_stats, run_all, RunResult};
+pub use runner::{
+    aggregate_profile_stats, run_all, run_all_checked, run_cell, CellError, RunResult,
+};
 pub use schedule::Schedule;
 
 /// Everything a typical experiment needs, in one import.
@@ -54,7 +58,9 @@ pub mod prelude {
     pub use crate::driver::{
         simulate, simulate_journaled, JournalEntry, JournalKind, SchedulerKind,
     };
-    pub use crate::runner::{aggregate_profile_stats, run_all, RunResult};
+    pub use crate::runner::{
+        aggregate_profile_stats, run_all, run_all_checked, run_cell, CellError, RunResult,
+    };
     pub use crate::schedule::Schedule;
     pub use metrics::{
         fnum, fpct, percent_change, JobOutcome, Quantiles, ScheduleStats, Table, Welford,

@@ -13,6 +13,7 @@ use crossbeam::channel;
 use parking_lot::Mutex;
 use sched::ProfileStats;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Result of one sweep cell.
 #[derive(Debug, Clone)]
@@ -23,10 +24,60 @@ pub struct RunResult {
     pub schedule: Schedule,
 }
 
-/// Run every config, in parallel, returning results in input order.
+/// A sweep cell that panicked, carrying the offending config so the
+/// caller can report (or retry, or skip) exactly the scenario at fault.
+#[derive(Debug, Clone)]
+pub struct CellError {
+    /// The config whose simulation panicked.
+    pub config: RunConfig,
+    /// The panic payload, rendered as text.
+    pub panic: String,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} panicked: {}", self.config.label(), self.panic)
+    }
+}
+
+impl std::error::Error for CellError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one cell, converting a panic inside the simulation into a
+/// [`CellError`] instead of unwinding into the caller. This is the fault
+/// boundary both the sweep runner and the simulation service stand on:
+/// one poisoned scenario must not take down its whole batch (or daemon).
+// CellError embeds the offending RunConfig by value (136 bytes); the Err
+// path only exists on a panicked cell, so the width is irrelevant and
+// boxing would complicate every consumer.
+#[allow(clippy::result_large_err)]
+pub fn run_cell(config: &RunConfig) -> Result<Schedule, CellError> {
+    catch_unwind(AssertUnwindSafe(|| config.run())).map_err(|payload| CellError {
+        config: *config,
+        panic: panic_message(payload),
+    })
+}
+
+/// Run every config, in parallel, returning per-cell outcomes in input
+/// order. A cell whose simulation panics yields `Err(CellError)` — with
+/// the offending config attached — while every other cell still runs to
+/// completion.
 ///
 /// `threads = None` uses the machine's available parallelism.
-pub fn run_all(configs: &[RunConfig], threads: Option<NonZeroUsize>) -> Vec<RunResult> {
+#[allow(clippy::result_large_err)] // see run_cell
+pub fn run_all_checked(
+    configs: &[RunConfig],
+    threads: Option<NonZeroUsize>,
+) -> Vec<Result<RunResult, CellError>> {
     if configs.is_empty() {
         return Vec::new();
     }
@@ -35,14 +86,10 @@ pub fn run_all(configs: &[RunConfig], threads: Option<NonZeroUsize>) -> Vec<RunR
         .map_or(1, NonZeroUsize::get)
         .min(configs.len());
 
+    let cell = |config: RunConfig| run_cell(&config).map(|schedule| RunResult { config, schedule });
+
     if threads == 1 {
-        return configs
-            .iter()
-            .map(|&config| RunResult {
-                config,
-                schedule: config.run(),
-            })
-            .collect();
+        return configs.iter().map(|&config| cell(config)).collect();
     }
 
     let (tx, rx) = channel::unbounded::<usize>();
@@ -51,7 +98,7 @@ pub fn run_all(configs: &[RunConfig], threads: Option<NonZeroUsize>) -> Vec<RunR
     }
     drop(tx);
 
-    let slots: Mutex<Vec<Option<RunResult>>> =
+    let slots: Mutex<Vec<Option<Result<RunResult, CellError>>>> =
         Mutex::new((0..configs.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -59,11 +106,7 @@ pub fn run_all(configs: &[RunConfig], threads: Option<NonZeroUsize>) -> Vec<RunR
             let slots = &slots;
             scope.spawn(move || {
                 while let Ok(i) = rx.recv() {
-                    let config = configs[i];
-                    let result = RunResult {
-                        config,
-                        schedule: config.run(),
-                    };
+                    let result = cell(configs[i]);
                     slots.lock()[i] = Some(result);
                 }
             });
@@ -74,6 +117,19 @@ pub fn run_all(configs: &[RunConfig], threads: Option<NonZeroUsize>) -> Vec<RunR
         .into_inner()
         .into_iter()
         .map(|r| r.expect("every cell completed"))
+        .collect()
+}
+
+/// Run every config, in parallel, returning results in input order.
+///
+/// `threads = None` uses the machine's available parallelism. Panics —
+/// deterministically, after the whole sweep has finished — if any cell's
+/// simulation panicked, naming the offending config; use
+/// [`run_all_checked`] to handle poisoned cells per cell instead.
+pub fn run_all(configs: &[RunConfig], threads: Option<NonZeroUsize>) -> Vec<RunResult> {
+    run_all_checked(configs, threads)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
         .collect()
 }
 
@@ -99,6 +155,7 @@ mod tests {
     use crate::config::{Scenario, TraceSource};
     use crate::driver::SchedulerKind;
     use sched::Policy;
+    use workload::EstimateModel;
 
     fn sweep() -> Vec<RunConfig> {
         let scenario = Scenario::high_load(TraceSource::Ctc { jobs: 150, seed: 5 });
@@ -146,6 +203,74 @@ mod tests {
         let configs = sweep()[..2].to_vec();
         let results = run_all(&configs, NonZeroUsize::new(16));
         assert_eq!(results.len(), 2);
+    }
+
+    /// Serializes the panic-hook swaps below: the hook is process-global,
+    /// so two tests silencing it concurrently would race on the restore.
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Run `f` with panic output silenced (the tests below panic on
+    /// purpose; the default hook would spam the test log).
+    fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = HOOK_LOCK.lock();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = f();
+        std::panic::set_hook(hook);
+        result
+    }
+
+    /// A config whose materialization reliably panics: `scale_to_load`
+    /// asserts the target load is positive.
+    fn poisoned() -> RunConfig {
+        RunConfig {
+            scenario: Scenario {
+                source: TraceSource::Ctc { jobs: 50, seed: 1 },
+                estimate: EstimateModel::Exact,
+                estimate_seed: 1,
+                load: Some(-1.0),
+            },
+            kind: SchedulerKind::Easy,
+            policy: Policy::Fcfs,
+        }
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated() {
+        let mut configs = sweep();
+        let bad = poisoned();
+        configs.insert(2, bad);
+        let results = with_quiet_panics(|| run_all_checked(&configs, NonZeroUsize::new(4)));
+        assert_eq!(results.len(), configs.len());
+        for (i, (cfg, res)) in configs.iter().zip(&results).enumerate() {
+            match res {
+                Ok(ok) => {
+                    assert_eq!(*cfg, ok.config, "order changed");
+                    assert_ne!(i, 2, "poisoned cell reported success");
+                }
+                Err(e) => {
+                    assert_eq!(i, 2, "healthy cell reported a panic");
+                    assert_eq!(e.config, bad, "error lost the offending config");
+                    assert!(
+                        e.panic.contains("target load must be positive"),
+                        "unexpected panic text: {}",
+                        e.panic
+                    );
+                    assert!(e.to_string().contains("CTC EASY/FCFS"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target load must be positive")]
+    fn run_all_still_panics_on_poisoned_cell() {
+        let result = with_quiet_panics(|| {
+            std::panic::catch_unwind(|| run_all(&[poisoned()], NonZeroUsize::new(1)))
+        });
+        if let Err(payload) = result {
+            std::panic::resume_unwind(payload);
+        }
     }
 
     #[test]

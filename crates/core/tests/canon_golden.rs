@@ -1,0 +1,155 @@
+//! Golden tests for config canonicalization and content hashing.
+//!
+//! The simulation service keys its result cache on the canonical JSON of
+//! a [`RunConfig`] (with an FNV-1a hash as the compact label). These
+//! tests pin the canonical text and hash of a representative config to
+//! literal golden values, so any change to the serialization format, the
+//! canonicalization rules, or the hash function — each of which would
+//! silently invalidate or, worse, alias cache entries — fails loudly.
+
+use backfill_sim::prelude::*;
+
+fn representative() -> RunConfig {
+    RunConfig {
+        scenario: Scenario {
+            source: TraceSource::Ctc {
+                jobs: 300,
+                seed: 11,
+            },
+            estimate: EstimateModel::systematic(2.0),
+            estimate_seed: 7,
+            load: Some(0.9),
+        },
+        kind: SchedulerKind::Selective { threshold: 2.5 },
+        policy: Policy::Sjf,
+    }
+}
+
+#[test]
+fn canonical_json_matches_golden() {
+    let expected = concat!(
+        r#"{"kind":{"Selective":{"threshold":2.5}},"policy":"Sjf","#,
+        r#""scenario":{"estimate":{"SystematicOver":{"factor":2.0}},"#,
+        r#""estimate_seed":7,"load":0.9,"#,
+        r#""source":{"Ctc":{"jobs":300,"seed":11}}}}"#
+    );
+    assert_eq!(representative().canonical_json(), expected);
+}
+
+#[test]
+fn content_hash_matches_golden() {
+    assert_eq!(representative().content_hash(), 0x3f88_876d_22cc_d370);
+}
+
+#[test]
+fn canonical_form_is_stable_across_runs() {
+    let a = representative();
+    let b = representative();
+    for _ in 0..8 {
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+}
+
+#[test]
+fn field_value_equal_configs_share_a_key() {
+    // Two configs built through different code paths but equal field by
+    // field must canonicalize (and hash) identically.
+    let direct = RunConfig {
+        scenario: Scenario {
+            source: TraceSource::Ctc {
+                jobs: 200,
+                seed: 42,
+            },
+            estimate: EstimateModel::Exact,
+            estimate_seed: 1,
+            load: Some(0.9),
+        },
+        kind: SchedulerKind::Easy,
+        policy: Policy::Fcfs,
+    };
+    let via_helper = RunConfig {
+        scenario: Scenario::high_load(TraceSource::Ctc {
+            jobs: 200,
+            seed: 42,
+        }),
+        kind: SchedulerKind::Easy,
+        policy: Policy::Fcfs,
+    };
+    assert_eq!(direct, via_helper);
+    assert_eq!(direct.canonical_json(), via_helper.canonical_json());
+    assert_eq!(direct.content_hash(), via_helper.content_hash());
+}
+
+#[test]
+fn distinct_configs_never_share_canonical_text() {
+    // Vary every axis one at a time; every variant must get its own key.
+    let base = representative();
+    let variants = vec![
+        RunConfig {
+            scenario: Scenario {
+                source: TraceSource::Ctc {
+                    jobs: 301,
+                    seed: 11,
+                },
+                ..base.scenario
+            },
+            ..base
+        },
+        RunConfig {
+            scenario: Scenario {
+                source: TraceSource::Sdsc {
+                    jobs: 300,
+                    seed: 11,
+                },
+                ..base.scenario
+            },
+            ..base
+        },
+        RunConfig {
+            scenario: Scenario {
+                estimate: EstimateModel::Exact,
+                ..base.scenario
+            },
+            ..base
+        },
+        RunConfig {
+            scenario: Scenario {
+                estimate_seed: 8,
+                ..base.scenario
+            },
+            ..base
+        },
+        RunConfig {
+            scenario: Scenario {
+                load: None,
+                ..base.scenario
+            },
+            ..base
+        },
+        RunConfig {
+            kind: SchedulerKind::Selective { threshold: 2.6 },
+            ..base
+        },
+        RunConfig {
+            kind: SchedulerKind::Easy,
+            ..base
+        },
+        RunConfig {
+            policy: Policy::Fcfs,
+            ..base
+        },
+    ];
+    let mut keys: Vec<String> = variants.iter().map(RunConfig::canonical_json).collect();
+    keys.push(base.canonical_json());
+    let unique: std::collections::BTreeSet<&String> = keys.iter().collect();
+    assert_eq!(unique.len(), keys.len(), "canonical keys aliased");
+}
+
+#[test]
+fn canonical_json_round_trips_to_the_same_config() {
+    let cfg = representative();
+    let back: RunConfig = serde_json::from_str(&cfg.canonical_json()).unwrap();
+    assert_eq!(cfg, back);
+    assert_eq!(back.canonical_json(), cfg.canonical_json());
+}

@@ -8,11 +8,12 @@
 //! at least one job was waiting.
 
 use crate::outcome::JobOutcome;
+use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 
 /// Breakdown of a schedule's capacity usage over its busy horizon
 /// (first arrival → last completion).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CapacityReport {
     /// Fraction of capacity doing real work.
     pub utilized: f64,
@@ -166,5 +167,14 @@ mod tests {
         let r = capacity_report(&[], 8);
         assert_eq!(r.utilized, 0.0);
         assert_eq!(r.lost, 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let outcomes = vec![outcome(0, 50, 3, 0), outcome(10, 200, 6, 50)];
+        let r = capacity_report(&outcomes, 8);
+        let text = serde_json::to_string(&r).unwrap();
+        let back: CapacityReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(r, back);
     }
 }

@@ -15,6 +15,7 @@
 //!   FCFS service order).
 
 use crate::outcome::JobOutcome;
+use serde::{Deserialize, Serialize};
 
 /// Gini coefficient of a set of non-negative values.
 ///
@@ -45,7 +46,7 @@ pub fn gini(values: &[f64]) -> f64 {
 }
 
 /// A schedule's fairness summary.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FairnessReport {
     /// Gini coefficient of bounded slowdowns.
     pub slowdown_gini: f64,
@@ -177,6 +178,15 @@ mod tests {
         assert_eq!(count_inversions(&[7]), 0);
         // Equal elements are not inversions.
         assert_eq!(count_inversions(&[5, 5, 5]), 0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let outcomes = vec![outcome(0, 10, 0), outcome(5, 10, 40), outcome(8, 10, 20)];
+        let r = fairness(&outcomes);
+        let text = serde_json::to_string(&r).unwrap();
+        let back: FairnessReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(r, back);
     }
 
     #[test]

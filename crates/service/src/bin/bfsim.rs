@@ -5,6 +5,9 @@
 //! bfsim generate [WORKLOAD] -o OUT.swf
 //! bfsim inspect FILE.swf
 //! bfsim compare [WORKLOAD] [--seeds a,b,c]
+//! bfsim submit [WORKLOAD] [SCHED] [--addr HOST:PORT]    # via bfsimd
+//! bfsim stats [--addr HOST:PORT]
+//! bfsim shutdown [--addr HOST:PORT]
 //!
 //! WORKLOAD: --model ctc|sdsc|lublin | --trace FILE.swf
 //!           --jobs N --seed S --load RHO
@@ -13,9 +16,15 @@
 //!                       easy|selective:T|slack:F|depth:K|preemptive:T
 //!           --policy fcfs|sjf|xf|ljf|widest
 //! ```
+//!
+//! The `submit`/`stats`/`shutdown` commands talk to a running `bfsimd`
+//! daemon (default `127.0.0.1:7411`); `submit` only supports the
+//! model-generated workloads (`ctc`/`sdsc`) because the daemon receives
+//! a declarative `RunConfig`, not a trace file.
 
 use backfill_sim::prelude::*;
 use metrics::{fairness, queue_depth_series, utilization_series, viz};
+use service::Client;
 use workload::models::LublinModel;
 use workload::{load::scale_to_load, swf, TraceStats};
 
@@ -41,6 +50,7 @@ struct Cli {
     series: bool,
     fairness: bool,
     journal: Option<String>,
+    addr: String,
 }
 
 impl Default for Cli {
@@ -61,6 +71,7 @@ impl Default for Cli {
             series: false,
             fairness: false,
             journal: None,
+            addr: "127.0.0.1:7411".into(),
         }
     }
 }
@@ -129,7 +140,10 @@ fn parse_cli() -> Cli {
         .next()
         .unwrap_or_else(|| die("missing command (try --help)"));
     if cli.command == "--help" || cli.command == "-h" {
-        println!("usage: bfsim <simulate|generate|inspect|compare> [flags]; see module docs");
+        println!(
+            "usage: bfsim <simulate|generate|inspect|compare|submit|stats|shutdown> [flags]; \
+             see module docs"
+        );
         std::process::exit(0);
     }
     let next = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -172,6 +186,7 @@ fn parse_cli() -> Cli {
             "--journal" => cli.journal = Some(next(&mut it, "--journal")),
             "--series" => cli.series = true,
             "--fairness" => cli.fairness = true,
+            "--addr" => cli.addr = next(&mut it, "--addr"),
             other if !other.starts_with('-') && cli.command == "inspect" => {
                 cli.trace_file = Some(other.to_string())
             }
@@ -355,6 +370,109 @@ fn cmd_compare(cli: &Cli) {
     println!("{}", table.render());
 }
 
+fn service_config(cli: &Cli) -> RunConfig {
+    if cli.trace_file.is_some() {
+        die("submit sends a declarative RunConfig; --trace files are not supported");
+    }
+    let source = match cli.model.as_str() {
+        "ctc" => TraceSource::Ctc {
+            jobs: cli.jobs,
+            seed: cli.seed,
+        },
+        "sdsc" => TraceSource::Sdsc {
+            jobs: cli.jobs,
+            seed: cli.seed,
+        },
+        other => die(&format!("submit supports ctc|sdsc models, got {other:?}")),
+    };
+    RunConfig {
+        scenario: Scenario {
+            source,
+            estimate: cli.estimate,
+            estimate_seed: cli.seed ^ 0xE57,
+            load: cli.load,
+        },
+        kind: cli.scheduler,
+        policy: cli.policy,
+    }
+}
+
+fn connect(cli: &Cli) -> Client {
+    Client::connect(&cli.addr)
+        .unwrap_or_else(|e| die(&format!("connecting to bfsimd at {}: {e}", cli.addr)))
+}
+
+fn cmd_submit(cli: &Cli) {
+    let config = service_config(cli);
+    let mut client = connect(cli);
+    let reply = client
+        .submit(&config)
+        .unwrap_or_else(|e| die(&format!("submit: {e}")));
+    let r = &reply.report;
+    println!(
+        "{} [{}] config {:#018x} in {} ms",
+        r.label,
+        if reply.cached { "cached" } else { "fresh" },
+        reply.config_hash,
+        reply.wall_ms
+    );
+    println!(
+        "{} jobs on {} nodes | fingerprint {:#018x}",
+        r.jobs, r.nodes, r.fingerprint
+    );
+    println!(
+        "avg bounded slowdown {:.2} | avg wait {:.0} s | avg turnaround {:.0} s",
+        r.stats.overall.avg_slowdown(),
+        r.stats.overall.avg_wait(),
+        r.stats.overall.avg_turnaround()
+    );
+    println!(
+        "worst turnaround {:.1} h | utilization {:.3} | makespan {}",
+        r.stats.overall.worst_turnaround() / 3600.0,
+        r.stats.utilization,
+        r.stats.makespan
+    );
+    println!(
+        "fairness: slowdown gini {:.3} | max stretch {:.1} | overtake rate {:.3}",
+        r.fairness.slowdown_gini, r.fairness.max_stretch, r.fairness.overtake_rate
+    );
+}
+
+fn cmd_stats(cli: &Cli) {
+    let stats = connect(cli)
+        .stats()
+        .unwrap_or_else(|e| die(&format!("stats: {e}")));
+    println!(
+        "requests: {} submitted | {} completed | {} failed | {} rejected{}",
+        stats.submitted,
+        stats.completed,
+        stats.failed,
+        stats.rejected,
+        if stats.draining { " | DRAINING" } else { "" }
+    );
+    println!(
+        "cache: {} hits / {} misses | {} entries",
+        stats.cache_hits, stats.cache_misses, stats.cache_entries
+    );
+    println!(
+        "pool: {} queued | {} in flight",
+        stats.queue_depth, stats.in_flight
+    );
+    println!(
+        "wall: {:.1} ms mean | {} ms max | {} ms total",
+        stats.wall_ms_mean(),
+        stats.wall_ms_max,
+        stats.wall_ms_total
+    );
+}
+
+fn cmd_shutdown(cli: &Cli) {
+    connect(cli)
+        .shutdown()
+        .unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+    println!("bfsimd at {} is draining", cli.addr);
+}
+
 fn main() {
     let cli = parse_cli();
     match cli.command.as_str() {
@@ -362,8 +480,11 @@ fn main() {
         "generate" => cmd_generate(&cli),
         "inspect" => cmd_inspect(&cli),
         "compare" => cmd_compare(&cli),
+        "submit" => cmd_submit(&cli),
+        "stats" => cmd_stats(&cli),
+        "shutdown" => cmd_shutdown(&cli),
         other => die(&format!(
-            "unknown command {other:?} (simulate|generate|inspect|compare)"
+            "unknown command {other:?} (simulate|generate|inspect|compare|submit|stats|shutdown)"
         )),
     }
 }

@@ -1,0 +1,60 @@
+//! `bfsimd` — the resident simulation daemon.
+//!
+//! ```text
+//! bfsimd [--addr HOST:PORT] [--workers N] [--queue N]
+//! ```
+//!
+//! Listens for JSON-lines requests (see `service::protocol`), runs them
+//! on a bounded worker pool, and memoizes completed reports. Stop it
+//! with `bfsim shutdown` (graceful drain) — the process exits once every
+//! accepted request has been answered.
+
+use service::{Server, ServiceConfig};
+
+fn die(msg: &str) -> ! {
+    eprintln!("bfsimd: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7411".to_string();
+    let mut cfg = ServiceConfig::default();
+    let mut it = std::env::args().skip(1);
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = next(&mut it, "--addr"),
+            "--workers" => {
+                cfg.workers = next(&mut it, "--workers")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("bad --workers (need an integer >= 1)"))
+            }
+            "--queue" => {
+                cfg.queue_cap = next(&mut it, "--queue")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("bad --queue (need an integer >= 1)"))
+            }
+            "--help" | "-h" => {
+                println!("usage: bfsimd [--addr HOST:PORT] [--workers N] [--queue N]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    let handle = Server::start(&addr, cfg).unwrap_or_else(|e| die(&format!("binding {addr}: {e}")));
+    println!(
+        "bfsimd listening on {} ({} workers, queue {})",
+        handle.addr(),
+        cfg.workers,
+        cfg.queue_cap
+    );
+    handle.join();
+    println!("bfsimd drained and stopped");
+}

@@ -1,0 +1,154 @@
+//! Content-addressed result cache.
+//!
+//! Completed runs are memoized under the **canonical JSON** of their
+//! `RunConfig` (see `backfill_sim::canon`). Keying on the full canonical
+//! text — not just a hash — means two distinct scenarios can never alias
+//! a cache slot, even under a 64-bit hash collision; the FNV-1a hash of
+//! the key is carried alongside purely as the compact label shown in
+//! responses and logs. Simulations are deterministic (equal config ⇒
+//! byte-identical schedule ⇒ byte-identical report), so a hit returns a
+//! report indistinguishable from re-running the scenario, minus the
+//! compute.
+
+use crate::protocol::RunReport;
+use backfill_sim::canon::fnv1a_64;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A memoized report plus its display hash.
+#[derive(Debug, Clone)]
+struct Entry {
+    hash: u64,
+    report: RunReport,
+}
+
+/// Thread-safe memoization of completed runs, keyed by canonical config
+/// JSON. Counters are monotone over the cache's lifetime.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    map: Mutex<HashMap<String, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A cache lookup's outcome, as reported by [`ResultCache::lookup`].
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// The report was memoized; serving it costs no simulation.
+    Hit {
+        /// Content hash of the canonical key (the display label).
+        hash: u64,
+        /// The memoized report.
+        report: RunReport,
+    },
+    /// Not memoized; the caller must run the scenario (and should
+    /// [`ResultCache::insert`] the result).
+    Miss {
+        /// Content hash of the canonical key.
+        hash: u64,
+    },
+}
+
+impl ResultCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a canonical config key, bumping the hit or miss counter.
+    pub fn lookup(&self, canonical: &str) -> Lookup {
+        let map = self.map.lock();
+        match map.get(canonical) {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Lookup::Hit {
+                    hash: entry.hash,
+                    report: entry.report.clone(),
+                }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Lookup::Miss {
+                    hash: fnv1a_64(canonical.as_bytes()),
+                }
+            }
+        }
+    }
+
+    /// Memoize a completed run. Idempotent: two workers racing on the
+    /// same scenario insert byte-identical reports, so last-write-wins
+    /// is harmless.
+    pub fn insert(&self, canonical: String, report: RunReport) {
+        let hash = fnv1a_64(canonical.as_bytes());
+        self.map.lock().insert(canonical, Entry { hash, report });
+    }
+
+    /// `(hits, misses, entries)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.map.lock().len() as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::RunReport;
+    use backfill_sim::{RunConfig, Scenario, SchedulerKind, TraceSource};
+    use sched::Policy;
+
+    fn config(seed: u64) -> RunConfig {
+        RunConfig {
+            scenario: Scenario::high_load(TraceSource::Ctc { jobs: 60, seed }),
+            kind: SchedulerKind::Easy,
+            policy: Policy::Fcfs,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit_round_trip() {
+        let cache = ResultCache::new();
+        let cfg = config(1);
+        let key = cfg.canonical_json();
+        let miss_hash = match cache.lookup(&key) {
+            Lookup::Miss { hash } => hash,
+            Lookup::Hit { .. } => panic!("empty cache reported a hit"),
+        };
+        assert_eq!(miss_hash, cfg.content_hash());
+
+        let report = RunReport::from_schedule(&cfg, &cfg.run());
+        let fresh_bytes = serde_json::to_string(&report).unwrap();
+        cache.insert(key.clone(), report);
+
+        match cache.lookup(&key) {
+            Lookup::Hit { hash, report } => {
+                assert_eq!(hash, miss_hash);
+                // The memoized report serializes byte-identically to the
+                // fresh one.
+                assert_eq!(serde_json::to_string(&report).unwrap(), fresh_bytes);
+            }
+            Lookup::Miss { .. } => panic!("inserted key missed"),
+        }
+        assert_eq!(cache.stats(), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_configs_occupy_distinct_slots() {
+        let cache = ResultCache::new();
+        let a = config(1);
+        let b = config(2);
+        assert_ne!(a.canonical_json(), b.canonical_json());
+        cache.insert(a.canonical_json(), RunReport::from_schedule(&a, &a.run()));
+        cache.insert(b.canonical_json(), RunReport::from_schedule(&b, &b.run()));
+        let (_, _, entries) = cache.stats();
+        assert_eq!(entries, 2);
+        match cache.lookup(&a.canonical_json()) {
+            Lookup::Hit { report, .. } => assert_eq!(report.label, a.label()),
+            Lookup::Miss { .. } => panic!("a missed"),
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Blocking client for the `bfsimd` daemon.
+//!
+//! One [`Client`] owns one TCP connection and speaks the JSON-lines
+//! protocol synchronously: each call writes one request line, flushes,
+//! and reads exactly one response line. Concurrency comes from opening
+//! one client per thread — the daemon serves connections independently.
+
+use crate::protocol::{Request, Response, RunReply, ServiceStats};
+use backfill_sim::RunConfig;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke (or never opened).
+    Io(io::Error),
+    /// The daemon answered something the protocol does not allow here
+    /// (e.g. a `Stats` payload for a `Submit`).
+    Protocol(String),
+    /// The daemon reported a request-level failure (isolated simulation
+    /// panic or malformed request); the daemon itself is still healthy.
+    Service {
+        /// The daemon's error message.
+        message: String,
+        /// Content hash of the config at fault, 0 if not applicable.
+        config_hash: u64,
+    },
+    /// The daemon is draining and refused new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Service {
+                message,
+                config_hash,
+            } => write!(f, "service error (config {config_hash:#018x}): {message}"),
+            ClientError::ShuttingDown => write!(f, "daemon is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connection to a running `bfsimd`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request line and read the matching response line.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut line = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("unserializable request: {e}")))?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut answer = String::new();
+        let n = self.reader.read_line(&mut answer)?;
+        if n == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before answering",
+            )));
+        }
+        serde_json::from_str(answer.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("bad response line: {e}")))
+    }
+
+    /// Simulate one scenario (or fetch its memoized report).
+    pub fn submit(&mut self, config: &RunConfig) -> Result<RunReply, ClientError> {
+        match self.request(&Request::Submit { config: *config })? {
+            Response::Run(reply) => Ok(reply),
+            Response::Error {
+                message,
+                config_hash,
+            } => Err(ClientError::Service {
+                message,
+                config_hash,
+            }),
+            Response::ShuttingDown => Err(ClientError::ShuttingDown),
+            other => Err(ClientError::Protocol(format!(
+                "submit answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the daemon's counters.
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ClientError::Protocol(format!(
+                "stats answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the daemon to drain and stop. The acknowledgement comes back
+    /// before the drain completes; pair with `ServerHandle::join` (in
+    /// process) or wait for the port to close.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "shutdown answered with {other:?}"
+            ))),
+        }
+    }
+}

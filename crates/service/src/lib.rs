@@ -1,0 +1,52 @@
+//! Resident simulation service for the backfilling testbed.
+//!
+//! Sweeping the paper's scenario grid re-pays trace generation and
+//! simulation on every CLI invocation. This crate keeps a simulator
+//! resident instead: the `bfsimd` daemon accepts
+//! [`RunConfig`](backfill_sim::RunConfig)s as
+//! JSON lines over localhost TCP, executes them on a bounded worker
+//! pool, and memoizes every completed report in a content-addressed
+//! cache — so any config the daemon has seen before is answered in
+//! microseconds, byte-identical to the fresh run.
+//!
+//! Crate map:
+//!
+//! * [`protocol`] — request/response message types (shared serde data);
+//! * [`pool`] — bounded worker pool: backpressure via a bounded
+//!   channel, per-task panic isolation via `backfill_sim::run_cell`;
+//! * [`cache`] — result memoization keyed by canonical config JSON;
+//! * [`server`] — accept loop, connection handlers, graceful drain;
+//! * [`client`] — blocking client used by `bfsim submit|stats|shutdown`.
+//!
+//! ```no_run
+//! use service::{Client, Server, ServiceConfig};
+//! use backfill_sim::{RunConfig, Scenario, SchedulerKind, TraceSource};
+//! use sched::Policy;
+//!
+//! let handle = Server::start("127.0.0.1:0", ServiceConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let config = RunConfig {
+//!     scenario: Scenario::high_load(TraceSource::Ctc { jobs: 500, seed: 42 }),
+//!     kind: SchedulerKind::Easy,
+//!     policy: Policy::Sjf,
+//! };
+//! let first = client.submit(&config).unwrap(); // simulated
+//! let again = client.submit(&config).unwrap(); // served from cache
+//! assert!(!first.cached && again.cached);
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{Lookup, ResultCache};
+pub use client::{Client, ClientError};
+pub use pool::{Task, TaskResult, WorkerPool};
+pub use protocol::{Request, Response, RunReply, RunReport, ServiceStats};
+pub use server::{Server, ServerHandle, ServiceConfig};

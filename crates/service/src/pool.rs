@@ -1,0 +1,244 @@
+//! Bounded worker pool with backpressure and per-task fault isolation.
+//!
+//! Tasks flow through a **bounded** crossbeam channel: once `queue_cap`
+//! tasks are waiting, `submit` blocks the calling connection handler,
+//! which in turn stops reading that client's socket — backpressure
+//! propagates to the TCP stream instead of letting an aggressive client
+//! queue unbounded work in daemon memory. Each task runs under
+//! `backfill_sim::run_cell`'s `catch_unwind` boundary, so a poisoned
+//! scenario produces an error result for its requester and nothing else.
+
+use backfill_sim::{run_cell, CellError, RunConfig, Schedule};
+use crossbeam::channel::{self, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One unit of work: a config plus the channel its result goes back on.
+pub struct Task {
+    /// The scenario to simulate.
+    pub config: RunConfig,
+    /// Where the worker sends the outcome (the submitting handler blocks
+    /// on the paired receiver).
+    pub reply: mpsc::Sender<TaskResult>,
+}
+
+/// What a worker produced for one task.
+pub struct TaskResult {
+    /// The schedule, or the isolated panic.
+    pub outcome: Result<Schedule, CellError>,
+    /// Time the worker spent simulating (excludes queue wait).
+    pub run_wall: Duration,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+/// A fixed-size pool of simulation workers fed by a bounded queue.
+pub struct WorkerPool {
+    tx: Mutex<Option<Sender<Task>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    queued: Arc<AtomicUsize>,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads behind a queue of at most `queue_cap`
+    /// waiting tasks. Both must be at least 1.
+    pub fn new(workers: usize, queue_cap: usize) -> Self {
+        assert!(workers >= 1, "pool needs at least one worker");
+        let (tx, rx) = channel::bounded::<Task>(queue_cap);
+        let queued = Arc::new(AtomicUsize::new(0));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let queued = queued.clone();
+                let in_flight = in_flight.clone();
+                std::thread::spawn(move || {
+                    while let Ok(task) = rx.recv() {
+                        queued.fetch_sub(1, Ordering::SeqCst);
+                        in_flight.fetch_add(1, Ordering::SeqCst);
+                        let started = Instant::now();
+                        let outcome = run_cell(&task.config);
+                        let result = TaskResult {
+                            outcome,
+                            run_wall: started.elapsed(),
+                        };
+                        // The requester may have vanished (connection
+                        // dropped); the result is then simply discarded.
+                        let _ = task.reply.send(result);
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(handles),
+            queued,
+            in_flight,
+        }
+    }
+
+    /// Queue a task, blocking while the queue is at capacity
+    /// (backpressure). Fails once [`Self::shutdown`] has run.
+    pub fn submit(&self, task: Task) -> Result<(), PoolClosed> {
+        // Clone the sender out of the lock so a blocked send doesn't
+        // serialize every other submitter behind this one.
+        let tx = match self.tx.lock().as_ref() {
+            Some(tx) => tx.clone(),
+            None => return Err(PoolClosed),
+        };
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        match tx.send(task) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                Err(PoolClosed)
+            }
+        }
+    }
+
+    /// Tasks accepted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.queued.load(Ordering::SeqCst)
+    }
+
+    /// Tasks currently being simulated.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Close the queue and wait for the workers to finish everything
+    /// already accepted. After this, [`Self::submit`] fails fast; tasks
+    /// that were queued before the close still run and still reply.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().take());
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backfill_sim::{Scenario, SchedulerKind, TraceSource};
+    use sched::Policy;
+
+    fn config(seed: u64, load: f64) -> RunConfig {
+        RunConfig {
+            scenario: Scenario {
+                source: TraceSource::Ctc { jobs: 80, seed },
+                estimate: workload::EstimateModel::Exact,
+                estimate_seed: 1,
+                load: Some(load),
+            },
+            kind: SchedulerKind::Easy,
+            policy: Policy::Fcfs,
+        }
+    }
+
+    #[test]
+    fn executes_and_replies() {
+        let pool = WorkerPool::new(2, 4);
+        let (reply, results) = mpsc::channel();
+        for seed in 0..6u64 {
+            pool.submit(Task {
+                config: config(seed, 0.9),
+                reply: reply.clone(),
+            })
+            .unwrap();
+        }
+        drop(reply);
+        let mut seen = 0;
+        while let Ok(result) = results.recv() {
+            assert!(result.outcome.is_ok());
+            seen += 1;
+        }
+        assert_eq!(seen, 6);
+        pool.shutdown();
+        assert_eq!(pool.queue_depth(), 0);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn poisoned_task_is_isolated() {
+        let pool = WorkerPool::new(1, 2);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // expected panic below
+        let (reply, results) = mpsc::channel();
+        pool.submit(Task {
+            config: config(1, -1.0), // negative load panics in scale_to_load
+            reply: reply.clone(),
+        })
+        .unwrap();
+        pool.submit(Task {
+            config: config(2, 0.9),
+            reply,
+        })
+        .unwrap();
+        let first = results.recv().unwrap();
+        let second = results.recv().unwrap();
+        std::panic::set_hook(hook);
+        let err = first.outcome.err().expect("poisoned task must fail");
+        assert!(err.panic.contains("target load must be positive"));
+        assert!(second.outcome.is_ok(), "healthy task after a poisoned one");
+    }
+
+    #[test]
+    fn submit_fails_after_shutdown() {
+        let pool = WorkerPool::new(1, 1);
+        pool.shutdown();
+        let (reply, _results) = mpsc::channel();
+        let refused = pool.submit(Task {
+            config: config(1, 0.9),
+            reply,
+        });
+        assert_eq!(refused, Err(PoolClosed));
+    }
+
+    #[test]
+    fn queue_is_bounded() {
+        // One worker pinned on a task, capacity-1 queue: the 3rd submit
+        // must block until the worker frees a slot — observable as the
+        // submitting thread not finishing early.
+        let pool = WorkerPool::new(1, 1);
+        let (reply, results) = mpsc::channel();
+        let blocked = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let pool = &pool;
+            let blocked = &blocked;
+            let reply2 = reply.clone();
+            scope.spawn(move || {
+                for seed in 0..3u64 {
+                    pool.submit(Task {
+                        config: config(seed, 0.9),
+                        reply: reply2.clone(),
+                    })
+                    .unwrap();
+                    blocked.store(seed as usize + 1, Ordering::SeqCst);
+                }
+            });
+            // All three tasks complete regardless; the pool stays FIFO.
+            drop(reply);
+            let mut seen = 0;
+            while results.recv().is_ok() {
+                seen += 1;
+            }
+            assert_eq!(seen, 3);
+            assert_eq!(blocked.load(Ordering::SeqCst), 3);
+        });
+    }
+}

@@ -1,0 +1,234 @@
+//! The `bfsimd` wire protocol: JSON-lines over TCP.
+//!
+//! Grammar: each request is one JSON object on one `\n`-terminated line;
+//! the daemon answers every request line with exactly one response line,
+//! in order, on the same connection. Types are plain serde data shared
+//! with the rest of the workspace, so a scenario written for the CLI
+//! (`RunConfig`) is submitted to the service verbatim.
+
+use backfill_sim::{RunConfig, Schedule};
+use metrics::{capacity_report, fairness, CapacityReport, FairnessReport, ScheduleStats};
+use sched::ProfileStats;
+use serde::{Deserialize, Serialize};
+use workload::CategoryCriteria;
+
+/// A client request: one per line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Simulate one scenario (or fetch its memoized report).
+    Submit {
+        /// The full run configuration; also the cache key (canonicalized).
+        config: RunConfig,
+    },
+    /// Introspect the daemon: queue depth, in-flight, cache, wall times.
+    Stats,
+    /// Begin graceful shutdown: stop taking new work, drain in-flight
+    /// requests, then exit.
+    Shutdown,
+}
+
+/// The daemon's answer: one per request line, in order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// A completed (or cache-served) simulation.
+    Run(RunReply),
+    /// The daemon's current counters.
+    Stats(ServiceStats),
+    /// The request failed; the daemon itself is still healthy. Carries
+    /// the offending config's canonical hash when the failure was a
+    /// simulation panic (fault isolation), zero for malformed requests.
+    Error {
+        /// Human-readable cause.
+        message: String,
+        /// Content hash of the config at fault, 0 if not applicable.
+        config_hash: u64,
+    },
+    /// The daemon is draining and takes no new work (also the
+    /// acknowledgement of [`Request::Shutdown`] itself).
+    ShuttingDown,
+}
+
+/// A successful submit: the report plus cache provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReply {
+    /// Stable content hash of the canonical config (the cache label).
+    pub config_hash: u64,
+    /// True when the report was served from the result cache. The
+    /// `report` payload is byte-identical either way — only this marker
+    /// (and `wall_ms`) distinguish a hit from a fresh run.
+    pub cached: bool,
+    /// Wall time the daemon spent serving this request, in milliseconds
+    /// (queue wait + simulation for a miss; lookup only for a hit).
+    pub wall_ms: u64,
+    /// The simulation report.
+    pub report: RunReport,
+}
+
+/// Everything the service reports about one completed run. A pure
+/// function of the schedule, so a report computed daemon-side equals one
+/// computed by the caller from a direct `run_all` — asserted by the
+/// service integration tests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Config label, e.g. `"CTC EASY/SJF"`.
+    pub label: String,
+    /// Machine size the schedule ran on.
+    pub nodes: u32,
+    /// Number of jobs simulated.
+    pub jobs: usize,
+    /// Schedule fingerprint (FNV over job start assignments) — two runs
+    /// are behaviourally identical iff these match.
+    pub fingerprint: u64,
+    /// The paper's aggregate statistics (overall + per category/quality).
+    pub stats: ScheduleStats,
+    /// Fairness summary (slowdown Gini, max-stretch, overtake rate).
+    pub fairness: FairnessReport,
+    /// Capacity breakdown (utilized / blameless idle / loss of capacity).
+    pub capacity: CapacityReport,
+    /// Availability-profile operation counters, if the scheduler keeps a
+    /// profile.
+    pub profile: Option<ProfileStats>,
+}
+
+impl RunReport {
+    /// Build the report for one completed schedule. Deterministic: equal
+    /// `(config, schedule)` pairs produce byte-identical serialized
+    /// reports.
+    pub fn from_schedule(config: &RunConfig, schedule: &Schedule) -> Self {
+        RunReport {
+            label: config.label(),
+            nodes: schedule.nodes,
+            jobs: schedule.outcomes.len(),
+            fingerprint: schedule.fingerprint(),
+            stats: schedule.stats(&CategoryCriteria::default()),
+            fairness: fairness(&schedule.outcomes),
+            capacity: capacity_report(&schedule.outcomes, schedule.nodes),
+            profile: schedule.profile_stats,
+        }
+    }
+}
+
+/// Daemon introspection counters, returned by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Submit requests accepted so far (hits + misses + failures).
+    pub submitted: u64,
+    /// Submit requests answered with a report.
+    pub completed: u64,
+    /// Submit requests that failed inside the simulation (isolated
+    /// panics) or were malformed.
+    pub failed: u64,
+    /// Submit requests refused because the daemon was draining.
+    pub rejected: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Entries currently memoized.
+    pub cache_entries: u64,
+    /// Tasks waiting in the bounded work queue right now.
+    pub queue_depth: u64,
+    /// Tasks being simulated by workers right now.
+    pub in_flight: u64,
+    /// True once graceful shutdown has begun.
+    pub draining: bool,
+    /// Total wall milliseconds across all timed submit requests.
+    pub wall_ms_total: u64,
+    /// Largest single-request wall time in milliseconds.
+    pub wall_ms_max: u64,
+}
+
+impl ServiceStats {
+    /// Mean per-request wall time in milliseconds (0 when nothing ran).
+    pub fn wall_ms_mean(&self) -> f64 {
+        let timed = self.completed + self.failed;
+        if timed == 0 {
+            0.0
+        } else {
+            self.wall_ms_total as f64 / timed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backfill_sim::{Scenario, SchedulerKind, TraceSource};
+    use sched::Policy;
+
+    fn config() -> RunConfig {
+        RunConfig {
+            scenario: Scenario::high_load(TraceSource::Ctc { jobs: 80, seed: 3 }),
+            kind: SchedulerKind::Easy,
+            policy: Policy::Sjf,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Submit { config: config() },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            let line = serde_json::to_string(&req).unwrap();
+            assert!(!line.contains('\n'), "requests must fit one line");
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                line,
+                "round-trip changed the encoding"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cfg = config();
+        let schedule = cfg.run();
+        let reply = Response::Run(RunReply {
+            config_hash: cfg.content_hash(),
+            cached: false,
+            wall_ms: 12,
+            report: RunReport::from_schedule(&cfg, &schedule),
+        });
+        for resp in [
+            reply,
+            Response::Stats(ServiceStats::default()),
+            Response::Error {
+                message: "boom".into(),
+                config_hash: 7,
+            },
+            Response::ShuttingDown,
+        ] {
+            let line = serde_json::to_string(&resp).unwrap();
+            assert!(!line.contains('\n'));
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(serde_json::to_string(&back).unwrap(), line);
+        }
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let cfg = config();
+        let a = RunReport::from_schedule(&cfg, &cfg.run());
+        let b = RunReport::from_schedule(&cfg, &cfg.run());
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "equal runs must serialize byte-identically"
+        );
+    }
+
+    #[test]
+    fn wall_time_mean() {
+        let stats = ServiceStats {
+            completed: 3,
+            failed: 1,
+            wall_ms_total: 100,
+            ..Default::default()
+        };
+        assert!((stats.wall_ms_mean() - 25.0).abs() < 1e-12);
+        assert_eq!(ServiceStats::default().wall_ms_mean(), 0.0);
+    }
+}

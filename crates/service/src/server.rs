@@ -1,0 +1,349 @@
+//! The resident simulation daemon.
+//!
+//! One accept loop, one handler thread per connection, one shared
+//! [`WorkerPool`] and [`ResultCache`]. Connections speak the JSON-lines
+//! protocol from [`crate::protocol`]: the handler reads a line, serves
+//! it, writes exactly one response line, and flushes before reading the
+//! next — so responses are always in request order per connection.
+//!
+//! # Shutdown sequence
+//!
+//! 1. Any connection sends [`Request::Shutdown`]; the daemon sets the
+//!    `draining` flag and acknowledges with `ShuttingDown`.
+//! 2. New `Submit`s now answer `ShuttingDown` without entering the pool.
+//! 3. The accept loop keeps polling until `pending` — the count of
+//!    submits between acceptance and response flush — reaches zero, so
+//!    every request already in the pipeline still gets its response.
+//! 4. The loop exits, the pool's queue closes, workers finish what they
+//!    hold and join. `ServerHandle::join` then returns.
+
+use crate::cache::{Lookup, ResultCache};
+use crate::pool::{PoolClosed, Task, WorkerPool};
+use crate::protocol::{Request, Response, RunReply, RunReport, ServiceStats};
+use backfill_sim::canon::fnv1a_64;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the accept loop polls for new connections / drain progress.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Daemon sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Simulation worker threads. More workers = more concurrent
+    /// scenarios; each holds one materialized trace plus one schedule.
+    pub workers: usize,
+    /// Bounded work-queue capacity. When this many tasks wait, further
+    /// submits block their connection handlers (backpressure).
+    pub queue_cap: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        // One worker per core (min 2), and a queue twice the worker
+        // count: deep enough to keep workers fed across request bursts,
+        // shallow enough that memory for queued configs stays trivial
+        // and backpressure engages before the daemon hoards work.
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .max(2);
+        ServiceConfig {
+            workers,
+            queue_cap: workers * 2,
+        }
+    }
+}
+
+/// Counters and flags shared between the accept loop and all handlers.
+struct Inner {
+    pool: WorkerPool,
+    cache: ResultCache,
+    draining: AtomicBool,
+    /// Submits between acceptance and response flush; the drain gate.
+    pending: AtomicUsize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+    wall_ms_total: AtomicU64,
+    wall_ms_max: AtomicU64,
+}
+
+impl Inner {
+    fn snapshot(&self) -> ServiceStats {
+        let (cache_hits, cache_misses, cache_entries) = self.cache.stats();
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::SeqCst),
+            completed: self.completed.load(Ordering::SeqCst),
+            failed: self.failed.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            cache_hits,
+            cache_misses,
+            cache_entries,
+            queue_depth: self.pool.queue_depth() as u64,
+            in_flight: self.pool.in_flight() as u64,
+            draining: self.draining.load(Ordering::SeqCst),
+            wall_ms_total: self.wall_ms_total.load(Ordering::SeqCst),
+            wall_ms_max: self.wall_ms_max.load(Ordering::SeqCst),
+        }
+    }
+
+    fn record_wall(&self, wall_ms: u64) {
+        self.wall_ms_total.fetch_add(wall_ms, Ordering::SeqCst);
+        self.wall_ms_max.fetch_max(wall_ms, Ordering::SeqCst);
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// send [`Request::Shutdown`] (e.g. via `Client::shutdown`) and then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0 to the ephemeral pick).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the daemon has fully drained and stopped.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The daemon entry point.
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// in background threads. Returns once the socket is listening.
+    pub fn start<A: ToSocketAddrs>(addr: A, cfg: ServiceConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(Inner {
+            pool: WorkerPool::new(cfg.workers.max(1), cfg.queue_cap.max(1)),
+            cache: ResultCache::new(),
+            draining: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            wall_ms_total: AtomicU64::new(0),
+            wall_ms_max: AtomicU64::new(0),
+        });
+        let accept = std::thread::spawn(move || accept_loop(listener, inner));
+        Ok(ServerHandle {
+            addr,
+            accept: Some(accept),
+        })
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let inner = inner.clone();
+                // Handlers run blocking I/O; one thread per connection.
+                std::thread::spawn(move || handle_connection(stream, &inner));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if inner.draining.load(Ordering::SeqCst)
+                    && inner.pending.load(Ordering::SeqCst) == 0
+                {
+                    break;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => break,
+        }
+    }
+    // Close the queue and wait for workers; everything still queued was
+    // counted in `pending`, so its handlers get replies before this
+    // point could be reached only via the drain gate above.
+    inner.pool.shutdown();
+}
+
+fn handle_connection(stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    // Blocking reads on the handler side (the listener's nonblocking
+    // flag is per-socket, but inherit rules vary — set it explicitly).
+    let _ = stream.set_nonblocking(false);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break, // peer vanished mid-line
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, gates_drain) = match serde_json::from_str::<Request>(&line) {
+            Ok(request) => serve(request, inner),
+            Err(e) => (
+                Response::Error {
+                    message: format!("malformed request: {e}"),
+                    config_hash: 0,
+                },
+                false,
+            ),
+        };
+        let mut payload = serde_json::to_string(&response).expect("responses serialize");
+        payload.push('\n');
+        let flushed = writer
+            .write_all(payload.as_bytes())
+            .and_then(|()| writer.flush());
+        // The response is now out (or the peer is gone); either way this
+        // request no longer gates the drain.
+        if gates_drain {
+            inner.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        if flushed.is_err() {
+            break;
+        }
+    }
+}
+
+/// Serve one request. Returns the response plus whether it still gates
+/// the drain: a tracked `Submit` increments `pending` here and the
+/// connection handler decrements it after the response flush.
+fn serve(request: Request, inner: &Inner) -> (Response, bool) {
+    match request {
+        Request::Submit { config } => {
+            if inner.draining.load(Ordering::SeqCst) {
+                inner.rejected.fetch_add(1, Ordering::SeqCst);
+                return (Response::ShuttingDown, false);
+            }
+            inner.pending.fetch_add(1, Ordering::SeqCst);
+            inner.submitted.fetch_add(1, Ordering::SeqCst);
+            let response = serve_submit(config, inner);
+            if matches!(response, Response::ShuttingDown) {
+                // Refused after all (pool closed under us): stop gating
+                // the drain right away.
+                inner.pending.fetch_sub(1, Ordering::SeqCst);
+                inner.rejected.fetch_add(1, Ordering::SeqCst);
+                return (response, false);
+            }
+            (response, true)
+        }
+        Request::Stats => (Response::Stats(inner.snapshot()), false),
+        Request::Shutdown => {
+            inner.draining.store(true, Ordering::SeqCst);
+            (Response::ShuttingDown, false)
+        }
+    }
+}
+
+fn serve_submit(config: backfill_sim::RunConfig, inner: &Inner) -> Response {
+    let started = Instant::now();
+    let canonical = config.canonical_json();
+    match inner.cache.lookup(&canonical) {
+        Lookup::Hit { hash, report } => {
+            let wall_ms = started.elapsed().as_millis() as u64;
+            inner.completed.fetch_add(1, Ordering::SeqCst);
+            inner.record_wall(wall_ms);
+            Response::Run(RunReply {
+                config_hash: hash,
+                cached: true,
+                wall_ms,
+                report,
+            })
+        }
+        Lookup::Miss { hash } => {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let submitted = inner.pool.submit(Task {
+                config,
+                reply: reply_tx,
+            });
+            if submitted == Err(PoolClosed) {
+                return Response::ShuttingDown;
+            }
+            let result = match reply_rx.recv() {
+                Ok(result) => result,
+                Err(_) => {
+                    // Worker vanished without replying — only possible if
+                    // the pool was torn down mid-task; treat as refusal.
+                    return Response::ShuttingDown;
+                }
+            };
+            let wall_ms = started.elapsed().as_millis() as u64;
+            inner.record_wall(wall_ms);
+            match result.outcome {
+                Ok(schedule) => {
+                    let report = RunReport::from_schedule(&config, &schedule);
+                    inner.cache.insert(canonical, report.clone());
+                    inner.completed.fetch_add(1, Ordering::SeqCst);
+                    Response::Run(RunReply {
+                        config_hash: hash,
+                        cached: false,
+                        wall_ms,
+                        report,
+                    })
+                }
+                Err(cell_error) => {
+                    inner.failed.fetch_add(1, Ordering::SeqCst);
+                    Response::Error {
+                        message: cell_error.to_string(),
+                        config_hash: fnv1a_64(cell_error.config.canonical_json().as_bytes()),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sizing_is_sane() {
+        let cfg = ServiceConfig::default();
+        assert!(cfg.workers >= 2);
+        assert!(cfg.queue_cap >= cfg.workers, "queue must cover the pool");
+    }
+
+    #[test]
+    fn start_binds_ephemeral_port() {
+        let handle = Server::start(
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 1,
+                queue_cap: 1,
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+        assert_ne!(addr.port(), 0, "port 0 must resolve to a real port");
+        // Shut it down over the wire so join() returns.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writer
+            .write_all(
+                format!("{}\n", serde_json::to_string(&Request::Shutdown).unwrap()).as_bytes(),
+            )
+            .unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        let response: Response = serde_json::from_str(&line).unwrap();
+        assert!(matches!(response, Response::ShuttingDown));
+        handle.join();
+    }
+}

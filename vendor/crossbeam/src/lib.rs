@@ -1,5 +1,7 @@
-//! Offline stand-in for `crossbeam`: an unbounded MPMC channel built on
-//! `std::sync` primitives. Only the surface this workspace uses.
+//! Offline stand-in for `crossbeam`: MPMC channels built on `std::sync`
+//! primitives. Only the surface this workspace uses: an unbounded channel
+//! (sweep fan-out work queues) and a bounded channel whose `send` blocks
+//! at capacity (worker-pool backpressure in `crates/service`).
 
 #![warn(missing_docs)]
 
@@ -10,21 +12,29 @@ pub mod channel {
 
     struct Shared<T> {
         queue: Mutex<State<T>>,
+        /// Signalled when an item arrives or the last sender leaves
+        /// (wakes blocked `recv` calls).
         ready: Condvar,
+        /// Signalled when an item is taken or the last receiver leaves
+        /// (wakes `send` calls blocked on a full bounded channel).
+        space: Condvar,
+        /// `None` = unbounded; `Some(cap)` = at most `cap` queued items.
+        cap: Option<usize>,
     }
 
     struct State<T> {
         items: VecDeque<T>,
         senders: usize,
+        receivers: usize,
     }
 
-    /// The sending half of an unbounded channel.
+    /// The sending half of a channel.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
     }
 
-    /// The receiving half of an unbounded channel. Cloneable: clones
-    /// compete for items (work-queue semantics).
+    /// The receiving half of a channel. Cloneable: clones compete for
+    /// items (work-queue semantics).
     pub struct Receiver<T> {
         shared: Arc<Shared<T>>,
     }
@@ -38,14 +48,16 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
-    /// Create an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn new_pair<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
                 items: VecDeque::new(),
                 senders: 1,
+                receivers: 1,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            cap,
         });
         (
             Sender {
@@ -55,12 +67,42 @@ pub mod channel {
         )
     }
 
+    /// Create an unbounded channel: `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_pair(None)
+    }
+
+    /// Create a bounded channel holding at most `cap` items: `send`
+    /// blocks while the channel is full, which is what gives a worker
+    /// pool fed through it backpressure. `cap` must be at least 1
+    /// (rendezvous channels are not part of this stub's surface).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded channel capacity must be >= 1");
+        new_pair(Some(cap))
+    }
+
     impl<T> Sender<T> {
-        /// Push one item. Never blocks; fails only if all receivers dropped
-        /// (not tracked here — receivers drain at their own pace, so this
-        /// stub always succeeds).
+        /// Push one item. On a bounded channel this blocks while the
+        /// channel is at capacity; on an unbounded channel it returns
+        /// immediately. Fails with [`SendError`] (returning the item)
+        /// once every receiver has been dropped.
         pub fn send(&self, item: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(item));
+                }
+                match self.shared.cap {
+                    Some(cap) if state.items.len() >= cap => {
+                        state = self
+                            .shared
+                            .space
+                            .wait(state)
+                            .unwrap_or_else(|p| p.into_inner());
+                    }
+                    _ => break,
+                }
+            }
             state.items.push_back(item);
             drop(state);
             self.shared.ready.notify_one();
@@ -93,8 +135,25 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            state.receivers += 1;
+            drop(state);
             Receiver {
                 shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            state.receivers -= 1;
+            let disconnected = state.receivers == 0;
+            drop(state);
+            if disconnected {
+                // Wake senders blocked on a full bounded channel so they
+                // can observe the disconnect instead of sleeping forever.
+                self.shared.space.notify_all();
             }
         }
     }
@@ -106,6 +165,8 @@ pub mod channel {
             let mut state = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
             loop {
                 if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(item);
                 }
                 if state.senders == 0 {
@@ -118,12 +179,29 @@ pub mod channel {
                     .unwrap_or_else(|p| p.into_inner());
             }
         }
+
+        /// Number of items currently queued (a snapshot; racy by nature).
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .items
+                .len()
+        }
+
+        /// True when no items are currently queued (snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::channel;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
 
     #[test]
     fn fan_out_drains_every_item() {
@@ -132,14 +210,14 @@ mod tests {
             tx.send(i).unwrap();
         }
         drop(tx);
-        let total = std::sync::atomic::AtomicUsize::new(0);
+        let total = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 let rx = rx.clone();
                 let total = &total;
                 scope.spawn(move || {
                     while let Ok(i) = rx.recv() {
-                        total.fetch_add(i, std::sync::atomic::Ordering::Relaxed);
+                        total.fetch_add(i, Ordering::Relaxed);
                     }
                 });
             }
@@ -154,5 +232,65 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn bounded_preserves_fifo_order() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.send(3).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn bounded_send_blocks_at_capacity_until_recv() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(0).unwrap();
+        let sent = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let sent = &sent;
+            scope.spawn(move || {
+                // Blocks: the channel already holds one item.
+                tx.send(1).unwrap();
+                sent.store(1, Ordering::SeqCst);
+                tx.send(2).unwrap();
+                sent.store(2, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            assert_eq!(sent.load(Ordering::SeqCst), 0, "send returned while full");
+            assert_eq!(rx.recv(), Ok(0));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        });
+        assert_eq!(sent.into_inner(), 2);
+    }
+
+    #[test]
+    fn bounded_send_fails_when_receivers_gone() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        tx.send(7).unwrap();
+        // A sender blocked on a full channel must wake up and fail when
+        // the last receiver disappears, not sleep forever.
+        std::thread::scope(|scope| {
+            let tx = &tx;
+            scope.spawn(move || {
+                assert_eq!(tx.send(8), Err(channel::SendError(8)));
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            drop(rx);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 1")]
+    fn zero_capacity_rejected() {
+        let _ = channel::bounded::<u8>(0);
     }
 }
