@@ -1,0 +1,88 @@
+//! End-to-end event-loop throughput on the contended cells the PR-3
+//! optimizations target: deep queues (~1k waiting jobs) where per-event
+//! queue sorting and running-profile rebuilds used to dominate.
+//!
+//! The companion `bfsim bench` subcommand runs the same cells outside
+//! criterion and emits the machine-readable `BENCH_3.json`; this harness
+//! is for statistically careful A/B runs on individual cells
+//! (`cargo bench --bench sim_throughput`).
+
+use backfill_sim::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// The overloaded CTC scenario from the BENCH_3 sweep: queue depth peaks
+/// above 1000 jobs, so event cost is dominated by queue maintenance.
+fn hot_scenario(jobs: usize) -> Scenario {
+    Scenario {
+        source: TraceSource::Ctc { jobs, seed: 7 },
+        estimate: EstimateModel::User(UserModelParams::capped(SimSpan::from_hours(18))),
+        estimate_seed: 7,
+        load: Some(2.2),
+    }
+}
+
+fn bench_deep_queue(c: &mut Criterion) {
+    let jobs = 6_000;
+    let trace = hot_scenario(jobs).materialize();
+    let mut group = c.benchmark_group("sim_throughput/deep-queue");
+    group.throughput(Throughput::Elements(jobs as u64));
+    for (name, kind, policy) in [
+        (
+            "conservative-xf",
+            SchedulerKind::Conservative,
+            Policy::XFactor,
+        ),
+        (
+            "conservative-fcfs",
+            SchedulerKind::Conservative,
+            Policy::Fcfs,
+        ),
+        ("easy-xf", SchedulerKind::Easy, Policy::XFactor),
+        ("easy-sjf", SchedulerKind::Easy, Policy::Sjf),
+        (
+            "depth4-xf",
+            SchedulerKind::Depth { depth: 4 },
+            Policy::XFactor,
+        ),
+        (
+            "selective2-xf",
+            SchedulerKind::Selective { threshold: 2.0 },
+            Policy::XFactor,
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| black_box(simulate(t, kind, policy)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_spread(c: &mut Criterion) {
+    // Same scheduler, every policy: isolates queue-ordering cost (static
+    // policies never re-sort; XFactor re-keys once per event instant).
+    let jobs = 6_000;
+    let trace = hot_scenario(jobs).materialize();
+    let mut group = c.benchmark_group("sim_throughput/easy-policies");
+    group.throughput(Throughput::Elements(jobs as u64));
+    for policy in [
+        Policy::Fcfs,
+        Policy::Sjf,
+        Policy::Ljf,
+        Policy::WidestFirst,
+        Policy::XFactor,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy}")),
+            &trace,
+            |b, t| b.iter(|| black_box(simulate(t, SchedulerKind::Easy, policy))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_deep_queue, bench_policy_spread
+}
+criterion_main!(benches);

@@ -228,6 +228,9 @@ struct Driver<'a> {
     /// schedules (a suspended job holds no processors).
     segments: Vec<simcore::PlacedJob>,
     completions: u32,
+    /// Discrete events delivered (arrivals, completions — stale ones
+    /// included — and wake-ups): the denominator of events/sec throughput.
+    events: u64,
     journal: Option<Vec<JournalEntry>>,
     /// Times with a wake event already in flight. Schedulers restate their
     /// earliest wake-up need after every event; scheduling each request
@@ -318,6 +321,7 @@ impl Driver<'_> {
 impl Actor<Ev> for Driver<'_> {
     fn handle(&mut self, event: Ev, ctx: &mut Ctx<'_, Ev>) {
         let now = ctx.now();
+        self.events += 1;
         let decisions = match event {
             Ev::Arrive(idx) => {
                 let job = self.trace.jobs()[idx as usize];
@@ -409,6 +413,7 @@ fn simulate_inner(
         epoch: vec![0; trace.len()],
         segments: Vec::with_capacity(trace.len()),
         completions: 0,
+        events: 0,
         journal: journal.then(Vec::new),
         pending_wakes: std::collections::BTreeSet::new(),
     };
@@ -450,6 +455,7 @@ fn simulate_inner(
             outcomes,
             run_segments: driver.segments,
             profile_stats: driver.scheduler.profile_stats(),
+            events: driver.events,
         },
         driver.journal,
     )

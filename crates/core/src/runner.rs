@@ -10,7 +10,6 @@
 use crate::config::RunConfig;
 use crate::schedule::Schedule;
 use crossbeam::channel;
-use parking_lot::Mutex;
 use sched::ProfileStats;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -98,23 +97,30 @@ pub fn run_all_checked(
     }
     drop(tx);
 
-    let slots: Mutex<Vec<Option<Result<RunResult, CellError>>>> =
-        Mutex::new((0..configs.len()).map(|_| None).collect());
+    // Workers stream `(index, result)` back over a channel; the receive
+    // loop fills the indexed slots, so results land in input order with no
+    // lock contention on the hot path.
+    let (done_tx, done_rx) = channel::unbounded::<(usize, Result<RunResult, CellError>)>();
+    let mut slots: Vec<Option<Result<RunResult, CellError>>> =
+        (0..configs.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let rx = rx.clone();
-            let slots = &slots;
+            let done_tx = done_tx.clone();
             scope.spawn(move || {
                 while let Ok(i) = rx.recv() {
-                    let result = cell(configs[i]);
-                    slots.lock()[i] = Some(result);
+                    done_tx.send((i, cell(configs[i]))).expect("receiver open");
                 }
             });
+        }
+        drop(done_tx); // workers hold the remaining senders
+        while let Ok((i, result)) = done_rx.recv() {
+            debug_assert!(slots[i].is_none(), "cell {i} delivered twice");
+            slots[i] = Some(result);
         }
     });
 
     slots
-        .into_inner()
         .into_iter()
         .map(|r| r.expect("every cell completed"))
         .collect()
@@ -154,6 +160,7 @@ mod tests {
     use super::*;
     use crate::config::{Scenario, TraceSource};
     use crate::driver::SchedulerKind;
+    use parking_lot::Mutex;
     use sched::Policy;
     use workload::EstimateModel;
 
@@ -187,9 +194,14 @@ mod tests {
     #[test]
     fn results_preserve_input_order() {
         let configs = sweep();
-        let results = run_all(&configs, None);
-        for (cfg, res) in configs.iter().zip(&results) {
-            assert_eq!(*cfg, res.config);
+        // 16 workers racing over 10 cells: completions stream back in
+        // arbitrary order, the indexed slots must still land them in
+        // input order.
+        for threads in [None, NonZeroUsize::new(16)] {
+            let results = run_all(&configs, threads);
+            for (cfg, res) in configs.iter().zip(&results) {
+                assert_eq!(*cfg, res.config);
+            }
         }
     }
 

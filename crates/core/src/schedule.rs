@@ -22,6 +22,11 @@ pub struct Schedule {
     /// scheduler over the run, if it maintains a profile (`None` for
     /// profile-free schedulers such as plain FCFS).
     pub profile_stats: Option<ProfileStats>,
+    /// Discrete events the driver delivered over the run (arrivals,
+    /// completions, wake-ups). The denominator of events/sec throughput;
+    /// excluded from [`Schedule::fingerprint`], which hashes decisions
+    /// only.
+    pub events: u64,
 }
 
 impl Schedule {
@@ -125,6 +130,7 @@ mod tests {
             outcomes,
             run_segments,
             profile_stats: None,
+            events: 0,
         }
     }
 

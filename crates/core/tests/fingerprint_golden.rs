@@ -1,0 +1,210 @@
+//! Golden schedule fingerprints for every `SchedulerKind` × `Policy` cell.
+//!
+//! The values below were captured from the pre-optimization event loop
+//! (full `Policy::sort` per event, per-event running-profile rebuilds).
+//! The incremental queue and cached-profile fast paths must reproduce
+//! every scheduling decision bit-for-bit, so this table must never
+//! change: a diff here means an optimization altered a decision, not
+//! that the golden values need re-blessing.
+//!
+//! On mismatch the test prints the full actual table in source form so
+//! the offending cells are easy to spot.
+
+use backfill_sim::prelude::*;
+
+const POLICIES: [Policy; 5] = [
+    Policy::Fcfs,
+    Policy::Sjf,
+    Policy::XFactor,
+    Policy::Ljf,
+    Policy::WidestFirst,
+];
+
+fn kinds() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::NoBackfill,
+        SchedulerKind::Conservative,
+        SchedulerKind::ConservativeReanchor,
+        SchedulerKind::ConservativeHeadStart,
+        SchedulerKind::ConservativeNoCompress,
+        SchedulerKind::Easy,
+        SchedulerKind::Selective { threshold: 2.0 },
+        SchedulerKind::Slack { slack_factor: 0.5 },
+        SchedulerKind::Depth { depth: 4 },
+        SchedulerKind::Preemptive { threshold: 5.0 },
+    ]
+}
+
+/// One exact-estimate scenario and one noisy-overload scenario: exact
+/// estimates exercise the never-compress paths, noisy estimates the
+/// early-completion compression and backfill paths.
+fn scenarios() -> Vec<(&'static str, Scenario)> {
+    vec![
+        (
+            "exact",
+            Scenario::high_load(TraceSource::Ctc { jobs: 300, seed: 5 }),
+        ),
+        (
+            "noisy",
+            Scenario {
+                source: TraceSource::Sdsc { jobs: 300, seed: 9 },
+                estimate: EstimateModel::User(UserModelParams::capped(SimSpan::from_hours(18))),
+                estimate_seed: 3,
+                load: Some(1.1),
+            },
+        ),
+    ]
+}
+
+fn actual_table() -> Vec<(String, u64)> {
+    let mut rows = Vec::new();
+    for (tag, scenario) in scenarios() {
+        let trace = scenario.materialize();
+        for kind in kinds() {
+            for policy in POLICIES {
+                let config = RunConfig {
+                    scenario,
+                    kind,
+                    policy,
+                };
+                let schedule = config.run_on(&trace);
+                rows.push((format!("{tag} {}", config.label()), schedule.fingerprint()));
+            }
+        }
+    }
+    rows
+}
+
+#[test]
+fn fingerprints_match_pre_optimization_golden() {
+    let actual = actual_table();
+    if GOLDEN.is_empty() {
+        for (label, fp) in &actual {
+            println!("    (\"{label}\", {fp}),");
+        }
+        panic!("golden table is empty — paste the rows printed above");
+    }
+    assert_eq!(actual.len(), GOLDEN.len(), "cell count changed");
+    let mut bad = Vec::new();
+    for ((label, fp), (glabel, gfp)) in actual.iter().zip(GOLDEN) {
+        assert_eq!(label, glabel, "cell order changed");
+        if fp != gfp {
+            bad.push(format!("  {label}: got {fp}, golden {gfp}"));
+        }
+    }
+    if !bad.is_empty() {
+        println!("full actual table:");
+        for (label, fp) in &actual {
+            println!("    (\"{label}\", {fp}),");
+        }
+        panic!(
+            "{} of {} cells diverged from the pre-optimization schedule:\n{}",
+            bad.len(),
+            GOLDEN.len(),
+            bad.join("\n")
+        );
+    }
+}
+
+const GOLDEN: &[(&str, u64)] = &[
+    ("exact CTC NoBF/FCFS", 14572893836041093586),
+    ("exact CTC NoBF/SJF", 2431905914622153295),
+    ("exact CTC NoBF/XF", 6062918610595642461),
+    ("exact CTC NoBF/LJF", 7381628006867324499),
+    ("exact CTC NoBF/WIDEST", 16666907027020700884),
+    ("exact CTC Cons/FCFS", 17428217945964598284),
+    ("exact CTC Cons/SJF", 17428217945964598284),
+    ("exact CTC Cons/XF", 17428217945964598284),
+    ("exact CTC Cons/LJF", 17428217945964598284),
+    ("exact CTC Cons/WIDEST", 17428217945964598284),
+    ("exact CTC Cons(re)/FCFS", 17428217945964598284),
+    ("exact CTC Cons(re)/SJF", 17428217945964598284),
+    ("exact CTC Cons(re)/XF", 17428217945964598284),
+    ("exact CTC Cons(re)/LJF", 17428217945964598284),
+    ("exact CTC Cons(re)/WIDEST", 17428217945964598284),
+    ("exact CTC Cons(hs)/FCFS", 17428217945964598284),
+    ("exact CTC Cons(hs)/SJF", 17428217945964598284),
+    ("exact CTC Cons(hs)/XF", 17428217945964598284),
+    ("exact CTC Cons(hs)/LJF", 17428217945964598284),
+    ("exact CTC Cons(hs)/WIDEST", 17428217945964598284),
+    ("exact CTC Cons(no)/FCFS", 17428217945964598284),
+    ("exact CTC Cons(no)/SJF", 17428217945964598284),
+    ("exact CTC Cons(no)/XF", 17428217945964598284),
+    ("exact CTC Cons(no)/LJF", 17428217945964598284),
+    ("exact CTC Cons(no)/WIDEST", 17428217945964598284),
+    ("exact CTC EASY/FCFS", 12453254507105878430),
+    ("exact CTC EASY/SJF", 15963640489262518397),
+    ("exact CTC EASY/XF", 7697523494145941265),
+    ("exact CTC EASY/LJF", 5948969204613486425),
+    ("exact CTC EASY/WIDEST", 8367173258884333925),
+    ("exact CTC Sel(2)/FCFS", 16383849689197242975),
+    ("exact CTC Sel(2)/SJF", 10724913835157230569),
+    ("exact CTC Sel(2)/XF", 16383849689197242975),
+    ("exact CTC Sel(2)/LJF", 16095373227575525892),
+    ("exact CTC Sel(2)/WIDEST", 12063517174197711595),
+    ("exact CTC Slack(0.5)/FCFS", 4762206726195513327),
+    ("exact CTC Slack(0.5)/SJF", 2252301783687434114),
+    ("exact CTC Slack(0.5)/XF", 2252301783687434114),
+    ("exact CTC Slack(0.5)/LJF", 4762206726195513327),
+    ("exact CTC Slack(0.5)/WIDEST", 3534512671710638399),
+    ("exact CTC Depth(4)/FCFS", 11535704480240077465),
+    ("exact CTC Depth(4)/SJF", 913777337515257443),
+    ("exact CTC Depth(4)/XF", 17262432390947622512),
+    ("exact CTC Depth(4)/LJF", 4529460597779464790),
+    ("exact CTC Depth(4)/WIDEST", 14997905031521538560),
+    ("exact CTC Preempt(5)/FCFS", 1540923522517671935),
+    ("exact CTC Preempt(5)/SJF", 5116580028284322922),
+    ("exact CTC Preempt(5)/XF", 15560596587482679430),
+    ("exact CTC Preempt(5)/LJF", 2813596589130617305),
+    ("exact CTC Preempt(5)/WIDEST", 935080747828842513),
+    ("noisy SDSC NoBF/FCFS", 4686240881350357340),
+    ("noisy SDSC NoBF/SJF", 15246979278971562746),
+    ("noisy SDSC NoBF/XF", 3901737552019926833),
+    ("noisy SDSC NoBF/LJF", 15039344799029432035),
+    ("noisy SDSC NoBF/WIDEST", 15480924378151153441),
+    ("noisy SDSC Cons/FCFS", 3232953766975883382),
+    ("noisy SDSC Cons/SJF", 5401407322745901090),
+    ("noisy SDSC Cons/XF", 15064315141531066407),
+    ("noisy SDSC Cons/LJF", 1165212110438201759),
+    ("noisy SDSC Cons/WIDEST", 2861944411525347457),
+    ("noisy SDSC Cons(re)/FCFS", 9265234261398896142),
+    ("noisy SDSC Cons(re)/SJF", 8383749731337966891),
+    ("noisy SDSC Cons(re)/XF", 12686015992643581963),
+    ("noisy SDSC Cons(re)/LJF", 1534178432371590154),
+    ("noisy SDSC Cons(re)/WIDEST", 8677616123800719708),
+    ("noisy SDSC Cons(hs)/FCFS", 10957520886913647407),
+    ("noisy SDSC Cons(hs)/SJF", 4133570787311464384),
+    ("noisy SDSC Cons(hs)/XF", 724367135631776457),
+    ("noisy SDSC Cons(hs)/LJF", 5024734439892265237),
+    ("noisy SDSC Cons(hs)/WIDEST", 15455973790211826859),
+    ("noisy SDSC Cons(no)/FCFS", 5448751844439637780),
+    ("noisy SDSC Cons(no)/SJF", 5448751844439637780),
+    ("noisy SDSC Cons(no)/XF", 5448751844439637780),
+    ("noisy SDSC Cons(no)/LJF", 5448751844439637780),
+    ("noisy SDSC Cons(no)/WIDEST", 5448751844439637780),
+    ("noisy SDSC EASY/FCFS", 15801014315566170543),
+    ("noisy SDSC EASY/SJF", 5980741259229826818),
+    ("noisy SDSC EASY/XF", 12915602286428687474),
+    ("noisy SDSC EASY/LJF", 6147462646879830791),
+    ("noisy SDSC EASY/WIDEST", 13476995601855643856),
+    ("noisy SDSC Sel(2)/FCFS", 6892403221189413360),
+    ("noisy SDSC Sel(2)/SJF", 7153098841702556908),
+    ("noisy SDSC Sel(2)/XF", 9837166503935901577),
+    ("noisy SDSC Sel(2)/LJF", 12352522407722787040),
+    ("noisy SDSC Sel(2)/WIDEST", 6773183116290088467),
+    ("noisy SDSC Slack(0.5)/FCFS", 13318982954713007054),
+    ("noisy SDSC Slack(0.5)/SJF", 3706418980289500281),
+    ("noisy SDSC Slack(0.5)/XF", 11176871760965644253),
+    ("noisy SDSC Slack(0.5)/LJF", 6613050545725556030),
+    ("noisy SDSC Slack(0.5)/WIDEST", 2077882203341203967),
+    ("noisy SDSC Depth(4)/FCFS", 6706763625356360268),
+    ("noisy SDSC Depth(4)/SJF", 9239742780367278989),
+    ("noisy SDSC Depth(4)/XF", 4287510870901087320),
+    ("noisy SDSC Depth(4)/LJF", 5304010358122667683),
+    ("noisy SDSC Depth(4)/WIDEST", 12581684299106949397),
+    ("noisy SDSC Preempt(5)/FCFS", 9143460228816387288),
+    ("noisy SDSC Preempt(5)/SJF", 13184087838091992996),
+    ("noisy SDSC Preempt(5)/XF", 5996587946772766850),
+    ("noisy SDSC Preempt(5)/LJF", 12107569167859854094),
+    ("noisy SDSC Preempt(5)/WIDEST", 15990805453650440507),
+];

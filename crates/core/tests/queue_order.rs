@@ -1,0 +1,138 @@
+//! Property test for the incremental scheduler queue: under arbitrary
+//! interleavings of arrivals, dequeues, and mid-queue removals (starts /
+//! completions of backfilled jobs), [`SchedQueue`] must present exactly
+//! the order a full [`Policy::sort`] of the same jobs would — for every
+//! policy, at every observation instant.
+//!
+//! This is the differential harness the incremental maintenance rests on:
+//! static-key policies insert by binary search and never re-sort, XFactor
+//! re-keys once per instant; both must be indistinguishable from the
+//! reference sort.
+
+use proptest::prelude::*;
+use sched::{JobMeta, Policy, SchedQueue};
+use simcore::{JobId, SimSpan, SimTime};
+
+const POLICIES: [Policy; 5] = [
+    Policy::Fcfs,
+    Policy::Sjf,
+    Policy::Ljf,
+    Policy::WidestFirst,
+    Policy::XFactor,
+];
+
+/// One step of queue churn, as seen by a scheduler's event loop.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// A job arrives (estimate seconds, width) and is pushed.
+    Arrive { estimate: u64, width: u32 },
+    /// The head job starts: pop the front.
+    PopFront,
+    /// A mid-queue job starts via backfill (or leaves): remove index
+    /// `slot % len`.
+    Remove { slot: usize },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    // (selector, estimate, width, slot) → op; arrivals weighted 3:1:1 so
+    // queues actually grow deep enough to exercise mid-queue removals.
+    let op =
+        (0u8..5, 1u64..50_000, 1u32..=64, 0usize..64).prop_map(|(which, estimate, width, slot)| {
+            match which {
+                0..=2 => Op::Arrive { estimate, width },
+                3 => Op::PopFront,
+                _ => Op::Remove { slot },
+            }
+        });
+    proptest::collection::vec(op, 1..80)
+}
+
+/// The reference: clone the queue's jobs into a plain `Vec` and apply the
+/// policy's full sort at `now`.
+fn reference_order(queue: &SchedQueue, policy: Policy, now: SimTime) -> Vec<JobId> {
+    let mut jobs: Vec<JobMeta> = queue.to_vec();
+    policy.sort(&mut jobs, now);
+    jobs.into_iter().map(|j| j.id).collect()
+}
+
+fn observed_order(queue: &mut SchedQueue, now: SimTime) -> Vec<JobId> {
+    queue.prepare(now);
+    queue.iter().map(|j| j.id).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Drive the same op sequence through the incremental queue and the
+    /// sort-everything reference; the visible order must match at every
+    /// step, under advancing time (which changes XFactor keys).
+    #[test]
+    fn incremental_queue_matches_policy_sort(ops in arb_ops()) {
+        for policy in POLICIES {
+            let mut queue = SchedQueue::new(policy);
+            let mut now = SimTime::ZERO;
+            for (step, op) in ops.iter().enumerate() {
+                now += SimSpan::new(60); // keys age between events
+                match *op {
+                    Op::Arrive { estimate, width } => {
+                        queue.push(JobMeta {
+                            id: JobId(step as u32),
+                            arrival: now,
+                            estimate: SimSpan::new(estimate),
+                            width,
+                        });
+                    }
+                    Op::PopFront => {
+                        queue.prepare(now);
+                        let expect = reference_order(&queue, policy, now);
+                        let popped = queue.pop_front().map(|j| j.id);
+                        prop_assert_eq!(popped, expect.first().copied(), "{policy} head");
+                    }
+                    Op::Remove { slot } => {
+                        if !queue.is_empty() {
+                            queue.prepare(now);
+                            queue.remove(slot % queue.len());
+                        }
+                    }
+                }
+                prop_assert_eq!(
+                    observed_order(&mut queue, now),
+                    reference_order(&queue, policy, now),
+                    "{} diverged after step {}",
+                    policy,
+                    step
+                );
+            }
+            // Drain fully: pop order is the reference order to the end.
+            queue.prepare(now);
+            let expect = reference_order(&queue, policy, now);
+            let mut drained = Vec::new();
+            while let Some(job) = queue.pop_front() {
+                drained.push(job.id);
+            }
+            prop_assert_eq!(drained, expect, "{} drain order", policy);
+        }
+    }
+
+    /// Re-observing at the same instant (no pushes in between) must not
+    /// change the order — the XFactor same-instant sort skip is exact.
+    #[test]
+    fn same_instant_reobservation_is_stable(ops in arb_ops()) {
+        let mut queue = SchedQueue::new(Policy::XFactor);
+        let mut now = SimTime::ZERO;
+        for (step, op) in ops.iter().enumerate() {
+            now += SimSpan::new(60);
+            if let Op::Arrive { estimate, width } = *op {
+                queue.push(JobMeta {
+                    id: JobId(step as u32),
+                    arrival: now,
+                    estimate: SimSpan::new(estimate),
+                    width,
+                });
+            }
+            let first = observed_order(&mut queue, now);
+            let second = observed_order(&mut queue, now);
+            prop_assert_eq!(first, second, "same-instant order drifted");
+        }
+    }
+}

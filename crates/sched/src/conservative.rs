@@ -16,6 +16,7 @@
 
 use crate::policy::Policy;
 use crate::profile::{Profile, ProfileStats};
+use crate::queue::sort_keyed;
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
 use serde::{Deserialize, Serialize};
 use simcore::{JobId, SimTime};
@@ -205,8 +206,8 @@ impl ConservativeScheduler {
     /// (the differential and compression property tests check this).
     fn compress(&mut self, now: SimTime) {
         self.profile.note_compress_pass();
-        self.queue
-            .sort_by(|a, b| self.policy.compare(&a.meta, &b.meta, now));
+        self.profile.note_queue_ops(0, 1, 0);
+        sort_keyed(&mut self.queue, self.policy, now, |r| r.meta);
         for i in 0..self.queue.len() {
             let res = self.queue[i];
             if res.start <= now {

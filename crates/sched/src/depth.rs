@@ -16,6 +16,7 @@
 
 use crate::policy::Policy;
 use crate::profile::{Profile, ProfileStats};
+use crate::queue::SchedQueue;
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
 use simcore::{JobId, SimTime};
 use std::collections::HashMap;
@@ -33,8 +34,11 @@ pub struct DepthScheduler {
     depth: usize,
     capacity: u32,
     free: u32,
-    queue: Vec<JobMeta>,
+    queue: SchedQueue,
     running: HashMap<JobId, Running>,
+    /// Mirror of the running set's remaining estimated occupancy, updated
+    /// on every start and completion instead of rebuilt per event.
+    cached: Profile,
     /// Accumulated counters from the throwaway per-event profiles.
     stats: ProfileStats,
 }
@@ -50,8 +54,9 @@ impl DepthScheduler {
             depth,
             capacity,
             free: capacity,
-            queue: Vec::new(),
+            queue: SchedQueue::new(policy),
             running: HashMap::new(),
+            cached: Profile::new(capacity),
             stats: ProfileStats::default(),
         }
     }
@@ -59,6 +64,7 @@ impl DepthScheduler {
     fn start(&mut self, job: JobMeta, now: SimTime, starts: &mut Vec<JobId>) {
         debug_assert!(job.width <= self.free);
         self.free -= job.width;
+        self.cached.reserve(now, job.estimate, job.width);
         self.running.insert(
             job.id,
             Running {
@@ -69,7 +75,9 @@ impl DepthScheduler {
         starts.push(job.id);
     }
 
-    fn running_profile(&self, now: SimTime) -> Profile {
+    /// From-scratch rebuild: the differential reference for `cached`.
+    #[cfg(debug_assertions)]
+    fn rebuilt_running_profile(&self, now: SimTime) -> Profile {
         let mut p = Profile::new(self.capacity);
         for run in self.running.values() {
             if run.est_end > now {
@@ -81,14 +89,15 @@ impl DepthScheduler {
 
     fn reschedule(&mut self, now: SimTime) -> Decisions {
         let mut starts = Vec::new();
-        self.policy.sort(&mut self.queue, now);
+        self.cached.trim_before(now);
+        self.queue.prepare(now);
 
         // Phase 1: start from the head while it fits (identical to EASY).
-        while let Some(head) = self.queue.first() {
+        while let Some(head) = self.queue.front() {
             if head.width > self.free {
                 break;
             }
-            let head = self.queue.remove(0);
+            let head = self.queue.pop_front().expect("front() was Some");
             self.start(head, now, &mut starts);
         }
         if self.queue.is_empty() {
@@ -98,7 +107,18 @@ impl DepthScheduler {
         // Phase 2: the top `depth` blocked jobs receive reservations, in
         // priority order, each at its earliest anchor given the running
         // jobs and the reservations placed before it.
-        let mut profile = self.running_profile(now);
+        #[cfg(debug_assertions)]
+        {
+            self.stats.profile_rebuilds += 1;
+            debug_assert!(
+                self.cached
+                    .same_future(&self.rebuilt_running_profile(now), now),
+                "cached running profile diverged from rebuild at {now}"
+            );
+        }
+        self.stats.profile_rebuilds_avoided += 1;
+        let mut profile = self.cached.clone();
+        profile.reset_stats();
         let protected = self.depth.min(self.queue.len());
         for job in self.queue.iter().take(protected) {
             let anchor = profile.find_anchor(now, job.estimate, job.width);
@@ -141,6 +161,9 @@ impl Scheduler for DepthScheduler {
             .remove(&id)
             .expect("completion for unknown job");
         self.free += run.width;
+        if run.est_end > now {
+            self.cached.release(now, run.est_end.since(now), run.width);
+        }
         self.reschedule(now)
     }
 
@@ -153,7 +176,10 @@ impl Scheduler for DepthScheduler {
     }
 
     fn profile_stats(&self) -> Option<ProfileStats> {
-        Some(self.stats)
+        let mut stats = self.stats;
+        stats.absorb(&self.cached.stats());
+        self.queue.counters().merge_into(&mut stats);
+        Some(stats)
     }
 }
 

@@ -8,8 +8,9 @@
 //! queue priorities.
 //!
 //! Mechanically, at every arrival and completion the scheduler:
-//! 1. re-sorts the queue by the priority policy (XFactor priorities change
-//!    with time, so this must happen per event);
+//! 1. establishes priority order via the incrementally maintained
+//!    [`SchedQueue`] (static-key policies stay permanently sorted; XFactor
+//!    re-keys once per distinct event instant);
 //! 2. starts jobs from the head while they fit in the free processors;
 //! 3. gives the first job that does not fit (the pivot) a reservation at
 //!    the earliest anchor in the profile of running jobs;
@@ -23,6 +24,7 @@
 
 use crate::policy::Policy;
 use crate::profile::{Profile, ProfileStats};
+use crate::queue::SchedQueue;
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
 use simcore::{JobId, SimTime};
 use std::collections::HashMap;
@@ -39,8 +41,12 @@ pub struct EasyScheduler {
     policy: Policy,
     capacity: u32,
     free: u32,
-    queue: Vec<JobMeta>,
+    queue: SchedQueue,
     running: HashMap<JobId, Running>,
+    /// Mirror of the running set's remaining estimated occupancy, updated
+    /// on every start and completion instead of rebuilt per event. The
+    /// rebuild stays as a debug-mode differential reference.
+    cached: Profile,
     /// Accumulated counters from the throwaway per-event profiles.
     stats: ProfileStats,
 }
@@ -53,8 +59,9 @@ impl EasyScheduler {
             policy,
             capacity,
             free: capacity,
-            queue: Vec::new(),
+            queue: SchedQueue::new(policy),
             running: HashMap::new(),
+            cached: Profile::new(capacity),
             stats: ProfileStats::default(),
         }
     }
@@ -62,6 +69,7 @@ impl EasyScheduler {
     fn start(&mut self, job: JobMeta, now: SimTime, starts: &mut Vec<JobId>) {
         debug_assert!(job.width <= self.free);
         self.free -= job.width;
+        self.cached.reserve(now, job.estimate, job.width);
         self.running.insert(
             job.id,
             Running {
@@ -72,8 +80,10 @@ impl EasyScheduler {
         starts.push(job.id);
     }
 
-    /// Profile of the *running* jobs' remaining estimated occupancy.
-    fn running_profile(&self, now: SimTime) -> Profile {
+    /// Profile of the *running* jobs' remaining estimated occupancy,
+    /// rebuilt from scratch: the differential reference for `cached`.
+    #[cfg(debug_assertions)]
+    fn rebuilt_running_profile(&self, now: SimTime) -> Profile {
         let mut p = Profile::new(self.capacity);
         for run in self.running.values() {
             if run.est_end > now {
@@ -87,14 +97,15 @@ impl EasyScheduler {
 
     fn reschedule(&mut self, now: SimTime) -> Decisions {
         let mut starts = Vec::new();
-        self.policy.sort(&mut self.queue, now);
+        self.cached.trim_before(now);
+        self.queue.prepare(now);
 
         // Phase 1: start from the head while it fits.
-        while let Some(head) = self.queue.first() {
+        while let Some(head) = self.queue.front() {
             if head.width > self.free {
                 break;
             }
-            let head = self.queue.remove(0);
+            let head = self.queue.pop_front().expect("front() was Some");
             self.start(head, now, &mut starts);
         }
         if self.queue.is_empty() {
@@ -105,7 +116,18 @@ impl EasyScheduler {
         // Phase 2: the blocked head becomes the pivot and gets the unique
         // reservation.
         let pivot = self.queue[0];
-        let mut profile = self.running_profile(now);
+        #[cfg(debug_assertions)]
+        {
+            self.stats.profile_rebuilds += 1;
+            debug_assert!(
+                self.cached
+                    .same_future(&self.rebuilt_running_profile(now), now),
+                "cached running profile diverged from rebuild at {now}"
+            );
+        }
+        self.stats.profile_rebuilds_avoided += 1;
+        let mut profile = self.cached.clone();
+        profile.reset_stats();
         let anchor = profile.find_anchor(now, pivot.estimate, pivot.width);
         // `anchor == now` is possible even though the pivot did not start
         // in phase 1: the profile (built from *estimated* ends) may already
@@ -150,6 +172,11 @@ impl Scheduler for EasyScheduler {
             .remove(&id)
             .expect("completion for unknown job");
         self.free += run.width;
+        // Return the job's not-yet-elapsed estimated occupancy; an overrun
+        // job (est_end <= now) holds nothing in the profile's future.
+        if run.est_end > now {
+            self.cached.release(now, run.est_end.since(now), run.width);
+        }
         self.reschedule(now)
     }
 
@@ -162,7 +189,10 @@ impl Scheduler for EasyScheduler {
     }
 
     fn profile_stats(&self) -> Option<ProfileStats> {
-        Some(self.stats)
+        let mut stats = self.stats;
+        stats.absorb(&self.cached.stats());
+        self.queue.counters().merge_into(&mut stats);
+        Some(stats)
     }
 }
 

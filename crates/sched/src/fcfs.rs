@@ -8,6 +8,7 @@
 //! paper); it is the control arm for every backfilling comparison.
 
 use crate::policy::Policy;
+use crate::queue::SchedQueue;
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
 use simcore::{JobId, SimTime};
 use std::collections::HashMap;
@@ -18,7 +19,7 @@ pub struct FcfsScheduler {
     policy: Policy,
     capacity: u32,
     free: u32,
-    queue: Vec<JobMeta>,
+    queue: SchedQueue,
     running: HashMap<JobId, u32>,
 }
 
@@ -30,19 +31,19 @@ impl FcfsScheduler {
             policy,
             capacity,
             free: capacity,
-            queue: Vec::new(),
+            queue: SchedQueue::new(policy),
             running: HashMap::new(),
         }
     }
 
     fn reschedule(&mut self, now: SimTime) -> Decisions {
-        self.policy.sort(&mut self.queue, now);
+        self.queue.prepare(now);
         let mut starts = Vec::new();
-        while let Some(head) = self.queue.first() {
+        while let Some(head) = self.queue.front() {
             if head.width > self.free {
                 break; // strict: nothing may pass the blocked head
             }
-            let head = self.queue.remove(0);
+            let head = self.queue.pop_front().expect("front() was Some");
             self.free -= head.width;
             self.running.insert(head.id, head.width);
             starts.push(head.id);

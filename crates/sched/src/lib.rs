@@ -19,7 +19,9 @@
 //! * [`depth`] — reservation-depth backfilling: protect the top *k* queued
 //!   jobs, the EASY↔conservative continuum of Chiang et al.;
 //! * [`preemptive`] — EASY with selective preemption of running jobs (the
-//!   authors' companion strategy, their reference [6]).
+//!   authors' companion strategy, their reference [6]);
+//! * [`queue`] — incrementally maintained priority queues shared by the
+//!   schedulers' event-loop hot paths.
 
 #![warn(missing_docs)]
 
@@ -30,6 +32,7 @@ pub mod fcfs;
 pub mod policy;
 pub mod preemptive;
 pub mod profile;
+pub mod queue;
 pub mod scheduler;
 pub mod selective;
 pub mod slack;
@@ -41,6 +44,7 @@ pub use fcfs::FcfsScheduler;
 pub use policy::Policy;
 pub use preemptive::PreemptiveScheduler;
 pub use profile::{Profile, ProfileStats, Segment};
+pub use queue::{sort_keyed, QueueCounters, SchedQueue};
 pub use scheduler::{Decisions, JobMeta, Scheduler};
 pub use selective::SelectiveScheduler;
 pub use slack::{SlackPolicy, SlackScheduler};

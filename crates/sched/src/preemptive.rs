@@ -20,6 +20,7 @@
 
 use crate::policy::Policy;
 use crate::profile::{Profile, ProfileStats};
+use crate::queue::SchedQueue;
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
 use simcore::{JobId, SimSpan, SimTime};
 use std::collections::HashMap;
@@ -42,8 +43,11 @@ pub struct PreemptiveScheduler {
     free: u32,
     /// Waiting jobs; `estimate` fields hold *remaining* estimates for
     /// previously preempted jobs.
-    queue: Vec<JobMeta>,
+    queue: SchedQueue,
     running: HashMap<JobId, Running>,
+    /// Mirror of the running set's remaining estimated occupancy, updated
+    /// on starts, completions and preemptions instead of rebuilt per event.
+    cached: Profile,
     /// Times a job has been suspended so far (sticky across resumes).
     suspended_count: HashMap<JobId, u32>,
     /// Every job's original meta, as first submitted — needed to rebuild
@@ -72,8 +76,9 @@ impl PreemptiveScheduler {
             policy,
             capacity,
             free: capacity,
-            queue: Vec::new(),
+            queue: SchedQueue::new(policy),
             running: HashMap::new(),
+            cached: Profile::new(capacity),
             suspended_count: HashMap::new(),
             original: HashMap::new(),
             threshold,
@@ -93,6 +98,7 @@ impl PreemptiveScheduler {
     fn start(&mut self, job: JobMeta, now: SimTime, starts: &mut Vec<JobId>) {
         debug_assert!(job.width <= self.free);
         self.free -= job.width;
+        self.cached.reserve(now, job.estimate, job.width);
         let preemptions = self.suspended_count.get(&job.id).copied().unwrap_or(0);
         self.running.insert(
             job.id,
@@ -106,7 +112,9 @@ impl PreemptiveScheduler {
         starts.push(job.id);
     }
 
-    fn running_profile(&self, now: SimTime) -> Profile {
+    /// From-scratch rebuild: the differential reference for `cached`.
+    #[cfg(debug_assertions)]
+    fn rebuilt_running_profile(&self, now: SimTime) -> Profile {
         let mut p = Profile::new(self.capacity);
         for run in self.running.values() {
             if run.est_end > now {
@@ -114,6 +122,15 @@ impl PreemptiveScheduler {
             }
         }
         p
+    }
+
+    /// Remove `run`'s not-yet-elapsed estimated occupancy from the cached
+    /// profile (completion or suspension).
+    fn release_cached(&mut self, run: &Running, now: SimTime) {
+        if run.est_end > now {
+            self.cached
+                .release(now, run.est_end.since(now), run.meta.width);
+        }
     }
 
     /// Pick victims (lowest priority first) freeing enough processors for
@@ -143,31 +160,33 @@ impl PreemptiveScheduler {
     fn reschedule(&mut self, now: SimTime) -> Decisions {
         let mut starts = Vec::new();
         let mut preempts = Vec::new();
-        self.policy.sort(&mut self.queue, now);
+        self.cached.trim_before(now);
+        self.queue.prepare(now);
 
         // EASY phase 1: start from the head while it fits.
-        while let Some(head) = self.queue.first() {
+        while let Some(head) = self.queue.front() {
             if head.width > self.free {
                 break;
             }
-            let head = self.queue.remove(0);
+            let head = self.queue.pop_front().expect("front() was Some");
             self.start(head, now, &mut starts);
         }
 
         // Preemption episode: if the blocked head is starving, displace the
         // least deserving runners and start it right away.
-        if let Some(&head) = self.queue.first() {
+        if let Some(&head) = self.queue.front() {
             if self.threshold.is_finite() && Policy::xfactor(&head, now) >= self.threshold {
                 if let Some(victims) = self.pick_victims(head.width, now) {
                     for id in victims {
                         let run = self.running.remove(&id).expect("victim runs");
                         self.free += run.meta.width;
+                        self.release_cached(&run, now);
                         *self.suspended_count.entry(id).or_insert(0) += 1;
                         preempts.push(id);
                         // The driver answers with on_preempted, where the
                         // job re-enters the queue with remaining estimate.
                     }
-                    let head = self.queue.remove(0);
+                    let head = self.queue.pop_front().expect("front() was Some");
                     self.start(head, now, &mut starts);
                 }
             }
@@ -183,7 +202,18 @@ impl PreemptiveScheduler {
 
         // EASY phases 2–3: pivot reservation and backfilling.
         let pivot = self.queue[0];
-        let mut profile = self.running_profile(now);
+        #[cfg(debug_assertions)]
+        {
+            self.stats.profile_rebuilds += 1;
+            debug_assert!(
+                self.cached
+                    .same_future(&self.rebuilt_running_profile(now), now),
+                "cached running profile diverged from rebuild at {now}"
+            );
+        }
+        self.stats.profile_rebuilds_avoided += 1;
+        let mut profile = self.cached.clone();
+        profile.reset_stats();
         let anchor = profile.find_anchor(now, pivot.estimate, pivot.width);
         profile.reserve(anchor, pivot.estimate, pivot.width);
         let mut i = 1;
@@ -240,6 +270,7 @@ impl Scheduler for PreemptiveScheduler {
             .remove(&id)
             .expect("completion for unknown job");
         self.free += run.meta.width;
+        self.release_cached(&run, now);
         self.reschedule(now)
     }
 
@@ -264,7 +295,10 @@ impl Scheduler for PreemptiveScheduler {
     }
 
     fn profile_stats(&self) -> Option<ProfileStats> {
-        Some(self.stats)
+        let mut stats = self.stats;
+        stats.absorb(&self.cached.stats());
+        self.queue.counters().merge_into(&mut stats);
+        Some(stats)
     }
 }
 

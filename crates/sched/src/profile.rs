@@ -60,7 +60,7 @@
 
 use serde::{Deserialize, Serialize};
 use simcore::{SimSpan, SimTime};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 /// One step of the free-capacity silhouette: `free` processors are
 /// available from `start` until the next segment's start.
@@ -116,6 +116,62 @@ struct ProfileIndex {
     runs: Vec<Vec<Run>>,
 }
 
+/// Memoized prefix minima for left-edge-pinned fit queries.
+///
+/// Backfill and compression passes ask [`Profile::fits`] the same-shaped
+/// question hundreds of times per event — "does a rectangle starting at
+/// `now` fit?" — against a profile that mutates only when a job actually
+/// moves. For one `(silhouette, from)` pair the answer is a pure lookup:
+/// `min_free[j]` is the minimum free capacity over `[from, ends[j])`, so a
+/// `width × duration` rectangle fits at `from` iff the prefix minimum
+/// covering `from + duration` is at least `width`. The cache is built
+/// lazily in O(segments), invalidated by `version` on every mutation, and
+/// answers each query with one binary search.
+#[derive(Debug, Clone, Default)]
+struct FitsCache {
+    /// Profile version the entries were computed against.
+    version: u64,
+    /// Query left edge the prefix minima are anchored at.
+    from: SimTime,
+    /// Exclusive end of each prefix window, strictly increasing; the last
+    /// entry is `SimTime::FAR_FUTURE` (the final segment never ends).
+    ends: Vec<SimTime>,
+    /// `min_free[j]` = minimum free capacity over `[from, ends[j])`.
+    min_free: Vec<u32>,
+}
+
+impl FitsCache {
+    /// Recompute the prefix minima for `profile` anchored at `from`.
+    fn rebuild(&mut self, profile: &Profile, from: SimTime) {
+        self.version = profile.version;
+        self.from = from;
+        self.ends.clear();
+        self.min_free.clear();
+        // First segment starting strictly after `from`; the region before
+        // it (a real segment or the implicit fully-free prefix) is where
+        // the query window opens.
+        let i0 = profile.segs.partition_point(|s| s.start <= from);
+        let mut min = if i0 == 0 {
+            profile.capacity
+        } else {
+            profile.segs[i0 - 1].free
+        };
+        for seg in &profile.segs[i0..] {
+            self.ends.push(seg.start);
+            self.min_free.push(min);
+            min = min.min(seg.free);
+        }
+        self.ends.push(SimTime::FAR_FUTURE);
+        self.min_free.push(min);
+    }
+
+    /// Minimum free capacity over `[from, end)`.
+    fn min_free_until(&self, end: SimTime) -> u32 {
+        let j = self.ends.partition_point(|&e| e < end);
+        self.min_free[j.min(self.min_free.len() - 1)]
+    }
+}
+
 /// Operation counters of one [`Profile`] (or aggregated over several — see
 /// [`ProfileStats::absorb`]). All counts are cumulative since creation or
 /// the last [`Profile::reset_stats`].
@@ -136,6 +192,20 @@ pub struct ProfileStats {
     pub compress_passes: u64,
     /// Largest segment count the profile ever reached.
     pub peak_segments: u64,
+    /// Queued jobs placed by incremental binary-search insertion instead
+    /// of being re-sorted into place (static-key policies).
+    pub queue_inserts: u64,
+    /// Full queue sorts actually performed (time-dependent policies such
+    /// as XFactor re-key and sort once per event).
+    pub queue_sorts: u64,
+    /// Per-event queue sorts skipped because the incremental order was
+    /// already correct (static-key policies never re-sort).
+    pub queue_sorts_avoided: u64,
+    /// Running-set profile rebuilds performed from scratch.
+    pub profile_rebuilds: u64,
+    /// Running-set profile rebuilds served from the incrementally
+    /// maintained cache instead of being rebuilt.
+    pub profile_rebuilds_avoided: u64,
 }
 
 impl ProfileStats {
@@ -149,6 +219,11 @@ impl ProfileStats {
         self.releases += other.releases;
         self.compress_passes += other.compress_passes;
         self.peak_segments = self.peak_segments.max(other.peak_segments);
+        self.queue_inserts += other.queue_inserts;
+        self.queue_sorts += other.queue_sorts;
+        self.queue_sorts_avoided += other.queue_sorts_avoided;
+        self.profile_rebuilds += other.profile_rebuilds;
+        self.profile_rebuilds_avoided += other.profile_rebuilds_avoided;
     }
 
     /// Mean segments examined per anchor search (0 if none ran).
@@ -173,6 +248,9 @@ struct Counters {
     releases: Cell<u64>,
     compress_passes: Cell<u64>,
     peak_segments: Cell<u64>,
+    queue_inserts: Cell<u64>,
+    queue_sorts: Cell<u64>,
+    queue_sorts_avoided: Cell<u64>,
 }
 
 /// The free-capacity timeline of a machine, including running jobs and any
@@ -197,6 +275,9 @@ pub struct Profile {
     /// Non-empty: the last segment extends to infinity.
     segs: Vec<Segment>,
     index: ProfileIndex,
+    /// Bumped by `reindex` on every mutation; invalidates `fits_cache`.
+    version: u64,
+    fits_cache: RefCell<FitsCache>,
     stats: Counters,
 }
 
@@ -221,6 +302,8 @@ impl Profile {
                 free: capacity,
             }],
             index: ProfileIndex::default(),
+            version: 0,
+            fits_cache: RefCell::new(FitsCache::default()),
             stats: Counters::default(),
         };
         p.reindex();
@@ -247,6 +330,11 @@ impl Profile {
             releases: self.stats.releases.get(),
             compress_passes: self.stats.compress_passes.get(),
             peak_segments: self.stats.peak_segments.get(),
+            queue_inserts: self.stats.queue_inserts.get(),
+            queue_sorts: self.stats.queue_sorts.get(),
+            queue_sorts_avoided: self.stats.queue_sorts_avoided.get(),
+            profile_rebuilds: 0,
+            profile_rebuilds_avoided: 0,
         }
     }
 
@@ -259,6 +347,9 @@ impl Profile {
         self.stats.releases.set(0);
         self.stats.compress_passes.set(0);
         self.stats.peak_segments.set(self.segs.len() as u64);
+        self.stats.queue_inserts.set(0);
+        self.stats.queue_sorts.set(0);
+        self.stats.queue_sorts_avoided.set(0);
     }
 
     /// Record one compression pass by the owning scheduler. The pass itself
@@ -270,11 +361,30 @@ impl Profile {
             .set(self.stats.compress_passes.get() + 1);
     }
 
+    /// Record queue-order maintenance work by the owning scheduler: jobs
+    /// placed by incremental insertion, full sorts performed, and sorts
+    /// skipped because the maintained order was already correct. Like
+    /// [`Profile::note_compress_pass`], the events happen at the scheduler
+    /// level; the counters live here so one [`ProfileStats`] carries the
+    /// whole hot-path story.
+    pub fn note_queue_ops(&self, inserts: u64, sorts: u64, sorts_avoided: u64) {
+        self.stats
+            .queue_inserts
+            .set(self.stats.queue_inserts.get() + inserts);
+        self.stats
+            .queue_sorts
+            .set(self.stats.queue_sorts.get() + sorts);
+        self.stats
+            .queue_sorts_avoided
+            .set(self.stats.queue_sorts_avoided.get() + sorts_avoided);
+    }
+
     /// Rebuild the block and run indexes and track the peak segment count.
     /// Called after every mutation; O(n · log capacity) with a trivial
     /// constant, alongside the O(n) segment-vector shift the mutation
     /// already paid for.
     fn reindex(&mut self) {
+        self.version = self.version.wrapping_add(1);
         let blocks = self.segs.len().div_ceil(BLOCK);
         self.index.min_free.clear();
         self.index.min_free.resize(blocks, u32::MAX);
@@ -344,9 +454,32 @@ impl Profile {
     }
 
     /// True if a `width × duration` rectangle fits with its left edge
-    /// exactly at `start`.
+    /// exactly at `start` — equivalently, whether the minimum free
+    /// capacity over `[start, start + duration)` is at least `width`.
+    ///
+    /// Answers come from the [`FitsCache`] prefix minima: one binary
+    /// search per query, one O(n) rebuild per mutation or left-edge
+    /// change. Compression passes probe the same `now` dozens of times
+    /// between mutations, so nearly every query is a cache hit.
     pub fn fits(&self, start: SimTime, duration: SimSpan, width: u32) -> bool {
-        self.find_anchor(start, duration, width) == start
+        self.assert_possible(width);
+        if duration.is_zero() || width == 0 {
+            return true;
+        }
+        let mut cache = self.fits_cache.borrow_mut();
+        let visited = if cache.version != self.version || cache.from != start {
+            cache.rebuild(self, start);
+            cache.min_free.len() as u64
+        } else {
+            1
+        };
+        self.stats
+            .find_anchor_calls
+            .set(self.stats.find_anchor_calls.get() + 1);
+        self.stats
+            .segments_visited
+            .set(self.stats.segments_visited.get() + visited);
+        cache.min_free_until(start + duration) >= width
     }
 
     /// First segment index `>= from` with `free >= width`, skipping blocks
@@ -738,6 +871,32 @@ impl Profile {
         debug_assert!(self.invariants_ok());
     }
 
+    /// True iff `self` and `other` describe the same free-capacity step
+    /// function over `[from, ∞)`. Segment *boundaries* may differ (a
+    /// differently trimmed past, a redundant boundary below `from`); only
+    /// the silhouette the anchor search actually sees matters. This is the
+    /// equivalence the cached-running-profile schedulers rely on: their
+    /// incrementally maintained profile is `same_future` with a scratch
+    /// rebuild at every event (asserted in debug builds), which makes every
+    /// `find_anchor`/`fits` answer — and hence every scheduling decision —
+    /// identical.
+    pub fn same_future(&self, other: &Profile, from: SimTime) -> bool {
+        if self.capacity != other.capacity {
+            return false;
+        }
+        // Two step functions are equal over [from, ∞) iff they agree at
+        // `from` and at every boundary of either that lies beyond it.
+        let boundaries = self
+            .segs
+            .iter()
+            .chain(other.segs.iter())
+            .map(|s| s.start)
+            .filter(|&s| s > from);
+        std::iter::once(from)
+            .chain(boundaries)
+            .all(|t| self.free_at(t) == other.free_at(t))
+    }
+
     /// Drop segment boundaries strictly before `now` (they can never matter
     /// again), keeping the level at `now` intact. Bounds memory on long runs.
     pub fn trim_before(&mut self, now: SimTime) {
@@ -1044,6 +1203,45 @@ mod tests {
     }
 
     #[test]
+    fn fits_cache_matches_anchor_scan_on_large_profiles() {
+        // Past the SMALL cutoff `fits` answers from the prefix-minima
+        // cache; every answer must equal the anchor-scan definition, for
+        // shifting left edges and across mutations.
+        let mut p = Profile::new(64);
+        for i in 0..(2 * SMALL as u64) {
+            let width = 1 + ((i * 7 + 3) % 60) as u32;
+            p.reserve(
+                t(i * 10),
+                d(10 + (i % 13) * 5),
+                width.min(p.free_at(t(i * 10))),
+            );
+        }
+        assert!(p.segments().len() > SMALL);
+        let check = |p: &Profile| {
+            for start in (0..2 * SMALL as u64 * 10).step_by(97) {
+                for &width in &[1u32, 7, 23, 40, 64] {
+                    for &dur in &[1u64, 50, 400, 5_000, 200_000] {
+                        let expect = p.find_anchor(t(start), d(dur), width) == t(start);
+                        assert_eq!(
+                            p.fits(t(start), d(dur), width),
+                            expect,
+                            "diverged at start={start} dur={dur} width={width}"
+                        );
+                        // The memoized repeat must agree with the rebuild.
+                        assert_eq!(p.fits(t(start), d(dur), width), expect);
+                    }
+                }
+            }
+        };
+        check(&p);
+        // Mutations must invalidate the cache, not leave stale answers.
+        let anchor = p.find_anchor(t(35), d(400), 1);
+        p.reserve(anchor, d(400), 1);
+        p.release(t(1_000), d(200), 1);
+        check(&p);
+    }
+
+    #[test]
     fn stats_count_operations() {
         let mut p = Profile::new(8);
         p.reserve(t(0), d(100), 4);
@@ -1127,6 +1325,25 @@ mod tests {
         assert_eq!(p.free_at(t(50)), f50);
         assert!(p.invariants_ok());
         assert!(p.segments().len() <= 3);
+    }
+
+    #[test]
+    fn same_future_ignores_past_and_segmentation() {
+        let mut a = Profile::new(8);
+        a.reserve(t(0), d(10), 3); // past noise
+        a.reserve(t(100), d(50), 4);
+        let mut b = Profile::new(8);
+        b.reserve(t(100), d(50), 4);
+        assert!(!a.same_future(&b, t(5)), "pasts differ at t=5");
+        assert!(a.same_future(&b, t(10)), "futures agree from t=10");
+        b.trim_before(t(120)); // drops the boundary at 100, keeps the level
+        assert!(
+            a.same_future(&b, t(120)),
+            "trimming must not break equality"
+        );
+        b.reserve(t(130), d(5), 1);
+        assert!(!a.same_future(&b, t(120)));
+        assert!(!a.same_future(&Profile::new(16), t(0)), "capacity differs");
     }
 
     #[test]

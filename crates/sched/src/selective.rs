@@ -23,6 +23,7 @@
 
 use crate::policy::Policy;
 use crate::profile::{Profile, ProfileStats};
+use crate::queue::{sort_keyed, SchedQueue};
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
 use simcore::{JobId, SimSpan, SimTime};
 use std::collections::HashMap;
@@ -45,8 +46,11 @@ pub struct SelectiveScheduler {
     policy: Policy,
     threshold: f64,
     profile: Profile,
+    /// Protected jobs. Deliberately a plain `Vec`: between compression
+    /// passes its order (last sort + promotion appends) is event-visible
+    /// through the due-start scan, so it must not be kept eagerly sorted.
     reserved: Vec<Reservation>,
-    unreserved: Vec<JobMeta>,
+    unreserved: SchedQueue,
     running: HashMap<JobId, Running>,
     /// Processors physically free right now (see the conservative
     /// scheduler: the profile runs ahead of the event stream at instants
@@ -68,7 +72,7 @@ impl SelectiveScheduler {
             threshold,
             profile: Profile::new(capacity),
             reserved: Vec::new(),
-            unreserved: Vec::new(),
+            unreserved: SchedQueue::new(policy),
             running: HashMap::new(),
             free: capacity,
         }
@@ -106,8 +110,8 @@ impl SelectiveScheduler {
     /// Re-anchor reservations after a hole opened (early completion).
     fn compress(&mut self, now: SimTime) {
         self.profile.note_compress_pass();
-        self.reserved
-            .sort_by(|a, b| self.policy.compare(&a.meta, &b.meta, now));
+        self.profile.note_queue_ops(0, 1, 0);
+        sort_keyed(&mut self.reserved, self.policy, now, |r| r.meta);
         for i in 0..self.reserved.len() {
             let res = self.reserved[i];
             self.profile
@@ -132,7 +136,7 @@ impl SelectiveScheduler {
 
         // Promote jobs whose expansion factor crossed the threshold, in
         // priority order (simultaneous crossers are anchored best-first).
-        self.policy.sort(&mut self.unreserved, now);
+        self.unreserved.prepare(now);
         let mut i = 0;
         while i < self.unreserved.len() {
             if self.crossed(&self.unreserved[i], now) {
@@ -245,7 +249,9 @@ impl Scheduler for SelectiveScheduler {
     }
 
     fn profile_stats(&self) -> Option<ProfileStats> {
-        Some(self.profile.stats())
+        let mut stats = self.profile.stats();
+        self.unreserved.counters().merge_into(&mut stats);
+        Some(stats)
     }
 }
 

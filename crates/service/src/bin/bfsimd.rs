@@ -1,7 +1,7 @@
 //! `bfsimd` — the resident simulation daemon.
 //!
 //! ```text
-//! bfsimd [--addr HOST:PORT] [--workers N] [--queue N]
+//! bfsimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache-cap N]
 //! ```
 //!
 //! Listens for JSON-lines requests (see `service::protocol`), runs them
@@ -41,8 +41,17 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("bad --queue (need an integer >= 1)"))
             }
+            "--cache-cap" => {
+                cfg.cache_cap = next(&mut it, "--cache-cap")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("bad --cache-cap (need an integer >= 1)"))
+            }
             "--help" | "-h" => {
-                println!("usage: bfsimd [--addr HOST:PORT] [--workers N] [--queue N]");
+                println!(
+                    "usage: bfsimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache-cap N]"
+                );
                 std::process::exit(0);
             }
             other => die(&format!("unknown flag {other:?}")),
@@ -50,10 +59,11 @@ fn main() {
     }
     let handle = Server::start(&addr, cfg).unwrap_or_else(|e| die(&format!("binding {addr}: {e}")));
     println!(
-        "bfsimd listening on {} ({} workers, queue {})",
+        "bfsimd listening on {} ({} workers, queue {}, cache cap {})",
         handle.addr(),
         cfg.workers,
-        cfg.queue_cap
+        cfg.queue_cap,
+        cfg.cache_cap
     );
     handle.join();
     println!("bfsimd drained and stopped");

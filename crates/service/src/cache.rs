@@ -9,6 +9,12 @@
 //! byte-identical schedule ⇒ byte-identical report), so a hit returns a
 //! report indistinguishable from re-running the scenario, minus the
 //! compute.
+//!
+//! The cache is bounded: past the configured entry cap, inserting evicts
+//! the least-recently-used entry (hits refresh recency). Eviction scans
+//! for the oldest tick — O(entries) — which is deliberate: an insert only
+//! happens after a full simulation, so the scan is noise, and the flat
+//! map keeps lookups (the actual hot path) a single hash probe.
 
 use crate::protocol::RunReport;
 use backfill_sim::canon::fnv1a_64;
@@ -16,23 +22,52 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A memoized report plus its display hash.
+/// A memoized report plus its display hash and last-touched tick.
 #[derive(Debug, Clone)]
 struct Entry {
     hash: u64,
     report: RunReport,
+    /// Logical LRU clock value of the last lookup hit or insert.
+    tick: u64,
+}
+
+/// Guarded state: the map and the logical clock it stamps entries with.
+#[derive(Debug, Default)]
+struct Slots {
+    map: HashMap<String, Entry>,
+    clock: u64,
+}
+
+impl Slots {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
 }
 
 /// Thread-safe memoization of completed runs, keyed by canonical config
-/// JSON. Counters are monotone over the cache's lifetime.
-#[derive(Debug, Default)]
+/// JSON, bounded to `cap` entries with LRU eviction. Counters are
+/// monotone over the cache's lifetime.
+#[derive(Debug)]
 pub struct ResultCache {
-    map: Mutex<HashMap<String, Entry>>,
+    slots: Mutex<Slots>,
+    cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAP)
+    }
 }
 
 /// A cache lookup's outcome, as reported by [`ResultCache::lookup`].
+// A Hit carries the full ~1 KB report by value: every Hit is immediately
+// serialized into a response, so boxing would buy nothing but an extra
+// allocation on the cache's whole purpose.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Lookup {
     /// The report was memoized; serving it costs no simulation.
@@ -51,16 +86,34 @@ pub enum Lookup {
 }
 
 impl ResultCache {
-    /// Create an empty cache.
+    /// Default entry cap: a full paper sweep is a few hundred cells, so
+    /// this holds several complete sweeps before anything is evicted.
+    pub const DEFAULT_CAP: usize = 1024;
+
+    /// Create an empty cache with the default entry cap.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Create an empty cache holding at most `cap` entries (minimum 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        ResultCache {
+            slots: Mutex::new(Slots::default()),
+            cap: cap.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
     /// Look up a canonical config key, bumping the hit or miss counter.
+    /// A hit refreshes the entry's recency.
     pub fn lookup(&self, canonical: &str) -> Lookup {
-        let map = self.map.lock();
-        match map.get(canonical) {
+        let mut slots = self.slots.lock();
+        let tick = slots.tick();
+        match slots.map.get_mut(canonical) {
             Some(entry) => {
+                entry.tick = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Lookup::Hit {
                     hash: entry.hash,
@@ -76,20 +129,34 @@ impl ResultCache {
         }
     }
 
-    /// Memoize a completed run. Idempotent: two workers racing on the
-    /// same scenario insert byte-identical reports, so last-write-wins
-    /// is harmless.
+    /// Memoize a completed run, evicting the least-recently-used entry
+    /// if the cache is at capacity. Idempotent: two workers racing on
+    /// the same scenario insert byte-identical reports, so
+    /// last-write-wins is harmless (and re-inserting never evicts).
     pub fn insert(&self, canonical: String, report: RunReport) {
         let hash = fnv1a_64(canonical.as_bytes());
-        self.map.lock().insert(canonical, Entry { hash, report });
+        let mut slots = self.slots.lock();
+        let tick = slots.tick();
+        if slots.map.len() >= self.cap && !slots.map.contains_key(&canonical) {
+            let coldest = slots
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("cap >= 1, so a full map is non-empty");
+            slots.map.remove(&coldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        slots.map.insert(canonical, Entry { hash, report, tick });
     }
 
-    /// `(hits, misses, entries)` counters.
-    pub fn stats(&self) -> (u64, u64, u64) {
+    /// `(hits, misses, entries, evictions)` counters.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
-            self.map.lock().len() as u64,
+            self.slots.lock().map.len() as u64,
+            self.evictions.load(Ordering::Relaxed),
         )
     }
 }
@@ -133,7 +200,7 @@ mod tests {
             }
             Lookup::Miss { .. } => panic!("inserted key missed"),
         }
-        assert_eq!(cache.stats(), (1, 1, 1));
+        assert_eq!(cache.stats(), (1, 1, 1, 0));
     }
 
     #[test]
@@ -144,11 +211,45 @@ mod tests {
         assert_ne!(a.canonical_json(), b.canonical_json());
         cache.insert(a.canonical_json(), RunReport::from_schedule(&a, &a.run()));
         cache.insert(b.canonical_json(), RunReport::from_schedule(&b, &b.run()));
-        let (_, _, entries) = cache.stats();
+        let (_, _, entries, _) = cache.stats();
         assert_eq!(entries, 2);
         match cache.lookup(&a.canonical_json()) {
             Lookup::Hit { report, .. } => assert_eq!(report.label, a.label()),
             Lookup::Miss { .. } => panic!("a missed"),
         }
+    }
+
+    #[test]
+    fn lru_eviction_under_cap_of_two() {
+        let cache = ResultCache::with_capacity(2);
+        let (a, b, c) = (config(1), config(2), config(3));
+        let report = |cfg: &RunConfig| RunReport::from_schedule(cfg, &cfg.run());
+        cache.insert(a.canonical_json(), report(&a));
+        cache.insert(b.canonical_json(), report(&b));
+        // Touch `a`: it becomes the most recently used of the two.
+        assert!(matches!(
+            cache.lookup(&a.canonical_json()),
+            Lookup::Hit { .. }
+        ));
+        // Third insert at cap 2: the LRU entry — `b`, not `a` — goes.
+        cache.insert(c.canonical_json(), report(&c));
+        let (hits, _, entries, evictions) = cache.stats();
+        assert_eq!((hits, entries, evictions), (1, 2, 1));
+        assert!(
+            matches!(cache.lookup(&b.canonical_json()), Lookup::Miss { .. }),
+            "least-recently-used entry must be the one evicted"
+        );
+        assert!(matches!(
+            cache.lookup(&a.canonical_json()),
+            Lookup::Hit { .. }
+        ));
+        assert!(matches!(
+            cache.lookup(&c.canonical_json()),
+            Lookup::Hit { .. }
+        ));
+        // Re-inserting a resident key at cap never evicts.
+        cache.insert(a.canonical_json(), report(&a));
+        let (_, _, entries, evictions) = cache.stats();
+        assert_eq!((entries, evictions), (2, 1));
     }
 }

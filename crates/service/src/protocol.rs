@@ -28,6 +28,10 @@ pub enum Request {
 }
 
 /// The daemon's answer: one per request line, in order.
+// Run carries the full ~1 KB report by value: a Response exists only to
+// be serialized onto the wire immediately, so the size gap between Run
+// and ShuttingDown never sits in memory long enough to matter.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Response {
     /// A completed (or cache-served) simulation.
@@ -88,6 +92,8 @@ pub struct RunReport {
     /// Availability-profile operation counters, if the scheduler keeps a
     /// profile.
     pub profile: Option<ProfileStats>,
+    /// Discrete events the driver delivered over the run.
+    pub events: u64,
 }
 
 impl RunReport {
@@ -104,6 +110,7 @@ impl RunReport {
             fairness: fairness(&schedule.outcomes),
             capacity: capacity_report(&schedule.outcomes, schedule.nodes),
             profile: schedule.profile_stats,
+            events: schedule.events,
         }
     }
 }
@@ -126,6 +133,8 @@ pub struct ServiceStats {
     pub cache_misses: u64,
     /// Entries currently memoized.
     pub cache_entries: u64,
+    /// Entries evicted to stay under the configured cache cap (LRU).
+    pub cache_evictions: u64,
     /// Tasks waiting in the bounded work queue right now.
     pub queue_depth: u64,
     /// Tasks being simulated by workers right now.

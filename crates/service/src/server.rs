@@ -40,6 +40,9 @@ pub struct ServiceConfig {
     /// Bounded work-queue capacity. When this many tasks wait, further
     /// submits block their connection handlers (backpressure).
     pub queue_cap: usize,
+    /// Result-cache entry cap; past it the least-recently-used report
+    /// is evicted on insert.
+    pub cache_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -55,6 +58,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             workers,
             queue_cap: workers * 2,
+            cache_cap: ResultCache::DEFAULT_CAP,
         }
     }
 }
@@ -76,7 +80,7 @@ struct Inner {
 
 impl Inner {
     fn snapshot(&self) -> ServiceStats {
-        let (cache_hits, cache_misses, cache_entries) = self.cache.stats();
+        let (cache_hits, cache_misses, cache_entries, cache_evictions) = self.cache.stats();
         ServiceStats {
             submitted: self.submitted.load(Ordering::SeqCst),
             completed: self.completed.load(Ordering::SeqCst),
@@ -85,6 +89,7 @@ impl Inner {
             cache_hits,
             cache_misses,
             cache_entries,
+            cache_evictions,
             queue_depth: self.pool.queue_depth() as u64,
             in_flight: self.pool.in_flight() as u64,
             draining: self.draining.load(Ordering::SeqCst),
@@ -133,7 +138,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let inner = Arc::new(Inner {
             pool: WorkerPool::new(cfg.workers.max(1), cfg.queue_cap.max(1)),
-            cache: ResultCache::new(),
+            cache: ResultCache::with_capacity(cfg.cache_cap),
             draining: AtomicBool::new(false),
             pending: AtomicUsize::new(0),
             submitted: AtomicU64::new(0),
@@ -326,6 +331,7 @@ mod tests {
             ServiceConfig {
                 workers: 1,
                 queue_cap: 1,
+                ..ServiceConfig::default()
             },
         )
         .unwrap();

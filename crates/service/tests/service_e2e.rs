@@ -67,6 +67,7 @@ fn daemon_serves_concurrent_batch_then_replays_from_cache() {
         ServiceConfig {
             workers: 4,
             queue_cap: 4,
+            ..ServiceConfig::default()
         },
     )
     .expect("start daemon");
@@ -130,6 +131,7 @@ fn poisoned_scenario_gets_error_and_daemon_survives() {
         ServiceConfig {
             workers: 1,
             queue_cap: 2,
+            ..ServiceConfig::default()
         },
     )
     .expect("start daemon");
@@ -173,6 +175,7 @@ fn malformed_request_line_is_rejected_not_fatal() {
         ServiceConfig {
             workers: 1,
             queue_cap: 1,
+            ..ServiceConfig::default()
         },
     )
     .expect("start daemon");
@@ -213,6 +216,7 @@ fn graceful_shutdown_drains_in_flight_without_losing_responses() {
         ServiceConfig {
             workers: 1,
             queue_cap: 2,
+            ..ServiceConfig::default()
         },
     )
     .expect("start daemon");
