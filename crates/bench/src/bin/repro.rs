@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! repro [EXPERIMENT...] [--quick] [--jobs N] [--seeds a,b,c] [--load RHO] [--csv DIR]
+//!       [--log-level SPEC] [--log-json]
 //! ```
 //!
 //! With no experiment names, everything runs (in paper order). `--quick`
 //! uses a small configuration for smoke runs. `--csv DIR` additionally
-//! writes each table as a CSV file into `DIR`.
+//! writes each table as a CSV file into `DIR`. `--log-level` takes the
+//! `BFSIM_LOG` filter grammar and wins over the environment; per-
+//! experiment timing lines are logged at `info`.
 //!
 //! Experiments: `table1 table2 table3 fig1 fig2 table4 equiv table5
 //! table6 fig3 fig4 table7 load-sweep selective compression policies`.
@@ -20,11 +23,11 @@ struct Args {
     csv_dir: Option<String>,
 }
 
-fn parse_args() -> Args {
+fn parse_args(args: &[String]) -> Args {
     let mut names = Vec::new();
     let mut opts = Opts::default();
     let mut csv_dir = None;
-    let mut it = std::env::args().skip(1);
+    let mut it = args.iter().cloned();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => {
@@ -53,8 +56,18 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| die("--load needs a number"));
             }
             "--csv" => csv_dir = Some(it.next().unwrap_or_else(|| die("--csv needs a dir"))),
+            // Consumed by init_logging before parsing; skip here.
+            "--log-level" => {
+                let _ = it
+                    .next()
+                    .unwrap_or_else(|| die("--log-level needs a value"));
+            }
+            "--log-json" => {}
             "--help" | "-h" => {
-                println!("usage: repro [EXPERIMENT...] [--quick] [--jobs N] [--seeds a,b,c] [--load RHO] [--csv DIR]");
+                println!(
+                    "usage: repro [EXPERIMENT...] [--quick] [--jobs N] [--seeds a,b,c] \
+                     [--load RHO] [--csv DIR] [--log-level SPEC] [--log-json]"
+                );
                 println!("experiments: {}", ALL.join(" "));
                 std::process::exit(0);
             }
@@ -70,8 +83,39 @@ fn parse_args() -> Args {
 }
 
 fn die(msg: &str) -> ! {
-    eprintln!("repro: {msg}");
+    obs::error!(target: "repro", "{msg}");
     std::process::exit(2);
+}
+
+/// Install the global logger before flag parsing so `die` goes through
+/// it. Mirrors `bfsim`'s logging flags.
+fn init_logging(args: &[String]) {
+    let mut spec: Option<String> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--log-level" => spec = it.next().cloned(),
+            "--log-json" => json = true,
+            _ => {}
+        }
+    }
+    let filter = match &spec {
+        Some(spec) => obs::log::Filter::parse(spec).unwrap_or_else(|e| {
+            eprintln!("repro: bad --log-level: {e}");
+            std::process::exit(2);
+        }),
+        None => match std::env::var("BFSIM_LOG") {
+            Ok(env_spec) if !env_spec.trim().is_empty() => obs::log::Filter::parse(&env_spec)
+                .unwrap_or_else(|_| obs::log::Filter::uniform(obs::log::Level::Warn)),
+            _ => obs::log::Filter::uniform(obs::log::Level::Error),
+        },
+    };
+    let _ = obs::log::init(obs::log::LogConfig {
+        filter,
+        json,
+        sink: obs::log::Sink::Stderr,
+    });
 }
 
 const ALL: [&str; 23] = [
@@ -147,7 +191,9 @@ fn run(name: &str, opts: &Opts) -> Vec<Table> {
 }
 
 fn main() {
-    let args = parse_args();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    init_logging(&argv);
+    let args = parse_args(&argv);
     let names: Vec<String> = if args.names.is_empty() {
         ALL.iter().map(|s| s.to_string()).collect()
     } else {
@@ -176,6 +222,6 @@ fn main() {
                     .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
             }
         }
-        eprintln!("[{name}: {:.1?}]", t0.elapsed());
+        obs::info!(target: "repro", "{name}: {:.1?}", t0.elapsed());
     }
 }

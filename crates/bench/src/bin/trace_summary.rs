@@ -1,0 +1,62 @@
+//! `trace-summary` — aggregate a `--trace-out` decision-trace file.
+//!
+//! ```text
+//! trace-summary FILE.jsonl
+//! ```
+//!
+//! Reads the JSONL decision trace that `bfsim simulate --trace-out` /
+//! `bfsim bench --trace-out` emit, reconstructs per-job timelines
+//! (`bench::trace_analysis`), and prints mean wait and mean bounded
+//! slowdown overall and per paper category — the same numbers the
+//! simulator's own `metrics::aggregate` path reports, recomputed from
+//! the wire format alone.
+
+use bench::trace_analysis::{analyze, parse_jsonl};
+
+fn die(msg: &str) -> ! {
+    obs::error!(target: "trace_summary", "{msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let _ = obs::log::init_from_env();
+    let mut paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.iter().any(|a| a == "--help" || a == "-h") || paths.is_empty() {
+        println!("usage: trace-summary FILE.jsonl");
+        std::process::exit(if paths.is_empty() { 2 } else { 0 });
+    }
+    if paths.len() > 1 {
+        die("expected exactly one trace file");
+    }
+    let path = paths.remove(0);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let events = parse_jsonl(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let analysis = analyze(&events);
+
+    println!(
+        "{} events, {} completed jobs, {} incomplete",
+        events.len(),
+        analysis.overall.count,
+        analysis.incomplete
+    );
+    println!(
+        "{:<8} {:>8} {:>14} {:>16}",
+        "group", "jobs", "mean wait (s)", "bounded slowdown"
+    );
+    println!(
+        "{:<8} {:>8} {:>14.1} {:>16.2}",
+        "all",
+        analysis.overall.count,
+        analysis.overall.mean_wait(),
+        analysis.overall.mean_slowdown()
+    );
+    for (cat, summary) in &analysis.per_category {
+        println!(
+            "{:<8} {:>8} {:>14.1} {:>16.2}",
+            format!("{cat:?}"),
+            summary.count,
+            summary.mean_wait(),
+            summary.mean_slowdown()
+        );
+    }
+}

@@ -2,9 +2,12 @@
 //!
 //! * [`experiments`] — regenerates every table and figure of the paper
 //!   (plus ablations); driven by the `repro` binary;
+//! * [`trace_analysis`] — reconstructs per-category wait/slowdown
+//!   timelines from a `--trace-out` decision-trace JSONL file;
 //! * `benches/` — Criterion microbenchmarks of the simulator itself
 //!   (profile operations, scheduler throughput, trace generation).
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod trace_analysis;

@@ -1,0 +1,106 @@
+//! The trace analyzer and `metrics::aggregate` must tell one story.
+//!
+//! Run a deterministic scenario with the decision recorder attached,
+//! round-trip the events through the JSONL wire format, reconstruct
+//! timelines with `bench::trace_analysis`, and compare per-category mean
+//! wait and mean bounded slowdown against `Schedule::stats` computed
+//! from the same run's outcomes. The two pipelines share no code beyond
+//! the τ = 10 s constant, so agreement here pins both.
+
+use backfill_sim::prelude::*;
+use bench::trace_analysis::{analyze, parse_jsonl};
+use obs::trace::{Recorder, TraceCategory};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn assert_close(label: &str, a: f64, b: f64) {
+    let tol = 1e-9 * a.abs().max(b.abs()).max(1.0);
+    assert!(
+        (a - b).abs() <= tol,
+        "{label}: analyzer {a} vs aggregate {b}"
+    );
+}
+
+fn crosscheck(kind: SchedulerKind, policy: Policy, scenario: Scenario) {
+    let trace = scenario.materialize();
+    let recorder = Rc::new(RefCell::new(Recorder::new(1 << 17)));
+    let (schedule, _) = simulate_observed(
+        &trace,
+        kind,
+        policy,
+        SimOptions::with_recorder(recorder.clone()),
+    );
+    schedule.validate().expect("valid schedule");
+    let stats = schedule.stats(&CategoryCriteria::default());
+
+    // Round-trip through the wire format, as a real consumer would.
+    let mut jsonl = Vec::new();
+    recorder.borrow().write_jsonl(&mut jsonl).unwrap();
+    assert_eq!(recorder.borrow().dropped(), 0, "ring too small for test");
+    let events = parse_jsonl(std::str::from_utf8(&jsonl).unwrap()).expect("parse trace");
+    let analysis = analyze(&events);
+
+    assert_eq!(analysis.incomplete, 0);
+    assert_eq!(analysis.overall.count, trace.jobs().len() as u64);
+    assert_close(
+        "overall wait",
+        analysis.overall.mean_wait(),
+        stats.overall.avg_wait(),
+    );
+    assert_close(
+        "overall slowdown",
+        analysis.overall.mean_slowdown(),
+        stats.overall.avg_slowdown(),
+    );
+
+    for (cat, trace_cat) in [
+        (Category::SN, TraceCategory::SN),
+        (Category::SW, TraceCategory::SW),
+        (Category::LN, TraceCategory::LN),
+        (Category::LW, TraceCategory::LW),
+    ] {
+        let expected = stats.category(cat);
+        match analysis.category(trace_cat) {
+            Some(summary) => {
+                assert_eq!(summary.count, expected.count(), "{cat} count");
+                assert_close(
+                    &format!("{cat} wait"),
+                    summary.mean_wait(),
+                    expected.avg_wait(),
+                );
+                assert_close(
+                    &format!("{cat} slowdown"),
+                    summary.mean_slowdown(),
+                    expected.avg_slowdown(),
+                );
+            }
+            None => assert_eq!(expected.count(), 0, "{cat} missing from analysis"),
+        }
+    }
+}
+
+#[test]
+fn analyzer_matches_aggregate_easy_exact() {
+    crosscheck(
+        SchedulerKind::Easy,
+        Policy::Sjf,
+        Scenario::high_load(TraceSource::Ctc {
+            jobs: 200,
+            seed: 11,
+        }),
+    );
+}
+
+#[test]
+fn analyzer_matches_aggregate_conservative_noisy() {
+    crosscheck(
+        SchedulerKind::Conservative,
+        Policy::XFactor,
+        Scenario {
+            source: TraceSource::Sdsc { jobs: 200, seed: 4 },
+            estimate: EstimateModel::User(UserModelParams::capped(SimSpan::from_hours(18))),
+            estimate_seed: 2,
+            load: Some(1.05),
+        },
+    );
+}

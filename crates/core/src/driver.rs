@@ -14,16 +14,17 @@
 
 use crate::schedule::Schedule;
 use metrics::JobOutcome;
+use obs::trace::{SharedRecorder, TraceCategory, TraceKind};
 use sched::conservative::Compression;
 use sched::slack::SlackPolicy;
 use sched::{
     ConservativeScheduler, DepthScheduler, EasyScheduler, FcfsScheduler, PreemptiveScheduler,
     SelectiveScheduler, SlackScheduler,
 };
-use sched::{Decisions, JobMeta, Policy, Scheduler};
+use sched::{Decisions, JobMeta, Policy, ProfileStats, Scheduler};
 use serde::{Deserialize, Serialize};
 use simcore::{Actor, Ctx, Engine, EventClass, JobId, Machine, SimSpan, SimTime};
-use workload::Trace;
+use workload::{Category, CategoryCriteria, Trace};
 
 /// Which scheduling strategy to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -193,6 +194,85 @@ pub fn journal_queue_series(
     metrics::TimeSeries::from_parts(origin, bin, values)
 }
 
+/// Observability options for one simulation run. Everything here is
+/// record-only: enabling any of it cannot change a single scheduling
+/// decision (asserted by the fingerprint-parity tests).
+#[derive(Debug, Default)]
+pub struct SimOptions {
+    /// Collect the event journal (as [`simulate_journaled`] does).
+    pub journal: bool,
+    /// Record typed decision-trace events into this recorder. The driver
+    /// tags every job with its paper category at arrival and emits
+    /// `Arrive`/`Start`/`Complete`/`Preempt`; profile-keeping schedulers
+    /// additionally emit `Reserve`/`Backfill`/`Compress`.
+    pub recorder: Option<SharedRecorder>,
+}
+
+impl SimOptions {
+    /// Record into `recorder`, no journal.
+    pub fn with_recorder(recorder: SharedRecorder) -> Self {
+        SimOptions {
+            journal: false,
+            recorder: Some(recorder),
+        }
+    }
+}
+
+/// Map a workload category onto its trace-event tag.
+fn trace_category(cat: Category) -> TraceCategory {
+    match cat {
+        Category::SN => TraceCategory::SN,
+        Category::SW => TraceCategory::SW,
+        Category::LN => TraceCategory::LN,
+        Category::LW => TraceCategory::LW,
+    }
+}
+
+/// Accumulate one run's profile counters into `registry` under the
+/// `sim.*` naming convention (see the `obs::metrics` docs). The per-run
+/// [`ProfileStats`] stays the protocol-level report — this flush is how
+/// those counters also surface in a long-lived registry (the process
+/// global for CLI runs, the daemon's own for `bfsimd`).
+pub fn flush_profile_stats(registry: &obs::Registry, stats: &ProfileStats) {
+    registry
+        .counter("sim.profile.find_anchor_calls")
+        .add(stats.find_anchor_calls);
+    registry
+        .counter("sim.profile.segments_visited")
+        .add(stats.segments_visited);
+    registry
+        .counter("sim.profile.blocks_skipped")
+        .add(stats.blocks_skipped);
+    registry.counter("sim.profile.reserves").add(stats.reserves);
+    registry.counter("sim.profile.releases").add(stats.releases);
+    registry
+        .counter("sim.profile.compress_passes")
+        .add(stats.compress_passes);
+    registry
+        .counter("sim.profile.rebuilds")
+        .add(stats.profile_rebuilds);
+    registry
+        .counter("sim.profile.rebuilds_avoided")
+        .add(stats.profile_rebuilds_avoided);
+    registry
+        .counter("sim.profile.fits_cache.hits")
+        .add(stats.fits_cache_hits);
+    registry
+        .counter("sim.profile.fits_cache.misses")
+        .add(stats.fits_cache_misses);
+    registry
+        .counter("sim.queue.inserts")
+        .add(stats.queue_inserts);
+    registry.counter("sim.queue.sorts").add(stats.queue_sorts);
+    registry
+        .counter("sim.queue.sorts_avoided")
+        .add(stats.queue_sorts_avoided);
+    let peak = registry.gauge("sim.profile.peak_segments");
+    if stats.peak_segments as i64 > peak.get() {
+        peak.set(stats.peak_segments as i64);
+    }
+}
+
 /// Event classes: completions release processors before anything else at
 /// the same instant; wake-ups run last, over fully updated state.
 const CLASS_COMPLETION: EventClass = EventClass::FIRST;
@@ -232,6 +312,12 @@ struct Driver<'a> {
     /// included — and wake-ups): the denominator of events/sec throughput.
     events: u64,
     journal: Option<Vec<JournalEntry>>,
+    /// Opt-in decision-trace recorder (shared with the scheduler).
+    recorder: Option<SharedRecorder>,
+    /// Criteria used to tag trace events with the paper category. Only
+    /// the driver may categorize: assignment uses the actual runtime,
+    /// which schedulers never see.
+    criteria: CategoryCriteria,
     /// Times with a wake event already in flight. Schedulers restate their
     /// earliest wake-up need after every event; scheduling each request
     /// verbatim would let stale wake chains multiply. The invariant kept
@@ -251,6 +337,13 @@ impl Driver<'_> {
                 job,
                 queue_len,
             });
+        }
+    }
+
+    /// Record one decision-trace event, if a recorder is attached.
+    fn trace_event(&self, now: SimTime, id: JobId, kind: TraceKind) {
+        if let Some(rec) = &self.recorder {
+            rec.borrow_mut().record(now.as_secs(), id.0 as u64, kind);
         }
     }
 
@@ -284,6 +377,7 @@ impl Driver<'_> {
             let total_ran = job.runtime - self.remaining[i];
             self.scheduler.on_preempted(id, total_ran, now);
             self.record(now, JournalKind::Preempt, Some(id));
+            self.trace_event(now, id, TraceKind::Preempt);
         }
         for id in decisions.starts {
             let i = id.0 as usize;
@@ -301,6 +395,7 @@ impl Driver<'_> {
             }
             self.running_since[i] = Some(now);
             self.record(now, JournalKind::Start, Some(id));
+            self.trace_event(now, id, TraceKind::Start);
             ctx.schedule_classed(
                 now + self.remaining[i],
                 CLASS_COMPLETION,
@@ -325,6 +420,21 @@ impl Actor<Ev> for Driver<'_> {
         let decisions = match event {
             Ev::Arrive(idx) => {
                 let job = self.trace.jobs()[idx as usize];
+                if let Some(rec) = &self.recorder {
+                    // Tag before the scheduler sees the job, so any
+                    // Reserve/Backfill it records carries the category.
+                    let cat = trace_category(self.criteria.categorize(&job));
+                    let mut rec = rec.borrow_mut();
+                    rec.tag(job.id.0 as u64, cat);
+                    rec.record(
+                        now.as_secs(),
+                        job.id.0 as u64,
+                        TraceKind::Arrive {
+                            estimate: job.estimate.as_secs(),
+                            width: job.width,
+                        },
+                    );
+                }
                 let meta = JobMeta {
                     id: job.id,
                     arrival: job.arrival,
@@ -359,6 +469,13 @@ impl Actor<Ev> for Driver<'_> {
                 self.remaining[i] = SimSpan::ZERO;
                 self.ends[i] = Some(now);
                 self.completions += 1;
+                self.trace_event(
+                    now,
+                    id,
+                    TraceKind::Complete {
+                        overestimate_factor: job.overestimation(),
+                    },
+                );
                 let d = self.scheduler.on_completion(id, now);
                 self.record(now, JournalKind::Complete, Some(id));
                 d
@@ -380,7 +497,7 @@ impl Actor<Ev> for Driver<'_> {
 /// never starts one) — scheduler bugs must be loud in a study whose output
 /// is comparative numbers.
 pub fn simulate(trace: &Trace, kind: SchedulerKind, policy: Policy) -> Schedule {
-    simulate_inner(trace, kind, policy, false).0
+    simulate_observed(trace, kind, policy, SimOptions::default()).0
 }
 
 /// Like [`simulate`], additionally returning the full event journal
@@ -390,17 +507,32 @@ pub fn simulate_journaled(
     kind: SchedulerKind,
     policy: Policy,
 ) -> (Schedule, Vec<JournalEntry>) {
-    let (schedule, journal) = simulate_inner(trace, kind, policy, true);
+    let (schedule, journal) = simulate_observed(
+        trace,
+        kind,
+        policy,
+        SimOptions {
+            journal: true,
+            recorder: None,
+        },
+    );
     (schedule, journal.expect("journaling was enabled"))
 }
 
-fn simulate_inner(
+/// Like [`simulate`], with explicit observability options: an event
+/// journal and/or a decision-trace recorder. Recording is strictly
+/// observational — the returned schedule is byte-identical to an
+/// unobserved run's.
+pub fn simulate_observed(
     trace: &Trace,
     kind: SchedulerKind,
     policy: Policy,
-    journal: bool,
+    options: SimOptions,
 ) -> (Schedule, Option<Vec<JournalEntry>>) {
-    let scheduler = kind.build(trace.nodes(), policy);
+    let mut scheduler = kind.build(trace.nodes(), policy);
+    if let Some(rec) = &options.recorder {
+        scheduler.set_recorder(rec.clone());
+    }
     let name = scheduler.name();
     let mut driver = Driver {
         trace,
@@ -414,7 +546,9 @@ fn simulate_inner(
         segments: Vec::with_capacity(trace.len()),
         completions: 0,
         events: 0,
-        journal: journal.then(Vec::new),
+        journal: options.journal.then(Vec::new),
+        recorder: options.recorder,
+        criteria: CategoryCriteria::default(),
         pending_wakes: std::collections::BTreeSet::new(),
     };
     let mut engine = Engine::new();
@@ -448,17 +582,23 @@ fn simulate_inner(
             JobOutcome::with_end(*job, start, end)
         })
         .collect();
-    (
-        Schedule {
-            scheduler: name,
-            nodes: trace.nodes(),
-            outcomes,
-            run_segments: driver.segments,
-            profile_stats: driver.scheduler.profile_stats(),
-            events: driver.events,
-        },
-        driver.journal,
-    )
+    let schedule = Schedule {
+        scheduler: name,
+        nodes: trace.nodes(),
+        outcomes,
+        run_segments: driver.segments,
+        profile_stats: driver.scheduler.profile_stats(),
+        events: driver.events,
+    };
+    // Surface this run's hot-path counters in the process-global metrics
+    // registry (monotone totals across all runs in the process).
+    let registry = obs::metrics::global();
+    registry.counter("sim.runs").inc();
+    registry.counter("sim.events").add(schedule.events);
+    if let Some(stats) = &schedule.profile_stats {
+        flush_profile_stats(registry, stats);
+    }
+    (schedule, driver.journal)
 }
 
 #[cfg(test)]

@@ -44,7 +44,8 @@ pub mod schedule;
 pub use campaign::{Campaign, CampaignCell, Estimate};
 pub use config::{RunConfig, Scenario, TraceSource};
 pub use driver::{
-    journal_queue_series, simulate, simulate_journaled, JournalEntry, JournalKind, SchedulerKind,
+    flush_profile_stats, journal_queue_series, simulate, simulate_journaled, simulate_observed,
+    JournalEntry, JournalKind, SchedulerKind, SimOptions,
 };
 pub use runner::{
     aggregate_profile_stats, run_all, run_all_checked, run_cell, CellError, RunResult,
@@ -56,7 +57,8 @@ pub mod prelude {
     pub use crate::campaign::{Campaign, CampaignCell, Estimate};
     pub use crate::config::{RunConfig, Scenario, TraceSource};
     pub use crate::driver::{
-        simulate, simulate_journaled, JournalEntry, JournalKind, SchedulerKind,
+        simulate, simulate_journaled, simulate_observed, JournalEntry, JournalKind, SchedulerKind,
+        SimOptions,
     };
     pub use crate::runner::{
         aggregate_profile_stats, run_all, run_all_checked, run_cell, CellError, RunResult,

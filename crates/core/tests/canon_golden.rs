@@ -85,7 +85,7 @@ fn field_value_equal_configs_share_a_key() {
 fn distinct_configs_never_share_canonical_text() {
     // Vary every axis one at a time; every variant must get its own key.
     let base = representative();
-    let variants = vec![
+    let variants = [
         RunConfig {
             scenario: Scenario {
                 source: TraceSource::Ctc {

@@ -155,4 +155,73 @@ mod tests {
         q.push(1.0);
         q.quantile(1.5);
     }
+
+    // Boundary audit (pinned behaviors; see also DESIGN.md §12 on the
+    // histogram quantiles these are contrasted against).
+
+    #[test]
+    fn single_sample_answers_every_q() {
+        // n = 1 makes pos = q·0 = 0 for every q: lo == hi == 0, no
+        // interpolation, no out-of-bounds at q = 1.
+        let mut q = Quantiles::new();
+        q.push(42.0);
+        for probe in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(q.quantile(probe), Some(42.0), "q = {probe}");
+        }
+    }
+
+    #[test]
+    fn q_one_hits_the_last_index_exactly() {
+        // q = 1 must produce pos = n − 1 exactly (no float excess that
+        // would push `ceil` past the last element) for awkward sizes.
+        for n in [1usize, 2, 3, 7, 10, 1000] {
+            let mut q = Quantiles::new();
+            for i in 0..n {
+                q.push(i as f64);
+            }
+            assert_eq!(q.quantile(1.0), Some((n - 1) as f64), "n = {n}");
+            assert_eq!(q.quantile(0.0), Some(0.0), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn q_zero_and_one_are_exact_not_interpolated() {
+        // With values that would expose any interpolation at the edges.
+        let mut q = Quantiles::new();
+        for x in [-5.5, 0.0, 1e12] {
+            q.push(x);
+        }
+        assert_eq!(q.quantile(0.0), Some(-5.5));
+        assert_eq!(q.quantile(1.0), Some(1e12));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan_observation() {
+        Quantiles::new().push(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_infinite_observation() {
+        Quantiles::new().push(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_nan_q() {
+        // NaN fails the `(0.0..=1.0).contains` check, so a NaN probe
+        // panics instead of silently indexing with a garbage position.
+        let mut q = Quantiles::new();
+        q.push(1.0);
+        q.quantile(f64::NAN);
+    }
+
+    #[test]
+    fn negative_zero_q_behaves_as_zero() {
+        let mut q = Quantiles::new();
+        q.push(3.0);
+        q.push(9.0);
+        assert_eq!(q.quantile(-0.0), Some(3.0));
+    }
 }

@@ -1,0 +1,234 @@
+//! Minimal JSON helpers shared by the logger, registry, and recorder.
+//!
+//! `obs` has no dependencies, so the few JSON shapes it emits (flat
+//! objects, integer maps) are written by hand. Emission is canonical by
+//! construction: callers append fields in a fixed (or sorted) order and
+//! all numbers are integers or shortest-round-trip floats.
+
+use std::fmt::Write as _;
+
+/// Append `s` as a JSON string literal (quotes included) onto `out`.
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Format an `f64` so that it round-trips through `str::parse::<f64>`.
+/// Rust's `{}` formatting is shortest-round-trip already; we only need to
+/// keep the output valid JSON (no `NaN`/`inf` tokens) and unambiguous.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let text = format!("{v}");
+        out.push_str(&text);
+        // `2` would parse back fine, but make integral floats explicit so
+        // a reader can distinguish them from integer fields.
+        if !text.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/inf; null is the conventional stand-in.
+        out.push_str("null");
+    }
+}
+
+/// A cursor over one flat JSON object (no nesting), as produced by the
+/// recorder and the logger. Only the value kinds `obs` emits are
+/// understood: strings, unsigned/float numbers, booleans.
+pub struct FlatObject<'a> {
+    rest: &'a str,
+    done: bool,
+}
+
+/// One decoded scalar value from a [`FlatObject`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A number, kept as text so callers can parse as u64/i64/f64.
+    Num(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Scalar {
+    /// Interpret as `u64`.
+    pub fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Scalar::Num(n) => n.parse().map_err(|e| format!("bad u64 `{n}`: {e}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// Interpret as `f64`.
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Scalar::Num(n) => n.parse().map_err(|e| format!("bad f64 `{n}`: {e}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// Interpret as a string.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Scalar::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl<'a> FlatObject<'a> {
+    /// Start parsing `line`, which must be a single `{...}` object.
+    pub fn parse(line: &'a str) -> Result<Self, String> {
+        let line = line.trim();
+        let inner = line
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| format!("not a JSON object: `{line}`"))?;
+        Ok(FlatObject {
+            rest: inner.trim(),
+            done: inner.trim().is_empty(),
+        })
+    }
+
+    /// Pull the next `key: value` pair, or `None` at the end.
+    pub fn next_pair(&mut self) -> Result<Option<(String, Scalar)>, String> {
+        if self.done {
+            return Ok(None);
+        }
+        let (key, after_key) = take_string(self.rest)?;
+        let after_colon = after_key
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected `:` after key `{key}`"))?
+            .trim_start();
+        let (value, rest) = take_scalar(after_colon)?;
+        let rest = rest.trim_start();
+        self.rest = match rest.strip_prefix(',') {
+            Some(r) => r.trim_start(),
+            None => {
+                if !rest.is_empty() {
+                    return Err(format!("trailing garbage after `{key}`: `{rest}`"));
+                }
+                self.done = true;
+                ""
+            }
+        };
+        Ok(Some((key, value)))
+    }
+
+    /// Collect every pair into a vector (order preserved).
+    pub fn pairs(mut self) -> Result<Vec<(String, Scalar)>, String> {
+        let mut out = Vec::new();
+        while let Some(pair) = self.next_pair()? {
+            out.push(pair);
+        }
+        Ok(out)
+    }
+}
+
+/// Consume a leading `"..."` literal; return (unescaped content, rest).
+fn take_string(s: &str) -> Result<(String, &str), String> {
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err(format!("expected string at `{s}`")),
+    }
+    let mut out = String::new();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &s[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                        code = code * 16 + h.to_digit(16).ok_or("bad \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                }
+                other => return Err(format!("bad escape `\\{other:?}`")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Consume one scalar value; return (value, rest).
+fn take_scalar(s: &str) -> Result<(Scalar, &str), String> {
+    if s.starts_with('"') {
+        let (text, rest) = take_string(s)?;
+        return Ok((Scalar::Str(text), rest));
+    }
+    if let Some(rest) = s.strip_prefix("true") {
+        return Ok((Scalar::Bool(true), rest));
+    }
+    if let Some(rest) = s.strip_prefix("false") {
+        return Ok((Scalar::Bool(false), rest));
+    }
+    let end = s
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(s.len());
+    if end == 0 {
+        return Err(format!("expected value at `{s}`"));
+    }
+    Ok((Scalar::Num(s[..end].to_string()), &s[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_literal_escapes() {
+        let mut out = String::new();
+        push_str_literal(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn flat_object_round_trip() {
+        let line = r#"{"t":12,"cat":"SN","x":-3.5,"ok":true,"msg":"a \"b\""}"#;
+        let pairs = FlatObject::parse(line).unwrap().pairs().unwrap();
+        assert_eq!(pairs.len(), 5);
+        assert_eq!(pairs[0].0, "t");
+        assert_eq!(pairs[0].1.as_u64().unwrap(), 12);
+        assert_eq!(pairs[1].1.as_str().unwrap(), "SN");
+        assert_eq!(pairs[2].1.as_f64().unwrap(), -3.5);
+        assert_eq!(pairs[3].1, Scalar::Bool(true));
+        assert_eq!(pairs[4].1.as_str().unwrap(), "a \"b\"");
+    }
+
+    #[test]
+    fn flat_object_rejects_garbage() {
+        assert!(FlatObject::parse("not json").is_err());
+        assert!(FlatObject::parse(r#"{"a" 1}"#).unwrap().pairs().is_err());
+    }
+
+    #[test]
+    fn f64_round_trips() {
+        for v in [1.0, 0.5, 1.0 / 3.0, 12345.678, 1e-9] {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            assert_eq!(out.parse::<f64>().unwrap(), v, "text was `{out}`");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Unified observability for the backfill simulator: structured logging,
+//! a metrics registry, and an opt-in decision-trace recorder.
+//!
+//! The crate is deliberately dependency-free (std only) so it can sit at
+//! the bottom of the workspace graph — `sched`, `core`, `service`, and
+//! the binaries all layer on top of it without cycles, and the vendored
+//! stand-in crates are not pulled into the hot path. Three facilities:
+//!
+//! * [`log`] — leveled, targeted records behind [`error!`]..[`trace!`]
+//!   macros, filtered by a `BFSIM_LOG`-style directive string, emitted as
+//!   text or JSON lines. The global handle is an atomic level gate plus a
+//!   `OnceLock`, so a disabled level costs one relaxed load and no
+//!   formatting.
+//! * [`metrics`] — named counters, gauges, and log-scale histograms with
+//!   atomic hot-path increments, registered in a process-global (or
+//!   per-component) [`metrics::Registry`] and snapshot-able as one
+//!   canonical-JSON document (sorted keys, integers only).
+//! * [`trace`] — a bounded ring buffer of typed scheduler decisions
+//!   (`Arrive`, `Reserve`, `Backfill`, `Start`, `Complete`, `Compress`,
+//!   `Preempt`) tagged with job id and paper category, flushable to
+//!   JSONL and re-parseable for offline analysis.
+//!
+//! Everything here is **decision-neutral**: recording observes the
+//! simulation, it never feeds back into it. The core test suite asserts
+//! schedule fingerprints are byte-identical with observability fully on
+//! and fully off.
+
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub(crate) mod json;
+
+pub use log::Level;
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use trace::{Recorder, SharedRecorder, TraceCategory, TraceEvent, TraceKind};

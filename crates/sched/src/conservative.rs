@@ -18,6 +18,7 @@ use crate::policy::Policy;
 use crate::profile::{Profile, ProfileStats};
 use crate::queue::sort_keyed;
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
+use obs::trace::{SharedRecorder, TraceKind};
 use serde::{Deserialize, Serialize};
 use simcore::{JobId, SimTime};
 use std::collections::HashMap;
@@ -75,6 +76,8 @@ pub struct ConservativeScheduler {
     /// deferred to a same-instant wake-up.
     free: u32,
     mode: Compression,
+    /// Opt-in decision-trace recorder (strictly observational).
+    recorder: Option<SharedRecorder>,
 }
 
 impl ConservativeScheduler {
@@ -93,6 +96,14 @@ impl ConservativeScheduler {
             running: HashMap::new(),
             free: capacity,
             mode,
+            recorder: None,
+        }
+    }
+
+    /// Record one decision event, if a recorder is attached.
+    fn record(&self, now: SimTime, id: JobId, kind: TraceKind) {
+        if let Some(rec) = &self.recorder {
+            rec.borrow_mut().record(now.as_secs(), id.0 as u64, kind);
         }
     }
 
@@ -220,6 +231,13 @@ impl ConservativeScheduler {
                             .release(res.start, res.meta.estimate, res.meta.width);
                         self.profile.reserve(now, res.meta.estimate, res.meta.width);
                         self.queue[i].start = now;
+                        self.record(
+                            now,
+                            res.meta.id,
+                            TraceKind::Compress {
+                                moved: res.start.since(now).as_secs(),
+                            },
+                        );
                         true
                     } else if res.start < now + res.meta.estimate {
                         self.profile
@@ -238,6 +256,15 @@ impl ConservativeScheduler {
                         self.profile
                             .reserve(new_start, res.meta.estimate, res.meta.width);
                         self.queue[i].start = new_start;
+                        if new_start < res.start {
+                            self.record(
+                                now,
+                                res.meta.id,
+                                TraceKind::Compress {
+                                    moved: res.start.since(new_start).as_secs(),
+                                },
+                            );
+                        }
                         new_start == now
                     } else {
                         false
@@ -264,6 +291,15 @@ impl ConservativeScheduler {
                     self.profile
                         .reserve(anchor, res.meta.estimate, res.meta.width);
                     self.queue[i].start = anchor;
+                    if anchor < res.start {
+                        self.record(
+                            now,
+                            res.meta.id,
+                            TraceKind::Compress {
+                                moved: res.start.since(anchor).as_secs(),
+                            },
+                        );
+                    }
                 }
                 // compress() is only reached when compression is enabled.
                 Compression::None => unreachable!("compress called in None mode"),
@@ -285,6 +321,13 @@ impl Scheduler for ConservativeScheduler {
         );
         let anchor = self.profile.find_anchor(now, job.estimate, job.width);
         self.profile.reserve(anchor, job.estimate, job.width);
+        self.record(
+            now,
+            job.id,
+            TraceKind::Reserve {
+                anchor: anchor.as_secs(),
+            },
+        );
         self.queue.push(Reservation {
             meta: job,
             start: anchor,
@@ -321,6 +364,10 @@ impl Scheduler for ConservativeScheduler {
 
     fn profile_stats(&self) -> Option<ProfileStats> {
         Some(self.profile.stats())
+    }
+
+    fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = Some(recorder);
     }
 }
 
@@ -562,6 +609,22 @@ mod tests {
         assert!(d.starts.is_empty(), "no processors are physically free");
         let d = s.on_completion(JobId(1), SimTime::new(170));
         assert_eq!(d.starts, vec![JobId(2)]);
+    }
+
+    #[test]
+    fn recorder_sees_reserves_and_compressions() {
+        let mut s = ConservativeScheduler::new(8, Policy::Fcfs);
+        let rec = obs::trace::shared(64);
+        s.set_recorder(rec.clone());
+        s.on_arrival(meta(0, 0, 1000, 8), SimTime::ZERO);
+        s.on_arrival(meta(1, 1, 10, 8), SimTime::new(1)); // anchored at 1000
+        s.on_completion(JobId(0), SimTime::new(400)); // hole: job 1 moves to 400
+        let events = rec.borrow().events();
+        let kinds: Vec<(u64, &TraceKind)> = events.iter().map(|e| (e.job, &e.kind)).collect();
+        assert_eq!(kinds[0], (0, &TraceKind::Reserve { anchor: 0 }));
+        assert_eq!(kinds[1], (1, &TraceKind::Reserve { anchor: 1000 }));
+        assert_eq!(kinds[2], (1, &TraceKind::Compress { moved: 600 }));
+        assert_eq!(events.len(), 3);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::policy::Policy;
 use crate::profile::{Profile, ProfileStats};
 use crate::queue::SchedQueue;
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
+use obs::trace::{SharedRecorder, TraceKind};
 use simcore::{JobId, SimTime};
 use std::collections::HashMap;
 
@@ -49,6 +50,11 @@ pub struct EasyScheduler {
     cached: Profile,
     /// Accumulated counters from the throwaway per-event profiles.
     stats: ProfileStats,
+    /// Opt-in decision-trace recorder (strictly observational).
+    recorder: Option<SharedRecorder>,
+    /// The last `(pivot, anchor)` pair recorded, so the trace carries one
+    /// `Reserve` per distinct pivot reservation instead of one per event.
+    last_pivot: Option<(JobId, SimTime)>,
 }
 
 impl EasyScheduler {
@@ -63,6 +69,8 @@ impl EasyScheduler {
             running: HashMap::new(),
             cached: Profile::new(capacity),
             stats: ProfileStats::default(),
+            recorder: None,
+            last_pivot: None,
         }
     }
 
@@ -136,6 +144,19 @@ impl EasyScheduler {
         // completion is delivered; meanwhile its reservation blocks unsafe
         // backfills exactly as it should.
         profile.reserve(anchor, pivot.estimate, pivot.width);
+        if let Some(rec) = &self.recorder {
+            // One Reserve per distinct pivot reservation, not per pass.
+            if self.last_pivot != Some((pivot.id, anchor)) {
+                self.last_pivot = Some((pivot.id, anchor));
+                rec.borrow_mut().record(
+                    now.as_secs(),
+                    pivot.id.0 as u64,
+                    TraceKind::Reserve {
+                        anchor: anchor.as_secs(),
+                    },
+                );
+            }
+        }
 
         // Phase 3: backfill the rest in priority order. Accepted backfills
         // are added to the profile so later candidates see them.
@@ -145,6 +166,17 @@ impl EasyScheduler {
             if cand.width <= self.free && profile.fits(now, cand.estimate, cand.width) {
                 profile.reserve(now, cand.estimate, cand.width);
                 self.queue.remove(i);
+                if let Some(rec) = &self.recorder {
+                    // The hole this candidate slotted into runs from `now`
+                    // to the pivot's protected anchor.
+                    rec.borrow_mut().record(
+                        now.as_secs(),
+                        cand.id.0 as u64,
+                        TraceKind::Backfill {
+                            filled_hole: anchor.since(now).as_secs(),
+                        },
+                    );
+                }
                 self.start(cand, now, &mut starts);
             } else {
                 i += 1;
@@ -193,6 +225,10 @@ impl Scheduler for EasyScheduler {
         stats.absorb(&self.cached.stats());
         self.queue.counters().merge_into(&mut stats);
         Some(stats)
+    }
+
+    fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = Some(recorder);
     }
 }
 
@@ -298,6 +334,29 @@ mod tests {
         // A third would exceed the 2 free procs.
         let d = s.on_arrival(meta(4, 4, 50, 1), SimTime::new(4));
         assert!(d.starts.is_empty());
+    }
+
+    #[test]
+    fn recorder_sees_pivot_reserve_and_backfill() {
+        use obs::trace::TraceKind;
+        let mut s = EasyScheduler::new(8, Policy::Fcfs);
+        let rec = obs::trace::shared(64);
+        s.set_recorder(rec.clone());
+        s.on_arrival(meta(0, 0, 100, 6), SimTime::ZERO); // starts immediately
+        s.on_arrival(meta(1, 1, 500, 8), SimTime::new(1)); // pivot, anchor 100
+        s.on_arrival(meta(2, 2, 90, 2), SimTime::new(2)); // backfills before 100
+        let events = rec.borrow().events();
+        let kinds: Vec<(u64, &TraceKind)> = events.iter().map(|e| (e.job, &e.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                // One Reserve for the pivot (deduped across the second
+                // pass, where its anchor is unchanged)...
+                (1, &TraceKind::Reserve { anchor: 100 }),
+                // ...then the backfill into the 98 s hole before it.
+                (2, &TraceKind::Backfill { filled_hole: 98 }),
+            ]
+        );
     }
 
     #[test]

@@ -175,7 +175,12 @@ impl FitsCache {
 /// Operation counters of one [`Profile`] (or aggregated over several — see
 /// [`ProfileStats::absorb`]). All counts are cumulative since creation or
 /// the last [`Profile::reset_stats`].
+///
+/// `serde(default)` keeps old serialized reports (e.g. `--baseline`
+/// files written before a counter existed) readable: missing counters
+/// deserialize as zero.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct ProfileStats {
     /// Calls to [`Profile::find_anchor`] (including via `fits`).
     pub find_anchor_calls: u64,
@@ -206,6 +211,11 @@ pub struct ProfileStats {
     /// Running-set profile rebuilds served from the incrementally
     /// maintained cache instead of being rebuilt.
     pub profile_rebuilds_avoided: u64,
+    /// `fits` queries answered from the memoized prefix minima.
+    pub fits_cache_hits: u64,
+    /// `fits` queries that had to rebuild the prefix minima (profile
+    /// mutated or the query's left edge moved).
+    pub fits_cache_misses: u64,
 }
 
 impl ProfileStats {
@@ -224,6 +234,8 @@ impl ProfileStats {
         self.queue_sorts_avoided += other.queue_sorts_avoided;
         self.profile_rebuilds += other.profile_rebuilds;
         self.profile_rebuilds_avoided += other.profile_rebuilds_avoided;
+        self.fits_cache_hits += other.fits_cache_hits;
+        self.fits_cache_misses += other.fits_cache_misses;
     }
 
     /// Mean segments examined per anchor search (0 if none ran).
@@ -251,6 +263,8 @@ struct Counters {
     queue_inserts: Cell<u64>,
     queue_sorts: Cell<u64>,
     queue_sorts_avoided: Cell<u64>,
+    fits_cache_hits: Cell<u64>,
+    fits_cache_misses: Cell<u64>,
 }
 
 /// The free-capacity timeline of a machine, including running jobs and any
@@ -335,6 +349,8 @@ impl Profile {
             queue_sorts_avoided: self.stats.queue_sorts_avoided.get(),
             profile_rebuilds: 0,
             profile_rebuilds_avoided: 0,
+            fits_cache_hits: self.stats.fits_cache_hits.get(),
+            fits_cache_misses: self.stats.fits_cache_misses.get(),
         }
     }
 
@@ -350,6 +366,8 @@ impl Profile {
         self.stats.queue_inserts.set(0);
         self.stats.queue_sorts.set(0);
         self.stats.queue_sorts_avoided.set(0);
+        self.stats.fits_cache_hits.set(0);
+        self.stats.fits_cache_misses.set(0);
     }
 
     /// Record one compression pass by the owning scheduler. The pass itself
@@ -469,8 +487,14 @@ impl Profile {
         let mut cache = self.fits_cache.borrow_mut();
         let visited = if cache.version != self.version || cache.from != start {
             cache.rebuild(self, start);
+            self.stats
+                .fits_cache_misses
+                .set(self.stats.fits_cache_misses.get() + 1);
             cache.min_free.len() as u64
         } else {
+            self.stats
+                .fits_cache_hits
+                .set(self.stats.fits_cache_hits.get() + 1);
             1
         };
         self.stats

@@ -14,6 +14,7 @@
 //! knows when jobs will really complete.
 
 use crate::profile::ProfileStats;
+use obs::trace::SharedRecorder;
 use simcore::{JobId, SimSpan, SimTime};
 
 /// What the scheduler is allowed to know about a job.
@@ -104,6 +105,17 @@ pub trait Scheduler {
     /// Default: `None` (profile-free schedulers, e.g. plain FCFS).
     fn profile_stats(&self) -> Option<ProfileStats> {
         None
+    }
+
+    /// Hand the scheduler a shared decision-trace recorder. Schedulers
+    /// that make profile-level decisions (reservations, backfills,
+    /// compression) emit `Reserve`/`Backfill`/`Compress` events into it;
+    /// the driver emits the job lifecycle (`Arrive`/`Start`/`Complete`/
+    /// `Preempt`) itself. Recording must be strictly observational —
+    /// decisions may never depend on the recorder — so the default is to
+    /// ignore it.
+    fn set_recorder(&mut self, recorder: SharedRecorder) {
+        let _ = recorder;
     }
 }
 

@@ -2,13 +2,28 @@
 //!
 //! ```text
 //! bfsim simulate [WORKLOAD] [SCHED] [--gantt] [--series] [--fairness]
+//!                [--trace-out OUT.jsonl]
 //! bfsim generate [WORKLOAD] -o OUT.swf
 //! bfsim inspect FILE.swf
 //! bfsim compare [WORKLOAD] [--seeds a,b,c]
 //! bfsim submit [WORKLOAD] [SCHED] [--addr HOST:PORT]    # via bfsimd
 //! bfsim stats [--addr HOST:PORT]
+//! bfsim metrics [--addr HOST:PORT]
 //! bfsim shutdown [--addr HOST:PORT]
 //! bfsim bench [-o OUT.json] [--baseline OLD.json] [--tiny] [--reps N]
+//!             [--trace-out OUT.jsonl]
+//!
+//! Every command also accepts `--log-level SPEC` (the `BFSIM_LOG`
+//! filter grammar, e.g. `info` or `warn,sched=debug`) and `--log-json`
+//! (JSON-lines log records instead of text). The flag wins over the
+//! environment; without either, only errors are logged.
+//!
+//! `--trace-out` records the run's scheduling decisions (arrivals,
+//! reservations, backfills, starts, completions, compressions,
+//! preemptions) to a JSONL file — see DESIGN.md §12 for the event
+//! schema and `crates/bench`'s analyzer for consuming it. Recording is
+//! strictly observational: the schedule fingerprint is identical with
+//! and without it.
 //!
 //! WORKLOAD: --model ctc|sdsc|lublin | --trace FILE.swf
 //!           --jobs N --seed S --load RHO
@@ -34,15 +49,50 @@
 
 use backfill_sim::prelude::*;
 use metrics::{fairness, queue_depth_series, utilization_series, viz};
+use obs::trace::Recorder;
 use sched::ProfileStats;
 use serde::{Deserialize, Serialize};
 use service::Client;
+use std::cell::RefCell;
+use std::rc::Rc;
 use workload::models::LublinModel;
 use workload::{load::scale_to_load, swf, TraceStats};
 
 fn die(msg: &str) -> ! {
-    eprintln!("bfsim: {msg}");
+    obs::error!(target: "bfsim", "{msg}");
     std::process::exit(2);
+}
+
+/// Install the global logger before full CLI parsing, so `die` and every
+/// later record go through it. The `--log-level` flag beats `BFSIM_LOG`;
+/// with neither, errors still print.
+fn init_logging(args: &[String]) {
+    let mut spec: Option<String> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--log-level" => spec = it.next().cloned(),
+            "--log-json" => json = true,
+            _ => {}
+        }
+    }
+    let filter = match &spec {
+        Some(spec) => obs::log::Filter::parse(spec).unwrap_or_else(|e| {
+            eprintln!("bfsim: bad --log-level: {e}");
+            std::process::exit(2);
+        }),
+        None => match std::env::var("BFSIM_LOG") {
+            Ok(env_spec) if !env_spec.trim().is_empty() => obs::log::Filter::parse(&env_spec)
+                .unwrap_or_else(|_| obs::log::Filter::uniform(obs::log::Level::Warn)),
+            _ => obs::log::Filter::uniform(obs::log::Level::Error),
+        },
+    };
+    let _ = obs::log::init(obs::log::LogConfig {
+        filter,
+        json,
+        sink: obs::log::Sink::Stderr,
+    });
 }
 
 #[derive(Debug, Clone)]
@@ -66,6 +116,7 @@ struct Cli {
     baseline: Option<String>,
     tiny: bool,
     reps: Option<u32>,
+    trace_out: Option<String>,
 }
 
 impl Default for Cli {
@@ -90,6 +141,7 @@ impl Default for Cli {
             baseline: None,
             tiny: false,
             reps: None,
+            trace_out: None,
         }
     }
 }
@@ -151,16 +203,16 @@ fn parse_policy(s: &str) -> Policy {
     }
 }
 
-fn parse_cli() -> Cli {
+fn parse_cli(args: &[String]) -> Cli {
     let mut cli = Cli::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = args.iter().cloned();
     cli.command = it
         .next()
         .unwrap_or_else(|| die("missing command (try --help)"));
     if cli.command == "--help" || cli.command == "-h" {
         println!(
-            "usage: bfsim <simulate|generate|inspect|compare|submit|stats|shutdown> [flags]; \
-             see module docs"
+            "usage: bfsim <simulate|generate|inspect|compare|submit|stats|metrics|shutdown|bench> \
+             [flags]; see module docs"
         );
         std::process::exit(0);
     }
@@ -207,6 +259,12 @@ fn parse_cli() -> Cli {
             "--addr" => cli.addr = next(&mut it, "--addr"),
             "--baseline" => cli.baseline = Some(next(&mut it, "--baseline")),
             "--tiny" => cli.tiny = true,
+            "--trace-out" => cli.trace_out = Some(next(&mut it, "--trace-out")),
+            // Consumed by init_logging before parsing; skip here.
+            "--log-level" => {
+                let _ = next(&mut it, "--log-level");
+            }
+            "--log-json" => {}
             "--reps" => {
                 cli.reps = Some(
                     next(&mut it, "--reps")
@@ -248,6 +306,20 @@ fn build_trace(cli: &Cli) -> Trace {
     }
 }
 
+/// Drain `recorder` to `path` as JSONL, reporting drops.
+fn write_trace_out(recorder: &Rc<RefCell<Recorder>>, path: &str) {
+    let rec = recorder.borrow();
+    let mut out = Vec::new();
+    rec.write_jsonl(&mut out)
+        .expect("writing JSONL to a Vec cannot fail");
+    std::fs::write(path, out).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+    if rec.dropped() > 0 {
+        obs::warn!(target: "bfsim",
+            "trace ring dropped {} oldest events (raise the cap?)", rec.dropped());
+    }
+    println!("trace: {} events -> {path}", rec.events().len());
+}
+
 fn cmd_simulate(cli: &Cli) {
     let trace = build_trace(cli);
     let schedule = if let Some(path) = &cli.journal {
@@ -259,6 +331,16 @@ fn cmd_simulate(cli: &Cli) {
         }
         std::fs::write(path, out).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
         println!("journal: {} events -> {path}", journal.len());
+        schedule
+    } else if let Some(path) = &cli.trace_out {
+        let recorder = obs::trace::shared(obs::trace::DEFAULT_TRACE_CAP.max(trace.len() * 8));
+        let (schedule, _) = simulate_observed(
+            &trace,
+            cli.scheduler,
+            cli.policy,
+            SimOptions::with_recorder(recorder.clone()),
+        );
+        write_trace_out(&recorder, path);
         schedule
     } else {
         simulate(&trace, cli.scheduler, cli.policy)
@@ -647,28 +729,56 @@ fn cmd_bench(cli: &Cli) {
     // slows a run down), so each cell keeps its best-of-`reps` time.
     let repeats = cli.reps.unwrap_or(if cli.tiny { 1 } else { 2 });
     let mut cells = Vec::with_capacity(configs.len());
+    let mut trace_file = cli.trace_out.as_ref().map(|path| {
+        std::fs::File::create(path).unwrap_or_else(|e| die(&format!("creating {path}: {e}")))
+    });
     for config in &configs {
         // Materialize once, outside the timed region: the bench measures
         // the event loop, not the workload generator.
         let trace = config.scenario.materialize();
         let mut best: Option<(f64, Schedule)> = None;
+        let mut recorded: Option<Rc<RefCell<Recorder>>> = None;
         for _ in 0..repeats {
+            // With --trace-out the timed run itself carries the
+            // recorder: the emitted fingerprints then prove recording
+            // is decision-neutral against a plain bench run.
+            let recorder = cli
+                .trace_out
+                .as_ref()
+                .map(|_| obs::trace::shared(obs::trace::DEFAULT_TRACE_CAP.max(trace.len() * 8)));
             let t0 = std::time::Instant::now();
-            let schedule = config.run_on(&trace);
+            let schedule = match &recorder {
+                Some(rec) => {
+                    simulate_observed(
+                        &trace,
+                        config.kind,
+                        config.policy,
+                        SimOptions::with_recorder(rec.clone()),
+                    )
+                    .0
+                }
+                None => config.run_on(&trace),
+            };
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
             if best.as_ref().is_none_or(|(b, _)| wall_ms < *b) {
                 best = Some((wall_ms, schedule));
+                recorded = recorder;
             }
         }
         let (wall_ms, schedule) = best.expect("repeats >= 1");
+        if let (Some(file), Some(rec)) = (trace_file.as_mut(), &recorded) {
+            rec.borrow()
+                .write_jsonl(file)
+                .unwrap_or_else(|e| die(&format!("writing trace events: {e}")));
+        }
         let events_per_sec = if wall_ms > 0.0 {
             schedule.events as f64 / (wall_ms / 1e3)
         } else {
             0.0
         };
         let label = bench_label(config);
-        eprintln!(
-            "  {label}: {} events / {wall_ms:.1} ms = {events_per_sec:.0} ev/s",
+        obs::info!(target: "bfsim::bench",
+            "{label}: {} events / {wall_ms:.1} ms = {events_per_sec:.0} ev/s",
             schedule.events
         );
         cells.push(BenchCell {
@@ -745,6 +855,14 @@ fn cmd_bench(cli: &Cli) {
     println!("wrote {} cells to {out} (validated)", report.cells.len());
 }
 
+fn cmd_metrics(cli: &Cli) {
+    let json = connect(cli)
+        .metrics()
+        .unwrap_or_else(|e| die(&format!("metrics: {e}")));
+    // One canonical-JSON document on stdout, ready for `jq` or diffing.
+    println!("{json}");
+}
+
 fn cmd_shutdown(cli: &Cli) {
     connect(cli)
         .shutdown()
@@ -753,7 +871,9 @@ fn cmd_shutdown(cli: &Cli) {
 }
 
 fn main() {
-    let cli = parse_cli();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    init_logging(&args);
+    let cli = parse_cli(&args);
     match cli.command.as_str() {
         "simulate" => cmd_simulate(&cli),
         "generate" => cmd_generate(&cli),
@@ -761,10 +881,12 @@ fn main() {
         "compare" => cmd_compare(&cli),
         "submit" => cmd_submit(&cli),
         "stats" => cmd_stats(&cli),
+        "metrics" => cmd_metrics(&cli),
         "shutdown" => cmd_shutdown(&cli),
         "bench" => cmd_bench(&cli),
         other => die(&format!(
-            "unknown command {other:?} (simulate|generate|inspect|compare|submit|stats|shutdown|bench)"
+            "unknown command {other:?} \
+             (simulate|generate|inspect|compare|submit|stats|metrics|shutdown|bench)"
         )),
     }
 }

@@ -2,24 +2,63 @@
 //!
 //! ```text
 //! bfsimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache-cap N]
+//!        [--log-level SPEC] [--log-json]
 //! ```
 //!
 //! Listens for JSON-lines requests (see `service::protocol`), runs them
 //! on a bounded worker pool, and memoizes completed reports. Stop it
 //! with `bfsim shutdown` (graceful drain) — the process exits once every
 //! accepted request has been answered.
+//!
+//! `--log-level` takes the `BFSIM_LOG` filter grammar (e.g. `info` or
+//! `warn,service=debug`) and wins over the environment; `--log-json`
+//! switches log records to JSON lines. Without either, only errors are
+//! logged.
 
 use service::{Server, ServiceConfig};
 
 fn die(msg: &str) -> ! {
-    eprintln!("bfsimd: {msg}");
+    obs::error!(target: "bfsimd", "{msg}");
     std::process::exit(2);
 }
 
+/// Install the global logger before flag parsing so `die` goes through
+/// it. Mirrors `bfsim`'s logging flags.
+fn init_logging(args: &[String]) {
+    let mut spec: Option<String> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--log-level" => spec = it.next().cloned(),
+            "--log-json" => json = true,
+            _ => {}
+        }
+    }
+    let filter = match &spec {
+        Some(spec) => obs::log::Filter::parse(spec).unwrap_or_else(|e| {
+            eprintln!("bfsimd: bad --log-level: {e}");
+            std::process::exit(2);
+        }),
+        None => match std::env::var("BFSIM_LOG") {
+            Ok(env_spec) if !env_spec.trim().is_empty() => obs::log::Filter::parse(&env_spec)
+                .unwrap_or_else(|_| obs::log::Filter::uniform(obs::log::Level::Warn)),
+            _ => obs::log::Filter::uniform(obs::log::Level::Error),
+        },
+    };
+    let _ = obs::log::init(obs::log::LogConfig {
+        filter,
+        json,
+        sink: obs::log::Sink::Stderr,
+    });
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    init_logging(&args);
     let mut addr = "127.0.0.1:7411".to_string();
     let mut cfg = ServiceConfig::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = args.iter().cloned();
     let next = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         it.next()
             .unwrap_or_else(|| die(&format!("{flag} needs a value")))
@@ -48,9 +87,15 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("bad --cache-cap (need an integer >= 1)"))
             }
+            // Consumed by init_logging before parsing; skip here.
+            "--log-level" => {
+                let _ = next(&mut it, "--log-level");
+            }
+            "--log-json" => {}
             "--help" | "-h" => {
                 println!(
-                    "usage: bfsimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache-cap N]"
+                    "usage: bfsimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache-cap N] \
+                     [--log-level SPEC] [--log-json]"
                 );
                 std::process::exit(0);
             }
@@ -58,6 +103,9 @@ fn main() {
         }
     }
     let handle = Server::start(&addr, cfg).unwrap_or_else(|e| die(&format!("binding {addr}: {e}")));
+    obs::info!(target: "bfsimd",
+        "listening on {} ({} workers, queue {}, cache cap {})",
+        handle.addr(), cfg.workers, cfg.queue_cap, cfg.cache_cap);
     println!(
         "bfsimd listening on {} ({} workers, queue {}, cache cap {})",
         handle.addr(),

@@ -18,9 +18,10 @@
 
 use crate::protocol::RunReport;
 use backfill_sim::canon::fnv1a_64;
+use obs::metrics::{Counter, Metric, Registry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A memoized report plus its display hash and last-touched tick.
 #[derive(Debug, Clone)]
@@ -52,9 +53,11 @@ impl Slots {
 pub struct ResultCache {
     slots: Mutex<Slots>,
     cap: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    // Shared obs handles so an owning daemon can `bind_metrics` them
+    // into its registry; the cache increments, the registry reads.
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
 }
 
 impl Default for ResultCache {
@@ -100,10 +103,21 @@ impl ResultCache {
         ResultCache {
             slots: Mutex::new(Slots::default()),
             cap: cap.max(1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
         }
+    }
+
+    /// Expose the cache's counters to `registry` under
+    /// `service.cache.{hits,misses,evictions}` (see DESIGN.md §12).
+    pub fn bind_metrics(&self, registry: &Registry) {
+        registry.bind("service.cache.hits", Metric::Counter(self.hits.clone()));
+        registry.bind("service.cache.misses", Metric::Counter(self.misses.clone()));
+        registry.bind(
+            "service.cache.evictions",
+            Metric::Counter(self.evictions.clone()),
+        );
     }
 
     /// Look up a canonical config key, bumping the hit or miss counter.
@@ -114,14 +128,14 @@ impl ResultCache {
         match slots.map.get_mut(canonical) {
             Some(entry) => {
                 entry.tick = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Lookup::Hit {
                     hash: entry.hash,
                     report: entry.report.clone(),
                 }
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 Lookup::Miss {
                     hash: fnv1a_64(canonical.as_bytes()),
                 }
@@ -145,7 +159,7 @@ impl ResultCache {
                 .map(|(k, _)| k.clone())
                 .expect("cap >= 1, so a full map is non-empty");
             slots.map.remove(&coldest);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
         slots.map.insert(canonical, Entry { hash, report, tick });
     }
@@ -153,10 +167,10 @@ impl ResultCache {
     /// `(hits, misses, entries, evictions)` counters.
     pub fn stats(&self) -> (u64, u64, u64, u64) {
         (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
+            self.hits.get(),
+            self.misses.get(),
             self.slots.lock().map.len() as u64,
-            self.evictions.load(Ordering::Relaxed),
+            self.evictions.get(),
         )
     }
 }

@@ -118,6 +118,17 @@ impl Client {
         }
     }
 
+    /// Fetch the daemon's metrics registry as one canonical-JSON
+    /// document (see DESIGN.md §12 for the metric name space).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { json } => Ok(json),
+            other => Err(ClientError::Protocol(format!(
+                "metrics answered with {other:?}"
+            ))),
+        }
+    }
+
     /// Ask the daemon to drain and stop. The acknowledgement comes back
     /// before the drain completes; pair with `ServerHandle::join` (in
     /// process) or wait for the port to close.

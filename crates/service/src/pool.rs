@@ -68,10 +68,17 @@ impl WorkerPool {
                             outcome,
                             run_wall: started.elapsed(),
                         };
+                        // Stop counting the task as in-flight BEFORE the
+                        // reply becomes observable: the handler bumps
+                        // `completed` as soon as it receives the result,
+                        // and decrementing afterwards would open a window
+                        // where the task is counted both completed and
+                        // in-flight (submitted ≥ completed + in_flight
+                        // would read as violated).
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
                         // The requester may have vanished (connection
                         // dropped); the result is then simply discarded.
                         let _ = task.reply.send(result);
-                        in_flight.fetch_sub(1, Ordering::SeqCst);
                     }
                 })
             })
@@ -192,7 +199,7 @@ mod tests {
         let first = results.recv().unwrap();
         let second = results.recv().unwrap();
         std::panic::set_hook(hook);
-        let err = first.outcome.err().expect("poisoned task must fail");
+        let err = first.outcome.expect_err("poisoned task must fail");
         assert!(err.panic.contains("target load must be positive"));
         assert!(second.outcome.is_ok(), "healthy task after a poisoned one");
     }

@@ -22,6 +22,10 @@ pub enum Request {
     },
     /// Introspect the daemon: queue depth, in-flight, cache, wall times.
     Stats,
+    /// Fetch the daemon's full metrics registry as one canonical-JSON
+    /// document (scheduler, profile-index, queue, pool, and cache
+    /// metrics under their dotted names — see DESIGN.md §12).
+    Metrics,
     /// Begin graceful shutdown: stop taking new work, drain in-flight
     /// requests, then exit.
     Shutdown,
@@ -38,6 +42,13 @@ pub enum Response {
     Run(RunReply),
     /// The daemon's current counters.
     Stats(ServiceStats),
+    /// The daemon's metrics registry snapshot, answering
+    /// [`Request::Metrics`].
+    Metrics {
+        /// Canonical JSON: sorted keys, integer values, no whitespace —
+        /// byte-identical for identical registry states.
+        json: String,
+    },
     /// The request failed; the daemon itself is still healthy. Carries
     /// the offending config's canonical hash when the failure was a
     /// simulation panic (fault isolation), zero for malformed requests.
@@ -178,6 +189,7 @@ mod tests {
         for req in [
             Request::Submit { config: config() },
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ] {
             let line = serde_json::to_string(&req).unwrap();
@@ -204,6 +216,9 @@ mod tests {
         for resp in [
             reply,
             Response::Stats(ServiceStats::default()),
+            Response::Metrics {
+                json: r#"{"counters":{"service.submitted":1}}"#.into(),
+            },
             Response::Error {
                 message: "boom".into(),
                 config_hash: 7,

@@ -21,6 +21,7 @@ use crate::cache::{Lookup, ResultCache};
 use crate::pool::{PoolClosed, Task, WorkerPool};
 use crate::protocol::{Request, Response, RunReply, RunReport, ServiceStats};
 use backfill_sim::canon::fnv1a_64;
+use obs::metrics::{Counter, Histogram, Registry};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -64,43 +65,121 @@ impl Default for ServiceConfig {
 }
 
 /// Counters and flags shared between the accept loop and all handlers.
+///
+/// Request counters live in the daemon's own metrics [`Registry`] (not
+/// the process-global one, so tests running several servers in one
+/// process don't pollute each other); the `Arc<Counter>` fields are
+/// handles into it, kept here so the hot path never takes the registry's
+/// name-map lock.
 struct Inner {
     pool: WorkerPool,
     cache: ResultCache,
     draining: AtomicBool,
     /// Submits between acceptance and response flush; the drain gate.
     pending: AtomicUsize,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    rejected: AtomicU64,
-    wall_ms_total: AtomicU64,
+    registry: Registry,
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    wall_ms_total: Arc<Counter>,
+    /// Largest single-request wall time; not a monotone sum, so it stays
+    /// a raw atomic and is mirrored into a gauge at snapshot time.
     wall_ms_max: AtomicU64,
+    /// Per-request service latency (`service.wall_ms`).
+    wall_ms: Arc<Histogram>,
+    /// Per-task simulation time as measured by the worker
+    /// (`service.pool.run_wall_ms`), excluding queue wait.
+    run_wall_ms: Arc<Histogram>,
 }
 
 impl Inner {
+    fn new(cfg: ServiceConfig) -> Self {
+        let registry = Registry::new();
+        let cache = ResultCache::with_capacity(cfg.cache_cap);
+        cache.bind_metrics(&registry);
+        Inner {
+            pool: WorkerPool::new(cfg.workers.max(1), cfg.queue_cap.max(1)),
+            cache,
+            draining: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            submitted: registry.counter("service.submitted"),
+            completed: registry.counter("service.completed"),
+            failed: registry.counter("service.failed"),
+            rejected: registry.counter("service.rejected"),
+            wall_ms_total: registry.counter("service.wall_ms_total"),
+            wall_ms_max: AtomicU64::new(0),
+            wall_ms: registry.histogram("service.wall_ms"),
+            run_wall_ms: registry.histogram("service.pool.run_wall_ms"),
+            registry,
+        }
+    }
+
+    /// One atomically-consistent-enough view of the daemon's counters.
+    ///
+    /// Read order is load-bearing: everything a submit can *become*
+    /// (completed / failed / rejected / in-flight) is read **before**
+    /// `submitted`. A worker also stops counting a task as in-flight
+    /// before its reply is observable (see `pool.rs`), so a snapshot can
+    /// never show `completed + failed + in_flight > submitted` — a task
+    /// caught mid-transition is simply not counted anywhere yet, and
+    /// reading `submitted` last only ever makes the right-hand side
+    /// larger.
     fn snapshot(&self) -> ServiceStats {
+        let completed = self.completed.get();
+        let failed = self.failed.get();
+        let rejected = self.rejected.get();
+        let in_flight = self.pool.in_flight() as u64;
+        let queue_depth = self.pool.queue_depth() as u64;
         let (cache_hits, cache_misses, cache_entries, cache_evictions) = self.cache.stats();
+        let wall_ms_total = self.wall_ms_total.get();
+        let wall_ms_max = self.wall_ms_max.load(Ordering::SeqCst);
+        let draining = self.draining.load(Ordering::SeqCst);
+        let submitted = self.submitted.get();
         ServiceStats {
-            submitted: self.submitted.load(Ordering::SeqCst),
-            completed: self.completed.load(Ordering::SeqCst),
-            failed: self.failed.load(Ordering::SeqCst),
-            rejected: self.rejected.load(Ordering::SeqCst),
+            submitted,
+            completed,
+            failed,
+            rejected,
             cache_hits,
             cache_misses,
             cache_entries,
             cache_evictions,
-            queue_depth: self.pool.queue_depth() as u64,
-            in_flight: self.pool.in_flight() as u64,
-            draining: self.draining.load(Ordering::SeqCst),
-            wall_ms_total: self.wall_ms_total.load(Ordering::SeqCst),
-            wall_ms_max: self.wall_ms_max.load(Ordering::SeqCst),
+            queue_depth,
+            in_flight,
+            draining,
+            wall_ms_total,
+            wall_ms_max,
         }
     }
 
+    /// Render the registry as one canonical-JSON document, refreshing
+    /// the point-in-time gauges first so the reader sees current levels
+    /// rather than whatever the last refresh left behind.
+    fn metrics_snapshot(&self) -> String {
+        self.registry
+            .gauge("service.pool.queue_depth")
+            .set(self.pool.queue_depth() as i64);
+        self.registry
+            .gauge("service.pool.in_flight")
+            .set(self.pool.in_flight() as i64);
+        let (_, _, cache_entries, _) = self.cache.stats();
+        self.registry
+            .gauge("service.cache.entries")
+            .set(cache_entries as i64);
+        self.registry
+            .gauge("service.draining")
+            .set(self.draining.load(Ordering::SeqCst) as i64);
+        self.registry
+            .gauge("service.wall_ms_max")
+            .set(self.wall_ms_max.load(Ordering::SeqCst) as i64);
+        self.registry.snapshot_json()
+    }
+
     fn record_wall(&self, wall_ms: u64) {
-        self.wall_ms_total.fetch_add(wall_ms, Ordering::SeqCst);
+        self.wall_ms_total.add(wall_ms);
         self.wall_ms_max.fetch_max(wall_ms, Ordering::SeqCst);
+        self.wall_ms.record(wall_ms);
     }
 }
 
@@ -136,18 +215,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let inner = Arc::new(Inner {
-            pool: WorkerPool::new(cfg.workers.max(1), cfg.queue_cap.max(1)),
-            cache: ResultCache::with_capacity(cfg.cache_cap),
-            draining: AtomicBool::new(false),
-            pending: AtomicUsize::new(0),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            wall_ms_total: AtomicU64::new(0),
-            wall_ms_max: AtomicU64::new(0),
-        });
+        let inner = Arc::new(Inner::new(cfg));
         let accept = std::thread::spawn(move || accept_loop(listener, inner));
         Ok(ServerHandle {
             addr,
@@ -232,22 +300,28 @@ fn serve(request: Request, inner: &Inner) -> (Response, bool) {
     match request {
         Request::Submit { config } => {
             if inner.draining.load(Ordering::SeqCst) {
-                inner.rejected.fetch_add(1, Ordering::SeqCst);
+                inner.rejected.inc();
                 return (Response::ShuttingDown, false);
             }
             inner.pending.fetch_add(1, Ordering::SeqCst);
-            inner.submitted.fetch_add(1, Ordering::SeqCst);
+            inner.submitted.inc();
             let response = serve_submit(config, inner);
             if matches!(response, Response::ShuttingDown) {
                 // Refused after all (pool closed under us): stop gating
                 // the drain right away.
                 inner.pending.fetch_sub(1, Ordering::SeqCst);
-                inner.rejected.fetch_add(1, Ordering::SeqCst);
+                inner.rejected.inc();
                 return (response, false);
             }
             (response, true)
         }
         Request::Stats => (Response::Stats(inner.snapshot()), false),
+        Request::Metrics => (
+            Response::Metrics {
+                json: inner.metrics_snapshot(),
+            },
+            false,
+        ),
         Request::Shutdown => {
             inner.draining.store(true, Ordering::SeqCst);
             (Response::ShuttingDown, false)
@@ -261,7 +335,7 @@ fn serve_submit(config: backfill_sim::RunConfig, inner: &Inner) -> Response {
     match inner.cache.lookup(&canonical) {
         Lookup::Hit { hash, report } => {
             let wall_ms = started.elapsed().as_millis() as u64;
-            inner.completed.fetch_add(1, Ordering::SeqCst);
+            inner.completed.inc();
             inner.record_wall(wall_ms);
             Response::Run(RunReply {
                 config_hash: hash,
@@ -289,11 +363,20 @@ fn serve_submit(config: backfill_sim::RunConfig, inner: &Inner) -> Response {
             };
             let wall_ms = started.elapsed().as_millis() as u64;
             inner.record_wall(wall_ms);
+            inner.run_wall_ms.record(result.run_wall.as_millis() as u64);
             match result.outcome {
                 Ok(schedule) => {
                     let report = RunReport::from_schedule(&config, &schedule);
+                    // Mirror the run's scheduler-internal counters into
+                    // the daemon registry so the `metrics` verb covers
+                    // the sim core, not just the service shell.
+                    if let Some(stats) = &report.profile {
+                        backfill_sim::flush_profile_stats(&inner.registry, stats);
+                    }
+                    inner.registry.counter("sim.runs").inc();
+                    inner.registry.counter("sim.events").add(report.events);
                     inner.cache.insert(canonical, report.clone());
-                    inner.completed.fetch_add(1, Ordering::SeqCst);
+                    inner.completed.inc();
                     Response::Run(RunReply {
                         config_hash: hash,
                         cached: false,
@@ -302,7 +385,7 @@ fn serve_submit(config: backfill_sim::RunConfig, inner: &Inner) -> Response {
                     })
                 }
                 Err(cell_error) => {
-                    inner.failed.fetch_add(1, Ordering::SeqCst);
+                    inner.failed.inc();
                     Response::Error {
                         message: cell_error.to_string(),
                         config_hash: fnv1a_64(cell_error.config.canonical_json().as_bytes()),

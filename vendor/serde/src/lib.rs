@@ -50,6 +50,19 @@ impl Value {
         }
     }
 
+    /// Look up an optional field of an [`Value::Object`]: `Ok(None)` when
+    /// the object exists but lacks the field (the `#[serde(default)]`
+    /// case), `Err` when `self` is not an object at all.
+    pub fn field_opt(&self, name: &str) -> Result<Option<&Value>, Error> {
+        match self {
+            Value::Object(fields) => Ok(fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)),
+            other => Err(Error::custom(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
     /// View as an array.
     pub fn as_array(&self) -> Result<&[Value], Error> {
         match self {
@@ -403,5 +416,13 @@ mod tests {
         assert!(u32::from_value(&Value::Str("no".into())).is_err());
         assert!(u8::from_value(&Value::U64(300)).is_err());
         assert!(Value::Null.field("x").is_err());
+    }
+
+    #[test]
+    fn field_opt_distinguishes_absent_from_non_object() {
+        let obj = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(obj.field_opt("a"), Ok(Some(&Value::U64(1))));
+        assert_eq!(obj.field_opt("b"), Ok(None));
+        assert!(Value::Null.field_opt("a").is_err());
     }
 }

@@ -1,0 +1,76 @@
+//! Pin the derive's `#[serde(default)]` support: missing object keys
+//! deserialize as `Default::default()` at container level and at field
+//! level, while present keys still parse normally — this is what keeps
+//! old serialized reports readable after a struct grows new fields.
+
+use serde::{Deserialize, Serialize, Value};
+
+#[derive(Debug, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+struct Grown {
+    old_field: u64,
+    new_field: u64,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Mixed {
+    required: u64,
+    #[serde(default)]
+    optional: u64,
+}
+
+fn obj(fields: &[(&str, u64)]) -> Value {
+    Value::Object(
+        fields
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), Value::U64(*v)))
+            .collect(),
+    )
+}
+
+#[test]
+fn container_default_fills_missing_fields() {
+    let grown = Grown::from_value(&obj(&[("old_field", 7)])).unwrap();
+    assert_eq!(
+        grown,
+        Grown {
+            old_field: 7,
+            new_field: 0
+        }
+    );
+}
+
+#[test]
+fn container_default_still_reads_present_fields() {
+    let full = Grown {
+        old_field: 1,
+        new_field: 2,
+    };
+    assert_eq!(Grown::from_value(&full.to_value()).unwrap(), full);
+}
+
+#[test]
+fn field_default_is_per_field() {
+    let mixed = Mixed::from_value(&obj(&[("required", 3)])).unwrap();
+    assert_eq!(
+        mixed,
+        Mixed {
+            required: 3,
+            optional: 0
+        }
+    );
+    // The non-default field is still required.
+    assert!(Mixed::from_value(&obj(&[("optional", 3)])).is_err());
+}
+
+#[test]
+fn default_does_not_mask_type_errors() {
+    // A present-but-wrong-type value must error, not fall back.
+    let bad = Value::Object(vec![
+        ("old_field".to_string(), Value::Str("seven".into())),
+        ("new_field".to_string(), Value::U64(1)),
+    ]);
+    assert!(Grown::from_value(&bad).is_err());
+    // And a non-object can never deserialize, default or not.
+    assert!(Grown::from_value(&Value::Null).is_err());
+}

@@ -6,7 +6,10 @@
 //! tuple, or struct-like. Parsing is done directly on the token stream
 //! (no `syn`/`quote` — the build must work offline), which constrains the
 //! macro to non-generic types; deriving on a generic type is a compile
-//! error rather than a silent misbehavior.
+//! error rather than a silent misbehavior. The only `#[serde(...)]`
+//! helper understood is `default` (container- or field-level, named
+//! structs); any other serde attribute is a compile error rather than a
+//! silently ignored behavior change.
 //!
 //! Encoding:
 //! * named struct → object of fields, in declaration order;
@@ -19,10 +22,18 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::iter::Peekable;
 
 #[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]` on the field: deserialize a missing key as
+    /// `Default::default()` instead of erroring.
+    default: bool,
+}
+
+#[derive(Debug)]
 enum Shape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 #[derive(Debug)]
@@ -41,20 +52,48 @@ enum Kind {
 struct Input {
     name: String,
     kind: Kind,
+    /// Container-level `#[serde(default)]`: every named field defaults.
+    default_all: bool,
 }
 
 type Iter = Peekable<proc_macro::token_stream::IntoIter>;
 
-fn skip_attrs(iter: &mut Iter) {
+/// Is this attribute body (the bracketed group after `#`) exactly
+/// `[serde(default)]`?
+fn is_serde_default(group: &proc_macro::Group) -> Result<bool, String> {
+    let mut it = group.stream().into_iter();
+    match (it.next(), it.next(), it.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)), None)
+            if name.to_string() == "serde" =>
+        {
+            let mut inner = args.stream().into_iter();
+            match (inner.next(), inner.next()) {
+                (Some(TokenTree::Ident(arg)), None) if arg.to_string() == "default" => Ok(true),
+                _ => Err(format!(
+                    "serde stand-in supports only `#[serde(default)]`, got `#{group}`"
+                )),
+            }
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Consume leading attributes; report whether `#[serde(default)]` was
+/// among them. Unsupported `#[serde(...)]` forms are an error rather
+/// than a silently ignored behavior change.
+fn take_attrs(iter: &mut Iter) -> Result<bool, String> {
+    let mut has_default = false;
     while let Some(TokenTree::Punct(p)) = iter.peek() {
         if p.as_char() != '#' {
             break;
         }
         iter.next();
-        if matches!(iter.peek(), Some(TokenTree::Group(_))) {
+        if let Some(TokenTree::Group(g)) = iter.peek() {
+            has_default |= is_serde_default(g)?;
             iter.next();
         }
     }
+    Ok(has_default)
 }
 
 fn skip_vis(iter: &mut Iter) {
@@ -86,14 +125,17 @@ fn skip_past_top_level_comma(iter: &mut Iter) {
     }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut iter = stream.into_iter().peekable();
     let mut fields = Vec::new();
     loop {
-        skip_attrs(&mut iter);
+        let default = take_attrs(&mut iter)?;
         skip_vis(&mut iter);
         match iter.next() {
-            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => fields.push(Field {
+                name: id.to_string(),
+                default,
+            }),
             None => return Ok(fields),
             Some(other) => return Err(format!("expected field name, got `{other}`")),
         }
@@ -138,7 +180,9 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
     let mut iter = stream.into_iter().peekable();
     let mut variants = Vec::new();
     loop {
-        skip_attrs(&mut iter);
+        if take_attrs(&mut iter)? {
+            return Err("`#[serde(default)]` is not supported on enum variants".to_string());
+        }
         let name = match iter.next() {
             Some(TokenTree::Ident(id)) => id.to_string(),
             None => return Ok(variants),
@@ -171,7 +215,7 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
 
 fn parse_input(input: TokenStream) -> Result<Input, String> {
     let mut iter = input.into_iter().peekable();
-    skip_attrs(&mut iter);
+    let default_all = take_attrs(&mut iter)?;
     skip_vis(&mut iter);
     let keyword = match iter.next() {
         Some(TokenTree::Ident(id)) => id.to_string(),
@@ -208,7 +252,16 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
         },
         other => return Err(format!("cannot derive for `{other}` items")),
     };
-    Ok(Input { name, kind })
+    if default_all && !matches!(kind, Kind::Struct(Shape::Named(_))) {
+        return Err(format!(
+            "container-level `#[serde(default)]` on `{name}` requires a struct with named fields"
+        ));
+    }
+    Ok(Input {
+        name,
+        kind,
+        default_all,
+    })
 }
 
 fn error(message: &str) -> TokenStream {
@@ -226,6 +279,7 @@ fn gen_serialize(input: &Input) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from({f:?}), \
                          ::serde::Serialize::to_value(&self.{f}))"
@@ -268,10 +322,15 @@ fn gen_serialize(input: &Input) -> String {
                             )
                         }
                         Shape::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let entries: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(::std::string::String::from({f:?}), \
                                          ::serde::Serialize::to_value({f}))"
@@ -301,10 +360,23 @@ fn gen_serialize(input: &Input) -> String {
 
 // ---- Deserialize -----------------------------------------------------------
 
-fn gen_named_constructor(path: &str, fields: &[String], source: &str) -> String {
+fn gen_named_constructor(path: &str, fields: &[Field], source: &str, default_all: bool) -> String {
     let inits: Vec<String> = fields
         .iter()
-        .map(|f| format!("{f}: ::serde::Deserialize::from_value({source}.field({f:?})?)?"))
+        .map(|f| {
+            let name = &f.name;
+            if default_all || f.default {
+                format!(
+                    "{name}: match {source}.field_opt({name:?})? {{\
+                        ::std::option::Option::Some(v) => \
+                            ::serde::Deserialize::from_value(v)?,\
+                        ::std::option::Option::None => ::std::default::Default::default(),\
+                     }}"
+                )
+            } else {
+                format!("{name}: ::serde::Deserialize::from_value({source}.field({name:?})?)?")
+            }
+        })
         .collect();
     format!("{path} {{ {} }}", inits.join(", "))
 }
@@ -322,7 +394,7 @@ fn gen_deserialize(input: &Input) -> String {
         Kind::Struct(Shape::Named(fields)) => {
             format!(
                 "::std::result::Result::Ok({})",
-                gen_named_constructor(name, fields, "value")
+                gen_named_constructor(name, fields, "value", input.default_all)
             )
         }
         Kind::Struct(Shape::Tuple(n)) => {
@@ -367,8 +439,12 @@ fn gen_deserialize(input: &Input) -> String {
                         )),
                         Shape::Named(fields) => Some(format!(
                             "{vn:?} => ::std::result::Result::Ok({ctor})",
-                            ctor =
-                                gen_named_constructor(&format!("{name}::{vn}"), fields, "payload"),
+                            ctor = gen_named_constructor(
+                                &format!("{name}::{vn}"),
+                                fields,
+                                "payload",
+                                false
+                            ),
                         )),
                     }
                 })
@@ -412,8 +488,10 @@ fn gen_deserialize(input: &Input) -> String {
     )
 }
 
-/// Derive `serde::Serialize` (Value-tree encoding).
-#[proc_macro_derive(Serialize)]
+/// Derive `serde::Serialize` (Value-tree encoding). The `serde` helper
+/// attribute is registered so `#[serde(default)]` (a Deserialize-side
+/// concern) is accepted on types that also derive Serialize.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_input(input) {
         Ok(parsed) => gen_serialize(&parsed)
@@ -423,8 +501,12 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-/// Derive `serde::Deserialize` (Value-tree decoding).
-#[proc_macro_derive(Deserialize)]
+/// Derive `serde::Deserialize` (Value-tree decoding). Supports
+/// `#[serde(default)]` at container level (all named fields) and field
+/// level (that field): a missing key deserializes as
+/// `Default::default()` instead of erroring, which keeps older
+/// serialized reports readable after a struct grows.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_input(input) {
         Ok(parsed) => gen_deserialize(&parsed)
