@@ -9,6 +9,7 @@
 //! bfsim submit [WORKLOAD] [SCHED] [--addr HOST:PORT]    # via bfsimd
 //! bfsim stats [--addr HOST:PORT]
 //! bfsim metrics [--addr HOST:PORT]
+//! bfsim health [--addr HOST:PORT]
 //! bfsim shutdown [--addr HOST:PORT]
 //! bfsim bench [-o OUT.json] [--baseline OLD.json] [--tiny] [--reps N]
 //!             [--trace-out OUT.jsonl]
@@ -25,7 +26,7 @@
 //! strictly observational: the schedule fingerprint is identical with
 //! and without it.
 //!
-//! WORKLOAD: --model ctc|sdsc|lublin | --trace FILE.swf
+//! WORKLOAD: --model ctc|sdsc|lublin | --trace FILE.swf [--lenient]
 //!           --jobs N --seed S --load RHO
 //!           --estimate exact|systematic:R|user
 //! SCHED:    --scheduler nobf|cons|cons-reanchor|cons-headstart|cons-none|
@@ -33,10 +34,19 @@
 //!           --policy fcfs|sjf|xf|ljf|widest
 //! ```
 //!
-//! The `submit`/`stats`/`shutdown` commands talk to a running `bfsimd`
-//! daemon (default `127.0.0.1:7411`); `submit` only supports the
+//! The daemon commands (`submit`/`stats`/`metrics`/`health`/`shutdown`)
+//! talk to a running `bfsimd` (default `127.0.0.1:7411`) through the
+//! resilient client: per-request deadline `--timeout-ms N` (0 disables),
+//! retry budget `--retries N` with seeded decorrelated-jitter backoff
+//! (`--retry-base-ms N`, `--retry-seed S`). On failure they exit
+//! nonzero with a one-line diagnostic through the obs logger: 3 for
+//! connection/timeout failures, 4 when the daemon is busy or draining,
+//! 5 for service/protocol errors. `submit` only supports the
 //! model-generated workloads (`ctc`/`sdsc`) because the daemon receives
 //! a declarative `RunConfig`, not a trace file.
+//!
+//! `--lenient` (with `--trace FILE.swf`) skips malformed trace lines
+//! and logs a per-field breakdown instead of aborting the parse.
 //!
 //! `bench` runs the **pinned** throughput sweep (fixed traces, seeds,
 //! loads, scheduler kinds) serially, and writes a machine-readable JSON
@@ -52,15 +62,46 @@ use metrics::{fairness, queue_depth_series, utilization_series, viz};
 use obs::trace::Recorder;
 use sched::ProfileStats;
 use serde::{Deserialize, Serialize};
-use service::Client;
+use service::{ClientError, ClientOptions, ResilientClient, RetryPolicy};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::time::Duration;
 use workload::models::LublinModel;
 use workload::{load::scale_to_load, swf, TraceStats};
 
 fn die(msg: &str) -> ! {
     obs::error!(target: "bfsim", "{msg}");
     std::process::exit(2);
+}
+
+/// One-line diagnostic + meaningful exit code for a failed daemon call:
+/// 3 = could not reach the daemon (connect/timeout), 4 = the daemon is
+/// there but refusing work (busy/draining), 5 = the request itself
+/// failed (service error, protocol violation, corrupt frame).
+fn die_client(context: &str, addr: &str, err: ClientError) -> ! {
+    fn class(err: &ClientError) -> i32 {
+        match err {
+            ClientError::Io(_) | ClientError::Timeout(_) => 3,
+            ClientError::Busy | ClientError::ShuttingDown => 4,
+            // An exhausted retry budget takes its terminal error's class.
+            ClientError::Exhausted { last, .. } => class(last),
+            _ => 5,
+        }
+    }
+    fn refused(err: &ClientError) -> bool {
+        match err {
+            ClientError::Io(e) => e.kind() == std::io::ErrorKind::ConnectionRefused,
+            ClientError::Exhausted { last, .. } => refused(last),
+            _ => false,
+        }
+    }
+    let hint = if refused(&err) {
+        format!(" (is bfsimd running at {addr}?)")
+    } else {
+        String::new()
+    };
+    obs::error!(target: "bfsim", "{context}: {err}{hint}");
+    std::process::exit(class(&err));
 }
 
 /// Install the global logger before full CLI parsing, so `die` and every
@@ -117,6 +158,11 @@ struct Cli {
     tiny: bool,
     reps: Option<u32>,
     trace_out: Option<String>,
+    lenient: bool,
+    timeout_ms: u64,
+    retries: u32,
+    retry_base_ms: u64,
+    retry_seed: u64,
 }
 
 impl Default for Cli {
@@ -142,6 +188,11 @@ impl Default for Cli {
             tiny: false,
             reps: None,
             trace_out: None,
+            lenient: false,
+            timeout_ms: 30_000,
+            retries: 4,
+            retry_base_ms: 25,
+            retry_seed: 0,
         }
     }
 }
@@ -211,8 +262,8 @@ fn parse_cli(args: &[String]) -> Cli {
         .unwrap_or_else(|| die("missing command (try --help)"));
     if cli.command == "--help" || cli.command == "-h" {
         println!(
-            "usage: bfsim <simulate|generate|inspect|compare|submit|stats|metrics|shutdown|bench> \
-             [flags]; see module docs"
+            "usage: bfsim <simulate|generate|inspect|compare|submit|stats|metrics|health|\
+             shutdown|bench> [flags]; see module docs"
         );
         std::process::exit(0);
     }
@@ -260,6 +311,29 @@ fn parse_cli(args: &[String]) -> Cli {
             "--baseline" => cli.baseline = Some(next(&mut it, "--baseline")),
             "--tiny" => cli.tiny = true,
             "--trace-out" => cli.trace_out = Some(next(&mut it, "--trace-out")),
+            "--lenient" => cli.lenient = true,
+            "--timeout-ms" => {
+                cli.timeout_ms = next(&mut it, "--timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --timeout-ms (millis, 0 disables)"))
+            }
+            "--retries" => {
+                cli.retries = next(&mut it, "--retries")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --retries"))
+            }
+            "--retry-base-ms" => {
+                cli.retry_base_ms = next(&mut it, "--retry-base-ms")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("bad --retry-base-ms (need millis >= 1)"))
+            }
+            "--retry-seed" => {
+                cli.retry_seed = next(&mut it, "--retry-seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --retry-seed"))
+            }
             // Consumed by init_logging before parsing; skip here.
             "--log-level" => {
                 let _ = next(&mut it, "--log-level");
@@ -288,9 +362,19 @@ fn build_trace(cli: &Cli) -> Trace {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
-            swf::parse_trace(&text, path, None)
-                .unwrap_or_else(|e| die(&format!("parsing {path}: {e}")))
-                .trace
+            let mode = if cli.lenient {
+                swf::ParseMode::Lenient
+            } else {
+                swf::ParseMode::Strict
+            };
+            let parsed = swf::parse_trace_with(&text, path, None, mode)
+                .unwrap_or_else(|e| die(&format!("parsing {path}: {e}")));
+            if parsed.report.total() > 0 {
+                obs::warn!(target: "bfsim",
+                    "lenient parse of {path} skipped {} malformed lines ({})",
+                    parsed.report.total(), parsed.report.summary());
+            }
+            parsed.trace
         }
         None => match cli.model.as_str() {
             "ctc" => workload::models::ctc().generate(cli.jobs, cli.seed),
@@ -508,9 +592,24 @@ fn service_config(cli: &Cli) -> RunConfig {
     }
 }
 
-fn connect(cli: &Cli) -> Client {
-    Client::connect(&cli.addr)
-        .unwrap_or_else(|e| die(&format!("connecting to bfsimd at {}: {e}", cli.addr)))
+/// Build the resilient client from the CLI's deadline/retry flags. The
+/// connection itself is lazy, so this never fails — errors surface (and
+/// get retried) on the first actual request.
+fn connect(cli: &Cli) -> ResilientClient {
+    let opts = ClientOptions {
+        deadline: if cli.timeout_ms == 0 {
+            None
+        } else {
+            Some(Duration::from_millis(cli.timeout_ms))
+        },
+        retry: RetryPolicy {
+            max_retries: cli.retries,
+            base: Duration::from_millis(cli.retry_base_ms),
+            seed: cli.retry_seed,
+            ..RetryPolicy::default()
+        },
+    };
+    ResilientClient::new(&cli.addr, opts)
 }
 
 fn cmd_submit(cli: &Cli) {
@@ -518,7 +617,7 @@ fn cmd_submit(cli: &Cli) {
     let mut client = connect(cli);
     let reply = client
         .submit(&config)
-        .unwrap_or_else(|e| die(&format!("submit: {e}")));
+        .unwrap_or_else(|e| die_client("submit", &cli.addr, e));
     let r = &reply.report;
     println!(
         "{} [{}] config {:#018x} in {} ms",
@@ -552,13 +651,14 @@ fn cmd_submit(cli: &Cli) {
 fn cmd_stats(cli: &Cli) {
     let stats = connect(cli)
         .stats()
-        .unwrap_or_else(|e| die(&format!("stats: {e}")));
+        .unwrap_or_else(|e| die_client("stats", &cli.addr, e));
     println!(
-        "requests: {} submitted | {} completed | {} failed | {} rejected{}",
+        "requests: {} submitted | {} completed | {} failed | {} rejected | {} shed{}",
         stats.submitted,
         stats.completed,
         stats.failed,
         stats.rejected,
+        stats.shed,
         if stats.draining { " | DRAINING" } else { "" }
     );
     println!(
@@ -566,8 +666,8 @@ fn cmd_stats(cli: &Cli) {
         stats.cache_hits, stats.cache_misses, stats.cache_entries, stats.cache_evictions
     );
     println!(
-        "pool: {} queued | {} in flight",
-        stats.queue_depth, stats.in_flight
+        "pool: {} queued | {} in flight | {} worker panics",
+        stats.queue_depth, stats.in_flight, stats.worker_panics
     );
     println!(
         "wall: {:.1} ms mean | {} ms max | {} ms total",
@@ -858,15 +958,51 @@ fn cmd_bench(cli: &Cli) {
 fn cmd_metrics(cli: &Cli) {
     let json = connect(cli)
         .metrics()
-        .unwrap_or_else(|e| die(&format!("metrics: {e}")));
+        .unwrap_or_else(|e| die_client("metrics", &cli.addr, e));
     // One canonical-JSON document on stdout, ready for `jq` or diffing.
     println!("{json}");
+}
+
+fn cmd_health(cli: &Cli) {
+    let h = connect(cli)
+        .health()
+        .unwrap_or_else(|e| die_client("health", &cli.addr, e));
+    let status = if h.draining {
+        "draining"
+    } else if h.ready {
+        "ready"
+    } else {
+        "not ready"
+    };
+    println!("bfsimd at {} is {status}", cli.addr);
+    println!(
+        "pool: {} workers | queue {}/{} | {} in flight | {} shed | {} worker panics",
+        h.workers, h.queue_depth, h.queue_cap, h.in_flight, h.shed, h.worker_panics
+    );
+    println!("cache: {} entries", h.cache_entries);
+    match &h.journal {
+        Some(j) => println!(
+            "journal: {} ({} replayed, {} appended{})",
+            j.path,
+            j.replayed,
+            j.appended,
+            if j.truncated {
+                ", torn tail truncated at startup"
+            } else {
+                ""
+            }
+        ),
+        None => println!("journal: none (cache is in-memory only)"),
+    }
+    if let Some(plan) = &h.fault_plan {
+        println!("FAULT PLAN ACTIVE: {plan}");
+    }
 }
 
 fn cmd_shutdown(cli: &Cli) {
     connect(cli)
         .shutdown()
-        .unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        .unwrap_or_else(|e| die_client("shutdown", &cli.addr, e));
     println!("bfsimd at {} is draining", cli.addr);
 }
 
@@ -882,11 +1018,12 @@ fn main() {
         "submit" => cmd_submit(&cli),
         "stats" => cmd_stats(&cli),
         "metrics" => cmd_metrics(&cli),
+        "health" => cmd_health(&cli),
         "shutdown" => cmd_shutdown(&cli),
         "bench" => cmd_bench(&cli),
         other => die(&format!(
             "unknown command {other:?} \
-             (simulate|generate|inspect|compare|submit|stats|metrics|shutdown|bench)"
+             (simulate|generate|inspect|compare|submit|stats|metrics|health|shutdown|bench)"
         )),
     }
 }

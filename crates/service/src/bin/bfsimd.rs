@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! bfsimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache-cap N]
+//!        [--cache-journal PATH] [--fault-plan SPEC]
+//!        [--read-timeout-ms N] [--write-timeout-ms N] [--max-frame BYTES]
 //!        [--log-level SPEC] [--log-json]
 //! ```
 //!
@@ -10,12 +12,20 @@
 //! with `bfsim shutdown` (graceful drain) — the process exits once every
 //! accepted request has been answered.
 //!
+//! `--cache-journal PATH` makes the result cache crash-recoverable: every
+//! insert is appended to an append-only JSONL journal, replayed (with
+//! per-record checksum validation and torn-tail truncation) on the next
+//! start. `--fault-plan SPEC` (or env `BFSIM_FAULT_PLAN`) arms
+//! deterministic fault injection — see `service::fault` for the grammar;
+//! never use it on a daemon you care about.
+//!
 //! `--log-level` takes the `BFSIM_LOG` filter grammar (e.g. `info` or
 //! `warn,service=debug`) and wins over the environment; `--log-json`
 //! switches log records to JSON lines. Without either, only errors are
 //! logged.
 
-use service::{Server, ServiceConfig};
+use service::{FaultPlan, Server, ServiceConfig};
+use std::time::Duration;
 
 fn die(msg: &str) -> ! {
     obs::error!(target: "bfsimd", "{msg}");
@@ -87,6 +97,31 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("bad --cache-cap (need an integer >= 1)"))
             }
+            "--cache-journal" => {
+                cfg.journal = Some(next(&mut it, "--cache-journal").into());
+            }
+            "--fault-plan" => {
+                let spec = next(&mut it, "--fault-plan");
+                cfg.fault_plan = Some(
+                    FaultPlan::parse(&spec)
+                        .unwrap_or_else(|e| die(&format!("bad --fault-plan: {e}"))),
+                );
+            }
+            "--read-timeout-ms" => {
+                cfg.read_timeout = parse_timeout(&next(&mut it, "--read-timeout-ms"))
+                    .unwrap_or_else(|| die("bad --read-timeout-ms (millis, 0 disables)"));
+            }
+            "--write-timeout-ms" => {
+                cfg.write_timeout = parse_timeout(&next(&mut it, "--write-timeout-ms"))
+                    .unwrap_or_else(|| die("bad --write-timeout-ms (millis, 0 disables)"));
+            }
+            "--max-frame" => {
+                cfg.max_frame = next(&mut it, "--max-frame")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1024)
+                    .unwrap_or_else(|| die("bad --max-frame (need bytes >= 1024)"))
+            }
             // Consumed by init_logging before parsing; skip here.
             "--log-level" => {
                 let _ = next(&mut it, "--log-level");
@@ -95,24 +130,54 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: bfsimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache-cap N] \
-                     [--log-level SPEC] [--log-json]"
+                     [--cache-journal PATH] [--fault-plan SPEC] [--read-timeout-ms N] \
+                     [--write-timeout-ms N] [--max-frame BYTES] [--log-level SPEC] [--log-json]"
                 );
                 std::process::exit(0);
             }
             other => die(&format!("unknown flag {other:?}")),
         }
     }
-    let handle = Server::start(&addr, cfg).unwrap_or_else(|e| die(&format!("binding {addr}: {e}")));
-    obs::info!(target: "bfsimd",
-        "listening on {} ({} workers, queue {}, cache cap {})",
-        handle.addr(), cfg.workers, cfg.queue_cap, cfg.cache_cap);
-    println!(
-        "bfsimd listening on {} ({} workers, queue {}, cache cap {})",
-        handle.addr(),
+    // The env var arms fault injection when the flag didn't (the flag
+    // wins); an empty plan is the same as none.
+    if cfg.fault_plan.is_none() {
+        if let Ok(spec) = std::env::var("BFSIM_FAULT_PLAN") {
+            if !spec.trim().is_empty() {
+                cfg.fault_plan = Some(
+                    FaultPlan::parse(&spec)
+                        .unwrap_or_else(|e| die(&format!("bad BFSIM_FAULT_PLAN: {e}"))),
+                );
+            }
+        }
+    }
+    let summary = format!(
+        "{} workers, queue {}, cache cap {}{}{}",
         cfg.workers,
         cfg.queue_cap,
-        cfg.cache_cap
+        cfg.cache_cap,
+        match &cfg.journal {
+            Some(path) => format!(", journal {}", path.display()),
+            None => String::new(),
+        },
+        match &cfg.fault_plan {
+            Some(plan) if !plan.is_empty() => format!(", FAULT PLAN {plan}"),
+            _ => String::new(),
+        }
     );
+    let handle =
+        Server::start(&addr, cfg).unwrap_or_else(|e| die(&format!("starting on {addr}: {e}")));
+    obs::info!(target: "bfsimd", "listening on {} ({summary})", handle.addr());
+    println!("bfsimd listening on {} ({summary})", handle.addr());
     handle.join();
     println!("bfsimd drained and stopped");
+}
+
+/// `"0"` disables a timeout; any other millisecond count sets it.
+fn parse_timeout(raw: &str) -> Option<Option<Duration>> {
+    let ms: u64 = raw.parse().ok()?;
+    Some(if ms == 0 {
+        None
+    } else {
+        Some(Duration::from_millis(ms))
+    })
 }

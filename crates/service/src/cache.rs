@@ -15,12 +15,30 @@
 //! for the oldest tick — O(entries) — which is deliberate: an insert only
 //! happens after a full simulation, so the scan is noise, and the flat
 //! map keeps lookups (the actual hot path) a single hash probe.
+//!
+//! # Crash recovery
+//!
+//! With [`ResultCache::with_journal`] every insert is also appended to a
+//! JSONL journal: one line per entry, `{"crc":C,"entry":{"key":K,
+//! "report":R}}`, where `C` is the FNV-1a hash of the serialized
+//! `entry` object. On startup the journal is replayed newest-state-wins
+//! under the same LRU cap; replay stops at the **first** record that is
+//! torn (no trailing newline), non-JSON, or fails its checksum, and the
+//! file is truncated back to the last good record — a half-written tail
+//! from a crash can never poison entries that were durable before it.
+//! The journal is a log, not a snapshot: entries evicted in memory may
+//! be re-admitted on replay (the cap is re-applied), and duplicate
+//! appends replay idempotently.
 
-use crate::protocol::RunReport;
+use crate::protocol::{JournalHealth, RunReport};
 use backfill_sim::canon::fnv1a_64;
 use obs::metrics::{Counter, Metric, Registry};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// A memoized report plus its display hash and last-touched tick.
@@ -46,6 +64,43 @@ impl Slots {
     }
 }
 
+/// One durable journal record: the payload plus its integrity check.
+#[derive(Debug, Serialize, Deserialize)]
+struct JournalLine {
+    /// FNV-1a hash of the serialized `entry` object; a mismatch marks
+    /// the record (and everything after it) as torn.
+    crc: u64,
+    entry: JournalEntry,
+}
+
+/// The durable payload: exactly what [`ResultCache::insert`] took.
+#[derive(Debug, Serialize, Deserialize)]
+struct JournalEntry {
+    key: String,
+    report: RunReport,
+}
+
+/// What startup replay of a cache journal found, returned by
+/// [`ResultCache::with_journal`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalReplay {
+    /// Records restored into the cache.
+    pub replayed: u64,
+    /// True when a torn/corrupt tail was found and truncated away.
+    pub truncated: bool,
+    /// Bytes discarded by the truncation (0 when the file was clean).
+    pub dropped_bytes: u64,
+}
+
+/// The open journal plus its replay provenance (for health reporting).
+#[derive(Debug)]
+struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+    replay: JournalReplay,
+    appends: Arc<Counter>,
+}
+
 /// Thread-safe memoization of completed runs, keyed by canonical config
 /// JSON, bounded to `cap` entries with LRU eviction. Counters are
 /// monotone over the cache's lifetime.
@@ -58,6 +113,7 @@ pub struct ResultCache {
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     evictions: Arc<Counter>,
+    journal: Option<Journal>,
 }
 
 impl Default for ResultCache {
@@ -106,11 +162,103 @@ impl ResultCache {
             hits: Arc::new(Counter::new()),
             misses: Arc::new(Counter::new()),
             evictions: Arc::new(Counter::new()),
+            journal: None,
         }
     }
 
+    /// Create a cache backed by an append-only JSONL journal at `path`.
+    ///
+    /// Existing journal records are replayed into the cache (in file
+    /// order, so recency follows append order; the LRU cap applies as
+    /// usual). Replay stops at the first torn or checksum-failing
+    /// record and **truncates** the file back to the last good one, so
+    /// a crash mid-append costs at most the record being written. The
+    /// file is created when absent.
+    pub fn with_journal(cap: usize, path: &Path) -> io::Result<(Self, JournalReplay)> {
+        let mut cache = Self::with_capacity(cap);
+        let (good_len, records, replay) = Self::scan_journal(path)?;
+        for entry in records {
+            cache.insert_in_memory(entry.key, entry.report);
+        }
+        // Drop the torn tail (no-op for a clean file), then hold the
+        // file open in append mode for the cache's lifetime.
+        // truncate(false): the good prefix must survive — only the torn
+        // tail is cut, via the explicit set_len below.
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        file.set_len(good_len)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        cache.journal = Some(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            replay,
+            appends: Arc::new(Counter::new()),
+        });
+        Ok((cache, replay))
+    }
+
+    /// Read `path` (if present) and split it into validated records and
+    /// the byte length of the good prefix.
+    fn scan_journal(path: &Path) -> io::Result<(u64, Vec<JournalEntry>, JournalReplay)> {
+        let mut bytes = Vec::new();
+        match File::open(path) {
+            Ok(mut file) => {
+                file.read_to_end(&mut bytes)?;
+            }
+            Err(err) if err.kind() == io::ErrorKind::NotFound => {}
+            Err(err) => return Err(err),
+        }
+        let mut records = Vec::new();
+        let mut good_len = 0usize;
+        let mut rest = &bytes[..];
+        // A record counts only if its line is newline-terminated, valid
+        // UTF-8 + JSON, and checksum-clean; the first failure (including
+        // an unterminated tail) stops the scan — everything after it is
+        // the torn region.
+        while let Some(newline) = rest.iter().position(|&b| b == b'\n') {
+            let line = &rest[..newline];
+            let Ok(text) = std::str::from_utf8(line) else {
+                break;
+            };
+            let Ok(parsed) = serde_json::from_str::<JournalLine>(text) else {
+                break;
+            };
+            let body =
+                serde_json::to_string(&parsed.entry).expect("journal entries always serialize");
+            if fnv1a_64(body.as_bytes()) != parsed.crc {
+                break;
+            }
+            records.push(parsed.entry);
+            good_len += newline + 1;
+            rest = &rest[newline + 1..];
+        }
+        let dropped = (bytes.len() - good_len) as u64;
+        let replay = JournalReplay {
+            replayed: records.len() as u64,
+            truncated: dropped > 0,
+            dropped_bytes: dropped,
+        };
+        Ok((good_len as u64, records, replay))
+    }
+
+    /// The journal's health snapshot, `None` when no journal is
+    /// configured.
+    pub fn journal_health(&self) -> Option<JournalHealth> {
+        self.journal.as_ref().map(|journal| JournalHealth {
+            path: journal.path.display().to_string(),
+            replayed: journal.replay.replayed,
+            appended: journal.appends.get(),
+            truncated: journal.replay.truncated,
+        })
+    }
+
     /// Expose the cache's counters to `registry` under
-    /// `service.cache.{hits,misses,evictions}` (see DESIGN.md §12).
+    /// `service.cache.{hits,misses,evictions}` (plus
+    /// `service.cache.journal_appends` when journaling — see DESIGN.md
+    /// §12/§13).
     pub fn bind_metrics(&self, registry: &Registry) {
         registry.bind("service.cache.hits", Metric::Counter(self.hits.clone()));
         registry.bind("service.cache.misses", Metric::Counter(self.misses.clone()));
@@ -118,6 +266,12 @@ impl ResultCache {
             "service.cache.evictions",
             Metric::Counter(self.evictions.clone()),
         );
+        if let Some(journal) = &self.journal {
+            registry.bind(
+                "service.cache.journal_appends",
+                Metric::Counter(journal.appends.clone()),
+            );
+        }
     }
 
     /// Look up a canonical config key, bumping the hit or miss counter.
@@ -147,7 +301,44 @@ impl ResultCache {
     /// if the cache is at capacity. Idempotent: two workers racing on
     /// the same scenario insert byte-identical reports, so
     /// last-write-wins is harmless (and re-inserting never evicts).
+    /// When a journal is configured the entry is also appended and
+    /// flushed before this returns, so a `SIGKILL` any time after an
+    /// insert finds the entry durable.
     pub fn insert(&self, canonical: String, report: RunReport) {
+        if let Some(journal) = &self.journal {
+            let entry = JournalEntry {
+                key: canonical.clone(),
+                report: report.clone(),
+            };
+            let body = serde_json::to_string(&entry).expect("journal entries always serialize");
+            // The crc covers exactly the bytes embedded in the line, so
+            // replay can recompute it from the parsed record.
+            let line = format!(
+                "{{\"crc\":{},\"entry\":{}}}\n",
+                fnv1a_64(body.as_bytes()),
+                body
+            );
+            let mut file = journal.file.lock();
+            if file
+                .write_all(line.as_bytes())
+                .and_then(|()| file.flush())
+                .is_ok()
+            {
+                journal.appends.inc();
+            } else {
+                obs::warn!(
+                    target: "service::cache",
+                    "journal append failed at {}; entry stays in memory only",
+                    journal.path.display()
+                );
+            }
+        }
+        self.insert_in_memory(canonical, report);
+    }
+
+    /// The in-memory half of [`Self::insert`] — also the replay path,
+    /// which must not append what it just read back.
+    fn insert_in_memory(&self, canonical: String, report: RunReport) {
         let hash = fnv1a_64(canonical.as_bytes());
         let mut slots = self.slots.lock();
         let tick = slots.tick();
@@ -265,5 +456,163 @@ mod tests {
         cache.insert(a.canonical_json(), report(&a));
         let (_, _, entries, evictions) = cache.stats();
         assert_eq!((entries, evictions), (2, 1));
+    }
+
+    /// A scratch path under the target-adjacent temp dir, removed on drop.
+    struct TempJournal(std::path::PathBuf);
+    impl TempJournal {
+        fn new(name: &str) -> Self {
+            let mut path = std::env::temp_dir();
+            path.push(format!("bfsim-cache-test-{}-{}", std::process::id(), name));
+            let _ = std::fs::remove_file(&path);
+            TempJournal(path)
+        }
+    }
+    impl Drop for TempJournal {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn journal_replays_inserts_across_instances() {
+        let journal = TempJournal::new("replay");
+        let (a, b) = (config(1), config(2));
+        let report = |cfg: &RunConfig| RunReport::from_schedule(cfg, &cfg.run());
+        let expected = serde_json::to_string(&report(&a)).unwrap();
+        {
+            let (cache, replay) = ResultCache::with_journal(8, &journal.0).unwrap();
+            assert_eq!(replay, JournalReplay::default(), "fresh journal is empty");
+            cache.insert(a.canonical_json(), report(&a));
+            cache.insert(b.canonical_json(), report(&b));
+            assert_eq!(cache.journal_health().unwrap().appended, 2);
+        } // dropped without any shutdown ceremony — durability is per-insert
+        let (cache, replay) = ResultCache::with_journal(8, &journal.0).unwrap();
+        assert_eq!((replay.replayed, replay.truncated), (2, false));
+        match cache.lookup(&a.canonical_json()) {
+            Lookup::Hit { report, .. } => {
+                assert_eq!(
+                    serde_json::to_string(&report).unwrap(),
+                    expected,
+                    "replayed report must be byte-identical to the original"
+                );
+            }
+            Lookup::Miss { .. } => panic!("journaled entry missed after replay"),
+        }
+        assert!(matches!(
+            cache.lookup(&b.canonical_json()),
+            Lookup::Hit { .. }
+        ));
+        let health = cache.journal_health().unwrap();
+        assert_eq!(
+            (health.replayed, health.appended, health.truncated),
+            (2, 0, false)
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_earlier_records_survive() {
+        let journal = TempJournal::new("torn");
+        let (a, b) = (config(1), config(2));
+        let report = |cfg: &RunConfig| RunReport::from_schedule(cfg, &cfg.run());
+        {
+            let (cache, _) = ResultCache::with_journal(8, &journal.0).unwrap();
+            cache.insert(a.canonical_json(), report(&a));
+            cache.insert(b.canonical_json(), report(&b));
+        }
+        // Simulate a crash mid-append: chop the final record in half.
+        let bytes = std::fs::read(&journal.0).unwrap();
+        let first_end = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let torn_at = first_end + (bytes.len() - first_end) / 2;
+        std::fs::write(&journal.0, &bytes[..torn_at]).unwrap();
+
+        let (cache, replay) = ResultCache::with_journal(8, &journal.0).unwrap();
+        assert_eq!(replay.replayed, 1, "only the intact record replays");
+        assert!(replay.truncated);
+        assert_eq!(replay.dropped_bytes, (torn_at - first_end) as u64);
+        assert!(matches!(
+            cache.lookup(&a.canonical_json()),
+            Lookup::Hit { .. }
+        ));
+        assert!(matches!(
+            cache.lookup(&b.canonical_json()),
+            Lookup::Miss { .. }
+        ));
+        // The file itself was truncated back to the good prefix...
+        assert_eq!(
+            std::fs::metadata(&journal.0).unwrap().len(),
+            first_end as u64
+        );
+        // ...and appending resumes cleanly after the truncation point.
+        cache.insert(b.canonical_json(), report(&b));
+        drop(cache);
+        let (_, replay) = ResultCache::with_journal(8, &journal.0).unwrap();
+        assert_eq!((replay.replayed, replay.truncated), (2, false));
+    }
+
+    #[test]
+    fn checksum_mismatch_truncates_from_the_corrupt_record() {
+        let journal = TempJournal::new("crc");
+        let (a, b) = (config(1), config(2));
+        let report = |cfg: &RunConfig| RunReport::from_schedule(cfg, &cfg.run());
+        {
+            let (cache, _) = ResultCache::with_journal(8, &journal.0).unwrap();
+            cache.insert(a.canonical_json(), report(&a));
+            cache.insert(b.canonical_json(), report(&b));
+        }
+        // Flip one digit inside the second record's payload: the line
+        // still parses as JSON but its crc no longer matches.
+        let text = std::fs::read_to_string(&journal.0).unwrap();
+        let first_end = text.find('\n').unwrap() + 1;
+        let tail = &text[first_end..];
+        let digit_at = first_end
+            + tail
+                .find("\"fingerprint\":")
+                .map(|i| i + "\"fingerprint\":".len())
+                .expect("reports carry a fingerprint field");
+        let mut bytes = text.into_bytes();
+        bytes[digit_at] = if bytes[digit_at] == b'1' { b'2' } else { b'1' };
+        std::fs::write(&journal.0, &bytes).unwrap();
+
+        let (cache, replay) = ResultCache::with_journal(8, &journal.0).unwrap();
+        assert_eq!((replay.replayed, replay.truncated), (1, true));
+        assert!(matches!(
+            cache.lookup(&a.canonical_json()),
+            Lookup::Hit { .. }
+        ));
+        assert!(matches!(
+            cache.lookup(&b.canonical_json()),
+            Lookup::Miss { .. }
+        ));
+    }
+
+    #[test]
+    fn replay_respects_the_lru_cap() {
+        let journal = TempJournal::new("cap");
+        let (a, b, c) = (config(1), config(2), config(3));
+        let report = |cfg: &RunConfig| RunReport::from_schedule(cfg, &cfg.run());
+        {
+            let (cache, _) = ResultCache::with_journal(8, &journal.0).unwrap();
+            cache.insert(a.canonical_json(), report(&a));
+            cache.insert(b.canonical_json(), report(&b));
+            cache.insert(c.canonical_json(), report(&c));
+        }
+        // Replay under a smaller cap: file order is recency order, so
+        // the oldest append is the one evicted.
+        let (cache, replay) = ResultCache::with_journal(2, &journal.0).unwrap();
+        assert_eq!(
+            replay.replayed, 3,
+            "all records replay before the cap trims"
+        );
+        let (_, _, entries, evictions) = cache.stats();
+        assert_eq!((entries, evictions), (2, 1));
+        assert!(matches!(
+            cache.lookup(&a.canonical_json()),
+            Lookup::Miss { .. }
+        ));
+        assert!(matches!(
+            cache.lookup(&c.canonical_json()),
+            Lookup::Hit { .. }
+        ));
     }
 }

@@ -9,14 +9,26 @@
 //! cache — so any config the daemon has seen before is answered in
 //! microseconds, byte-identical to the fresh run.
 //!
+//! The service layer is built to survive a hostile world — see
+//! DESIGN.md §13. Sockets carry deadlines, oversized frames are shed
+//! with structured errors, a full queue answers `Busy` instead of
+//! blocking, workers survive panics, the cache can journal to disk and
+//! replay after a crash, and a deterministic [`fault`] plan can inject
+//! panics / drops / corruption / latency for reproducible chaos tests.
+//!
 //! Crate map:
 //!
 //! * [`protocol`] — request/response message types (shared serde data);
-//! * [`pool`] — bounded worker pool: backpressure via a bounded
-//!   channel, per-task panic isolation via `backfill_sim::run_cell`;
-//! * [`cache`] — result memoization keyed by canonical config JSON;
-//! * [`server`] — accept loop, connection handlers, graceful drain;
-//! * [`client`] — blocking client used by `bfsim submit|stats|shutdown`.
+//! * [`pool`] — bounded worker pool: shedding via `try_submit`,
+//!   per-task panic isolation (worker-level `catch_unwind` plus
+//!   `backfill_sim::run_cell`'s inner boundary);
+//! * [`cache`] — result memoization keyed by canonical config JSON,
+//!   optionally crash-recoverable via an append-only JSONL journal;
+//! * [`fault`] — seedable deterministic fault injection plans;
+//! * [`server`] — accept loop, connection handlers, hardening,
+//!   graceful drain;
+//! * [`client`] — blocking [`Client`] plus the deadline/retry-wrapped
+//!   [`ResilientClient`] used by `bfsim submit|stats|metrics|health`.
 //!
 //! ```no_run
 //! use service::{Client, Server, ServiceConfig};
@@ -41,12 +53,16 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod pool;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{Lookup, ResultCache};
-pub use client::{Client, ClientError};
-pub use pool::{Task, TaskResult, WorkerPool};
-pub use protocol::{Request, Response, RunReply, RunReport, ServiceStats};
+pub use cache::{JournalReplay, Lookup, ResultCache};
+pub use client::{Backoff, Client, ClientError, ClientOptions, ResilientClient, RetryPolicy};
+pub use fault::{FaultActions, FaultInjector, FaultPlan};
+pub use pool::{SubmitError, Task, TaskResult, WorkerPool};
+pub use protocol::{
+    HealthReport, JournalHealth, Request, Response, RunReply, RunReport, ServiceStats,
+};
 pub use server::{Server, ServerHandle, ServiceConfig};

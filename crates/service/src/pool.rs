@@ -1,16 +1,29 @@
-//! Bounded worker pool with backpressure and per-task fault isolation.
+//! Bounded worker pool with backpressure, load shedding, and per-task
+//! fault isolation.
 //!
-//! Tasks flow through a **bounded** crossbeam channel: once `queue_cap`
-//! tasks are waiting, `submit` blocks the calling connection handler,
-//! which in turn stops reading that client's socket — backpressure
-//! propagates to the TCP stream instead of letting an aggressive client
-//! queue unbounded work in daemon memory. Each task runs under
-//! `backfill_sim::run_cell`'s `catch_unwind` boundary, so a poisoned
-//! scenario produces an error result for its requester and nothing else.
+//! Tasks flow through a **bounded** crossbeam channel. The server sheds
+//! load with [`WorkerPool::try_submit`]: when `queue_cap` tasks are
+//! already waiting the task comes straight back as
+//! [`SubmitError::Full`], and the caller answers `Busy` instead of
+//! stalling its connection handler. The blocking [`WorkerPool::submit`]
+//! remains for callers that prefer backpressure over shedding.
+//!
+//! Two fault boundaries protect the pool:
+//!
+//! * `backfill_sim::run_cell` catches panics **inside** a simulation, so
+//!   a poisoned scenario produces an error result for its requester;
+//! * the worker loop itself wraps each task in `catch_unwind`, so a
+//!   panic **outside** the simulation (an injected worker fault, or a
+//!   real bug in the pool path) kills neither the worker thread nor the
+//!   daemon. The task's reply is deliberately *not* sent — the requester
+//!   observes a crashed worker, exactly as if the thread had died — and
+//!   `worker_panics` counts the event.
 
+use crate::fault::FaultActions;
 use backfill_sim::{run_cell, CellError, RunConfig, Schedule};
-use crossbeam::channel::{self, Sender};
+use crossbeam::channel::{self, Sender, TrySendError};
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -23,6 +36,11 @@ pub struct Task {
     /// Where the worker sends the outcome (the submitting handler blocks
     /// on the paired receiver).
     pub reply: mpsc::Sender<TaskResult>,
+    /// Injected faults to apply while executing this task (delay, then
+    /// panic, both ahead of the simulation). `FaultActions::default()`
+    /// for normal operation; only `panic` and `delay` are interpreted
+    /// here — the wire-level kinds belong to the connection handler.
+    pub fault: FaultActions,
 }
 
 /// What a worker produced for one task.
@@ -37,12 +55,32 @@ pub struct TaskResult {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolClosed;
 
+/// Why [`WorkerPool::try_submit`] handed a task back.
+pub enum SubmitError {
+    /// The queue is at capacity; shed the request (the task is returned
+    /// so the caller can report which config was refused).
+    Full(Task),
+    /// The pool has shut down.
+    Closed(Task),
+}
+
+// Task holds a reply channel (not Debug), so render the variant alone.
+impl std::fmt::Debug for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full(_) => write!(f, "SubmitError::Full(..)"),
+            SubmitError::Closed(_) => write!(f, "SubmitError::Closed(..)"),
+        }
+    }
+}
+
 /// A fixed-size pool of simulation workers fed by a bounded queue.
 pub struct WorkerPool {
     tx: Mutex<Option<Sender<Task>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     queued: Arc<AtomicUsize>,
     in_flight: Arc<AtomicUsize>,
+    panics: Arc<AtomicUsize>,
 }
 
 impl WorkerPool {
@@ -53,21 +91,34 @@ impl WorkerPool {
         let (tx, rx) = channel::bounded::<Task>(queue_cap);
         let queued = Arc::new(AtomicUsize::new(0));
         let in_flight = Arc::new(AtomicUsize::new(0));
+        let panics = Arc::new(AtomicUsize::new(0));
         let handles = (0..workers)
             .map(|_| {
                 let rx = rx.clone();
                 let queued = queued.clone();
                 let in_flight = in_flight.clone();
+                let panics = panics.clone();
                 std::thread::spawn(move || {
                     while let Ok(task) = rx.recv() {
                         queued.fetch_sub(1, Ordering::SeqCst);
                         in_flight.fetch_add(1, Ordering::SeqCst);
-                        let started = Instant::now();
-                        let outcome = run_cell(&task.config);
-                        let result = TaskResult {
-                            outcome,
-                            run_wall: started.elapsed(),
-                        };
+                        // The outer catch_unwind is the pool's own crash
+                        // boundary: injected worker panics (and any real
+                        // bug outside run_cell) land here, not on the
+                        // thread.
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(delay) = task.fault.delay {
+                                std::thread::sleep(delay);
+                            }
+                            if task.fault.panic {
+                                panic!("injected worker panic (fault plan)");
+                            }
+                            let started = Instant::now();
+                            TaskResult {
+                                outcome: run_cell(&task.config),
+                                run_wall: started.elapsed(),
+                            }
+                        }));
                         // Stop counting the task as in-flight BEFORE the
                         // reply becomes observable: the handler bumps
                         // `completed` as soon as it receives the result,
@@ -76,9 +127,20 @@ impl WorkerPool {
                         // in-flight (submitted ≥ completed + in_flight
                         // would read as violated).
                         in_flight.fetch_sub(1, Ordering::SeqCst);
-                        // The requester may have vanished (connection
-                        // dropped); the result is then simply discarded.
-                        let _ = task.reply.send(result);
+                        match result {
+                            // The requester may have vanished (connection
+                            // dropped); the result is then discarded.
+                            Ok(result) => {
+                                let _ = task.reply.send(result);
+                            }
+                            // Crashed worker: drop the reply sender
+                            // without sending, so the requester's recv
+                            // fails — indistinguishable from the thread
+                            // dying, but the pool stays at full strength.
+                            Err(_) => {
+                                panics.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
                     }
                 })
             })
@@ -88,6 +150,7 @@ impl WorkerPool {
             workers: Mutex::new(handles),
             queued,
             in_flight,
+            panics,
         }
     }
 
@@ -110,6 +173,33 @@ impl WorkerPool {
         }
     }
 
+    /// Queue a task without blocking: a full queue hands the task back
+    /// as [`SubmitError::Full`] so the caller can shed the request with
+    /// an explicit busy signal instead of stalling.
+    // Returning the whole Task in the error IS the API: the caller gets
+    // its request back on a shed instead of losing it, so boxing to
+    // shrink the Err variant would just trade size for an allocation on
+    // the overload path.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(&self, task: Task) -> Result<(), SubmitError> {
+        let tx = match self.tx.lock().as_ref() {
+            Some(tx) => tx.clone(),
+            None => return Err(SubmitError::Closed(task)),
+        };
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        match tx.try_send(task) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(task)) => {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                Err(SubmitError::Full(task))
+            }
+            Err(TrySendError::Disconnected(task)) => {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                Err(SubmitError::Closed(task))
+            }
+        }
+    }
+
     /// Tasks accepted but not yet picked up by a worker.
     pub fn queue_depth(&self) -> usize {
         self.queued.load(Ordering::SeqCst)
@@ -118,6 +208,13 @@ impl WorkerPool {
     /// Tasks currently being simulated.
     pub fn in_flight(&self) -> usize {
         self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Tasks whose worker panicked outside the simulation boundary
+    /// (injected faults and pool-path bugs); their replies were never
+    /// sent.
+    pub fn worker_panics(&self) -> usize {
+        self.panics.load(Ordering::SeqCst)
     }
 
     /// Close the queue and wait for the workers to finish everything
@@ -157,16 +254,20 @@ mod tests {
         }
     }
 
+    fn task(config: RunConfig, reply: mpsc::Sender<TaskResult>) -> Task {
+        Task {
+            config,
+            reply,
+            fault: FaultActions::default(),
+        }
+    }
+
     #[test]
     fn executes_and_replies() {
         let pool = WorkerPool::new(2, 4);
         let (reply, results) = mpsc::channel();
         for seed in 0..6u64 {
-            pool.submit(Task {
-                config: config(seed, 0.9),
-                reply: reply.clone(),
-            })
-            .unwrap();
+            pool.submit(task(config(seed, 0.9), reply.clone())).unwrap();
         }
         drop(reply);
         let mut seen = 0;
@@ -178,6 +279,7 @@ mod tests {
         pool.shutdown();
         assert_eq!(pool.queue_depth(), 0);
         assert_eq!(pool.in_flight(), 0);
+        assert_eq!(pool.worker_panics(), 0);
     }
 
     #[test]
@@ -186,22 +288,67 @@ mod tests {
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // expected panic below
         let (reply, results) = mpsc::channel();
-        pool.submit(Task {
-            config: config(1, -1.0), // negative load panics in scale_to_load
-            reply: reply.clone(),
-        })
-        .unwrap();
-        pool.submit(Task {
-            config: config(2, 0.9),
-            reply,
-        })
-        .unwrap();
+        pool.submit(task(config(1, -1.0), reply.clone())).unwrap(); // negative load panics in scale_to_load
+        pool.submit(task(config(2, 0.9), reply)).unwrap();
         let first = results.recv().unwrap();
         let second = results.recv().unwrap();
         std::panic::set_hook(hook);
         let err = first.outcome.expect_err("poisoned task must fail");
         assert!(err.panic.contains("target load must be positive"));
         assert!(second.outcome.is_ok(), "healthy task after a poisoned one");
+        // The panic was inside run_cell's boundary, not the worker's.
+        assert_eq!(pool.worker_panics(), 0);
+    }
+
+    #[test]
+    fn injected_worker_panic_drops_reply_but_pool_survives() {
+        let pool = WorkerPool::new(1, 2);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // expected panic below
+        let (crash_reply, crash_results) = mpsc::channel();
+        pool.submit(Task {
+            config: config(1, 0.9),
+            reply: crash_reply,
+            fault: FaultActions {
+                panic: true,
+                ..FaultActions::default()
+            },
+        })
+        .unwrap();
+        // The crashed task's reply channel closes without a result.
+        assert!(
+            crash_results.recv().is_err(),
+            "crashed worker must not reply"
+        );
+        // The same (sole) worker thread still serves the next task.
+        let (reply, results) = mpsc::channel();
+        pool.submit(task(config(2, 0.9), reply)).unwrap();
+        let healthy = results.recv().unwrap();
+        std::panic::set_hook(hook);
+        assert!(healthy.outcome.is_ok());
+        assert_eq!(pool.worker_panics(), 1);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn injected_delay_slows_the_task() {
+        let pool = WorkerPool::new(1, 1);
+        let (reply, results) = mpsc::channel();
+        let started = Instant::now();
+        pool.submit(Task {
+            config: config(1, 0.9),
+            reply,
+            fault: FaultActions {
+                delay: Some(Duration::from_millis(80)),
+                ..FaultActions::default()
+            },
+        })
+        .unwrap();
+        assert!(results.recv().unwrap().outcome.is_ok());
+        assert!(
+            started.elapsed() >= Duration::from_millis(80),
+            "delay fault must slow the worker"
+        );
     }
 
     #[test]
@@ -209,11 +356,47 @@ mod tests {
         let pool = WorkerPool::new(1, 1);
         pool.shutdown();
         let (reply, _results) = mpsc::channel();
-        let refused = pool.submit(Task {
-            config: config(1, 0.9),
-            reply,
-        });
+        let refused = pool.submit(task(config(1, 0.9), reply.clone()));
         assert_eq!(refused, Err(PoolClosed));
+        assert!(matches!(
+            pool.try_submit(task(config(1, 0.9), reply)),
+            Err(SubmitError::Closed(_))
+        ));
+    }
+
+    #[test]
+    fn try_submit_sheds_when_queue_is_full() {
+        // One worker pinned by a delayed task, capacity-1 queue: the
+        // first try_submit fills the queue, the second must shed.
+        let pool = WorkerPool::new(1, 1);
+        let (reply, results) = mpsc::channel();
+        pool.submit(Task {
+            config: config(0, 0.9),
+            reply: reply.clone(),
+            fault: FaultActions {
+                delay: Some(Duration::from_millis(150)),
+                ..FaultActions::default()
+            },
+        })
+        .unwrap();
+        // Wait until the worker holds the delayed task, leaving the
+        // queue empty; then fill it and overflow it.
+        while pool.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        pool.try_submit(task(config(1, 0.9), reply.clone()))
+            .expect("queue has a free slot");
+        let shed = pool.try_submit(task(config(2, 0.9), reply.clone()));
+        match shed {
+            Err(SubmitError::Full(t)) => assert_eq!(t.config, config(2, 0.9)),
+            other => panic!("expected Full, got {:?}", other.map(|_| ())),
+        }
+        drop(reply);
+        let mut seen = 0;
+        while results.recv().is_ok() {
+            seen += 1;
+        }
+        assert_eq!(seen, 2, "accepted tasks still complete");
     }
 
     #[test]
@@ -230,11 +413,8 @@ mod tests {
             let reply2 = reply.clone();
             scope.spawn(move || {
                 for seed in 0..3u64 {
-                    pool.submit(Task {
-                        config: config(seed, 0.9),
-                        reply: reply2.clone(),
-                    })
-                    .unwrap();
+                    pool.submit(task(config(seed, 0.9), reply2.clone()))
+                        .unwrap();
                     blocked.store(seed as usize + 1, Ordering::SeqCst);
                 }
             });

@@ -26,6 +26,10 @@ pub enum Request {
     /// document (scheduler, profile-index, queue, pool, and cache
     /// metrics under their dotted names — see DESIGN.md §12).
     Metrics,
+    /// Probe liveness and readiness: answered with
+    /// [`Response::Health`] even while draining, so an operator can
+    /// always tell a slow daemon from a dead one.
+    Health,
     /// Begin graceful shutdown: stop taking new work, drain in-flight
     /// requests, then exit.
     Shutdown,
@@ -49,6 +53,14 @@ pub enum Response {
         /// byte-identical for identical registry states.
         json: String,
     },
+    /// The daemon's readiness probe, answering [`Request::Health`].
+    Health(HealthReport),
+    /// The bounded work queue is full and the daemon shed this request
+    /// rather than block the connection. The submission had **no
+    /// effect** (nothing queued, nothing cached): resubmitting the same
+    /// config later is safe and idempotent, which is what lets clients
+    /// retry `Busy` with backoff.
+    Busy,
     /// The request failed; the daemon itself is still healthy. Carries
     /// the offending config's canonical hash when the failure was a
     /// simulation panic (fault isolation), zero for malformed requests.
@@ -57,10 +69,61 @@ pub enum Response {
         message: String,
         /// Content hash of the config at fault, 0 if not applicable.
         config_hash: u64,
+        /// True when retrying the identical request may succeed (e.g. a
+        /// crashed worker); false for deterministic failures (a
+        /// poisoned scenario, a malformed or oversized request).
+        /// Defaults to false so pre-fault-layer daemons parse as
+        /// non-retryable.
+        #[serde(default)]
+        retryable: bool,
     },
     /// The daemon is draining and takes no new work (also the
     /// acknowledgement of [`Request::Shutdown`] itself).
     ShuttingDown,
+}
+
+/// Liveness/readiness snapshot, answering [`Request::Health`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// True when the daemon accepts new submissions (not draining).
+    pub ready: bool,
+    /// True once graceful shutdown has begun.
+    pub draining: bool,
+    /// Configured worker-thread count.
+    pub workers: u64,
+    /// Configured bounded-queue capacity.
+    pub queue_cap: u64,
+    /// Tasks waiting in the queue right now.
+    pub queue_depth: u64,
+    /// Tasks being simulated right now.
+    pub in_flight: u64,
+    /// Submissions shed with [`Response::Busy`] so far.
+    pub shed: u64,
+    /// Worker panics outside the simulation boundary so far (injected
+    /// faults and pool-path bugs).
+    pub worker_panics: u64,
+    /// Entries currently memoized in the result cache.
+    pub cache_entries: u64,
+    /// Cache-journal state, when a journal is configured.
+    #[serde(default)]
+    pub journal: Option<JournalHealth>,
+    /// The active fault plan's spec string, when fault injection is on.
+    /// `None` in normal operation.
+    #[serde(default)]
+    pub fault_plan: Option<String>,
+}
+
+/// Cache-journal state inside a [`HealthReport`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JournalHealth {
+    /// Journal file path.
+    pub path: String,
+    /// Entries replayed into the cache at startup.
+    pub replayed: u64,
+    /// Entries appended since startup.
+    pub appended: u64,
+    /// True when startup replay found and truncated a torn tail.
+    pub truncated: bool,
 }
 
 /// A successful submit: the report plus cache provenance.
@@ -138,6 +201,14 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Submit requests refused because the daemon was draining.
     pub rejected: u64,
+    /// Submit requests shed with [`Response::Busy`] because the bounded
+    /// queue was full. Defaults so pre-fault-layer stats still parse.
+    #[serde(default)]
+    pub shed: u64,
+    /// Worker panics outside the simulation boundary (injected faults
+    /// and pool-path bugs); each one failed its request.
+    #[serde(default)]
+    pub worker_panics: u64,
     /// Result-cache hits.
     pub cache_hits: u64,
     /// Result-cache misses.
@@ -190,6 +261,7 @@ mod tests {
             Request::Submit { config: config() },
             Request::Stats,
             Request::Metrics,
+            Request::Health,
             Request::Shutdown,
         ] {
             let line = serde_json::to_string(&req).unwrap();
@@ -219,9 +291,24 @@ mod tests {
             Response::Metrics {
                 json: r#"{"counters":{"service.submitted":1}}"#.into(),
             },
+            Response::Health(HealthReport {
+                ready: true,
+                workers: 4,
+                queue_cap: 8,
+                journal: Some(JournalHealth {
+                    path: "/tmp/j.jsonl".into(),
+                    replayed: 3,
+                    appended: 1,
+                    truncated: true,
+                }),
+                fault_plan: Some("seed=7;panic@3".into()),
+                ..HealthReport::default()
+            }),
+            Response::Busy,
             Response::Error {
                 message: "boom".into(),
                 config_hash: 7,
+                retryable: true,
             },
             Response::ShuttingDown,
         ] {
@@ -230,6 +317,24 @@ mod tests {
             let back: Response = serde_json::from_str(&line).unwrap();
             assert_eq!(serde_json::to_string(&back).unwrap(), line);
         }
+    }
+
+    #[test]
+    fn pre_fault_layer_encodings_still_parse() {
+        // Older daemons/reports omit the fields this layer added; serde
+        // defaults must fill them in rather than reject the document.
+        let err: Response =
+            serde_json::from_str(r#"{"Error":{"message":"boom","config_hash":7}}"#).unwrap();
+        match err {
+            Response::Error { retryable, .. } => assert!(!retryable, "default is non-retryable"),
+            other => panic!("parsed as {other:?}"),
+        }
+        let stats: ServiceStats = serde_json::from_str(
+            r#"{"submitted":4,"completed":4,"failed":0,"rejected":0,"cache_hits":0,"cache_misses":4,"cache_entries":4,"cache_evictions":0,"queue_depth":0,"in_flight":0,"draining":false,"wall_ms_total":9,"wall_ms_max":5}"#,
+        )
+        .unwrap();
+        assert_eq!((stats.shed, stats.worker_panics), (0, 0));
+        assert_eq!(stats.submitted, 4);
     }
 
     #[test]

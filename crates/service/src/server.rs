@@ -6,6 +6,28 @@
 //! it, writes exactly one response line, and flushes before reading the
 //! next — so responses are always in request order per connection.
 //!
+//! # Hardening
+//!
+//! The daemon never trusts a peer to behave: sockets carry read/write
+//! deadlines (an idle or wedged connection times out and closes instead
+//! of pinning its handler thread forever), request frames are capped at
+//! [`ServiceConfig::max_frame`] bytes (an oversized line is discarded
+//! and answered with a structured error — it is **not** buffered), and
+//! when the bounded work queue is full a `Submit` is shed with
+//! [`Response::Busy`] instead of blocking the handler. Shedding keeps
+//! the accept path responsive under overload and gives well-behaved
+//! clients an explicit, retryable signal.
+//!
+//! # Fault injection
+//!
+//! With [`ServiceConfig::fault_plan`] set, each accepted `Submit` claims
+//! a deterministic index from a [`FaultInjector`] and suffers whatever
+//! the plan prescribes: `panic`/`delay` ride into the worker with the
+//! task, `drop`/`corrupt` are applied by the connection handler to the
+//! response frame. See `crate::fault` for the spec grammar and
+//! determinism guarantees. Disabled (the default), the only cost is one
+//! `Option` check per submit.
+//!
 //! # Shutdown sequence
 //!
 //! 1. Any connection sends [`Request::Shutdown`]; the daemon sets the
@@ -18,12 +40,14 @@
 //!    hold and join. `ServerHandle::join` then returns.
 
 use crate::cache::{Lookup, ResultCache};
-use crate::pool::{PoolClosed, Task, WorkerPool};
-use crate::protocol::{Request, Response, RunReply, RunReport, ServiceStats};
+use crate::fault::{FaultActions, FaultInjector, FaultPlan};
+use crate::pool::{SubmitError, Task, WorkerPool};
+use crate::protocol::{HealthReport, Request, Response, RunReply, RunReport, ServiceStats};
 use backfill_sim::canon::fnv1a_64;
 use obs::metrics::{Counter, Histogram, Registry};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -32,18 +56,33 @@ use std::time::{Duration, Instant};
 /// How often the accept loop polls for new connections / drain progress.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
-/// Daemon sizing knobs.
-#[derive(Debug, Clone, Copy)]
+/// Daemon sizing and hardening knobs.
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Simulation worker threads. More workers = more concurrent
     /// scenarios; each holds one materialized trace plus one schedule.
     pub workers: usize,
     /// Bounded work-queue capacity. When this many tasks wait, further
-    /// submits block their connection handlers (backpressure).
+    /// submits are shed with [`Response::Busy`].
     pub queue_cap: usize,
     /// Result-cache entry cap; past it the least-recently-used report
     /// is evicted on insert.
     pub cache_cap: usize,
+    /// Per-connection socket read deadline. A connection idle (or
+    /// wedged mid-frame) this long is closed. `None` disables.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write deadline: a peer that stops reading
+    /// can stall a response write at most this long. `None` disables.
+    pub write_timeout: Option<Duration>,
+    /// Largest accepted request frame in bytes. An oversized line is
+    /// discarded (never buffered whole) and answered with a structured
+    /// non-retryable error.
+    pub max_frame: usize,
+    /// Append-only cache journal path; see `ResultCache::with_journal`.
+    /// `None` (default) keeps the cache memory-only.
+    pub journal: Option<PathBuf>,
+    /// Deterministic fault plan; `None` (default) injects nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -51,7 +90,7 @@ impl Default for ServiceConfig {
         // One worker per core (min 2), and a queue twice the worker
         // count: deep enough to keep workers fed across request bursts,
         // shallow enough that memory for queued configs stays trivial
-        // and backpressure engages before the daemon hoards work.
+        // and shedding engages before the daemon hoards work.
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(2)
@@ -60,6 +99,14 @@ impl Default for ServiceConfig {
             workers,
             queue_cap: workers * 2,
             cache_cap: ResultCache::DEFAULT_CAP,
+            // Generous defaults: long enough that a deep queue of slow
+            // scenarios never times out a patient client, short enough
+            // that a leaked connection cannot pin a thread for hours.
+            read_timeout: Some(Duration::from_secs(300)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_frame: 1 << 20,
+            journal: None,
+            fault_plan: None,
         }
     }
 }
@@ -72,8 +119,10 @@ impl Default for ServiceConfig {
 /// handles into it, kept here so the hot path never takes the registry's
 /// name-map lock.
 struct Inner {
+    cfg: ServiceConfig,
     pool: WorkerPool,
     cache: ResultCache,
+    fault: Option<FaultInjector>,
     draining: AtomicBool,
     /// Submits between acceptance and response flush; the drain gate.
     pending: AtomicUsize,
@@ -82,6 +131,15 @@ struct Inner {
     completed: Arc<Counter>,
     failed: Arc<Counter>,
     rejected: Arc<Counter>,
+    /// Submits shed with `Busy` because the queue was full.
+    shed: Arc<Counter>,
+    /// Oversized request frames rejected.
+    oversized: Arc<Counter>,
+    /// Injected faults, by kind.
+    fault_panics: Arc<Counter>,
+    fault_drops: Arc<Counter>,
+    fault_corrupts: Arc<Counter>,
+    fault_delays: Arc<Counter>,
     wall_ms_total: Arc<Counter>,
     /// Largest single-request wall time; not a monotone sum, so it stays
     /// a raw atomic and is mirrored into a gauge at snapshot time.
@@ -94,41 +152,79 @@ struct Inner {
 }
 
 impl Inner {
-    fn new(cfg: ServiceConfig) -> Self {
+    /// Build the shared state; fallible because opening/replaying the
+    /// cache journal touches the filesystem.
+    fn new(cfg: ServiceConfig) -> io::Result<Self> {
         let registry = Registry::new();
-        let cache = ResultCache::with_capacity(cfg.cache_cap);
+        let cache = match &cfg.journal {
+            Some(path) => {
+                let (cache, replay) = ResultCache::with_journal(cfg.cache_cap, path)?;
+                if replay.truncated {
+                    obs::warn!(
+                        target: "service::cache",
+                        "journal {} had a torn tail: dropped {} bytes, kept {} records",
+                        path.display(),
+                        replay.dropped_bytes,
+                        replay.replayed
+                    );
+                } else {
+                    obs::info!(
+                        target: "service::cache",
+                        "journal {}: replayed {} records",
+                        path.display(),
+                        replay.replayed
+                    );
+                }
+                cache
+            }
+            None => ResultCache::with_capacity(cfg.cache_cap),
+        };
         cache.bind_metrics(&registry);
-        Inner {
+        let fault = cfg.fault_plan.clone().filter(|plan| !plan.is_empty());
+        if let Some(plan) = &fault {
+            obs::warn!(target: "service::fault", "fault injection ACTIVE: {plan}");
+        }
+        Ok(Inner {
             pool: WorkerPool::new(cfg.workers.max(1), cfg.queue_cap.max(1)),
             cache,
+            fault: fault.map(FaultInjector::new),
             draining: AtomicBool::new(false),
             pending: AtomicUsize::new(0),
             submitted: registry.counter("service.submitted"),
             completed: registry.counter("service.completed"),
             failed: registry.counter("service.failed"),
             rejected: registry.counter("service.rejected"),
+            shed: registry.counter("service.shed"),
+            oversized: registry.counter("service.oversized_frames"),
+            fault_panics: registry.counter("service.fault.panics"),
+            fault_drops: registry.counter("service.fault.drops"),
+            fault_corrupts: registry.counter("service.fault.corrupts"),
+            fault_delays: registry.counter("service.fault.delays"),
             wall_ms_total: registry.counter("service.wall_ms_total"),
             wall_ms_max: AtomicU64::new(0),
             wall_ms: registry.histogram("service.wall_ms"),
             run_wall_ms: registry.histogram("service.pool.run_wall_ms"),
             registry,
-        }
+            cfg,
+        })
     }
 
     /// One atomically-consistent-enough view of the daemon's counters.
     ///
     /// Read order is load-bearing: everything a submit can *become*
-    /// (completed / failed / rejected / in-flight) is read **before**
-    /// `submitted`. A worker also stops counting a task as in-flight
-    /// before its reply is observable (see `pool.rs`), so a snapshot can
-    /// never show `completed + failed + in_flight > submitted` — a task
-    /// caught mid-transition is simply not counted anywhere yet, and
-    /// reading `submitted` last only ever makes the right-hand side
-    /// larger.
+    /// (completed / failed / rejected / shed / in-flight) is read
+    /// **before** `submitted`. A worker also stops counting a task as
+    /// in-flight before its reply is observable (see `pool.rs`), so a
+    /// snapshot can never show `completed + failed + in_flight >
+    /// submitted` — a task caught mid-transition is simply not counted
+    /// anywhere yet, and reading `submitted` last only ever makes the
+    /// right-hand side larger.
     fn snapshot(&self) -> ServiceStats {
         let completed = self.completed.get();
         let failed = self.failed.get();
         let rejected = self.rejected.get();
+        let shed = self.shed.get();
+        let worker_panics = self.pool.worker_panics() as u64;
         let in_flight = self.pool.in_flight() as u64;
         let queue_depth = self.pool.queue_depth() as u64;
         let (cache_hits, cache_misses, cache_entries, cache_evictions) = self.cache.stats();
@@ -141,6 +237,8 @@ impl Inner {
             completed,
             failed,
             rejected,
+            shed,
+            worker_panics,
             cache_hits,
             cache_misses,
             cache_entries,
@@ -150,6 +248,30 @@ impl Inner {
             draining,
             wall_ms_total,
             wall_ms_max,
+        }
+    }
+
+    /// Liveness/readiness snapshot for the `health` verb. Served even
+    /// while draining — a drain in progress is exactly when an operator
+    /// wants to watch queue depth fall.
+    fn health(&self) -> HealthReport {
+        let (_, _, cache_entries, _) = self.cache.stats();
+        let draining = self.draining.load(Ordering::SeqCst);
+        HealthReport {
+            ready: !draining,
+            draining,
+            workers: self.cfg.workers as u64,
+            queue_cap: self.cfg.queue_cap as u64,
+            queue_depth: self.pool.queue_depth() as u64,
+            in_flight: self.pool.in_flight() as u64,
+            shed: self.shed.get(),
+            worker_panics: self.pool.worker_panics() as u64,
+            cache_entries,
+            journal: self.cache.journal_health(),
+            fault_plan: self
+                .fault
+                .as_ref()
+                .map(|injector| injector.plan().to_string()),
         }
     }
 
@@ -163,6 +285,9 @@ impl Inner {
         self.registry
             .gauge("service.pool.in_flight")
             .set(self.pool.in_flight() as i64);
+        self.registry
+            .gauge("service.pool.worker_panics")
+            .set(self.pool.worker_panics() as i64);
         let (_, _, cache_entries, _) = self.cache.stats();
         self.registry
             .gauge("service.cache.entries")
@@ -210,12 +335,14 @@ pub struct Server;
 
 impl Server {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
-    /// in background threads. Returns once the socket is listening.
+    /// in background threads. Returns once the socket is listening (and,
+    /// when a journal is configured, once its replay has finished — the
+    /// daemon never answers before recovery completes).
     pub fn start<A: ToSocketAddrs>(addr: A, cfg: ServiceConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let inner = Arc::new(Inner::new(cfg));
+        let inner = Arc::new(Inner::new(cfg)?);
         let accept = std::thread::spawn(move || accept_loop(listener, inner));
         Ok(ServerHandle {
             addr,
@@ -249,8 +376,98 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
     inner.pool.shutdown();
 }
 
+/// One framing step's outcome (see [`read_frame`]).
+enum Frame {
+    /// A complete `\n`-terminated line, newline stripped.
+    Line(String),
+    /// The line exceeded the frame cap; its bytes were discarded, the
+    /// stream is positioned after its terminating newline.
+    TooLong,
+    /// Clean end of stream (a partial trailing line is also treated as
+    /// EOF: the peer vanished mid-frame, there is nobody to answer).
+    Eof,
+}
+
+/// Read one length-capped frame. Unlike `BufReader::read_line`, an
+/// oversized frame is *discarded as it streams past* — the daemon's
+/// memory stays bounded by `max` no matter what the peer sends.
+fn read_frame<R: BufRead>(reader: &mut R, max: usize) -> io::Result<Frame> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    loop {
+        let (consumed, done) = {
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                // EOF, possibly mid-frame: the peer is gone either way,
+                // so even an oversized partial line reports as Eof.
+                return Ok(Frame::Eof);
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !discarding {
+                        buf.extend_from_slice(&chunk[..pos]);
+                    }
+                    (pos + 1, true)
+                }
+                None => {
+                    if !discarding {
+                        buf.extend_from_slice(chunk);
+                    }
+                    (chunk.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if buf.len() > max {
+            discarding = true;
+            buf.clear();
+        }
+        if done {
+            return Ok(if discarding {
+                Frame::TooLong
+            } else {
+                Frame::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+    }
+}
+
+/// What the connection handler must do to the response frame, as
+/// prescribed by the fault plan (always `None` without one).
+#[derive(Clone, Copy, PartialEq)]
+enum WireFault {
+    None,
+    /// Close the connection without writing the response.
+    Drop,
+    /// Write a deliberately undecodable frame in place of the response.
+    Corrupt,
+}
+
+/// One served request: the response plus handler-side bookkeeping.
+struct Served {
+    response: Response,
+    /// True when this request holds a `pending` slot that the handler
+    /// must release after the response flush (tracked `Submit`s only).
+    gates_drain: bool,
+    wire: WireFault,
+}
+
+impl Served {
+    fn plain(response: Response) -> Self {
+        Served {
+            response,
+            gates_drain: false,
+            wire: WireFault::None,
+        }
+    }
+}
+
 fn handle_connection(stream: TcpStream, inner: &Inner) {
     let _ = stream.set_nodelay(true);
+    // Socket deadlines: a peer that stops sending (or reading) cannot
+    // pin this thread past the configured timeouts.
+    let _ = stream.set_read_timeout(inner.cfg.read_timeout);
+    let _ = stream.set_write_timeout(inner.cfg.write_timeout);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -258,33 +475,67 @@ fn handle_connection(stream: TcpStream, inner: &Inner) {
     // Blocking reads on the handler side (the listener's nonblocking
     // flag is per-socket, but inherit rules vary — set it explicitly).
     let _ = stream.set_nonblocking(false);
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = match line {
-            Ok(line) => line,
-            Err(_) => break, // peer vanished mid-line
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, gates_drain) = match serde_json::from_str::<Request>(&line) {
-            Ok(request) => serve(request, inner),
-            Err(e) => (
-                Response::Error {
-                    message: format!("malformed request: {e}"),
+    let mut reader = BufReader::new(stream);
+    loop {
+        let served = match read_frame(&mut reader, inner.cfg.max_frame) {
+            Ok(Frame::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<Request>(&line) {
+                    Ok(request) => serve(request, inner),
+                    Err(e) => Served::plain(Response::Error {
+                        message: format!("malformed request: {e}"),
+                        config_hash: 0,
+                        retryable: false,
+                    }),
+                }
+            }
+            Ok(Frame::TooLong) => {
+                inner.oversized.inc();
+                obs::warn!(
+                    target: "service::server",
+                    "rejected oversized request frame (> {} bytes)",
+                    inner.cfg.max_frame
+                );
+                Served::plain(Response::Error {
+                    message: format!(
+                        "request frame exceeds max_frame ({} bytes)",
+                        inner.cfg.max_frame
+                    ),
                     config_hash: 0,
-                },
-                false,
-            ),
+                    retryable: false,
+                })
+            }
+            Ok(Frame::Eof) => break,
+            // Read deadline elapsed or the peer vanished: close. Any
+            // tracked submit already released its pending slot at flush
+            // time, so the drain gate is unaffected.
+            Err(_) => break,
         };
-        let mut payload = serde_json::to_string(&response).expect("responses serialize");
+        if served.wire == WireFault::Drop {
+            // Injected connection drop: vanish instead of answering.
+            obs::debug!(target: "service::fault", "dropping connection instead of responding");
+            if served.gates_drain {
+                inner.pending.fetch_sub(1, Ordering::SeqCst);
+            }
+            break;
+        }
+        let mut payload = serde_json::to_string(&served.response).expect("responses serialize");
+        if served.wire == WireFault::Corrupt {
+            // Still exactly one line, so the stream stays frame-synced
+            // and the client can retry on this same connection — but the
+            // leading '!' makes the frame undecodable as a Response.
+            obs::debug!(target: "service::fault", "corrupting response frame");
+            payload.insert(0, '!');
+        }
         payload.push('\n');
         let flushed = writer
             .write_all(payload.as_bytes())
             .and_then(|()| writer.flush());
         // The response is now out (or the peer is gone); either way this
         // request no longer gates the drain.
-        if gates_drain {
+        if served.gates_drain {
             inner.pending.fetch_sub(1, Ordering::SeqCst);
         }
         if flushed.is_err() {
@@ -293,47 +544,103 @@ fn handle_connection(stream: TcpStream, inner: &Inner) {
     }
 }
 
-/// Serve one request. Returns the response plus whether it still gates
-/// the drain: a tracked `Submit` increments `pending` here and the
-/// connection handler decrements it after the response flush.
-fn serve(request: Request, inner: &Inner) -> (Response, bool) {
+/// Serve one request. A tracked `Submit` increments `pending` here and
+/// the connection handler decrements it after the response flush (or
+/// after an injected drop).
+fn serve(request: Request, inner: &Inner) -> Served {
     match request {
         Request::Submit { config } => {
             if inner.draining.load(Ordering::SeqCst) {
                 inner.rejected.inc();
-                return (Response::ShuttingDown, false);
+                return Served::plain(Response::ShuttingDown);
             }
+            // Claim this submit's fault actions (index order = daemon
+            // acceptance order; a plan-free daemon skips all of this).
+            let actions = match &inner.fault {
+                Some(injector) => {
+                    let (index, actions) = injector.next();
+                    if !actions.is_none() {
+                        obs::info!(
+                            target: "service::fault",
+                            "submit #{index}: injecting {actions:?}"
+                        );
+                        if actions.panic {
+                            inner.fault_panics.inc();
+                        }
+                        if actions.drop {
+                            inner.fault_drops.inc();
+                        }
+                        if actions.corrupt {
+                            inner.fault_corrupts.inc();
+                        }
+                        if actions.delay.is_some() {
+                            inner.fault_delays.inc();
+                        }
+                    }
+                    actions
+                }
+                None => FaultActions::default(),
+            };
             inner.pending.fetch_add(1, Ordering::SeqCst);
             inner.submitted.inc();
-            let response = serve_submit(config, inner);
-            if matches!(response, Response::ShuttingDown) {
-                // Refused after all (pool closed under us): stop gating
-                // the drain right away.
-                inner.pending.fetch_sub(1, Ordering::SeqCst);
-                inner.rejected.inc();
-                return (response, false);
+            let response = serve_submit(config, actions, inner);
+            match response {
+                Response::ShuttingDown => {
+                    // Refused after all (pool closed under us): stop
+                    // gating the drain right away.
+                    inner.pending.fetch_sub(1, Ordering::SeqCst);
+                    inner.rejected.inc();
+                    return Served::plain(response);
+                }
+                Response::Busy => {
+                    // Shed: nothing queued, nothing owed; release the
+                    // drain slot but still honor wire faults so `Busy`
+                    // under chaos behaves like any other frame.
+                    inner.pending.fetch_sub(1, Ordering::SeqCst);
+                    return Served {
+                        response,
+                        gates_drain: false,
+                        wire: wire_fault(actions),
+                    };
+                }
+                _ => {}
             }
-            (response, true)
+            Served {
+                response,
+                gates_drain: true,
+                wire: wire_fault(actions),
+            }
         }
-        Request::Stats => (Response::Stats(inner.snapshot()), false),
-        Request::Metrics => (
-            Response::Metrics {
-                json: inner.metrics_snapshot(),
-            },
-            false,
-        ),
+        Request::Stats => Served::plain(Response::Stats(inner.snapshot())),
+        Request::Metrics => Served::plain(Response::Metrics {
+            json: inner.metrics_snapshot(),
+        }),
+        Request::Health => Served::plain(Response::Health(inner.health())),
         Request::Shutdown => {
             inner.draining.store(true, Ordering::SeqCst);
-            (Response::ShuttingDown, false)
+            Served::plain(Response::ShuttingDown)
         }
     }
 }
 
-fn serve_submit(config: backfill_sim::RunConfig, inner: &Inner) -> Response {
+fn wire_fault(actions: FaultActions) -> WireFault {
+    if actions.drop {
+        WireFault::Drop
+    } else if actions.corrupt {
+        WireFault::Corrupt
+    } else {
+        WireFault::None
+    }
+}
+
+fn serve_submit(config: backfill_sim::RunConfig, actions: FaultActions, inner: &Inner) -> Response {
     let started = Instant::now();
     let canonical = config.canonical_json();
     match inner.cache.lookup(&canonical) {
         Lookup::Hit { hash, report } => {
+            // `panic`/`delay` act inside a worker; a hit never reaches
+            // one, so only the wire-level faults (handled by the
+            // connection handler) apply here.
             let wall_ms = started.elapsed().as_millis() as u64;
             inner.completed.inc();
             inner.record_wall(wall_ms);
@@ -346,19 +653,46 @@ fn serve_submit(config: backfill_sim::RunConfig, inner: &Inner) -> Response {
         }
         Lookup::Miss { hash } => {
             let (reply_tx, reply_rx) = mpsc::channel();
-            let submitted = inner.pool.submit(Task {
+            let task = Task {
                 config,
                 reply: reply_tx,
-            });
-            if submitted == Err(PoolClosed) {
-                return Response::ShuttingDown;
+                fault: actions,
+            };
+            match inner.pool.try_submit(task) {
+                Ok(()) => {}
+                Err(SubmitError::Full(_)) => {
+                    inner.shed.inc();
+                    obs::warn!(
+                        target: "service::server",
+                        "queue full ({}): shedding submit {:x}",
+                        inner.cfg.queue_cap,
+                        hash
+                    );
+                    return Response::Busy;
+                }
+                Err(SubmitError::Closed(_)) => return Response::ShuttingDown,
             }
             let result = match reply_rx.recv() {
                 Ok(result) => result,
                 Err(_) => {
-                    // Worker vanished without replying — only possible if
-                    // the pool was torn down mid-task; treat as refusal.
-                    return Response::ShuttingDown;
+                    // The worker dropped the reply without sending: it
+                    // panicked outside the simulation boundary (e.g. an
+                    // injected fault). The pool cannot have been torn
+                    // down — this handler still holds a `pending` slot,
+                    // which blocks the drain gate — so the crash is the
+                    // only explanation, and a retry may well succeed.
+                    inner.failed.inc();
+                    obs::warn!(
+                        target: "service::server",
+                        "worker crashed serving submit {:x}; reported as retryable",
+                        hash
+                    );
+                    return Response::Error {
+                        message: "worker crashed while serving this request; retry is safe"
+                            .to_string(),
+                        config_hash: hash,
+                        retryable: true,
+                    };
                 }
             };
             let wall_ms = started.elapsed().as_millis() as u64;
@@ -389,6 +723,7 @@ fn serve_submit(config: backfill_sim::RunConfig, inner: &Inner) -> Response {
                     Response::Error {
                         message: cell_error.to_string(),
                         config_hash: fnv1a_64(cell_error.config.canonical_json().as_bytes()),
+                        retryable: false,
                     }
                 }
             }
@@ -399,12 +734,54 @@ fn serve_submit(config: backfill_sim::RunConfig, inner: &Inner) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Cursor;
 
     #[test]
     fn default_sizing_is_sane() {
         let cfg = ServiceConfig::default();
         assert!(cfg.workers >= 2);
         assert!(cfg.queue_cap >= cfg.workers, "queue must cover the pool");
+        assert!(cfg.read_timeout.is_some() && cfg.write_timeout.is_some());
+        assert!(cfg.max_frame >= 64 * 1024, "frames must fit real configs");
+    }
+
+    #[test]
+    fn read_frame_splits_lines_and_caps_length() {
+        let mut reader = Cursor::new(b"first\nsecond\n".to_vec());
+        assert!(matches!(
+            read_frame(&mut reader, 64).unwrap(),
+            Frame::Line(line) if line == "first"
+        ));
+        assert!(matches!(
+            read_frame(&mut reader, 64).unwrap(),
+            Frame::Line(line) if line == "second"
+        ));
+        assert!(matches!(read_frame(&mut reader, 64).unwrap(), Frame::Eof));
+
+        // An oversized line is consumed and reported, and the frame
+        // after it still parses — the stream stays line-synced.
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&[b'x'; 100]);
+        oversized.push(b'\n');
+        oversized.extend_from_slice(b"after\n");
+        let mut reader = Cursor::new(oversized);
+        assert!(matches!(
+            read_frame(&mut reader, 10).unwrap(),
+            Frame::TooLong
+        ));
+        assert!(matches!(
+            read_frame(&mut reader, 10).unwrap(),
+            Frame::Line(line) if line == "after"
+        ));
+
+        // A line of exactly `max` bytes is allowed (the cap is a limit,
+        // not a strict bound), and a partial trailing line is EOF.
+        let mut reader = Cursor::new(b"12345\npartial".to_vec());
+        assert!(matches!(
+            read_frame(&mut reader, 5).unwrap(),
+            Frame::Line(line) if line == "12345"
+        ));
+        assert!(matches!(read_frame(&mut reader, 5).unwrap(), Frame::Eof));
     }
 
     #[test]
@@ -420,8 +797,13 @@ mod tests {
         .unwrap();
         let addr = handle.addr();
         assert_ne!(addr.port(), 0, "port 0 must resolve to a real port");
-        // Shut it down over the wire so join() returns.
+        // Shut it down over the wire so join() returns. The read is
+        // deadline-bounded: a hung daemon fails this test with a timeout
+        // error instead of hanging the suite.
         let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
         let mut writer = stream.try_clone().unwrap();
         writer
             .write_all(

@@ -84,11 +84,13 @@ fn metrics_verb_answers_one_canonical_snapshot() {
 
 #[test]
 fn stats_invariant_holds_under_concurrent_submits() {
+    // Queue capacity covers all 8 concurrent submits: this test expects
+    // every one to complete, so none may be shed as Busy.
     let handle = Server::start(
         "127.0.0.1:0",
         ServiceConfig {
             workers: 2,
-            queue_cap: 2,
+            queue_cap: 8,
             ..ServiceConfig::default()
         },
     )

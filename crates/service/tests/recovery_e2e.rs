@@ -1,0 +1,163 @@
+//! Crash-recovery end-to-end: a daemon started with `--cache-journal`
+//! must replay its cache after a restart and serve previously computed
+//! sweeps byte-identically from cache — including after a torn write.
+
+use backfill_sim::{RunConfig, Scenario, SchedulerKind, TraceSource};
+use sched::Policy;
+use service::{Client, Server, ServiceConfig};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Temp journal path removed on drop, so failed runs don't leak files.
+struct TempJournal(PathBuf);
+
+impl TempJournal {
+    fn new(name: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "bfsim-recovery-{}-{name}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        TempJournal(path)
+    }
+}
+
+impl Drop for TempJournal {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn sweep() -> Vec<RunConfig> {
+    let scenario = Scenario::high_load(TraceSource::Ctc { jobs: 100, seed: 9 });
+    [Policy::Fcfs, Policy::Sjf, Policy::XFactor, Policy::Ljf]
+        .into_iter()
+        .map(|policy| RunConfig {
+            scenario,
+            kind: SchedulerKind::Easy,
+            policy,
+        })
+        .collect()
+}
+
+fn journaled_config(journal: &TempJournal) -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        queue_cap: 8,
+        journal: Some(journal.0.clone()),
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn restarted_daemon_replays_the_journal_and_serves_from_cache() {
+    let journal = TempJournal::new("replay");
+    let configs = sweep();
+
+    // First life: compute the sweep, journaling every insert.
+    let handle = Server::start("127.0.0.1:0", journaled_config(&journal)).expect("start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let mut first = Vec::new();
+    for config in &configs {
+        let reply = client.submit(config).expect("submit");
+        assert!(!reply.cached, "first life must simulate");
+        first.push(serde_json::to_string(&reply.report).unwrap());
+    }
+    let health = client.health().expect("health");
+    let j = health.journal.expect("journal must be reported");
+    assert_eq!(j.replayed, 0);
+    assert_eq!(j.appended, configs.len() as u64);
+    assert!(!j.truncated);
+    client.shutdown().expect("shutdown");
+    handle.join();
+
+    // Second life, same journal: every config is a cache hit with the
+    // identical canonical result JSON — no recomputation.
+    let handle = Server::start("127.0.0.1:0", journaled_config(&journal)).expect("restart");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let health = client.health().expect("health");
+    let j = health.journal.expect("journal must be reported");
+    assert_eq!(j.replayed, configs.len() as u64);
+    assert!(!j.truncated);
+    assert_eq!(health.cache_entries, configs.len() as u64);
+    for (config, fresh) in configs.iter().zip(&first) {
+        let reply = client.submit(config).expect("resubmit");
+        assert!(
+            reply.cached,
+            "{}: must hit the replayed cache",
+            config.label()
+        );
+        assert_eq!(
+            &serde_json::to_string(&reply.report).unwrap(),
+            fresh,
+            "{}: replayed report must be byte-identical",
+            config.label()
+        );
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cache_hits, configs.len() as u64);
+    assert_eq!(stats.cache_misses, 0);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn torn_tail_is_dropped_but_earlier_entries_survive_the_restart() {
+    let journal = TempJournal::new("torn");
+    let configs = sweep();
+
+    let handle = Server::start("127.0.0.1:0", journaled_config(&journal)).expect("start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for config in &configs {
+        client.submit(config).expect("submit");
+    }
+    client.shutdown().expect("shutdown");
+    handle.join();
+
+    // Simulate a crash mid-append: chop the final record in half and
+    // leave unfinished garbage behind it.
+    let text = std::fs::read_to_string(&journal.0).expect("read journal");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), configs.len());
+    let keep = lines[..lines.len() - 1].join("\n");
+    let torn = format!(
+        "{keep}\n{}",
+        &lines[lines.len() - 1][..lines[lines.len() - 1].len() / 2]
+    );
+    let mut file = std::fs::File::create(&journal.0).expect("rewrite journal");
+    file.write_all(torn.as_bytes()).expect("write torn tail");
+    drop(file);
+
+    // Restart: the torn record is truncated away, the rest replays.
+    let handle = Server::start("127.0.0.1:0", journaled_config(&journal)).expect("restart");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let health = client.health().expect("health");
+    let j = health.journal.expect("journal must be reported");
+    assert_eq!(j.replayed, (configs.len() - 1) as u64);
+    assert!(j.truncated, "the torn tail must be reported");
+    assert_eq!(health.cache_entries, (configs.len() - 1) as u64);
+
+    // Surviving entries hit; the lost one recomputes and re-journals.
+    for (i, config) in configs.iter().enumerate() {
+        let reply = client.submit(config).expect("resubmit");
+        assert_eq!(
+            reply.cached,
+            i < configs.len() - 1,
+            "{}: wrong cache provenance after torn-tail recovery",
+            config.label()
+        );
+    }
+    client.shutdown().expect("shutdown");
+    handle.join();
+
+    // Third life: the recomputed entry was re-journaled cleanly, so now
+    // everything replays.
+    let handle = Server::start("127.0.0.1:0", journaled_config(&journal)).expect("third start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let health = client.health().expect("health");
+    let j = health.journal.expect("journal must be reported");
+    assert_eq!(j.replayed, configs.len() as u64);
+    assert!(!j.truncated);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}

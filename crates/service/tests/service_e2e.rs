@@ -62,11 +62,13 @@ fn submit_concurrently(
 
 #[test]
 fn daemon_serves_concurrent_batch_then_replays_from_cache() {
+    // Queue capacity covers the whole batch: this test asserts every
+    // concurrent submit completes, so nothing may be shed as Busy.
     let handle = Server::start(
         "127.0.0.1:0",
         ServiceConfig {
             workers: 4,
-            queue_cap: 4,
+            queue_cap: 8,
             ..ServiceConfig::default()
         },
     )
@@ -143,12 +145,17 @@ fn poisoned_scenario_gets_error_and_daemon_survives() {
         Err(ClientError::Service {
             message,
             config_hash,
+            retryable,
         }) => {
             assert!(
                 message.contains("target load must be positive"),
                 "unexpected message: {message}"
             );
             assert_eq!(config_hash, bad.content_hash());
+            assert!(
+                !retryable,
+                "a deterministic cell failure must not invite retries"
+            );
         }
         other => panic!("poisoned submit must fail at request level, got {other:?}"),
     }
@@ -182,18 +189,27 @@ fn malformed_request_line_is_rejected_not_fatal() {
     let addr = handle.addr();
 
     let stream = std::net::TcpStream::connect(addr).unwrap();
+    // Deadline-bounded read: a hung daemon fails with a clear timeout
+    // instead of hanging the test run.
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
     let mut writer = stream.try_clone().unwrap();
     writer.write_all(b"this is not json\n").unwrap();
     writer.flush().unwrap();
     let mut line = String::new();
-    BufReader::new(stream).read_line(&mut line).unwrap();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .expect("daemon must answer a malformed line within the deadline");
     match serde_json::from_str::<Response>(line.trim_end()).unwrap() {
         Response::Error {
             message,
             config_hash,
+            retryable,
         } => {
             assert!(message.contains("malformed request"), "{message}");
             assert_eq!(config_hash, 0);
+            assert!(!retryable, "a malformed frame will not parse next time");
         }
         other => panic!("expected Error, got {other:?}"),
     }
@@ -207,10 +223,11 @@ fn malformed_request_line_is_rejected_not_fatal() {
 
 #[test]
 fn graceful_shutdown_drains_in_flight_without_losing_responses() {
-    // 1 worker + tiny queue: most of the batch is queued or blocked in
-    // backpressure when the shutdown lands mid-flight. Every submitter
-    // must still get a definitive answer — a report or ShuttingDown —
-    // and every accepted request must produce its report.
+    // 1 worker + tiny queue: most of the batch is queued (or shed as
+    // Busy, now that the queue refuses instead of blocking) when the
+    // shutdown lands mid-flight. Every submitter must still get a
+    // definitive answer — a report, Busy, or ShuttingDown — and every
+    // accepted request must produce its report.
     let handle = Server::start(
         "127.0.0.1:0",
         ServiceConfig {
@@ -226,11 +243,12 @@ fn graceful_shutdown_drains_in_flight_without_losing_responses() {
     let answered = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
     let rejected = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
     let barrier = Barrier::new(configs.len() + 1);
     std::thread::scope(|scope| {
         for config in &configs {
             let barrier = &barrier;
-            let (answered, completed, rejected) = (&answered, &completed, &rejected);
+            let (answered, completed, rejected, shed) = (&answered, &completed, &rejected, &shed);
             scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
                 barrier.wait();
@@ -241,6 +259,9 @@ fn graceful_shutdown_drains_in_flight_without_losing_responses() {
                     }
                     Err(ClientError::ShuttingDown) => {
                         rejected.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(ClientError::Busy) => {
+                        shed.fetch_add(1, Ordering::SeqCst);
                     }
                     Err(other) => panic!("lost response: {other}"),
                 }
@@ -263,7 +284,8 @@ fn graceful_shutdown_drains_in_flight_without_losing_responses() {
     );
     let done = completed.load(Ordering::SeqCst);
     let refused = rejected.load(Ordering::SeqCst);
-    assert_eq!(done + refused, configs.len());
+    let busy = shed.load(Ordering::SeqCst);
+    assert_eq!(done + refused + busy, configs.len());
 
     // After join the daemon is gone: the port no longer accepts.
     assert!(

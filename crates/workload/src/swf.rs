@@ -15,6 +15,12 @@
 //! Field indices (0-based) used here: 0 job number, 1 submit time,
 //! 3 run time, 4 allocated processors, 7 requested processors,
 //! 8 requested (estimated) time, 10 status.
+//!
+//! Real archive files are occasionally dirty — truncated last lines,
+//! stray non-numeric tokens. The default [`ParseMode::Strict`] aborts at
+//! the first malformed line; [`ParseMode::Lenient`] skips such lines and
+//! counts them per field in a [`ParseReport`] so the caller can decide
+//! whether the damage is tolerable.
 
 use crate::job::Job;
 use crate::trace::{Trace, TraceError};
@@ -50,6 +56,95 @@ pub struct SwfParse {
     pub header: BTreeMap<String, String>,
     /// Records dropped, by reason.
     pub dropped: DropCounts,
+    /// Malformed lines skipped by a lenient parse (all zero under
+    /// [`ParseMode::Strict`], which aborts instead).
+    pub report: ParseReport,
+}
+
+/// How the parser reacts to a malformed data line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseMode {
+    /// Abort the whole parse at the first malformed line (the default).
+    #[default]
+    Strict,
+    /// Skip malformed lines, counting each in a [`ParseReport`].
+    Lenient,
+}
+
+/// Malformed data lines skipped by a lenient parse, counted per field.
+///
+/// "Malformed" here means the line shape itself is wrong — too few
+/// fields, or a field that is not a number. Records that parse but fail
+/// the *cleaning* rules (unknown runtime, too wide, …) are counted in
+/// [`DropCounts`] instead, in both modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParseReport {
+    /// Lines with fewer than the 18 required fields (truncated lines
+    /// land here too).
+    pub short_lines: u32,
+    /// Lines whose field 0 (job number) was non-numeric.
+    pub bad_job_number: u32,
+    /// Lines whose field 1 (submit time) was non-numeric.
+    pub bad_submit: u32,
+    /// Lines whose field 3 (run time) was non-numeric.
+    pub bad_run_time: u32,
+    /// Lines whose field 4 (allocated processors) was non-numeric.
+    pub bad_allocated_procs: u32,
+    /// Lines whose field 7 (requested processors) was non-numeric.
+    pub bad_requested_procs: u32,
+    /// Lines whose field 8 (requested time) was non-numeric.
+    pub bad_requested_time: u32,
+    /// Lines whose field 10 (status) was non-numeric.
+    pub bad_status: u32,
+}
+
+impl ParseReport {
+    /// Total malformed lines skipped.
+    pub fn total(&self) -> u32 {
+        self.short_lines
+            + self.bad_job_number
+            + self.bad_submit
+            + self.bad_run_time
+            + self.bad_allocated_procs
+            + self.bad_requested_procs
+            + self.bad_requested_time
+            + self.bad_status
+    }
+
+    /// Compact human-readable breakdown, e.g. `"2 short, 1 bad run time"`.
+    pub fn summary(&self) -> String {
+        let parts: Vec<String> = [
+            (self.short_lines, "short"),
+            (self.bad_job_number, "bad job number"),
+            (self.bad_submit, "bad submit time"),
+            (self.bad_run_time, "bad run time"),
+            (self.bad_allocated_procs, "bad allocated procs"),
+            (self.bad_requested_procs, "bad requested procs"),
+            (self.bad_requested_time, "bad requested time"),
+            (self.bad_status, "bad status"),
+        ]
+        .iter()
+        .filter(|(n, _)| *n > 0)
+        .map(|(n, what)| format!("{n} {what}"))
+        .collect();
+        if parts.is_empty() {
+            "clean".to_string()
+        } else {
+            parts.join(", ")
+        }
+    }
+
+    fn count_bad_field(&mut self, idx: usize) {
+        match idx {
+            0 => self.bad_job_number += 1,
+            1 => self.bad_submit += 1,
+            3 => self.bad_run_time += 1,
+            4 => self.bad_allocated_procs += 1,
+            7 => self.bad_requested_procs += 1,
+            8 => self.bad_requested_time += 1,
+            _ => self.bad_status += 1,
+        }
+    }
 }
 
 /// Why records were dropped during cleaning.
@@ -137,10 +232,23 @@ fn opt(v: i64) -> Option<i64> {
     }
 }
 
-/// Parse raw SWF text into records and header pairs.
+/// Raw records, header pairs, and the malformed-line report of one parse.
+pub type RawParse = (Vec<SwfRecord>, BTreeMap<String, String>, ParseReport);
+
+/// Parse raw SWF text into records and header pairs ([`ParseMode::Strict`]).
 pub fn parse_records(input: &str) -> Result<(Vec<SwfRecord>, BTreeMap<String, String>), SwfError> {
+    parse_records_with(input, ParseMode::Strict).map(|(records, header, _)| (records, header))
+}
+
+/// Parse raw SWF text into records, header pairs and a [`ParseReport`].
+///
+/// Under [`ParseMode::Strict`] the report is always all-zero (the first
+/// malformed line aborts the parse); under [`ParseMode::Lenient`] each
+/// malformed line is skipped and counted.
+pub fn parse_records_with(input: &str, mode: ParseMode) -> Result<RawParse, SwfError> {
     let mut header = BTreeMap::new();
     let mut records = Vec::new();
+    let mut report = ParseReport::default();
     for (i, raw) in input.lines().enumerate() {
         let line_no = i + 1;
         let line = raw.trim();
@@ -155,23 +263,42 @@ pub fn parse_records(input: &str) -> Result<(Vec<SwfRecord>, BTreeMap<String, St
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() < 18 {
-            return Err(SwfError::MalformedLine {
-                line: line_no,
-                reason: format!("expected 18 fields, found {}", fields.len()),
-            });
+            match mode {
+                ParseMode::Strict => {
+                    return Err(SwfError::MalformedLine {
+                        line: line_no,
+                        reason: format!("expected 18 fields, found {}", fields.len()),
+                    })
+                }
+                ParseMode::Lenient => {
+                    report.short_lines += 1;
+                    continue;
+                }
+            }
         }
-        let f = |idx: usize| parse_field(fields[idx], line_no);
-        records.push(SwfRecord {
-            job_number: f(0)?,
-            submit: f(1)?,
-            run_time: opt(f(3)?),
-            allocated_procs: opt(f(4)?),
-            requested_procs: opt(f(7)?),
-            requested_time: opt(f(8)?),
-            status: opt(f(10)?),
-        });
+        // Each field parse carries its index so a lenient skip can be
+        // attributed to the right per-field counter.
+        let f = |idx: usize| parse_field(fields[idx], line_no).map_err(|e| (idx, e));
+        let record = (|| {
+            Ok(SwfRecord {
+                job_number: f(0)?,
+                submit: f(1)?,
+                run_time: opt(f(3)?),
+                allocated_procs: opt(f(4)?),
+                requested_procs: opt(f(7)?),
+                requested_time: opt(f(8)?),
+                status: opt(f(10)?),
+            })
+        })();
+        match record {
+            Ok(r) => records.push(r),
+            Err((idx, e)) => match mode {
+                ParseMode::Strict => return Err(e),
+                ParseMode::Lenient => report.count_bad_field(idx),
+            },
+        }
     }
-    Ok((records, header))
+    Ok((records, header, report))
 }
 
 /// Parse SWF text into a cleaned, simulation-ready [`Trace`].
@@ -202,7 +329,18 @@ pub fn parse_trace(
     name: &str,
     nodes_override: Option<u32>,
 ) -> Result<SwfParse, SwfError> {
-    let (records, header) = parse_records(input)?;
+    parse_trace_with(input, name, nodes_override, ParseMode::Strict)
+}
+
+/// [`parse_trace`] with an explicit [`ParseMode`]. Lenient parses skip
+/// malformed lines (reported in [`SwfParse::report`]) instead of failing.
+pub fn parse_trace_with(
+    input: &str,
+    name: &str,
+    nodes_override: Option<u32>,
+    mode: ParseMode,
+) -> Result<SwfParse, SwfError> {
+    let (records, header, report) = parse_records_with(input, mode)?;
     let header_nodes = ["MaxProcs", "MaxNodes"]
         .iter()
         .find_map(|k| header.get(*k))
@@ -251,6 +389,7 @@ pub fn parse_trace(
         trace,
         header,
         dropped,
+        report,
     })
 }
 
@@ -392,5 +531,60 @@ mod tests {
     fn empty_input_gives_empty_trace_with_override() {
         let parsed = parse_trace("; MaxProcs: 4\n", "empty", None).unwrap();
         assert!(parsed.trace.is_empty());
+    }
+
+    /// A dirty trace mixing truncated, non-numeric and short-field lines:
+    /// strict aborts at the first bad line; lenient keeps the good jobs
+    /// and attributes every skip to the right per-field counter.
+    const DIRTY: &str = "\
+; MaxProcs: 64
+1 0 5 100 4 -1 -1 4 200 -1 1 1 1 1 1 1 -1 -1
+2 30 5
+3 60 5 xyz 4 -1 -1 4 200 -1 1 1 1 1 1 1 -1 -1
+4 90 5 100 4 -1 -1 4 200 -1 oops 1 1 1 1 1 -1 -1
+5 120 5 100 4 -1 -1 4 200 -1 1 1 1 1 1 1 -1 -1
+6 150 5 100 4";
+
+    #[test]
+    fn strict_mode_aborts_on_the_first_malformed_line() {
+        assert!(matches!(
+            parse_trace(DIRTY, "dirty", None),
+            Err(SwfError::MalformedLine { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn lenient_mode_skips_malformed_lines_and_reports_per_field() {
+        let parsed = parse_trace_with(DIRTY, "dirty", None, ParseMode::Lenient).unwrap();
+        // Jobs 1 and 5 survive; lines 3/7 are short (line 7 truncated
+        // mid-record), line 4 has a non-numeric run time, line 5 a
+        // non-numeric status.
+        assert_eq!(parsed.trace.len(), 2);
+        assert_eq!(
+            parsed
+                .trace
+                .jobs()
+                .iter()
+                .map(|j| j.arrival.as_secs())
+                .collect::<Vec<_>>(),
+            vec![0, 120]
+        );
+        assert_eq!(parsed.report.short_lines, 2);
+        assert_eq!(parsed.report.bad_run_time, 1);
+        assert_eq!(parsed.report.bad_status, 1);
+        assert_eq!(parsed.report.total(), 4);
+        assert_eq!(
+            parsed.report.summary(),
+            "2 short, 1 bad run time, 1 bad status"
+        );
+    }
+
+    #[test]
+    fn clean_parse_reports_zero_skips_in_both_modes() {
+        let strict = parse_trace(SAMPLE, "t", None).unwrap();
+        assert_eq!(strict.report.total(), 0);
+        let lenient = parse_trace_with(SAMPLE, "t", None, ParseMode::Lenient).unwrap();
+        assert_eq!(lenient, strict);
+        assert_eq!(lenient.report.summary(), "clean");
     }
 }

@@ -48,6 +48,17 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Sender::try_send`]: either the bounded channel
+    /// is at capacity right now, or every receiver is gone. The item is
+    /// handed back in both cases.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is full; the item was not enqueued.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
     fn new_pair<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
@@ -101,6 +112,26 @@ pub mod channel {
                             .unwrap_or_else(|p| p.into_inner());
                     }
                     _ => break,
+                }
+            }
+            state.items.push_back(item);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Push one item without blocking: if the bounded channel is at
+        /// capacity the item comes straight back as
+        /// [`TrySendError::Full`], which is what lets a server shed load
+        /// with an explicit busy signal instead of stalling the caller.
+        pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(item));
+            }
+            if let Some(cap) = self.shared.cap {
+                if state.items.len() >= cap {
+                    return Err(TrySendError::Full(item));
                 }
             }
             state.items.push_back(item);
@@ -292,5 +323,16 @@ mod tests {
     #[should_panic(expected = "capacity must be >= 1")]
     fn zero_capacity_rejected() {
         let _ = channel::bounded::<u8>(0);
+    }
+
+    #[test]
+    fn try_send_fails_fast_when_full_or_disconnected() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4)));
     }
 }
