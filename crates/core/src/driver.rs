@@ -241,8 +241,17 @@ pub fn flush_profile_stats(registry: &obs::Registry, stats: &ProfileStats) {
         .counter("sim.profile.segments_visited")
         .add(stats.segments_visited);
     registry
-        .counter("sim.profile.blocks_skipped")
-        .add(stats.blocks_skipped);
+        .counter("sim.profile.tree.descents")
+        .add(stats.tree_descents);
+    registry
+        .counter("sim.profile.tree.nodes_visited")
+        .add(stats.tree_nodes_visited);
+    registry
+        .counter("sim.profile.tree.incremental_updates")
+        .add(stats.tree_incremental_updates);
+    registry
+        .counter("sim.profile.tree.rebuilds")
+        .add(stats.tree_rebuilds);
     registry.counter("sim.profile.reserves").add(stats.reserves);
     registry.counter("sim.profile.releases").add(stats.releases);
     registry

@@ -276,6 +276,25 @@ impl ConservativeScheduler {
                     }
                 }
                 Compression::Reanchor => {
+                    // Same shortcut as above: fitting at `now` with the
+                    // job's own rectangle still in place proves the
+                    // post-release anchor is `now` (release only adds
+                    // capacity and the anchor can't move before `now`),
+                    // so the probe is one fits descent, not a round-trip.
+                    if self.profile.fits(now, res.meta.estimate, res.meta.width) {
+                        self.profile
+                            .release(res.start, res.meta.estimate, res.meta.width);
+                        self.profile.reserve(now, res.meta.estimate, res.meta.width);
+                        self.queue[i].start = now;
+                        self.record(
+                            now,
+                            res.meta.id,
+                            TraceKind::Compress {
+                                moved: res.start.since(now).as_secs(),
+                            },
+                        );
+                        continue;
+                    }
                     self.profile
                         .release(res.start, res.meta.estimate, res.meta.width);
                     let anchor = self

@@ -134,16 +134,20 @@ impl EasyScheduler {
             );
         }
         self.stats.profile_rebuilds_avoided += 1;
-        let mut profile = self.cached.clone();
-        profile.reset_stats();
-        let anchor = profile.find_anchor(now, pivot.estimate, pivot.width);
+        let anchor = self.cached.find_anchor(now, pivot.estimate, pivot.width);
         // `anchor == now` is possible even though the pivot did not start
         // in phase 1: the profile (built from *estimated* ends) may already
         // count a job done whose completion event, at this same instant, is
         // still queued behind this one. The pivot starts when that sibling
         // completion is delivered; meanwhile its reservation blocks unsafe
         // backfills exactly as it should.
-        profile.reserve(anchor, pivot.estimate, pivot.width);
+        //
+        // The pivot's rectangle goes into the *cached* running profile for
+        // the duration of the pass (and comes back out at the end), instead
+        // of into a throwaway clone: the probed silhouette is identical, so
+        // every backfill decision is too, but the clone's allocations and
+        // the doubled reserve bookkeeping disappear from the hot path.
+        self.cached.reserve(anchor, pivot.estimate, pivot.width);
         if let Some(rec) = &self.recorder {
             // One Reserve per distinct pivot reservation, not per pass.
             if self.last_pivot != Some((pivot.id, anchor)) {
@@ -163,8 +167,7 @@ impl EasyScheduler {
         let mut i = 1;
         while i < self.queue.len() {
             let cand = self.queue[i];
-            if cand.width <= self.free && profile.fits(now, cand.estimate, cand.width) {
-                profile.reserve(now, cand.estimate, cand.width);
+            if cand.width <= self.free && self.cached.fits(now, cand.estimate, cand.width) {
                 self.queue.remove(i);
                 if let Some(rec) = &self.recorder {
                     // The hole this candidate slotted into runs from `now`
@@ -182,7 +185,9 @@ impl EasyScheduler {
                 i += 1;
             }
         }
-        self.stats.absorb(&profile.stats());
+        // The pass is over: the pivot is not running, so its rectangle
+        // leaves the running profile again.
+        self.cached.release(anchor, pivot.estimate, pivot.width);
         Decisions::start(starts)
     }
 }

@@ -15,52 +15,61 @@
 //! * [`Profile::release`] — put capacity back (cancelled reservation, or
 //!   the unused tail of an over-estimated job that finished early).
 //!
-//! # The anchor index
+//! # The segment-tree index
 //!
-//! `find_anchor` dominates every backfilling decision, and a naive scan
-//! walks the profile one segment at a time — on a congested profile with
-//! a thousand live segments, most queries walk most of it. The profile
-//! keeps two acceleration layers, both pure functions of the segment list
-//! rebuilt after every mutation:
+//! `find_anchor` and `fits` dominate every backfilling decision, and a
+//! naive scan walks the profile one segment at a time — on a congested
+//! profile with a thousand live segments, most queries walk most of it.
+//! The profile therefore maintains an augmented segment tree ([`SegTree`])
+//! over the segment vector: an implicit binary tree whose leaves are the
+//! segments and whose every node stores the **minimum and maximum free
+//! level** of its span. Three O(log n) descents answer everything the
+//! anchor search needs:
 //!
-//! * a **run index**: for each power-of-two threshold `t` up to the
-//!   capacity, the sorted maximal time intervals where `free >= t`. Every
-//!   `width`-anchor must sit inside a `free >= 2^⌊log2 width⌋` run long
-//!   enough to hold the rectangle, so the search binary-searches that
-//!   level and hops run-to-run, skipping everything in between wholesale.
-//!   A power-of-two width *equals* its threshold, making those queries a
-//!   single binary search;
-//! * a **block index**: per [`BLOCK`]-sized run of segments, the minimum
-//!   and maximum free level. The in-run scan for non-power-of-two widths
-//!   advances block-at-a-time over uniformly infeasible (`max < width`)
-//!   and uniformly feasible (`min >= width`) stretches.
+//! * *first feasible* — the first segment at or after an index with
+//!   `free >= width` (descend where `max >= width`), used to establish
+//!   anchor candidates and to leap whole infeasible runs at once;
+//! * *first infeasible* — the first segment at or after an index with
+//!   `free < width` (descend where `min < width`), used to verify a
+//!   candidate window in one probe instead of a segment-by-segment walk;
+//! * *range minimum* — the minimum free level over a window, which is the
+//!   entire `fits` question.
 //!
-//! A mutation is already O(n) (segment insertion shifts the vector), so
-//! the O(n · log capacity) rebuild does not change the asymptotics of
-//! `reserve`/`release`. Profiles at or below [`SMALL`] segments skip the
-//! index entirely: a plain scan answers typical queries in a handful of
-//! visits, cheaper than the index arithmetic.
+//! Mutations keep the tree synchronized incrementally: a reserve/release
+//! that moves no segment boundary refreshes only the touched leaves and
+//! their O(log n) ancestor path ([`SegTree::update_range`]); one that
+//! inserts or removes a boundary re-derives the shifted suffix
+//! ([`SegTree::resync_from`]) — bounded by the O(n) element shift the
+//! segment vector itself already paid for, and far cheaper than the old
+//! per-mutation rebuild of per-threshold run lists. Profiles at or below
+//! [`SMALL`] segments answer `find_anchor` with a plain scan (fewer
+//! instructions than the descents for a handful of segments); the tree is
+//! maintained at every size so `fits` and the invariant checks can always
+//! use it.
 //!
-//! [`Profile::find_anchor_linear`] preserves the plain scan; differential
-//! property tests (`tests/profile_differential.rs`) assert the two agree
-//! decision-for-decision (against a naive quadratic reference as well),
-//! and the `profile_ops` bench compares their cost.
+//! [`Profile::find_anchor_linear`] preserves the pre-index plain scan;
+//! differential property tests (`tests/profile_differential.rs`) assert
+//! the two agree decision-for-decision (against a naive quadratic
+//! reference as well), and the `profile_ops` bench compares their cost.
 //!
 //! # Instrumentation
 //!
 //! Every profile keeps cheap operation counters ([`ProfileStats`]): anchor
-//! probes, segments visited, blocks skipped, reserve/release counts,
+//! probes, segments visited by plain scans, tree descents and nodes
+//! touched, incremental-vs-rebuild tree updates, reserve/release counts,
 //! compression passes, and the peak segment count. Schedulers expose them
 //! via [`crate::Scheduler::profile_stats`] and the driver threads them into
 //! the final [`Schedule`](../core) for reports and benches.
 //!
 //! Invariants (checked by `debug_assert` internally and by property tests):
 //! segments are strictly ordered in time, free counts stay within
-//! `[0, capacity]`, and adjacent segments always differ (coalesced).
+//! `[0, capacity]`, adjacent segments always differ (coalesced), and the
+//! tree's per-node aggregates equal a from-scratch rebuild.
 
 use serde::{Deserialize, Serialize};
 use simcore::{SimSpan, SimTime};
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One step of the free-capacity silhouette: `free` processors are
 /// available from `start` until the next segment's start.
@@ -72,67 +81,248 @@ pub struct Segment {
     pub free: u32,
 }
 
-/// Segments per index block. Small enough that boundary-block scans stay
-/// cheap, large enough that skipping a block skips real work.
-const BLOCK: usize = 8;
+/// At or below this many segments `find_anchor` uses the plain scan: a
+/// typical query resolves in a handful of segment visits, fewer
+/// instructions than two tree descents. (`fits` and the structural
+/// invariants use the tree at every size — it is always maintained.)
+const SMALL: usize = 64;
 
-/// Below this many segments the whole index is skipped: a plain scan
-/// resolves typical queries in a handful of segment visits, while the run
-/// lookup alone costs two extra binary searches. The index starts paying
-/// off when congested profiles force scans across hundreds of segments.
-const SMALL: usize = 512;
+/// Process-wide generation counter for silhouette tokens. Every profile
+/// mutation — on any profile, including clones — draws a fresh value, so
+/// two distinct silhouettes can never share a generation and a stale
+/// [`FitsCache`] can never be accepted (the old scheme's per-profile
+/// `version: u64` could collide across clones in principle).
+static GENERATION: AtomicU64 = AtomicU64::new(1);
 
-/// `floor(log2 width)` — the run-index level serving `width`. `width >= 1`.
-fn level_of(width: u32) -> usize {
-    (31 - width.leading_zeros()) as usize
+fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed)
 }
 
-/// A maximal stretch of time over which the free level stays at or above
-/// one power-of-two threshold. `end` is exclusive; `u64::MAX` encodes a run
-/// that reaches the profile's infinite final segment.
+/// One segment-tree node: the minimum and maximum free level over the
+/// leaves of its span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Run {
-    start: SimTime,
-    end: SimTime,
+struct Node {
+    min: u32,
+    max: u32,
 }
 
-/// The acceleration structures behind [`Profile::find_anchor`], rebuilt
-/// eagerly after every structural mutation:
+/// Padding value for leaves beyond the real segment count: matches no
+/// feasibility predicate (`max >= width` needs `width >= 1`; `min < width`
+/// needs `width <= capacity < u32::MAX`), so queries never step off the
+/// real profile.
+const PAD: Node = Node {
+    min: u32::MAX,
+    max: 0,
+};
+
+/// The augmented segment tree behind [`Profile::find_anchor`] and
+/// [`Profile::fits`].
 ///
-/// * per-block min/max free levels over [`BLOCK`]-sized runs of the
-///   segment vector, letting scans hop uniformly (in)feasible blocks;
-/// * per power-of-two threshold `t = 1 << level`, the sorted list of
-///   maximal time intervals where `free >= t` ([`Run`]s). A query of width
-///   `w` binary-searches level `floor(log2 w)` for the first run long
-///   enough to host its rectangle: for power-of-two widths that run *is*
-///   the answer, otherwise it prunes the scan to the few runs that could
-///   contain one.
-#[derive(Debug, Clone, Default)]
-struct ProfileIndex {
-    min_free: Vec<u32>,
-    max_free: Vec<u32>,
-    /// `runs[level]` holds the maximal `free >= 1 << level` intervals,
-    /// sorted and disjoint; levels run up to `floor(log2 capacity)`.
-    runs: Vec<Vec<Run>>,
+/// Implicit array layout: the root is node 1, node `v`'s children are
+/// `2v` and `2v + 1`, and leaf `i` (segment `i`) lives at `size + i`
+/// where `size` is the smallest power of two ≥ the segment count. Each
+/// node aggregates the min/max free level of its leaves; unoccupied
+/// leaves hold [`PAD`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct SegTree {
+    /// Number of leaves backed by real segments.
+    len: usize,
+    /// Leaf capacity: smallest power of two ≥ `len` (0 only when empty).
+    size: usize,
+    /// `2 * size` nodes; index 0 is unused.
+    nodes: Vec<Node>,
+}
+
+impl SegTree {
+    fn leaf(seg: &Segment) -> Node {
+        Node {
+            min: seg.free,
+            max: seg.free,
+        }
+    }
+
+    fn merge(a: Node, b: Node) -> Node {
+        Node {
+            min: a.min.min(b.min),
+            max: a.max.max(b.max),
+        }
+    }
+
+    /// Rebuild from scratch: O(size).
+    fn rebuild(&mut self, segs: &[Segment]) {
+        self.len = segs.len();
+        self.size = segs.len().next_power_of_two();
+        self.nodes.clear();
+        self.nodes.resize(2 * self.size, PAD);
+        for (i, s) in segs.iter().enumerate() {
+            self.nodes[self.size + i] = Self::leaf(s);
+        }
+        for v in (1..self.size).rev() {
+            self.nodes[v] = Self::merge(self.nodes[2 * v], self.nodes[2 * v + 1]);
+        }
+    }
+
+    /// Refresh leaves `[first, last)` after a value-only mutation (no
+    /// boundary moved), then re-derive their O(log n) ancestor paths.
+    fn update_range(&mut self, segs: &[Segment], first: usize, last: usize) {
+        debug_assert!(first < last && last <= self.len);
+        for (i, seg) in segs[first..last].iter().enumerate() {
+            self.nodes[self.size + first + i] = Self::leaf(seg);
+        }
+        let mut l = self.size + first;
+        let mut r = self.size + last - 1;
+        while l > 1 {
+            l >>= 1;
+            r >>= 1;
+            for v in l..=r {
+                self.nodes[v] = Self::merge(self.nodes[2 * v], self.nodes[2 * v + 1]);
+            }
+        }
+    }
+
+    /// Re-derive leaves `from..` and every ancestor above them, after an
+    /// insertion or removal shifted the suffix of the segment vector.
+    /// Falls back to a full rebuild when the leaf capacity changed.
+    fn resync_from(&mut self, segs: &[Segment], from: usize) {
+        let size = segs.len().next_power_of_two();
+        if size != self.size {
+            self.rebuild(segs);
+            return;
+        }
+        self.len = segs.len();
+        for i in from..self.size {
+            self.nodes[self.size + i] = match segs.get(i) {
+                Some(seg) => Self::leaf(seg),
+                None => PAD,
+            };
+        }
+        let mut l = self.size + from;
+        let mut r = 2 * self.size - 1;
+        while l > 1 {
+            l >>= 1;
+            r >>= 1;
+            for v in l..=r {
+                self.nodes[v] = Self::merge(self.nodes[2 * v], self.nodes[2 * v + 1]);
+            }
+        }
+    }
+
+    /// First leaf `>= from` with `free >= width` — the next segment a
+    /// `width`-wide rectangle could anchor in.
+    fn first_at_least(&self, from: usize, width: u32, nodes: &mut u64) -> Option<usize> {
+        self.first_leaf(from, |n| n.max >= width, nodes)
+    }
+
+    /// First leaf `>= from` with `free < width` — the next segment that
+    /// blocks a `width`-wide rectangle.
+    fn first_below(&self, from: usize, width: u32, nodes: &mut u64) -> Option<usize> {
+        self.first_leaf(from, |n| n.min < width, nodes)
+    }
+
+    /// One O(log n) descent: the first leaf at or after `from` whose
+    /// aggregate satisfies `pred`. Climbs right from the starting leaf,
+    /// probing each next-subtree-to-the-right until one can contain a
+    /// match, then descends to its leftmost matching leaf.
+    fn first_leaf(
+        &self,
+        from: usize,
+        pred: impl Fn(&Node) -> bool,
+        count: &mut u64,
+    ) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut v = self.size + from;
+        *count += 1;
+        if pred(&self.nodes[v]) {
+            return Some(from);
+        }
+        loop {
+            // Climb while `v` is a right child; from a left child the next
+            // unexplored span is exactly the right sibling's subtree.
+            while v & 1 == 1 {
+                v >>= 1;
+            }
+            if v == 0 {
+                return None; // climbed past the root: nothing matches
+            }
+            v += 1;
+            *count += 1;
+            if !pred(&self.nodes[v]) {
+                continue;
+            }
+            // An aggregate match guarantees a matching leaf below; PAD
+            // leaves never match, so the leaf found is always real.
+            while v < self.size {
+                v <<= 1;
+                *count += 1;
+                if !pred(&self.nodes[v]) {
+                    v += 1;
+                }
+            }
+            return Some(v - self.size);
+        }
+    }
+
+    /// Minimum free level over leaves `[l, r)` (MAX when empty).
+    fn range_min(&self, l: usize, r: usize, count: &mut u64) -> u32 {
+        let mut min = u32::MAX;
+        let mut l = self.size + l;
+        let mut r = self.size + r.min(self.len);
+        while l < r {
+            if l & 1 == 1 {
+                *count += 1;
+                min = min.min(self.nodes[l].min);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                *count += 1;
+                min = min.min(self.nodes[r].min);
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        min
+    }
 }
 
 /// Memoized prefix minima for left-edge-pinned fit queries.
 ///
 /// Backfill and compression passes ask [`Profile::fits`] the same-shaped
 /// question hundreds of times per event — "does a rectangle starting at
-/// `now` fit?" — against a profile that mutates only when a job actually
-/// moves. For one `(silhouette, from)` pair the answer is a pure lookup:
-/// `min_free[j]` is the minimum free capacity over `[from, ends[j])`, so a
-/// `width × duration` rectangle fits at `from` iff the prefix minimum
-/// covering `from + duration` is at least `width`. The cache is built
-/// lazily in O(segments), invalidated by `version` on every mutation, and
-/// answers each query with one binary search.
+/// `now` fit?". Two regimes matter:
+///
+/// * between mutations (a backfill scan rejecting candidate after
+///   candidate) the profile is frozen, so for one `(silhouette, from)`
+///   pair the answer is a pure lookup: `min_free[j]` is the minimum free
+///   capacity over `[from, ends[j])`, and a rectangle fits iff the prefix
+///   minimum covering `from + duration` is at least `width`;
+/// * across mutations (a compression pass that moves a job and re-probes)
+///   every memoized answer is dead on arrival, so rebuilding the O(n)
+///   prefix table per probe is pure waste — those probes are answered by
+///   one O(log n) tree descent instead, and the table is rebuilt only
+///   once a second probe arrives against the *same* generation and left
+///   edge (proof the profile has gone quiet).
+///
+/// Validity is keyed on the profile's process-globally-unique generation
+/// token, so a cache carried along by [`Profile::clone`] can never be
+/// mistaken for current after either copy mutates; debug builds
+/// additionally pin a silhouette checksum and assert it on every hit.
 #[derive(Debug, Clone, Default)]
 struct FitsCache {
-    /// Profile version the entries were computed against.
-    version: u64,
+    /// Generation the entries were computed against.
+    generation: u64,
     /// Query left edge the prefix minima are anchored at.
     from: SimTime,
+    /// Silhouette checksum at rebuild (debug builds only; 0 in release),
+    /// asserted on every hit: a stale cache must be impossible, not just
+    /// unlikely.
+    checksum: u64,
+    /// Generation/left-edge of the last tree-answered miss; a repeat
+    /// triggers the memoizing rebuild.
+    miss_generation: u64,
+    miss_from: SimTime,
     /// Exclusive end of each prefix window, strictly increasing; the last
     /// entry is `SimTime::FAR_FUTURE` (the final segment never ends).
     ends: Vec<SimTime>,
@@ -143,8 +333,13 @@ struct FitsCache {
 impl FitsCache {
     /// Recompute the prefix minima for `profile` anchored at `from`.
     fn rebuild(&mut self, profile: &Profile, from: SimTime) {
-        self.version = profile.version;
+        self.generation = profile.generation;
         self.from = from;
+        self.checksum = if cfg!(debug_assertions) {
+            profile.silhouette_checksum()
+        } else {
+            0
+        };
         self.ends.clear();
         self.min_free.clear();
         // First segment starting strictly after `from`; the region before
@@ -184,10 +379,20 @@ impl FitsCache {
 pub struct ProfileStats {
     /// Calls to [`Profile::find_anchor`] (including via `fits`).
     pub find_anchor_calls: u64,
-    /// Segments examined one-by-one during anchor searches.
+    /// Segments examined one-by-one by plain (small-profile) scans.
     pub segments_visited: u64,
-    /// Whole index blocks skipped during anchor searches.
-    pub blocks_skipped: u64,
+    /// O(log n) segment-tree descents (anchor establishment, window
+    /// verification, `fits` range probes).
+    pub tree_descents: u64,
+    /// Tree nodes touched across all descents; divided by
+    /// `tree_descents` this is the realized descent depth.
+    pub tree_nodes_visited: u64,
+    /// Mutations absorbed by leaf + ancestor-path updates (no segment
+    /// boundary moved).
+    pub tree_incremental_updates: u64,
+    /// Mutations that re-derived a suffix of the tree (or all of it):
+    /// boundary inserted/removed, or the past trimmed away.
+    pub tree_rebuilds: u64,
     /// Calls to [`Profile::reserve`] that changed the profile.
     pub reserves: u64,
     /// Calls to [`Profile::release`] that changed the profile.
@@ -213,8 +418,9 @@ pub struct ProfileStats {
     pub profile_rebuilds_avoided: u64,
     /// `fits` queries answered from the memoized prefix minima.
     pub fits_cache_hits: u64,
-    /// `fits` queries that had to rebuild the prefix minima (profile
-    /// mutated or the query's left edge moved).
+    /// `fits` queries the memo could not answer (profile mutated or the
+    /// query's left edge moved); answered by a tree descent, or by the
+    /// memoizing rebuild on a repeat.
     pub fits_cache_misses: u64,
 }
 
@@ -224,7 +430,10 @@ impl ProfileStats {
     pub fn absorb(&mut self, other: &ProfileStats) {
         self.find_anchor_calls += other.find_anchor_calls;
         self.segments_visited += other.segments_visited;
-        self.blocks_skipped += other.blocks_skipped;
+        self.tree_descents += other.tree_descents;
+        self.tree_nodes_visited += other.tree_nodes_visited;
+        self.tree_incremental_updates += other.tree_incremental_updates;
+        self.tree_rebuilds += other.tree_rebuilds;
         self.reserves += other.reserves;
         self.releases += other.releases;
         self.compress_passes += other.compress_passes;
@@ -238,12 +447,24 @@ impl ProfileStats {
         self.fits_cache_misses += other.fits_cache_misses;
     }
 
-    /// Mean segments examined per anchor search (0 if none ran).
+    /// Mean segments examined per anchor search (0 if none ran). Counts
+    /// only plain-scan visits: past the cutoff the tree answers in
+    /// node touches, tracked by [`ProfileStats::nodes_per_descent`].
     pub fn segments_per_anchor(&self) -> f64 {
         if self.find_anchor_calls == 0 {
             0.0
         } else {
             self.segments_visited as f64 / self.find_anchor_calls as f64
+        }
+    }
+
+    /// Mean tree nodes touched per descent (0 if none ran) — the
+    /// realized O(log n).
+    pub fn nodes_per_descent(&self) -> f64 {
+        if self.tree_descents == 0 {
+            0.0
+        } else {
+            self.tree_nodes_visited as f64 / self.tree_descents as f64
         }
     }
 }
@@ -255,7 +476,10 @@ impl ProfileStats {
 struct Counters {
     find_anchor_calls: Cell<u64>,
     segments_visited: Cell<u64>,
-    blocks_skipped: Cell<u64>,
+    tree_descents: Cell<u64>,
+    tree_nodes_visited: Cell<u64>,
+    tree_incremental_updates: Cell<u64>,
+    tree_rebuilds: Cell<u64>,
     reserves: Cell<u64>,
     releases: Cell<u64>,
     compress_passes: Cell<u64>,
@@ -265,6 +489,10 @@ struct Counters {
     queue_sorts_avoided: Cell<u64>,
     fits_cache_hits: Cell<u64>,
     fits_cache_misses: Cell<u64>,
+}
+
+fn bump(cell: &Cell<u64>, by: u64) {
+    cell.set(cell.get() + by);
 }
 
 /// The free-capacity timeline of a machine, including running jobs and any
@@ -288,16 +516,19 @@ pub struct Profile {
     /// Sorted by `start`, strictly increasing, values coalesced.
     /// Non-empty: the last segment extends to infinity.
     segs: Vec<Segment>,
-    index: ProfileIndex,
-    /// Bumped by `reindex` on every mutation; invalidates `fits_cache`.
-    version: u64,
+    /// Min/max-augmented segment tree over `segs`, kept synchronized by
+    /// every mutation.
+    tree: SegTree,
+    /// Process-globally-unique silhouette token, refreshed from
+    /// [`GENERATION`] on every mutation; validates `fits_cache`.
+    generation: u64,
     fits_cache: RefCell<FitsCache>,
     stats: Counters,
 }
 
 impl PartialEq for Profile {
     fn eq(&self, other: &Self) -> bool {
-        // The index is a pure function of the segments, and the counters
+        // The tree is a pure function of the segments, and the counters
         // are instrumentation: the silhouette alone defines identity.
         self.capacity == other.capacity && self.segs == other.segs
     }
@@ -309,18 +540,21 @@ impl Profile {
     /// A fully free machine with `capacity` processors. Panics if zero.
     pub fn new(capacity: u32) -> Self {
         assert!(capacity > 0, "profile needs positive capacity");
-        let mut p = Profile {
+        let segs = vec![Segment {
+            start: SimTime::ZERO,
+            free: capacity,
+        }];
+        let mut tree = SegTree::default();
+        tree.rebuild(&segs);
+        let p = Profile {
             capacity,
-            segs: vec![Segment {
-                start: SimTime::ZERO,
-                free: capacity,
-            }],
-            index: ProfileIndex::default(),
-            version: 0,
+            segs,
+            tree,
+            generation: next_generation(),
             fits_cache: RefCell::new(FitsCache::default()),
             stats: Counters::default(),
         };
-        p.reindex();
+        p.stats.peak_segments.set(1);
         p
     }
 
@@ -339,7 +573,10 @@ impl Profile {
         ProfileStats {
             find_anchor_calls: self.stats.find_anchor_calls.get(),
             segments_visited: self.stats.segments_visited.get(),
-            blocks_skipped: self.stats.blocks_skipped.get(),
+            tree_descents: self.stats.tree_descents.get(),
+            tree_nodes_visited: self.stats.tree_nodes_visited.get(),
+            tree_incremental_updates: self.stats.tree_incremental_updates.get(),
+            tree_rebuilds: self.stats.tree_rebuilds.get(),
             reserves: self.stats.reserves.get(),
             releases: self.stats.releases.get(),
             compress_passes: self.stats.compress_passes.get(),
@@ -358,7 +595,10 @@ impl Profile {
     pub fn reset_stats(&self) {
         self.stats.find_anchor_calls.set(0);
         self.stats.segments_visited.set(0);
-        self.stats.blocks_skipped.set(0);
+        self.stats.tree_descents.set(0);
+        self.stats.tree_nodes_visited.set(0);
+        self.stats.tree_incremental_updates.set(0);
+        self.stats.tree_rebuilds.set(0);
         self.stats.reserves.set(0);
         self.stats.releases.set(0);
         self.stats.compress_passes.set(0);
@@ -374,9 +614,7 @@ impl Profile {
     /// happens at the scheduler level; the counter lives here so a single
     /// [`ProfileStats`] carries the whole hot-path story.
     pub fn note_compress_pass(&self) {
-        self.stats
-            .compress_passes
-            .set(self.stats.compress_passes.get() + 1);
+        bump(&self.stats.compress_passes, 1);
     }
 
     /// Record queue-order maintenance work by the owning scheduler: jobs
@@ -386,77 +624,27 @@ impl Profile {
     /// level; the counters live here so one [`ProfileStats`] carries the
     /// whole hot-path story.
     pub fn note_queue_ops(&self, inserts: u64, sorts: u64, sorts_avoided: u64) {
-        self.stats
-            .queue_inserts
-            .set(self.stats.queue_inserts.get() + inserts);
-        self.stats
-            .queue_sorts
-            .set(self.stats.queue_sorts.get() + sorts);
-        self.stats
-            .queue_sorts_avoided
-            .set(self.stats.queue_sorts_avoided.get() + sorts_avoided);
+        bump(&self.stats.queue_inserts, inserts);
+        bump(&self.stats.queue_sorts, sorts);
+        bump(&self.stats.queue_sorts_avoided, sorts_avoided);
     }
 
-    /// Rebuild the block and run indexes and track the peak segment count.
-    /// Called after every mutation; O(n · log capacity) with a trivial
-    /// constant, alongside the O(n) segment-vector shift the mutation
-    /// already paid for.
-    fn reindex(&mut self) {
-        self.version = self.version.wrapping_add(1);
-        let blocks = self.segs.len().div_ceil(BLOCK);
-        self.index.min_free.clear();
-        self.index.min_free.resize(blocks, u32::MAX);
-        self.index.max_free.clear();
-        self.index.max_free.resize(blocks, 0);
-        for (i, seg) in self.segs.iter().enumerate() {
-            let b = i / BLOCK;
-            self.index.min_free[b] = self.index.min_free[b].min(seg.free);
-            self.index.max_free[b] = self.index.max_free[b].max(seg.free);
+    /// FNV-1a over the silhouette (capacity + every boundary/level pair).
+    /// Debug builds pin this into the [`FitsCache`] and assert it on every
+    /// hit, so an incorrectly accepted stale cache fails loudly instead of
+    /// silently corrupting decisions.
+    fn silhouette_checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.capacity as u64);
+        for s in &self.segs {
+            mix(s.start.as_secs());
+            mix(s.free as u64);
         }
-
-        // Threshold runs, one level per power of two up to the capacity.
-        let levels = level_of(self.capacity) + 1;
-        self.index.runs.resize_with(levels, Vec::new);
-        let mut open = [SimTime::ZERO; 32];
-        let mut is_open = [false; 32];
-        for (l, runs) in self.index.runs.iter_mut().enumerate() {
-            runs.clear();
-            // The region before the first boundary is implicitly fully free
-            // (it only exists after trim_before), so every level starts open.
-            if self.segs[0].start > SimTime::ZERO {
-                open[l] = SimTime::ZERO;
-                is_open[l] = true;
-            }
-        }
-        for seg in &self.segs {
-            for (l, runs) in self.index.runs.iter_mut().enumerate() {
-                let feasible = seg.free >> l != 0; // free >= 1 << l
-                if feasible {
-                    if !is_open[l] {
-                        open[l] = seg.start;
-                        is_open[l] = true;
-                    }
-                } else if is_open[l] {
-                    runs.push(Run {
-                        start: open[l],
-                        end: seg.start,
-                    });
-                    is_open[l] = false;
-                }
-            }
-        }
-        let inf = SimTime::new(u64::MAX);
-        for (l, runs) in self.index.runs.iter_mut().enumerate() {
-            if is_open[l] {
-                runs.push(Run {
-                    start: open[l],
-                    end: inf,
-                });
-            }
-        }
-
-        let peak = self.stats.peak_segments.get().max(self.segs.len() as u64);
-        self.stats.peak_segments.set(peak);
+        h
     }
 
     /// Free processors at instant `t`.
@@ -475,77 +663,62 @@ impl Profile {
     /// exactly at `start` — equivalently, whether the minimum free
     /// capacity over `[start, start + duration)` is at least `width`.
     ///
-    /// Answers come from the [`FitsCache`] prefix minima: one binary
-    /// search per query, one O(n) rebuild per mutation or left-edge
-    /// change. Compression passes probe the same `now` dozens of times
-    /// between mutations, so nearly every query is a cache hit.
+    /// Between mutations, answers come from the [`FitsCache`] prefix
+    /// minima: one binary search per query. Immediately after a mutation
+    /// the memo is dead, and the first probe is answered by one O(log n)
+    /// tree descent instead of an O(n) rebuild — a compression pass that
+    /// mutates between probes never rebuilds the memo at all, while a
+    /// stable backfill scan re-memoizes on its second probe.
     pub fn fits(&self, start: SimTime, duration: SimSpan, width: u32) -> bool {
         self.assert_possible(width);
         if duration.is_zero() || width == 0 {
             return true;
         }
+        bump(&self.stats.find_anchor_calls, 1);
+        let end = start + duration;
         let mut cache = self.fits_cache.borrow_mut();
-        let visited = if cache.version != self.version || cache.from != start {
+        if cache.generation == self.generation && cache.from == start {
+            debug_assert_eq!(
+                cache.checksum,
+                self.silhouette_checksum(),
+                "stale fits cache accepted: generation token collision"
+            );
+            bump(&self.stats.fits_cache_hits, 1);
+            return cache.min_free_until(end) >= width;
+        }
+        bump(&self.stats.fits_cache_misses, 1);
+        if cache.miss_generation == self.generation && cache.miss_from == start {
+            // Second probe against an unchanged (silhouette, left edge):
+            // the profile has gone quiet, so memoizing pays off now.
             cache.rebuild(self, start);
-            self.stats
-                .fits_cache_misses
-                .set(self.stats.fits_cache_misses.get() + 1);
-            cache.min_free.len() as u64
-        } else {
-            self.stats
-                .fits_cache_hits
-                .set(self.stats.fits_cache_hits.get() + 1);
-            1
-        };
-        self.stats
-            .find_anchor_calls
-            .set(self.stats.find_anchor_calls.get() + 1);
-        self.stats
-            .segments_visited
-            .set(self.stats.segments_visited.get() + visited);
-        cache.min_free_until(start + duration) >= width
+            return cache.min_free_until(end) >= width;
+        }
+        cache.miss_generation = self.generation;
+        cache.miss_from = start;
+        let mut nodes = 0u64;
+        let ok = self.fits_by_tree(start, end, width, &mut nodes);
+        bump(&self.stats.tree_descents, 1);
+        bump(&self.stats.tree_nodes_visited, nodes);
+        ok
     }
 
-    /// First segment index `>= from` with `free >= width`, skipping blocks
-    /// whose maximum free level rules every segment out. The caller
-    /// guarantees one exists (the final segment is asserted wide enough,
-    /// so the last block's max is always feasible and the skip loop stops
-    /// before running off the end). Returns `None` if the first such
-    /// segment starts at or past `bound` (the caller's run is exhausted).
-    #[inline]
-    fn next_feasible(
-        &self,
-        from: usize,
-        width: u32,
-        bound: SimTime,
-        visited: &mut u64,
-        skipped: &mut u64,
-    ) -> Option<usize> {
-        let segs = &self.segs[..];
-        let n = segs.len();
-        let mut k = from;
-        while k < n {
-            if k.is_multiple_of(BLOCK) {
-                if segs[k].start >= bound {
-                    return None;
-                }
-                if self.index.max_free[k / BLOCK] < width {
-                    *skipped += 1;
-                    k += BLOCK;
-                    continue;
-                }
-            }
-            *visited += 1;
-            let seg = segs[k];
-            if seg.start >= bound {
-                return None;
-            }
-            if seg.free >= width {
-                return Some(k);
-            }
-            k += 1;
+    /// The `fits` question answered directly from the tree: the segment
+    /// hosting `start` (or the implicit free prefix) must be feasible, and
+    /// the minimum free level over the segments opening inside
+    /// `(start, end)` must be at least `width`. Two binary searches plus
+    /// one range-min descent.
+    fn fits_by_tree(&self, start: SimTime, end: SimTime, width: u32, nodes: &mut u64) -> bool {
+        let i0 = self.segs.partition_point(|s| s.start <= start);
+        let host_free = if i0 == 0 {
+            self.capacity
+        } else {
+            self.segs[i0 - 1].free
+        };
+        if host_free < width {
+            return false;
         }
-        None
+        let j = self.segs.partition_point(|s| s.start < end);
+        i0 >= j || self.tree.range_min(i0, j, nodes) >= width
     }
 
     fn assert_possible(&self, width: u32) {
@@ -565,9 +738,10 @@ impl Profile {
     /// rectangle fits. Always terminates because the profile eventually
     /// returns to an (infinitely long) final segment.
     ///
-    /// Uses the block index to hop over uniformly infeasible (and, inside a
-    /// candidate run, uniformly feasible) stretches of the profile instead
-    /// of walking them segment by segment.
+    /// Past the [`SMALL`] cutoff the search runs on the segment tree:
+    /// one descent finds the next feasible anchor host, one descent
+    /// verifies the whole candidate window (or names the segment that
+    /// blocks it), so each candidate costs O(log n) instead of a walk.
     ///
     /// Panics if `width > capacity` or the final segment has fewer than
     /// `width` free processors (a rectangle that could never fit).
@@ -580,71 +754,94 @@ impl Profile {
         // Probe counts accumulate in locals and hit the `Cell`s once per
         // call: the interior-mutability bookkeeping must stay off the scan
         // itself, which is the hottest loop in the simulator.
-        let mut visited: u64 = 0;
-        let mut skipped: u64 = 0;
-        let anchor =
-            self.find_anchor_indexed(earliest, duration, width, &mut visited, &mut skipped);
-        self.stats
-            .find_anchor_calls
-            .set(self.stats.find_anchor_calls.get() + 1);
-        self.stats
-            .segments_visited
-            .set(self.stats.segments_visited.get() + visited);
-        if skipped > 0 {
-            self.stats
-                .blocks_skipped
-                .set(self.stats.blocks_skipped.get() + skipped);
-        }
+        let anchor = if self.segs.len() <= SMALL {
+            let mut visited = 0u64;
+            let anchor = self.scan_plain(earliest, duration, width, &mut visited);
+            bump(&self.stats.segments_visited, visited);
+            anchor
+        } else {
+            let mut descents = 0u64;
+            let mut nodes = 0u64;
+            let anchor =
+                self.find_anchor_tree(earliest, duration, width, &mut descents, &mut nodes);
+            bump(&self.stats.tree_descents, descents);
+            bump(&self.stats.tree_nodes_visited, nodes);
+            anchor
+        };
+        bump(&self.stats.find_anchor_calls, 1);
         anchor
     }
 
-    /// The indexed search behind [`find_anchor`](Profile::find_anchor).
+    /// The tree-indexed search behind [`find_anchor`](Profile::find_anchor).
     ///
-    /// The run index answers "where could a `width`-wide rectangle possibly
-    /// live": every anchor must sit inside a maximal `free >= t` run (with
-    /// `t = 2^⌊log2 width⌋ <= width`) long enough to hold `duration`. The
-    /// search walks those runs in time order — skipping the (often vast)
-    /// stretches between them wholesale — and, since a power-of-two width
-    /// equals its threshold, resolves such queries straight from the run
-    /// list. Other widths fall back to a block-accelerated segment scan
-    /// *inside* each candidate run.
-    fn find_anchor_indexed(
+    /// Invariant maintained throughout: `anchor` is feasible up to (not
+    /// including) segment `check` — the host segment holding `anchor` has
+    /// `free >= width`, as does everything between it and `check`. Each
+    /// loop iteration answers "which segment blocks the window first?"
+    /// with a single descent; a blockage moves the anchor to the start of
+    /// the first feasible segment past the whole infeasible run (a second
+    /// descent), which is exactly where the linear scan would next settle.
+    fn find_anchor_tree(
         &self,
         earliest: SimTime,
         duration: SimSpan,
         width: u32,
-        visited: &mut u64,
-        skipped: &mut u64,
+        descents: &mut u64,
+        nodes: &mut u64,
     ) -> SimTime {
-        // Small profiles: index arithmetic costs more than it saves.
-        if self.segs.len() <= SMALL {
-            return self.scan_plain(earliest, duration, width, visited);
+        let segs = &self.segs[..];
+        let first_start = segs[0].start;
+        let mut anchor = earliest;
+        // The region before the first boundary is implicitly fully free
+        // (it only exists after trim_before); a rectangle fitting entirely
+        // inside it anchors immediately. One that spills into the first
+        // segment starts its verification at segment 0: the implicit
+        // region itself never blocks.
+        if anchor < first_start && anchor + duration <= first_start {
+            return anchor;
         }
-
-        let runs = &self.index.runs[level_of(width)];
-        let exact = width.is_power_of_two();
-        let mut ri = runs.partition_point(|r| r.end <= earliest);
-        while let Some(&run) = runs.get(ri) {
-            *visited += 1;
-            let anchor = run.start.max(earliest);
-            if run.end - anchor >= duration {
-                if exact {
-                    // free >= width over the whole run, by construction.
-                    return anchor;
-                }
-                if let Some(a) = self.scan_run(anchor, run.end, duration, width, visited, skipped) {
-                    return a;
-                }
+        let mut check = if anchor < first_start {
+            0
+        } else {
+            let host = segs.partition_point(|s| s.start <= anchor) - 1;
+            if segs[host].free >= width {
+                host + 1
+            } else {
+                // The requested instant is blocked: the earliest possible
+                // anchor is the next feasible segment's start.
+                *descents += 1;
+                let idx = self
+                    .tree
+                    .first_at_least(host + 1, width, nodes)
+                    .expect("final segment narrower than asserted");
+                anchor = segs[idx].start;
+                idx + 1
             }
-            ri += 1;
+        };
+        loop {
+            *descents += 1;
+            match self.tree.first_below(check, width, nodes) {
+                // The first blocking segment opens inside the candidate
+                // window: every instant in [anchor, end-of-blockage) dies
+                // on it, so restart at the first feasible segment past
+                // the infeasible run.
+                Some(k) if segs[k].start < anchor + duration => {
+                    *descents += 1;
+                    let idx = self
+                        .tree
+                        .first_at_least(k + 1, width, nodes)
+                        .expect("final segment narrower than asserted");
+                    anchor = segs[idx].start;
+                    check = idx + 1;
+                }
+                // No blockage before the window closes: the rectangle fits.
+                _ => return anchor,
+            }
         }
-        // The final segment reaches infinity and is asserted wide enough,
-        // so its run always terminates the loop above.
-        unreachable!("final segment narrower than asserted");
     }
 
     /// The small-profile scan: the plain linear algorithm plus visit
-    /// counting, with no block or run arithmetic on the hot path.
+    /// counting, with no tree arithmetic on the hot path.
     fn scan_plain(
         &self,
         earliest: SimTime,
@@ -684,79 +881,10 @@ impl Profile {
         }
     }
 
-    /// Scan `[anchor0, run_end)` for the earliest `width`-anchor, knowing
-    /// nothing at or past `run_end` is feasible (so a rectangle must end by
-    /// then). Establishes a feasible candidate segment (hopping infeasible
-    /// blocks via the max index), verifies only the segments overlapping
-    /// `[anchor, anchor + duration)` (hopping uniformly feasible blocks via
-    /// the min index), and restarts past any blockage. Returns `None` once
-    /// no anchor in the window can work.
-    fn scan_run(
-        &self,
-        anchor0: SimTime,
-        run_end: SimTime,
-        duration: SimSpan,
-        width: u32,
-        visited: &mut u64,
-        skipped: &mut u64,
-    ) -> Option<SimTime> {
-        let segs = &self.segs[..];
-        let n = segs.len();
-        let mut anchor = anchor0;
-        // The region before the first segment boundary is implicitly fully
-        // free (it only exists after trim_before); a rectangle fitting
-        // entirely inside it anchors immediately. One that spills into the
-        // first segment is handled by the scan below: the implicit region
-        // never blocks, so the candidate run simply starts at `anchor`.
-        let first_start = segs[0].start;
-        if anchor < first_start && anchor + duration <= first_start {
-            return Some(anchor);
-        }
-
-        let mut idx = segs
-            .partition_point(|s| s.start <= anchor)
-            .saturating_sub(1);
-        loop {
-            // Establish a candidate: `segs[idx]` must host the anchor.
-            *visited += 1;
-            if segs[idx].free < width {
-                idx = self.next_feasible(idx + 1, width, run_end, visited, skipped)?;
-                anchor = segs[idx].start;
-            }
-            let target = anchor + duration;
-            if target > run_end {
-                // Anchors only move later; none left in this window.
-                return None;
-            }
-            // Verify the candidate only as far as `target`: every segment
-            // overlapping [anchor, target) must stay feasible.
-            let mut k = idx + 1;
-            loop {
-                if k >= n || segs[k].start >= target {
-                    return Some(anchor); // the rectangle fits
-                }
-                if k.is_multiple_of(BLOCK) && self.index.min_free[k / BLOCK] >= width {
-                    // A uniformly feasible block cannot blockade; hop it.
-                    *skipped += 1;
-                    k += BLOCK;
-                    continue;
-                }
-                *visited += 1;
-                if segs[k].free < width {
-                    break; // blocked: the candidate dies at segs[k]
-                }
-                k += 1;
-            }
-            // Restart the search after the blockage.
-            idx = self.next_feasible(k + 1, width, run_end, visited, skipped)?;
-            anchor = segs[idx].start;
-        }
-    }
-
     /// The pre-index linear anchor scan, kept verbatim as a reference:
     /// the differential property test asserts it agrees with
     /// [`find_anchor`](Profile::find_anchor) decision-for-decision, and the
-    /// `profile_ops` bench measures what the index buys. Maintains the same
+    /// `profile_ops` bench measures what the tree buys. Maintains the same
     /// panics; does not update the probe counters.
     pub fn find_anchor_linear(&self, earliest: SimTime, duration: SimSpan, width: u32) -> SimTime {
         self.assert_possible(width);
@@ -802,11 +930,23 @@ impl Profile {
     }
 
     /// Index of the segment containing `t`, splitting a segment at `t` if
-    /// needed so a boundary exists exactly at `t`.
-    fn split_at(&mut self, t: SimTime) -> usize {
+    /// needed so a boundary exists exactly at `t`. The flag reports
+    /// whether a boundary was inserted (a structural change the tree
+    /// cannot absorb with a value-only update).
+    fn split_at(&mut self, t: SimTime) -> (usize, bool) {
         let idx = self.segs.partition_point(|s| s.start <= t);
         if idx == 0 {
-            // t precedes the whole profile: prepend a fully-free segment.
+            // t precedes the whole profile (possible after trim_before):
+            // the region before segs[0] is implicitly fully free.
+            if self.segs[0].free == self.capacity {
+                // A fully-free segment already opens the profile: moving
+                // its boundary left to `t` is the same silhouette, and
+                // inserting instead would create an adjacent-equal pair
+                // in the middle of the mutation range, where boundary
+                // coalescing would never look.
+                self.segs[0].start = t;
+                return (0, false);
+            }
             self.segs.insert(
                 0,
                 Segment {
@@ -814,11 +954,11 @@ impl Profile {
                     free: self.capacity,
                 },
             );
-            return 0;
+            return (0, true);
         }
         let prev = self.segs[idx - 1];
         if prev.start == t {
-            idx - 1
+            (idx - 1, false)
         } else {
             self.segs.insert(
                 idx,
@@ -827,12 +967,46 @@ impl Profile {
                     free: prev.free,
                 },
             );
-            idx
+            (idx, true)
         }
     }
 
-    fn coalesce(&mut self) {
-        self.segs.dedup_by(|next, prev| next.free == prev.free);
+    /// Re-coalesce after a range update. Segments inside the range all
+    /// moved by the same delta, so previously distinct neighbours stay
+    /// distinct: only the two boundary pairs — `(first - 1, first)` and
+    /// `(last - 1, last)` — can newly coincide. Checks exactly those,
+    /// removing the later segment of an equal pair (keeping the earlier
+    /// start, as a full `dedup` would). Returns true when anything was
+    /// removed (a structural change for the tree).
+    fn coalesce_boundaries(&mut self, first: usize, last: usize) -> bool {
+        let mut removed = false;
+        if last < self.segs.len() && self.segs[last - 1].free == self.segs[last].free {
+            self.segs.remove(last);
+            removed = true;
+        }
+        if first > 0 && self.segs[first - 1].free == self.segs[first].free {
+            self.segs.remove(first);
+            removed = true;
+        }
+        removed
+    }
+
+    /// Post-mutation bookkeeping: fresh generation token (invalidating
+    /// the fits memo), tree synchronization — incremental when no segment
+    /// boundary moved, suffix re-derivation otherwise — and the peak
+    /// gauge.
+    fn after_mutation(&mut self, first: usize, last: usize, structural: bool) {
+        self.generation = next_generation();
+        if structural {
+            self.tree.resync_from(&self.segs, first);
+            bump(&self.stats.tree_rebuilds, 1);
+        } else {
+            self.tree.update_range(&self.segs, first, last);
+            bump(&self.stats.tree_incremental_updates, 1);
+        }
+        let peak = self.stats.peak_segments.get().max(self.segs.len() as u64);
+        self.stats.peak_segments.set(peak);
+        debug_assert!(self.invariants_ok());
     }
 
     /// Subtract `width` processors over `[start, start + duration)`.
@@ -847,10 +1021,10 @@ impl Profile {
         if duration.is_zero() || width == 0 {
             return;
         }
-        self.stats.reserves.set(self.stats.reserves.get() + 1);
+        bump(&self.stats.reserves, 1);
         let end = start + duration;
-        let first = self.split_at(start);
-        let last = self.split_at(end); // boundary at end; affected segs are first..last
+        let (first, ins_a) = self.split_at(start);
+        let (last, ins_b) = self.split_at(end); // affected segs are first..last
         for seg in &mut self.segs[first..last] {
             assert!(
                 seg.free >= width,
@@ -861,9 +1035,8 @@ impl Profile {
             );
             seg.free -= width;
         }
-        self.coalesce();
-        self.reindex();
-        debug_assert!(self.invariants_ok());
+        let removed = self.coalesce_boundaries(first, last);
+        self.after_mutation(first, last, ins_a || ins_b || removed);
     }
 
     /// Add `width` processors back over `[start, start + duration)` —
@@ -875,10 +1048,10 @@ impl Profile {
         if duration.is_zero() || width == 0 {
             return;
         }
-        self.stats.releases.set(self.stats.releases.get() + 1);
+        bump(&self.stats.releases, 1);
         let end = start + duration;
-        let first = self.split_at(start);
-        let last = self.split_at(end);
+        let (first, ins_a) = self.split_at(start);
+        let (last, ins_b) = self.split_at(end);
         for seg in &mut self.segs[first..last] {
             assert!(
                 seg.free + width <= self.capacity,
@@ -890,9 +1063,8 @@ impl Profile {
             );
             seg.free += width;
         }
-        self.coalesce();
-        self.reindex();
-        debug_assert!(self.invariants_ok());
+        let removed = self.coalesce_boundaries(first, last);
+        self.after_mutation(first, last, ins_a || ins_b || removed);
     }
 
     /// True iff `self` and `other` describe the same free-capacity step
@@ -927,13 +1099,16 @@ impl Profile {
         let idx = self.segs.partition_point(|s| s.start <= now);
         if idx > 1 {
             self.segs.drain(..idx - 1);
-            self.reindex();
+            self.generation = next_generation();
+            self.tree.rebuild(&self.segs);
+            bump(&self.stats.tree_rebuilds, 1);
         }
         debug_assert!(self.invariants_ok());
     }
 
     /// Check structural invariants (used by tests; internal operations
-    /// `debug_assert` it).
+    /// `debug_assert` it): segment ordering/coalescing/bounds, and the
+    /// tree's per-node aggregates against a from-scratch rebuild.
     pub fn invariants_ok(&self) -> bool {
         if self.segs.is_empty() {
             return false;
@@ -946,53 +1121,11 @@ impl Profile {
         if !self.segs.iter().all(|s| s.free <= self.capacity) {
             return false;
         }
-        // The index must mirror the segments exactly.
-        let blocks = self.segs.len().div_ceil(BLOCK);
-        if self.index.min_free.len() != blocks || self.index.max_free.len() != blocks {
-            return false;
-        }
-        if !self.segs.chunks(BLOCK).enumerate().all(|(b, chunk)| {
-            let min = chunk.iter().map(|s| s.free).min().expect("non-empty chunk");
-            let max = chunk.iter().map(|s| s.free).max().expect("non-empty chunk");
-            self.index.min_free[b] == min && self.index.max_free[b] == max
-        }) {
-            return false;
-        }
-        // Each run level must list exactly the maximal `free >= 1 << level`
-        // intervals (with the implicit fully-free region before the first
-        // boundary included, and `u64::MAX` closing a run that reaches the
-        // infinite final segment).
-        if self.index.runs.len() != level_of(self.capacity) + 1 {
-            return false;
-        }
-        self.index.runs.iter().enumerate().all(|(level, runs)| {
-            let mut expect: Vec<Run> = Vec::new();
-            let mut open: Option<SimTime> = None;
-            if self.segs[0].start > SimTime::ZERO {
-                open = Some(SimTime::ZERO);
-            }
-            for seg in &self.segs {
-                let feasible = seg.free >> level != 0;
-                match (feasible, open) {
-                    (true, None) => open = Some(seg.start),
-                    (false, Some(start)) => {
-                        expect.push(Run {
-                            start,
-                            end: seg.start,
-                        });
-                        open = None;
-                    }
-                    _ => {}
-                }
-            }
-            if let Some(start) = open {
-                expect.push(Run {
-                    start,
-                    end: SimTime::new(u64::MAX),
-                });
-            }
-            runs == &expect
-        })
+        // Every node aggregate must equal what a rebuild would compute —
+        // the incremental update paths may take no shortcuts.
+        let mut expect = SegTree::default();
+        expect.rebuild(&self.segs);
+        self.tree == expect
     }
 }
 
@@ -1196,12 +1329,12 @@ mod tests {
 
     #[test]
     fn indexed_and_linear_anchors_agree_on_dense_profile() {
-        // A profile long enough to bypass the small-profile cutoff and span
-        // many index blocks, with levels that force both block-skip paths
-        // (uniformly infeasible and uniformly feasible runs for mid-range
-        // widths) and the run-index walk.
+        // A profile long enough to bypass the small-profile cutoff and
+        // exercise the tree descents: mixed widths force both the
+        // first-feasible establishment and the first-infeasible window
+        // verification over many candidates.
         let mut p = Profile::new(64);
-        for i in 0..(2 * SMALL as u64) {
+        for i in 0..(8 * SMALL as u64) {
             let width = 1 + ((i * 7 + 3) % 60) as u32;
             p.reserve(
                 t(i * 10),
@@ -1211,9 +1344,9 @@ mod tests {
         }
         assert!(
             p.segments().len() > SMALL,
-            "want a profile past the index cutoff"
+            "want a profile past the tree cutoff"
         );
-        for earliest in (0..2 * SMALL as u64 * 10).step_by(53) {
+        for earliest in (0..8 * SMALL as u64 * 10).step_by(53) {
             for &width in &[1u32, 7, 23, 40, 64] {
                 for &dur in &[1u64, 50, 400, 5_000] {
                     assert_eq!(
@@ -1228,11 +1361,11 @@ mod tests {
 
     #[test]
     fn fits_cache_matches_anchor_scan_on_large_profiles() {
-        // Past the SMALL cutoff `fits` answers from the prefix-minima
-        // cache; every answer must equal the anchor-scan definition, for
-        // shifting left edges and across mutations.
+        // Past the SMALL cutoff `fits` answers come from tree descents and
+        // the prefix-minima memo; every answer must equal the anchor-scan
+        // definition, for shifting left edges and across mutations.
         let mut p = Profile::new(64);
-        for i in 0..(2 * SMALL as u64) {
+        for i in 0..(8 * SMALL as u64) {
             let width = 1 + ((i * 7 + 3) % 60) as u32;
             p.reserve(
                 t(i * 10),
@@ -1242,7 +1375,7 @@ mod tests {
         }
         assert!(p.segments().len() > SMALL);
         let check = |p: &Profile| {
-            for start in (0..2 * SMALL as u64 * 10).step_by(97) {
+            for start in (0..8 * SMALL as u64 * 10).step_by(97) {
                 for &width in &[1u32, 7, 23, 40, 64] {
                     for &dur in &[1u64, 50, 400, 5_000, 200_000] {
                         let expect = p.find_anchor(t(start), d(dur), width) == t(start);
@@ -1266,6 +1399,51 @@ mod tests {
     }
 
     #[test]
+    fn cloned_profiles_never_share_stale_fits_answers() {
+        // The memo travels with `clone`; a mutation of either copy draws a
+        // process-globally fresh generation, so neither can ever accept
+        // the other's (or its own pre-mutation) cached minima.
+        let mut p = Profile::new(8);
+        p.reserve(t(0), d(100), 4);
+        assert!(p.fits(t(0), d(50), 4)); // warm the memo (4 free on [0,100))
+        assert!(p.fits(t(0), d(50), 4)); // second probe memoizes
+        let mut q = p.clone();
+        q.reserve(t(0), d(50), 4); // q: 0 free on [0,50)
+        assert!(!q.fits(t(0), d(50), 1), "stale clone cache accepted");
+        assert!(!q.fits(t(0), d(50), 1));
+        assert!(p.fits(t(0), d(50), 4), "p's own memo must stay valid");
+        p.reserve(t(0), d(50), 4);
+        assert!(!p.fits(t(0), d(50), 1), "post-mutation memo accepted");
+    }
+
+    #[test]
+    fn incremental_updates_and_rebuilds_are_both_exercised() {
+        let mut p = Profile::new(16);
+        // Fresh boundaries: structural (suffix resync).
+        p.reserve(t(100), d(50), 4);
+        let s = p.stats();
+        assert_eq!(s.tree_rebuilds, 1);
+        assert_eq!(s.tree_incremental_updates, 0);
+        // Same rectangle again: both boundaries exist, no coalescing
+        // (levels on each side differ) — value-only incremental update.
+        p.reserve(t(100), d(50), 4);
+        let s = p.stats();
+        assert_eq!(s.tree_rebuilds, 1);
+        assert_eq!(s.tree_incremental_updates, 1);
+        assert!(p.invariants_ok());
+        // Releasing one layer back: still value-only.
+        p.release(t(100), d(50), 4);
+        assert_eq!(p.stats().tree_incremental_updates, 2);
+        // Releasing the last layer coalesces both boundaries away:
+        // structural again.
+        p.release(t(100), d(50), 4);
+        let s = p.stats();
+        assert_eq!(s.tree_rebuilds, 2);
+        assert_eq!(p.segments().len(), 1);
+        assert!(p.invariants_ok());
+    }
+
+    #[test]
     fn stats_count_operations() {
         let mut p = Profile::new(8);
         p.reserve(t(0), d(100), 4);
@@ -1282,11 +1460,35 @@ mod tests {
         assert!(s.segments_visited >= 2, "anchor scans examine segments");
         assert!(s.peak_segments >= 3);
         assert!(s.segments_per_anchor() > 0.0);
+        assert!(
+            s.tree_incremental_updates + s.tree_rebuilds >= 3,
+            "every mutation synchronizes the tree"
+        );
         p.reset_stats();
         let s = p.stats();
         assert_eq!(s.find_anchor_calls, 0);
         assert_eq!(s.reserves, 0);
+        assert_eq!(s.tree_rebuilds, 0);
         assert_eq!(s.peak_segments, p.segments().len() as u64);
+    }
+
+    #[test]
+    fn tree_descents_are_counted_past_the_cutoff() {
+        let mut p = Profile::new(8);
+        for i in 0..(4 * SMALL as u64) {
+            p.reserve(t(i * 100), d(50), 1 + (i % 7) as u32);
+        }
+        assert!(p.segments().len() > SMALL);
+        p.reset_stats();
+        p.find_anchor(t(0), d(10_000), 8);
+        let s = p.stats();
+        assert!(s.tree_descents > 0, "tree path must count descents");
+        // Every descent touches at least its starting leaf, except a
+        // probe past the final segment (which answers from bounds alone).
+        assert!(s.tree_nodes_visited + 1 >= s.tree_descents);
+        assert!(s.tree_nodes_visited > 0);
+        assert!(s.nodes_per_descent() > 0.0);
+        assert_eq!(s.segments_visited, 0, "no plain scan past the cutoff");
     }
 
     #[test]
@@ -1306,18 +1508,23 @@ mod tests {
         let mut a = ProfileStats {
             find_anchor_calls: 2,
             peak_segments: 5,
+            tree_descents: 1,
             ..Default::default()
         };
         let b = ProfileStats {
             find_anchor_calls: 3,
             reserves: 1,
             peak_segments: 9,
+            tree_descents: 4,
+            tree_nodes_visited: 12,
             ..Default::default()
         };
         a.absorb(&b);
         assert_eq!(a.find_anchor_calls, 5);
         assert_eq!(a.reserves, 1);
         assert_eq!(a.peak_segments, 9);
+        assert_eq!(a.tree_descents, 5);
+        assert_eq!(a.tree_nodes_visited, 12);
     }
 
     #[test]

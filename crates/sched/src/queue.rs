@@ -75,9 +75,13 @@ impl QueueCounters {
 pub struct SchedQueue {
     policy: Policy,
     items: VecDeque<JobMeta>,
-    /// Scratch for the XFactor cached-key sort, reused across events so
-    /// the per-event allocation disappears once the queue stops growing.
+    /// Scratch for the XFactor cached-key fallback sort, reused across
+    /// events so the per-event allocation disappears once the queue stops
+    /// growing.
     scratch: Vec<(f64, JobMeta)>,
+    /// Per-instant XFactor keys, index-aligned with `items` (the in-place
+    /// repair swaps both in lockstep).
+    keys: Vec<f64>,
     /// The instant the queue was last sorted for (XFactor only): a repeat
     /// `prepare` at the same instant with no interleaved insertion reuses
     /// the order (keys are a pure function of `(job, now)`).
@@ -92,6 +96,7 @@ impl SchedQueue {
             policy,
             items: VecDeque::new(),
             scratch: Vec::new(),
+            keys: Vec::new(),
             sorted_at: None,
             counters: QueueCounters::default(),
         }
@@ -151,20 +156,60 @@ impl SchedQueue {
             debug_assert!(self.is_sorted(now), "maintained queue order diverged");
             return;
         }
-        self.scratch.clear();
-        self.scratch
-            .extend(self.items.iter().map(|j| (Policy::xfactor(j, now), *j)));
-        // Exactly `Policy::compare`'s XFactor branch, with the key looked
-        // up instead of recomputed per comparison. The order is total
-        // (distinct jobs never compare equal), so the unstable sort yields
-        // the same unique sequence as the stable `Policy::sort`.
-        self.scratch.sort_unstable_by(|a, b| {
-            b.0.total_cmp(&a.0)
-                .then_with(|| a.1.arrival.cmp(&b.1.arrival))
-                .then_with(|| a.1.id.cmp(&b.1.id))
-        });
-        for (slot, &(_, job)) in self.items.iter_mut().zip(&self.scratch) {
-            *slot = job;
+        // Fresh keys for the current instant, aligned with `items` and kept
+        // aligned through every swap below.
+        self.keys.clear();
+        self.keys
+            .extend(self.items.iter().map(|j| Policy::xfactor(j, now)));
+
+        // A pair of waiting jobs swaps XFactor rank at most once (their
+        // keys are lines in `now`, crossing at one instant), and a fresh
+        // arrival's key is the global minimum 1.0, so it is appended
+        // already in place. The order from the previous event is therefore
+        // almost sorted, and an in-place insertion sort repairs it in
+        // O(n + inversions) — no scratch copy, no writeback — instead of
+        // the full O(n log n) cached-key sort. Exactly `Policy::compare`'s
+        // XFactor branch (key looked up, not recomputed per comparison);
+        // the order is total, so any correct sort yields the same unique
+        // sequence as the stable `Policy::sort`.
+        let n = self.items.len();
+        let budget = 8 * n + 64;
+        let mut swaps = 0usize;
+        let mut repaired = true;
+        'repair: for i in 1..n {
+            let mut j = i;
+            while j > 0 {
+                let o = self.keys[j]
+                    .total_cmp(&self.keys[j - 1])
+                    .then_with(|| self.items[j - 1].arrival.cmp(&self.items[j].arrival))
+                    .then_with(|| self.items[j - 1].id.cmp(&self.items[j].id));
+                if o != Ordering::Greater {
+                    break;
+                }
+                self.items.swap(j - 1, j);
+                self.keys.swap(j - 1, j);
+                swaps += 1;
+                if swaps > budget {
+                    repaired = false;
+                    break 'repair;
+                }
+                j -= 1;
+            }
+        }
+        if !repaired {
+            // Heavy churn: fall back to the full cached-key sort. `keys`
+            // stayed aligned with `items` through the partial repair.
+            self.scratch.clear();
+            self.scratch
+                .extend(self.keys.iter().copied().zip(self.items.iter().copied()));
+            self.scratch.sort_unstable_by(|a, b| {
+                b.0.total_cmp(&a.0)
+                    .then_with(|| a.1.arrival.cmp(&b.1.arrival))
+                    .then_with(|| a.1.id.cmp(&b.1.id))
+            });
+            for (slot, &(_, job)) in self.items.iter_mut().zip(&self.scratch) {
+                *slot = job;
+            }
         }
         self.sorted_at = Some(now);
         self.counters.sorts += 1;

@@ -114,6 +114,20 @@ impl SelectiveScheduler {
         sort_keyed(&mut self.reserved, self.policy, now, |r| r.meta);
         for i in 0..self.reserved.len() {
             let res = self.reserved[i];
+            // If the rectangle fits at `now` with the job's own
+            // reservation still in place, releasing it only adds
+            // capacity, so the re-anchor would land at `now` — one fits
+            // descent replaces the release/find_anchor round-trip (and
+            // a reservation already at `now` needs no mutation at all).
+            if res.start >= now && self.profile.fits(now, res.meta.estimate, res.meta.width) {
+                if res.start > now {
+                    self.profile
+                        .release(res.start, res.meta.estimate, res.meta.width);
+                    self.profile.reserve(now, res.meta.estimate, res.meta.width);
+                    self.reserved[i].start = now;
+                }
+                continue;
+            }
             self.profile
                 .release(res.start, res.meta.estimate, res.meta.width);
             let anchor = self

@@ -1,12 +1,13 @@
-//! Differential tests of the indexed anchor search.
+//! Differential tests of the tree-accelerated anchor search.
 //!
-//! `Profile::find_anchor` skips over segment runs using a per-block
-//! min/max index; `Profile::find_anchor_linear` is the plain scan it
-//! replaced. These properties drive both — plus a third, deliberately
-//! naive reference implemented here over `Profile::segments()` — through
-//! random reserve/partial-release/trim histories and assert all three
-//! agree on every query: the index must be a pure accelerator, never a
-//! decision change.
+//! `Profile::find_anchor` descends an incrementally maintained min/max
+//! segment tree (plain-scanning small profiles);
+//! `Profile::find_anchor_linear` is the plain scan it replaced. These
+//! properties drive both — plus a third, deliberately naive reference
+//! implemented here over `Profile::segments()` — through random
+//! reserve/partial-release/trim histories and assert all three agree on
+//! every query: the tree must be a pure accelerator, never a decision
+//! change.
 
 use proptest::prelude::*;
 use sched::{Profile, Segment};

@@ -11,8 +11,8 @@
 //! bfsim metrics [--addr HOST:PORT]
 //! bfsim health [--addr HOST:PORT]
 //! bfsim shutdown [--addr HOST:PORT]
-//! bfsim bench [-o OUT.json] [--baseline OLD.json] [--tiny] [--reps N]
-//!             [--trace-out OUT.jsonl]
+//! bfsim bench [-o OUT.json] [--baseline OLD.json] [--enforce-parity]
+//!             [--tiny] [--reps N] [--trace-out OUT.jsonl]
 //!
 //! Every command also accepts `--log-level SPEC` (the `BFSIM_LOG`
 //! filter grammar, e.g. `info` or `warn,sched=debug`) and `--log-json`
@@ -54,8 +54,16 @@
 //! fingerprint, and the scheduler's profile/queue operation counters.
 //! With `--baseline OLD.json`, the old report's cells are embedded in the
 //! new file alongside per-cell speedups and fingerprint-parity flags, so a
-//! perf claim and its decision-preservation proof travel together.
-//! `--tiny` shrinks the sweep to seconds for CI smoke testing.
+//! perf claim and its decision-preservation proof travel together. The
+//! baseline is loaded and validated *before* the sweep: a missing or
+//! corrupt file, or one whose cell set shares nothing with the current
+//! sweep, exits 6 with one logged diagnostic (extending the daemon exit
+//! taxonomy above: 2 usage, 3 connect, 4 busy, 5 service, 6 bad data
+//! file, 7 parity violation). `--enforce-parity` additionally requires
+//! every sweep cell to exist in the baseline and exits 7 — after writing
+//! the report — if any schedule fingerprint differs: decision-neutrality
+//! as a CI gate. `--tiny` shrinks the sweep to a six-cell subset of the
+//! full grid, in seconds, for CI smoke testing.
 
 use backfill_sim::prelude::*;
 use metrics::{fairness, queue_depth_series, utilization_series, viz};
@@ -102,6 +110,26 @@ fn die_client(context: &str, addr: &str, err: ClientError) -> ! {
     };
     obs::error!(target: "bfsim", "{context}: {err}{hint}");
     std::process::exit(class(&err));
+}
+
+/// One-line diagnostic + exit 6 for a bad data file handed to a local
+/// command: a missing or corrupt `--baseline`, or a baseline whose cell
+/// set has nothing in common with the current sweep. Distinct from usage
+/// errors (2) and daemon failures (3/4/5) so CI can tell "you pointed me
+/// at garbage" apart from "the invocation was malformed" — and raised
+/// *before* the sweep runs, never mid-way through it.
+fn die_data(msg: &str) -> ! {
+    obs::error!(target: "bfsim", "{msg}");
+    std::process::exit(6);
+}
+
+/// One-line diagnostic + exit 7 when `--enforce-parity` found a schedule
+/// fingerprint that differs from the baseline: the code change altered a
+/// scheduling decision. The report is still written first, so the
+/// offending cells can be inspected.
+fn die_parity(msg: &str) -> ! {
+    obs::error!(target: "bfsim", "{msg}");
+    std::process::exit(7);
 }
 
 /// Install the global logger before full CLI parsing, so `die` and every
@@ -155,6 +183,7 @@ struct Cli {
     journal: Option<String>,
     addr: String,
     baseline: Option<String>,
+    enforce_parity: bool,
     tiny: bool,
     reps: Option<u32>,
     trace_out: Option<String>,
@@ -185,6 +214,7 @@ impl Default for Cli {
             journal: None,
             addr: "127.0.0.1:7411".into(),
             baseline: None,
+            enforce_parity: false,
             tiny: false,
             reps: None,
             trace_out: None,
@@ -309,6 +339,7 @@ fn parse_cli(args: &[String]) -> Cli {
             "--fairness" => cli.fairness = true,
             "--addr" => cli.addr = next(&mut it, "--addr"),
             "--baseline" => cli.baseline = Some(next(&mut it, "--baseline")),
+            "--enforce-parity" => cli.enforce_parity = true,
             "--tiny" => cli.tiny = true,
             "--trace-out" => cli.trace_out = Some(next(&mut it, "--trace-out")),
             "--lenient" => cli.lenient = true,
@@ -457,11 +488,13 @@ fn cmd_simulate(cli: &Cli) {
     }
     if let Some(p) = schedule.profile_stats {
         println!(
-            "profile ops: {} anchors ({:.1} segs/anchor, {} blocks skipped) | \
-             {} reserves | {} releases | {} compress passes | peak {} segments",
+            "profile ops: {} anchors ({:.1} segs/anchor, {} tree descents, \
+             {:.1} nodes/descent) | {} reserves | {} releases | \
+             {} compress passes | peak {} segments",
             p.find_anchor_calls,
             p.segments_per_anchor(),
-            p.blocks_skipped,
+            p.tree_descents,
+            p.nodes_per_descent(),
             p.reserves,
             p.releases,
             p.compress_passes,
@@ -731,12 +764,17 @@ struct BenchReport {
 
 /// The pinned sweep. Fixed traces, seeds and loads: numbers from two runs
 /// of the same binary are comparable, and numbers from two versions of the
-/// code measure the code, not the workload. `tiny` shrinks it to a few
-/// 150-job cells for CI smoke testing.
+/// code measure the code, not the workload. `tiny` shrinks it to six cells
+/// for CI smoke testing — an exact *subset* of the full sweep, so a tiny
+/// run can be compared (`--baseline`, `--enforce-parity`) against a full
+/// report and every cell finds its baseline partner.
 fn bench_cells(tiny: bool) -> Vec<RunConfig> {
     let mut cells = Vec::new();
     if tiny {
-        let scenario = Scenario::high_load(TraceSource::Ctc { jobs: 150, seed: 5 });
+        let scenario = Scenario::high_load(TraceSource::Ctc {
+            jobs: 3_000,
+            seed: 7,
+        });
         for kind in [SchedulerKind::Conservative, SchedulerKind::Easy] {
             for policy in Policy::PAPER {
                 cells.push(RunConfig {
@@ -823,8 +861,51 @@ fn bench_label(config: &RunConfig) -> String {
     format!("{} rho={load} est={est}", config.label())
 }
 
+/// Load and validate a `--baseline` report *before* the sweep runs: a
+/// missing/corrupt file or a baseline with no cell in common with the
+/// current sweep exits 6 immediately instead of wasting the whole sweep
+/// (or worse, panicking mid-way through it).
+fn load_baseline(path: &str, configs: &[RunConfig], enforce_parity: bool) -> Vec<BenchCell> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die_data(&format!("reading baseline {path}: {e}")));
+    let report: BenchReport = serde_json::from_str(&text)
+        .unwrap_or_else(|e| die_data(&format!("parsing baseline {path}: {e}")));
+    // Cells match by *config* (the full reproducible RunConfig), not by
+    // label: labels are human-readable and have collided across sweep
+    // revisions before.
+    let missing: Vec<&RunConfig> = configs
+        .iter()
+        .filter(|c| !report.cells.iter().any(|b| b.config == **c))
+        .collect();
+    if missing.len() == configs.len() {
+        die_data(&format!(
+            "baseline {path} shares no cell with the current sweep \
+             ({} baseline cells, {} current): wrong file?",
+            report.cells.len(),
+            configs.len()
+        ));
+    }
+    if enforce_parity && !missing.is_empty() {
+        die_data(&format!(
+            "baseline {path} is missing {} of {} sweep cells (first: {}) \
+             and --enforce-parity needs all of them",
+            missing.len(),
+            configs.len(),
+            bench_label(missing[0])
+        ));
+    }
+    report.cells
+}
+
 fn cmd_bench(cli: &Cli) {
     let configs = bench_cells(cli.tiny);
+    let baseline: Option<Vec<BenchCell>> = cli
+        .baseline
+        .as_ref()
+        .map(|path| load_baseline(path, &configs, cli.enforce_parity));
+    if cli.enforce_parity && baseline.is_none() {
+        die("--enforce-parity needs --baseline");
+    }
     // Wall time on a shared machine is one-sided noise (contention only
     // slows a run down), so each cell keeps its best-of-`reps` time.
     let repeats = cli.reps.unwrap_or(if cli.tiny { 1 } else { 2 });
@@ -893,17 +974,10 @@ fn cmd_bench(cli: &Cli) {
         });
     }
 
-    let baseline: Option<Vec<BenchCell>> = cli.baseline.as_ref().map(|path| {
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| die(&format!("reading baseline {path}: {e}")));
-        let report: BenchReport = serde_json::from_str(&text)
-            .unwrap_or_else(|e| die(&format!("parsing baseline {path}: {e}")));
-        report.cells
-    });
     let mut comparison = Vec::new();
     if let Some(base) = &baseline {
         for cell in &cells {
-            let Some(b) = base.iter().find(|b| b.label == cell.label) else {
+            let Some(b) = base.iter().find(|b| b.config == cell.config) else {
                 continue;
             };
             comparison.push(BenchComparison {
@@ -921,14 +995,14 @@ fn cmd_bench(cli: &Cli) {
     }
 
     let report = BenchReport {
-        version: 3,
+        version: 4,
         tool: "bfsim bench".into(),
         tiny: cli.tiny,
         cells,
         baseline,
         comparison,
     };
-    let out = cli.out.clone().unwrap_or_else(|| "BENCH_3.json".into());
+    let out = cli.out.clone().unwrap_or_else(|| "BENCH_4.json".into());
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
 
@@ -953,6 +1027,26 @@ fn cmd_bench(cli: &Cli) {
         );
     }
     println!("wrote {} cells to {out} (validated)", report.cells.len());
+    if cli.enforce_parity {
+        let changed: Vec<&BenchComparison> = report
+            .comparison
+            .iter()
+            .filter(|c| !c.fingerprint_matches)
+            .collect();
+        if !changed.is_empty() {
+            // The report is on disk already: fail loudly but inspectably.
+            die_parity(&format!(
+                "{} of {} cells changed schedule fingerprint vs baseline (first: {})",
+                changed.len(),
+                report.comparison.len(),
+                changed[0].label
+            ));
+        }
+        println!(
+            "fingerprint parity: {} cells identical to baseline",
+            report.comparison.len()
+        );
+    }
 }
 
 fn cmd_metrics(cli: &Cli) {
