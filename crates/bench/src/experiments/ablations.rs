@@ -108,7 +108,7 @@ pub fn depth_sweep(opts: &Opts, depths: &[usize]) -> Table {
 }
 
 /// Selective-preemption sweep — the authors' companion strategy (their
-/// reference [6]): suspend running jobs once the queue head's expansion
+/// reference \[6\]): suspend running jobs once the queue head's expansion
 /// factor crosses a threshold. Reports the average/worst trade-off plus
 /// how many jobs were suspended, bracketed by EASY (no preemption).
 pub fn preemption_sweep(opts: &Opts, thresholds: &[f64]) -> Table {
@@ -201,7 +201,7 @@ pub fn fairness_ablation(opts: &Opts) -> Table {
 }
 
 /// Slack-based backfilling sweep (Talby & Feitelson — the paper's
-/// reference [13]): growing the promise slack trades guarantee tightness
+/// reference \[13\]): growing the promise slack trades guarantee tightness
 /// for backfill freedom, interpolating conservative → EASY-like behaviour
 /// with a hard per-job delay bound.
 pub fn slack_sweep(opts: &Opts, factors: &[f64]) -> Table {

@@ -2,6 +2,9 @@
 //!
 //! * [`experiments`] — regenerates every table and figure of the paper
 //!   (plus ablations); driven by the `repro` binary;
+//! * [`sweep`] — declarative, serializable sweep specifications and
+//!   their pinned deterministic expansion to `RunConfig` cells, shared
+//!   by `bfsim bench` and the distributed sweep coordinator;
 //! * [`trace_analysis`] — reconstructs per-category wait/slowdown
 //!   timelines from a `--trace-out` decision-trace JSONL file;
 //! * `benches/` — Criterion microbenchmarks of the simulator itself
@@ -10,4 +13,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod sweep;
 pub mod trace_analysis;

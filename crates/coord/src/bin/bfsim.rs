@@ -13,6 +13,9 @@
 //! bfsim shutdown [--addr HOST:PORT]
 //! bfsim bench [-o OUT.json] [--baseline OLD.json] [--enforce-parity]
 //!             [--tiny] [--reps N] [--trace-out OUT.jsonl]
+//! bfsim sweep --shards H:P,H:P,... (--spec FILE.json | --tiny)
+//!             [--window N] [--no-steal] [--max-requeues N] [-o OUT.json]
+//! bfsim coord-status --shards H:P,H:P,...
 //!
 //! Every command also accepts `--log-level SPEC` (the `BFSIM_LOG`
 //! filter grammar, e.g. `info` or `warn,sched=debug`) and `--log-json`
@@ -64,8 +67,25 @@
 //! the report — if any schedule fingerprint differs: decision-neutrality
 //! as a CI gate. `--tiny` shrinks the sweep to a six-cell subset of the
 //! full grid, in seconds, for CI smoke testing.
+//!
+//! `sweep` fans one sweep out across many `bfsimd` shards (see
+//! DESIGN.md §15): cells are assigned to shards by canonical config
+//! hash, idle shards steal from stragglers, a dying shard's queue is
+//! redistributed, and the merged report carries exactly one result per
+//! unique cell with per-cell fingerprints byte-identical to a serial
+//! run. The cell grid comes from `--tiny` (the pinned six-cell bench
+//! grid) or `--spec FILE.json` (a serialized `SweepSpec`; a missing or
+//! invalid file exits 6). Exit codes extend the taxonomy again: 8 when
+//! a shard fails the startup `capabilities` handshake (nothing ran), 9
+//! when the sweep *completed* — every cell resolved, report written —
+//! but degraded because at least one shard died mid-sweep.
+//! `coord-status` prints one row per shard (capabilities, queue depth,
+//! cache hit rate, journal replay) and exits 3 only when **no** shard
+//! is reachable.
 
 use backfill_sim::prelude::*;
+use bench_lib::sweep::{bench_cells, SweepSpec};
+use coord::{run_sweep, SweepError, SweepOptions};
 use metrics::{fairness, queue_depth_series, utilization_series, viz};
 use obs::trace::Recorder;
 use sched::ProfileStats;
@@ -132,6 +152,25 @@ fn die_parity(msg: &str) -> ! {
     std::process::exit(7);
 }
 
+/// One-line diagnostic + exit 8 when a shard failed the coordinator's
+/// startup `capabilities` handshake: the sweep never began, no cell
+/// ran, and no report was written. Distinct from 3 ("the one daemon I
+/// talk to is gone") because a fleet-bringup failure needs a different
+/// operator response than a single-daemon one.
+fn die_shard(err: &SweepError) -> ! {
+    obs::error!(target: "bfsim", "{err}");
+    std::process::exit(8);
+}
+
+/// One-line diagnostic + exit 9 when the sweep **completed** — every
+/// unique cell has exactly one result and the report is on disk — but
+/// at least one shard died mid-sweep and its work was redistributed.
+/// The results are trustworthy; the fleet is not.
+fn die_degraded(msg: &str) -> ! {
+    obs::error!(target: "bfsim", "{msg}");
+    std::process::exit(9);
+}
+
 /// Install the global logger before full CLI parsing, so `die` and every
 /// later record go through it. The `--log-level` flag beats `BFSIM_LOG`;
 /// with neither, errors still print.
@@ -192,6 +231,11 @@ struct Cli {
     retries: u32,
     retry_base_ms: u64,
     retry_seed: u64,
+    shards: Vec<String>,
+    spec: Option<String>,
+    window: Option<usize>,
+    no_steal: bool,
+    max_requeues: u32,
 }
 
 impl Default for Cli {
@@ -223,6 +267,11 @@ impl Default for Cli {
             retries: 4,
             retry_base_ms: 25,
             retry_seed: 0,
+            shards: Vec::new(),
+            spec: None,
+            window: None,
+            no_steal: false,
+            max_requeues: 3,
         }
     }
 }
@@ -293,7 +342,7 @@ fn parse_cli(args: &[String]) -> Cli {
     if cli.command == "--help" || cli.command == "-h" {
         println!(
             "usage: bfsim <simulate|generate|inspect|compare|submit|stats|metrics|health|\
-             shutdown|bench> [flags]; see module docs"
+             shutdown|bench|sweep|coord-status> [flags]; see module docs"
         );
         std::process::exit(0);
     }
@@ -364,6 +413,30 @@ fn parse_cli(args: &[String]) -> Cli {
                 cli.retry_seed = next(&mut it, "--retry-seed")
                     .parse()
                     .unwrap_or_else(|_| die("bad --retry-seed"))
+            }
+            "--shards" => {
+                cli.shards = next(&mut it, "--shards")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect()
+            }
+            "--spec" => cli.spec = Some(next(&mut it, "--spec")),
+            "--window" => {
+                cli.window = Some(
+                    next(&mut it, "--window")
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("bad --window (need an integer >= 1)")),
+                )
+            }
+            "--no-steal" => cli.no_steal = true,
+            "--max-requeues" => {
+                cli.max_requeues = next(&mut it, "--max-requeues")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --max-requeues"))
             }
             // Consumed by init_logging before parsing; skip here.
             "--log-level" => {
@@ -625,11 +698,10 @@ fn service_config(cli: &Cli) -> RunConfig {
     }
 }
 
-/// Build the resilient client from the CLI's deadline/retry flags. The
-/// connection itself is lazy, so this never fails — errors surface (and
-/// get retried) on the first actual request.
-fn connect(cli: &Cli) -> ResilientClient {
-    let opts = ClientOptions {
+/// Deadline/retry options from the CLI flags, shared by every daemon
+/// command and by the sweep coordinator's per-shard clients.
+fn client_options(cli: &Cli) -> ClientOptions {
+    ClientOptions {
         deadline: if cli.timeout_ms == 0 {
             None
         } else {
@@ -641,8 +713,14 @@ fn connect(cli: &Cli) -> ResilientClient {
             seed: cli.retry_seed,
             ..RetryPolicy::default()
         },
-    };
-    ResilientClient::new(&cli.addr, opts)
+    }
+}
+
+/// Build the resilient client from the CLI's deadline/retry flags. The
+/// connection itself is lazy, so this never fails — errors surface (and
+/// get retried) on the first actual request.
+fn connect(cli: &Cli) -> ResilientClient {
+    ResilientClient::new(&cli.addr, client_options(cli))
 }
 
 fn cmd_submit(cli: &Cli) {
@@ -760,90 +838,6 @@ struct BenchReport {
     baseline: Option<Vec<BenchCell>>,
     /// Per-cell current-vs-baseline speedups (empty without `--baseline`).
     comparison: Vec<BenchComparison>,
-}
-
-/// The pinned sweep. Fixed traces, seeds and loads: numbers from two runs
-/// of the same binary are comparable, and numbers from two versions of the
-/// code measure the code, not the workload. `tiny` shrinks it to six cells
-/// for CI smoke testing — an exact *subset* of the full sweep, so a tiny
-/// run can be compared (`--baseline`, `--enforce-parity`) against a full
-/// report and every cell finds its baseline partner.
-fn bench_cells(tiny: bool) -> Vec<RunConfig> {
-    let mut cells = Vec::new();
-    if tiny {
-        let scenario = Scenario::high_load(TraceSource::Ctc {
-            jobs: 3_000,
-            seed: 7,
-        });
-        for kind in [SchedulerKind::Conservative, SchedulerKind::Easy] {
-            for policy in Policy::PAPER {
-                cells.push(RunConfig {
-                    scenario,
-                    kind,
-                    policy,
-                });
-            }
-        }
-        return cells;
-    }
-    for source in [
-        TraceSource::Ctc {
-            jobs: 3_000,
-            seed: 7,
-        },
-        TraceSource::Sdsc {
-            jobs: 3_000,
-            seed: 7,
-        },
-    ] {
-        let scenario = Scenario::high_load(source);
-        for kind in [
-            SchedulerKind::NoBackfill,
-            SchedulerKind::Conservative,
-            SchedulerKind::Easy,
-            SchedulerKind::Depth { depth: 4 },
-            SchedulerKind::Selective { threshold: 2.0 },
-            SchedulerKind::Slack { slack_factor: 0.5 },
-            SchedulerKind::Preemptive { threshold: 5.0 },
-        ] {
-            for policy in Policy::PAPER {
-                cells.push(RunConfig {
-                    scenario,
-                    kind,
-                    policy,
-                });
-            }
-        }
-    }
-    // The hot cells: noisy user estimates under sustained overload back
-    // the queue up to ~1k jobs, and every early completion triggers a
-    // compression pass — the per-event queue-sort + profile work these
-    // reports exist to track.
-    // Pinned to peak ≈ 1.1k queued jobs (probed via `simulate --series`):
-    // sustained 2.2× overload with noisy user estimates keeps conservative
-    // compression passes working a ~1k-deep queue for most of the run.
-    let hot = Scenario {
-        source: TraceSource::Ctc {
-            jobs: 20_000,
-            seed: 7,
-        },
-        estimate: EstimateModel::User(UserModelParams::capped(SimSpan::from_hours(18))),
-        estimate_seed: 7,
-        load: Some(2.2),
-    };
-    for policy in Policy::PAPER {
-        cells.push(RunConfig {
-            scenario: hot,
-            kind: SchedulerKind::Conservative,
-            policy,
-        });
-    }
-    cells.push(RunConfig {
-        scenario: hot,
-        kind: SchedulerKind::Easy,
-        policy: Policy::XFactor,
-    });
-    cells
 }
 
 /// Unique bench label: the config label alone collides across load and
@@ -1081,9 +1075,12 @@ fn cmd_health(cli: &Cli) {
             j.replayed,
             j.appended,
             if j.truncated {
-                ", torn tail truncated at startup"
+                format!(
+                    ", torn tail truncated at startup ({} bytes dropped)",
+                    j.dropped_bytes
+                )
             } else {
-                ""
+                String::new()
             }
         ),
         None => println!("journal: none (cache is in-memory only)"),
@@ -1098,6 +1095,271 @@ fn cmd_shutdown(cli: &Cli) {
         .shutdown()
         .unwrap_or_else(|e| die_client("shutdown", &cli.addr, e));
     println!("bfsimd at {} is draining", cli.addr);
+}
+
+/// One completed cell in a `bfsim sweep` report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepCellOut {
+    /// Unique bench label (config + load + estimate model).
+    label: String,
+    /// The full config, so the cell can be reproduced verbatim.
+    config: RunConfig,
+    /// Canonical content hash — the shard-assignment and dedup key,
+    /// verified equal between coordinator and serving daemon.
+    config_hash: u64,
+    /// Schedule fingerprint; byte-identical to a serial run's.
+    fingerprint: u64,
+    /// True when the shard answered from its result cache.
+    cached: bool,
+    /// Index (into `shards`) of the shard that served it.
+    shard: usize,
+    /// True when the cell ran away from its home shard.
+    stolen: bool,
+    /// Wall milliseconds the serving shard spent on it.
+    wall_ms: u64,
+}
+
+/// One permanently failed cell in a `bfsim sweep` report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepFailedOut {
+    label: String,
+    config: RunConfig,
+    config_hash: u64,
+    error: String,
+}
+
+/// Per-shard accounting in a `bfsim sweep` report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepShardOut {
+    addr: String,
+    workers: u64,
+    window: usize,
+    assigned: usize,
+    completed: u64,
+    stolen: u64,
+    cache_hits: u64,
+    dead: bool,
+    wall_ms_p99: u64,
+}
+
+/// The emitted `SWEEP.json` document. See DESIGN.md §15 for semantics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepReport {
+    version: u32,
+    tool: String,
+    shards: Vec<SweepShardOut>,
+    cells: Vec<SweepCellOut>,
+    failed: Vec<SweepFailedOut>,
+    steals: u64,
+    requeues: u64,
+    duplicates: usize,
+    degraded: bool,
+    /// Field-wise sum of reachable shards' post-sweep service stats.
+    stats: Option<service::ServiceStats>,
+    /// Canonical merged metrics document (same format one daemon emits),
+    /// embedded as a string.
+    metrics: Option<String>,
+}
+
+/// The sweep's cell grid: an explicit `--spec FILE.json` (a serialized
+/// `SweepSpec`) or the pinned tiny bench grid via `--tiny`.
+fn sweep_cells(cli: &Cli) -> Vec<RunConfig> {
+    if let Some(path) = &cli.spec {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die_data(&format!("reading sweep spec {path}: {e}")));
+        let spec: SweepSpec = serde_json::from_str(&text)
+            .unwrap_or_else(|e| die_data(&format!("parsing sweep spec {path}: {e}")));
+        spec.validate()
+            .unwrap_or_else(|e| die_data(&format!("invalid sweep spec {path}: {e}")));
+        spec.expand()
+    } else if cli.tiny {
+        bench_cells(true)
+    } else {
+        die("sweep needs --spec FILE.json or --tiny")
+    }
+}
+
+fn cmd_sweep(cli: &Cli) {
+    if cli.shards.is_empty() {
+        die("sweep needs --shards HOST:PORT[,HOST:PORT...]");
+    }
+    let cells = sweep_cells(cli);
+    let opts = SweepOptions {
+        client: client_options(cli),
+        window: cli.window,
+        steal: !cli.no_steal,
+        max_requeues: cli.max_requeues,
+    };
+    // Re-derive the plan for index → config mapping; planning is a pure
+    // function of (cells, shard count), so this matches the dispatcher.
+    let plan = coord::Plan::new(&cells, cli.shards.len());
+    let outcome = match run_sweep(&cli.shards, &cells, &opts) {
+        Ok(outcome) => outcome,
+        Err(err @ SweepError::ShardUnreachable { .. }) => die_shard(&err),
+        Err(SweepError::NoShards) => die("sweep needs --shards"),
+        Err(SweepError::EmptySweep) => die_data("sweep expanded to zero cells"),
+    };
+
+    let report = SweepReport {
+        version: 1,
+        tool: "bfsim sweep".into(),
+        shards: outcome
+            .shards
+            .iter()
+            .map(|s| SweepShardOut {
+                addr: s.addr.clone(),
+                workers: s.workers,
+                window: s.window,
+                assigned: s.assigned,
+                completed: s.completed,
+                stolen: s.stolen,
+                cache_hits: s.cache_hits,
+                dead: s.dead,
+                wall_ms_p99: s.wall_ms_p99,
+            })
+            .collect(),
+        cells: outcome
+            .cells
+            .iter()
+            .map(|c| SweepCellOut {
+                label: bench_label(&plan.cells[c.index]),
+                config: plan.cells[c.index],
+                config_hash: c.config_hash,
+                fingerprint: c.report.fingerprint,
+                cached: c.cached,
+                shard: c.shard,
+                stolen: c.stolen,
+                wall_ms: c.wall_ms,
+            })
+            .collect(),
+        failed: outcome
+            .failed
+            .iter()
+            .map(|f| SweepFailedOut {
+                label: bench_label(&plan.cells[f.index]),
+                config: plan.cells[f.index],
+                config_hash: f.config_hash,
+                error: f.error.clone(),
+            })
+            .collect(),
+        steals: outcome.steals,
+        requeues: outcome.requeues,
+        duplicates: outcome.duplicates,
+        degraded: outcome.degraded,
+        stats: outcome.stats,
+        metrics: outcome.metrics_json,
+    };
+    let out = cli.out.clone().unwrap_or_else(|| "SWEEP.json".into());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
+
+    for s in &report.shards {
+        println!(
+            "shard {}: {} assigned | {} completed ({} stolen, {} cached) | \
+             window {} | p99 {} ms{}",
+            s.addr,
+            s.assigned,
+            s.completed,
+            s.stolen,
+            s.cache_hits,
+            s.window,
+            s.wall_ms_p99,
+            if s.dead { " | DIED MID-SWEEP" } else { "" }
+        );
+    }
+    println!(
+        "sweep: {}/{} cells ok | {} failed | {} steals | {} requeues | \
+         {} duplicates collapsed -> {out}",
+        report.cells.len(),
+        plan.len(),
+        report.failed.len(),
+        report.steals,
+        report.requeues,
+        report.duplicates
+    );
+
+    // Exit taxonomy: the report is on disk in every branch below.
+    let all_dead = report.shards.iter().all(|s| s.dead);
+    if !report.failed.is_empty() {
+        if all_dead {
+            obs::error!(target: "bfsim",
+                "every shard died mid-sweep; {} cells unresolved", report.failed.len());
+            std::process::exit(3);
+        }
+        obs::error!(target: "bfsim",
+            "{} of {} cells failed permanently (first: {})",
+            report.failed.len(), plan.len(), report.failed[0].error);
+        std::process::exit(5);
+    }
+    if report.degraded {
+        die_degraded(&format!(
+            "sweep completed degraded: all {} cells resolved, but {} shard(s) \
+             died mid-sweep and their work was redistributed",
+            plan.len(),
+            report.shards.iter().filter(|s| s.dead).count()
+        ));
+    }
+}
+
+fn cmd_coord_status(cli: &Cli) {
+    if cli.shards.is_empty() {
+        die("coord-status needs --shards HOST:PORT[,HOST:PORT...]");
+    }
+    let mut reachable = 0usize;
+    for addr in &cli.shards {
+        let mut client = ResilientClient::new(addr.clone(), client_options(cli));
+        let polled = (|| -> Result<_, ClientError> {
+            let caps = client.capabilities()?;
+            let health = client.health()?;
+            let stats = client.stats()?;
+            Ok((caps, health, stats))
+        })();
+        let (caps, health, stats) = match polled {
+            Ok(row) => row,
+            Err(err) => {
+                println!("{addr}: DOWN ({err})");
+                continue;
+            }
+        };
+        reachable += 1;
+        let lookups = stats.cache_hits + stats.cache_misses;
+        let hit_rate = if lookups > 0 {
+            100.0 * stats.cache_hits as f64 / lookups as f64
+        } else {
+            0.0
+        };
+        let state = if caps.draining {
+            "draining"
+        } else if health.ready {
+            "ready"
+        } else {
+            "not ready"
+        };
+        println!(
+            "{addr}: {state} | proto v{} | {} workers | queue {}/{} | \
+             {} in flight | cache {} entries ({hit_rate:.0}% hits) | \
+             {} completed | {} retries-worth requeued",
+            caps.proto,
+            caps.workers,
+            health.queue_depth,
+            health.queue_cap,
+            health.in_flight,
+            health.cache_entries,
+            stats.completed,
+            stats.rejected + stats.shed,
+        );
+        if let Some(j) = &health.journal {
+            println!(
+                "  journal: {} ({} replayed, {} bytes dropped from torn tail)",
+                j.path, j.replayed, j.dropped_bytes
+            );
+        }
+    }
+    if reachable == 0 {
+        obs::error!(target: "bfsim", "no shard reachable");
+        std::process::exit(3);
+    }
+    println!("{reachable}/{} shards reachable", cli.shards.len());
 }
 
 fn main() {
@@ -1115,9 +1377,12 @@ fn main() {
         "health" => cmd_health(&cli),
         "shutdown" => cmd_shutdown(&cli),
         "bench" => cmd_bench(&cli),
+        "sweep" => cmd_sweep(&cli),
+        "coord-status" => cmd_coord_status(&cli),
         other => die(&format!(
             "unknown command {other:?} \
-             (simulate|generate|inspect|compare|submit|stats|metrics|health|shutdown|bench)"
+             (simulate|generate|inspect|compare|submit|stats|metrics|health|shutdown|bench|\
+             sweep|coord-status)"
         )),
     }
 }

@@ -1,0 +1,604 @@
+//! Work-stealing sweep dispatcher.
+//!
+//! One sweep, N shards. Every unique cell starts on its *home* shard's
+//! queue (cache affinity, see [`crate::plan`]); each shard gets a pool
+//! of submitter threads bounded by its in-flight window (defaulting to
+//! the worker count the shard reported in its `capabilities`
+//! handshake). A submitter that drains its own queue steals from the
+//! back of the longest live peer queue, so stragglers shed work to idle
+//! shards instead of gating the sweep.
+//!
+//! # Exactly-once
+//!
+//! A cell is *in flight on at most one shard at a time*: it lives in
+//! exactly one queue until popped, and is only requeued after its
+//! current attempt returned an error. A shard that executed a cell but
+//! died before answering may leave a duplicate server-side run, but the
+//! runs are deterministic (equal canonical config ⇒ equal report) and
+//! the coordinator records each cell's outcome slot once — the first
+//! completed attempt wins, later ones are dropped by the slot guard. So
+//! the merged report contains **exactly one result per unique cell**,
+//! and resubmission after shard death is idempotent.
+//!
+//! # Shard death
+//!
+//! A transport-terminal error (connect refused, timeout, EOF,
+//! `ShuttingDown`) marks the shard dead: its queue drains into a global
+//! injector that every live shard polls, the in-flight cell is
+//! requeued, the sweep is flagged *degraded*, and the dead shard's
+//! submitters exit. With no live shard left, unresolved cells are
+//! reported failed rather than hanging the sweep.
+
+use crate::plan::Plan;
+use backfill_sim::RunConfig;
+use obs::metrics::{Histogram, Registry};
+use service::{Capabilities, ClientError, ClientOptions, ResilientClient, RunReport, ServiceStats};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`run_sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Deadline/retry options for every per-shard client. The retry
+    /// seed is decorrelated per shard and submitter internally.
+    pub client: ClientOptions,
+    /// In-flight submissions per shard. `None` (default) sizes each
+    /// shard's window to the worker count it reports in the
+    /// `capabilities` handshake.
+    pub window: Option<usize>,
+    /// Allow idle shards to steal queued cells from busy ones.
+    pub steal: bool,
+    /// How many times one cell may be requeued for *cell-level*
+    /// retryable failures before it is reported failed. (Requeues
+    /// caused by shard death are not counted: the shard, not the cell,
+    /// was at fault, and each shard dies at most once.)
+    pub max_requeues: u32,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            client: ClientOptions::default(),
+            window: None,
+            steal: true,
+            max_requeues: 3,
+        }
+    }
+}
+
+/// Why a sweep could not start (startup failures; mid-sweep failures
+/// degrade the [`SweepOutcome`] instead).
+#[derive(Debug)]
+pub enum SweepError {
+    /// No shard addresses were given.
+    NoShards,
+    /// The cell list expanded to nothing.
+    EmptySweep,
+    /// A shard failed the startup `capabilities` handshake (or is
+    /// already draining) — the sweep never began.
+    ShardUnreachable {
+        /// The shard's address.
+        addr: String,
+        /// The handshake error.
+        err: ClientError,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::NoShards => write!(f, "no shards given"),
+            SweepError::EmptySweep => write!(f, "sweep expands to zero cells"),
+            SweepError::ShardUnreachable { addr, err } => {
+                write!(f, "shard {addr} failed the capabilities handshake: {err}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// One completed cell.
+#[derive(Debug, Clone)]
+pub struct CellDone {
+    /// Index into the plan's unique cell list.
+    pub index: usize,
+    /// Canonical content hash, as computed by the *daemon* (verified
+    /// against the coordinator's own hash by the dispatcher).
+    pub config_hash: u64,
+    /// Shard that served it.
+    pub shard: usize,
+    /// True when the cell ran away from its home shard (stolen or
+    /// redistributed after a shard death).
+    pub stolen: bool,
+    /// True when the shard answered from its result cache.
+    pub cached: bool,
+    /// Wall milliseconds the serving shard spent on it.
+    pub wall_ms: u64,
+    /// The full simulation report.
+    pub report: RunReport,
+}
+
+/// One permanently failed cell.
+#[derive(Debug, Clone)]
+pub struct FailedCell {
+    /// Index into the plan's unique cell list.
+    pub index: usize,
+    /// The coordinator-computed content hash.
+    pub config_hash: u64,
+    /// Human-readable terminal error.
+    pub error: String,
+}
+
+/// Per-shard accounting for the `coord-status`-style summary.
+#[derive(Debug, Clone)]
+pub struct ShardSummary {
+    /// Shard address.
+    pub addr: String,
+    /// Worker threads the shard advertised at handshake.
+    pub workers: u64,
+    /// In-flight window the coordinator ran against it.
+    pub window: usize,
+    /// Cells homed on this shard by the plan.
+    pub assigned: usize,
+    /// Cells this shard completed.
+    pub completed: u64,
+    /// Completed cells that were homed elsewhere (stolen work).
+    pub stolen: u64,
+    /// Completed cells answered from the shard's result cache.
+    pub cache_hits: u64,
+    /// True when the shard died mid-sweep.
+    pub dead: bool,
+    /// p99 of coordinator-observed per-cell wall time against this
+    /// shard, in milliseconds (straggler detection; 0 when idle).
+    pub wall_ms_p99: u64,
+}
+
+/// Everything [`run_sweep`] produced.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Completed cells in plan order — exactly one per unique cell that
+    /// succeeded.
+    pub cells: Vec<CellDone>,
+    /// Cells that failed permanently (empty on a clean sweep).
+    pub failed: Vec<FailedCell>,
+    /// Per-shard accounting, indexed like the input address list.
+    pub shards: Vec<ShardSummary>,
+    /// Cells executed away from their home shard due to stealing.
+    pub steals: u64,
+    /// Cells put back on the queue after a failed attempt.
+    pub requeues: u64,
+    /// Input cells that deduplicated onto an earlier identical cell.
+    pub duplicates: usize,
+    /// True when at least one shard died mid-sweep (the results are
+    /// still complete unless `failed` is non-empty).
+    pub degraded: bool,
+    /// Field-wise sum of reachable shards' service stats after the
+    /// sweep; `None` when no shard could be polled.
+    pub stats: Option<ServiceStats>,
+    /// Canonical merged metrics document (all reachable shards plus the
+    /// coordinator's own `coord.*` registry); `None` when no shard
+    /// could be polled.
+    pub metrics_json: Option<String>,
+}
+
+struct Shared<'a> {
+    plan: &'a Plan,
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Overflow queue every live shard polls: requeued cells and the
+    /// drained queues of dead shards land here.
+    injector: Mutex<VecDeque<usize>>,
+    live: Vec<AtomicBool>,
+    /// Unresolved unique cells (no recorded outcome yet).
+    remaining: AtomicUsize,
+    outcomes: Mutex<Vec<Option<Result<CellDone, String>>>>,
+    /// Cell-level requeue attempts (shard deaths excluded).
+    attempts: Vec<AtomicU64>,
+    steals: AtomicU64,
+    requeues: AtomicU64,
+    degraded: AtomicBool,
+    /// Coordinator-observed wall time per shard, for straggler p99.
+    shard_wall: Vec<Arc<Histogram>>,
+    registry: Registry,
+}
+
+impl Shared<'_> {
+    /// Record a success; the slot guard makes completion exactly-once.
+    fn record_done(&self, done: CellDone) {
+        let mut outcomes = self.outcomes.lock().unwrap_or_else(|e| e.into_inner());
+        let index = done.index;
+        if outcomes[index].is_some() {
+            obs::debug!(target: "coord",
+                "duplicate completion of cell {index} dropped (shard {})", done.shard);
+            return;
+        }
+        outcomes[index] = Some(Ok(done));
+        self.remaining.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Record a permanent failure (same slot guard).
+    fn record_failed(&self, index: usize, error: String) {
+        let mut outcomes = self.outcomes.lock().unwrap_or_else(|e| e.into_inner());
+        if outcomes[index].is_some() {
+            return;
+        }
+        obs::warn!(target: "coord", "cell {index} failed permanently: {error}");
+        outcomes[index] = Some(Err(error));
+        self.remaining.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn requeue(&self, index: usize) {
+        self.requeues.fetch_add(1, Ordering::Relaxed);
+        self.registry.counter("coord.requeues").inc();
+        self.injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(index);
+    }
+
+    /// Mark `shard` dead (idempotent) and move its queue to the
+    /// injector so live shards pick the work up.
+    fn mark_dead(&self, shard: usize, addr: &str, why: &ClientError) {
+        if !self.live[shard].swap(false, Ordering::SeqCst) {
+            return;
+        }
+        self.degraded.store(true, Ordering::SeqCst);
+        self.registry.counter("coord.shard_deaths").inc();
+        let orphans: Vec<usize> = {
+            let mut queue = self.queues[shard].lock().unwrap_or_else(|e| e.into_inner());
+            queue.drain(..).collect()
+        };
+        obs::warn!(target: "coord",
+            "shard {shard} ({addr}) died mid-sweep ({why}); redistributing {} queued cells",
+            orphans.len());
+        let mut injector = self.injector.lock().unwrap_or_else(|e| e.into_inner());
+        injector.extend(orphans);
+    }
+
+    fn any_live(&self) -> bool {
+        self.live.iter().any(|l| l.load(Ordering::SeqCst))
+    }
+
+    /// Next cell for a submitter of `shard`: own queue first, then the
+    /// injector, then (if allowed) the back of the longest live peer
+    /// queue. The bool marks work executing away from its home shard.
+    fn next_cell(&self, shard: usize, steal: bool) -> Option<(usize, bool)> {
+        if let Some(i) = self.queues[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            // Own-queue work may still be foreign: requeued cells of a
+            // dead home shard flow through the injector. Telling the
+            // two apart needs only the home map.
+            return Some((i, self.plan.home[i] != shard));
+        }
+        if let Some(i) = self
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            return Some((i, self.plan.home[i] != shard));
+        }
+        if !steal {
+            return None;
+        }
+        let victim = (0..self.queues.len())
+            .filter(|&s| s != shard && self.live[s].load(Ordering::SeqCst))
+            .max_by_key(|&s| {
+                self.queues[s]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .len()
+            })?;
+        let stolen = self.queues[victim]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_back();
+        if let Some(i) = stolen {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            self.registry.counter("coord.steals").inc();
+            obs::debug!(target: "coord",
+                "shard {shard} stole cell {i} from shard {victim}");
+            return Some((i, true));
+        }
+        None
+    }
+}
+
+/// The terminal error class of one submit attempt, after the resilient
+/// client's own retry budget ran out.
+enum Verdict {
+    /// The shard itself is gone (or draining): transport-terminal.
+    ShardFatal,
+    /// The cell's attempt failed but the shard lives; worth requeueing.
+    Retry,
+    /// Deterministic failure: requeueing cannot help.
+    Permanent,
+}
+
+fn classify(err: &ClientError) -> Verdict {
+    match err {
+        ClientError::Io(_) | ClientError::Timeout(_) | ClientError::ShuttingDown => {
+            Verdict::ShardFatal
+        }
+        ClientError::Busy | ClientError::CorruptFrame(_) => Verdict::Retry,
+        ClientError::Service { retryable, .. } => {
+            if *retryable {
+                Verdict::Retry
+            } else {
+                Verdict::Permanent
+            }
+        }
+        ClientError::Protocol(_) => Verdict::Permanent,
+        // The resilient client already spent its budget; judge by what
+        // the final attempt died of.
+        ClientError::Exhausted { last, .. } => classify(last),
+    }
+}
+
+/// Decorrelate each submitter's backoff schedule so a fleet of
+/// retrying clients never thunders in lockstep.
+fn submitter_options(base: &ClientOptions, shard: usize, slot: usize) -> ClientOptions {
+    let mut opts = *base;
+    let lane = ((shard as u64) << 16) | (slot as u64 + 1);
+    opts.retry.seed = base
+        .retry
+        .seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane));
+    opts
+}
+
+/// Run `cells` across `shards`, returning exactly one result per unique
+/// cell. See the [module docs](self) for the full protocol.
+pub fn run_sweep(
+    shards: &[String],
+    cells: &[RunConfig],
+    opts: &SweepOptions,
+) -> Result<SweepOutcome, SweepError> {
+    if shards.is_empty() {
+        return Err(SweepError::NoShards);
+    }
+    if cells.is_empty() {
+        return Err(SweepError::EmptySweep);
+    }
+    let plan = Plan::new(cells, shards.len());
+
+    // Startup handshake: every shard must answer `capabilities` (and
+    // not be draining) before any cell is submitted — a fleet typo
+    // fails fast with a distinct exit code instead of degrading.
+    let mut caps: Vec<Capabilities> = Vec::with_capacity(shards.len());
+    for (i, addr) in shards.iter().enumerate() {
+        let mut client = ResilientClient::new(addr.clone(), submitter_options(&opts.client, i, 0));
+        let c = client
+            .capabilities()
+            .map_err(|err| SweepError::ShardUnreachable {
+                addr: addr.clone(),
+                err,
+            })?;
+        if c.draining {
+            return Err(SweepError::ShardUnreachable {
+                addr: addr.clone(),
+                err: ClientError::ShuttingDown,
+            });
+        }
+        if c.proto != service::PROTO_VERSION {
+            obs::warn!(target: "coord",
+                "shard {addr} speaks protocol v{} (coordinator is v{})",
+                c.proto, service::PROTO_VERSION);
+        }
+        caps.push(c);
+    }
+    let windows: Vec<usize> = caps
+        .iter()
+        .map(|c| opts.window.unwrap_or(c.workers.max(1) as usize).max(1))
+        .collect();
+    obs::info!(target: "coord",
+        "sweep: {} unique cells ({} duplicates collapsed) across {} shards, windows {:?}",
+        plan.len(), plan.duplicates(), shards.len(), windows);
+
+    let registry = Registry::new();
+    registry.counter("coord.cells").add(plan.len() as u64);
+    registry
+        .counter("coord.duplicates")
+        .add(plan.duplicates() as u64);
+    let shard_wall: Vec<Arc<Histogram>> = (0..shards.len())
+        .map(|i| registry.histogram(&format!("coord.shard{i}.wall_ms")))
+        .collect();
+    let shared = Shared {
+        plan: &plan,
+        queues: (0..shards.len())
+            .map(|s| Mutex::new(plan.assigned_to(s).into_iter().collect()))
+            .collect(),
+        injector: Mutex::new(VecDeque::new()),
+        live: (0..shards.len()).map(|_| AtomicBool::new(true)).collect(),
+        remaining: AtomicUsize::new(plan.len()),
+        outcomes: Mutex::new(vec![None; plan.len()]),
+        attempts: (0..plan.len()).map(|_| AtomicU64::new(0)).collect(),
+        steals: AtomicU64::new(0),
+        requeues: AtomicU64::new(0),
+        degraded: AtomicBool::new(false),
+        shard_wall,
+        registry,
+    };
+
+    std::thread::scope(|scope| {
+        for (shard, addr) in shards.iter().enumerate() {
+            for slot in 0..windows[shard] {
+                let shared = &shared;
+                let client_opts = submitter_options(&opts.client, shard, slot);
+                let steal = opts.steal;
+                let max_requeues = opts.max_requeues;
+                scope.spawn(move || {
+                    submitter_loop(shared, shard, addr, client_opts, steal, max_requeues)
+                });
+            }
+        }
+    });
+
+    // Cells no shard lived long enough to resolve.
+    {
+        let mut outcomes = shared.outcomes.lock().unwrap_or_else(|e| e.into_inner());
+        for slot in outcomes.iter_mut() {
+            if slot.is_none() {
+                *slot = Some(Err("all shards died before this cell ran".into()));
+            }
+        }
+    }
+
+    let outcomes = shared
+        .outcomes
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    let mut done: Vec<CellDone> = Vec::with_capacity(plan.len());
+    let mut failed: Vec<FailedCell> = Vec::new();
+    for (index, slot) in outcomes.into_iter().enumerate() {
+        match slot.expect("every cell resolved above") {
+            Ok(cell) => done.push(cell),
+            Err(error) => failed.push(FailedCell {
+                index,
+                config_hash: plan.hashes[index],
+                error,
+            }),
+        }
+    }
+
+    let summaries: Vec<ShardSummary> = shards
+        .iter()
+        .enumerate()
+        .map(|(s, addr)| {
+            let completed = done.iter().filter(|c| c.shard == s).count() as u64;
+            ShardSummary {
+                addr: addr.clone(),
+                workers: caps[s].workers,
+                window: windows[s],
+                assigned: plan.assigned_to(s).len(),
+                completed,
+                stolen: done.iter().filter(|c| c.shard == s && c.stolen).count() as u64,
+                cache_hits: done.iter().filter(|c| c.shard == s && c.cached).count() as u64,
+                dead: !shared.live[s].load(Ordering::SeqCst),
+                wall_ms_p99: shared.shard_wall[s]
+                    .snapshot()
+                    .approx_quantile(0.99)
+                    .unwrap_or(0),
+            }
+        })
+        .collect();
+
+    // Post-sweep aggregation: poll every shard that still answers. A
+    // dead shard is skipped — its completed work is already in `done`.
+    let mut shard_stats: Vec<ServiceStats> = Vec::new();
+    let mut shard_metrics: Vec<String> = Vec::new();
+    for (s, addr) in shards.iter().enumerate() {
+        if !shared.live[s].load(Ordering::SeqCst) {
+            continue;
+        }
+        let mut client = ResilientClient::new(addr.clone(), opts.client);
+        match (client.stats(), client.metrics()) {
+            (Ok(st), Ok(m)) => {
+                shard_stats.push(st);
+                shard_metrics.push(m);
+            }
+            (st, m) => {
+                let err = st.err().or(m.err()).expect("one of the polls failed");
+                obs::warn!(target: "coord",
+                    "shard {addr} unreachable for post-sweep aggregation: {err}");
+            }
+        }
+    }
+    let stats = (!shard_stats.is_empty()).then(|| crate::aggregate::aggregate_stats(&shard_stats));
+    let metrics_json = (!shard_metrics.is_empty())
+        .then(|| crate::aggregate::aggregate_metrics(&shard_metrics, &[shared.registry.snapshot()]))
+        .transpose()
+        .unwrap_or_else(|e| {
+            obs::warn!(target: "coord", "metrics aggregation failed: {e}");
+            None
+        });
+
+    Ok(SweepOutcome {
+        cells: done,
+        failed,
+        shards: summaries,
+        steals: shared.steals.load(Ordering::SeqCst),
+        requeues: shared.requeues.load(Ordering::SeqCst),
+        duplicates: plan.duplicates(),
+        degraded: shared.degraded.load(Ordering::SeqCst),
+        stats,
+        metrics_json,
+    })
+}
+
+/// One submitter thread: pops cells, submits them through its own
+/// resilient client, and routes failures per the module-level protocol.
+fn submitter_loop(
+    shared: &Shared<'_>,
+    shard: usize,
+    addr: &str,
+    client_opts: ClientOptions,
+    steal: bool,
+    max_requeues: u32,
+) {
+    let mut client = ResilientClient::new(addr, client_opts);
+    while shared.remaining.load(Ordering::SeqCst) > 0 {
+        if !shared.live[shard].load(Ordering::SeqCst) {
+            return; // our shard died; survivors own the rest
+        }
+        let Some((index, stolen)) = shared.next_cell(shard, steal) else {
+            if !shared.any_live() {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+            continue;
+        };
+        let t0 = Instant::now();
+        match client.submit(&shared.plan.cells[index]) {
+            Ok(reply) => {
+                shared.shard_wall[shard].record(t0.elapsed().as_millis() as u64);
+                if reply.config_hash != shared.plan.hashes[index] {
+                    // The daemon and coordinator disagree on the canonical
+                    // hash: a version skew loud enough to fail the cell.
+                    shared.record_failed(
+                        index,
+                        format!(
+                            "shard {addr} hashed the config as {:#018x}, \
+                             coordinator computed {:#018x} (version skew?)",
+                            reply.config_hash, shared.plan.hashes[index]
+                        ),
+                    );
+                    continue;
+                }
+                shared.record_done(CellDone {
+                    index,
+                    config_hash: reply.config_hash,
+                    shard,
+                    stolen,
+                    cached: reply.cached,
+                    wall_ms: reply.wall_ms,
+                    report: reply.report,
+                });
+            }
+            Err(err) => match classify(&err) {
+                Verdict::ShardFatal => {
+                    shared.mark_dead(shard, addr, &err);
+                    shared.requeue(index);
+                    return;
+                }
+                Verdict::Retry => {
+                    let tries = shared.attempts[index].fetch_add(1, Ordering::SeqCst) + 1;
+                    if tries > max_requeues as u64 {
+                        shared.record_failed(
+                            index,
+                            format!("gave up after {tries} requeues; last error: {err}"),
+                        );
+                    } else {
+                        shared.requeue(index);
+                    }
+                }
+                Verdict::Permanent => shared.record_failed(index, err.to_string()),
+            },
+        }
+    }
+}

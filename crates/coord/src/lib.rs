@@ -1,0 +1,36 @@
+//! Sharded sweep coordinator for the backfilling testbed.
+//!
+//! One `bfsimd` daemon memoizes and parallelizes a sweep on a single
+//! machine; this crate fans a sweep out across *many* daemons ("shards")
+//! and merges the results back into one report — the `bfsim sweep`
+//! subcommand. See DESIGN.md §15 for the protocol and the exactly-once
+//! argument.
+//!
+//! The pipeline:
+//!
+//! * [`plan`] — expand a [`bench::sweep::SweepSpec`] (or any cell list)
+//!   into a deduplicated [`Plan`]: every unique cell, its canonical
+//!   content hash, and its *home shard* (`hash % shards`). Assignment
+//!   is a pure function of the canonical config JSON, so re-running the
+//!   same sweep against the same fleet lands every cell on the shard
+//!   that already memoized it (cache affinity), in every process.
+//! * [`dispatch`] — per-shard worker pools with bounded in-flight
+//!   windows (sized from the daemon's [`service::Capabilities`]
+//!   handshake), work stealing from stragglers onto idle shards, and
+//!   recovery from shard death by redistributing the dead shard's
+//!   queue. Each cell is recorded exactly once, whichever shard answers
+//!   first.
+//! * [`aggregate`] — merge the shared-nothing shards' stats and metrics
+//!   snapshots into one document, via [`obs::merge_snapshots`].
+//!
+//! [`bench::sweep::SweepSpec`]: bench_lib::sweep::SweepSpec
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod dispatch;
+pub mod plan;
+
+pub use aggregate::{aggregate_metrics, aggregate_stats, parse_metrics_doc};
+pub use dispatch::{run_sweep, CellDone, ShardSummary, SweepError, SweepOptions, SweepOutcome};
+pub use plan::Plan;

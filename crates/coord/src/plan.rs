@@ -1,0 +1,129 @@
+//! Deterministic sweep planning: dedup cells, hash them, assign homes.
+//!
+//! A [`Plan`] is a pure function of the input cell list and the shard
+//! count. Two coordinators (or one coordinator twice) planning the same
+//! sweep against the same fleet agree on every cell index, hash, and
+//! home shard — which is what makes resubmission idempotent and the
+//! shard caches affine across runs.
+
+use backfill_sim::RunConfig;
+use std::collections::HashMap;
+
+/// The expanded, deduplicated sweep: what the dispatcher executes.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Unique cells, in first-appearance order of the input list.
+    pub cells: Vec<RunConfig>,
+    /// `cells[i].content_hash()`, precomputed (FNV-1a 64 over the
+    /// canonical config JSON — the daemon derives the identical value
+    /// independently, see the cross-process golden test).
+    pub hashes: Vec<u64>,
+    /// Home shard per cell: `hashes[i] % shards`.
+    pub home: Vec<usize>,
+    /// For each *input* cell, the index of its unique cell — duplicate
+    /// inputs map to the same index, so callers can reconstruct a
+    /// result-per-input view.
+    pub input_map: Vec<usize>,
+    /// Shard count the homes were computed for.
+    pub shards: usize,
+}
+
+impl Plan {
+    /// Plan `cells` across `shards` endpoints.
+    ///
+    /// Duplicates are collapsed by **canonical JSON**, not by the hash,
+    /// so even a (cosmically unlikely) FNV collision cannot conflate
+    /// two distinct configs; the hash is only the shard-assignment and
+    /// dedup *label*.
+    ///
+    /// # Panics
+    /// If `shards == 0`.
+    pub fn new(cells: &[RunConfig], shards: usize) -> Plan {
+        assert!(shards > 0, "a sweep needs at least one shard");
+        let mut unique: Vec<RunConfig> = Vec::new();
+        let mut hashes: Vec<u64> = Vec::new();
+        let mut input_map: Vec<usize> = Vec::with_capacity(cells.len());
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        for cell in cells {
+            let canonical = cell.canonical_json();
+            let index = *seen.entry(canonical).or_insert_with(|| {
+                unique.push(*cell);
+                hashes.push(cell.content_hash());
+                unique.len() - 1
+            });
+            input_map.push(index);
+        }
+        let home = hashes
+            .iter()
+            .map(|&h| (h % shards as u64) as usize)
+            .collect();
+        Plan {
+            cells: unique,
+            hashes,
+            home,
+            input_map,
+            shards,
+        }
+    }
+
+    /// Unique cells to execute.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when there is nothing to execute.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Input cells that collapsed onto an earlier identical cell.
+    pub fn duplicates(&self) -> usize {
+        self.input_map.len() - self.cells.len()
+    }
+
+    /// Cells homed on `shard`, in plan order.
+    pub fn assigned_to(&self, shard: usize) -> Vec<usize> {
+        (0..self.cells.len())
+            .filter(|&i| self.home[i] == shard)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bench_lib::sweep::tiny_spec;
+
+    #[test]
+    fn dedup_collapses_identical_cells_and_keeps_order() {
+        let mut cells = tiny_spec().expand();
+        let first = cells[0];
+        cells.push(first); // duplicate of cell 0
+        let plan = Plan::new(&cells, 2);
+        assert_eq!(plan.len(), 6);
+        assert_eq!(plan.duplicates(), 1);
+        assert_eq!(plan.input_map[6], 0, "duplicate maps to the original");
+        assert_eq!(plan.cells[0], first);
+    }
+
+    #[test]
+    fn homes_are_hash_mod_shards_and_cover_every_cell() {
+        let plan = Plan::new(&tiny_spec().expand(), 3);
+        for i in 0..plan.len() {
+            assert_eq!(plan.home[i], (plan.hashes[i] % 3) as usize);
+            assert_eq!(plan.hashes[i], plan.cells[i].content_hash());
+        }
+        let total: usize = (0..3).map(|s| plan.assigned_to(s).len()).sum();
+        assert_eq!(total, plan.len());
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let cells = tiny_spec().expand();
+        let a = Plan::new(&cells, 4);
+        let b = Plan::new(&cells, 4);
+        assert_eq!(a.hashes, b.hashes);
+        assert_eq!(a.home, b.home);
+        assert_eq!(a.input_map, b.input_map);
+    }
+}

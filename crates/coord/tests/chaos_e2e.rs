@@ -1,0 +1,133 @@
+//! Shard-death chaos: one shard drops every connection mid-submit, the
+//! coordinator must finish the sweep degraded on the survivor with
+//! exactly one result per cell and fingerprints still byte-identical to
+//! the sequential reference. Also: a shard that is gone before the
+//! sweep starts fails the startup handshake with `ShardUnreachable`.
+
+use backfill_sim::{run_all, SchedulerKind};
+use bench_lib::sweep::{SweepSpec, TraceModel};
+use coord::{run_sweep, Plan, SweepError, SweepOptions};
+use sched::Policy;
+use service::{Client, ClientOptions, FaultPlan, RetryPolicy, Server, ServiceConfig};
+use std::time::Duration;
+use workload::EstimateModel;
+
+fn small_spec() -> SweepSpec {
+    SweepSpec {
+        models: vec![TraceModel::Ctc, TraceModel::Sdsc],
+        jobs: 120,
+        seeds: vec![7, 8],
+        estimates: vec![EstimateModel::Exact],
+        estimate_seeds: vec![1],
+        loads: vec![Some(0.9)],
+        kinds: vec![SchedulerKind::Easy, SchedulerKind::Conservative],
+        policies: Policy::PAPER.to_vec(),
+    }
+}
+
+#[test]
+fn sweep_survives_a_shard_that_dies_mid_sweep() {
+    let good = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("good shard");
+    // The evil shard answers the handshake (capabilities never claims a
+    // fault index) but drops the connection on every submit — the
+    // transport signature of a daemon dying mid-request.
+    let evil = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig {
+            fault_plan: Some(FaultPlan::parse("drop@0..100000").expect("plan parses")),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("evil shard");
+    let shards = [good.addr().to_string(), evil.addr().to_string()];
+    let cells = small_spec().expand();
+    let plan = Plan::new(&cells, shards.len());
+    assert!(
+        !plan.assigned_to(1).is_empty(),
+        "precondition: the dying shard must be homed some work"
+    );
+
+    // No transport retries: the first dropped connection marks the
+    // shard dead and requeues its work onto the survivor.
+    let opts = SweepOptions {
+        client: ClientOptions {
+            retry: RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+            ..ClientOptions::default()
+        },
+        ..SweepOptions::default()
+    };
+    let outcome = run_sweep(&shards, &cells, &opts).expect("sweep completes degraded");
+
+    assert!(outcome.degraded, "losing a shard must flag the sweep");
+    assert!(
+        outcome.failed.is_empty(),
+        "every cell must still resolve: {:?}",
+        outcome.failed
+    );
+    assert!(outcome.requeues >= 1, "death must requeue in-flight work");
+    assert!(outcome.shards[1].dead, "the evil shard was marked dead");
+    assert!(!outcome.shards[0].dead);
+
+    // Exactly one result per cell, all served by the survivor.
+    let mut indices: Vec<usize> = outcome.cells.iter().map(|c| c.index).collect();
+    indices.sort_unstable();
+    assert_eq!(indices, (0..cells.len()).collect::<Vec<_>>());
+    for done in &outcome.cells {
+        assert_eq!(done.shard, 0, "only the survivor can have answered");
+    }
+
+    // Degraded, not different: fingerprints match the serial run.
+    let serial = run_all(&cells, None);
+    for done in &outcome.cells {
+        assert_eq!(
+            done.report.fingerprint,
+            serial[done.index].schedule.fingerprint(),
+            "cell {} diverged after failover",
+            done.index
+        );
+    }
+
+    Client::connect(good.addr())
+        .and_then(|mut c| c.shutdown())
+        .expect("shutdown good");
+    Client::connect(evil.addr())
+        .and_then(|mut c| c.shutdown())
+        .expect("shutdown evil");
+    good.join();
+    evil.join();
+}
+
+#[test]
+fn unreachable_shard_fails_the_startup_handshake() {
+    let good = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("good shard");
+    // Bind-then-drop reserves an address nobody is listening on.
+    let vacant = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr").to_string()
+    };
+    let shards = [good.addr().to_string(), vacant.clone()];
+    let cells = small_spec().expand();
+
+    let opts = SweepOptions {
+        client: ClientOptions {
+            deadline: Some(Duration::from_millis(500)),
+            retry: RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+        },
+        ..SweepOptions::default()
+    };
+    match run_sweep(&shards, &cells, &opts) {
+        Err(SweepError::ShardUnreachable { addr, .. }) => assert_eq!(addr, vacant),
+        other => panic!("expected ShardUnreachable, got {other:?}"),
+    }
+
+    Client::connect(good.addr())
+        .and_then(|mut c| c.shutdown())
+        .expect("shutdown good");
+    good.join();
+}

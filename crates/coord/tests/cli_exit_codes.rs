@@ -1,0 +1,188 @@
+//! Exit-code taxonomy regressions for `bfsim sweep`: 8 = a shard was
+//! unreachable at startup (nothing ran), 9 = the sweep completed but
+//! degraded (a shard died mid-sweep, its work was redistributed), and 0
+//! for a clean fleet. Drives the real binary the way CI does, against
+//! in-process daemons.
+
+use backfill_sim::SchedulerKind;
+use bench_lib::sweep::{SweepSpec, TraceModel};
+use sched::Policy;
+use service::{Client, FaultPlan, Server, ServiceConfig};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use workload::EstimateModel;
+
+fn bfsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bfsim"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bfsim-sweep-exit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// 12 fast cells (2 seeds × 2 kinds × 3 policies) on small traces.
+fn spec_file(name: &str) -> PathBuf {
+    let spec = SweepSpec {
+        models: vec![TraceModel::Ctc],
+        jobs: 80,
+        seeds: vec![7, 8],
+        estimates: vec![EstimateModel::Exact],
+        estimate_seeds: vec![1],
+        loads: vec![Some(0.9)],
+        kinds: vec![SchedulerKind::Easy, SchedulerKind::Conservative],
+        policies: Policy::PAPER.to_vec(),
+    };
+    let path = tmp(name);
+    std::fs::write(
+        &path,
+        serde_json::to_string(&spec).expect("spec serializes"),
+    )
+    .expect("write spec");
+    path
+}
+
+fn parse_report(path: &PathBuf) -> serde::Value {
+    serde_json::from_str(&std::fs::read_to_string(path).expect("report written"))
+        .expect("report parses")
+}
+
+fn cells_in(report: &serde::Value) -> usize {
+    report
+        .field("cells")
+        .and_then(|c| c.as_array())
+        .expect("cells")
+        .len()
+}
+
+fn shutdown(handle: service::ServerHandle) {
+    Client::connect(handle.addr())
+        .and_then(|mut c| c.shutdown())
+        .expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn unreachable_shard_at_startup_exits_8() {
+    let good = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("good shard");
+    let vacant = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr").to_string()
+    };
+    let spec = spec_file("unreachable-spec.json");
+    let out_path = tmp("unreachable-sweep.json");
+
+    let out = bfsim()
+        .args([
+            "sweep",
+            "--shards",
+            &format!("{},{vacant}", good.addr()),
+            "--spec",
+            spec.to_str().unwrap(),
+            "--retries",
+            "0",
+            "--timeout-ms",
+            "500",
+            "-o",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn bfsim");
+    assert_eq!(out.status.code(), Some(8), "stderr: {}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains(&vacant),
+        "the diagnostic must name the dead shard: {}",
+        stderr_of(&out)
+    );
+    assert!(
+        !out_path.exists(),
+        "a sweep that never started must not write a report"
+    );
+
+    shutdown(good);
+}
+
+#[test]
+fn shard_death_mid_sweep_exits_9_with_a_complete_report() {
+    let good = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("good shard");
+    let evil = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig {
+            fault_plan: Some(FaultPlan::parse("drop@0..100000").expect("plan parses")),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("evil shard");
+    let spec = spec_file("degraded-spec.json");
+    let out_path = tmp("degraded-sweep.json");
+
+    let out = bfsim()
+        .args([
+            "sweep",
+            "--shards",
+            &format!("{},{}", good.addr(), evil.addr()),
+            "--spec",
+            spec.to_str().unwrap(),
+            "--retries",
+            "0",
+            "-o",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn bfsim");
+    assert_eq!(out.status.code(), Some(9), "stderr: {}", stderr_of(&out));
+
+    // Degraded is not incomplete: the report is on disk with one result
+    // for every cell in the spec.
+    let report = parse_report(&out_path);
+    assert_eq!(
+        report.field("degraded").expect("degraded"),
+        &serde::Value::Bool(true)
+    );
+    assert_eq!(cells_in(&report), 12);
+    assert!(report
+        .field("failed")
+        .and_then(|f| f.as_array())
+        .expect("failed")
+        .is_empty());
+
+    shutdown(good);
+    shutdown(evil);
+}
+
+#[test]
+fn healthy_fleet_exits_0() {
+    let a = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("shard a");
+    let b = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("shard b");
+    let spec = spec_file("healthy-spec.json");
+    let out_path = tmp("healthy-sweep.json");
+
+    let out = bfsim()
+        .args([
+            "sweep",
+            "--shards",
+            &format!("{},{}", a.addr(), b.addr()),
+            "--spec",
+            spec.to_str().unwrap(),
+            "-o",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn bfsim");
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+
+    let report = parse_report(&out_path);
+    assert_eq!(
+        report.field("degraded").expect("degraded"),
+        &serde::Value::Bool(false)
+    );
+    assert_eq!(cells_in(&report), 12);
+
+    shutdown(a);
+    shutdown(b);
+}

@@ -1,0 +1,92 @@
+//! Golden test: the canonical-config hash is a stable wire artifact.
+//!
+//! Shard assignment (`hash % shards`), cache affinity, and coordinator
+//! dedup all assume that every process — today's and next release's —
+//! hashes the same cell to the same 64-bit value. Pinning the tiny
+//! grid's hashes as literals turns any silent change to
+//! `canonical_json()` or the FNV constants into a loud test failure.
+//! If this test breaks, bump the cache journal/protocol version and
+//! re-pin deliberately: old journals and shard maps will not line up.
+
+use backfill_sim::{RunConfig, Scenario, SchedulerKind, TraceSource};
+use bench_lib::sweep::tiny_spec;
+use sched::Policy;
+use service::{Client, Server, ServiceConfig};
+use workload::EstimateModel;
+
+/// The tiny bench grid's hashes, in expansion order, as of protocol v2.
+const TINY_GRID_HASHES: [u64; 6] = [
+    0xfb5c_85da_109c_7eff, // Conservative / Fcfs
+    0x9fd2_add6_5791_f062, // Conservative / Sjf
+    0x15ca_1aea_eabb_d048, // Conservative / XFactor
+    0xe8fd_5baa_1922_2dca, // Easy / Fcfs
+    0xfe74_1358_77de_a299, // Easy / Sjf
+    0x6cb3_b780_c915_ad13, // Easy / XFactor
+];
+
+#[test]
+fn tiny_grid_hashes_are_pinned() {
+    let cells = tiny_spec().expand();
+    let hashes: Vec<u64> = cells.iter().map(|c| c.content_hash()).collect();
+    assert_eq!(
+        hashes,
+        TINY_GRID_HASHES.to_vec(),
+        "canonical-config hash changed — shard maps and cache journals \
+         from older builds will no longer line up"
+    );
+    // The serialization under the hash is pinned too: key order, float
+    // formatting, and enum spelling are all load-bearing.
+    assert_eq!(
+        cells[0].canonical_json(),
+        "{\"kind\":\"Conservative\",\"policy\":\"Fcfs\",\
+         \"scenario\":{\"estimate\":\"Exact\",\"estimate_seed\":1,\
+         \"load\":0.9,\"source\":{\"Ctc\":{\"jobs\":3000,\"seed\":7}}}}"
+    );
+}
+
+#[test]
+fn two_daemons_hash_the_same_cells_identically() {
+    let a = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("daemon a");
+    let b = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("daemon b");
+    let mut ca = Client::connect(a.addr()).expect("connect a");
+    let mut cb = Client::connect(b.addr()).expect("connect b");
+
+    // Small cells so the cross-process check stays fast; the pinned
+    // literals above cover the bench grid itself.
+    let cells: Vec<RunConfig> = [Policy::Fcfs, Policy::Sjf, Policy::XFactor]
+        .into_iter()
+        .map(|policy| RunConfig {
+            scenario: Scenario {
+                source: TraceSource::Ctc { jobs: 100, seed: 7 },
+                estimate: EstimateModel::Exact,
+                estimate_seed: 1,
+                load: Some(0.9),
+            },
+            kind: SchedulerKind::Easy,
+            policy,
+        })
+        .collect();
+
+    for cell in &cells {
+        let ra = ca.submit(cell).expect("submit a");
+        let rb = cb.submit(cell).expect("submit b");
+        let local = cell.content_hash();
+        assert_eq!(
+            ra.config_hash, local,
+            "daemon a disagrees with the local hash"
+        );
+        assert_eq!(
+            rb.config_hash, local,
+            "daemon b disagrees with the local hash"
+        );
+        assert_eq!(
+            ra.report.fingerprint, rb.report.fingerprint,
+            "same hash, same schedule — anything else breaks dedup"
+        );
+    }
+
+    ca.shutdown().expect("shutdown a");
+    cb.shutdown().expect("shutdown b");
+    a.join();
+    b.join();
+}

@@ -1,0 +1,87 @@
+//! The planner at sweep scale: a 100k+-cell spec expands, dedups, and
+//! shards deterministically with a balanced assignment — pure planning,
+//! no daemon involved (the issue's scale requirement for the planner
+//! path; the full submit path is covered by the e2e tests on a small
+//! grid).
+
+use bench_lib::sweep::{SweepSpec, TraceModel};
+use coord::Plan;
+use sched::Policy;
+use workload::EstimateModel;
+
+/// 2 × 60 × 2 × 4 × 5 × 7 × 3 = 100_800 cells.
+fn big_spec() -> SweepSpec {
+    SweepSpec {
+        models: vec![TraceModel::Ctc, TraceModel::Sdsc],
+        jobs: 3_000,
+        seeds: (1..=60).collect(),
+        estimates: vec![EstimateModel::Exact, EstimateModel::systematic(3.0)],
+        estimate_seeds: vec![1, 2, 3, 4],
+        loads: vec![Some(0.5), Some(0.7), Some(0.9), Some(1.1), None],
+        kinds: vec![
+            backfill_sim::SchedulerKind::NoBackfill,
+            backfill_sim::SchedulerKind::Conservative,
+            backfill_sim::SchedulerKind::Easy,
+            backfill_sim::SchedulerKind::Depth { depth: 4 },
+            backfill_sim::SchedulerKind::Selective { threshold: 2.0 },
+            backfill_sim::SchedulerKind::Slack { slack_factor: 0.5 },
+            backfill_sim::SchedulerKind::Preemptive { threshold: 5.0 },
+        ],
+        policies: Policy::PAPER.to_vec(),
+    }
+}
+
+#[test]
+fn hundred_thousand_cells_plan_deterministically_and_balance() {
+    let spec = big_spec();
+    assert_eq!(spec.cell_count(), 100_800);
+    let cells = spec.expand();
+    assert_eq!(cells.len(), 100_800);
+
+    let plan = Plan::new(&cells, 4);
+    assert_eq!(plan.len(), 100_800, "the grid has no duplicate cells");
+    assert_eq!(plan.duplicates(), 0);
+
+    // Deterministic: a second planning of the same expansion agrees on
+    // every hash and home.
+    let again = Plan::new(&spec.expand(), 4);
+    assert_eq!(plan.hashes, again.hashes);
+    assert_eq!(plan.home, again.home);
+
+    // Hash-mod assignment balances within ±20% of the ideal quarter.
+    let ideal = cells.len() / 4;
+    for shard in 0..4 {
+        let assigned = plan.assigned_to(shard).len();
+        assert!(
+            (assigned as f64 - ideal as f64).abs() < ideal as f64 * 0.2,
+            "shard {shard} got {assigned} of {} cells (ideal {ideal})",
+            cells.len()
+        );
+    }
+
+    // Homes are a pure function of the hash, so re-planning for a
+    // different fleet size moves cells but never re-hashes them.
+    let seven = Plan::new(&cells, 7);
+    assert_eq!(seven.hashes, plan.hashes);
+    for i in 0..seven.len() {
+        assert_eq!(seven.home[i], (seven.hashes[i] % 7) as usize);
+    }
+}
+
+#[test]
+fn duplicate_heavy_input_collapses_before_dispatch() {
+    let cells = bench_lib::sweep::tiny_spec().expand();
+    // Repeat the whole grid three times: 18 inputs, 6 unique.
+    let tripled: Vec<_> = cells
+        .iter()
+        .chain(cells.iter())
+        .chain(cells.iter())
+        .copied()
+        .collect();
+    let plan = Plan::new(&tripled, 2);
+    assert_eq!(plan.len(), 6);
+    assert_eq!(plan.duplicates(), 12);
+    for (input, &unique) in plan.input_map.iter().enumerate() {
+        assert_eq!(tripled[input], plan.cells[unique]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Sharded sweep end-to-end over real TCP: two in-process daemons, one
+//! coordinator. Per-cell fingerprints must be byte-identical to a
+//! sequential `run_all` of the same cells, every cell resolves exactly
+//! once, a second pass is answered entirely from the shards' caches
+//! (cache affinity through hash-home assignment), and an idle shard
+//! steals from a deliberately slowed straggler.
+
+use backfill_sim::{run_all, SchedulerKind};
+use bench_lib::sweep::{SweepSpec, TraceModel};
+use coord::{run_sweep, Plan, SweepOptions};
+use sched::Policy;
+use service::{Client, FaultPlan, Server, ServiceConfig};
+use workload::EstimateModel;
+
+/// 2 models × 2 seeds × 2 kinds × 3 policies = 24 small, fast cells.
+fn small_spec() -> SweepSpec {
+    SweepSpec {
+        models: vec![TraceModel::Ctc, TraceModel::Sdsc],
+        jobs: 120,
+        seeds: vec![7, 8],
+        estimates: vec![EstimateModel::Exact],
+        estimate_seeds: vec![1],
+        loads: vec![Some(0.9)],
+        kinds: vec![SchedulerKind::Easy, SchedulerKind::Conservative],
+        policies: Policy::PAPER.to_vec(),
+    }
+}
+
+fn shutdown(addr: std::net::SocketAddr) {
+    Client::connect(addr)
+        .and_then(|mut c| c.shutdown())
+        .expect("shutdown");
+}
+
+fn assert_exactly_once(cells: &[coord::CellDone], expected: usize) {
+    let mut indices: Vec<usize> = cells.iter().map(|c| c.index).collect();
+    indices.sort_unstable();
+    assert_eq!(
+        indices,
+        (0..expected).collect::<Vec<_>>(),
+        "every unique cell must be resolved exactly once"
+    );
+}
+
+#[test]
+fn sharded_sweep_matches_sequential_run_all_and_reuses_shard_caches() {
+    let a = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("shard a");
+    let b = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("shard b");
+    let shards = [a.addr().to_string(), b.addr().to_string()];
+    let cells = small_spec().expand();
+    let plan = Plan::new(&cells, shards.len());
+
+    // Stealing off so placement is exactly the plan's home map — that
+    // is what makes the second pass provably cache-affine.
+    let opts = SweepOptions {
+        steal: false,
+        ..SweepOptions::default()
+    };
+    let outcome = run_sweep(&shards, &cells, &opts).expect("sweep runs");
+    assert!(outcome.failed.is_empty(), "failed: {:?}", outcome.failed);
+    assert!(!outcome.degraded);
+    assert_exactly_once(&outcome.cells, cells.len());
+
+    // Byte-identical per-cell fingerprints vs the serial reference.
+    let serial = run_all(&cells, None);
+    for done in &outcome.cells {
+        assert_eq!(
+            done.report.fingerprint,
+            serial[done.index].schedule.fingerprint(),
+            "cell {} diverged from the sequential run",
+            done.index
+        );
+        assert_eq!(done.config_hash, plan.hashes[done.index]);
+        assert_eq!(done.shard, plan.home[done.index], "no-steal placement");
+        assert!(!done.cached, "first pass must simulate");
+    }
+    for summary in &outcome.shards {
+        assert!(
+            summary.completed > 0,
+            "both shards must share the work: {summary:?}"
+        );
+        assert!(!summary.dead);
+    }
+
+    // Aggregation merged both shards' state.
+    let stats = outcome.stats.as_ref().expect("stats aggregated");
+    assert_eq!(stats.completed, cells.len() as u64);
+    assert_eq!(stats.cache_misses, cells.len() as u64);
+    let metrics = outcome.metrics_json.as_ref().expect("metrics aggregated");
+    assert!(metrics.contains("\"coord.cells\":24"), "{metrics}");
+    assert!(metrics.contains("service.submitted"), "{metrics}");
+
+    // Second pass: same plan, same homes — every cell is a cache hit on
+    // the shard that already memoized it.
+    let again = run_sweep(&shards, &cells, &opts).expect("second sweep runs");
+    assert_exactly_once(&again.cells, cells.len());
+    for done in &again.cells {
+        assert!(
+            done.cached,
+            "cell {} missed the cache on its home shard",
+            done.index
+        );
+        assert_eq!(
+            done.report.fingerprint,
+            serial[done.index].schedule.fingerprint(),
+            "cached replay must be byte-identical"
+        );
+    }
+
+    shutdown(a.addr());
+    shutdown(b.addr());
+    a.join();
+    b.join();
+}
+
+#[test]
+fn idle_shard_steals_from_a_straggler() {
+    // Shard B serves every submit 150 ms late; shard A is healthy. With
+    // a window of 2, B's home queue stays deep while A drains and goes
+    // idle — A must steal the tail of B's queue.
+    let a = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("fast shard");
+    let b = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig {
+            fault_plan: Some(FaultPlan::parse("delay@0..100000=150ms").expect("plan parses")),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("slow shard");
+    let shards = [a.addr().to_string(), b.addr().to_string()];
+    let cells = small_spec().expand();
+    let plan = Plan::new(&cells, shards.len());
+    let slow_home = plan.assigned_to(1).len();
+    assert!(
+        slow_home > 3,
+        "precondition: the straggler must be homed enough work to steal \
+         (got {slow_home} of {} cells)",
+        cells.len()
+    );
+
+    let opts = SweepOptions {
+        window: Some(2),
+        steal: true,
+        ..SweepOptions::default()
+    };
+    let outcome = run_sweep(&shards, &cells, &opts).expect("sweep runs");
+    assert!(outcome.failed.is_empty(), "failed: {:?}", outcome.failed);
+    assert!(!outcome.degraded, "a slow shard is not a dead shard");
+    assert_exactly_once(&outcome.cells, cells.len());
+    assert!(
+        outcome.steals > 0,
+        "the idle shard never stole from the straggler: {:?}",
+        outcome.shards
+    );
+
+    // Stolen or not, every fingerprint still matches the serial run.
+    let serial = run_all(&cells, None);
+    for done in &outcome.cells {
+        assert_eq!(
+            done.report.fingerprint,
+            serial[done.index].schedule.fingerprint()
+        );
+    }
+
+    shutdown(a.addr());
+    shutdown(b.addr());
+    a.join();
+    b.join();
+}

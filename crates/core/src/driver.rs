@@ -56,7 +56,7 @@ pub enum SchedulerKind {
     },
     /// Slack-based backfilling: every job is promised its earliest anchor
     /// plus `slack_factor × estimate`; the window in between is open for
-    /// backfilling (Talby & Feitelson, the paper's reference [13]).
+    /// backfilling (Talby & Feitelson, the paper's reference \[13\]).
     Slack {
         /// Multiple of the estimate used as the promise slack.
         slack_factor: f64,
@@ -70,7 +70,7 @@ pub enum SchedulerKind {
     },
     /// EASY with selective preemption: once the queue head's expansion
     /// factor crosses the threshold, running jobs may be suspended to make
-    /// room (the authors' companion strategy, their reference [6]).
+    /// room (the authors' companion strategy, their reference \[6\]).
     Preemptive {
         /// Expansion-factor threshold that triggers a preemption episode.
         threshold: f64,

@@ -8,7 +8,7 @@
 //! * [`quantile`] — exact quantiles;
 //! * [`histogram`] — log-binned histograms;
 //! * [`capacity`] — loss-of-capacity breakdown (idle-while-waiting);
-//! * [`fairness`] — Gini / max-stretch / overtake-rate fairness measures;
+//! * [`mod@fairness`] — Gini / max-stretch / overtake-rate fairness measures;
 //! * [`timeseries`] — binned utilization and queue-depth series;
 //! * [`viz`] — sparkline and ASCII-Gantt renderers;
 //! * [`report`] — aligned text tables and CSV for the repro harness.

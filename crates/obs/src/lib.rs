@@ -15,7 +15,7 @@
 //!   atomic hot-path increments, registered in a process-global (or
 //!   per-component) [`metrics::Registry`] and snapshot-able as one
 //!   canonical-JSON document (sorted keys, integers only).
-//! * [`trace`] — a bounded ring buffer of typed scheduler decisions
+//! * [`mod@trace`] — a bounded ring buffer of typed scheduler decisions
 //!   (`Arrive`, `Reserve`, `Backfill`, `Start`, `Complete`, `Compress`,
 //!   `Preempt`) tagged with job id and paper category, flushable to
 //!   JSONL and re-parseable for offline analysis.
@@ -34,5 +34,8 @@ pub mod trace;
 pub(crate) mod json;
 
 pub use log::Level;
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{
+    merge_snapshots, render_snapshot, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+    SnapshotValue,
+};
 pub use trace::{Recorder, SharedRecorder, TraceCategory, TraceEvent, TraceKind};

@@ -2,8 +2,8 @@
 //!
 //! Records carry a [`Level`], a target (defaulting to the emitting
 //! module's path), and a formatted message. A process-global logger is
-//! installed once via [`init`] / [`init_from_env`]; the [`error!`],
-//! [`warn!`], [`info!`], [`debug!`], and [`trace!`] macros check a single
+//! installed once via [`init`] / [`init_from_env`]; the `error!`,
+//! `warn!`, `info!`, `debug!`, and `trace!` macros check a single
 //! relaxed atomic load before formatting anything, so disabled levels are
 //! near-free on the hot path and pool workers can log without
 //! coordination beyond the sink mutex.

@@ -305,67 +305,122 @@ impl Registry {
     /// Render the canonical JSON document described at the
     /// [module level](self).
     pub fn snapshot_json(&self) -> String {
-        let snap = self.snapshot();
-        let mut counters = String::new();
-        let mut gauges = String::new();
-        let mut histograms = String::new();
-        for (name, value) in &snap {
-            match value {
-                SnapshotValue::Counter(v) => {
-                    if !counters.is_empty() {
-                        counters.push(',');
-                    }
-                    push_str_literal(&mut counters, name);
-                    counters.push(':');
-                    counters.push_str(&v.to_string());
+        render_snapshot(&self.snapshot())
+    }
+}
+
+/// Render a snapshot as the canonical JSON document described at the
+/// [module level](self). [`Registry::snapshot_json`] delegates here;
+/// the sweep coordinator uses it directly to render a
+/// [`merge_snapshots`]-aggregated snapshot in the same format the
+/// daemons emit.
+///
+/// Names must be unique and sorted (both hold for [`Registry::snapshot`]
+/// and [`merge_snapshots`] output) for the result to be canonical.
+pub fn render_snapshot(snap: &[(String, SnapshotValue)]) -> String {
+    let mut counters = String::new();
+    let mut gauges = String::new();
+    let mut histograms = String::new();
+    for (name, value) in snap {
+        match value {
+            SnapshotValue::Counter(v) => {
+                if !counters.is_empty() {
+                    counters.push(',');
                 }
-                SnapshotValue::Gauge(v) => {
-                    if !gauges.is_empty() {
-                        gauges.push(',');
-                    }
-                    push_str_literal(&mut gauges, name);
-                    gauges.push(':');
-                    gauges.push_str(&v.to_string());
+                push_str_literal(&mut counters, name);
+                counters.push(':');
+                counters.push_str(&v.to_string());
+            }
+            SnapshotValue::Gauge(v) => {
+                if !gauges.is_empty() {
+                    gauges.push(',');
                 }
-                SnapshotValue::Histogram(h) => {
-                    if !histograms.is_empty() {
+                push_str_literal(&mut gauges, name);
+                gauges.push(':');
+                gauges.push_str(&v.to_string());
+            }
+            SnapshotValue::Histogram(h) => {
+                if !histograms.is_empty() {
+                    histograms.push(',');
+                }
+                push_str_literal(&mut histograms, name);
+                histograms.push_str(":{\"buckets\":[");
+                let mut first = true;
+                for (i, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    if !first {
                         histograms.push(',');
                     }
-                    push_str_literal(&mut histograms, name);
-                    histograms.push_str(":{\"buckets\":[");
-                    let mut first = true;
-                    for (i, &n) in h.buckets.iter().enumerate() {
-                        if n == 0 {
-                            continue;
+                    first = false;
+                    histograms.push('[');
+                    histograms.push_str(&Histogram::bucket_upper_bound(i).to_string());
+                    histograms.push(',');
+                    histograms.push_str(&n.to_string());
+                    histograms.push(']');
+                }
+                histograms.push_str("],\"count\":");
+                histograms.push_str(&h.count.to_string());
+                for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                    histograms.push_str(",\"");
+                    histograms.push_str(label);
+                    histograms.push_str("\":");
+                    histograms.push_str(&h.approx_quantile(q).unwrap_or(0).to_string());
+                }
+                histograms.push_str(",\"sum\":");
+                histograms.push_str(&h.sum.to_string());
+                histograms.push('}');
+            }
+        }
+    }
+    format!(
+        "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}"
+    )
+}
+
+/// Merge per-shard snapshots into one aggregate, keyed by metric name.
+///
+/// Counters and gauges add; histograms add `count`, `sum`, and buckets
+/// element-wise (shorter bucket vectors are padded with zeros), which is
+/// exact because every sample lives in exactly one bucket. If the same
+/// name appears with different kinds across shards — only possible when
+/// shards run different builds — the first-seen kind wins and later
+/// clashes are ignored rather than panicking, since a merged report
+/// from a degraded fleet is more useful than none.
+pub fn merge_snapshots(snaps: &[Vec<(String, SnapshotValue)>]) -> Vec<(String, SnapshotValue)> {
+    let mut merged: BTreeMap<String, SnapshotValue> = BTreeMap::new();
+    for snap in snaps {
+        for (name, value) in snap {
+            match merged.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(value.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    match (slot.get_mut(), value) {
+                        (SnapshotValue::Counter(a), SnapshotValue::Counter(b)) => {
+                            *a = a.wrapping_add(*b);
                         }
-                        if !first {
-                            histograms.push(',');
+                        (SnapshotValue::Gauge(a), SnapshotValue::Gauge(b)) => {
+                            *a = a.wrapping_add(*b);
                         }
-                        first = false;
-                        histograms.push('[');
-                        histograms.push_str(&Histogram::bucket_upper_bound(i).to_string());
-                        histograms.push(',');
-                        histograms.push_str(&n.to_string());
-                        histograms.push(']');
+                        (SnapshotValue::Histogram(a), SnapshotValue::Histogram(b)) => {
+                            a.count = a.count.wrapping_add(b.count);
+                            a.sum = a.sum.wrapping_add(b.sum);
+                            if a.buckets.len() < b.buckets.len() {
+                                a.buckets.resize(b.buckets.len(), 0);
+                            }
+                            for (dst, src) in a.buckets.iter_mut().zip(&b.buckets) {
+                                *dst = dst.wrapping_add(*src);
+                            }
+                        }
+                        _ => {} // kind clash across shards: keep first
                     }
-                    histograms.push_str("],\"count\":");
-                    histograms.push_str(&h.count.to_string());
-                    for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
-                        histograms.push_str(",\"");
-                        histograms.push_str(label);
-                        histograms.push_str("\":");
-                        histograms.push_str(&h.approx_quantile(q).unwrap_or(0).to_string());
-                    }
-                    histograms.push_str(",\"sum\":");
-                    histograms.push_str(&h.sum.to_string());
-                    histograms.push('}');
                 }
             }
         }
-        format!(
-            "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}"
-        )
     }
+    merged.into_iter().collect()
 }
 
 /// One metric's value at snapshot time.
@@ -466,6 +521,77 @@ mod tests {
         let r = Registry::new();
         r.counter("dual");
         r.gauge("dual");
+    }
+
+    #[test]
+    fn merge_adds_counters_gauges_and_histogram_buckets() {
+        let a = Registry::new();
+        a.counter("hits").add(3);
+        a.gauge("depth").set(2);
+        a.histogram("lat").record(5);
+        a.counter("only.a").inc();
+
+        let b = Registry::new();
+        b.counter("hits").add(4);
+        b.gauge("depth").set(-5);
+        b.histogram("lat").record(5);
+        b.histogram("lat").record(1000);
+        b.histogram("only.b").record(1);
+
+        let merged = merge_snapshots(&[a.snapshot(), b.snapshot()]);
+        let get = |name: &str| {
+            merged
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("hits"), SnapshotValue::Counter(7));
+        assert_eq!(get("depth"), SnapshotValue::Gauge(-3));
+        assert_eq!(get("only.a"), SnapshotValue::Counter(1));
+        match get("lat") {
+            SnapshotValue::Histogram(h) => {
+                assert_eq!(h.count, 3);
+                assert_eq!(h.sum, 1010);
+                assert_eq!(h.buckets[3], 2); // two samples of 5
+                assert_eq!(h.buckets[10], 1); // one sample of 1000
+            }
+            other => panic!("lat merged to {other:?}"),
+        }
+        match get("only.b") {
+            SnapshotValue::Histogram(h) => assert_eq!((h.count, h.sum), (1, 1)),
+            other => panic!("only.b merged to {other:?}"),
+        }
+        // Names stay sorted so render_snapshot output stays canonical.
+        let names: Vec<&str> = merged.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn merge_kind_clash_keeps_first() {
+        let a = Registry::new();
+        a.counter("dual").add(2);
+        let b = Registry::new();
+        b.gauge("dual").set(9);
+        let merged = merge_snapshots(&[a.snapshot(), b.snapshot()]);
+        assert_eq!(merged, vec![("dual".into(), SnapshotValue::Counter(2))]);
+    }
+
+    #[test]
+    fn render_snapshot_matches_registry_rendering() {
+        let r = Registry::new();
+        r.counter("c").add(2);
+        r.gauge("g").set(-1);
+        r.histogram("h").record(12);
+        assert_eq!(render_snapshot(&r.snapshot()), r.snapshot_json());
+        // A single-registry "merge" is the identity, so rendering the
+        // merged snapshot reproduces the daemon's own document.
+        assert_eq!(
+            render_snapshot(&merge_snapshots(&[r.snapshot()])),
+            r.snapshot_json()
+        );
     }
 
     #[test]

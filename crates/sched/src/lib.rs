@@ -15,11 +15,11 @@
 //! * [`selective`] — the paper's proposed middle ground: reservations only
 //!   for jobs whose expansion factor crosses a threshold;
 //! * [`slack`] — slack-based backfilling (Talby & Feitelson), the paper's
-//!   reference [13]: every job holds a promise with built-in slack;
+//!   reference \[13\]: every job holds a promise with built-in slack;
 //! * [`depth`] — reservation-depth backfilling: protect the top *k* queued
 //!   jobs, the EASY↔conservative continuum of Chiang et al.;
 //! * [`preemptive`] — EASY with selective preemption of running jobs (the
-//!   authors' companion strategy, their reference [6]);
+//!   authors' companion strategy, their reference \[6\]);
 //! * [`queue`] — incrementally maintained priority queues shared by the
 //!   schedulers' event-loop hot paths.
 

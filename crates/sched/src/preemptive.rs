@@ -1,5 +1,5 @@
 //! Selective preemption — the authors' companion strategy (their reference
-//! [6], "Selective preemption strategies for parallel job scheduling",
+//! \[6\], "Selective preemption strategies for parallel job scheduling",
 //! ICPP 2002).
 //!
 //! Backfilling alone cannot help a starving wide job: nothing running can

@@ -20,7 +20,7 @@
 //! `find_anchor` and `fits` dominate every backfilling decision, and a
 //! naive scan walks the profile one segment at a time — on a congested
 //! profile with a thousand live segments, most queries walk most of it.
-//! The profile therefore maintains an augmented segment tree ([`SegTree`])
+//! The profile therefore maintains an augmented segment tree (`SegTree`)
 //! over the segment vector: an implicit binary tree whose leaves are the
 //! segments and whose every node stores the **minimum and maximum free
 //! level** of its span. Three O(log n) descents answer everything the
@@ -37,12 +37,12 @@
 //!
 //! Mutations keep the tree synchronized incrementally: a reserve/release
 //! that moves no segment boundary refreshes only the touched leaves and
-//! their O(log n) ancestor path ([`SegTree::update_range`]); one that
+//! their O(log n) ancestor path (`SegTree::update_range`); one that
 //! inserts or removes a boundary re-derives the shifted suffix
-//! ([`SegTree::resync_from`]) — bounded by the O(n) element shift the
+//! (`SegTree::resync_from`) — bounded by the O(n) element shift the
 //! segment vector itself already paid for, and far cheaper than the old
 //! per-mutation rebuild of per-threshold run lists. Profiles at or below
-//! [`SMALL`] segments answer `find_anchor` with a plain scan (fewer
+//! `SMALL` segments answer `find_anchor` with a plain scan (fewer
 //! instructions than the descents for a handful of segments); the tree is
 //! maintained at every size so `fits` and the invariant checks can always
 //! use it.
@@ -90,7 +90,7 @@ const SMALL: usize = 64;
 /// Process-wide generation counter for silhouette tokens. Every profile
 /// mutation — on any profile, including clones — draws a fresh value, so
 /// two distinct silhouettes can never share a generation and a stale
-/// [`FitsCache`] can never be accepted (the old scheme's per-profile
+/// `FitsCache` can never be accepted (the old scheme's per-profile
 /// `version: u64` could collide across clones in principle).
 static GENERATION: AtomicU64 = AtomicU64::new(1);
 
@@ -630,7 +630,7 @@ impl Profile {
     }
 
     /// FNV-1a over the silhouette (capacity + every boundary/level pair).
-    /// Debug builds pin this into the [`FitsCache`] and assert it on every
+    /// Debug builds pin this into the `FitsCache` and assert it on every
     /// hit, so an incorrectly accepted stale cache fails loudly instead of
     /// silently corrupting decisions.
     fn silhouette_checksum(&self) -> u64 {
@@ -663,7 +663,7 @@ impl Profile {
     /// exactly at `start` — equivalently, whether the minimum free
     /// capacity over `[start, start + duration)` is at least `width`.
     ///
-    /// Between mutations, answers come from the [`FitsCache`] prefix
+    /// Between mutations, answers come from the `FitsCache` prefix
     /// minima: one binary search per query. Immediately after a mutation
     /// the memo is dead, and the first probe is answered by one O(log n)
     /// tree descent instead of an O(n) rebuild — a compression pass that
@@ -738,7 +738,7 @@ impl Profile {
     /// rectangle fits. Always terminates because the profile eventually
     /// returns to an (infinitely long) final segment.
     ///
-    /// Past the [`SMALL`] cutoff the search runs on the segment tree:
+    /// Past the `SMALL` cutoff the search runs on the segment tree:
     /// one descent finds the next feasible anchor host, one descent
     /// verifies the whole candidate window (or names the segment that
     /// blocks it), so each candidate costs O(log n) instead of a walk.

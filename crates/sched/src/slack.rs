@@ -1,5 +1,5 @@
 //! Slack-based backfilling (Talby & Feitelson, IPPS 1999 — the paper's
-//! reference [13]).
+//! reference \[13\]).
 //!
 //! Conservative backfilling promises every job the *earliest* feasible
 //! start; EASY promises nothing except to the queue head. Slack-based

@@ -252,6 +252,7 @@ impl ResultCache {
             replayed: journal.replay.replayed,
             appended: journal.appends.get(),
             truncated: journal.replay.truncated,
+            dropped_bytes: journal.replay.dropped_bytes,
         })
     }
 
@@ -530,6 +531,15 @@ mod tests {
         assert_eq!(replay.replayed, 1, "only the intact record replays");
         assert!(replay.truncated);
         assert_eq!(replay.dropped_bytes, (torn_at - first_end) as u64);
+        // The health view carries the replay provenance verbatim, so the
+        // `health` verb (and a sweep coordinator polling it) can report
+        // shard recovery state: entries replayed + torn-tail bytes
+        // dropped.
+        let health = cache.journal_health().expect("journaled cache");
+        assert_eq!(
+            (health.replayed, health.truncated, health.dropped_bytes),
+            (1, true, (torn_at - first_end) as u64)
+        );
         assert!(matches!(
             cache.lookup(&a.canonical_json()),
             Lookup::Hit { .. }

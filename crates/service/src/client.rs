@@ -24,7 +24,7 @@
 //! and `Exhausted` (the retry budget ran out — wrapping the terminal
 //! error).
 
-use crate::protocol::{HealthReport, Request, Response, RunReply, ServiceStats};
+use crate::protocol::{Capabilities, HealthReport, Request, Response, RunReply, ServiceStats};
 use backfill_sim::RunConfig;
 use simcore::SplitMix64;
 use std::fmt;
@@ -339,6 +339,38 @@ impl Client {
         }
     }
 
+    /// Fetch the daemon's sizing handshake (protocol revision, worker
+    /// count, queue capacity) — what a sweep coordinator sizes its
+    /// in-flight windows from.
+    pub fn capabilities(&mut self) -> Result<Capabilities, ClientError> {
+        match self.request(&Request::Capabilities)? {
+            Response::Capabilities(caps) => Ok(caps),
+            Response::Error {
+                message,
+                config_hash,
+                retryable,
+            } => Err(ClientError::Service {
+                message,
+                config_hash,
+                retryable,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "capabilities answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the daemon to stop accepting new submits while staying alive
+    /// (in-flight work completes; introspection verbs keep answering).
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Drain)? {
+            Response::Draining => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "drain answered with {other:?}"
+            ))),
+        }
+    }
+
     /// Ask the daemon to drain and stop. The acknowledgement comes back
     /// before the drain completes; pair with `ServerHandle::join` (in
     /// process) or wait for the port to close.
@@ -475,6 +507,17 @@ impl ResilientClient {
     /// Probe the daemon's health, retrying per policy.
     pub fn health(&mut self) -> Result<HealthReport, ClientError> {
         self.with_retry("health", |client| client.health())
+    }
+
+    /// Fetch the daemon's sizing handshake, retrying per policy.
+    pub fn capabilities(&mut self) -> Result<Capabilities, ClientError> {
+        self.with_retry("capabilities", |client| client.capabilities())
+    }
+
+    /// Ask the daemon to stop taking new submits while staying alive.
+    /// Not retried, for the same reason as [`Self::shutdown`].
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        self.connection()?.drain()
     }
 
     /// Ask the daemon to drain and stop. Not retried: a lost

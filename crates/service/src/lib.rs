@@ -63,6 +63,7 @@ pub use client::{Backoff, Client, ClientError, ClientOptions, ResilientClient, R
 pub use fault::{FaultActions, FaultInjector, FaultPlan};
 pub use pool::{SubmitError, Task, TaskResult, WorkerPool};
 pub use protocol::{
-    HealthReport, JournalHealth, Request, Response, RunReply, RunReport, ServiceStats,
+    Capabilities, HealthReport, JournalHealth, Request, Response, RunReply, RunReport,
+    ServiceStats, PROTO_VERSION,
 };
 pub use server::{Server, ServerHandle, ServiceConfig};

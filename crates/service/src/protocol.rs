@@ -30,6 +30,19 @@ pub enum Request {
     /// [`Response::Health`] even while draining, so an operator can
     /// always tell a slow daemon from a dead one.
     Health,
+    /// Handshake: report the daemon's sizing and protocol revision so a
+    /// sweep coordinator can size its per-shard in-flight windows
+    /// before dispatching any work. Answered with
+    /// [`Response::Capabilities`].
+    Capabilities,
+    /// Stop accepting new `Submit`s but **stay alive**: in-flight work
+    /// completes, and `Stats`/`Metrics`/`Health`/`Capabilities` keep
+    /// answering so a coordinator can still harvest the shard's final
+    /// counters. Unlike [`Request::Shutdown`] the daemon does not exit.
+    /// Acknowledged with [`Response::Draining`]; refused submits answer
+    /// [`Response::ShuttingDown`], which resilient clients already
+    /// treat as "send this work elsewhere".
+    Drain,
     /// Begin graceful shutdown: stop taking new work, drain in-flight
     /// requests, then exit.
     Shutdown,
@@ -55,6 +68,12 @@ pub enum Response {
     },
     /// The daemon's readiness probe, answering [`Request::Health`].
     Health(HealthReport),
+    /// The daemon's sizing handshake, answering
+    /// [`Request::Capabilities`].
+    Capabilities(Capabilities),
+    /// Acknowledges [`Request::Drain`]: the daemon refuses new submits
+    /// from here on but stays alive for introspection verbs.
+    Draining,
     /// The bounded work queue is full and the daemon shed this request
     /// rather than block the connection. The submission had **no
     /// effect** (nothing queued, nothing cached): resubmitting the same
@@ -124,7 +143,41 @@ pub struct JournalHealth {
     pub appended: u64,
     /// True when startup replay found and truncated a torn tail.
     pub truncated: bool,
+    /// Torn-tail bytes dropped by the startup truncation (0 for a clean
+    /// file). Defaults so pre-coordinator health reports still parse.
+    #[serde(default)]
+    pub dropped_bytes: u64,
 }
+
+/// The daemon's sizing handshake, answering [`Request::Capabilities`].
+///
+/// A sweep coordinator uses this to size its bounded in-flight window
+/// per shard (one outstanding submit per daemon worker keeps the pool
+/// busy without tripping `Busy` shedding) and to refuse incompatible
+/// daemons up front instead of mid-sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Capabilities {
+    /// Protocol revision this daemon speaks. Bumped when a verb is
+    /// added or changes meaning; coordinators require at least the
+    /// revision they were built against.
+    pub proto: u32,
+    /// Simulation worker threads (the natural in-flight window).
+    pub workers: u64,
+    /// Bounded work-queue capacity (submits past `workers + queue_cap`
+    /// would be shed with `Busy`).
+    pub queue_cap: u64,
+    /// Largest accepted request frame in bytes.
+    pub max_frame: u64,
+    /// Entries currently memoized in the result cache.
+    pub cache_entries: u64,
+    /// True when the cache is journaled (survives a crash).
+    pub journaled: bool,
+    /// True when the daemon refuses new submits (draining or drained).
+    pub draining: bool,
+}
+
+/// The protocol revision this build speaks (see [`Capabilities::proto`]).
+pub const PROTO_VERSION: u32 = 2;
 
 /// A successful submit: the report plus cache provenance.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -262,6 +315,8 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Health,
+            Request::Capabilities,
+            Request::Drain,
             Request::Shutdown,
         ] {
             let line = serde_json::to_string(&req).unwrap();
@@ -300,10 +355,21 @@ mod tests {
                     replayed: 3,
                     appended: 1,
                     truncated: true,
+                    dropped_bytes: 117,
                 }),
                 fault_plan: Some("seed=7;panic@3".into()),
                 ..HealthReport::default()
             }),
+            Response::Capabilities(Capabilities {
+                proto: PROTO_VERSION,
+                workers: 4,
+                queue_cap: 8,
+                max_frame: 1 << 20,
+                cache_entries: 12,
+                journaled: true,
+                draining: false,
+            }),
+            Response::Draining,
             Response::Busy,
             Response::Error {
                 message: "boom".into(),
@@ -335,6 +401,12 @@ mod tests {
         .unwrap();
         assert_eq!((stats.shed, stats.worker_panics), (0, 0));
         assert_eq!(stats.submitted, 4);
+        // Pre-coordinator journal health (no dropped_bytes) still parses.
+        let journal: JournalHealth = serde_json::from_str(
+            r#"{"path":"/tmp/j.jsonl","replayed":3,"appended":1,"truncated":true}"#,
+        )
+        .unwrap();
+        assert_eq!(journal.dropped_bytes, 0, "default fills the new field");
     }
 
     #[test]

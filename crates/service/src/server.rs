@@ -42,7 +42,9 @@
 use crate::cache::{Lookup, ResultCache};
 use crate::fault::{FaultActions, FaultInjector, FaultPlan};
 use crate::pool::{SubmitError, Task, WorkerPool};
-use crate::protocol::{HealthReport, Request, Response, RunReply, RunReport, ServiceStats};
+use crate::protocol::{
+    Capabilities, HealthReport, Request, Response, RunReply, RunReport, ServiceStats, PROTO_VERSION,
+};
 use backfill_sim::canon::fnv1a_64;
 use obs::metrics::{Counter, Histogram, Registry};
 use std::io::{self, BufRead, BufReader, Write};
@@ -124,6 +126,10 @@ struct Inner {
     cache: ResultCache,
     fault: Option<FaultInjector>,
     draining: AtomicBool,
+    /// Set by [`Request::Drain`]: refuse new submits but stay alive for
+    /// the introspection verbs (unlike `draining`, the accept loop does
+    /// not exit).
+    refusing: AtomicBool,
     /// Submits between acceptance and response flush; the drain gate.
     pending: AtomicUsize,
     registry: Registry,
@@ -189,6 +195,7 @@ impl Inner {
             cache,
             fault: fault.map(FaultInjector::new),
             draining: AtomicBool::new(false),
+            refusing: AtomicBool::new(false),
             pending: AtomicUsize::new(0),
             submitted: registry.counter("service.submitted"),
             completed: registry.counter("service.completed"),
@@ -257,8 +264,9 @@ impl Inner {
     fn health(&self) -> HealthReport {
         let (_, _, cache_entries, _) = self.cache.stats();
         let draining = self.draining.load(Ordering::SeqCst);
+        let refusing = self.refusing.load(Ordering::SeqCst);
         HealthReport {
-            ready: !draining,
+            ready: !draining && !refusing,
             draining,
             workers: self.cfg.workers as u64,
             queue_cap: self.cfg.queue_cap as u64,
@@ -299,6 +307,20 @@ impl Inner {
             .gauge("service.wall_ms_max")
             .set(self.wall_ms_max.load(Ordering::SeqCst) as i64);
         self.registry.snapshot_json()
+    }
+
+    /// The sizing handshake answering [`Request::Capabilities`].
+    fn capabilities(&self) -> Capabilities {
+        let (_, _, cache_entries, _) = self.cache.stats();
+        Capabilities {
+            proto: PROTO_VERSION,
+            workers: self.cfg.workers as u64,
+            queue_cap: self.cfg.queue_cap as u64,
+            max_frame: self.cfg.max_frame as u64,
+            cache_entries,
+            journaled: self.cfg.journal.is_some(),
+            draining: self.draining.load(Ordering::SeqCst) || self.refusing.load(Ordering::SeqCst),
+        }
     }
 
     fn record_wall(&self, wall_ms: u64) {
@@ -550,7 +572,7 @@ fn handle_connection(stream: TcpStream, inner: &Inner) {
 fn serve(request: Request, inner: &Inner) -> Served {
     match request {
         Request::Submit { config } => {
-            if inner.draining.load(Ordering::SeqCst) {
+            if inner.draining.load(Ordering::SeqCst) || inner.refusing.load(Ordering::SeqCst) {
                 inner.rejected.inc();
                 return Served::plain(Response::ShuttingDown);
             }
@@ -616,6 +638,15 @@ fn serve(request: Request, inner: &Inner) -> Served {
             json: inner.metrics_snapshot(),
         }),
         Request::Health => Served::plain(Response::Health(inner.health())),
+        Request::Capabilities => Served::plain(Response::Capabilities(inner.capabilities())),
+        Request::Drain => {
+            inner.refusing.store(true, Ordering::SeqCst);
+            obs::info!(
+                target: "service::server",
+                "drained by request: refusing new submits, staying alive"
+            );
+            Served::plain(Response::Draining)
+        }
         Request::Shutdown => {
             inner.draining.store(true, Ordering::SeqCst);
             Served::plain(Response::ShuttingDown)

@@ -1,0 +1,76 @@
+//! The coordinator handshake verbs: `capabilities` sizing and `drain`
+//! (refuse new submits, stay alive for introspection).
+
+use backfill_sim::{RunConfig, Scenario, SchedulerKind, TraceSource};
+use sched::Policy;
+use service::{Client, ClientError, Server, ServiceConfig, PROTO_VERSION};
+
+fn config() -> RunConfig {
+    RunConfig {
+        scenario: Scenario::high_load(TraceSource::Ctc { jobs: 90, seed: 7 }),
+        kind: SchedulerKind::Easy,
+        policy: Policy::Sjf,
+    }
+}
+
+#[test]
+fn capabilities_reports_sizing_and_protocol() {
+    let handle = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 2,
+            queue_cap: 5,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let caps = client.capabilities().expect("capabilities");
+    assert_eq!(caps.proto, PROTO_VERSION);
+    assert_eq!(caps.workers, 2);
+    assert_eq!(caps.queue_cap, 5);
+    assert!(caps.max_frame > 0);
+    assert_eq!(caps.cache_entries, 0, "nothing memoized yet");
+    assert!(!caps.journaled, "no journal configured");
+    assert!(!caps.draining);
+
+    client.submit(&config()).expect("submit");
+    let caps = client.capabilities().expect("capabilities after submit");
+    assert_eq!(caps.cache_entries, 1, "the run was memoized");
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn drain_refuses_submits_but_keeps_answering_introspection() {
+    let handle = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    client.submit(&config()).expect("submit before drain");
+    client.drain().expect("drain acks");
+
+    // New submits are refused...
+    match client.submit(&config()) {
+        Err(ClientError::ShuttingDown) => {}
+        other => panic!("drained daemon answered a submit with {other:?}"),
+    }
+    // ...but the daemon is alive: every introspection verb still works,
+    // and unlike Shutdown the accept loop keeps accepting connections.
+    let caps = client.capabilities().expect("capabilities while drained");
+    assert!(caps.draining, "capabilities must advertise the drain");
+    let health = client.health().expect("health while drained");
+    assert!(!health.ready, "a drained daemon is not ready");
+    assert!(
+        !health.draining,
+        "drain is not shutdown: the accept loop is still running"
+    );
+    client.stats().expect("stats while drained");
+    client.metrics().expect("metrics while drained");
+    let mut second = Client::connect(handle.addr()).expect("fresh connection while drained");
+    second.health().expect("health on a fresh connection");
+
+    client.shutdown().expect("shutdown after drain");
+    handle.join();
+}

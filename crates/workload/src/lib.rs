@@ -18,7 +18,7 @@
 //! * [`stats`] — trace characterization reports (marginals, correlations,
 //!   power-of-two shares);
 //! * [`flurry`] — injection of user flurries (burst robustness testing);
-//! * [`shake`] — input shaking (micro-perturbation robustness testing).
+//! * [`mod@shake`] — input shaking (micro-perturbation robustness testing).
 
 #![warn(missing_docs)]
 

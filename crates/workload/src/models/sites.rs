@@ -5,7 +5,7 @@
 //! (narrow/wide is relative to the machine). These presets give users
 //! ready-made models at characteristic scales of the era's archive logs.
 //!
-//! **Calibration status**: unlike [`super::ctc`]/[`super::sdsc`] (whose
+//! **Calibration status**: unlike [`mod@super::ctc`]/[`mod@super::sdsc`] (whose
 //! category mixes are pinned to the paper's Tables 2–3), these mixes are
 //! *illustrative*, chosen to reflect each site's qualitative character as
 //! described in the Parallel Workloads Archive notes — KTH ran mostly
