@@ -1,0 +1,74 @@
+//! Microbenchmarks for the ladder event queue against the binary-heap
+//! baseline it replaced (DESIGN.md §16): steady-state push/pop churn at
+//! 32 (the simulator's shallow steady state under lazy arrival seeding),
+//! 1k, and 100k pending events.
+//!
+//! The workload mirrors the simulator's access pattern — pop the earliest
+//! event, push a replacement a bounded horizon ahead — rather than
+//! heap-sort-style fill-then-drain: the ladder's win is that near-future
+//! buckets recycle without per-event allocation or sift-down traffic, and
+//! only this churn pattern exercises that.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simcore::{EventQueue, HeapEventQueue, SimSpan, SimTime, SplitMix64};
+
+/// Deterministic pseudo-random offsets, same stream for both queues.
+fn offsets(n: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::new(0x5eed);
+    (0..n).map(|_| rng.next_u64() % 3_600).collect()
+}
+
+/// One churn step: pop the earliest event, push its successor `offset`
+/// seconds later. Repeated `steps` times over a queue pre-filled with
+/// `pending` events.
+fn churn_ladder(pending: usize, steps: usize) -> u64 {
+    let offs = offsets(pending + steps);
+    let mut q = EventQueue::new();
+    for (i, &off) in offs[..pending].iter().enumerate() {
+        q.push(SimTime::new(off), i as u64);
+    }
+    let mut acc = 0u64;
+    for &off in &offs[pending..] {
+        let (t, payload) = q.pop().expect("queue stays non-empty");
+        acc = acc.wrapping_add(payload);
+        q.push(t + SimSpan::new(off), payload);
+    }
+    acc
+}
+
+fn churn_heap(pending: usize, steps: usize) -> u64 {
+    let offs = offsets(pending + steps);
+    let mut q = HeapEventQueue::new();
+    for (i, &off) in offs[..pending].iter().enumerate() {
+        q.push(SimTime::new(off), i as u64);
+    }
+    let mut acc = 0u64;
+    for &off in &offs[pending..] {
+        let (t, payload) = q.pop().expect("queue stays non-empty");
+        acc = acc.wrapping_add(payload);
+        q.push(t + SimSpan::new(off), payload);
+    }
+    acc
+}
+
+fn bench_event_queue_ops(c: &mut Criterion) {
+    const STEPS: usize = 10_000;
+    let mut group = c.benchmark_group("event_queue_ops");
+    group.throughput(Throughput::Elements(STEPS as u64));
+    for pending in [32usize, 1_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("ladder", pending),
+            &pending,
+            |b, &pending| b.iter(|| black_box(churn_ladder(pending, STEPS))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("heap", pending),
+            &pending,
+            |b, &pending| b.iter(|| black_box(churn_heap(pending, STEPS))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue_ops);
+criterion_main!(benches);

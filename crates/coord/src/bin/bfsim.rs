@@ -573,6 +573,11 @@ fn cmd_simulate(cli: &Cli) {
             p.compress_passes,
             p.peak_segments
         );
+        println!(
+            "alloc path:  {} order bytes shifted | {} slab slot reuses | \
+             {} scratch reuses",
+            p.order_bytes_shifted, p.slab_slot_reuses, p.scratch_reuses
+        );
     }
     if cli.fairness {
         let f = fairness(&schedule.outcomes);
@@ -989,14 +994,14 @@ fn cmd_bench(cli: &Cli) {
     }
 
     let report = BenchReport {
-        version: 4,
+        version: 5,
         tool: "bfsim bench".into(),
         tiny: cli.tiny,
         cells,
         baseline,
         comparison,
     };
-    let out = cli.out.clone().unwrap_or_else(|| "BENCH_4.json".into());
+    let out = cli.out.clone().unwrap_or_else(|| "BENCH_5.json".into());
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
 

@@ -74,6 +74,14 @@ impl Scenario {
         }
     }
 
+    /// Canonical compact JSON of this scenario (object keys sorted
+    /// recursively). Equal scenarios produce byte-identical text, so
+    /// this is the trace-sharing key used by the sweep runner and the
+    /// service's trace cache.
+    pub fn canonical_json(&self) -> String {
+        crate::canon::canonical_json(self)
+    }
+
     /// Materialize the trace: generate, apply estimates, rescale load.
     pub fn materialize(&self) -> Trace {
         let base = self.source.generate();

@@ -276,6 +276,15 @@ pub fn flush_profile_stats(registry: &obs::Registry, stats: &ProfileStats) {
     registry
         .counter("sim.queue.sorts_avoided")
         .add(stats.queue_sorts_avoided);
+    registry
+        .counter("sim.profile.order_bytes_shifted")
+        .add(stats.order_bytes_shifted);
+    registry
+        .counter("sim.profile.slab_slot_reuses")
+        .add(stats.slab_slot_reuses);
+    registry
+        .counter("sim.scratch_reuses")
+        .add(stats.scratch_reuses);
     let peak = registry.gauge("sim.profile.peak_segments");
     if stats.peak_segments as i64 > peak.get() {
         peak.set(stats.peak_segments as i64);
@@ -334,6 +343,11 @@ struct Driver<'a> {
     /// pending at some time `<= W` — and whenever a wake fires, the
     /// scheduler restates its need, re-establishing the invariant.
     pending_wakes: std::collections::BTreeSet<SimTime>,
+    /// Index of the next trace arrival to seed. Arrivals enter the event
+    /// queue one at a time — each delivered arrival schedules the next —
+    /// so the pending set stays shallow instead of holding the whole
+    /// trace up front (see the seeding comment in `simulate_observed`).
+    next_arrival: u32,
 }
 
 impl Driver<'_> {
@@ -358,7 +372,7 @@ impl Driver<'_> {
 
     fn apply(&mut self, decisions: Decisions, ctx: &mut Ctx<'_, Ev>) {
         let now = ctx.now();
-        for id in decisions.preempts {
+        for &id in &decisions.preempts {
             let i = id.0 as usize;
             let seg_start = self.running_since[i]
                 .take()
@@ -388,7 +402,7 @@ impl Driver<'_> {
             self.record(now, JournalKind::Preempt, Some(id));
             self.trace_event(now, id, TraceKind::Preempt);
         }
-        for id in decisions.starts {
+        for &id in &decisions.starts {
             let i = id.0 as usize;
             let job = self.trace.job(id);
             assert!(
@@ -419,6 +433,9 @@ impl Driver<'_> {
                 ctx.schedule_classed(at, CLASS_WAKE, Ev::Wake);
             }
         }
+        // Hand the spent buffers back so the scheduler can reuse their
+        // capacity on the next event.
+        self.scheduler.recycle(decisions);
     }
 }
 
@@ -428,6 +445,18 @@ impl Actor<Ev> for Driver<'_> {
         self.events += 1;
         let decisions = match event {
             Ev::Arrive(idx) => {
+                // Seed the successor before anything else this instant
+                // can be scheduled; arrivals thereby keep ascending
+                // insertion order among themselves.
+                let next = self.next_arrival as usize;
+                if next < self.trace.jobs().len() {
+                    self.next_arrival += 1;
+                    ctx.schedule_classed(
+                        self.trace.jobs()[next].arrival,
+                        CLASS_ARRIVAL,
+                        Ev::Arrive(next as u32),
+                    );
+                }
                 let job = self.trace.jobs()[idx as usize];
                 if let Some(rec) = &self.recorder {
                     // Tag before the scheduler sees the job, so any
@@ -559,10 +588,19 @@ pub fn simulate_observed(
         recorder: options.recorder,
         criteria: CategoryCriteria::default(),
         pending_wakes: std::collections::BTreeSet::new(),
+        next_arrival: 1,
     };
     let mut engine = Engine::new();
-    for job in trace.jobs() {
-        engine.prime_classed(job.arrival, CLASS_ARRIVAL, Ev::Arrive(job.id.0));
+    // Arrivals are seeded lazily: prime only the first, and each arrival
+    // schedules its successor (the trace is sorted by arrival, so the
+    // successor is never in the past). The pending-event set then holds
+    // one arrival plus the in-flight completions/wake-ups — dozens —
+    // instead of the whole trace, keeping both tiers of the ladder event
+    // queue shallow. Delivery order is unchanged: arrivals keep their
+    // trace-relative insertion order, and cross-class ties at an instant
+    // are decided by `EventClass`, not insertion sequence.
+    if let Some(first) = trace.jobs().first() {
+        engine.prime_classed(first.arrival, CLASS_ARRIVAL, Ev::Arrive(first.id.0));
     }
     engine.run(&mut driver);
 

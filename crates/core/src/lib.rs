@@ -48,7 +48,8 @@ pub use driver::{
     JournalEntry, JournalKind, SchedulerKind, SimOptions,
 };
 pub use runner::{
-    aggregate_profile_stats, run_all, run_all_checked, run_cell, CellError, RunResult,
+    aggregate_profile_stats, materialize_caught, run_all, run_all_checked, run_all_checked_shared,
+    run_cell, run_cell_on, CellError, RunResult, SweepSharing,
 };
 pub use schedule::Schedule;
 
@@ -61,7 +62,8 @@ pub mod prelude {
         SimOptions,
     };
     pub use crate::runner::{
-        aggregate_profile_stats, run_all, run_all_checked, run_cell, CellError, RunResult,
+        aggregate_profile_stats, run_all, run_all_checked, run_all_checked_shared, run_cell,
+        run_cell_on, CellError, RunResult, SweepSharing,
     };
     pub use crate::schedule::Schedule;
     pub use metrics::{

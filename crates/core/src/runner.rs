@@ -7,12 +7,14 @@
 //! bounds infect the configs) and returns results **in input order**, so
 //! parallelism never changes any report.
 
-use crate::config::RunConfig;
+use crate::config::{RunConfig, Scenario};
 use crate::schedule::Schedule;
 use crossbeam::channel;
 use sched::ProfileStats;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use workload::Trace;
 
 /// Result of one sweep cell.
 #[derive(Debug, Clone)]
@@ -66,33 +68,56 @@ pub fn run_cell(config: &RunConfig) -> Result<Schedule, CellError> {
     })
 }
 
-/// Run every config, in parallel, returning per-cell outcomes in input
-/// order. A cell whose simulation panics yields `Err(CellError)` — with
-/// the offending config attached — while every other cell still runs to
-/// completion.
-///
-/// `threads = None` uses the machine's available parallelism.
+/// Run one cell against an already materialized trace, with the same
+/// fault boundary as [`run_cell`]. Callers that share one trace across
+/// many scheduler configs (the sweep runner, the service trace cache)
+/// route through here so a panicked simulation still becomes a
+/// [`CellError`] instead of unwinding.
 #[allow(clippy::result_large_err)] // see run_cell
-pub fn run_all_checked(
-    configs: &[RunConfig],
-    threads: Option<NonZeroUsize>,
-) -> Vec<Result<RunResult, CellError>> {
-    if configs.is_empty() {
+pub fn run_cell_on(config: &RunConfig, trace: &Trace) -> Result<Schedule, CellError> {
+    catch_unwind(AssertUnwindSafe(|| config.run_on(trace))).map_err(|payload| CellError {
+        config: *config,
+        panic: panic_message(payload),
+    })
+}
+
+/// Materialize a scenario's trace behind the same fault boundary as
+/// [`run_cell`]: a panic inside generation / estimate application / load
+/// rescaling comes back as its rendered panic text. Callers that cache
+/// traces separately from results (the sweep runner, the `bfsimd` trace
+/// cache) use this so one poisoned scenario cannot take down its batch.
+pub fn materialize_caught(scenario: &Scenario) -> Result<Trace, String> {
+    catch_unwind(AssertUnwindSafe(|| scenario.materialize())).map_err(panic_message)
+}
+
+/// How much trace sharing a sweep achieved. A paper sweep is dozens of
+/// (scheduler × policy) cells over a handful of scenarios; the runner
+/// materializes each distinct scenario's trace exactly once and fans the
+/// cells through [`RunConfig::run_on`], so `traces_materialized` tracks
+/// `distinct_scenarios`, not `cells`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepSharing {
+    /// Number of cells in the sweep.
+    pub cells: usize,
+    /// Number of distinct scenarios (by canonical JSON) among the cells.
+    pub distinct_scenarios: usize,
+    /// Number of traces actually materialized — the regression counter:
+    /// equals `distinct_scenarios`, never `cells`.
+    pub traces_materialized: usize,
+}
+
+/// Fan `n` index-addressed jobs over `threads` workers, returning the
+/// outputs in index order (indexed slots, so completion order never
+/// leaks). `threads <= 1` degenerates to a plain in-order map.
+fn fan_out<T: Send>(n: usize, threads: usize, job: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if n == 0 {
         return Vec::new();
     }
-    let threads = threads
-        .or_else(|| std::thread::available_parallelism().ok())
-        .map_or(1, NonZeroUsize::get)
-        .min(configs.len());
-
-    let cell = |config: RunConfig| run_cell(&config).map(|schedule| RunResult { config, schedule });
-
-    if threads == 1 {
-        return configs.iter().map(|&config| cell(config)).collect();
+    if threads <= 1 {
+        return (0..n).map(job).collect();
     }
-
     let (tx, rx) = channel::unbounded::<usize>();
-    for i in 0..configs.len() {
+    for i in 0..n {
         tx.send(i).expect("queue open");
     }
     drop(tx);
@@ -100,30 +125,118 @@ pub fn run_all_checked(
     // Workers stream `(index, result)` back over a channel; the receive
     // loop fills the indexed slots, so results land in input order with no
     // lock contention on the hot path.
-    let (done_tx, done_rx) = channel::unbounded::<(usize, Result<RunResult, CellError>)>();
-    let mut slots: Vec<Option<Result<RunResult, CellError>>> =
-        (0..configs.len()).map(|_| None).collect();
+    let (done_tx, done_rx) = channel::unbounded::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for _ in 0..threads.min(n) {
             let rx = rx.clone();
             let done_tx = done_tx.clone();
+            let job = &job;
             scope.spawn(move || {
                 while let Ok(i) = rx.recv() {
-                    done_tx.send((i, cell(configs[i]))).expect("receiver open");
+                    if done_tx.send((i, job(i))).is_err() {
+                        unreachable!("receiver open until workers finish");
+                    }
                 }
             });
         }
         drop(done_tx); // workers hold the remaining senders
         while let Ok((i, result)) = done_rx.recv() {
-            debug_assert!(slots[i].is_none(), "cell {i} delivered twice");
+            debug_assert!(slots[i].is_none(), "item {i} delivered twice");
             slots[i] = Some(result);
         }
     });
 
     slots
         .into_iter()
-        .map(|r| r.expect("every cell completed"))
+        .map(|r| r.expect("every item completed"))
         .collect()
+}
+
+/// Run every config, in parallel, returning per-cell outcomes in input
+/// order. A cell whose simulation panics yields `Err(CellError)` — with
+/// the offending config attached — while every other cell still runs to
+/// completion.
+///
+/// Cells sharing a [`Scenario`] share one materialized trace: the sweep
+/// first groups configs by the scenario's canonical JSON, materializes
+/// each distinct trace exactly once (in parallel), then fans the cells
+/// through [`RunConfig::run_on`]. A panic during materialization is
+/// charged to every cell of that scenario, as a [`CellError`] each.
+///
+/// `threads = None` uses the machine's available parallelism.
+#[allow(clippy::result_large_err)] // see run_cell
+pub fn run_all_checked(
+    configs: &[RunConfig],
+    threads: Option<NonZeroUsize>,
+) -> Vec<Result<RunResult, CellError>> {
+    run_all_checked_shared(configs, threads).0
+}
+
+/// [`run_all_checked`] plus the sweep's [`SweepSharing`] diagnostics —
+/// the materialization counter regression tests pin against.
+#[allow(clippy::result_large_err)] // see run_cell
+pub fn run_all_checked_shared(
+    configs: &[RunConfig],
+    threads: Option<NonZeroUsize>,
+) -> (Vec<Result<RunResult, CellError>>, SweepSharing) {
+    if configs.is_empty() {
+        let sharing = SweepSharing {
+            cells: 0,
+            distinct_scenarios: 0,
+            traces_materialized: 0,
+        };
+        return (Vec::new(), sharing);
+    }
+    let threads = threads
+        .or_else(|| std::thread::available_parallelism().ok())
+        .map_or(1, NonZeroUsize::get)
+        .min(configs.len());
+
+    // Group cells by scenario identity (canonical JSON, the same key the
+    // service cache uses — stable and injective, so distinct scenarios
+    // can never alias one trace).
+    let mut key_to_group: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut group_of_cell: Vec<usize> = Vec::with_capacity(configs.len());
+    for config in configs {
+        let key = config.scenario.canonical_json();
+        let group = *key_to_group.entry(key).or_insert_with(|| {
+            scenarios.push(config.scenario);
+            scenarios.len() - 1
+        });
+        group_of_cell.push(group);
+    }
+
+    // Phase 1: materialize each distinct trace once, in parallel. The
+    // counter records actual materializations — the whole point of the
+    // grouping is that it never exceeds the number of distinct scenarios.
+    let materialized = AtomicUsize::new(0);
+    let traces: Vec<Result<Trace, String>> =
+        fan_out(scenarios.len(), threads.min(scenarios.len()), |g| {
+            materialized.fetch_add(1, Ordering::Relaxed);
+            materialize_caught(&scenarios[g])
+        });
+
+    // Phase 2: fan the cells over the shared traces.
+    let results = fan_out(configs.len(), threads, |i| {
+        let config = configs[i];
+        match &traces[group_of_cell[i]] {
+            Ok(trace) => run_cell_on(&config, trace).map(|schedule| RunResult { config, schedule }),
+            Err(panic) => Err(CellError {
+                config,
+                panic: panic.clone(),
+            }),
+        }
+    });
+
+    let sharing = SweepSharing {
+        cells: configs.len(),
+        distinct_scenarios: scenarios.len(),
+        traces_materialized: materialized.load(Ordering::Relaxed),
+    };
+    (results, sharing)
 }
 
 /// Run every config, in parallel, returning results in input order.
@@ -282,6 +395,66 @@ mod tests {
         });
         if let Err(payload) = result {
             std::panic::resume_unwind(payload);
+        }
+    }
+
+    #[test]
+    fn sweep_materializes_each_scenario_once() {
+        // Two scenarios × (2 schedulers × |PAPER| policies): the sweep
+        // must materialize exactly 2 traces, not one per cell.
+        let mut configs = sweep();
+        let second = Scenario::high_load(TraceSource::Sdsc { jobs: 120, seed: 9 });
+        for kind in [SchedulerKind::Conservative, SchedulerKind::Easy] {
+            for policy in Policy::PAPER {
+                configs.push(RunConfig {
+                    scenario: second,
+                    kind,
+                    policy,
+                });
+            }
+        }
+        let (results, sharing) = run_all_checked_shared(&configs, NonZeroUsize::new(4));
+        assert_eq!(sharing.cells, configs.len());
+        assert_eq!(sharing.distinct_scenarios, 2);
+        assert_eq!(
+            sharing.traces_materialized, 2,
+            "trace sharing regressed: {} materializations for 2 scenarios",
+            sharing.traces_materialized
+        );
+        // Shared traces must not change any cell's schedule.
+        for (config, result) in configs.iter().zip(&results) {
+            let shared = result.as_ref().expect("healthy sweep");
+            let direct = run_cell(config).expect("healthy cell");
+            assert_eq!(shared.schedule.fingerprint(), direct.fingerprint());
+        }
+    }
+
+    #[test]
+    fn poisoned_scenario_is_charged_to_all_its_cells() {
+        // Every cell of the unmaterializable scenario gets the panic;
+        // cells of healthy scenarios are untouched.
+        let bad_scenario = poisoned().scenario;
+        let mut configs = sweep();
+        for policy in [Policy::Fcfs, Policy::Sjf] {
+            configs.push(RunConfig {
+                scenario: bad_scenario,
+                kind: SchedulerKind::Easy,
+                policy,
+            });
+        }
+        let (results, sharing) =
+            with_quiet_panics(|| run_all_checked_shared(&configs, NonZeroUsize::new(4)));
+        assert_eq!(sharing.distinct_scenarios, 2);
+        assert_eq!(sharing.traces_materialized, 2);
+        let healthy = configs.len() - 2;
+        for (i, result) in results.iter().enumerate() {
+            if i < healthy {
+                assert!(result.is_ok(), "healthy cell {i} failed");
+            } else {
+                let err = result.as_ref().expect_err("poisoned cell succeeded");
+                assert!(err.panic.contains("target load must be positive"));
+                assert_eq!(err.config, configs[i]);
+            }
         }
     }
 

@@ -16,7 +16,7 @@
 
 use crate::policy::Policy;
 use crate::profile::{Profile, ProfileStats};
-use crate::queue::sort_keyed;
+use crate::queue::sort_keyed_with;
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
 use obs::trace::{SharedRecorder, TraceKind};
 use serde::{Deserialize, Serialize};
@@ -78,6 +78,12 @@ pub struct ConservativeScheduler {
     mode: Compression,
     /// Opt-in decision-trace recorder (strictly observational).
     recorder: Option<SharedRecorder>,
+    /// Recycled `starts` buffer from the previous event's [`Decisions`]
+    /// (handed back by the driver via [`Scheduler::recycle`]); its capacity
+    /// serves the next collect pass.
+    starts_scratch: Vec<JobId>,
+    /// Reusable keyed-sort buffer for XFactor compression passes.
+    sort_scratch: Vec<(f64, Reservation)>,
 }
 
 impl ConservativeScheduler {
@@ -97,6 +103,8 @@ impl ConservativeScheduler {
             free: capacity,
             mode,
             recorder: None,
+            starts_scratch: Vec::new(),
+            sort_scratch: Vec::new(),
         }
     }
 
@@ -151,7 +159,11 @@ impl ConservativeScheduler {
     /// startable later in the same pass — rescanning from the front would
     /// find exactly the same starts in the same order.
     fn collect(&mut self, now: SimTime, retry_same_instant: bool) -> Decisions {
-        let mut starts = Vec::new();
+        let mut starts = std::mem::take(&mut self.starts_scratch);
+        debug_assert!(starts.is_empty());
+        if starts.capacity() > 0 {
+            self.profile.note_scratch_reuse();
+        }
         let mut deferred = false;
         let mut i = 0;
         while i < self.queue.len() {
@@ -218,7 +230,12 @@ impl ConservativeScheduler {
     fn compress(&mut self, now: SimTime) {
         self.profile.note_compress_pass();
         self.profile.note_queue_ops(0, 1, 0);
-        sort_keyed(&mut self.queue, self.policy, now, |r| r.meta);
+        if self.policy == Policy::XFactor && self.sort_scratch.capacity() > 0 {
+            self.profile.note_scratch_reuse();
+        }
+        let mut scratch = std::mem::take(&mut self.sort_scratch);
+        sort_keyed_with(&mut self.queue, self.policy, now, &mut scratch, |r| r.meta);
+        self.sort_scratch = scratch;
         for i in 0..self.queue.len() {
             let res = self.queue[i];
             if res.start <= now {
@@ -226,7 +243,36 @@ impl ConservativeScheduler {
             }
             match self.mode {
                 Compression::Backfill | Compression::HeadStart => {
-                    let moved = if self.profile.fits(now, res.meta.estimate, res.meta.width) {
+                    // "Can it start at `now`?" without mutating anything.
+                    // The release → find_anchor → reserve round-trip is
+                    // equivalent to a single read-only probe:
+                    //
+                    // * rectangle disjoint from the candidate window
+                    //   (`res.start >= now + estimate`) — releasing it
+                    //   cannot change the answer, so probe the full
+                    //   window as-is;
+                    // * rectangle overlapping the window — after the
+                    //   release, the overlap `[res.start, now + estimate)`
+                    //   holds the job's own `width` back and is feasible
+                    //   by construction, so the post-release anchor is
+                    //   `now` exactly when `[now, res.start)` already has
+                    //   `width` free *with the reservation still in
+                    //   place* (the rectangle starts strictly after `now`
+                    //   and cannot cover that prefix).
+                    //
+                    // Either way a failed probe mutates nothing: no
+                    // release/re-reserve pair, no fits-memo invalidation
+                    // — in a saturated system that is almost every probe
+                    // of the pass. Each branch is decision-for-decision
+                    // identical to the round-trip (the differential and
+                    // compression property tests check this).
+                    let window = if res.start < now + res.meta.estimate {
+                        res.start.since(now)
+                    } else {
+                        res.meta.estimate
+                    };
+                    let moved = self.profile.fits(now, window, res.meta.width);
+                    if moved {
                         self.profile
                             .release(res.start, res.meta.estimate, res.meta.width);
                         self.profile.reserve(now, res.meta.estimate, res.meta.width);
@@ -238,37 +284,7 @@ impl ConservativeScheduler {
                                 moved: res.start.since(now).as_secs(),
                             },
                         );
-                        true
-                    } else if res.start < now + res.meta.estimate {
-                        self.profile
-                            .release(res.start, res.meta.estimate, res.meta.width);
-                        let anchor =
-                            self.profile
-                                .find_anchor(now, res.meta.estimate, res.meta.width);
-                        assert!(
-                            anchor <= res.start,
-                            "compression pushed {} from {} to {}",
-                            res.meta.id,
-                            res.start,
-                            anchor
-                        );
-                        let new_start = if anchor == now { now } else { res.start };
-                        self.profile
-                            .reserve(new_start, res.meta.estimate, res.meta.width);
-                        self.queue[i].start = new_start;
-                        if new_start < res.start {
-                            self.record(
-                                now,
-                                res.meta.id,
-                                TraceKind::Compress {
-                                    moved: res.start.since(new_start).as_secs(),
-                                },
-                            );
-                        }
-                        new_start == now
-                    } else {
-                        false
-                    };
+                    }
                     if self.mode == Compression::HeadStart && !moved {
                         // Strict priority: nothing may start ahead of a
                         // blocked higher-priority job.
@@ -387,6 +403,12 @@ impl Scheduler for ConservativeScheduler {
 
     fn set_recorder(&mut self, recorder: SharedRecorder) {
         self.recorder = Some(recorder);
+    }
+
+    fn recycle(&mut self, spent: Decisions) {
+        let mut starts = spent.starts;
+        starts.clear();
+        self.starts_scratch = starts;
     }
 }
 

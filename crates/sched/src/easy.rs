@@ -55,6 +55,9 @@ pub struct EasyScheduler {
     /// The last `(pivot, anchor)` pair recorded, so the trace carries one
     /// `Reserve` per distinct pivot reservation instead of one per event.
     last_pivot: Option<(JobId, SimTime)>,
+    /// Recycled `starts` buffer from the previous event's [`Decisions`]
+    /// (handed back by the driver via [`Scheduler::recycle`]).
+    starts_scratch: Vec<JobId>,
 }
 
 impl EasyScheduler {
@@ -71,6 +74,7 @@ impl EasyScheduler {
             stats: ProfileStats::default(),
             recorder: None,
             last_pivot: None,
+            starts_scratch: Vec::new(),
         }
     }
 
@@ -104,7 +108,11 @@ impl EasyScheduler {
     }
 
     fn reschedule(&mut self, now: SimTime) -> Decisions {
-        let mut starts = Vec::new();
+        let mut starts = std::mem::take(&mut self.starts_scratch);
+        debug_assert!(starts.is_empty());
+        if starts.capacity() > 0 {
+            self.stats.scratch_reuses += 1;
+        }
         self.cached.trim_before(now);
         self.queue.prepare(now);
 
@@ -234,6 +242,12 @@ impl Scheduler for EasyScheduler {
 
     fn set_recorder(&mut self, recorder: SharedRecorder) {
         self.recorder = Some(recorder);
+    }
+
+    fn recycle(&mut self, spent: Decisions) {
+        let mut starts = spent.starts;
+        starts.clear();
+        self.starts_scratch = starts;
     }
 }
 

@@ -39,13 +39,29 @@
 //! that moves no segment boundary refreshes only the touched leaves and
 //! their O(log n) ancestor path (`SegTree::update_range`); one that
 //! inserts or removes a boundary re-derives the shifted suffix
-//! (`SegTree::resync_from`) — bounded by the O(n) element shift the
-//! segment vector itself already paid for, and far cheaper than the old
+//! (`SegTree::resync_from`) — bounded by the O(n) index shift the order
+//! chain itself already paid for, and far cheaper than the old
 //! per-mutation rebuild of per-threshold run lists. Profiles at or below
 //! `SMALL` segments answer `find_anchor` with a plain scan (fewer
 //! instructions than the descents for a handful of segments); the tree is
 //! maintained at every size so `fits` and the invariant checks can always
 //! use it.
+//!
+//! # The slab arena and the order chain
+//!
+//! Segments do not live in a shifting `Vec<Segment>`. They live in a
+//! **slab arena** (`slab: Vec<Segment>`) at stable slots, and a separate
+//! **order chain** (`order: Vec<u32>`) lists the live slots in time
+//! order. A structural mutation — `split_at` inserting a boundary,
+//! coalescing removing one — shifts 4-byte slot indices in the chain
+//! instead of memmoving 16-byte `Segment`s, and the `Segment` values
+//! themselves never move: slots freed by coalescing or trimming are
+//! recycled through a free list (`free_slots`), so a steady-state
+//! simulation stops allocating for segment churn entirely. The segment
+//! tree stays positional over the chain (leaf `i` aggregates
+//! `slab[order[i]]`), so its suffix re-derivation walks indices, and
+//! `order_bytes_shifted` in [`ProfileStats`] records the index traffic
+//! that replaced whole-segment memmoves.
 //!
 //! [`Profile::find_anchor_linear`] preserves the pre-index plain scan;
 //! differential property tests (`tests/profile_differential.rs`) assert
@@ -148,14 +164,15 @@ impl SegTree {
         }
     }
 
-    /// Rebuild from scratch: O(size).
-    fn rebuild(&mut self, segs: &[Segment]) {
-        self.len = segs.len();
-        self.size = segs.len().next_power_of_two();
+    /// Rebuild from scratch: O(size). Leaf `i` aggregates
+    /// `slab[order[i]]` — the tree is positional over the order chain.
+    fn rebuild(&mut self, slab: &[Segment], order: &[u32]) {
+        self.len = order.len();
+        self.size = order.len().next_power_of_two();
         self.nodes.clear();
         self.nodes.resize(2 * self.size, PAD);
-        for (i, s) in segs.iter().enumerate() {
-            self.nodes[self.size + i] = Self::leaf(s);
+        for (i, &ix) in order.iter().enumerate() {
+            self.nodes[self.size + i] = Self::leaf(&slab[ix as usize]);
         }
         for v in (1..self.size).rev() {
             self.nodes[v] = Self::merge(self.nodes[2 * v], self.nodes[2 * v + 1]);
@@ -164,10 +181,10 @@ impl SegTree {
 
     /// Refresh leaves `[first, last)` after a value-only mutation (no
     /// boundary moved), then re-derive their O(log n) ancestor paths.
-    fn update_range(&mut self, segs: &[Segment], first: usize, last: usize) {
+    fn update_range(&mut self, slab: &[Segment], order: &[u32], first: usize, last: usize) {
         debug_assert!(first < last && last <= self.len);
-        for (i, seg) in segs[first..last].iter().enumerate() {
-            self.nodes[self.size + first + i] = Self::leaf(seg);
+        for (i, &ix) in order[first..last].iter().enumerate() {
+            self.nodes[self.size + first + i] = Self::leaf(&slab[ix as usize]);
         }
         let mut l = self.size + first;
         let mut r = self.size + last - 1;
@@ -181,18 +198,18 @@ impl SegTree {
     }
 
     /// Re-derive leaves `from..` and every ancestor above them, after an
-    /// insertion or removal shifted the suffix of the segment vector.
+    /// insertion or removal shifted the suffix of the order chain.
     /// Falls back to a full rebuild when the leaf capacity changed.
-    fn resync_from(&mut self, segs: &[Segment], from: usize) {
-        let size = segs.len().next_power_of_two();
+    fn resync_from(&mut self, slab: &[Segment], order: &[u32], from: usize) {
+        let size = order.len().next_power_of_two();
         if size != self.size {
-            self.rebuild(segs);
+            self.rebuild(slab, order);
             return;
         }
-        self.len = segs.len();
+        self.len = order.len();
         for i in from..self.size {
-            self.nodes[self.size + i] = match segs.get(i) {
-                Some(seg) => Self::leaf(seg),
+            self.nodes[self.size + i] = match order.get(i) {
+                Some(&ix) => Self::leaf(&slab[ix as usize]),
                 None => PAD,
             };
         }
@@ -345,13 +362,14 @@ impl FitsCache {
         // First segment starting strictly after `from`; the region before
         // it (a real segment or the implicit fully-free prefix) is where
         // the query window opens.
-        let i0 = profile.segs.partition_point(|s| s.start <= from);
+        let i0 = profile.upper_bound(from);
         let mut min = if i0 == 0 {
             profile.capacity
         } else {
-            profile.segs[i0 - 1].free
+            profile.seg(i0 - 1).free
         };
-        for seg in &profile.segs[i0..] {
+        for pos in i0..profile.seg_count() {
+            let seg = profile.seg(pos);
             self.ends.push(seg.start);
             self.min_free.push(min);
             min = min.min(seg.free);
@@ -364,6 +382,24 @@ impl FitsCache {
     fn min_free_until(&self, end: SimTime) -> u32 {
         let j = self.ends.partition_point(|&e| e < end);
         self.min_free[j.min(self.min_free.len() - 1)]
+    }
+
+    /// Whether a `width`-wide rectangle over `[from, end)` fits. The
+    /// prefix minima are non-increasing, so the extreme entries bound
+    /// every answer: a probe wider than the first window's minimum fails
+    /// for *any* end, one no wider than the full-horizon minimum fits for
+    /// any end. Both are O(1), and in a saturated system (free capacity
+    /// at `from` near zero) almost every compression probe dies on the
+    /// first compare — the binary search runs only for the sliver of
+    /// probes whose answer actually depends on `end`.
+    fn admits(&self, end: SimTime, width: u32) -> bool {
+        if self.min_free[0] < width {
+            return false;
+        }
+        if self.min_free[self.min_free.len() - 1] >= width {
+            return true;
+        }
+        self.min_free_until(end) >= width
     }
 }
 
@@ -422,6 +458,16 @@ pub struct ProfileStats {
     /// query's left edge moved); answered by a tree descent, or by the
     /// memoizing rebuild on a repeat.
     pub fits_cache_misses: u64,
+    /// Bytes of order-chain index traffic from structural mutations
+    /// (boundary inserts/removes, trims) — the 4-byte-per-segment shifts
+    /// that replaced whole-`Segment` memmoves in the slab layout.
+    pub order_bytes_shifted: u64,
+    /// Segment slots recycled from the slab free list instead of growing
+    /// the arena (steady state allocates nothing for segment churn).
+    pub slab_slot_reuses: u64,
+    /// Scheduler scratch buffers reused across events instead of being
+    /// freshly allocated (see [`Profile::note_scratch_reuse`]).
+    pub scratch_reuses: u64,
 }
 
 impl ProfileStats {
@@ -445,6 +491,9 @@ impl ProfileStats {
         self.profile_rebuilds_avoided += other.profile_rebuilds_avoided;
         self.fits_cache_hits += other.fits_cache_hits;
         self.fits_cache_misses += other.fits_cache_misses;
+        self.order_bytes_shifted += other.order_bytes_shifted;
+        self.slab_slot_reuses += other.slab_slot_reuses;
+        self.scratch_reuses += other.scratch_reuses;
     }
 
     /// Mean segments examined per anchor search (0 if none ran). Counts
@@ -489,6 +538,9 @@ struct Counters {
     queue_sorts_avoided: Cell<u64>,
     fits_cache_hits: Cell<u64>,
     fits_cache_misses: Cell<u64>,
+    order_bytes_shifted: Cell<u64>,
+    slab_slot_reuses: Cell<u64>,
+    scratch_reuses: Cell<u64>,
 }
 
 fn bump(cell: &Cell<u64>, by: u64) {
@@ -513,11 +565,20 @@ fn bump(cell: &Cell<u64>, by: u64) {
 #[derive(Debug, Clone)]
 pub struct Profile {
     capacity: u32,
-    /// Sorted by `start`, strictly increasing, values coalesced.
-    /// Non-empty: the last segment extends to infinity.
-    segs: Vec<Segment>,
-    /// Min/max-augmented segment tree over `segs`, kept synchronized by
-    /// every mutation.
+    /// Segment arena: stable slots that are never shifted. Which slots
+    /// are live, and in what time order, is `order`'s business; dead
+    /// slots wait in `free_slots` for reuse.
+    slab: Vec<Segment>,
+    /// Recyclable slab slots (indices of segments removed by coalescing
+    /// or trimming).
+    free_slots: Vec<u32>,
+    /// The order chain: live slab slots sorted by segment start, strictly
+    /// increasing, values coalesced. Non-empty: the last segment extends
+    /// to infinity. Structural mutations shift these 4-byte indices, not
+    /// the 16-byte segments.
+    order: Vec<u32>,
+    /// Min/max-augmented segment tree, positional over `order`, kept
+    /// synchronized by every mutation.
     tree: SegTree,
     /// Process-globally-unique silhouette token, refreshed from
     /// [`GENERATION`] on every mutation; validates `fits_cache`.
@@ -529,8 +590,11 @@ pub struct Profile {
 impl PartialEq for Profile {
     fn eq(&self, other: &Self) -> bool {
         // The tree is a pure function of the segments, and the counters
-        // are instrumentation: the silhouette alone defines identity.
-        self.capacity == other.capacity && self.segs == other.segs
+        // (plus the slab's slot assignment and free list) are
+        // representation: the silhouette alone defines identity.
+        self.capacity == other.capacity
+            && self.order.len() == other.order.len()
+            && (0..self.order.len()).all(|i| self.seg(i) == other.seg(i))
     }
 }
 
@@ -540,15 +604,18 @@ impl Profile {
     /// A fully free machine with `capacity` processors. Panics if zero.
     pub fn new(capacity: u32) -> Self {
         assert!(capacity > 0, "profile needs positive capacity");
-        let segs = vec![Segment {
+        let slab = vec![Segment {
             start: SimTime::ZERO,
             free: capacity,
         }];
+        let order = vec![0u32];
         let mut tree = SegTree::default();
-        tree.rebuild(&segs);
+        tree.rebuild(&slab, &order);
         let p = Profile {
             capacity,
-            segs,
+            slab,
+            free_slots: Vec::new(),
+            order,
             tree,
             generation: next_generation(),
             fits_cache: RefCell::new(FitsCache::default()),
@@ -563,9 +630,42 @@ impl Profile {
         self.capacity
     }
 
-    /// The underlying segments (for inspection and tests).
-    pub fn segments(&self) -> &[Segment] {
-        &self.segs
+    /// The segments in time order (for inspection and tests; assembled
+    /// from the slab on each call — the hot paths never build this).
+    pub fn segments(&self) -> Vec<Segment> {
+        self.order
+            .iter()
+            .map(|&ix| self.slab[ix as usize])
+            .collect()
+    }
+
+    /// The ordered segment at position `pos` (copied out of the slab).
+    #[inline]
+    fn seg(&self, pos: usize) -> Segment {
+        self.slab[self.order[pos] as usize]
+    }
+
+    /// Number of live segments.
+    #[inline]
+    fn seg_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Position of the first ordered segment with `start > t` (the
+    /// `partition_point(start <= t)` of the old contiguous layout).
+    #[inline]
+    fn upper_bound(&self, t: SimTime) -> usize {
+        let slab = &self.slab;
+        self.order
+            .partition_point(|&ix| slab[ix as usize].start <= t)
+    }
+
+    /// Position of the first ordered segment with `start >= t`.
+    #[inline]
+    fn lower_bound(&self, t: SimTime) -> usize {
+        let slab = &self.slab;
+        self.order
+            .partition_point(|&ix| slab[ix as usize].start < t)
     }
 
     /// Snapshot of the operation counters.
@@ -588,6 +688,9 @@ impl Profile {
             profile_rebuilds_avoided: 0,
             fits_cache_hits: self.stats.fits_cache_hits.get(),
             fits_cache_misses: self.stats.fits_cache_misses.get(),
+            order_bytes_shifted: self.stats.order_bytes_shifted.get(),
+            slab_slot_reuses: self.stats.slab_slot_reuses.get(),
+            scratch_reuses: self.stats.scratch_reuses.get(),
         }
     }
 
@@ -602,12 +705,15 @@ impl Profile {
         self.stats.reserves.set(0);
         self.stats.releases.set(0);
         self.stats.compress_passes.set(0);
-        self.stats.peak_segments.set(self.segs.len() as u64);
+        self.stats.peak_segments.set(self.order.len() as u64);
         self.stats.queue_inserts.set(0);
         self.stats.queue_sorts.set(0);
         self.stats.queue_sorts_avoided.set(0);
         self.stats.fits_cache_hits.set(0);
         self.stats.fits_cache_misses.set(0);
+        self.stats.order_bytes_shifted.set(0);
+        self.stats.slab_slot_reuses.set(0);
+        self.stats.scratch_reuses.set(0);
     }
 
     /// Record one compression pass by the owning scheduler. The pass itself
@@ -629,6 +735,16 @@ impl Profile {
         bump(&self.stats.queue_sorts_avoided, sorts_avoided);
     }
 
+    /// Record one scheduler scratch-buffer reuse: a hot-loop pass (a
+    /// compression sweep, the EASY backfill scan) that filled a retained
+    /// buffer instead of allocating a fresh one. Like
+    /// [`Profile::note_compress_pass`], the event happens at the
+    /// scheduler level; the counter lives here so one [`ProfileStats`]
+    /// carries the whole hot-path story.
+    pub fn note_scratch_reuse(&self) {
+        bump(&self.stats.scratch_reuses, 1);
+    }
+
     /// FNV-1a over the silhouette (capacity + every boundary/level pair).
     /// Debug builds pin this into the `FitsCache` and assert it on every
     /// hit, so an incorrectly accepted stale cache fails loudly instead of
@@ -640,7 +756,8 @@ impl Profile {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         };
         mix(self.capacity as u64);
-        for s in &self.segs {
+        for &ix in &self.order {
+            let s = self.slab[ix as usize];
             mix(s.start.as_secs());
             mix(s.free as u64);
         }
@@ -649,13 +766,13 @@ impl Profile {
 
     /// Free processors at instant `t`.
     pub fn free_at(&self, t: SimTime) -> u32 {
-        // Index of the last segment with start <= t.
-        let idx = self.segs.partition_point(|s| s.start <= t);
+        // Position of the last segment with start <= t.
+        let idx = self.upper_bound(t);
         if idx == 0 {
             // Before all segments: the profile began fully free.
             self.capacity
         } else {
-            self.segs[idx - 1].free
+            self.seg(idx - 1).free
         }
     }
 
@@ -684,14 +801,14 @@ impl Profile {
                 "stale fits cache accepted: generation token collision"
             );
             bump(&self.stats.fits_cache_hits, 1);
-            return cache.min_free_until(end) >= width;
+            return cache.admits(end, width);
         }
         bump(&self.stats.fits_cache_misses, 1);
         if cache.miss_generation == self.generation && cache.miss_from == start {
             // Second probe against an unchanged (silhouette, left edge):
             // the profile has gone quiet, so memoizing pays off now.
             cache.rebuild(self, start);
-            return cache.min_free_until(end) >= width;
+            return cache.admits(end, width);
         }
         cache.miss_generation = self.generation;
         cache.miss_from = start;
@@ -708,16 +825,16 @@ impl Profile {
     /// `(start, end)` must be at least `width`. Two binary searches plus
     /// one range-min descent.
     fn fits_by_tree(&self, start: SimTime, end: SimTime, width: u32, nodes: &mut u64) -> bool {
-        let i0 = self.segs.partition_point(|s| s.start <= start);
+        let i0 = self.upper_bound(start);
         let host_free = if i0 == 0 {
             self.capacity
         } else {
-            self.segs[i0 - 1].free
+            self.seg(i0 - 1).free
         };
         if host_free < width {
             return false;
         }
-        let j = self.segs.partition_point(|s| s.start < end);
+        let j = self.lower_bound(end);
         i0 >= j || self.tree.range_min(i0, j, nodes) >= width
     }
 
@@ -727,7 +844,7 @@ impl Profile {
             "width {width} exceeds capacity {}",
             self.capacity
         );
-        let last_free = self.segs.last().expect("non-empty").free;
+        let last_free = self.seg(self.seg_count() - 1).free;
         assert!(
             width <= last_free,
             "width {width} never fits: final free level is {last_free}"
@@ -754,7 +871,7 @@ impl Profile {
         // Probe counts accumulate in locals and hit the `Cell`s once per
         // call: the interior-mutability bookkeeping must stay off the scan
         // itself, which is the hottest loop in the simulator.
-        let anchor = if self.segs.len() <= SMALL {
+        let anchor = if self.seg_count() <= SMALL {
             let mut visited = 0u64;
             let anchor = self.scan_plain(earliest, duration, width, &mut visited);
             bump(&self.stats.segments_visited, visited);
@@ -789,8 +906,7 @@ impl Profile {
         descents: &mut u64,
         nodes: &mut u64,
     ) -> SimTime {
-        let segs = &self.segs[..];
-        let first_start = segs[0].start;
+        let first_start = self.seg(0).start;
         let mut anchor = earliest;
         // The region before the first boundary is implicitly fully free
         // (it only exists after trim_before); a rectangle fitting entirely
@@ -803,8 +919,8 @@ impl Profile {
         let mut check = if anchor < first_start {
             0
         } else {
-            let host = segs.partition_point(|s| s.start <= anchor) - 1;
-            if segs[host].free >= width {
+            let host = self.upper_bound(anchor) - 1;
+            if self.seg(host).free >= width {
                 host + 1
             } else {
                 // The requested instant is blocked: the earliest possible
@@ -814,7 +930,7 @@ impl Profile {
                     .tree
                     .first_at_least(host + 1, width, nodes)
                     .expect("final segment narrower than asserted");
-                anchor = segs[idx].start;
+                anchor = self.seg(idx).start;
                 idx + 1
             }
         };
@@ -825,13 +941,13 @@ impl Profile {
                 // window: every instant in [anchor, end-of-blockage) dies
                 // on it, so restart at the first feasible segment past
                 // the infeasible run.
-                Some(k) if segs[k].start < anchor + duration => {
+                Some(k) if self.seg(k).start < anchor + duration => {
                     *descents += 1;
                     let idx = self
                         .tree
                         .first_at_least(k + 1, width, nodes)
                         .expect("final segment narrower than asserted");
-                    anchor = segs[idx].start;
+                    anchor = self.seg(idx).start;
                     check = idx + 1;
                 }
                 // No blockage before the window closes: the rectangle fits.
@@ -849,20 +965,17 @@ impl Profile {
         width: u32,
         visited: &mut u64,
     ) -> SimTime {
-        let segs = &self.segs[..];
         let mut anchor = earliest;
-        let first_start = segs[0].start;
+        let first_start = self.seg(0).start;
         if anchor < first_start && anchor + duration <= first_start {
             return anchor;
         }
-        let mut idx = segs
-            .partition_point(|s| s.start <= anchor)
-            .saturating_sub(1);
+        let mut idx = self.upper_bound(anchor).saturating_sub(1);
         loop {
             *visited += 1;
-            let seg = segs[idx];
-            let seg_end = if idx + 1 < segs.len() {
-                segs[idx + 1].start
+            let seg = self.seg(idx);
+            let seg_end = if idx + 1 < self.seg_count() {
+                self.seg(idx + 1).start
             } else {
                 // The final segment is infinite; asserted wide enough.
                 if seg.free >= width {
@@ -893,7 +1006,7 @@ impl Profile {
         }
 
         let mut anchor = earliest;
-        let first_start = self.segs[0].start;
+        let first_start = self.seg(0).start;
         if anchor < first_start && anchor + duration <= first_start {
             return anchor;
         }
@@ -902,14 +1015,11 @@ impl Profile {
         // Invariant on entry to each iteration: free >= width over
         // [anchor, seg.start) — either empty, the implicit free region, or
         // previously verified segments.
-        let mut idx = self
-            .segs
-            .partition_point(|s| s.start <= anchor)
-            .saturating_sub(1);
+        let mut idx = self.upper_bound(anchor).saturating_sub(1);
         loop {
-            let seg = self.segs[idx];
-            let seg_end = if idx + 1 < self.segs.len() {
-                self.segs[idx + 1].start
+            let seg = self.seg(idx);
+            let seg_end = if idx + 1 < self.seg_count() {
+                self.seg(idx + 1).start
             } else {
                 // The final segment is infinite; asserted wide enough above.
                 if seg.free >= width {
@@ -929,45 +1039,75 @@ impl Profile {
         }
     }
 
-    /// Index of the segment containing `t`, splitting a segment at `t` if
-    /// needed so a boundary exists exactly at `t`. The flag reports
-    /// whether a boundary was inserted (a structural change the tree
-    /// cannot absorb with a value-only update).
+    /// Place `seg` in a slab slot — a recycled one when the free list has
+    /// any — and return its index. The segment values themselves never
+    /// move after this.
+    fn alloc_slot(&mut self, seg: Segment) -> u32 {
+        match self.free_slots.pop() {
+            Some(ix) => {
+                self.slab[ix as usize] = seg;
+                bump(&self.stats.slab_slot_reuses, 1);
+                ix
+            }
+            None => {
+                self.slab.push(seg);
+                (self.slab.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Insert slot `ix` at order position `pos`, charging the 4-byte
+    /// suffix shift to the bytes-moved gauge.
+    fn order_insert(&mut self, pos: usize, ix: u32) {
+        let shifted = (self.order.len() - pos) * std::mem::size_of::<u32>();
+        bump(&self.stats.order_bytes_shifted, shifted as u64);
+        self.order.insert(pos, ix);
+    }
+
+    /// Remove the segment at order position `pos`, recycling its slot.
+    fn order_remove(&mut self, pos: usize) {
+        let shifted = (self.order.len() - pos - 1) * std::mem::size_of::<u32>();
+        bump(&self.stats.order_bytes_shifted, shifted as u64);
+        let ix = self.order.remove(pos);
+        self.free_slots.push(ix);
+    }
+
+    /// Order position of the segment containing `t`, splitting a segment
+    /// at `t` if needed so a boundary exists exactly at `t`. The flag
+    /// reports whether a boundary was inserted (a structural change the
+    /// tree cannot absorb with a value-only update).
     fn split_at(&mut self, t: SimTime) -> (usize, bool) {
-        let idx = self.segs.partition_point(|s| s.start <= t);
-        if idx == 0 {
+        let pos = self.upper_bound(t);
+        if pos == 0 {
             // t precedes the whole profile (possible after trim_before):
-            // the region before segs[0] is implicitly fully free.
-            if self.segs[0].free == self.capacity {
+            // the region before the first segment is implicitly fully free.
+            let first = self.order[0] as usize;
+            if self.slab[first].free == self.capacity {
                 // A fully-free segment already opens the profile: moving
                 // its boundary left to `t` is the same silhouette, and
                 // inserting instead would create an adjacent-equal pair
                 // in the middle of the mutation range, where boundary
                 // coalescing would never look.
-                self.segs[0].start = t;
+                self.slab[first].start = t;
                 return (0, false);
             }
-            self.segs.insert(
-                0,
-                Segment {
-                    start: t,
-                    free: self.capacity,
-                },
-            );
+            let ix = self.alloc_slot(Segment {
+                start: t,
+                free: self.capacity,
+            });
+            self.order_insert(0, ix);
             return (0, true);
         }
-        let prev = self.segs[idx - 1];
+        let prev = self.seg(pos - 1);
         if prev.start == t {
-            (idx - 1, false)
+            (pos - 1, false)
         } else {
-            self.segs.insert(
-                idx,
-                Segment {
-                    start: t,
-                    free: prev.free,
-                },
-            );
-            (idx, true)
+            let ix = self.alloc_slot(Segment {
+                start: t,
+                free: prev.free,
+            });
+            self.order_insert(pos, ix);
+            (pos, true)
         }
     }
 
@@ -980,12 +1120,12 @@ impl Profile {
     /// removed (a structural change for the tree).
     fn coalesce_boundaries(&mut self, first: usize, last: usize) -> bool {
         let mut removed = false;
-        if last < self.segs.len() && self.segs[last - 1].free == self.segs[last].free {
-            self.segs.remove(last);
+        if last < self.order.len() && self.seg(last - 1).free == self.seg(last).free {
+            self.order_remove(last);
             removed = true;
         }
-        if first > 0 && self.segs[first - 1].free == self.segs[first].free {
-            self.segs.remove(first);
+        if first > 0 && self.seg(first - 1).free == self.seg(first).free {
+            self.order_remove(first);
             removed = true;
         }
         removed
@@ -998,13 +1138,13 @@ impl Profile {
     fn after_mutation(&mut self, first: usize, last: usize, structural: bool) {
         self.generation = next_generation();
         if structural {
-            self.tree.resync_from(&self.segs, first);
+            self.tree.resync_from(&self.slab, &self.order, first);
             bump(&self.stats.tree_rebuilds, 1);
         } else {
-            self.tree.update_range(&self.segs, first, last);
+            self.tree.update_range(&self.slab, &self.order, first, last);
             bump(&self.stats.tree_incremental_updates, 1);
         }
-        let peak = self.stats.peak_segments.get().max(self.segs.len() as u64);
+        let peak = self.stats.peak_segments.get().max(self.order.len() as u64);
         self.stats.peak_segments.set(peak);
         debug_assert!(self.invariants_ok());
     }
@@ -1025,7 +1165,9 @@ impl Profile {
         let end = start + duration;
         let (first, ins_a) = self.split_at(start);
         let (last, ins_b) = self.split_at(end); // affected segs are first..last
-        for seg in &mut self.segs[first..last] {
+        for pos in first..last {
+            let ix = self.order[pos] as usize;
+            let seg = &mut self.slab[ix];
             assert!(
                 seg.free >= width,
                 "reservation of {width} at {} underflows segment at {} (free {})",
@@ -1052,7 +1194,9 @@ impl Profile {
         let end = start + duration;
         let (first, ins_a) = self.split_at(start);
         let (last, ins_b) = self.split_at(end);
-        for seg in &mut self.segs[first..last] {
+        for pos in first..last {
+            let ix = self.order[pos] as usize;
+            let seg = &mut self.slab[ix];
             assert!(
                 seg.free + width <= self.capacity,
                 "release of {width} at {} overflows segment at {} (free {}, capacity {})",
@@ -1083,10 +1227,10 @@ impl Profile {
         // Two step functions are equal over [from, ∞) iff they agree at
         // `from` and at every boundary of either that lies beyond it.
         let boundaries = self
-            .segs
+            .order
             .iter()
-            .chain(other.segs.iter())
-            .map(|s| s.start)
+            .map(|&ix| self.slab[ix as usize].start)
+            .chain(other.order.iter().map(|&ix| other.slab[ix as usize].start))
             .filter(|&s| s > from);
         std::iter::once(from)
             .chain(boundaries)
@@ -1096,11 +1240,14 @@ impl Profile {
     /// Drop segment boundaries strictly before `now` (they can never matter
     /// again), keeping the level at `now` intact. Bounds memory on long runs.
     pub fn trim_before(&mut self, now: SimTime) {
-        let idx = self.segs.partition_point(|s| s.start <= now);
+        let idx = self.upper_bound(now);
         if idx > 1 {
-            self.segs.drain(..idx - 1);
+            self.free_slots.extend_from_slice(&self.order[..idx - 1]);
+            let shifted = (self.order.len() - (idx - 1)) * std::mem::size_of::<u32>();
+            bump(&self.stats.order_bytes_shifted, shifted as u64);
+            self.order.drain(..idx - 1);
             self.generation = next_generation();
-            self.tree.rebuild(&self.segs);
+            self.tree.rebuild(&self.slab, &self.order);
             bump(&self.stats.tree_rebuilds, 1);
         }
         debug_assert!(self.invariants_ok());
@@ -1110,21 +1257,40 @@ impl Profile {
     /// `debug_assert` it): segment ordering/coalescing/bounds, and the
     /// tree's per-node aggregates against a from-scratch rebuild.
     pub fn invariants_ok(&self) -> bool {
-        if self.segs.is_empty() {
+        if self.order.is_empty() {
             return false;
         }
-        for w in self.segs.windows(2) {
-            if w[0].start >= w[1].start || w[0].free == w[1].free {
+        // Order indices must be in-bounds, unique, and disjoint from the
+        // free list (a slot cannot be both live and recyclable).
+        let mut live = vec![false; self.slab.len()];
+        for &ix in &self.order {
+            let Some(slot) = live.get_mut(ix as usize) else {
+                return false;
+            };
+            if std::mem::replace(slot, true) {
                 return false;
             }
         }
-        if !self.segs.iter().all(|s| s.free <= self.capacity) {
+        if self
+            .free_slots
+            .iter()
+            .any(|&ix| self.slab.get(ix as usize).is_none() || live[ix as usize])
+        {
+            return false;
+        }
+        for pos in 1..self.order.len() {
+            let (a, b) = (self.seg(pos - 1), self.seg(pos));
+            if a.start >= b.start || a.free == b.free {
+                return false;
+            }
+        }
+        if !(0..self.order.len()).all(|pos| self.seg(pos).free <= self.capacity) {
             return false;
         }
         // Every node aggregate must equal what a rebuild would compute —
         // the incremental update paths may take no shortcuts.
         let mut expect = SegTree::default();
-        expect.rebuild(&self.segs);
+        expect.rebuild(&self.slab, &self.order);
         self.tree == expect
     }
 }

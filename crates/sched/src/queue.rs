@@ -266,21 +266,33 @@ pub fn sort_keyed<T: Copy>(
     now: SimTime,
     meta: impl Fn(&T) -> JobMeta,
 ) {
+    sort_keyed_with(items, policy, now, &mut Vec::new(), meta);
+}
+
+/// [`sort_keyed`] with a caller-owned scratch buffer for the keyed copy,
+/// so a scheduler that compresses on every early completion pays the
+/// key-buffer allocation once instead of per pass. The scratch is cleared
+/// on entry; its contents never affect the order.
+pub fn sort_keyed_with<T: Copy>(
+    items: &mut [T],
+    policy: Policy,
+    now: SimTime,
+    scratch: &mut Vec<(f64, T)>,
+    meta: impl Fn(&T) -> JobMeta,
+) {
     if policy != Policy::XFactor {
         items.sort_by(|a, b| policy.compare(&meta(a), &meta(b), now));
         return;
     }
-    let mut keyed: Vec<(f64, T)> = items
-        .iter()
-        .map(|t| (Policy::xfactor(&meta(t), now), *t))
-        .collect();
-    keyed.sort_unstable_by(|a, b| {
+    scratch.clear();
+    scratch.extend(items.iter().map(|t| (Policy::xfactor(&meta(t), now), *t)));
+    scratch.sort_unstable_by(|a, b| {
         let (ma, mb) = (meta(&a.1), meta(&b.1));
         b.0.total_cmp(&a.0)
             .then_with(|| ma.arrival.cmp(&mb.arrival))
             .then_with(|| ma.id.cmp(&mb.id))
     });
-    for (slot, &(_, t)) in items.iter_mut().zip(&keyed) {
+    for (slot, &(_, t)) in items.iter_mut().zip(scratch.iter()) {
         *slot = t;
     }
 }

@@ -117,6 +117,17 @@ pub trait Scheduler {
     fn set_recorder(&mut self, recorder: SharedRecorder) {
         let _ = recorder;
     }
+
+    /// Return a consumed [`Decisions`] so its buffers can serve the next
+    /// event. The driver calls this after applying every decision set;
+    /// schedulers that keep scratch buffers clear and stash the vectors
+    /// (their *capacity* is the asset — the contents are already applied),
+    /// making the per-event `starts` allocation disappear once the buffers
+    /// reach steady-state size. Purely an allocation optimization: the
+    /// contents handed back must never influence a decision. Default: drop.
+    fn recycle(&mut self, spent: Decisions) {
+        let _ = spent;
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@
 
 use crate::policy::Policy;
 use crate::profile::{Profile, ProfileStats};
-use crate::queue::{sort_keyed, SchedQueue};
+use crate::queue::{sort_keyed_with, SchedQueue};
 use crate::scheduler::{Decisions, JobMeta, Scheduler};
 use simcore::{JobId, SimSpan, SimTime};
 use std::collections::HashMap;
@@ -56,6 +56,10 @@ pub struct SelectiveScheduler {
     /// scheduler: the profile runs ahead of the event stream at instants
     /// with several simultaneous completions).
     free: u32,
+    /// Recycled `starts` buffer from the previous event's [`Decisions`].
+    starts_scratch: Vec<JobId>,
+    /// Reusable keyed-sort buffer for XFactor compression passes.
+    sort_scratch: Vec<(f64, Reservation)>,
 }
 
 impl SelectiveScheduler {
@@ -75,6 +79,8 @@ impl SelectiveScheduler {
             unreserved: SchedQueue::new(policy),
             running: HashMap::new(),
             free: capacity,
+            starts_scratch: Vec::new(),
+            sort_scratch: Vec::new(),
         }
     }
 
@@ -111,7 +117,14 @@ impl SelectiveScheduler {
     fn compress(&mut self, now: SimTime) {
         self.profile.note_compress_pass();
         self.profile.note_queue_ops(0, 1, 0);
-        sort_keyed(&mut self.reserved, self.policy, now, |r| r.meta);
+        if self.policy == Policy::XFactor && self.sort_scratch.capacity() > 0 {
+            self.profile.note_scratch_reuse();
+        }
+        let mut scratch = std::mem::take(&mut self.sort_scratch);
+        sort_keyed_with(&mut self.reserved, self.policy, now, &mut scratch, |r| {
+            r.meta
+        });
+        self.sort_scratch = scratch;
         for i in 0..self.reserved.len() {
             let res = self.reserved[i];
             // If the rectangle fits at `now` with the job's own
@@ -146,7 +159,11 @@ impl SelectiveScheduler {
     /// observed during `on_wake` cannot resolve at `now` and asking for a
     /// same-instant wake-up again would spin forever.
     fn reschedule(&mut self, now: SimTime, retry_same_instant: bool) -> Decisions {
-        let mut starts = Vec::new();
+        let mut starts = std::mem::take(&mut self.starts_scratch);
+        debug_assert!(starts.is_empty());
+        if starts.capacity() > 0 {
+            self.profile.note_scratch_reuse();
+        }
 
         // Promote jobs whose expansion factor crossed the threshold, in
         // priority order (simultaneous crossers are anchored best-first).
@@ -266,6 +283,12 @@ impl Scheduler for SelectiveScheduler {
         let mut stats = self.profile.stats();
         self.unreserved.counters().merge_into(&mut stats);
         Some(stats)
+    }
+
+    fn recycle(&mut self, spent: Decisions) {
+        let mut starts = spent.starts;
+        starts.clear();
+        self.starts_scratch = starts;
     }
 }
 

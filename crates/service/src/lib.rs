@@ -57,6 +57,7 @@ pub mod fault;
 pub mod pool;
 pub mod protocol;
 pub mod server;
+pub mod tracecache;
 
 pub use cache::{JournalReplay, Lookup, ResultCache};
 pub use client::{Backoff, Client, ClientError, ClientOptions, ResilientClient, RetryPolicy};

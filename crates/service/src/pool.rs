@@ -20,7 +20,8 @@
 //!   `worker_panics` counts the event.
 
 use crate::fault::FaultActions;
-use backfill_sim::{run_cell, CellError, RunConfig, Schedule};
+use crate::tracecache::TraceCache;
+use backfill_sim::{run_cell_on, CellError, RunConfig, Schedule};
 use crossbeam::channel::{self, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -81,12 +82,20 @@ pub struct WorkerPool {
     queued: Arc<AtomicUsize>,
     in_flight: Arc<AtomicUsize>,
     panics: Arc<AtomicUsize>,
+    traces: Arc<TraceCache>,
 }
 
 impl WorkerPool {
     /// Spawn `workers` threads behind a queue of at most `queue_cap`
-    /// waiting tasks. Both must be at least 1.
+    /// waiting tasks, sharing a default-capacity [`TraceCache`]. Both
+    /// sizes must be at least 1.
     pub fn new(workers: usize, queue_cap: usize) -> Self {
+        Self::with_trace_cache(workers, queue_cap, Arc::new(TraceCache::new()))
+    }
+
+    /// Like [`Self::new`], sharing the caller's trace cache — the daemon
+    /// hands in the cache whose counters it has bound to its registry.
+    pub fn with_trace_cache(workers: usize, queue_cap: usize, traces: Arc<TraceCache>) -> Self {
         assert!(workers >= 1, "pool needs at least one worker");
         let (tx, rx) = channel::bounded::<Task>(queue_cap);
         let queued = Arc::new(AtomicUsize::new(0));
@@ -98,14 +107,15 @@ impl WorkerPool {
                 let queued = queued.clone();
                 let in_flight = in_flight.clone();
                 let panics = panics.clone();
+                let traces = traces.clone();
                 std::thread::spawn(move || {
                     while let Ok(task) = rx.recv() {
                         queued.fetch_sub(1, Ordering::SeqCst);
                         in_flight.fetch_add(1, Ordering::SeqCst);
                         // The outer catch_unwind is the pool's own crash
                         // boundary: injected worker panics (and any real
-                        // bug outside run_cell) land here, not on the
-                        // thread.
+                        // bug outside the simulation boundary) land here,
+                        // not on the thread.
                         let result = catch_unwind(AssertUnwindSafe(|| {
                             if let Some(delay) = task.fault.delay {
                                 std::thread::sleep(delay);
@@ -114,8 +124,19 @@ impl WorkerPool {
                                 panic!("injected worker panic (fault plan)");
                             }
                             let started = Instant::now();
+                            // Trace sharing: tasks over the same scenario
+                            // reuse one materialized trace. Both halves —
+                            // materialization and simulation — keep
+                            // run_cell's per-task fault isolation.
+                            let outcome = match traces.get_or_materialize(&task.config.scenario) {
+                                Ok(trace) => run_cell_on(&task.config, &trace),
+                                Err(panic) => Err(CellError {
+                                    config: task.config,
+                                    panic,
+                                }),
+                            };
                             TaskResult {
-                                outcome: run_cell(&task.config),
+                                outcome,
                                 run_wall: started.elapsed(),
                             }
                         }));
@@ -151,7 +172,13 @@ impl WorkerPool {
             queued,
             in_flight,
             panics,
+            traces,
         }
+    }
+
+    /// The scenario-keyed trace cache shared by the workers.
+    pub fn trace_cache(&self) -> &TraceCache {
+        &self.traces
     }
 
     /// Queue a task, blocking while the queue is at capacity
@@ -280,6 +307,29 @@ mod tests {
         assert_eq!(pool.queue_depth(), 0);
         assert_eq!(pool.in_flight(), 0);
         assert_eq!(pool.worker_panics(), 0);
+    }
+
+    #[test]
+    fn tasks_over_one_scenario_share_a_trace() {
+        let pool = WorkerPool::new(2, 8);
+        let (reply, results) = mpsc::channel();
+        // Six tasks, two distinct scenarios: the cache must materialize
+        // exactly two traces, everything else hits.
+        for i in 0..6u64 {
+            pool.submit(task(config(i % 2, 0.9), reply.clone()))
+                .unwrap();
+        }
+        drop(reply);
+        while results.recv().is_ok() {}
+        let (hits, misses, entries, evictions) = pool.trace_cache().stats();
+        assert_eq!(hits + misses, 6);
+        assert_eq!(entries, 2);
+        assert_eq!(evictions, 0);
+        // Workers may race the first materialization of each scenario,
+        // so misses can exceed 2 — but never the task count, and with
+        // two scenarios at least four lookups land after a publish
+        // barrier in the common unraced run.
+        assert!(misses >= 2, "two scenarios need two materializations");
     }
 
     #[test]

@@ -186,12 +186,14 @@ impl Inner {
             None => ResultCache::with_capacity(cfg.cache_cap),
         };
         cache.bind_metrics(&registry);
+        let traces = Arc::new(crate::tracecache::TraceCache::new());
+        traces.bind_metrics(&registry);
         let fault = cfg.fault_plan.clone().filter(|plan| !plan.is_empty());
         if let Some(plan) = &fault {
             obs::warn!(target: "service::fault", "fault injection ACTIVE: {plan}");
         }
         Ok(Inner {
-            pool: WorkerPool::new(cfg.workers.max(1), cfg.queue_cap.max(1)),
+            pool: WorkerPool::with_trace_cache(cfg.workers.max(1), cfg.queue_cap.max(1), traces),
             cache,
             fault: fault.map(FaultInjector::new),
             draining: AtomicBool::new(false),

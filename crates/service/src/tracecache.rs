@@ -1,0 +1,230 @@
+//! Scenario-keyed trace cache for the worker pool.
+//!
+//! A sweep submitted to `bfsimd` is dozens of (scheduler × policy) cells
+//! over a handful of scenarios, but tasks arrive one by one, so the pool
+//! cannot group them the way `run_all` does. Instead the workers share
+//! this cache: traces are memoized under the **canonical JSON** of their
+//! [`Scenario`] (same keying discipline as the result cache — full text,
+//! not a hash, so distinct scenarios can never alias), and a worker that
+//! misses materializes once and publishes the `Arc<Trace>` for everyone
+//! after it.
+//!
+//! The cache is bounded with the same LRU-by-tick scan as
+//! [`ResultCache`](crate::cache::ResultCache): traces are a few MB each,
+//! so the cap is small, and an eviction scan only happens after a full
+//! trace materialization. Two workers racing on the same scenario may
+//! both materialize; materialization is deterministic, so last-write-wins
+//! is harmless. A scenario whose materialization panics is **not**
+//! cached — every request for it re-runs (and re-fails), exactly like the
+//! per-cell fault boundary in `run_cell`.
+
+use backfill_sim::{materialize_caught, Scenario};
+use obs::metrics::{Counter, Metric, Registry};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use workload::Trace;
+
+/// A memoized trace plus its last-touched tick.
+#[derive(Debug)]
+struct Entry {
+    trace: Arc<Trace>,
+    /// Logical LRU clock value of the last lookup hit or insert.
+    tick: u64,
+}
+
+/// Guarded state: the map and the logical clock it stamps entries with.
+#[derive(Debug, Default)]
+struct Slots {
+    map: HashMap<String, Entry>,
+    clock: u64,
+}
+
+impl Slots {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// Thread-safe memoization of materialized traces, keyed by canonical
+/// scenario JSON, bounded to `cap` entries with LRU eviction. Counters
+/// are monotone over the cache's lifetime.
+#[derive(Debug)]
+pub struct TraceCache {
+    slots: Mutex<Slots>,
+    cap: usize,
+    // Shared obs handles so the owning daemon can `bind_metrics` them
+    // into its registry; the cache increments, the registry reads.
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAP)
+    }
+}
+
+impl TraceCache {
+    /// Default entry cap. A full paper sweep spans ~6 scenarios and a
+    /// 20k-job trace is a few MB, so a small cap holds several complete
+    /// sweeps' worth of traces without ballooning the daemon.
+    pub const DEFAULT_CAP: usize = 32;
+
+    /// Create an empty cache with the default entry cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty cache holding at most `cap` entries (minimum 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        TraceCache {
+            slots: Mutex::new(Slots::default()),
+            cap: cap.max(1),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Expose the cache's counters to `registry` under
+    /// `service.trace_cache.{hits,misses,evictions}`.
+    pub fn bind_metrics(&self, registry: &Registry) {
+        registry.bind(
+            "service.trace_cache.hits",
+            Metric::Counter(self.hits.clone()),
+        );
+        registry.bind(
+            "service.trace_cache.misses",
+            Metric::Counter(self.misses.clone()),
+        );
+        registry.bind(
+            "service.trace_cache.evictions",
+            Metric::Counter(self.evictions.clone()),
+        );
+    }
+
+    /// The scenario's trace: served from cache on a hit (refreshing
+    /// recency), materialized — outside the lock — and published on a
+    /// miss. A panic during materialization comes back as its rendered
+    /// text and leaves the cache untouched.
+    pub fn get_or_materialize(&self, scenario: &Scenario) -> Result<Arc<Trace>, String> {
+        let key = scenario.canonical_json();
+        {
+            let mut slots = self.slots.lock();
+            let tick = slots.tick();
+            if let Some(entry) = slots.map.get_mut(&key) {
+                entry.tick = tick;
+                self.hits.inc();
+                return Ok(entry.trace.clone());
+            }
+        }
+        self.misses.inc();
+        // Materialize with the lock released: a multi-second trace
+        // generation must not stall every other worker's lookups.
+        let trace = Arc::new(materialize_caught(scenario)?);
+        let mut slots = self.slots.lock();
+        let tick = slots.tick();
+        if slots.map.len() >= self.cap && !slots.map.contains_key(&key) {
+            let coldest = slots
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("cap >= 1, so a full map is non-empty");
+            slots.map.remove(&coldest);
+            self.evictions.inc();
+        }
+        slots.map.insert(
+            key,
+            Entry {
+                trace: trace.clone(),
+                tick,
+            },
+        );
+        Ok(trace)
+    }
+
+    /// `(hits, misses, entries, evictions)` counters.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.hits.get(),
+            self.misses.get(),
+            self.slots.lock().map.len() as u64,
+            self.evictions.get(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backfill_sim::{Scenario, TraceSource};
+
+    fn scenario(seed: u64, load: f64) -> Scenario {
+        Scenario {
+            source: TraceSource::Ctc { jobs: 60, seed },
+            estimate: workload::EstimateModel::Exact,
+            estimate_seed: 1,
+            load: Some(load),
+        }
+    }
+
+    #[test]
+    fn second_lookup_shares_the_first_materialization() {
+        let cache = TraceCache::new();
+        let sc = scenario(1, 0.9);
+        let a = cache.get_or_materialize(&sc).unwrap();
+        let b = cache.get_or_materialize(&sc).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the cached trace");
+        assert_eq!(cache.stats(), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn distinct_scenarios_occupy_distinct_slots() {
+        let cache = TraceCache::new();
+        let a = cache.get_or_materialize(&scenario(1, 0.9)).unwrap();
+        let b = cache.get_or_materialize(&scenario(2, 0.9)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (0, 2, 2, 0));
+    }
+
+    #[test]
+    fn lru_eviction_under_cap_of_two() {
+        let cache = TraceCache::with_capacity(2);
+        let (a, b, c) = (scenario(1, 0.9), scenario(2, 0.9), scenario(3, 0.9));
+        cache.get_or_materialize(&a).unwrap();
+        cache.get_or_materialize(&b).unwrap();
+        // Touch `a`: it becomes the most recently used of the two.
+        cache.get_or_materialize(&a).unwrap();
+        // Third distinct scenario at cap 2: the LRU entry — `b` — goes.
+        cache.get_or_materialize(&c).unwrap();
+        let (hits, misses, entries, evictions) = cache.stats();
+        assert_eq!((hits, misses, entries, evictions), (1, 3, 2, 1));
+        // `b` misses again (re-materializes), evicting the new LRU `a`;
+        // `c` — just inserted — still hits.
+        cache.get_or_materialize(&b).unwrap();
+        cache.get_or_materialize(&c).unwrap();
+        let (hits, misses, _, evictions) = cache.stats();
+        assert_eq!((hits, misses, evictions), (2, 4, 2));
+    }
+
+    #[test]
+    fn poisoned_scenario_is_never_cached() {
+        let cache = TraceCache::new();
+        let bad = scenario(1, -1.0); // scale_to_load panics on negative load
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // expected panics below
+        let first = cache.get_or_materialize(&bad);
+        let second = cache.get_or_materialize(&bad);
+        std::panic::set_hook(hook);
+        for result in [first, second] {
+            let panic = result.expect_err("poisoned scenario must fail");
+            assert!(panic.contains("target load must be positive"));
+        }
+        let (_, misses, entries, _) = cache.stats();
+        assert_eq!((misses, entries), (2, 0), "failures must not be cached");
+    }
+}

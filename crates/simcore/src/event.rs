@@ -10,6 +10,49 @@
 //! * `seq` — a monotonically increasing insertion counter that breaks all
 //!   remaining ties, making the pop order a total order and the whole
 //!   simulation reproducible.
+//!
+//! # The ladder layout
+//!
+//! The queue exploits what a general-purpose heap cannot: simulation time
+//! only moves forward (pushing before the last popped instant panics), so
+//! the pending set splits into a **near tier** — a ring of one-second
+//! buckets covering the `NEAR_WINDOW` seconds after the current window
+//! origin, addressed by `time % NEAR_WINDOW` in O(1) — and an **overflow
+//! tier** holding everything pushed at or past the window's horizon in a
+//! binary min-heap over the same `(time, class, seq)` key. The ring is
+//! deliberately small (64 buckets, a single `u64` occupancy bitmap): it
+//! exists for the *imminent* cluster — zero-delay wake-ups and
+//! same-instant class-ordered events, the simulator's highest-frequency
+//! traffic — and the whole tier stays L1-resident. Pops find the ring's
+//! earliest occupied bucket with one shift and one `trailing_zeros` on
+//! the bitmap — no comparisons, no walk.
+//!
+//! An event lives in exactly one tier for its whole life — there is **no
+//! migration**. A push lands in the ring iff its instant is inside the
+//! current window, in the heap otherwise; a pop compares the ring's
+//! earliest entry against the heap's top under the full `(time, class,
+//! seq)` order and takes the smaller. That comparison is what keeps the
+//! order exact even though the tiers may *overlap* in time: whenever the
+//! ring goes idle, the window re-anchors at the instant just popped so
+//! near-future pushes ride the ring again, and heap entries pushed
+//! before the re-anchor may now fall inside the window. The payoff is
+//! that a time-sparse stretch (events further apart than the window)
+//! costs exactly a binary-heap pop — no window bookkeeping, no double
+//! handling — while clustered traffic pushes and pops through the O(1)
+//! ring without ever touching the heap. Ring buckets keep their storage
+//! parked in their slot between uses, so a steady-state run stops
+//! allocating on the event path.
+//!
+//! Simultaneous events sharing a bucket are resolved by a linear
+//! min-scan over `(class, seq)` at pop time — buckets hold the handful
+//! of events of one simulated second, so this beats keeping each bucket
+//! sorted on insert.
+//!
+//! The pre-ladder binary heap survives as [`HeapEventQueue`]: the
+//! differential oracle for the property tests
+//! (`tests/event_queue_differential.rs`), and — with the `heap-oracle`
+//! feature enabled — a shadow queue run in lockstep *inside*
+//! [`EventQueue`], asserting every pop against the heap's answer.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -28,6 +71,16 @@ impl EventClass {
     /// Fires after everything else at the same instant.
     pub const LAST: EventClass = EventClass(255);
 }
+
+/// Width of the near tier, in one-second buckets. Pinned at 64 so the
+/// occupancy bitmap is a single `u64` and the ring (64 `Vec` headers,
+/// ~1.5 KiB) stays L1-resident. The pending set is shallow in steady
+/// state (arrivals are seeded lazily), so a wider window would only
+/// grow the tier's cache footprint past what a small binary heap costs;
+/// one minute is enough to absorb the zero-delay wake-ups and
+/// same-instant clusters that dominate the event traffic, and the
+/// overflow heap takes the sparse tail at its native cost.
+const NEAR_WINDOW: u64 = 64;
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -56,26 +109,37 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic min-priority queue of simulation events.
+/// One pending event inside a bucket; the firing time is the bucket's key.
 #[derive(Debug)]
-pub struct EventQueue<E> {
+struct Pending<E> {
+    class: EventClass,
+    seq: u64,
+    payload: E,
+}
+
+/// The pre-ladder event queue: a plain `BinaryHeap` over
+/// `(time, class, seq)`. Kept as the **differential oracle** — the
+/// property test drives it in lockstep with the ladder queue over
+/// arbitrary interleavings, and the `heap-oracle` feature embeds it in
+/// [`EventQueue`] to assert every pop at runtime. Semantics are identical
+/// by definition: both structures realize the same total order.
+#[derive(Debug)]
+pub struct HeapEventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    /// Time of the most recently popped event; pushes earlier than this are
-    /// causality violations and panic.
     watermark: SimTime,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapEventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             watermark: SimTime::ZERO,
@@ -93,10 +157,6 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedule `payload` at `time` with the default class.
-    ///
-    /// # Panics
-    /// If `time` is earlier than the last popped event (scheduling into the
-    /// past breaks causality and always indicates a scheduler bug).
     pub fn push(&mut self, time: SimTime, payload: E) {
         self.push_classed(time, EventClass::NORMAL, payload);
     }
@@ -120,15 +180,281 @@ impl<E> EventQueue<E> {
 
     /// Remove and return the earliest event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_keyed().map(|(t, _, _, p)| (t, p))
+    }
+
+    /// Like `pop`, exposing the full `(time, class, seq, payload)` key —
+    /// what the differential tests compare.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, EventClass, u64, E)> {
         let entry = self.heap.pop()?;
         debug_assert!(entry.time >= self.watermark);
         self.watermark = entry.time;
-        Some((entry.time, entry.payload))
+        Some((entry.time, entry.class, entry.seq, entry.payload))
     }
 
     /// The firing time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
+    }
+}
+
+/// A deterministic min-priority queue of simulation events (see the
+/// module docs for the two-tier ladder layout).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    /// Near tier: `NEAR_WINDOW` one-second buckets, slot = `time %
+    /// NEAR_WINDOW`. The window `[horizon - NEAR_WINDOW, horizon)` is
+    /// exactly `NEAR_WINDOW` wide, so each in-window instant owns its
+    /// slot exclusively.
+    near: Vec<Vec<Pending<E>>>,
+    /// Occupancy bitmap over `near` (bit = slot holds ≥ 1 event); a
+    /// single word because the ring is exactly 64 buckets wide.
+    occ: u64,
+    /// Events currently in the near tier.
+    near_len: usize,
+    /// Exclusive end of the near window, in raw seconds.
+    horizon: u64,
+    /// Overflow tier: events pushed with instants at or past the
+    /// then-current `horizon`, in a binary min-heap over `(time, class,
+    /// seq)` (the `Entry` ordering is inverted for `BinaryHeap`'s
+    /// max-heap). Re-anchoring can move `horizon` past entries already
+    /// here, so the tiers may overlap in time — `pop` compares both.
+    far: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Time of the most recently popped event; pushes earlier than this are
+    /// causality violations and panic.
+    watermark: SimTime,
+    /// Shadow heap asserting every pop (feature-gated differential oracle).
+    #[cfg(feature = "heap-oracle")]
+    oracle: HeapEventQueue<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        let mut near = Vec::with_capacity(NEAR_WINDOW as usize);
+        near.resize_with(NEAR_WINDOW as usize, Vec::new);
+        EventQueue {
+            near,
+            occ: 0,
+            near_len: 0,
+            horizon: NEAR_WINDOW,
+            far: BinaryHeap::new(),
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+            #[cfg(feature = "heap-oracle")]
+            oracle: HeapEventQueue::new(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.near_len + self.far.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `payload` at `time` with the default class.
+    ///
+    /// # Panics
+    /// If `time` is earlier than the last popped event (scheduling into the
+    /// past breaks causality and always indicates a scheduler bug).
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        self.push_classed(time, EventClass::NORMAL, payload);
+    }
+
+    /// Schedule `payload` at `time` with an explicit simultaneity class.
+    pub fn push_classed(&mut self, time: SimTime, class: EventClass, payload: E) {
+        assert!(
+            time >= self.watermark,
+            "event scheduled in the past: {time} < watermark {}",
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        #[cfg(feature = "heap-oracle")]
+        self.oracle.push_classed(time, class, seq);
+        // `watermark < horizon` after every pop (ring instants are below
+        // the horizon; a far pop with the ring idle re-anchors), so a
+        // zero-delay push always lands in the ring with no extra check
+        // here. After a long idle jump the first event takes one heap
+        // round-trip and the pop that retires it re-anchors the window.
+        let t = time.as_secs();
+        if t < self.horizon {
+            // In-window: the ring slot is exclusively this instant's.
+            let slot = (t % NEAR_WINDOW) as usize;
+            self.near[slot].push(Pending {
+                class,
+                seq,
+                payload,
+            });
+            self.occ |= 1u64 << slot;
+            self.near_len += 1;
+        } else {
+            self.far.push(Entry {
+                time,
+                class,
+                seq,
+                payload,
+            });
+        }
+    }
+
+    /// Remove and return the earliest event as `(time, payload)`.
+    ///
+    /// The ring-idle case is the inlined fast path — a sparse stretch
+    /// costs exactly a heap pop plus the window re-anchor; the mixed
+    /// two-tier comparison lives out of line so the common case stays
+    /// small enough to inline into the engine's dispatch loop.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.near_len == 0 {
+            let e = self.far.pop()?;
+            // Ring idle: re-anchor the window at the popped instant so
+            // near-future pushes ride the ring again. Only legal with
+            // the ring empty — each window owns its slots exclusively.
+            let h = e.time.as_secs() + NEAR_WINDOW;
+            if h > self.horizon {
+                self.horizon = h;
+            }
+            return Some(self.finish_pop(e.time, e.class, e.seq, e.payload));
+        }
+        self.pop_mixed()
+    }
+
+    /// Pop with the ring occupied. The tiers may overlap in time after a
+    /// re-anchor (see the module docs), so the ring's earliest entry is
+    /// compared against the heap's top under the full `(time, class,
+    /// seq)` order and the smaller one is taken.
+    #[inline(never)]
+    fn pop_mixed(&mut self) -> Option<(SimTime, E)> {
+        let t = self
+            .next_occupied(self.scan_start())
+            .expect("near tier non-empty but no occupied slot");
+        let slot = (t % NEAR_WINDOW) as usize;
+        let bucket = &self.near[slot];
+        // Simultaneous events: linear min over (class, seq). Buckets
+        // hold one second's worth of events, so this is a handful of
+        // compares.
+        let mut best = 0;
+        for i in 1..bucket.len() {
+            if (bucket[i].class, bucket[i].seq) < (bucket[best].class, bucket[best].seq) {
+                best = i;
+            }
+        }
+        let far_wins = match self.far.peek() {
+            Some(top) => {
+                let b = &bucket[best];
+                (top.time.as_secs(), top.class, top.seq) < (t, b.class, b.seq)
+            }
+            None => false,
+        };
+        if far_wins {
+            // The ring stays occupied, so the window must not move.
+            let e = self.far.pop().expect("peeked entry vanished");
+            return Some(self.finish_pop(e.time, e.class, e.seq, e.payload));
+        }
+        let entry = self.near[slot].swap_remove(best);
+        if self.near[slot].is_empty() {
+            // Keep the bucket's capacity parked in its slot — the next
+            // event hashing here reuses it without allocating.
+            self.occ &= !(1u64 << slot);
+        }
+        self.near_len -= 1;
+        Some(self.finish_pop(SimTime::new(t), entry.class, entry.seq, entry.payload))
+    }
+
+    /// Common pop tail: advance the watermark (and run the shadow-heap
+    /// assertion under `heap-oracle`).
+    #[inline]
+    fn finish_pop(
+        &mut self,
+        time: SimTime,
+        class: EventClass,
+        seq: u64,
+        payload: E,
+    ) -> (SimTime, E) {
+        debug_assert!(time >= self.watermark);
+        self.watermark = time;
+        #[cfg(feature = "heap-oracle")]
+        {
+            let (ot, oc, os, _) = self.oracle.pop_keyed().expect("oracle under-full");
+            assert_eq!(
+                (ot, oc, os),
+                (time, class, seq),
+                "ladder queue diverged from heap oracle"
+            );
+        }
+        #[cfg(not(feature = "heap-oracle"))]
+        let _ = (class, seq);
+        (time, payload)
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let near = if self.near_len > 0 {
+            Some(
+                self.next_occupied(self.scan_start())
+                    .expect("near tier non-empty but no occupied slot"),
+            )
+        } else {
+            None
+        };
+        let far = self.far.peek().map(|e| e.time.as_secs());
+        // Tiers may overlap in time after a re-anchor: take the min.
+        match (near, far) {
+            (None, None) => None,
+            (Some(t), None) | (None, Some(t)) => Some(SimTime::new(t)),
+            (Some(a), Some(b)) => Some(SimTime::new(a.min(b))),
+        }
+    }
+
+    /// First instant worth scanning: nothing lives below the watermark,
+    /// and nothing below the window origin is in the ring.
+    fn scan_start(&self) -> u64 {
+        self.watermark.as_secs().max(self.horizon - NEAR_WINDOW)
+    }
+
+    /// Earliest occupied instant in `[start, horizon)`, via the one-word
+    /// bitmap: a shift aligns the word to `start`'s slot and
+    /// `trailing_zeros` names the next occupied slot — O(1), no walk.
+    ///
+    /// The scan follows the ring in slot order starting at `start`'s
+    /// slot; slot order *is* time order here because every pending near
+    /// instant lies in `[start, horizon)` (nothing below the watermark or
+    /// the window origin is occupied), a span of at most `NEAR_WINDOW`
+    /// seconds. Ring positions "behind" the start slot therefore hold the
+    /// *latest* times of the window — they are the wrapped tail, checked
+    /// second, not skipped.
+    fn next_occupied(&self, start: u64) -> Option<u64> {
+        let slot = (start % NEAR_WINDOW) as usize;
+        let head = self.occ >> slot;
+        if head != 0 {
+            let cand = start + head.trailing_zeros() as u64;
+            // A set bit names an occupied slot; slots are exclusive to one
+            // in-window instant, so the bit at distance d from `start` is
+            // exactly the instant `start + d` — if still inside the window.
+            return (cand < self.horizon).then_some(cand);
+        }
+        // Wrapped tail: the bits below `slot` are the ring positions just
+        // behind it — the window's final instants.
+        let tail = self.occ & ((1u64 << slot) - 1);
+        if tail != 0 {
+            let target = tail.trailing_zeros() as usize;
+            let delta = (target + NEAR_WINDOW as usize - slot) % NEAR_WINDOW as usize;
+            let cand = start + delta as u64;
+            return (cand < self.horizon).then_some(cand);
+        }
+        None
     }
 }
 
@@ -223,6 +549,92 @@ mod tests {
         while let Some((t, _)) = q.pop() {
             assert!(t >= last);
             last = t;
+        }
+    }
+
+    #[test]
+    fn events_past_the_horizon_take_the_overflow_tier_and_come_back() {
+        let mut q = EventQueue::new();
+        // Far beyond the initial window, out of order, with a window-leap
+        // between each cluster.
+        for &t in &[NEAR_WINDOW * 100 + 7, 3, NEAR_WINDOW * 3, NEAR_WINDOW - 1] {
+            q.push(SimTime::new(t), t);
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(
+            popped,
+            vec![3, NEAR_WINDOW - 1, NEAR_WINDOW * 3, NEAR_WINDOW * 100 + 7]
+        );
+    }
+
+    #[test]
+    fn class_and_seq_ties_survive_the_overflow_tier() {
+        let mut q = EventQueue::new();
+        let t = SimTime::new(NEAR_WINDOW * 5 + 17); // lands in overflow
+        q.push_classed(t, EventClass::LAST, "late");
+        q.push_classed(t, EventClass::FIRST, "early");
+        q.push_classed(t, EventClass::NORMAL, "n1");
+        q.push_classed(t, EventClass::NORMAL, "n2");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["early", "n1", "n2", "late"]);
+    }
+
+    #[test]
+    fn window_reanchors_after_draining() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(NEAR_WINDOW * 10), 1);
+        assert_eq!(q.pop(), Some((SimTime::new(NEAR_WINDOW * 10), 1)));
+        // The queue is empty at a large watermark; a push near the
+        // watermark must land (and pop) correctly.
+        q.push(SimTime::new(NEAR_WINDOW * 10 + 1), 2);
+        q.push(SimTime::new(NEAR_WINDOW * 10), 3);
+        assert_eq!(q.pop(), Some((SimTime::new(NEAR_WINDOW * 10), 3)));
+        assert_eq!(q.pop(), Some((SimTime::new(NEAR_WINDOW * 10 + 1), 2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heap_oracle_agrees_on_a_mixed_workload() {
+        // The ladder and the retained heap oracle, driven in lockstep over
+        // a deterministic interleaving with same-instant ties.
+        let mut ladder = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut x: u64 = 0xdecafbad;
+        let step = |x: &mut u64| {
+            *x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *x
+        };
+        let mut now = 0u64;
+        for i in 0..20_000u64 {
+            let r = step(&mut x);
+            if r % 3 == 0 && !ladder.is_empty() {
+                let a = ladder.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "pop {i} diverged");
+                now = a.unwrap().0.as_secs();
+            } else {
+                // Cluster times to force ties and window leaps alike.
+                let dt = match r % 5 {
+                    0 => 0,
+                    1 => r % 7,
+                    2 => r % 600,
+                    _ => r % (NEAR_WINDOW * 3),
+                };
+                let class = EventClass((r >> 32) as u8);
+                let t = SimTime::new(now + dt);
+                ladder.push_classed(t, class, i);
+                heap.push_classed(t, class, i);
+            }
+        }
+        loop {
+            let a = ladder.pop();
+            let b = heap.pop();
+            assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
         }
     }
 }
