@@ -1,0 +1,50 @@
+//! Quick manual probe: per-event overhead of phase profiling, under the
+//! exact conditions of a traced sweep (spans enabled, span ctx set).
+use backfill_sim::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    obs::span::set_enabled(true);
+    obs::span::calibrate_clock();
+    for config in bench::sweep::tiny_spec().expand() {
+        let trace = config.scenario.materialize();
+        let plain = simulate(&trace, config.kind, config.policy);
+        let events = plain.events;
+        let mut best = [u64::MAX; 2];
+        for (which, slot) in best.iter_mut().enumerate() {
+            for _ in 0..5 {
+                let t0 = std::time::Instant::now();
+                if which == 0 {
+                    let s = simulate(&trace, config.kind, config.policy);
+                    assert_eq!(s.fingerprint(), plain.fingerprint());
+                } else {
+                    let acc = Rc::new(RefCell::new(obs::PhaseAcc::new()));
+                    acc.borrow_mut().set_ctx(obs::SpanContext {
+                        trace_id: 1,
+                        span_id: 1,
+                    });
+                    let (s, _) = simulate_observed(
+                        &trace,
+                        config.kind,
+                        config.policy,
+                        SimOptions::with_phases(acc),
+                    );
+                    assert_eq!(s.fingerprint(), plain.fingerprint());
+                }
+                *slot = (*slot).min(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        let _ = obs::span::drain();
+        println!(
+            "{} {:?}: plain {:.2} ms, phases {:.2} ms (+{:.1}%), {} events, +{:.0} ns/event",
+            config.kind.label(),
+            config.policy,
+            best[0] as f64 / 1e6,
+            best[1] as f64 / 1e6,
+            100.0 * (best[1] as f64 - best[0] as f64) / best[0] as f64,
+            events,
+            (best[1] as f64 - best[0] as f64) / events as f64
+        );
+    }
+}

@@ -115,6 +115,7 @@ fn init_logging(args: &[String]) {
         filter,
         json,
         sink: obs::log::Sink::Stderr,
+        elapsed: false,
     });
 }
 

@@ -1,0 +1,98 @@
+//! Per-phase self-profiling must actually account for the run.
+//!
+//! The phase taxonomy (event pop + arrival/completion/wake handling,
+//! with queue-ops/compress/backfill nested inside the handlers) is only
+//! useful if its top-level timers cover most of the event loop's wall
+//! time — a profiler that explains 20% of a run is noise. This test
+//! runs a deep-queue cell (high load, conservative backfilling, SJF —
+//! lots of queue pressure and compression work) with the phase
+//! accumulator attached and requires the top-level phase sum to reach
+//! at least 80% of the measured wall time. It also pins decision
+//! neutrality: the profiled run's fingerprint equals the plain run's.
+
+use backfill_sim::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn deep_queue_cell() -> (Trace, SchedulerKind, Policy) {
+    // Systematic 3x overestimates make jobs complete early, so the
+    // conservative scheduler's compression path actually runs.
+    let scenario = Scenario {
+        estimate: EstimateModel::systematic(3.0),
+        ..Scenario::high_load(TraceSource::Ctc {
+            jobs: 3_000,
+            seed: 42,
+        })
+    };
+    (
+        scenario.materialize(),
+        SchedulerKind::Conservative,
+        Policy::Sjf,
+    )
+}
+
+#[test]
+fn top_level_phases_cover_at_least_80_percent_of_wall_time() {
+    let (trace, kind, policy) = deep_queue_cell();
+    let phases = Rc::new(RefCell::new(obs::PhaseAcc::new()));
+
+    let t0 = std::time::Instant::now();
+    let (schedule, _) = simulate_observed(
+        &trace,
+        kind,
+        policy,
+        SimOptions::with_phases(phases.clone()),
+    );
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    schedule.validate().expect("schedule stays valid");
+
+    let acc = phases.borrow();
+    let covered = acc.top_level_sum_ns();
+    assert!(
+        covered <= wall_ns,
+        "self-accounted time ({covered} ns) cannot exceed wall time ({wall_ns} ns)"
+    );
+    assert!(
+        covered as f64 >= 0.8 * wall_ns as f64,
+        "top-level phases cover {covered} of {wall_ns} ns ({:.1}%), need >= 80%",
+        100.0 * covered as f64 / wall_ns as f64
+    );
+
+    // Every top-level phase family that this workload exercises showed up.
+    for phase in [
+        obs::Phase::EventPop,
+        obs::Phase::Arrival,
+        obs::Phase::Completion,
+    ] {
+        assert!(
+            acc.histogram(phase).count() > 0,
+            "phase {} never fired on a deep-queue cell",
+            phase.name()
+        );
+    }
+    // The conservative scheduler's nested sub-phases fired too.
+    assert!(acc.histogram(obs::Phase::QueueOps).count() > 0);
+    assert!(acc.histogram(obs::Phase::Compress).count() > 0);
+}
+
+#[test]
+fn phase_profiling_is_decision_neutral() {
+    let (trace, kind, policy) = deep_queue_cell();
+    let plain = simulate(&trace, kind, policy);
+    let phases = Rc::new(RefCell::new(obs::PhaseAcc::new()));
+    let (profiled, _) = simulate_observed(
+        &trace,
+        kind,
+        policy,
+        SimOptions::with_phases(phases.clone()),
+    );
+    assert_eq!(
+        plain.fingerprint(),
+        profiled.fingerprint(),
+        "attaching the phase accumulator must not change a single decision"
+    );
+    assert!(
+        phases.borrow().top_level_sum_ns() > 0,
+        "the profiled run must actually have accumulated time"
+    );
+}

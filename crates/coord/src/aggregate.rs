@@ -11,8 +11,36 @@
 //! unchanged.
 
 use obs::metrics::{render_snapshot, HistogramSnapshot, SnapshotValue, HISTOGRAM_BUCKETS};
-use serde::Value;
-use service::ServiceStats;
+use serde::{Deserialize, Serialize, Value};
+use service::{ServiceStats, WireSpan};
+
+/// One span source in serialized form — what a sweep report embeds so
+/// `bfsim timeline` can rebuild the [`obs::SpanSource`] list offline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanDoc {
+    /// Source display name (`coordinator`, a shard address, ...).
+    pub name: String,
+    /// That source's spans in wire form.
+    pub spans: Vec<WireSpan>,
+}
+
+impl From<obs::SpanSource> for SpanDoc {
+    fn from(src: obs::SpanSource) -> Self {
+        SpanDoc {
+            name: src.name,
+            spans: src.spans.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl From<SpanDoc> for obs::SpanSource {
+    fn from(doc: SpanDoc) -> Self {
+        obs::SpanSource {
+            name: doc.name,
+            spans: doc.spans.into_iter().map(Into::into).collect(),
+        }
+    }
+}
 
 fn as_u64(v: &Value) -> Result<u64, String> {
     match v {

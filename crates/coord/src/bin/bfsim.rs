@@ -14,13 +14,28 @@
 //! bfsim bench [-o OUT.json] [--baseline OLD.json] [--enforce-parity]
 //!             [--tiny] [--reps N] [--trace-out OUT.jsonl]
 //! bfsim sweep --shards H:P,H:P,... (--spec FILE.json | --tiny)
-//!             [--window N] [--no-steal] [--max-requeues N] [-o OUT.json]
+//!             [--window N] [--no-steal] [--max-requeues N] [--spans]
+//!             [-o OUT.json]
+//! bfsim timeline [--in SWEEP.json] [-o TIMELINE.json]
 //! bfsim coord-status --shards H:P,H:P,...
 //!
 //! Every command also accepts `--log-level SPEC` (the `BFSIM_LOG`
-//! filter grammar, e.g. `info` or `warn,sched=debug`) and `--log-json`
-//! (JSON-lines log records instead of text). The flag wins over the
+//! filter grammar, e.g. `info` or `warn,sched=debug`), `--log-json`
+//! (JSON-lines log records instead of text), and `--log-elapsed`
+//! (monotonic `elapsed_ms` on every record). The flag wins over the
 //! environment; without either, only errors are logged.
+//!
+//! `metrics` accepts `--format json|prom`: `json` (default) prints the
+//! canonical registry document, `prom` the Prometheus text exposition
+//! of the same state, scrape-ready.
+//!
+//! `sweep --spans` traces the sweep: one root span per cell on the
+//! coordinator, an `attempt` span per submission, trace context
+//! propagated to the shards (whose cache/pool/phase spans parent into
+//! the same trace), and everything drained into the report's `spans`
+//! field. `timeline` then merges a span-bearing report into Chrome
+//! trace-event JSON (chrome://tracing, Perfetto), validating first that
+//! every cell's spans form exactly one rooted tree (exit 6 otherwise).
 //!
 //! `--trace-out` records the run's scheduling decisions (arrivals,
 //! reservations, backfills, starts, completions, compressions,
@@ -177,11 +192,13 @@ fn die_degraded(msg: &str) -> ! {
 fn init_logging(args: &[String]) {
     let mut spec: Option<String> = None;
     let mut json = false;
+    let mut elapsed = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--log-level" => spec = it.next().cloned(),
             "--log-json" => json = true,
+            "--log-elapsed" => elapsed = true,
             _ => {}
         }
     }
@@ -199,6 +216,7 @@ fn init_logging(args: &[String]) {
     let _ = obs::log::init(obs::log::LogConfig {
         filter,
         json,
+        elapsed,
         sink: obs::log::Sink::Stderr,
     });
 }
@@ -236,6 +254,9 @@ struct Cli {
     window: Option<usize>,
     no_steal: bool,
     max_requeues: u32,
+    spans: bool,
+    format: String,
+    input: Option<String>,
 }
 
 impl Default for Cli {
@@ -272,6 +293,9 @@ impl Default for Cli {
             window: None,
             no_steal: false,
             max_requeues: 3,
+            spans: false,
+            format: "json".into(),
+            input: None,
         }
     }
 }
@@ -342,7 +366,7 @@ fn parse_cli(args: &[String]) -> Cli {
     if cli.command == "--help" || cli.command == "-h" {
         println!(
             "usage: bfsim <simulate|generate|inspect|compare|submit|stats|metrics|health|\
-             shutdown|bench|sweep|coord-status> [flags]; see module docs"
+             shutdown|bench|sweep|timeline|coord-status> [flags]; see module docs"
         );
         std::process::exit(0);
     }
@@ -438,11 +462,19 @@ fn parse_cli(args: &[String]) -> Cli {
                     .parse()
                     .unwrap_or_else(|_| die("bad --max-requeues"))
             }
+            "--spans" => cli.spans = true,
+            "--format" => {
+                cli.format = next(&mut it, "--format");
+                if cli.format != "json" && cli.format != "prom" {
+                    die(&format!("bad --format {:?} (json | prom)", cli.format));
+                }
+            }
+            "--in" => cli.input = Some(next(&mut it, "--in")),
             // Consumed by init_logging before parsing; skip here.
             "--log-level" => {
                 let _ = next(&mut it, "--log-level");
             }
-            "--log-json" => {}
+            "--log-json" | "--log-elapsed" => {}
             "--reps" => {
                 cli.reps = Some(
                     next(&mut it, "--reps")
@@ -908,6 +940,9 @@ fn cmd_bench(cli: &Cli) {
     // Wall time on a shared machine is one-sided noise (contention only
     // slows a run down), so each cell keeps its best-of-`reps` time.
     let repeats = cli.reps.unwrap_or(if cli.tiny { 1 } else { 2 });
+    if cli.spans {
+        obs::span::set_enabled(true);
+    }
     let mut cells = Vec::with_capacity(configs.len());
     let mut trace_file = cli.trace_out.as_ref().map(|path| {
         std::fs::File::create(path).unwrap_or_else(|e| die(&format!("creating {path}: {e}")))
@@ -916,30 +951,58 @@ fn cmd_bench(cli: &Cli) {
         // Materialize once, outside the timed region: the bench measures
         // the event loop, not the workload generator.
         let trace = config.scenario.materialize();
+        let cell_ctx = obs::SpanContext {
+            trace_id: config.content_hash(),
+            span_id: config.content_hash(),
+        };
         let mut best: Option<(f64, Schedule)> = None;
         let mut recorded: Option<Rc<RefCell<Recorder>>> = None;
         for _ in 0..repeats {
             // With --trace-out the timed run itself carries the
-            // recorder: the emitted fingerprints then prove recording
-            // is decision-neutral against a plain bench run.
+            // recorder, and with --spans the phase accumulator: the
+            // emitted fingerprints then prove both are decision-neutral
+            // against a plain bench run.
             let recorder = cli
                 .trace_out
                 .as_ref()
                 .map(|_| obs::trace::shared(obs::trace::DEFAULT_TRACE_CAP.max(trace.len() * 8)));
+            let phases = cli.spans.then(|| {
+                let acc = Rc::new(RefCell::new(obs::PhaseAcc::new()));
+                acc.borrow_mut().set_ctx(cell_ctx);
+                acc
+            });
+            let start_us = obs::span::now_micros();
             let t0 = std::time::Instant::now();
-            let schedule = match &recorder {
-                Some(rec) => {
-                    simulate_observed(
-                        &trace,
-                        config.kind,
-                        config.policy,
-                        SimOptions::with_recorder(rec.clone()),
-                    )
-                    .0
-                }
-                None => config.run_on(&trace),
+            let schedule = if recorder.is_some() || phases.is_some() {
+                simulate_observed(
+                    &trace,
+                    config.kind,
+                    config.policy,
+                    SimOptions {
+                        journal: false,
+                        recorder: recorder.clone(),
+                        phases: phases.clone(),
+                    },
+                )
+                .0
+            } else {
+                config.run_on(&trace)
             };
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            if let Some(acc) = &phases {
+                // Root span per timed run + phase histograms into the
+                // process-global registry (surfaced by `bfsim metrics`
+                // against a daemon, or inspectable in-process).
+                obs::span::record_raw(obs::SpanRecord {
+                    trace_id: cell_ctx.trace_id,
+                    span_id: obs::span::next_span_id(),
+                    parent_id: 0,
+                    name: "bench.run".to_string(),
+                    start_us,
+                    dur_us: obs::span::now_micros().saturating_sub(start_us),
+                });
+                acc.borrow().flush_into(obs::metrics::global());
+            }
             if best.as_ref().is_none_or(|(b, _)| wall_ms < *b) {
                 best = Some((wall_ms, schedule));
                 recorded = recorder;
@@ -1049,6 +1112,14 @@ fn cmd_bench(cli: &Cli) {
 }
 
 fn cmd_metrics(cli: &Cli) {
+    if cli.format == "prom" {
+        let text = connect(cli)
+            .metrics_prom()
+            .unwrap_or_else(|e| die_client("metrics", &cli.addr, e));
+        // Prometheus text exposition (already newline-terminated).
+        print!("{text}");
+        return;
+    }
     let json = connect(cli)
         .metrics()
         .unwrap_or_else(|e| die_client("metrics", &cli.addr, e));
@@ -1164,6 +1235,10 @@ struct SweepReport {
     /// Canonical merged metrics document (same format one daemon emits),
     /// embedded as a string.
     metrics: Option<String>,
+    /// Collected span sources (`--spans` only; empty otherwise). The
+    /// default keeps version-1 reports readable by `bfsim timeline`.
+    #[serde(default)]
+    spans: Vec<coord::SpanDoc>,
 }
 
 /// The sweep's cell grid: an explicit `--spec FILE.json` (a serialized
@@ -1194,6 +1269,7 @@ fn cmd_sweep(cli: &Cli) {
         window: cli.window,
         steal: !cli.no_steal,
         max_requeues: cli.max_requeues,
+        spans: cli.spans,
     };
     // Re-derive the plan for index → config mapping; planning is a pure
     // function of (cells, shard count), so this matches the dispatcher.
@@ -1206,7 +1282,7 @@ fn cmd_sweep(cli: &Cli) {
     };
 
     let report = SweepReport {
-        version: 1,
+        version: 2,
         tool: "bfsim sweep".into(),
         shards: outcome
             .shards
@@ -1253,6 +1329,7 @@ fn cmd_sweep(cli: &Cli) {
         degraded: outcome.degraded,
         stats: outcome.stats,
         metrics: outcome.metrics_json,
+        spans: outcome.spans.into_iter().map(Into::into).collect(),
     };
     let out = cli.out.clone().unwrap_or_else(|| "SWEEP.json".into());
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -1282,6 +1359,13 @@ fn cmd_sweep(cli: &Cli) {
         report.requeues,
         report.duplicates
     );
+    if cli.spans {
+        let total: usize = report.spans.iter().map(|s| s.spans.len()).sum();
+        println!(
+            "spans: {total} from {} sources (merge with `bfsim timeline --in {out}`)",
+            report.spans.len()
+        );
+    }
 
     // Exit taxonomy: the report is on disk in every branch below.
     let all_dead = report.shards.iter().all(|s| s.dead);
@@ -1303,6 +1387,52 @@ fn cmd_sweep(cli: &Cli) {
             plan.len(),
             report.shards.iter().filter(|s| s.dead).count()
         ));
+    }
+}
+
+/// Merge a span-bearing sweep report into one Chrome trace-event JSON
+/// document. Validation first: every cell's spans must form exactly one
+/// rooted tree (one root whose span id is the trace id, every other
+/// span's parent present in the same trace) — a violation means the
+/// propagation chain broke somewhere and exits 6 rather than rendering
+/// a misleading timeline.
+fn cmd_timeline(cli: &Cli) {
+    // Only the `spans` field matters here; unknown fields are ignored,
+    // so any report revision ≥ 1 parses (a v1 report just has no spans).
+    #[derive(Deserialize)]
+    struct TimelineDoc {
+        #[serde(default)]
+        spans: Vec<coord::SpanDoc>,
+    }
+    let path = cli.input.clone().unwrap_or_else(|| "SWEEP.json".into());
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| die_data(&format!("reading sweep report {path}: {e}")));
+    let doc: TimelineDoc = serde_json::from_str(&text)
+        .unwrap_or_else(|e| die_data(&format!("parsing sweep report {path}: {e}")));
+    if doc.spans.is_empty() {
+        die_data(&format!(
+            "{path} carries no spans (was the sweep run with --spans?)"
+        ));
+    }
+    let sources: Vec<obs::SpanSource> = doc.spans.into_iter().map(Into::into).collect();
+    let merged: Vec<obs::SpanRecord> = sources
+        .iter()
+        .flat_map(|s| s.spans.iter().cloned())
+        .collect();
+    let summary = obs::validate_forest(&merged)
+        .unwrap_or_else(|e| die_data(&format!("{path}: span forest is malformed: {e}")));
+    let rendered = obs::render_chrome_trace(&sources);
+    match &cli.out {
+        Some(out) => {
+            std::fs::write(out, &rendered).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
+            println!(
+                "timeline: {} spans across {} cell traces from {} sources -> {out}",
+                summary.spans,
+                summary.traces,
+                sources.len()
+            );
+        }
+        None => println!("{rendered}"),
     }
 }
 
@@ -1383,11 +1513,12 @@ fn main() {
         "shutdown" => cmd_shutdown(&cli),
         "bench" => cmd_bench(&cli),
         "sweep" => cmd_sweep(&cli),
+        "timeline" => cmd_timeline(&cli),
         "coord-status" => cmd_coord_status(&cli),
         other => die(&format!(
             "unknown command {other:?} \
              (simulate|generate|inspect|compare|submit|stats|metrics|health|shutdown|bench|\
-             sweep|coord-status)"
+             sweep|timeline|coord-status)"
         )),
     }
 }

@@ -55,6 +55,11 @@ pub struct SweepOptions {
     /// caused by shard death are not counted: the shard, not the cell,
     /// was at fault, and each shard dies at most once.)
     pub max_requeues: u32,
+    /// Collect distributed spans: the coordinator opens a root span per
+    /// cell, propagates trace context on every submit, and drains each
+    /// live shard's span buffer after the sweep into
+    /// [`SweepOutcome::spans`]. Off by default (zero overhead).
+    pub spans: bool,
 }
 
 impl Default for SweepOptions {
@@ -64,6 +69,7 @@ impl Default for SweepOptions {
             window: None,
             steal: true,
             max_requeues: 3,
+            spans: false,
         }
     }
 }
@@ -182,6 +188,10 @@ pub struct SweepOutcome {
     /// coordinator's own `coord.*` registry); `None` when no shard
     /// could be polled.
     pub metrics_json: Option<String>,
+    /// Collected span sources — the coordinator's own spans plus one
+    /// entry per reachable shard — filtered to this sweep's trace ids.
+    /// Empty unless [`SweepOptions::spans`] was on.
+    pub spans: Vec<obs::SpanSource>,
 }
 
 struct Shared<'a> {
@@ -196,6 +206,11 @@ struct Shared<'a> {
     outcomes: Mutex<Vec<Option<Result<CellDone, String>>>>,
     /// Cell-level requeue attempts (shard deaths excluded).
     attempts: Vec<AtomicU64>,
+    /// Span tracing on? When set, each slot of `started_us` records the
+    /// monotonic micros of the cell's *first* attempt (0 = never ran),
+    /// and outcome recording synthesizes the cell's root span.
+    spans: bool,
+    started_us: Vec<AtomicU64>,
     steals: AtomicU64,
     requeues: AtomicU64,
     degraded: AtomicBool,
@@ -216,6 +231,7 @@ impl Shared<'_> {
         }
         outcomes[index] = Some(Ok(done));
         self.remaining.fetch_sub(1, Ordering::SeqCst);
+        self.close_root(index);
     }
 
     /// Record a permanent failure (same slot guard).
@@ -227,6 +243,30 @@ impl Shared<'_> {
         obs::warn!(target: "coord", "cell {index} failed permanently: {error}");
         outcomes[index] = Some(Err(error));
         self.remaining.fetch_sub(1, Ordering::SeqCst);
+        self.close_root(index);
+    }
+
+    /// Synthesize the cell's root span, spanning first attempt → final
+    /// outcome. Roots use the trace id as their span id so shard-side
+    /// children (which only know the trace context) parent correctly.
+    /// Runs at most once per cell — only the slot-guard winner calls it.
+    fn close_root(&self, index: usize) {
+        if !self.spans {
+            return;
+        }
+        let started = self.started_us[index].load(Ordering::SeqCst);
+        if started == 0 {
+            return; // never attempted: no children exist, no root owed
+        }
+        let trace_id = self.plan.hashes[index];
+        obs::span::record_raw(obs::SpanRecord {
+            trace_id,
+            span_id: trace_id,
+            parent_id: 0,
+            name: "cell".to_string(),
+            start_us: started,
+            dur_us: obs::span::now_micros().saturating_sub(started),
+        });
     }
 
     fn requeue(&self, index: usize) {
@@ -366,6 +406,9 @@ pub fn run_sweep(
         return Err(SweepError::EmptySweep);
     }
     let plan = Plan::new(cells, shards.len());
+    if opts.spans {
+        obs::span::set_enabled(true);
+    }
 
     // Startup handshake: every shard must answer `capabilities` (and
     // not be draining) before any cell is submitted — a fleet typo
@@ -418,6 +461,8 @@ pub fn run_sweep(
         remaining: AtomicUsize::new(plan.len()),
         outcomes: Mutex::new(vec![None; plan.len()]),
         attempts: (0..plan.len()).map(|_| AtomicU64::new(0)).collect(),
+        spans: opts.spans,
+        started_us: (0..plan.len()).map(|_| AtomicU64::new(0)).collect(),
         steals: AtomicU64::new(0),
         requeues: AtomicU64::new(0),
         degraded: AtomicBool::new(false),
@@ -518,6 +563,43 @@ pub fn run_sweep(
             None
         });
 
+    // Span collection: the coordinator's own buffer plus every live
+    // shard's, filtered to this sweep's trace ids so concurrent sweeps
+    // against shared daemons don't leak into each other's timelines.
+    let spans = if opts.spans {
+        let wanted: std::collections::HashSet<u64> = plan.hashes.iter().copied().collect();
+        let mut sources = vec![obs::SpanSource {
+            name: "coordinator".to_string(),
+            spans: obs::span::drain()
+                .into_iter()
+                .filter(|s| wanted.contains(&s.trace_id))
+                .collect(),
+        }];
+        for (s, addr) in shards.iter().enumerate() {
+            if !shared.live[s].load(Ordering::SeqCst) {
+                continue;
+            }
+            let mut client = ResilientClient::new(addr.clone(), opts.client);
+            match client.spans() {
+                Ok(wire) => sources.push(obs::SpanSource {
+                    name: addr.clone(),
+                    spans: wire
+                        .into_iter()
+                        .map(obs::SpanRecord::from)
+                        .filter(|s| wanted.contains(&s.trace_id))
+                        .collect(),
+                }),
+                Err(err) => {
+                    obs::warn!(target: "coord",
+                        "shard {addr} unreachable for span collection: {err}");
+                }
+            }
+        }
+        sources
+    } else {
+        Vec::new()
+    };
+
     Ok(SweepOutcome {
         cells: done,
         failed,
@@ -528,12 +610,29 @@ pub fn run_sweep(
         degraded: shared.degraded.load(Ordering::SeqCst),
         stats,
         metrics_json,
+        spans,
     })
 }
 
 /// One submitter thread: pops cells, submits them through its own
 /// resilient client, and routes failures per the module-level protocol.
 fn submitter_loop(
+    shared: &Shared<'_>,
+    shard: usize,
+    addr: &str,
+    client_opts: ClientOptions,
+    steal: bool,
+    max_requeues: u32,
+) {
+    submitter_work(shared, shard, addr, client_opts, steal, max_requeues);
+    // Hand this thread's buffered spans (attempt spans, synthesized
+    // roots) to the global sink before the scope reaps the thread.
+    if shared.spans {
+        obs::span::flush_thread();
+    }
+}
+
+fn submitter_work(
     shared: &Shared<'_>,
     shard: usize,
     addr: &str,
@@ -553,8 +652,32 @@ fn submitter_loop(
             std::thread::sleep(Duration::from_micros(500));
             continue;
         };
+        // Each attempt gets its own span under the cell's root (the
+        // root's span id is the trace id itself, so no handoff needed);
+        // the daemon parents its spans under this attempt via the wire
+        // context. The first attempt also stamps the root's start time.
+        let hash = shared.plan.hashes[index];
+        let attempt_span = shared.spans.then(|| {
+            let _ = shared.started_us[index].compare_exchange(
+                0,
+                obs::span::now_micros().max(1),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            obs::Span::child(
+                obs::SpanContext {
+                    trace_id: hash,
+                    span_id: hash,
+                },
+                "attempt",
+            )
+        });
+        let trace = attempt_span.as_ref().map(|s| service::TraceContext {
+            trace_id: hash,
+            parent_span: s.ctx().map_or(hash, |c| c.span_id),
+        });
         let t0 = Instant::now();
-        match client.submit(&shared.plan.cells[index]) {
+        match client.submit_traced(&shared.plan.cells[index], trace) {
             Ok(reply) => {
                 shared.shard_wall[shard].record(t0.elapsed().as_millis() as u64);
                 if reply.config_hash != shared.plan.hashes[index] {

@@ -31,6 +31,6 @@ pub mod aggregate;
 pub mod dispatch;
 pub mod plan;
 
-pub use aggregate::{aggregate_metrics, aggregate_stats, parse_metrics_doc};
+pub use aggregate::{aggregate_metrics, aggregate_stats, parse_metrics_doc, SpanDoc};
 pub use dispatch::{run_sweep, CellDone, ShardSummary, SweepError, SweepOptions, SweepOutcome};
 pub use plan::Plan;

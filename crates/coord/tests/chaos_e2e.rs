@@ -48,7 +48,8 @@ fn sweep_survives_a_shard_that_dies_mid_sweep() {
     );
 
     // No transport retries: the first dropped connection marks the
-    // shard dead and requeues its work onto the survivor.
+    // shard dead and requeues its work onto the survivor. Spans on: the
+    // forest must stay well-formed even across failover.
     let opts = SweepOptions {
         client: ClientOptions {
             retry: RetryPolicy {
@@ -57,6 +58,7 @@ fn sweep_survives_a_shard_that_dies_mid_sweep() {
             },
             ..ClientOptions::default()
         },
+        spans: true,
         ..SweepOptions::default()
     };
     let outcome = run_sweep(&shards, &cells, &opts).expect("sweep completes degraded");
@@ -78,6 +80,25 @@ fn sweep_survives_a_shard_that_dies_mid_sweep() {
     for done in &outcome.cells {
         assert_eq!(done.shard, 0, "only the survivor can have answered");
     }
+
+    // Even after a mid-sweep shard death every cell's spans must form a
+    // single rooted tree: failed attempts against the dead shard stay
+    // children of the cell root, and the root closes exactly once at
+    // the surviving shard's completion.
+    let merged: Vec<obs::SpanRecord> = outcome
+        .spans
+        .iter()
+        .flat_map(|s| s.spans.iter().cloned())
+        .collect();
+    let forest = obs::validate_forest(&merged)
+        .expect("chaos sweep spans still form one rooted tree per cell");
+    assert_eq!(forest.traces, cells.len(), "one trace per unique cell");
+    let trace_ids: std::collections::HashSet<u64> = merged.iter().map(|s| s.trace_id).collect();
+    assert_eq!(
+        trace_ids,
+        plan.hashes.iter().copied().collect(),
+        "trace ids are exactly the plan's content hashes"
+    );
 
     // Degraded, not different: fingerprints match the serial run.
     let serial = run_all(&cells, None);

@@ -51,9 +51,11 @@ fn sharded_sweep_matches_sequential_run_all_and_reuses_shard_caches() {
     let plan = Plan::new(&cells, shards.len());
 
     // Stealing off so placement is exactly the plan's home map — that
-    // is what makes the second pass provably cache-affine.
+    // is what makes the second pass provably cache-affine. Spans on:
+    // the collected forest is validated below.
     let opts = SweepOptions {
         steal: false,
+        spans: true,
         ..SweepOptions::default()
     };
     let outcome = run_sweep(&shards, &cells, &opts).expect("sweep runs");
@@ -90,6 +92,28 @@ fn sharded_sweep_matches_sequential_run_all_and_reuses_shard_caches() {
     assert!(metrics.contains("\"coord.cells\":24"), "{metrics}");
     assert!(metrics.contains("service.submitted"), "{metrics}");
 
+    // Distributed tracing: every cell's spans — coordinator roots and
+    // attempts plus daemon-side cache/pool/phase spans — must merge
+    // into exactly one rooted tree per cell.
+    let merged: Vec<obs::SpanRecord> = outcome
+        .spans
+        .iter()
+        .flat_map(|s| s.spans.iter().cloned())
+        .collect();
+    let forest = obs::validate_forest(&merged).expect("span forest is well-formed");
+    assert_eq!(
+        forest.traces,
+        cells.len(),
+        "one trace per unique cell, no more, no less"
+    );
+    let trace_ids: std::collections::HashSet<u64> = merged.iter().map(|s| s.trace_id).collect();
+    let expected_ids: std::collections::HashSet<u64> = plan.hashes.iter().copied().collect();
+    assert_eq!(trace_ids, expected_ids, "trace ids are the plan's hashes");
+    assert!(
+        merged.iter().any(|s| s.name == "pool.run"),
+        "daemon-side spans must have joined the coordinator's traces"
+    );
+
     // Second pass: same plan, same homes — every cell is a cache hit on
     // the shard that already memoized it.
     let again = run_sweep(&shards, &cells, &opts).expect("second sweep runs");
@@ -106,6 +130,18 @@ fn sharded_sweep_matches_sequential_run_all_and_reuses_shard_caches() {
             "cached replay must be byte-identical"
         );
     }
+    let cached_spans: Vec<obs::SpanRecord> = again
+        .spans
+        .iter()
+        .flat_map(|s| s.spans.iter().cloned())
+        .collect();
+    let cached_forest =
+        obs::validate_forest(&cached_spans).expect("cached pass forest is well-formed");
+    assert_eq!(cached_forest.traces, cells.len());
+    assert!(
+        cached_spans.iter().any(|s| s.name == "cache.hit"),
+        "the cache-affine pass must record cache.hit spans"
+    );
 
     shutdown(a.addr());
     shutdown(b.addr());

@@ -206,6 +206,11 @@ pub struct SimOptions {
     /// `Arrive`/`Start`/`Complete`/`Preempt`; profile-keeping schedulers
     /// additionally emit `Reserve`/`Backfill`/`Compress`.
     pub recorder: Option<SharedRecorder>,
+    /// Accumulate per-phase self-profiling timings (event pop, arrival /
+    /// completion / wake handling, and the schedulers' queue-ops /
+    /// compress / backfill sub-phases) into this shared accumulator. See
+    /// `obs::span::PhaseAcc`; DESIGN.md §17 covers the phase taxonomy.
+    pub phases: Option<obs::SharedPhases>,
 }
 
 impl SimOptions {
@@ -214,6 +219,16 @@ impl SimOptions {
         SimOptions {
             journal: false,
             recorder: Some(recorder),
+            phases: None,
+        }
+    }
+
+    /// Accumulate per-phase timings into `phases`, nothing else.
+    pub fn with_phases(phases: obs::SharedPhases) -> Self {
+        SimOptions {
+            journal: false,
+            recorder: None,
+            phases: Some(phases),
         }
     }
 }
@@ -332,6 +347,14 @@ struct Driver<'a> {
     journal: Option<Vec<JournalEntry>>,
     /// Opt-in decision-trace recorder (shared with the scheduler).
     recorder: Option<SharedRecorder>,
+    /// Opt-in per-phase timing accumulator (shared with the scheduler).
+    phases: Option<obs::SharedPhases>,
+    /// When profiling: the phase class of the event being handled,
+    /// shared with the engine-loop timing hook in `simulate_observed`.
+    /// The handler writes the tag (an enum store, no clock read); the
+    /// hook reads the clock once per loop boundary and attributes the
+    /// handler interval to whatever the tag says.
+    phase_tag: Option<std::rc::Rc<std::cell::Cell<obs::Phase>>>,
     /// Criteria used to tag trace events with the paper category. Only
     /// the driver may categorize: assignment uses the actual runtime,
     /// which schedulers never see.
@@ -443,6 +466,19 @@ impl Actor<Ev> for Driver<'_> {
     fn handle(&mut self, event: Ev, ctx: &mut Ctx<'_, Ev>) {
         let now = ctx.now();
         self.events += 1;
+        // Per-phase self-profiling: tag the handler with the event's
+        // class; the engine-loop hook times the whole handler interval
+        // and attributes it to the tag. The four top-level phases (pop +
+        // these three) tile the event loop's wall time; the schedulers'
+        // nested phases are attribution inside these, never additional
+        // to them.
+        if let Some(tag) = &self.phase_tag {
+            tag.set(match event {
+                Ev::Arrive(_) => obs::Phase::Arrival,
+                Ev::Complete(..) => obs::Phase::Completion,
+                Ev::Wake => obs::Phase::Wake,
+            });
+        }
         let decisions = match event {
             Ev::Arrive(idx) => {
                 // Seed the successor before anything else this instant
@@ -552,6 +588,7 @@ pub fn simulate_journaled(
         SimOptions {
             journal: true,
             recorder: None,
+            phases: None,
         },
     );
     (schedule, journal.expect("journaling was enabled"))
@@ -571,6 +608,9 @@ pub fn simulate_observed(
     if let Some(rec) = &options.recorder {
         scheduler.set_recorder(rec.clone());
     }
+    if let Some(phases) = &options.phases {
+        scheduler.set_phases(phases.clone());
+    }
     let name = scheduler.name();
     let mut driver = Driver {
         trace,
@@ -586,6 +626,8 @@ pub fn simulate_observed(
         events: 0,
         journal: options.journal.then(Vec::new),
         recorder: options.recorder,
+        phases: options.phases,
+        phase_tag: None,
         criteria: CategoryCriteria::default(),
         pending_wakes: std::collections::BTreeSet::new(),
         next_arrival: 1,
@@ -602,7 +644,29 @@ pub fn simulate_observed(
     if let Some(first) = trace.jobs().first() {
         engine.prime_classed(first.arrival, CLASS_ARRIVAL, Ev::Arrive(first.id.0));
     }
-    engine.run(&mut driver);
+    match driver.phases.clone() {
+        Some(phases) => {
+            // Chained boundary timing: one fast-clock read per engine
+            // hook (two per event), with the handler-end reading doubling
+            // as the next pop's start. The driver tags each handler with
+            // its phase class; the hook attributes the interval.
+            let tag = std::rc::Rc::new(std::cell::Cell::new(obs::Phase::EventPop));
+            driver.phase_tag = Some(tag.clone());
+            obs::span::calibrate_clock();
+            let mut last = obs::span::clock_ticks();
+            engine.run_hooked(&mut driver, &mut |hook| {
+                let now = obs::span::clock_ticks();
+                let ns = obs::span::ticks_to_ns(now.saturating_sub(last));
+                last = now;
+                let phase = match hook {
+                    simcore::Hook::Popped => obs::Phase::EventPop,
+                    simcore::Hook::Handled => tag.get(),
+                };
+                phases.borrow_mut().record(phase, ns);
+            });
+        }
+        None => engine.run(&mut driver),
+    }
 
     assert_eq!(
         driver.completions,

@@ -49,7 +49,7 @@ pub use driver::{
 };
 pub use runner::{
     aggregate_profile_stats, materialize_caught, run_all, run_all_checked, run_all_checked_shared,
-    run_cell, run_cell_on, CellError, RunResult, SweepSharing,
+    run_cell, run_cell_observed_on, run_cell_on, CellError, RunResult, SweepSharing,
 };
 pub use schedule::Schedule;
 

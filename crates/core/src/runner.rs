@@ -81,6 +81,24 @@ pub fn run_cell_on(config: &RunConfig, trace: &Trace) -> Result<Schedule, CellEr
     })
 }
 
+/// [`run_cell_on`] with observability options (per-phase profiling, a
+/// decision-trace recorder) threaded into the driver. Same fault
+/// boundary; the schedule is byte-identical to an unobserved run's.
+#[allow(clippy::result_large_err)] // see run_cell
+pub fn run_cell_observed_on(
+    config: &RunConfig,
+    trace: &Trace,
+    options: crate::driver::SimOptions,
+) -> Result<Schedule, CellError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        crate::driver::simulate_observed(trace, config.kind, config.policy, options).0
+    }))
+    .map_err(|payload| CellError {
+        config: *config,
+        panic: panic_message(payload),
+    })
+}
+
 /// Materialize a scenario's trace behind the same fault boundary as
 /// [`run_cell`]: a panic inside generation / estimate application / load
 /// rescaling comes back as its rendered panic text. Callers that cache

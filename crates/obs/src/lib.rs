@@ -4,7 +4,7 @@
 //! The crate is deliberately dependency-free (std only) so it can sit at
 //! the bottom of the workspace graph — `sched`, `core`, `service`, and
 //! the binaries all layer on top of it without cycles, and the vendored
-//! stand-in crates are not pulled into the hot path. Three facilities:
+//! stand-in crates are not pulled into the hot path. Four facilities:
 //!
 //! * [`log`] — leveled, targeted records behind [`error!`]..[`trace!`]
 //!   macros, filtered by a `BFSIM_LOG`-style directive string, emitted as
@@ -15,6 +15,10 @@
 //!   atomic hot-path increments, registered in a process-global (or
 //!   per-component) [`metrics::Registry`] and snapshot-able as one
 //!   canonical-JSON document (sorted keys, integers only).
+//! * [`span`] — distributed span tracing (trace/span/parent ids on a
+//!   monotonic clock, bounded per-thread buffers) plus the simulator's
+//!   per-phase self-profiling accumulator; drained spans merge across
+//!   processes into one Chrome-trace timeline per cell.
 //! * [`mod@trace`] — a bounded ring buffer of typed scheduler decisions
 //!   (`Arrive`, `Reserve`, `Backfill`, `Start`, `Complete`, `Compress`,
 //!   `Preempt`) tagged with job id and paper category, flushable to
@@ -29,13 +33,18 @@
 
 pub mod log;
 pub mod metrics;
+pub mod span;
 pub mod trace;
 
 pub(crate) mod json;
 
 pub use log::Level;
 pub use metrics::{
-    merge_snapshots, render_snapshot, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
-    SnapshotValue,
+    merge_snapshots, render_prometheus, render_snapshot, Counter, Gauge, Histogram,
+    HistogramSnapshot, LocalHistogram, Registry, SnapshotValue,
+};
+pub use span::{
+    render_chrome_trace, validate_forest, ForestSummary, Phase, PhaseAcc, SharedPhases, Span,
+    SpanContext, SpanRecord, SpanSource,
 };
 pub use trace::{Recorder, SharedRecorder, TraceCategory, TraceEvent, TraceKind};

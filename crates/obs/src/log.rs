@@ -28,7 +28,10 @@
 //! (`--log-json`): one object per line,
 //! `{"seq":N,"level":"info","target":"...","msg":"..."}` — `seq` is a
 //! process-monotone counter, deterministic where a wall clock would not
-//! be.
+//! be. Opting into [`LogConfig::elapsed`] (flag `--log-elapsed`) adds a
+//! monotonic `elapsed_ms` field (text sink: a `+Nms` tag) for latency
+//! eyeballing; it stays off by default so golden log output is
+//! byte-stable.
 
 use crate::json::push_str_literal;
 use std::fmt;
@@ -204,6 +207,11 @@ pub struct LogConfig {
     pub json: bool,
     /// Destination.
     pub sink: Sink,
+    /// Stamp each record with monotonic milliseconds since logger init
+    /// (`elapsed_ms` in JSON, `+Nms` in text). Off by default: the
+    /// deterministic `seq` counter alone keeps golden log tests
+    /// byte-stable.
+    pub elapsed: bool,
 }
 
 impl LogConfig {
@@ -213,6 +221,7 @@ impl LogConfig {
             filter,
             json: false,
             sink: Sink::Stderr,
+            elapsed: false,
         }
     }
 }
@@ -222,6 +231,8 @@ struct Logger {
     json: bool,
     sink: Mutex<Sink>,
     seq: AtomicU64,
+    /// `Some(init time)` when records carry `elapsed_ms`.
+    elapsed_since: Option<std::time::Instant>,
 }
 
 static LOGGER: OnceLock<Logger> = OnceLock::new();
@@ -239,6 +250,7 @@ pub fn init(config: LogConfig) -> Result<(), LogConfig> {
         json: config.json,
         sink: Mutex::new(config.sink),
         seq: AtomicU64::new(0),
+        elapsed_since: config.elapsed.then(std::time::Instant::now),
     };
     match LOGGER.set(logger) {
         Ok(()) => {
@@ -249,6 +261,7 @@ pub fn init(config: LogConfig) -> Result<(), LogConfig> {
             filter: rejected.filter,
             json: rejected.json,
             sink: rejected.sink.into_inner().unwrap_or(Sink::Stderr),
+            elapsed: rejected.elapsed_since.is_some(),
         }),
     }
 }
@@ -286,10 +299,17 @@ pub fn log(level: Level, target: &str, args: fmt::Arguments<'_>) {
         return;
     }
     let seq = logger.seq.fetch_add(1, Ordering::Relaxed);
+    let elapsed_ms = logger
+        .elapsed_since
+        .map(|since| since.elapsed().as_millis() as u64);
     let line = if logger.json {
         let mut out = String::with_capacity(96);
         out.push_str("{\"seq\":");
         out.push_str(&seq.to_string());
+        if let Some(ms) = elapsed_ms {
+            out.push_str(",\"elapsed_ms\":");
+            out.push_str(&ms.to_string());
+        }
         out.push_str(",\"level\":");
         push_str_literal(&mut out, level.as_str());
         out.push_str(",\"target\":");
@@ -299,7 +319,10 @@ pub fn log(level: Level, target: &str, args: fmt::Arguments<'_>) {
         out.push_str("}\n");
         out
     } else {
-        format!("[{} {}] {}\n", level.tag(), target, args)
+        match elapsed_ms {
+            Some(ms) => format!("[{} +{}ms {}] {}\n", level.tag(), ms, target, args),
+            None => format!("[{} {}] {}\n", level.tag(), target, args),
+        }
     };
     let mut sink = logger.sink.lock().unwrap_or_else(|e| e.into_inner());
     let _ = match &mut *sink {

@@ -127,6 +127,20 @@ impl Histogram {
         (64 - v.leading_zeros()) as usize
     }
 
+    /// Add a frozen histogram's contents in bulk — counts, sum, and
+    /// buckets element-wise. This is how per-run [`LocalHistogram`]s
+    /// (e.g. the simulator's phase timers) merge into a long-lived
+    /// registry without paying per-sample atomics on the hot path.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        for (bucket, &n) in self.buckets.iter().zip(&snap.buckets) {
+            if n > 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// The inclusive upper bound of bucket `i`.
     pub fn bucket_upper_bound(i: usize) -> u64 {
         match i {
@@ -165,6 +179,62 @@ impl Histogram {
             count: self.count(),
             sum: self.sum(),
             buckets,
+        }
+    }
+}
+
+/// A single-threaded [`Histogram`]: plain fields instead of atomics, for
+/// hot paths that are not shared (one simulation run's phase timers).
+/// Merge into a shared [`Histogram`] afterwards via
+/// [`Histogram::absorb`].
+#[derive(Debug, Clone)]
+pub struct LocalHistogram {
+    count: u64,
+    sum: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalHistogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        LocalHistogram {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Record one sample. The sum wraps on overflow, exactly like the
+    /// atomic [`Histogram`]'s `fetch_add`.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.buckets[Histogram::bucket_of(v)] += 1;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Freeze for reporting or [`Histogram::absorb`].
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            buckets: self.buckets.to_vec(),
         }
     }
 }
@@ -377,6 +447,65 @@ pub fn render_snapshot(snap: &[(String, SnapshotValue)]) -> String {
     format!(
         "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}"
     )
+}
+
+/// A metric name in Prometheus form: dots (and any other character
+/// outside `[a-zA-Z0-9_:]`) become underscores.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+///
+/// Counters and gauges become one `# TYPE` line plus one sample line.
+/// Histograms expose the classic triplet: cumulative
+/// `name_bucket{le="..."}` series (one line per log₂ bucket up to the
+/// highest non-empty one, then the mandatory `le="+Inf"`), `name_sum`,
+/// and `name_count`. Like [`render_snapshot`], equal snapshots render
+/// byte-identically, so the output is golden-testable.
+pub fn render_prometheus(snap: &[(String, SnapshotValue)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(snap.len() * 64);
+    for (name, value) in snap {
+        let name = prom_name(name);
+        match value {
+            SnapshotValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+            }
+            SnapshotValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+            }
+            SnapshotValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let last = h
+                    .buckets
+                    .iter()
+                    .rposition(|&n| n > 0)
+                    .map(|i| i.min(HISTOGRAM_BUCKETS - 2))
+                    .unwrap_or(0);
+                let mut cumulative = 0u64;
+                for (i, &n) in h.buckets.iter().enumerate().take(last + 1) {
+                    cumulative += n;
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                        Histogram::bucket_upper_bound(i)
+                    );
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+                let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+            }
+        }
+    }
+    out
 }
 
 /// Merge per-shard snapshots into one aggregate, keyed by metric name.
@@ -592,6 +721,74 @@ mod tests {
             render_snapshot(&merge_snapshots(&[r.snapshot()])),
             r.snapshot_json()
         );
+    }
+
+    #[test]
+    fn local_histogram_matches_atomic_and_absorbs() {
+        let atomic = Histogram::new();
+        let mut local = LocalHistogram::new();
+        for v in [0, 1, 5, 1024, u64::MAX] {
+            atomic.record(v);
+            local.record(v);
+        }
+        assert_eq!(local.snapshot(), atomic.snapshot());
+
+        let target = Histogram::new();
+        target.record(5);
+        target.absorb(&local.snapshot());
+        let snap = target.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 5 + local.sum());
+        assert_eq!(snap.buckets[3], 2, "two samples of 5 after absorb");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_pinned() {
+        let r = Registry::new();
+        r.counter("service.submitted").add(12);
+        r.gauge("service.pool.queue_depth").set(-2);
+        r.histogram("service.wall_ms").record(5);
+        r.histogram("service.wall_ms").record(900);
+        let text = render_prometheus(&r.snapshot());
+        let expected = "\
+# TYPE service_pool_queue_depth gauge
+service_pool_queue_depth -2
+# TYPE service_submitted counter
+service_submitted 12
+# TYPE service_wall_ms histogram
+service_wall_ms_bucket{le=\"0\"} 0
+service_wall_ms_bucket{le=\"1\"} 0
+service_wall_ms_bucket{le=\"3\"} 0
+service_wall_ms_bucket{le=\"7\"} 1
+service_wall_ms_bucket{le=\"15\"} 1
+service_wall_ms_bucket{le=\"31\"} 1
+service_wall_ms_bucket{le=\"63\"} 1
+service_wall_ms_bucket{le=\"127\"} 1
+service_wall_ms_bucket{le=\"255\"} 1
+service_wall_ms_bucket{le=\"511\"} 1
+service_wall_ms_bucket{le=\"1023\"} 2
+service_wall_ms_bucket{le=\"+Inf\"} 2
+service_wall_ms_sum 905
+service_wall_ms_count 2
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_rendering_handles_empty_and_top_bucket() {
+        let r = Registry::new();
+        r.histogram("empty");
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("empty_bucket{le=\"0\"} 0\nempty_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("empty_sum 0\nempty_count 0"));
+
+        let r = Registry::new();
+        r.histogram("top").record(u64::MAX);
+        let text = render_prometheus(&r.snapshot());
+        // The overflow bucket is only representable as +Inf; the last
+        // finite le stays at bucket 63's bound.
+        assert!(text.contains(&format!("top_bucket{{le=\"{}\"}} 0", (1u64 << 63) - 1)));
+        assert!(text.contains("top_bucket{le=\"+Inf\"} 1"));
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! The opt-in `elapsed_ms` log field. Lives in its own test binary: the
+//! global logger installs once per process, so this init must not race
+//! the crate's unit tests.
+
+use obs::log::{Filter, Level, LogConfig, Sink};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+#[derive(Clone, Default)]
+struct Buf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Buf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn elapsed_ms_rides_json_records_when_opted_in() {
+    let buf = Buf::default();
+    obs::log::init(LogConfig {
+        filter: Filter::uniform(Level::Info),
+        json: true,
+        sink: Sink::Writer(Box::new(buf.clone())),
+        elapsed: true,
+    })
+    .expect("first init in this process");
+
+    obs::info!(target: "test", "hello");
+    obs::info!(target: "test", "again");
+
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    // seq stays the deterministic leading field; elapsed_ms follows it.
+    assert!(lines[0].starts_with("{\"seq\":0,\"elapsed_ms\":"), "{text}");
+    assert!(lines[1].starts_with("{\"seq\":1,\"elapsed_ms\":"), "{text}");
+    for line in &lines {
+        let pairs = parse_flat(line);
+        let ms: u64 = pairs
+            .iter()
+            .find(|(k, _)| k == "elapsed_ms")
+            .expect("elapsed_ms present")
+            .1
+            .parse()
+            .expect("elapsed_ms is an integer");
+        assert!(ms < 60_000, "monotonic-from-init, not a wall clock: {ms}");
+    }
+}
+
+/// Tiny flat-object splitter good enough for the logger's own output.
+fn parse_flat(line: &str) -> Vec<(String, String)> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap();
+    inner
+        .split(',')
+        .map(|pair| {
+            let (k, v) = pair.split_once(':').unwrap();
+            (
+                k.trim_matches('"').to_string(),
+                v.trim_matches('"').to_string(),
+            )
+        })
+        .collect()
+}

@@ -78,6 +78,8 @@ pub struct ConservativeScheduler {
     mode: Compression,
     /// Opt-in decision-trace recorder (strictly observational).
     recorder: Option<SharedRecorder>,
+    /// Opt-in per-phase profiling accumulator (strictly observational).
+    phases: Option<obs::SharedPhases>,
     /// Recycled `starts` buffer from the previous event's [`Decisions`]
     /// (handed back by the driver via [`Scheduler::recycle`]); its capacity
     /// serves the next collect pass.
@@ -103,6 +105,7 @@ impl ConservativeScheduler {
             free: capacity,
             mode,
             recorder: None,
+            phases: None,
             starts_scratch: Vec::new(),
             sort_scratch: Vec::new(),
         }
@@ -363,10 +366,12 @@ impl Scheduler for ConservativeScheduler {
                 anchor: anchor.as_secs(),
             },
         );
+        let t0 = obs::span::start_nested(&self.phases, obs::Phase::QueueOps);
         self.queue.push(Reservation {
             meta: job,
             start: anchor,
         });
+        obs::span::finish_nested(&self.phases, obs::Phase::QueueOps, t0);
         self.collect(now, true)
     }
 
@@ -381,7 +386,9 @@ impl Scheduler for ConservativeScheduler {
             // let queued jobs compress into the hole.
             self.profile.release(now, run.est_end.since(now), run.width);
             if self.mode != Compression::None {
+                let t0 = obs::span::start_nested(&self.phases, obs::Phase::Compress);
                 self.compress(now);
+                obs::span::finish_nested(&self.phases, obs::Phase::Compress, t0);
             }
         }
         self.collect(now, true)
@@ -403,6 +410,10 @@ impl Scheduler for ConservativeScheduler {
 
     fn set_recorder(&mut self, recorder: SharedRecorder) {
         self.recorder = Some(recorder);
+    }
+
+    fn set_phases(&mut self, phases: obs::SharedPhases) {
+        self.phases = Some(phases);
     }
 
     fn recycle(&mut self, spent: Decisions) {

@@ -52,6 +52,8 @@ pub struct EasyScheduler {
     stats: ProfileStats,
     /// Opt-in decision-trace recorder (strictly observational).
     recorder: Option<SharedRecorder>,
+    /// Opt-in per-phase profiling accumulator (strictly observational).
+    phases: Option<obs::SharedPhases>,
     /// The last `(pivot, anchor)` pair recorded, so the trace carries one
     /// `Reserve` per distinct pivot reservation instead of one per event.
     last_pivot: Option<(JobId, SimTime)>,
@@ -73,6 +75,7 @@ impl EasyScheduler {
             cached: Profile::new(capacity),
             stats: ProfileStats::default(),
             recorder: None,
+            phases: None,
             last_pivot: None,
             starts_scratch: Vec::new(),
         }
@@ -172,6 +175,7 @@ impl EasyScheduler {
 
         // Phase 3: backfill the rest in priority order. Accepted backfills
         // are added to the profile so later candidates see them.
+        let scan_t0 = obs::span::start_nested(&self.phases, obs::Phase::Backfill);
         let mut i = 1;
         while i < self.queue.len() {
             let cand = self.queue[i];
@@ -196,6 +200,7 @@ impl EasyScheduler {
         // The pass is over: the pivot is not running, so its rectangle
         // leaves the running profile again.
         self.cached.release(anchor, pivot.estimate, pivot.width);
+        obs::span::finish_nested(&self.phases, obs::Phase::Backfill, scan_t0);
         Decisions::start(starts)
     }
 }
@@ -207,7 +212,9 @@ impl Scheduler for EasyScheduler {
 
     fn on_arrival(&mut self, job: JobMeta, now: SimTime) -> Decisions {
         assert!(job.width <= self.capacity, "{} wider than machine", job.id);
+        let t0 = obs::span::start_nested(&self.phases, obs::Phase::QueueOps);
         self.queue.push(job);
+        obs::span::finish_nested(&self.phases, obs::Phase::QueueOps, t0);
         self.reschedule(now)
     }
 
@@ -242,6 +249,10 @@ impl Scheduler for EasyScheduler {
 
     fn set_recorder(&mut self, recorder: SharedRecorder) {
         self.recorder = Some(recorder);
+    }
+
+    fn set_phases(&mut self, phases: obs::SharedPhases) {
+        self.phases = Some(phases);
     }
 
     fn recycle(&mut self, spent: Decisions) {

@@ -118,6 +118,15 @@ pub trait Scheduler {
         let _ = recorder;
     }
 
+    /// Hand the scheduler a shared per-phase profiling accumulator (see
+    /// `obs::span::PhaseAcc`). Schedulers with distinguishable internal
+    /// phases (queue maintenance, backfill scans, profile compression)
+    /// time them into it; like the recorder, profiling must be strictly
+    /// observational, so the default is to ignore it.
+    fn set_phases(&mut self, phases: obs::SharedPhases) {
+        let _ = phases;
+    }
+
     /// Return a consumed [`Decisions`] so its buffers can serve the next
     /// event. The driver calls this after applying every decision set;
     /// schedulers that keep scratch buffers clear and stash the vectors

@@ -4,7 +4,7 @@
 //! bfsimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache-cap N]
 //!        [--cache-journal PATH] [--fault-plan SPEC]
 //!        [--read-timeout-ms N] [--write-timeout-ms N] [--max-frame BYTES]
-//!        [--log-level SPEC] [--log-json]
+//!        [--log-level SPEC] [--log-json] [--log-elapsed]
 //! ```
 //!
 //! Listens for JSON-lines requests (see `service::protocol`), runs them
@@ -37,11 +37,13 @@ fn die(msg: &str) -> ! {
 fn init_logging(args: &[String]) {
     let mut spec: Option<String> = None;
     let mut json = false;
+    let mut elapsed = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--log-level" => spec = it.next().cloned(),
             "--log-json" => json = true,
+            "--log-elapsed" => elapsed = true,
             _ => {}
         }
     }
@@ -60,6 +62,7 @@ fn init_logging(args: &[String]) {
         filter,
         json,
         sink: obs::log::Sink::Stderr,
+        elapsed,
     });
 }
 
@@ -126,12 +129,13 @@ fn main() {
             "--log-level" => {
                 let _ = next(&mut it, "--log-level");
             }
-            "--log-json" => {}
+            "--log-json" | "--log-elapsed" => {}
             "--help" | "-h" => {
                 println!(
                     "usage: bfsimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache-cap N] \
                      [--cache-journal PATH] [--fault-plan SPEC] [--read-timeout-ms N] \
-                     [--write-timeout-ms N] [--max-frame BYTES] [--log-level SPEC] [--log-json]"
+                     [--write-timeout-ms N] [--max-frame BYTES] [--log-level SPEC] [--log-json] \
+                     [--log-elapsed]"
                 );
                 std::process::exit(0);
             }
@@ -164,6 +168,10 @@ fn main() {
             _ => String::new(),
         }
     );
+    // Calibrate the phase-timing fast clock before serving: the one-time
+    // ~2 ms measurement then happens at startup instead of inside the
+    // first traced cell a client submits.
+    obs::span::calibrate_clock();
     let handle =
         Server::start(&addr, cfg).unwrap_or_else(|e| die(&format!("starting on {addr}: {e}")));
     obs::info!(target: "bfsimd", "listening on {} ({summary})", handle.addr());

@@ -24,7 +24,9 @@
 //! and `Exhausted` (the retry budget ran out — wrapping the terminal
 //! error).
 
-use crate::protocol::{Capabilities, HealthReport, Request, Response, RunReply, ServiceStats};
+use crate::protocol::{
+    Capabilities, HealthReport, Request, Response, RunReply, ServiceStats, TraceContext, WireSpan,
+};
 use backfill_sim::RunConfig;
 use simcore::SplitMix64;
 use std::fmt;
@@ -289,7 +291,21 @@ impl Client {
 
     /// Simulate one scenario (or fetch its memoized report).
     pub fn submit(&mut self, config: &RunConfig) -> Result<RunReply, ClientError> {
-        match self.request(&Request::Submit { config: *config })? {
+        self.submit_traced(config, None)
+    }
+
+    /// Simulate one scenario, propagating an optional span context so
+    /// the daemon's cache/pool/phase spans parent into the caller's
+    /// trace. A `None` context is wire-identical to [`Self::submit`].
+    pub fn submit_traced(
+        &mut self,
+        config: &RunConfig,
+        trace: Option<TraceContext>,
+    ) -> Result<RunReply, ClientError> {
+        match self.request(&Request::Submit {
+            config: *config,
+            trace,
+        })? {
             Response::Run(reply) => Ok(reply),
             Response::Busy => Err(ClientError::Busy),
             Response::Error {
@@ -325,6 +341,28 @@ impl Client {
             Response::Metrics { json } => Ok(json),
             other => Err(ClientError::Protocol(format!(
                 "metrics answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the daemon's metrics registry in the Prometheus text
+    /// exposition format (scrape-ready; same state as [`Self::metrics`]).
+    pub fn metrics_prom(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::MetricsProm)? {
+            Response::MetricsProm { text } => Ok(text),
+            other => Err(ClientError::Protocol(format!(
+                "metrics-prom answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Drain the daemon's buffered span records (each drain hands over
+    /// everything recorded since the previous drain).
+    pub fn spans(&mut self) -> Result<Vec<WireSpan>, ClientError> {
+        match self.request(&Request::Spans)? {
+            Response::Spans { spans } => Ok(spans),
+            other => Err(ClientError::Protocol(format!(
+                "spans answered with {other:?}"
             ))),
         }
     }
@@ -448,15 +486,30 @@ impl ResilientClient {
     fn with_retry<T>(
         &mut self,
         what: &str,
+        op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        self.with_retry_ctx(what, None, op)
+    }
+
+    /// [`Self::with_retry`], recording a `client.attempt` span around
+    /// every attempt and a `client.backoff` span around every sleep when
+    /// a span context is given — so retries and backoff stalls show up
+    /// in the merged timeline instead of as unexplained gaps.
+    fn with_retry_ctx<T>(
+        &mut self,
+        what: &str,
+        ctx: Option<obs::SpanContext>,
         mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
     ) -> Result<T, ClientError> {
         let mut backoff = Backoff::new(&self.opts.retry);
         let mut attempt: u32 = 0;
         loop {
+            let attempt_span = ctx.map(|c| obs::Span::child(c, "client.attempt"));
             let result = match self.connection() {
                 Ok(client) => op(client),
                 Err(e) => Err(e),
             };
+            drop(attempt_span);
             let err = match result {
                 Ok(value) => return Ok(value),
                 Err(err) => err,
@@ -482,7 +535,9 @@ impl ResilientClient {
                 "{what} attempt {attempt} failed ({err}); retrying in {} ms",
                 delay.as_millis()
             );
+            let backoff_span = ctx.map(|c| obs::Span::child(c, "client.backoff"));
             std::thread::sleep(delay);
+            drop(backoff_span);
         }
     }
 
@@ -494,6 +549,18 @@ impl ResilientClient {
         self.with_retry("submit", |client| client.submit(config))
     }
 
+    /// [`Self::submit`] with span propagation: attempts and backoff
+    /// sleeps are recorded as children of `trace`'s parent span, and the
+    /// context rides the wire so daemon-side spans join the same trace.
+    pub fn submit_traced(
+        &mut self,
+        config: &RunConfig,
+        trace: Option<TraceContext>,
+    ) -> Result<RunReply, ClientError> {
+        let ctx = trace.map(|t| t.ctx());
+        self.with_retry_ctx("submit", ctx, |client| client.submit_traced(config, trace))
+    }
+
     /// Fetch the daemon's counters, retrying per policy.
     pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
         self.with_retry("stats", |client| client.stats())
@@ -502,6 +569,19 @@ impl ResilientClient {
     /// Fetch the daemon's metrics snapshot, retrying per policy.
     pub fn metrics(&mut self) -> Result<String, ClientError> {
         self.with_retry("metrics", |client| client.metrics())
+    }
+
+    /// Fetch the daemon's Prometheus exposition, retrying per policy.
+    pub fn metrics_prom(&mut self) -> Result<String, ClientError> {
+        self.with_retry("metrics-prom", |client| client.metrics_prom())
+    }
+
+    /// Drain the daemon's buffered spans, retrying per policy. Only the
+    /// transport is retried; a drain that succeeded but whose response
+    /// was lost leaves those spans consumed — callers treat span
+    /// collection as best-effort.
+    pub fn spans(&mut self) -> Result<Vec<WireSpan>, ClientError> {
+        self.with_retry("spans", |client| client.spans())
     }
 
     /// Probe the daemon's health, retrying per policy.

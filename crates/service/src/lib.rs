@@ -65,6 +65,6 @@ pub use fault::{FaultActions, FaultInjector, FaultPlan};
 pub use pool::{SubmitError, Task, TaskResult, WorkerPool};
 pub use protocol::{
     Capabilities, HealthReport, JournalHealth, Request, Response, RunReply, RunReport,
-    ServiceStats, PROTO_VERSION,
+    ServiceStats, TraceContext, WireSpan, PROTO_VERSION,
 };
 pub use server::{Server, ServerHandle, ServiceConfig};

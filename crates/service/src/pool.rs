@@ -21,7 +21,7 @@
 
 use crate::fault::FaultActions;
 use crate::tracecache::TraceCache;
-use backfill_sim::{run_cell_on, CellError, RunConfig, Schedule};
+use backfill_sim::{run_cell_observed_on, run_cell_on, CellError, RunConfig, Schedule, SimOptions};
 use crossbeam::channel::{self, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -42,6 +42,14 @@ pub struct Task {
     /// for normal operation; only `panic` and `delay` are interpreted
     /// here — the wire-level kinds belong to the connection handler.
     pub fault: FaultActions,
+    /// Distributed-trace parent for this task's spans, when the submit
+    /// carried one. The worker records `pool.wait` (queue time) and
+    /// `pool.run` (simulation) spans under it and runs the simulation
+    /// with per-phase profiling.
+    pub trace: Option<obs::SpanContext>,
+    /// When the connection handler accepted the task; the `pool.wait`
+    /// span is the gap between this and worker pickup.
+    pub accepted: Instant,
 }
 
 /// What a worker produced for one task.
@@ -50,6 +58,9 @@ pub struct TaskResult {
     pub outcome: Result<Schedule, CellError>,
     /// Time the worker spent simulating (excludes queue wait).
     pub run_wall: Duration,
+    /// Per-phase simulator timings, collected only for traced tasks; the
+    /// handler flushes them into the daemon's registry histograms.
+    pub phases: Option<Box<obs::PhaseAcc>>,
 }
 
 /// Why a submission was not accepted.
@@ -117,6 +128,19 @@ impl WorkerPool {
                         // bug outside the simulation boundary) land here,
                         // not on the thread.
                         let result = catch_unwind(AssertUnwindSafe(|| {
+                            // The queue-wait span closes at pickup, before
+                            // any injected fault stretches the timeline.
+                            if let Some(ctx) = task.trace {
+                                let wait_us = task.accepted.elapsed().as_micros() as u64;
+                                obs::span::record_raw(obs::SpanRecord {
+                                    trace_id: ctx.trace_id,
+                                    span_id: obs::span::next_span_id(),
+                                    parent_id: ctx.span_id,
+                                    name: "pool.wait".into(),
+                                    start_us: obs::span::now_micros().saturating_sub(wait_us),
+                                    dur_us: wait_us,
+                                });
+                            }
                             if let Some(delay) = task.fault.delay {
                                 std::thread::sleep(delay);
                             }
@@ -124,20 +148,46 @@ impl WorkerPool {
                                 panic!("injected worker panic (fault plan)");
                             }
                             let started = Instant::now();
+                            let run_span = task.trace.map(|ctx| obs::Span::child(ctx, "pool.run"));
+                            // Traced tasks run with per-phase profiling;
+                            // the sampled phase spans parent under the
+                            // pool.run span. Untraced tasks keep the plain
+                            // (zero-overhead) path.
+                            let phase_acc = task.trace.map(|_| {
+                                let acc =
+                                    std::rc::Rc::new(std::cell::RefCell::new(obs::PhaseAcc::new()));
+                                if let Some(ctx) = run_span.as_ref().and_then(|s| s.ctx()) {
+                                    acc.borrow_mut().set_ctx(ctx);
+                                }
+                                acc
+                            });
                             // Trace sharing: tasks over the same scenario
                             // reuse one materialized trace. Both halves —
                             // materialization and simulation — keep
                             // run_cell's per-task fault isolation.
                             let outcome = match traces.get_or_materialize(&task.config.scenario) {
-                                Ok(trace) => run_cell_on(&task.config, &trace),
+                                Ok(trace) => match &phase_acc {
+                                    Some(acc) => run_cell_observed_on(
+                                        &task.config,
+                                        &trace,
+                                        SimOptions::with_phases(acc.clone()),
+                                    ),
+                                    None => run_cell_on(&task.config, &trace),
+                                },
                                 Err(panic) => Err(CellError {
                                     config: task.config,
                                     panic,
                                 }),
                             };
+                            drop(run_span); // records the span's end
+                            obs::span::flush_thread();
+                            let phases = phase_acc
+                                .and_then(|acc| std::rc::Rc::try_unwrap(acc).ok())
+                                .map(|cell| Box::new(cell.into_inner()));
                             TaskResult {
                                 outcome,
                                 run_wall: started.elapsed(),
+                                phases,
                             }
                         }));
                         // Stop counting the task as in-flight BEFORE the
@@ -286,6 +336,8 @@ mod tests {
             config,
             reply,
             fault: FaultActions::default(),
+            trace: None,
+            accepted: Instant::now(),
         }
     }
 
@@ -363,6 +415,8 @@ mod tests {
                 panic: true,
                 ..FaultActions::default()
             },
+            trace: None,
+            accepted: Instant::now(),
         })
         .unwrap();
         // The crashed task's reply channel closes without a result.
@@ -392,6 +446,8 @@ mod tests {
                 delay: Some(Duration::from_millis(80)),
                 ..FaultActions::default()
             },
+            trace: None,
+            accepted: Instant::now(),
         })
         .unwrap();
         assert!(results.recv().unwrap().outcome.is_ok());
@@ -427,6 +483,8 @@ mod tests {
                 delay: Some(Duration::from_millis(150)),
                 ..FaultActions::default()
             },
+            trace: None,
+            accepted: Instant::now(),
         })
         .unwrap();
         // Wait until the worker holds the delayed task, leaving the

@@ -12,6 +12,75 @@ use sched::ProfileStats;
 use serde::{Deserialize, Serialize};
 use workload::CategoryCriteria;
 
+/// Distributed-trace context riding on a [`Request::Submit`]: the
+/// coordinator's cell trace plus the span to parent daemon-side spans
+/// under. Optional and ignored by pre-v3 daemons (unknown JSON fields
+/// are skipped on deserialize), so old and new peers interoperate; a
+/// missing field parses as `None` via the serde default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Trace id — the cell's canonical content hash, shared by every
+    /// span of that cell across coordinator and shards.
+    pub trace_id: u64,
+    /// Span id of the submitting attempt; daemon-side spans become its
+    /// children so the merged timeline is one rooted tree per cell.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// The `obs` span context this wire form carries.
+    pub fn ctx(&self) -> obs::SpanContext {
+        obs::SpanContext {
+            trace_id: self.trace_id,
+            span_id: self.parent_span,
+        }
+    }
+}
+
+/// One completed span on the wire (the serde mirror of
+/// [`obs::SpanRecord`], which stays serde-free like all of `obs`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireSpan {
+    /// Trace this span belongs to (cell content hash).
+    pub trace_id: u64,
+    /// Unique span id within the trace.
+    pub span_id: u64,
+    /// Parent span id; 0 marks a root.
+    pub parent_id: u64,
+    /// Operation name, e.g. `"pool.run"`.
+    pub name: String,
+    /// Start, microseconds on the emitting process's monotonic clock.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+impl From<obs::SpanRecord> for WireSpan {
+    fn from(r: obs::SpanRecord) -> Self {
+        WireSpan {
+            trace_id: r.trace_id,
+            span_id: r.span_id,
+            parent_id: r.parent_id,
+            name: r.name,
+            start_us: r.start_us,
+            dur_us: r.dur_us,
+        }
+    }
+}
+
+impl From<WireSpan> for obs::SpanRecord {
+    fn from(w: WireSpan) -> Self {
+        obs::SpanRecord {
+            trace_id: w.trace_id,
+            span_id: w.span_id,
+            parent_id: w.parent_id,
+            name: w.name,
+            start_us: w.start_us,
+            dur_us: w.dur_us,
+        }
+    }
+}
+
 /// A client request: one per line.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Request {
@@ -19,6 +88,13 @@ pub enum Request {
     Submit {
         /// The full run configuration; also the cache key (canonicalized).
         config: RunConfig,
+        /// Optional distributed-trace context. When present the daemon
+        /// records its serving spans (queue wait, run, cache hit/miss)
+        /// as children of `parent_span`, harvestable via
+        /// [`Request::Spans`]. Absent on pre-v3 clients; ignored by
+        /// pre-v3 daemons. Never part of the cache key.
+        #[serde(default)]
+        trace: Option<TraceContext>,
     },
     /// Introspect the daemon: queue depth, in-flight, cache, wall times.
     Stats,
@@ -35,6 +111,17 @@ pub enum Request {
     /// before dispatching any work. Answered with
     /// [`Response::Capabilities`].
     Capabilities,
+    /// Drain and return every span the daemon buffered since the last
+    /// `Spans` request (submit handling, pool wait/run, cache hits and
+    /// misses, simulator phases). Answered with [`Response::Spans`].
+    /// Draining is destructive — the coordinator collects once per
+    /// sweep — and spans are only buffered while traced submits arrive.
+    Spans,
+    /// Fetch the daemon's metrics registry rendered in the Prometheus
+    /// text exposition format (counters, gauges, cumulative histogram
+    /// buckets). Same registry state as [`Request::Metrics`], different
+    /// serialization. Answered with [`Response::MetricsProm`].
+    MetricsProm,
     /// Stop accepting new `Submit`s but **stay alive**: in-flight work
     /// completes, and `Stats`/`Metrics`/`Health`/`Capabilities` keep
     /// answering so a coordinator can still harvest the shard's final
@@ -71,6 +158,17 @@ pub enum Response {
     /// The daemon's sizing handshake, answering
     /// [`Request::Capabilities`].
     Capabilities(Capabilities),
+    /// The daemon's buffered spans, answering [`Request::Spans`].
+    Spans {
+        /// Every span drained from the daemon's buffers, oldest first.
+        spans: Vec<WireSpan>,
+    },
+    /// The Prometheus-rendered registry, answering
+    /// [`Request::MetricsProm`].
+    MetricsProm {
+        /// Prometheus text exposition format (`# TYPE` + samples).
+        text: String,
+    },
     /// Acknowledges [`Request::Drain`]: the daemon refuses new submits
     /// from here on but stays alive for introspection verbs.
     Draining,
@@ -177,7 +275,9 @@ pub struct Capabilities {
 }
 
 /// The protocol revision this build speaks (see [`Capabilities::proto`]).
-pub const PROTO_VERSION: u32 = 2;
+/// v3 added span tracing: the optional `trace` field on `Submit` and the
+/// `Spans` / `MetricsProm` verbs.
+pub const PROTO_VERSION: u32 = 3;
 
 /// A successful submit: the report plus cache provenance.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -311,11 +411,23 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         for req in [
-            Request::Submit { config: config() },
+            Request::Submit {
+                config: config(),
+                trace: None,
+            },
+            Request::Submit {
+                config: config(),
+                trace: Some(TraceContext {
+                    trace_id: 0xFEED,
+                    parent_span: 0xBEEF,
+                }),
+            },
             Request::Stats,
             Request::Metrics,
+            Request::MetricsProm,
             Request::Health,
             Request::Capabilities,
+            Request::Spans,
             Request::Drain,
             Request::Shutdown,
         ] {
@@ -369,6 +481,19 @@ mod tests {
                 journaled: true,
                 draining: false,
             }),
+            Response::Spans {
+                spans: vec![WireSpan {
+                    trace_id: 7,
+                    span_id: 9,
+                    parent_id: 7,
+                    name: "pool.run".into(),
+                    start_us: 120,
+                    dur_us: 35,
+                }],
+            },
+            Response::MetricsProm {
+                text: "# TYPE service_submitted counter\nservice_submitted 1\n".into(),
+            },
             Response::Draining,
             Response::Busy,
             Response::Error {
@@ -407,6 +532,59 @@ mod tests {
         )
         .unwrap();
         assert_eq!(journal.dropped_bytes, 0, "default fills the new field");
+    }
+
+    #[test]
+    fn submit_trace_context_is_cross_revision_compatible() {
+        // A pre-v3 client's Submit has no `trace` field: the serde
+        // default must fill in `None`, not reject the frame.
+        let cfg = serde_json::to_string(&config()).unwrap();
+        let old_line = format!(r#"{{"Submit":{{"config":{cfg}}}}}"#);
+        let parsed: Request = serde_json::from_str(&old_line).unwrap();
+        match parsed {
+            Request::Submit { config: c, trace } => {
+                assert_eq!(c, config());
+                assert_eq!(trace, None, "missing field defaults to None");
+            }
+            other => panic!("parsed as {other:?}"),
+        }
+
+        // Conversely a pre-v3 *daemon* sees the new field as an unknown
+        // key and must skip it — modelled here by a Submit carrying an
+        // extra field this build has never heard of. This is the exact
+        // mechanism that lets an old daemon round-trip a traced Submit.
+        let future = format!(
+            r#"{{"Submit":{{"config":{cfg},"trace":{{"trace_id":7,"parent_span":9}},"hologram":42}}}}"#
+        );
+        let parsed: Request = serde_json::from_str(&future).unwrap();
+        match parsed {
+            Request::Submit { config: c, trace } => {
+                assert_eq!(c, config());
+                assert_eq!(
+                    trace,
+                    Some(TraceContext {
+                        trace_id: 7,
+                        parent_span: 9
+                    })
+                );
+            }
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_span_round_trips_through_obs() {
+        let rec = obs::SpanRecord {
+            trace_id: 3,
+            span_id: 5,
+            parent_id: 3,
+            name: "client.attempt".into(),
+            start_us: 99,
+            dur_us: 12,
+        };
+        let wire: WireSpan = rec.clone().into();
+        let back: obs::SpanRecord = wire.into();
+        assert_eq!(back, rec);
     }
 
     #[test]

@@ -285,10 +285,9 @@ impl Inner {
         }
     }
 
-    /// Render the registry as one canonical-JSON document, refreshing
-    /// the point-in-time gauges first so the reader sees current levels
-    /// rather than whatever the last refresh left behind.
-    fn metrics_snapshot(&self) -> String {
+    /// Refresh the point-in-time gauges so a metrics reader sees current
+    /// levels rather than whatever the last refresh left behind.
+    fn refresh_gauges(&self) {
         self.registry
             .gauge("service.pool.queue_depth")
             .set(self.pool.queue_depth() as i64);
@@ -308,7 +307,19 @@ impl Inner {
         self.registry
             .gauge("service.wall_ms_max")
             .set(self.wall_ms_max.load(Ordering::SeqCst) as i64);
+    }
+
+    /// Render the registry as one canonical-JSON document.
+    fn metrics_snapshot(&self) -> String {
+        self.refresh_gauges();
         self.registry.snapshot_json()
+    }
+
+    /// Render the registry in the Prometheus text exposition format —
+    /// same state as [`Inner::metrics_snapshot`], scrape-ready.
+    fn metrics_prometheus(&self) -> String {
+        self.refresh_gauges();
+        obs::render_prometheus(&self.registry.snapshot())
     }
 
     /// The sizing handshake answering [`Request::Capabilities`].
@@ -573,10 +584,15 @@ fn handle_connection(stream: TcpStream, inner: &Inner) {
 /// after an injected drop).
 fn serve(request: Request, inner: &Inner) -> Served {
     match request {
-        Request::Submit { config } => {
+        Request::Submit { config, trace } => {
             if inner.draining.load(Ordering::SeqCst) || inner.refusing.load(Ordering::SeqCst) {
                 inner.rejected.inc();
                 return Served::plain(Response::ShuttingDown);
+            }
+            // A traced submit arms span recording for the whole daemon;
+            // untraced traffic stays on the zero-cost disabled path.
+            if trace.is_some() {
+                obs::span::set_enabled(true);
             }
             // Claim this submit's fault actions (index order = daemon
             // acceptance order; a plan-free daemon skips all of this).
@@ -607,7 +623,7 @@ fn serve(request: Request, inner: &Inner) -> Served {
             };
             inner.pending.fetch_add(1, Ordering::SeqCst);
             inner.submitted.inc();
-            let response = serve_submit(config, actions, inner);
+            let response = serve_submit(config, trace, actions, inner);
             match response {
                 Response::ShuttingDown => {
                     // Refused after all (pool closed under us): stop
@@ -641,6 +657,17 @@ fn serve(request: Request, inner: &Inner) -> Served {
         }),
         Request::Health => Served::plain(Response::Health(inner.health())),
         Request::Capabilities => Served::plain(Response::Capabilities(inner.capabilities())),
+        Request::Spans => {
+            // Hand the caller every span buffered since the last drain —
+            // handler threads flush after each traced submit, so this
+            // covers all finished work.
+            obs::span::flush_thread();
+            let spans = obs::span::drain().into_iter().map(Into::into).collect();
+            Served::plain(Response::Spans { spans })
+        }
+        Request::MetricsProm => Served::plain(Response::MetricsProm {
+            text: inner.metrics_prometheus(),
+        }),
         Request::Drain => {
             inner.refusing.store(true, Ordering::SeqCst);
             obs::info!(
@@ -666,7 +693,12 @@ fn wire_fault(actions: FaultActions) -> WireFault {
     }
 }
 
-fn serve_submit(config: backfill_sim::RunConfig, actions: FaultActions, inner: &Inner) -> Response {
+fn serve_submit(
+    config: backfill_sim::RunConfig,
+    trace: Option<crate::protocol::TraceContext>,
+    actions: FaultActions,
+    inner: &Inner,
+) -> Response {
     let started = Instant::now();
     let canonical = config.canonical_json();
     match inner.cache.lookup(&canonical) {
@@ -674,6 +706,10 @@ fn serve_submit(config: backfill_sim::RunConfig, actions: FaultActions, inner: &
             // `panic`/`delay` act inside a worker; a hit never reaches
             // one, so only the wire-level faults (handled by the
             // connection handler) apply here.
+            if let Some(trace) = trace {
+                drop(obs::Span::child(trace.ctx(), "cache.hit"));
+                obs::span::flush_thread();
+            }
             let wall_ms = started.elapsed().as_millis() as u64;
             inner.completed.inc();
             inner.record_wall(wall_ms);
@@ -685,9 +721,12 @@ fn serve_submit(config: backfill_sim::RunConfig, actions: FaultActions, inner: &
             })
         }
         Lookup::Miss { hash } => {
+            let miss_span = trace.map(|t| obs::Span::child(t.ctx(), "cache.miss"));
             let (reply_tx, reply_rx) = mpsc::channel();
             let task = Task {
                 config,
+                trace: trace.map(|t| t.ctx()),
+                accepted: Instant::now(),
                 reply: reply_tx,
                 fault: actions,
             };
@@ -705,7 +744,14 @@ fn serve_submit(config: backfill_sim::RunConfig, actions: FaultActions, inner: &
                 }
                 Err(SubmitError::Closed(_)) => return Response::ShuttingDown,
             }
-            let result = match reply_rx.recv() {
+            let recv = reply_rx.recv();
+            // The miss span covers queue wait + run; end it before the
+            // outcome branches so crash paths keep a well-formed tree.
+            drop(miss_span);
+            if trace.is_some() {
+                obs::span::flush_thread();
+            }
+            let result = match recv {
                 Ok(result) => result,
                 Err(_) => {
                     // The worker dropped the reply without sending: it
@@ -731,6 +777,11 @@ fn serve_submit(config: backfill_sim::RunConfig, actions: FaultActions, inner: &
             let wall_ms = started.elapsed().as_millis() as u64;
             inner.record_wall(wall_ms);
             inner.run_wall_ms.record(result.run_wall.as_millis() as u64);
+            // Fold the run's per-phase timing into the daemon registry so
+            // `metrics`/`metrics --format prom` expose sim self-profiling.
+            if let Some(phases) = &result.phases {
+                phases.flush_into(&inner.registry);
+            }
             match result.outcome {
                 Ok(schedule) => {
                     let report = RunReport::from_schedule(&config, &schedule);

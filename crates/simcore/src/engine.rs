@@ -41,6 +41,17 @@ pub trait Actor<E> {
     fn handle(&mut self, event: E, ctx: &mut Ctx<'_, E>);
 }
 
+/// A loop boundary reported by [`Engine::run_hooked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hook {
+    /// The queue pop just finished (the handler has not run yet; on the
+    /// final iteration the pop found nothing and the loop is about to
+    /// exit).
+    Popped,
+    /// The actor's handler for the popped event just returned.
+    Handled,
+}
+
 /// The discrete-event engine.
 #[derive(Debug)]
 pub struct Engine<E> {
@@ -111,6 +122,35 @@ impl<E> Engine<E> {
         while self.step(actor) {}
     }
 
+    /// Like [`Engine::run`], but invokes `mark` at both boundaries of
+    /// every loop iteration: [`Hook::Popped`] right after the queue pop
+    /// (including the final, draining pop that finds nothing) and
+    /// [`Hook::Handled`] right after the actor's handler returns. The
+    /// engine itself never reads a clock — the caller timestamps inside
+    /// `mark`, so consecutive phases share their boundary reading (one
+    /// clock read per mark, chained across iterations) instead of
+    /// paying a start/stop pair per phase. The hooks keep this crate
+    /// observability-agnostic, and they are strictly observational:
+    /// event order and the simulated clock are identical to
+    /// [`Engine::run`].
+    pub fn run_hooked(&mut self, actor: &mut impl Actor<E>, mark: &mut impl FnMut(Hook)) {
+        loop {
+            let popped = self.queue.pop();
+            mark(Hook::Popped);
+            let Some((time, event)) = popped else {
+                return;
+            };
+            self.now = time;
+            self.processed += 1;
+            let mut ctx = Ctx {
+                queue: &mut self.queue,
+                now: time,
+            };
+            actor.handle(event, &mut ctx);
+            mark(Hook::Handled);
+        }
+    }
+
     /// Run until no events remain or `limit` events have been processed
     /// (a runaway guard for schedulers that might self-schedule forever).
     /// Returns `true` if the event set drained before the limit.
@@ -153,6 +193,38 @@ mod tests {
         assert_eq!(actor.seen, vec![(1, "first"), (10, "spawn"), (15, "child")]);
         assert_eq!(engine.processed(), 3);
         assert_eq!(engine.now(), SimTime::new(15));
+    }
+
+    #[test]
+    fn run_hooked_matches_run_and_marks_every_boundary() {
+        let mut plain = Engine::new();
+        plain.prime(SimTime::new(10), "spawn");
+        plain.prime(SimTime::new(1), "first");
+        let mut plain_actor = Recorder { seen: vec![] };
+        plain.run(&mut plain_actor);
+
+        let mut hooked = Engine::new();
+        hooked.prime(SimTime::new(10), "spawn");
+        hooked.prime(SimTime::new(1), "first");
+        let mut hooked_actor = Recorder { seen: vec![] };
+        let (mut pops, mut handles) = (0u64, 0u64);
+        let mut last = None;
+        hooked.run_hooked(&mut hooked_actor, &mut |h| {
+            match h {
+                Hook::Popped => pops += 1,
+                Hook::Handled => handles += 1,
+            }
+            // Boundaries strictly alternate: every handle follows a pop.
+            assert_ne!(last, Some(h), "consecutive identical hooks");
+            last = Some(h);
+        });
+
+        assert_eq!(hooked_actor.seen, plain_actor.seen, "hooks are neutral");
+        assert_eq!(hooked.processed(), plain.processed());
+        // One pop per processed event plus the final drained pop; one
+        // handle mark per processed event.
+        assert_eq!(pops, hooked.processed() + 1);
+        assert_eq!(handles, hooked.processed());
     }
 
     #[test]

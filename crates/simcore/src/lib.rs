@@ -24,7 +24,7 @@ pub mod rng;
 pub mod time;
 pub mod validate;
 
-pub use engine::{Actor, Ctx, Engine};
+pub use engine::{Actor, Ctx, Engine, Hook};
 pub use error::SimError;
 pub use event::{EventClass, EventQueue, HeapEventQueue};
 pub use machine::{JobId, Machine};
