@@ -13,11 +13,16 @@
 //! bfsim shutdown [--addr HOST:PORT]
 //! bfsim bench [-o OUT.json] [--baseline OLD.json] [--enforce-parity]
 //!             [--tiny] [--reps N] [--trace-out OUT.jsonl]
-//! bfsim sweep --shards H:P,H:P,... (--spec FILE.json | --tiny)
+//! bfsim sweep --shards H:P,H:P,... (--spec FILE.json | --tiny | --bench)
 //!             [--window N] [--no-steal] [--max-requeues N] [--spans]
-//!             [-o OUT.json]
+//!             [--journal J.jsonl | --resume J.jsonl] [--reprobe-ms N]
+//!             [--canonical-out CANON.json] [-o OUT.json]
+//! bfsim shards [--count N] [--base-port P] [--bfsimd PATH]
+//!              [--cache-journal-dir DIR] [--fault-plan SPEC]
+//!              [--restart-limit N] [--stable-ms N]
 //! bfsim timeline [--in SWEEP.json] [-o TIMELINE.json]
-//! bfsim coord-status --shards H:P,H:P,...
+//! bfsim coord-status [--shards H:P,H:P,...] [--journal J.jsonl]
+//!                    [--in SWEEP.json]
 //!
 //! Every command also accepts `--log-level SPEC` (the `BFSIM_LOG`
 //! filter grammar, e.g. `info` or `warn,sched=debug`), `--log-json`
@@ -96,18 +101,51 @@
 //! but degraded because at least one shard died mid-sweep.
 //! `coord-status` prints one row per shard (capabilities, queue depth,
 //! cache hit rate, journal replay) and exits 3 only when **no** shard
-//! is reachable.
+//! is reachable. With `--journal J.jsonl` it additionally summarizes a
+//! sweep journal offline (cells done, duplicates, torn-tail bytes), and
+//! with `--in SWEEP.json` a finished report's recovery accounting
+//! (deaths, rejoins, replayed cells); either makes `--shards` optional.
+//!
+//! Crash recovery (see DESIGN.md §18): `sweep --journal J.jsonl`
+//! appends a checksummed record per resolved cell; after a coordinator
+//! crash, `sweep --resume J.jsonl` (same spec and flags) replays the
+//! journal, marks journaled cells done without dispatching them, and
+//! runs only the remainder. A resume against a journal written for a
+//! *different* plan exits 6. `--canonical-out CANON.json` writes the
+//! deterministic projection of the sweep (plan-ordered cells, config
+//! hashes, schedule fingerprints — no wall times or shard placement),
+//! byte-identical between an undisturbed run and a crashed-then-resumed
+//! one. SIGINT/SIGTERM interrupt a sweep cleanly: the journal is
+//! already flushed per record, a resume hint is printed, and the exit
+//! code is 130. `--reprobe-ms N` (default 1000, 0 disables) makes the
+//! coordinator periodically re-handshake shards that died mid-sweep and
+//! re-admit any that answer again — a shard that was SIGKILLed and then
+//! respawned by `bfsim shards` rejoins the sweep, and a sweep whose
+//! every death was healed by a rejoin exits 0, not 9.
+//!
+//! `shards` spawns `--count` local `bfsimd` children on consecutive
+//! ports and babysits them: a crashed child is restarted under seeded
+//! decorrelated-jitter backoff, and a child that crash-loops (more than
+//! `--restart-limit` consecutive sub-`--stable-ms` lifetimes) trips its
+//! breaker and is abandoned. SIGINT/SIGTERM stops the fleet (exit 0);
+//! if every child breaks, the supervisor gives up with exit 5.
 
 use backfill_sim::prelude::*;
 use bench_lib::sweep::{bench_cells, SweepSpec};
-use coord::{run_sweep, SweepError, SweepOptions};
+use coord::{run_sweep_recoverable, SweepError, SweepJournal, SweepOptions, SweepReplay};
 use metrics::{fairness, queue_depth_series, utilization_series, viz};
 use obs::trace::Recorder;
 use sched::ProfileStats;
 use serde::{Deserialize, Serialize};
-use service::{ClientError, ClientOptions, ResilientClient, RetryPolicy};
+use service::{
+    BreakerPolicy, ChildStatus, ClientError, ClientOptions, ResilientClient, RetryPolicy,
+    SupervisorSpec,
+};
 use std::cell::RefCell;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 use workload::models::LublinModel;
 use workload::{load::scale_to_load, swf, TraceStats};
@@ -186,6 +224,54 @@ fn die_degraded(msg: &str) -> ! {
     std::process::exit(9);
 }
 
+/// SIGINT/SIGTERM plumbing. Raw `signal(2)` FFI keeps this dependency-
+/// free; the handler only flips an atomic (the one async-signal-safe
+/// thing it may do) and a mirror thread copies it into the `Arc` flag
+/// the sweep dispatcher and shard supervisor poll.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set (only) by the signal handler.
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Install the handler for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        unsafe {
+            signal(2, on_signal as *const () as usize);
+            signal(15, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// A shared flag that trips when the process receives SIGINT/SIGTERM.
+/// On non-unix targets the flag exists but never trips (the sweep then
+/// simply runs to completion; ^C falls back to the OS default).
+fn interrupt_flag() -> Arc<AtomicBool> {
+    let flag = Arc::new(AtomicBool::new(false));
+    #[cfg(unix)]
+    {
+        signals::install();
+        let mirror = Arc::clone(&flag);
+        std::thread::spawn(move || loop {
+            if signals::INTERRUPTED.load(Ordering::SeqCst) {
+                mirror.store(true, Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
+    }
+    flag
+}
+
 /// Install the global logger before full CLI parsing, so `die` and every
 /// later record go through it. The `--log-level` flag beats `BFSIM_LOG`;
 /// with neither, errors still print.
@@ -257,6 +343,17 @@ struct Cli {
     spans: bool,
     format: String,
     input: Option<String>,
+    resume: Option<String>,
+    reprobe_ms: u64,
+    canonical_out: Option<String>,
+    bench: bool,
+    count: usize,
+    base_port: u16,
+    bfsimd_path: Option<String>,
+    cache_journal_dir: Option<String>,
+    fault_plan: Option<String>,
+    restart_limit: u32,
+    stable_ms: u64,
 }
 
 impl Default for Cli {
@@ -296,6 +393,17 @@ impl Default for Cli {
             spans: false,
             format: "json".into(),
             input: None,
+            resume: None,
+            reprobe_ms: 1_000,
+            canonical_out: None,
+            bench: false,
+            count: 2,
+            base_port: 7431,
+            bfsimd_path: None,
+            cache_journal_dir: None,
+            fault_plan: None,
+            restart_limit: 5,
+            stable_ms: 5_000,
         }
     }
 }
@@ -366,7 +474,7 @@ fn parse_cli(args: &[String]) -> Cli {
     if cli.command == "--help" || cli.command == "-h" {
         println!(
             "usage: bfsim <simulate|generate|inspect|compare|submit|stats|metrics|health|\
-             shutdown|bench|sweep|timeline|coord-status> [flags]; see module docs"
+             shutdown|bench|sweep|shards|timeline|coord-status> [flags]; see module docs"
         );
         std::process::exit(0);
     }
@@ -463,6 +571,43 @@ fn parse_cli(args: &[String]) -> Cli {
                     .unwrap_or_else(|_| die("bad --max-requeues"))
             }
             "--spans" => cli.spans = true,
+            "--resume" => cli.resume = Some(next(&mut it, "--resume")),
+            "--reprobe-ms" => {
+                cli.reprobe_ms = next(&mut it, "--reprobe-ms")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --reprobe-ms (millis, 0 disables)"))
+            }
+            "--canonical-out" => cli.canonical_out = Some(next(&mut it, "--canonical-out")),
+            "--bench" => cli.bench = true,
+            "--count" => {
+                cli.count = next(&mut it, "--count")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("bad --count (need an integer >= 1)"))
+            }
+            "--base-port" => {
+                cli.base_port = next(&mut it, "--base-port")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("bad --base-port (need a port >= 1)"))
+            }
+            "--bfsimd" => cli.bfsimd_path = Some(next(&mut it, "--bfsimd")),
+            "--cache-journal-dir" => {
+                cli.cache_journal_dir = Some(next(&mut it, "--cache-journal-dir"))
+            }
+            "--fault-plan" => cli.fault_plan = Some(next(&mut it, "--fault-plan")),
+            "--restart-limit" => {
+                cli.restart_limit = next(&mut it, "--restart-limit")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --restart-limit"))
+            }
+            "--stable-ms" => {
+                cli.stable_ms = next(&mut it, "--stable-ms")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --stable-ms"))
+            }
             "--format" => {
                 cli.format = next(&mut it, "--format");
                 if cli.format != "json" && cli.format != "prom" {
@@ -1230,6 +1375,20 @@ struct SweepReport {
     requeues: u64,
     duplicates: usize,
     degraded: bool,
+    /// Shard deaths observed mid-sweep. A shard can die and later
+    /// rejoin, so `deaths > 0` with `degraded == false` means every
+    /// casualty was healed before the sweep ended.
+    #[serde(default)]
+    deaths: u64,
+    /// Dead shards re-admitted by the coordinator's reprobe loop.
+    #[serde(default)]
+    rejoins: u64,
+    /// Cells restored from a `--resume` journal without dispatching.
+    #[serde(default)]
+    replayed: u64,
+    /// True when SIGINT/SIGTERM stopped the sweep before completion.
+    #[serde(default)]
+    interrupted: bool,
     /// Field-wise sum of reachable shards' post-sweep service stats.
     stats: Option<service::ServiceStats>,
     /// Canonical merged metrics document (same format one daemon emits),
@@ -1252,29 +1411,111 @@ fn sweep_cells(cli: &Cli) -> Vec<RunConfig> {
         spec.validate()
             .unwrap_or_else(|e| die_data(&format!("invalid sweep spec {path}: {e}")));
         spec.expand()
+    } else if cli.bench {
+        bench_cells(false)
     } else if cli.tiny {
         bench_cells(true)
     } else {
-        die("sweep needs --spec FILE.json or --tiny")
+        die("sweep needs --spec FILE.json, --tiny, or --bench")
     }
+}
+
+/// One cell of the `--canonical-out` projection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CanonicalCell {
+    label: String,
+    config_hash: u64,
+    fingerprint: u64,
+}
+
+/// One permanently failed cell of the `--canonical-out` projection. The
+/// error *text* is deliberately absent: attempt counts and shard
+/// addresses in it vary run to run, and this file must not.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CanonicalFailed {
+    label: String,
+    config_hash: u64,
+}
+
+/// The `--canonical-out CANON.json` document: the deterministic
+/// projection of a sweep. Plan-ordered cells with their config hashes
+/// and schedule fingerprints; every nondeterministic field of the full
+/// report (wall times, shard placement, steal/cache accounting, span
+/// timings) is stripped. Two runs of the same spec — including a
+/// crashed-then-`--resume`d run versus an undisturbed one — produce
+/// byte-identical files, so CI can `cmp` them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CanonicalSweep {
+    version: u32,
+    plan_hash: u64,
+    cells: Vec<CanonicalCell>,
+    failed: Vec<CanonicalFailed>,
+    duplicates: usize,
 }
 
 fn cmd_sweep(cli: &Cli) {
     if cli.shards.is_empty() {
         die("sweep needs --shards HOST:PORT[,HOST:PORT...]");
     }
+    if cli.journal.is_some() && cli.resume.is_some() {
+        die("--journal and --resume are mutually exclusive (a resume appends to the journal it replays)");
+    }
     let cells = sweep_cells(cli);
+    // Re-derive the plan for index → config mapping; planning is a pure
+    // function of (cells, shard count), so this matches the dispatcher.
+    let plan = coord::Plan::new(&cells, cli.shards.len());
+
+    // --journal starts a fresh journal; --resume replays one written by
+    // an earlier (crashed or interrupted) run of the *same* plan and
+    // keeps appending to it. Any resume-time mismatch — wrong plan hash,
+    // foreign cell hashes, malformed records — is a bad data file: 6.
+    let mut replay: Option<SweepReplay> = None;
+    let journal: Option<SweepJournal> = if let Some(path) = &cli.resume {
+        match SweepJournal::resume(Path::new(path), &plan) {
+            Ok((journal, rep)) => {
+                if rep.truncated {
+                    obs::warn!(target: "bfsim",
+                        "journal {path}: torn tail truncated ({} bytes dropped)",
+                        rep.dropped_bytes);
+                }
+                println!(
+                    "resume: {}/{} cells already journaled ({} failed, {} duplicate records)",
+                    rep.resolved(),
+                    plan.len(),
+                    rep.failed.len(),
+                    rep.duplicates
+                );
+                replay = Some(rep);
+                Some(journal)
+            }
+            Err(err) => die_data(&format!("resuming {path}: {err}")),
+        }
+    } else if let Some(path) = &cli.journal {
+        match SweepJournal::create(Path::new(path), &plan) {
+            Ok(journal) => Some(journal),
+            Err(err) => die_data(&format!("creating journal {path}: {err}")),
+        }
+    } else {
+        None
+    };
+
+    let interrupt = interrupt_flag();
     let opts = SweepOptions {
         client: client_options(cli),
         window: cli.window,
         steal: !cli.no_steal,
         max_requeues: cli.max_requeues,
         spans: cli.spans,
+        reprobe: (cli.reprobe_ms > 0).then(|| Duration::from_millis(cli.reprobe_ms)),
+        interrupt: Some(Arc::clone(&interrupt)),
     };
-    // Re-derive the plan for index → config mapping; planning is a pure
-    // function of (cells, shard count), so this matches the dispatcher.
-    let plan = coord::Plan::new(&cells, cli.shards.len());
-    let outcome = match run_sweep(&cli.shards, &cells, &opts) {
+    let outcome = match run_sweep_recoverable(
+        &cli.shards,
+        &cells,
+        &opts,
+        journal.as_ref(),
+        replay.as_ref(),
+    ) {
         Ok(outcome) => outcome,
         Err(err @ SweepError::ShardUnreachable { .. }) => die_shard(&err),
         Err(SweepError::NoShards) => die("sweep needs --shards"),
@@ -1282,7 +1523,7 @@ fn cmd_sweep(cli: &Cli) {
     };
 
     let report = SweepReport {
-        version: 2,
+        version: 3,
         tool: "bfsim sweep".into(),
         shards: outcome
             .shards
@@ -1327,6 +1568,10 @@ fn cmd_sweep(cli: &Cli) {
         requeues: outcome.requeues,
         duplicates: outcome.duplicates,
         degraded: outcome.degraded,
+        deaths: outcome.deaths,
+        rejoins: outcome.rejoins,
+        replayed: outcome.replayed,
+        interrupted: outcome.interrupted,
         stats: outcome.stats,
         metrics: outcome.metrics_json,
         spans: outcome.spans.into_iter().map(Into::into).collect(),
@@ -1366,8 +1611,79 @@ fn cmd_sweep(cli: &Cli) {
             report.spans.len()
         );
     }
+    if report.deaths > 0 || report.replayed > 0 || journal.is_some() {
+        println!(
+            "recovery: {} cells replayed from journal | {} shard deaths | {} rejoins{}",
+            report.replayed,
+            report.deaths,
+            report.rejoins,
+            journal
+                .as_ref()
+                .map(|j| format!(" | journal {}", j.path().display()))
+                .unwrap_or_default()
+        );
+    }
 
-    // Exit taxonomy: the report is on disk in every branch below.
+    // --canonical-out: the deterministic projection, plan-ordered.
+    if let Some(path) = &cli.canonical_out {
+        let mut cells: Vec<(usize, CanonicalCell)> = outcome
+            .cells
+            .iter()
+            .map(|c| {
+                (
+                    c.index,
+                    CanonicalCell {
+                        label: bench_label(&plan.cells[c.index]),
+                        config_hash: c.config_hash,
+                        fingerprint: c.report.fingerprint,
+                    },
+                )
+            })
+            .collect();
+        cells.sort_by_key(|(index, _)| *index);
+        let mut failed: Vec<(usize, CanonicalFailed)> = outcome
+            .failed
+            .iter()
+            .map(|f| {
+                (
+                    f.index,
+                    CanonicalFailed {
+                        label: bench_label(&plan.cells[f.index]),
+                        config_hash: f.config_hash,
+                    },
+                )
+            })
+            .collect();
+        failed.sort_by_key(|(index, _)| *index);
+        let canon = CanonicalSweep {
+            version: 1,
+            plan_hash: plan.content_hash(),
+            cells: cells.into_iter().map(|(_, c)| c).collect(),
+            failed: failed.into_iter().map(|(_, f)| f).collect(),
+            duplicates: outcome.duplicates,
+        };
+        let json = serde_json::to_string_pretty(&canon).expect("canonical sweep serializes");
+        std::fs::write(path, &json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("canonical: {} cells -> {path}", canon.cells.len());
+    }
+
+    // Exit taxonomy: the report is on disk in every branch below. An
+    // interrupt outranks the failure branches — the "failed" cells are
+    // just the ones the signal preempted, and the journal has everything
+    // a resume needs.
+    if report.interrupted {
+        let hint = match &journal {
+            Some(j) => format!(
+                "; resume with `bfsim sweep --resume {}` (same spec and flags)",
+                j.path().display()
+            ),
+            None => "; no --journal was active, so a rerun starts from scratch".to_string(),
+        };
+        obs::error!(target: "bfsim",
+            "sweep interrupted by signal: {} of {} cells resolved{hint}",
+            report.cells.len(), plan.len());
+        std::process::exit(130);
+    }
     let all_dead = report.shards.iter().all(|s| s.dead);
     if !report.failed.is_empty() {
         if all_dead {
@@ -1383,10 +1699,90 @@ fn cmd_sweep(cli: &Cli) {
     if report.degraded {
         die_degraded(&format!(
             "sweep completed degraded: all {} cells resolved, but {} shard(s) \
-             died mid-sweep and their work was redistributed",
+             were dead at sweep end ({} deaths, {} rejoins)",
             plan.len(),
-            report.shards.iter().filter(|s| s.dead).count()
+            report.shards.iter().filter(|s| s.dead).count(),
+            report.deaths,
+            report.rejoins
         ));
+    }
+}
+
+/// `bfsim shards` — spawn `--count` local `bfsimd` children on
+/// consecutive ports and babysit them: crashed children restart under
+/// seeded decorrelated-jitter backoff, crash-loopers trip their breaker
+/// and are abandoned. Runs until SIGINT/SIGTERM (fleet stopped, exit 0)
+/// or until every child has broken (exit 5).
+fn cmd_shards(cli: &Cli) {
+    let bfsimd = match &cli.bfsimd_path {
+        Some(path) => PathBuf::from(path),
+        // Default to the bfsimd sitting next to this bfsim binary —
+        // the layout `cargo build` produces — falling back to $PATH.
+        None => std::env::current_exe()
+            .ok()
+            .and_then(|exe| exe.parent().map(|dir| dir.join("bfsimd")))
+            .filter(|candidate| candidate.exists())
+            .unwrap_or_else(|| PathBuf::from("bfsimd")),
+    };
+    let addrs: Vec<String> = (0..cli.count)
+        .map(|i| format!("127.0.0.1:{}", cli.base_port as usize + i))
+        .collect();
+    let mut args: Vec<String> = Vec::new();
+    if let Some(dir) = &cli.cache_journal_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("creating {dir}: {e}")));
+        args.push("--cache-journal".into());
+        args.push(format!("{dir}/shard-{{port}}.jsonl"));
+    }
+    if let Some(plan) = &cli.fault_plan {
+        args.push("--fault-plan".into());
+        args.push(plan.clone());
+    }
+    let spec = SupervisorSpec {
+        bfsimd,
+        addrs: addrs.clone(),
+        args,
+        retry: RetryPolicy {
+            base: Duration::from_millis(cli.retry_base_ms),
+            seed: cli.retry_seed,
+            ..RetryPolicy::default()
+        },
+        breaker: BreakerPolicy {
+            max_restarts: cli.restart_limit,
+            stable_uptime: Duration::from_millis(cli.stable_ms),
+        },
+    };
+    let supervisor =
+        service::Supervisor::spawn(spec).unwrap_or_else(|e| die(&format!("spawning fleet: {e}")));
+    println!("shards: supervising {} bfsimd children", addrs.len());
+    println!("  --shards {}", addrs.join(","));
+    let stop = interrupt_flag();
+    let stopped_by_signal = loop {
+        if stop.load(Ordering::SeqCst) {
+            supervisor.stop();
+            break true;
+        }
+        if supervisor.finished() {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let report = supervisor.join();
+    for child in &report.children {
+        let status = match child.status {
+            ChildStatus::Running => "running",
+            ChildStatus::Backoff => "backoff",
+            ChildStatus::Broken => "BROKEN (crash-looped)",
+            ChildStatus::Stopped => "stopped",
+        };
+        println!(
+            "shard {}: {status} | started {} time(s)",
+            child.addr, child.restarts
+        );
+    }
+    if !stopped_by_signal {
+        obs::error!(target: "bfsim",
+            "every supervised shard crash-looped; breakers open, giving up");
+        std::process::exit(5);
     }
 }
 
@@ -1437,8 +1833,55 @@ fn cmd_timeline(cli: &Cli) {
 }
 
 fn cmd_coord_status(cli: &Cli) {
+    // Offline views first: a sweep journal (--journal) and/or a finished
+    // report (--in). Either makes --shards optional, so an operator can
+    // inspect recovery state with no fleet running at all.
+    let mut offline = false;
+    if let Some(path) = &cli.journal {
+        offline = true;
+        match SweepJournal::inspect(Path::new(path)) {
+            Ok(stats) => println!(
+                "journal {path}: plan {:#018x} over {} shard(s) | {}/{} cells done | \
+                 {} failed | {} duplicate records | {} bytes dropped from torn tail",
+                stats.plan_hash,
+                stats.shards,
+                stats.done,
+                stats.cells,
+                stats.failed,
+                stats.duplicates,
+                stats.dropped_bytes
+            ),
+            Err(err) => die_data(&format!("inspecting journal {path}: {err}")),
+        }
+    }
+    if let Some(path) = &cli.input {
+        offline = true;
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die_data(&format!("reading sweep report {path}: {e}")));
+        let report: SweepReport = serde_json::from_str(&text)
+            .unwrap_or_else(|e| die_data(&format!("parsing sweep report {path}: {e}")));
+        let dead = report.shards.iter().filter(|s| s.dead).count();
+        println!(
+            "report {path}: {} cells | {} failed | {} replayed from journal | \
+             {} shard deaths | {} rejoins | {dead} dead at end{}{}",
+            report.cells.len(),
+            report.failed.len(),
+            report.replayed,
+            report.deaths,
+            report.rejoins,
+            if report.degraded { " | DEGRADED" } else { "" },
+            if report.interrupted {
+                " | INTERRUPTED"
+            } else {
+                ""
+            },
+        );
+    }
     if cli.shards.is_empty() {
-        die("coord-status needs --shards HOST:PORT[,HOST:PORT...]");
+        if offline {
+            return;
+        }
+        die("coord-status needs --shards HOST:PORT[,HOST:PORT...] (or --journal / --in)");
     }
     let mut reachable = 0usize;
     for addr in &cli.shards {
@@ -1513,12 +1956,13 @@ fn main() {
         "shutdown" => cmd_shutdown(&cli),
         "bench" => cmd_bench(&cli),
         "sweep" => cmd_sweep(&cli),
+        "shards" => cmd_shards(&cli),
         "timeline" => cmd_timeline(&cli),
         "coord-status" => cmd_coord_status(&cli),
         other => die(&format!(
             "unknown command {other:?} \
              (simulate|generate|inspect|compare|submit|stats|metrics|health|shutdown|bench|\
-             sweep|timeline|coord-status)"
+             sweep|shards|timeline|coord-status)"
         )),
     }
 }

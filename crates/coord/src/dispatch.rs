@@ -20,15 +20,32 @@
 //! the merged report contains **exactly one result per unique cell**,
 //! and resubmission after shard death is idempotent.
 //!
-//! # Shard death
+//! # Shard death and rejoin
 //!
 //! A transport-terminal error (connect refused, timeout, EOF,
 //! `ShuttingDown`) marks the shard dead: its queue drains into a global
 //! injector that every live shard polls, the in-flight cell is
-//! requeued, the sweep is flagged *degraded*, and the dead shard's
-//! submitters exit. With no live shard left, unresolved cells are
-//! reported failed rather than hanging the sweep.
+//! requeued, and the dead shard's submitters exit. When
+//! [`SweepOptions::reprobe`] is set, a monitor thread periodically
+//! re-handshakes every dead shard with the `capabilities` verb and
+//! readmits one that answers: it is marked live again, `coord.rejoins`
+//! is bumped, and a fresh pool of submitters is spawned for it — so a
+//! SIGKILL'd daemon that a supervisor respawns finishes the sweep at
+//! exit 0. *Degraded* therefore means "a shard was dead **at sweep
+//! end**"; [`SweepOutcome::deaths`] records how many deaths happened
+//! along the way. With no live shard left (beyond a reprobe grace
+//! window), unresolved cells are reported failed rather than hanging
+//! the sweep.
+//!
+//! # Crash recovery
+//!
+//! [`run_sweep_recoverable`] accepts an optional [`SweepJournal`]: the
+//! moment a cell's outcome slot is won, the record is appended (and
+//! flushed) to the journal, and cells replayed from a previous run's
+//! journal are preloaded into their slots without dispatching. See
+//! [`crate::journal`] for the replay invariants.
 
+use crate::journal::{SweepJournal, SweepReplay};
 use crate::plan::Plan;
 use backfill_sim::RunConfig;
 use obs::metrics::{Histogram, Registry};
@@ -60,6 +77,15 @@ pub struct SweepOptions {
     /// live shard's span buffer after the sweep into
     /// [`SweepOutcome::spans`]. Off by default (zero overhead).
     pub spans: bool,
+    /// Re-handshake dead shards at this interval and readmit any that
+    /// answer `capabilities` (and aren't draining). `None` (default)
+    /// keeps the historical behaviour: dead stays dead.
+    pub reprobe: Option<Duration>,
+    /// Cooperative cancellation: when the flag flips true (e.g. from a
+    /// SIGINT handler), submitters stop pulling new cells and the sweep
+    /// returns with [`SweepOutcome::interrupted`] set. In-flight
+    /// submits finish (and are journaled) first.
+    pub interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl Default for SweepOptions {
@@ -70,6 +96,8 @@ impl Default for SweepOptions {
             steal: true,
             max_requeues: 3,
             spans: false,
+            reprobe: None,
+            interrupt: None,
         }
     }
 }
@@ -178,9 +206,21 @@ pub struct SweepOutcome {
     pub requeues: u64,
     /// Input cells that deduplicated onto an earlier identical cell.
     pub duplicates: usize,
-    /// True when at least one shard died mid-sweep (the results are
-    /// still complete unless `failed` is non-empty).
+    /// True when at least one shard was dead **at sweep end**. A shard
+    /// that died and then rejoined (see [`SweepOptions::reprobe`]) does
+    /// not degrade the sweep; `deaths` still records its death.
     pub degraded: bool,
+    /// Shard deaths observed over the sweep (a shard that dies, rejoins
+    /// and dies again counts twice).
+    pub deaths: u64,
+    /// Dead shards readmitted mid-sweep by the reprobe loop.
+    pub rejoins: u64,
+    /// Cells preloaded from a journal replay instead of dispatched.
+    pub replayed: u64,
+    /// True when the sweep stopped early because
+    /// [`SweepOptions::interrupt`] flipped; unresolved cells are in
+    /// `failed` but were *not* journaled, so a resume re-runs them.
+    pub interrupted: bool,
     /// Field-wise sum of reachable shards' service stats after the
     /// sweep; `None` when no shard could be polled.
     pub stats: Option<ServiceStats>,
@@ -213,7 +253,16 @@ struct Shared<'a> {
     started_us: Vec<AtomicU64>,
     steals: AtomicU64,
     requeues: AtomicU64,
-    degraded: AtomicBool,
+    deaths: AtomicU64,
+    rejoins: AtomicU64,
+    /// Set when any sweep-level span (reprobe, journal replay) was
+    /// recorded, so span collection synthesizes the sweep root trace.
+    sweep_spans: AtomicBool,
+    /// Durable journal to append won outcomes to; `None` = in-memory
+    /// only (the historical behaviour).
+    journal: Option<&'a SweepJournal>,
+    /// Cooperative cancellation flag (see [`SweepOptions::interrupt`]).
+    interrupt: Option<Arc<AtomicBool>>,
     /// Coordinator-observed wall time per shard, for straggler p99.
     shard_wall: Vec<Arc<Histogram>>,
     registry: Registry,
@@ -221,6 +270,8 @@ struct Shared<'a> {
 
 impl Shared<'_> {
     /// Record a success; the slot guard makes completion exactly-once.
+    /// The slot winner also appends the durable journal record (under
+    /// the same lock, so the journal sees each cell at most once).
     fn record_done(&self, done: CellDone) {
         let mut outcomes = self.outcomes.lock().unwrap_or_else(|e| e.into_inner());
         let index = done.index;
@@ -229,21 +280,40 @@ impl Shared<'_> {
                 "duplicate completion of cell {index} dropped (shard {})", done.shard);
             return;
         }
+        if let Some(journal) = self.journal {
+            // A broken journal must not fail a healthy sweep: log and
+            // keep going — the cell is simply not resumable.
+            if let Err(err) = journal.append_done(&done) {
+                obs::warn!(target: "coord", "journal append failed for cell {index}: {err}");
+            }
+        }
         outcomes[index] = Some(Ok(done));
         self.remaining.fetch_sub(1, Ordering::SeqCst);
         self.close_root(index);
     }
 
-    /// Record a permanent failure (same slot guard).
+    /// Record a permanent failure (same slot guard, same journaling).
     fn record_failed(&self, index: usize, error: String) {
         let mut outcomes = self.outcomes.lock().unwrap_or_else(|e| e.into_inner());
         if outcomes[index].is_some() {
             return;
         }
         obs::warn!(target: "coord", "cell {index} failed permanently: {error}");
+        if let Some(journal) = self.journal {
+            if let Err(err) = journal.append_failed(index, self.plan.hashes[index], &error) {
+                obs::warn!(target: "coord", "journal append failed for cell {index}: {err}");
+            }
+        }
         outcomes[index] = Some(Err(error));
         self.remaining.fetch_sub(1, Ordering::SeqCst);
         self.close_root(index);
+    }
+
+    /// True once the cooperative cancellation flag flipped.
+    fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::SeqCst))
     }
 
     /// Synthesize the cell's root span, spanning first attempt → final
@@ -278,13 +348,14 @@ impl Shared<'_> {
             .push_back(index);
     }
 
-    /// Mark `shard` dead (idempotent) and move its queue to the
-    /// injector so live shards pick the work up.
+    /// Mark `shard` dead (idempotent per death — a rejoined shard can
+    /// die again) and move its queue to the injector so live shards
+    /// pick the work up.
     fn mark_dead(&self, shard: usize, addr: &str, why: &ClientError) {
         if !self.live[shard].swap(false, Ordering::SeqCst) {
             return;
         }
-        self.degraded.store(true, Ordering::SeqCst);
+        self.deaths.fetch_add(1, Ordering::SeqCst);
         self.registry.counter("coord.shard_deaths").inc();
         let orphans: Vec<usize> = {
             let mut queue = self.queues[shard].lock().unwrap_or_else(|e| e.into_inner());
@@ -392,12 +463,39 @@ fn submitter_options(base: &ClientOptions, shard: usize, slot: usize) -> ClientO
     opts
 }
 
+/// Build a probe client config for reprobing dead shards: no internal
+/// retries (each reprobe is one handshake attempt — important for
+/// deterministic fault injection) and a tight deadline so one dead
+/// shard can't stall the monitor past its interval for long.
+fn probe_options(base: &ClientOptions) -> ClientOptions {
+    let mut opts = *base;
+    opts.retry.max_retries = 0;
+    let cap = Duration::from_secs(2);
+    opts.deadline = Some(opts.deadline.map_or(cap, |d| d.min(cap)));
+    opts
+}
+
 /// Run `cells` across `shards`, returning exactly one result per unique
 /// cell. See the [module docs](self) for the full protocol.
 pub fn run_sweep(
     shards: &[String],
     cells: &[RunConfig],
     opts: &SweepOptions,
+) -> Result<SweepOutcome, SweepError> {
+    run_sweep_recoverable(shards, cells, opts, None, None)
+}
+
+/// [`run_sweep`] with durability: outcomes stream to `journal` as they
+/// are won, and cells already resolved by a previous run (`resumed`)
+/// are preloaded into their outcome slots without dispatching. The
+/// caller is responsible for having validated the replay against this
+/// exact cell list ([`SweepJournal::resume`] does).
+pub fn run_sweep_recoverable(
+    shards: &[String],
+    cells: &[RunConfig],
+    opts: &SweepOptions,
+    journal: Option<&SweepJournal>,
+    resumed: Option<&SweepReplay>,
 ) -> Result<SweepOutcome, SweepError> {
     if shards.is_empty() {
         return Err(SweepError::NoShards);
@@ -406,9 +504,31 @@ pub fn run_sweep(
         return Err(SweepError::EmptySweep);
     }
     let plan = Plan::new(cells, shards.len());
+    let plan_hash = plan.content_hash();
     if opts.spans {
         obs::span::set_enabled(true);
     }
+    let sweep_start_us = opts.spans.then(obs::span::now_micros).unwrap_or(0);
+
+    // Preload journal-replayed outcomes: these cells are already
+    // resolved, so they never enter a queue and are never re-journaled.
+    let mut initial: Vec<Option<Result<CellDone, String>>> = vec![None; plan.len()];
+    let mut resolved = vec![false; plan.len()];
+    if let Some(replay) = resumed {
+        for done in &replay.done {
+            if done.index < plan.len() && initial[done.index].is_none() {
+                resolved[done.index] = true;
+                initial[done.index] = Some(Ok(done.clone()));
+            }
+        }
+        for (index, _, error) in &replay.failed {
+            if *index < plan.len() && initial[*index].is_none() {
+                resolved[*index] = true;
+                initial[*index] = Some(Err(error.clone()));
+            }
+        }
+    }
+    let replayed = resolved.iter().filter(|&&r| r).count();
 
     // Startup handshake: every shard must answer `capabilities` (and
     // not be draining) before any cell is submitted — a fleet typo
@@ -440,56 +560,92 @@ pub fn run_sweep(
         .map(|c| opts.window.unwrap_or(c.workers.max(1) as usize).max(1))
         .collect();
     obs::info!(target: "coord",
-        "sweep: {} unique cells ({} duplicates collapsed) across {} shards, windows {:?}",
-        plan.len(), plan.duplicates(), shards.len(), windows);
+        "sweep: {} unique cells ({} duplicates collapsed, {} replayed from journal) \
+         across {} shards, windows {:?}",
+        plan.len(), plan.duplicates(), replayed, shards.len(), windows);
 
     let registry = Registry::new();
     registry.counter("coord.cells").add(plan.len() as u64);
     registry
         .counter("coord.duplicates")
         .add(plan.duplicates() as u64);
+    registry
+        .counter("coord.journal_replayed")
+        .add(replayed as u64);
     let shard_wall: Vec<Arc<Histogram>> = (0..shards.len())
         .map(|i| registry.histogram(&format!("coord.shard{i}.wall_ms")))
         .collect();
     let shared = Shared {
         plan: &plan,
         queues: (0..shards.len())
-            .map(|s| Mutex::new(plan.assigned_to(s).into_iter().collect()))
+            .map(|s| {
+                Mutex::new(
+                    plan.assigned_to(s)
+                        .into_iter()
+                        .filter(|&i| !resolved[i])
+                        .collect(),
+                )
+            })
             .collect(),
         injector: Mutex::new(VecDeque::new()),
         live: (0..shards.len()).map(|_| AtomicBool::new(true)).collect(),
-        remaining: AtomicUsize::new(plan.len()),
-        outcomes: Mutex::new(vec![None; plan.len()]),
+        remaining: AtomicUsize::new(plan.len() - replayed),
+        outcomes: Mutex::new(initial),
         attempts: (0..plan.len()).map(|_| AtomicU64::new(0)).collect(),
         spans: opts.spans,
         started_us: (0..plan.len()).map(|_| AtomicU64::new(0)).collect(),
         steals: AtomicU64::new(0),
         requeues: AtomicU64::new(0),
-        degraded: AtomicBool::new(false),
+        deaths: AtomicU64::new(0),
+        rejoins: AtomicU64::new(0),
+        sweep_spans: AtomicBool::new(false),
+        journal,
+        interrupt: opts.interrupt.clone(),
         shard_wall,
         registry,
     };
+    if opts.spans && replayed > 0 {
+        // The replay itself happened in the caller; give it a span
+        // under the sweep root so resumed timelines show what was
+        // skipped.
+        shared.sweep_spans.store(true, Ordering::SeqCst);
+        obs::span::record_raw(obs::SpanRecord {
+            trace_id: plan_hash,
+            span_id: obs::span::next_span_id(),
+            parent_id: plan_hash,
+            name: "journal.replay".to_string(),
+            start_us: sweep_start_us,
+            dur_us: obs::span::now_micros().saturating_sub(sweep_start_us),
+        });
+    }
 
     std::thread::scope(|scope| {
-        for (shard, addr) in shards.iter().enumerate() {
-            for slot in 0..windows[shard] {
-                let shared = &shared;
-                let client_opts = submitter_options(&opts.client, shard, slot);
-                let steal = opts.steal;
-                let max_requeues = opts.max_requeues;
-                scope.spawn(move || {
-                    submitter_loop(shared, shard, addr, client_opts, steal, max_requeues)
-                });
-            }
+        for shard in 0..shards.len() {
+            spawn_submitters(scope, &shared, shards, windows.as_slice(), opts, shard);
+        }
+        if let Some(interval) = opts.reprobe {
+            let shared = &shared;
+            let windows = windows.as_slice();
+            scope.spawn(move || {
+                monitor_dead_shards(scope, shared, shards, windows, opts, interval, plan_hash)
+            });
         }
     });
 
-    // Cells no shard lived long enough to resolve.
+    // Cells no shard lived long enough to resolve (or the user
+    // interrupted). These bypass `record_failed` on purpose: they must
+    // NOT be journaled as permanent failures — a resume re-runs them.
+    let interrupted = shared.interrupted();
     {
+        let fate = if interrupted {
+            "sweep interrupted before this cell resolved"
+        } else {
+            "all shards died before this cell ran"
+        };
         let mut outcomes = shared.outcomes.lock().unwrap_or_else(|e| e.into_inner());
         for slot in outcomes.iter_mut() {
             if slot.is_none() {
-                *slot = Some(Err("all shards died before this cell ran".into()));
+                *slot = Some(Err(fate.into()));
             }
         }
     }
@@ -567,7 +723,20 @@ pub fn run_sweep(
     // shard's, filtered to this sweep's trace ids so concurrent sweeps
     // against shared daemons don't leak into each other's timelines.
     let spans = if opts.spans {
-        let wanted: std::collections::HashSet<u64> = plan.hashes.iter().copied().collect();
+        let mut wanted: std::collections::HashSet<u64> = plan.hashes.iter().copied().collect();
+        if shared.sweep_spans.load(Ordering::SeqCst) {
+            // Sweep-level events (reprobes, journal replay) hang off a
+            // synthesized root keyed by the plan hash.
+            wanted.insert(plan_hash);
+            obs::span::record_raw(obs::SpanRecord {
+                trace_id: plan_hash,
+                span_id: plan_hash,
+                parent_id: 0,
+                name: "sweep".to_string(),
+                start_us: sweep_start_us,
+                dur_us: obs::span::now_micros().saturating_sub(sweep_start_us),
+            });
+        }
         let mut sources = vec![obs::SpanSource {
             name: "coordinator".to_string(),
             spans: obs::span::drain()
@@ -607,11 +776,132 @@ pub fn run_sweep(
         steals: shared.steals.load(Ordering::SeqCst),
         requeues: shared.requeues.load(Ordering::SeqCst),
         duplicates: plan.duplicates(),
-        degraded: shared.degraded.load(Ordering::SeqCst),
+        // Dead *now*, not "ever died": a shard the reprobe loop
+        // readmitted healed the sweep.
+        degraded: shared.live.iter().any(|live| !live.load(Ordering::SeqCst)),
+        deaths: shared.deaths.load(Ordering::SeqCst),
+        rejoins: shared.rejoins.load(Ordering::SeqCst),
+        replayed: replayed as u64,
+        interrupted,
         stats,
         metrics_json,
         spans,
     })
+}
+
+/// Spawn one submitter thread per window slot for `shard` inside
+/// `scope`. Called at sweep start for every shard and again by the
+/// monitor when a dead shard rejoins (the slot seeds repeat across a
+/// rejoin, which keeps backoff decorrelation per shard/slot intact).
+fn spawn_submitters<'scope, 'env, 'p>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    shared: &'env Shared<'p>,
+    shards: &'env [String],
+    windows: &'env [usize],
+    opts: &'env SweepOptions,
+    shard: usize,
+) {
+    let addr = &shards[shard];
+    for slot in 0..windows[shard] {
+        let client_opts = submitter_options(&opts.client, shard, slot);
+        let steal = opts.steal;
+        let max_requeues = opts.max_requeues;
+        scope.spawn(move || submitter_loop(shared, shard, addr, client_opts, steal, max_requeues));
+    }
+}
+
+/// The rejoin monitor: while cells remain, periodically re-handshake
+/// every dead shard and readmit any that answers `capabilities` without
+/// draining. Each reprobe is exactly one connection + one handshake
+/// (no client-internal retries), so injected `connect@`/`handshake@`
+/// faults map 1:1 onto reprobe attempts. When *no* shard is live the
+/// monitor keeps probing for a bounded grace window — long enough for a
+/// supervisor to respawn the fleet — then gives up so the sweep can
+/// fail instead of hanging.
+fn monitor_dead_shards<'scope, 'env, 'p>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    shared: &'env Shared<'p>,
+    shards: &'env [String],
+    windows: &'env [usize],
+    opts: &'env SweepOptions,
+    interval: Duration,
+    plan_hash: u64,
+) {
+    let probe_opts = probe_options(&opts.client);
+    let grace = (interval * 20).clamp(Duration::from_secs(2), Duration::from_secs(60));
+    let mut all_dead_since: Option<Instant> = None;
+    'monitor: loop {
+        // Sleep in short slices so sweep completion (or an interrupt)
+        // ends the monitor promptly instead of after a full interval.
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if shared.remaining.load(Ordering::SeqCst) == 0 || shared.interrupted() {
+                break 'monitor;
+            }
+            let slice = interval
+                .saturating_sub(slept)
+                .min(Duration::from_millis(25));
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        if shared.remaining.load(Ordering::SeqCst) == 0 || shared.interrupted() {
+            break;
+        }
+        for shard in 0..shards.len() {
+            if shared.live[shard].load(Ordering::SeqCst) {
+                continue;
+            }
+            let reprobe_span = shared.spans.then(|| {
+                shared.sweep_spans.store(true, Ordering::SeqCst);
+                obs::Span::child(
+                    obs::SpanContext {
+                        trace_id: plan_hash,
+                        span_id: plan_hash,
+                    },
+                    "reprobe",
+                )
+            });
+            let mut probe = ResilientClient::new(shards[shard].clone(), probe_opts);
+            match probe.capabilities() {
+                Ok(caps) if !caps.draining => {
+                    shared.live[shard].store(true, Ordering::SeqCst);
+                    shared.rejoins.fetch_add(1, Ordering::SeqCst);
+                    shared.registry.counter("coord.rejoins").inc();
+                    obs::info!(target: "coord",
+                        "shard {shard} ({}) answered the reprobe handshake; \
+                         rejoining the sweep with {} submitters",
+                        shards[shard], windows[shard]);
+                    spawn_submitters(scope, shared, shards, windows, opts, shard);
+                }
+                Ok(_) => {
+                    obs::debug!(target: "coord",
+                        "shard {shard} ({}) is up but draining; not rejoined", shards[shard]);
+                }
+                Err(err) => {
+                    obs::debug!(target: "coord",
+                        "reprobe of shard {shard} ({}) failed: {err}", shards[shard]);
+                }
+            }
+            drop(reprobe_span);
+        }
+        if shared.any_live() {
+            all_dead_since = None;
+        } else {
+            match all_dead_since {
+                None => all_dead_since = Some(Instant::now()),
+                Some(t0) if t0.elapsed() > grace => {
+                    obs::warn!(target: "coord",
+                        "no shard came back within the {:?} reprobe grace window; giving up",
+                        grace);
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    if shared.spans {
+        obs::span::flush_thread();
+    }
 }
 
 /// One submitter thread: pops cells, submits them through its own
@@ -642,6 +932,9 @@ fn submitter_work(
 ) {
     let mut client = ResilientClient::new(addr, client_opts);
     while shared.remaining.load(Ordering::SeqCst) > 0 {
+        if shared.interrupted() {
+            return; // stop pulling; unresolved cells stay resumable
+        }
         if !shared.live[shard].load(Ordering::SeqCst) {
             return; // our shard died; survivors own the rest
         }

@@ -1,0 +1,639 @@
+//! Durable sweep journal: crash recovery for the coordinator.
+//!
+//! A sweep journal is an append-only JSONL file mirroring the cache
+//! journal's discipline (see `service::cache`): every line is
+//! `{"crc":C,"record":R}` where `C` is the FNV-1a 64 hash of `R`'s
+//! canonical serialization. The first record is a **plan header**
+//! pinning the planned cell set ([`Plan::content_hash`] plus every
+//! per-cell content hash); each subsequent record is one resolved cell
+//! (`Done` or `Failed`), appended by the dispatcher the moment the
+//! cell's outcome slot is won.
+//!
+//! # Replay invariants
+//!
+//! - The header must be the file's first valid record and must match
+//!   the re-planned sweep exactly — a mismatch is a hard
+//!   [`JournalError::PlanMismatch`] (CLI exit 6), never a silent
+//!   partial resume.
+//! - A checksum-valid record that contradicts the plan (index out of
+//!   range, or `config_hash` differing from the plan's hash at that
+//!   index) is a hard [`JournalError::BadRecord`] (exit 6): the journal
+//!   belongs to some other sweep and resuming would fabricate results.
+//! - Duplicate records for one cell are resolved **first-writer-wins**,
+//!   matching the dispatcher's in-memory outcome-slot guard; later
+//!   duplicates are counted and dropped.
+//! - Replay stops at the first torn line (unterminated, non-UTF-8,
+//!   non-JSON, or checksum-failing) and truncates the file back to the
+//!   good prefix, so a crash mid-append costs at most the record being
+//!   written.
+//!
+//! Because replayed cells re-enter the outcome table verbatim and the
+//! remainder is re-planned identically, a resumed sweep's canonical
+//! report is byte-identical to an uninterrupted run's.
+
+use crate::dispatch::CellDone;
+use crate::plan::Plan;
+use backfill_sim::canon::fnv1a_64;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One journal line: the checksummed envelope around a [`SweepRecord`].
+#[derive(Debug, Serialize, Deserialize)]
+struct JournalLine {
+    /// FNV-1a 64 of the serialized `record`.
+    crc: u64,
+    /// The payload.
+    record: SweepRecord,
+}
+
+/// One durable sweep event.
+// `Done` dominates the enum's size via its embedded report, but records
+// only ever exist one at a time on the append/replay paths — never in
+// bulk — so indirection would buy nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SweepRecord {
+    /// The header: identity of the planned cell set. Written exactly
+    /// once, as the first record.
+    Plan {
+        /// [`Plan::content_hash`] of the sweep being journaled.
+        plan_hash: u64,
+        /// Shard count at write time (informational: resume may run
+        /// against a different fleet).
+        shards: usize,
+        /// Per-cell content hashes in plan order.
+        hashes: Vec<u64>,
+    },
+    /// A cell completed; mirrors [`CellDone`] field-for-field so replay
+    /// reconstructs the outcome verbatim.
+    Done {
+        /// Index into the plan's unique cell list.
+        index: usize,
+        /// Canonical content hash (daemon-computed, parity-checked).
+        config_hash: u64,
+        /// Shard that served it (historical: an index into the fleet
+        /// that ran the cell, which may differ from the resuming one).
+        shard: usize,
+        /// True when the cell ran away from its home shard.
+        stolen: bool,
+        /// True when the shard answered from its result cache.
+        cached: bool,
+        /// Wall milliseconds the serving shard spent on it.
+        wall_ms: u64,
+        /// The full simulation report.
+        report: service::RunReport,
+    },
+    /// A cell failed permanently (requeue budget exhausted or a
+    /// non-retryable error).
+    Failed {
+        /// Index into the plan's unique cell list.
+        index: usize,
+        /// The coordinator-computed content hash.
+        config_hash: u64,
+        /// Human-readable terminal error.
+        error: String,
+    },
+}
+
+/// Why a journal could not be replayed. Every variant maps to CLI
+/// exit 6 (bad data): resuming from a journal we cannot trust would
+/// fabricate sweep results.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// The journal has no valid plan header (empty file, torn first
+    /// line, or a first record that is not `Plan`).
+    MissingHeader,
+    /// The header's plan hash does not match the re-planned sweep.
+    PlanMismatch {
+        /// Hash of the sweep being resumed (from `Plan::content_hash`).
+        expected: u64,
+        /// Hash recorded in the journal header.
+        found: u64,
+    },
+    /// A checksum-valid record contradicts the plan.
+    BadRecord {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What was wrong with it.
+        why: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(err) => write!(f, "journal io error: {err}"),
+            JournalError::MissingHeader => {
+                write!(f, "journal has no valid plan header record")
+            }
+            JournalError::PlanMismatch { expected, found } => write!(
+                f,
+                "journal plan hash {found:#018x} does not match this sweep's \
+                 plan hash {expected:#018x} (different spec or cell set)"
+            ),
+            JournalError::BadRecord { line, why } => {
+                write!(f, "journal line {line}: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(err: io::Error) -> Self {
+        JournalError::Io(err)
+    }
+}
+
+/// What replaying a journal recovered, fed back into the dispatcher so
+/// resolved cells are marked done without dispatching.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReplay {
+    /// Completed cells, reconstructed verbatim.
+    pub done: Vec<CellDone>,
+    /// Permanently failed cells: `(index, config_hash, error)`.
+    pub failed: Vec<(usize, u64, String)>,
+    /// Duplicate cell records dropped (first-writer-wins).
+    pub duplicates: u64,
+    /// True when a torn tail was cut off the file.
+    pub truncated: bool,
+    /// Bytes dropped with the torn tail.
+    pub dropped_bytes: u64,
+}
+
+impl SweepReplay {
+    /// Cells the replay resolved (done + failed).
+    pub fn resolved(&self) -> usize {
+        self.done.len() + self.failed.len()
+    }
+}
+
+/// Plan-free summary of a journal file, for `bfsim coord-status`.
+#[derive(Debug, Clone)]
+pub struct JournalStats {
+    /// Plan hash from the header.
+    pub plan_hash: u64,
+    /// Shard count recorded in the header.
+    pub shards: usize,
+    /// Unique cells the plan header declares.
+    pub cells: usize,
+    /// `Done` records replayed.
+    pub done: usize,
+    /// `Failed` records replayed.
+    pub failed: usize,
+    /// Duplicate cell records dropped.
+    pub duplicates: u64,
+    /// Bytes in the torn tail (0 for a clean file).
+    pub dropped_bytes: u64,
+}
+
+/// An open sweep journal: replay happened at construction, appends are
+/// durable per-record (flushed line-by-line, so a SIGKILL costs at most
+/// the line being written).
+#[derive(Debug)]
+pub struct SweepJournal {
+    path: PathBuf,
+    file: Mutex<File>,
+    appended: AtomicU64,
+}
+
+impl SweepJournal {
+    /// Start a fresh journal for `plan` at `path`, truncating anything
+    /// already there and writing the plan header.
+    pub fn create(path: &Path, plan: &Plan) -> io::Result<SweepJournal> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        write_record(
+            &mut file,
+            &SweepRecord::Plan {
+                plan_hash: plan.content_hash(),
+                shards: plan.shards,
+                hashes: plan.hashes.clone(),
+            },
+        )?;
+        Ok(SweepJournal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            appended: AtomicU64::new(0),
+        })
+    }
+
+    /// Reopen an existing journal against the re-planned sweep:
+    /// validate the header, replay resolved cells, truncate any torn
+    /// tail, and hold the file open for further appends.
+    pub fn resume(path: &Path, plan: &Plan) -> Result<(SweepJournal, SweepReplay), JournalError> {
+        let (good_len, records, dropped_bytes) = scan(path)?;
+        let mut lines = records.into_iter().enumerate();
+        let Some((
+            _,
+            SweepRecord::Plan {
+                plan_hash, hashes, ..
+            },
+        )) = lines.next()
+        else {
+            return Err(JournalError::MissingHeader);
+        };
+        let expected = plan.content_hash();
+        if plan_hash != expected || hashes != plan.hashes {
+            return Err(JournalError::PlanMismatch {
+                expected,
+                found: plan_hash,
+            });
+        }
+        let mut replay = SweepReplay {
+            truncated: dropped_bytes > 0,
+            dropped_bytes,
+            ..SweepReplay::default()
+        };
+        let mut resolved = vec![false; plan.len()];
+        for (at, record) in lines {
+            let line = at + 1; // 1-based for humans
+            let (index, config_hash) = match &record {
+                SweepRecord::Plan { .. } => {
+                    return Err(JournalError::BadRecord {
+                        line,
+                        why: "second plan header".to_string(),
+                    })
+                }
+                SweepRecord::Done {
+                    index, config_hash, ..
+                }
+                | SweepRecord::Failed {
+                    index, config_hash, ..
+                } => (*index, *config_hash),
+            };
+            if index >= plan.len() {
+                return Err(JournalError::BadRecord {
+                    line,
+                    why: format!("cell index {index} outside the {}-cell plan", plan.len()),
+                });
+            }
+            if config_hash != plan.hashes[index] {
+                return Err(JournalError::BadRecord {
+                    line,
+                    why: format!(
+                        "config_hash {config_hash:#018x} is not the plan's hash \
+                         {:#018x} for cell {index}",
+                        plan.hashes[index]
+                    ),
+                });
+            }
+            if resolved[index] {
+                replay.duplicates += 1;
+                continue;
+            }
+            resolved[index] = true;
+            match record {
+                SweepRecord::Done {
+                    index,
+                    config_hash,
+                    shard,
+                    stolen,
+                    cached,
+                    wall_ms,
+                    report,
+                } => replay.done.push(CellDone {
+                    index,
+                    config_hash,
+                    shard,
+                    stolen,
+                    cached,
+                    wall_ms,
+                    report,
+                }),
+                SweepRecord::Failed {
+                    index,
+                    config_hash,
+                    error,
+                } => replay.failed.push((index, config_hash, error)),
+                SweepRecord::Plan { .. } => unreachable!("rejected above"),
+            }
+        }
+        // Cut the torn tail (no-op for a clean file), then reopen in
+        // append mode for the resumed sweep's own records.
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        file.set_len(good_len)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok((
+            SweepJournal {
+                path: path.to_path_buf(),
+                file: Mutex::new(file),
+                appended: AtomicU64::new(0),
+            },
+            replay,
+        ))
+    }
+
+    /// Summarize a journal without a plan to validate against (for
+    /// `coord-status`): header stats plus done/failed/duplicate counts.
+    /// Per-record plan consistency is *not* checked here — only
+    /// checksums and the header's presence.
+    pub fn inspect(path: &Path) -> Result<JournalStats, JournalError> {
+        let (_, records, dropped_bytes) = scan(path)?;
+        let mut lines = records.into_iter();
+        let Some(SweepRecord::Plan {
+            plan_hash,
+            shards,
+            hashes,
+        }) = lines.next()
+        else {
+            return Err(JournalError::MissingHeader);
+        };
+        let mut stats = JournalStats {
+            plan_hash,
+            shards,
+            cells: hashes.len(),
+            done: 0,
+            failed: 0,
+            duplicates: 0,
+            dropped_bytes,
+        };
+        let mut resolved = vec![false; hashes.len()];
+        for record in lines {
+            let index = match &record {
+                SweepRecord::Plan { .. } => continue,
+                SweepRecord::Done { index, .. } | SweepRecord::Failed { index, .. } => *index,
+            };
+            if let Some(slot) = resolved.get_mut(index) {
+                if *slot {
+                    stats.duplicates += 1;
+                    continue;
+                }
+                *slot = true;
+            }
+            match record {
+                SweepRecord::Done { .. } => stats.done += 1,
+                SweepRecord::Failed { .. } => stats.failed += 1,
+                SweepRecord::Plan { .. } => {}
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Append a completed cell. Errors are returned, not swallowed —
+    /// the dispatcher logs and keeps sweeping (a broken journal must
+    /// not fail a healthy sweep).
+    pub fn append_done(&self, done: &CellDone) -> io::Result<()> {
+        self.append(&SweepRecord::Done {
+            index: done.index,
+            config_hash: done.config_hash,
+            shard: done.shard,
+            stolen: done.stolen,
+            cached: done.cached,
+            wall_ms: done.wall_ms,
+            report: done.report.clone(),
+        })
+    }
+
+    /// Append a permanently failed cell.
+    pub fn append_failed(&self, index: usize, config_hash: u64, error: &str) -> io::Result<()> {
+        self.append(&SweepRecord::Failed {
+            index,
+            config_hash,
+            error: error.to_string(),
+        })
+    }
+
+    fn append(&self, record: &SweepRecord) -> io::Result<()> {
+        let mut file = self.file.lock().expect("journal lock poisoned");
+        write_record(&mut file, record)?;
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended since open (excludes replayed ones).
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+}
+
+/// Serialize, checksum, write, flush one record.
+fn write_record(file: &mut File, record: &SweepRecord) -> io::Result<()> {
+    let body = serde_json::to_string(record).expect("sweep records always serialize");
+    let crc = fnv1a_64(body.as_bytes());
+    // Assembled by hand so the crc covers exactly the `record` value's
+    // bytes as written, independent of envelope field order.
+    let line = format!("{{\"crc\":{crc},\"record\":{body}}}\n");
+    file.write_all(line.as_bytes())?;
+    file.flush()
+}
+
+/// Read `path` and split it into validated records, the byte length of
+/// the good prefix, and the torn-tail size. The scan stops at the first
+/// unterminated, non-UTF-8, non-JSON, or checksum-failing line.
+fn scan(path: &Path) -> io::Result<(u64, Vec<SweepRecord>, u64)> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut file) => {
+            file.read_to_end(&mut bytes)?;
+        }
+        Err(err) if err.kind() == io::ErrorKind::NotFound => {}
+        Err(err) => return Err(err),
+    }
+    let mut records = Vec::new();
+    let mut good_len = 0usize;
+    let mut rest = &bytes[..];
+    while let Some(newline) = rest.iter().position(|&b| b == b'\n') {
+        let line = &rest[..newline];
+        let Ok(text) = std::str::from_utf8(line) else {
+            break;
+        };
+        let Ok(parsed) = serde_json::from_str::<JournalLine>(text) else {
+            break;
+        };
+        let body = serde_json::to_string(&parsed.record).expect("sweep records always serialize");
+        if fnv1a_64(body.as_bytes()) != parsed.crc {
+            break;
+        }
+        records.push(parsed.record);
+        good_len += newline + 1;
+        rest = &rest[newline + 1..];
+    }
+    let dropped = (bytes.len() - good_len) as u64;
+    Ok((good_len as u64, records, dropped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bench_lib::sweep::tiny_spec;
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("bfsim-journal-{}-{name}.jsonl", std::process::id()));
+        let _ = fs::remove_file(&path);
+        path
+    }
+
+    fn tiny_plan() -> Plan {
+        Plan::new(&tiny_spec().expand(), 2)
+    }
+
+    fn fake_done(plan: &Plan, index: usize) -> CellDone {
+        let cfg = &plan.cells[index];
+        let report = service::RunReport::from_schedule(cfg, &cfg.run());
+        CellDone {
+            index,
+            config_hash: plan.hashes[index],
+            shard: plan.home[index],
+            stolen: false,
+            cached: false,
+            wall_ms: 7,
+            report,
+        }
+    }
+
+    #[test]
+    fn create_then_resume_replays_everything() {
+        let path = tmp("roundtrip");
+        let plan = tiny_plan();
+        let journal = SweepJournal::create(&path, &plan).unwrap();
+        journal.append_done(&fake_done(&plan, 0)).unwrap();
+        journal.append_failed(2, plan.hashes[2], "boom").unwrap();
+        assert_eq!(journal.appended(), 2);
+        drop(journal);
+
+        let (_, replay) = SweepJournal::resume(&path, &plan).unwrap();
+        assert_eq!(replay.done.len(), 1);
+        assert_eq!(replay.done[0].index, 0);
+        assert_eq!(replay.done[0].config_hash, plan.hashes[0]);
+        assert_eq!(replay.failed, vec![(2, plan.hashes[2], "boom".to_string())]);
+        assert!(!replay.truncated);
+        assert_eq!(replay.resolved(), 2);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_stays_truncated() {
+        let path = tmp("torn");
+        let plan = tiny_plan();
+        let journal = SweepJournal::create(&path, &plan).unwrap();
+        journal.append_done(&fake_done(&plan, 1)).unwrap();
+        drop(journal);
+        let clean_len = fs::metadata(&path).unwrap().len();
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"crc\":1,\"record\":{\"Done\":{\"ind")
+            .unwrap();
+        drop(file);
+
+        let (_, replay) = SweepJournal::resume(&path, &plan).unwrap();
+        assert_eq!(replay.done.len(), 1);
+        assert!(replay.truncated);
+        assert!(replay.dropped_bytes > 0);
+        assert_eq!(fs::metadata(&path).unwrap().len(), clean_len);
+
+        let (_, replay) = SweepJournal::resume(&path, &plan).unwrap();
+        assert!(!replay.truncated, "second resume sees a clean file");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_records_are_first_writer_wins() {
+        let path = tmp("dups");
+        let plan = tiny_plan();
+        let journal = SweepJournal::create(&path, &plan).unwrap();
+        let mut first = fake_done(&plan, 0);
+        first.wall_ms = 1;
+        let mut second = fake_done(&plan, 0);
+        second.wall_ms = 99;
+        journal.append_done(&first).unwrap();
+        journal.append_done(&second).unwrap();
+        // A Failed after a Done for the same cell is also a duplicate.
+        journal
+            .append_failed(0, plan.hashes[0], "late loser")
+            .unwrap();
+        drop(journal);
+
+        let (_, replay) = SweepJournal::resume(&path, &plan).unwrap();
+        assert_eq!(replay.done.len(), 1);
+        assert_eq!(replay.done[0].wall_ms, 1, "first writer wins");
+        assert!(replay.failed.is_empty());
+        assert_eq!(replay.duplicates, 2);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn plan_mismatch_is_rejected() {
+        let path = tmp("mismatch");
+        let plan = tiny_plan();
+        SweepJournal::create(&path, &plan).unwrap();
+        let mut other_cells = tiny_spec().expand();
+        other_cells.truncate(3);
+        let other = Plan::new(&other_cells, 2);
+        match SweepJournal::resume(&path, &other) {
+            Err(JournalError::PlanMismatch { expected, found }) => {
+                assert_eq!(expected, other.content_hash());
+                assert_eq!(found, plan.content_hash());
+            }
+            other => panic!("expected PlanMismatch, got {other:?}"),
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_config_hash_is_rejected() {
+        let path = tmp("foreign");
+        let plan = tiny_plan();
+        let journal = SweepJournal::create(&path, &plan).unwrap();
+        journal.append_failed(1, 0xDEAD_BEEF, "not ours").unwrap();
+        drop(journal);
+        match SweepJournal::resume(&path, &plan) {
+            Err(JournalError::BadRecord { line, why }) => {
+                assert_eq!(line, 2);
+                assert!(why.contains("config_hash"), "why: {why}");
+            }
+            other => panic!("expected BadRecord, got {other:?}"),
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        let path = tmp("headerless");
+        fs::write(&path, b"").unwrap();
+        assert!(matches!(
+            SweepJournal::resume(&path, &tiny_plan()),
+            Err(JournalError::MissingHeader)
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn inspect_summarizes_without_a_plan() {
+        let path = tmp("inspect");
+        let plan = tiny_plan();
+        let journal = SweepJournal::create(&path, &plan).unwrap();
+        journal.append_done(&fake_done(&plan, 0)).unwrap();
+        journal.append_done(&fake_done(&plan, 0)).unwrap();
+        journal.append_failed(3, plan.hashes[3], "x").unwrap();
+        drop(journal);
+        let stats = SweepJournal::inspect(&path).unwrap();
+        assert_eq!(stats.plan_hash, plan.content_hash());
+        assert_eq!(stats.cells, plan.len());
+        assert_eq!(stats.done, 1);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(stats.dropped_bytes, 0);
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -20,6 +20,9 @@
 //!   recovery from shard death by redistributing the dead shard's
 //!   queue. Each cell is recorded exactly once, whichever shard answers
 //!   first.
+//! * [`journal`] — durable crash recovery: an fnv1a-checksummed JSONL
+//!   journal of resolved cells, replayed by `bfsim sweep --resume` so a
+//!   killed coordinator re-runs only the remainder. See DESIGN.md §18.
 //! * [`aggregate`] — merge the shared-nothing shards' stats and metrics
 //!   snapshots into one document, via [`obs::merge_snapshots`].
 //!
@@ -29,8 +32,13 @@
 
 pub mod aggregate;
 pub mod dispatch;
+pub mod journal;
 pub mod plan;
 
 pub use aggregate::{aggregate_metrics, aggregate_stats, parse_metrics_doc, SpanDoc};
-pub use dispatch::{run_sweep, CellDone, ShardSummary, SweepError, SweepOptions, SweepOutcome};
+pub use dispatch::{
+    run_sweep, run_sweep_recoverable, CellDone, ShardSummary, SweepError, SweepOptions,
+    SweepOutcome,
+};
+pub use journal::{JournalError, JournalStats, SweepJournal, SweepRecord, SweepReplay};
 pub use plan::Plan;

@@ -87,6 +87,21 @@ impl Plan {
             .filter(|&i| self.home[i] == shard)
             .collect()
     }
+
+    /// Stable identity of the planned cell *set*: FNV-1a over the unique
+    /// cells' content hashes in plan order. This is what the sweep
+    /// journal's plan header pins and what `--resume` verifies — two
+    /// plans agree on it iff they agree on every cell index and hash.
+    /// The shard count is deliberately excluded: cell indices do not
+    /// depend on it, so a journal written against one fleet can be
+    /// resumed against a larger or smaller one.
+    pub fn content_hash(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.hashes.len() * 8);
+        for h in &self.hashes {
+            bytes.extend_from_slice(&h.to_le_bytes());
+        }
+        backfill_sim::canon::fnv1a_64(&bytes)
+    }
 }
 
 #[cfg(test)]

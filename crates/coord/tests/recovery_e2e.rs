@@ -1,0 +1,305 @@
+//! Crash-recovery e2e: a dead shard that answers the reprobe handshake
+//! rejoins mid-sweep and heals the fleet (exit-0 semantics, not
+//! degraded); a `--resume`d journal replays finished cells without
+//! dispatching them; an interrupt stops the sweep without journaling
+//! the preempted cells; and `max_requeues` means *additional* attempts
+//! — zero pins exactly one submission per cell.
+
+use backfill_sim::{run_all, SchedulerKind};
+use bench_lib::sweep::{SweepSpec, TraceModel};
+use coord::{run_sweep_recoverable, Plan, SweepJournal, SweepOptions};
+use sched::Policy;
+use service::{Client, ClientOptions, FaultPlan, RetryPolicy, Server, ServiceConfig};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+use workload::EstimateModel;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bfsim-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+/// 24 fast cells (2 models × 2 seeds × 2 kinds × 3 policies).
+fn small_spec() -> SweepSpec {
+    SweepSpec {
+        models: vec![TraceModel::Ctc, TraceModel::Sdsc],
+        jobs: 120,
+        seeds: vec![7, 8],
+        estimates: vec![EstimateModel::Exact],
+        estimate_seeds: vec![1],
+        loads: vec![Some(0.9)],
+        kinds: vec![SchedulerKind::Easy, SchedulerKind::Conservative],
+        policies: Policy::PAPER.to_vec(),
+    }
+}
+
+/// No transport retries: the first fatal transport error marks a shard
+/// dead instead of being papered over by the client.
+fn no_retry() -> ClientOptions {
+    ClientOptions {
+        retry: RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        },
+        ..ClientOptions::default()
+    }
+}
+
+fn shutdown(handle: service::ServerHandle) {
+    Client::connect(handle.addr())
+        .and_then(|mut c| c.shutdown())
+        .expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn dead_shard_rejoins_and_heals_the_sweep() {
+    // Shard A is slow (50 ms per submit) so the sweep is still running
+    // when the casualty comes back.
+    let slow = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig {
+            fault_plan: Some(FaultPlan::parse("delay@0..100000=50ms").expect("plan parses")),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("slow shard");
+    // Shard B drops its first submit (dying from the coordinator's point
+    // of view), then refuses reprobe handshakes 1 and 2 before letting
+    // the third through: startup consumed handshake index 0, so the
+    // sweep sees dead → two failed probes → rejoin.
+    let flaky = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig {
+            fault_plan: Some(FaultPlan::parse("drop@0;handshake@1..3").expect("plan parses")),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("flaky shard");
+    let shards = [slow.addr().to_string(), flaky.addr().to_string()];
+    let cells = small_spec().expand();
+    let plan = Plan::new(&cells, shards.len());
+    assert!(
+        !plan.assigned_to(1).is_empty(),
+        "precondition: the flaky shard must be homed some work"
+    );
+
+    let opts = SweepOptions {
+        client: no_retry(),
+        window: Some(1),
+        reprobe: Some(Duration::from_millis(10)),
+        spans: true,
+        ..SweepOptions::default()
+    };
+    let outcome =
+        run_sweep_recoverable(&shards, &cells, &opts, None, None).expect("sweep completes");
+
+    assert_eq!(outcome.deaths, 1, "the dropped submit must count a death");
+    assert_eq!(outcome.rejoins, 1, "the third reprobe must readmit it");
+    assert!(
+        !outcome.degraded,
+        "a healed fleet must not flag the sweep degraded"
+    );
+    assert!(!outcome.shards[1].dead, "the rejoined shard is live at end");
+    assert!(
+        outcome.failed.is_empty(),
+        "every cell must resolve: {:?}",
+        outcome.failed
+    );
+    let mut indices: Vec<usize> = outcome.cells.iter().map(|c| c.index).collect();
+    indices.sort_unstable();
+    assert_eq!(indices, (0..cells.len()).collect::<Vec<_>>());
+
+    // Rejoined, not different: fingerprints match the serial reference.
+    let serial = run_all(&cells, None);
+    for done in &outcome.cells {
+        assert_eq!(
+            done.report.fingerprint,
+            serial[done.index].schedule.fingerprint(),
+            "cell {} diverged after rejoin",
+            done.index
+        );
+    }
+
+    // The span forest now carries one extra sweep-level trace (the
+    // reprobe spans under the plan-hash root) next to the cell traces,
+    // and must still be a well-formed forest.
+    let merged: Vec<obs::SpanRecord> = outcome
+        .spans
+        .iter()
+        .flat_map(|s| s.spans.iter().cloned())
+        .collect();
+    let forest = obs::validate_forest(&merged).expect("spans form rooted trees");
+    assert_eq!(
+        forest.traces,
+        cells.len() + 1,
+        "cell traces plus the sweep-level recovery trace"
+    );
+    assert!(
+        merged
+            .iter()
+            .any(|s| s.name == "reprobe" && s.trace_id == plan.content_hash()),
+        "reprobe attempts are traced under the plan hash"
+    );
+
+    shutdown(slow);
+    shutdown(flaky);
+}
+
+#[test]
+fn resume_replays_the_journal_and_skips_done_cells() {
+    let server = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("shard");
+    let shards = [server.addr().to_string()];
+    let cells = small_spec().expand();
+    let plan = Plan::new(&cells, shards.len());
+    let opts = SweepOptions {
+        client: no_retry(),
+        ..SweepOptions::default()
+    };
+
+    // Reference run, fully journaled.
+    let full_path = tmp("resume-full.jsonl");
+    let journal = SweepJournal::create(&full_path, &plan).expect("create journal");
+    let full = run_sweep_recoverable(&shards, &cells, &opts, Some(&journal), None)
+        .expect("reference sweep");
+    assert!(full.failed.is_empty());
+    assert_eq!(journal.appended(), plan.len() as u64);
+
+    // Simulate a coordinator crash after 5 cells: header + 5 records.
+    let text = std::fs::read_to_string(&full_path).expect("read journal");
+    let partial: String = text.lines().take(6).map(|l| format!("{l}\n")).collect();
+    let partial_path = tmp("resume-partial.jsonl");
+    std::fs::write(&partial_path, partial).expect("write partial journal");
+
+    let (journal2, replay) = SweepJournal::resume(&partial_path, &plan).expect("resume journal");
+    assert_eq!(replay.resolved(), 5);
+    let resumed = run_sweep_recoverable(&shards, &cells, &opts, Some(&journal2), Some(&replay))
+        .expect("resumed sweep");
+
+    assert_eq!(resumed.replayed, 5, "journaled cells are not re-dispatched");
+    assert!(resumed.failed.is_empty());
+    assert_eq!(
+        resumed.cells.len(),
+        plan.len(),
+        "replayed and fresh cells together cover the plan"
+    );
+    assert_eq!(
+        journal2.appended(),
+        (plan.len() - 5) as u64,
+        "only the remainder is appended on resume"
+    );
+    // After the resume the journal is complete again.
+    let stats = SweepJournal::inspect(&partial_path).expect("inspect");
+    assert_eq!(stats.done, plan.len());
+    assert_eq!(stats.failed, 0);
+
+    // Same fingerprints as the uninterrupted run, cell for cell.
+    let mut full_prints: Vec<(usize, u64)> = full
+        .cells
+        .iter()
+        .map(|c| (c.index, c.report.fingerprint))
+        .collect();
+    let mut resumed_prints: Vec<(usize, u64)> = resumed
+        .cells
+        .iter()
+        .map(|c| (c.index, c.report.fingerprint))
+        .collect();
+    full_prints.sort_unstable();
+    resumed_prints.sort_unstable();
+    assert_eq!(full_prints, resumed_prints);
+
+    shutdown(server);
+}
+
+#[test]
+fn interrupted_sweep_journals_nothing_it_did_not_finish() {
+    let server = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("shard");
+    let shards = [server.addr().to_string()];
+    let cells = small_spec().expand();
+    let plan = Plan::new(&cells, shards.len());
+    let path = tmp("interrupted.jsonl");
+    let journal = SweepJournal::create(&path, &plan).expect("create journal");
+
+    // The flag is already tripped when the sweep starts: submitters must
+    // bail before sending anything, and the preempted cells must land in
+    // `failed` *without* journal records (a resume re-runs them).
+    let opts = SweepOptions {
+        client: no_retry(),
+        interrupt: Some(Arc::new(AtomicBool::new(true))),
+        ..SweepOptions::default()
+    };
+    let outcome = run_sweep_recoverable(&shards, &cells, &opts, Some(&journal), None)
+        .expect("interrupted sweep still returns");
+
+    assert!(outcome.interrupted);
+    assert_eq!(outcome.failed.len(), plan.len());
+    assert!(outcome
+        .failed
+        .iter()
+        .all(|f| f.error.contains("interrupted")));
+    assert_eq!(journal.appended(), 0, "preempted cells are not journaled");
+    let stats = SweepJournal::inspect(&path).expect("inspect");
+    assert_eq!(stats.done, 0);
+
+    shutdown(server);
+}
+
+#[test]
+fn max_requeues_zero_means_exactly_one_attempt_per_cell() {
+    // Every submit panics the worker, which answers a *retryable* error:
+    // the requeue budget alone decides how many attempts each cell gets.
+    let spec = SweepSpec {
+        models: vec![TraceModel::Ctc],
+        jobs: 50,
+        seeds: vec![7, 8],
+        estimates: vec![EstimateModel::Exact],
+        estimate_seeds: vec![1],
+        loads: vec![Some(0.9)],
+        kinds: vec![SchedulerKind::Easy],
+        policies: vec![Policy::Fcfs, Policy::Sjf],
+    };
+    let cells = spec.expand();
+
+    for (max_requeues, attempts) in [(0u32, 1u64), (1, 2)] {
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServiceConfig {
+                fault_plan: Some(FaultPlan::parse("panic@0..100000").expect("plan parses")),
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("panicking shard");
+        let shards = [server.addr().to_string()];
+        let opts = SweepOptions {
+            client: no_retry(),
+            max_requeues,
+            ..SweepOptions::default()
+        };
+        let outcome =
+            run_sweep_recoverable(&shards, &cells, &opts, None, None).expect("sweep returns");
+
+        assert_eq!(
+            outcome.failed.len(),
+            cells.len(),
+            "every cell fails permanently under an all-panic plan"
+        );
+        assert_eq!(
+            outcome.requeues,
+            (attempts - 1) * cells.len() as u64,
+            "requeues with --max-requeues {max_requeues}"
+        );
+        let stats = Client::connect(server.addr())
+            .and_then(|mut c| c.stats())
+            .expect("stats");
+        assert_eq!(
+            stats.submitted,
+            attempts * cells.len() as u64,
+            "--max-requeues {max_requeues} must mean exactly {attempts} attempt(s) per cell"
+        );
+
+        shutdown(server);
+    }
+}

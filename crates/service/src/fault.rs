@@ -2,12 +2,16 @@
 //!
 //! A [`FaultPlan`] describes which faults to inject at which **submit
 //! indices** — the 0-based order in which the daemon accepts `Submit`
-//! requests (other verbs never consume an index). Because the plan is
-//! pure data evaluated against an index (probabilistic rules hash the
-//! plan seed with the index, they never draw from shared mutable RNG
-//! state), a chaos scenario is reproducible byte-for-byte: the same
-//! plan injects the same fault set in every run, regardless of thread
-//! interleaving.
+//! requests (other verbs never consume a submit index). Two fault
+//! kinds live in their own index spaces instead: `connect` counts
+//! accepted TCP connections and `handshake` counts `Capabilities`
+//! requests, so coordinator-side recovery (startup handshakes,
+//! reprobe loops) is chaos-testable deterministically without
+//! perturbing submit indices. Because the plan is pure data evaluated
+//! against an index (probabilistic rules hash the plan seed with the
+//! index, they never draw from shared mutable RNG state), a chaos
+//! scenario is reproducible byte-for-byte: the same plan injects the
+//! same fault set in every run, regardless of thread interleaving.
 //!
 //! # Spec grammar
 //!
@@ -17,7 +21,7 @@
 //! ```text
 //! spec      := directive ( ';' directive )*
 //! directive := 'seed=' u64
-//!            | ('panic' | 'drop' | 'corrupt') '@' sel
+//!            | ('panic' | 'drop' | 'corrupt' | 'connect' | 'handshake') '@' sel
 //!            | 'delay' '@' sel '=' u64 ['ms']
 //! sel       := index | start '..' end | 'p' float      (end exclusive)
 //! ```
@@ -30,16 +34,22 @@
 //!
 //! # Fault kinds and where they bite
 //!
-//! | kind      | injection point                            | client sees            |
-//! |-----------|--------------------------------------------|------------------------|
-//! | `panic`   | worker thread, before the simulation runs  | retryable server error |
-//! | `delay`   | worker thread, before the simulation runs  | slow response / timeout|
-//! | `drop`    | connection handler, instead of the response| EOF / connection reset |
-//! | `corrupt` | connection handler, mangled response frame | corrupt-frame error    |
+//! | kind        | injection point                             | client sees            |
+//! |-------------|---------------------------------------------|------------------------|
+//! | `panic`     | worker thread, before the simulation runs   | retryable server error |
+//! | `delay`     | worker thread, before the simulation runs   | slow response / timeout|
+//! | `drop`      | connection handler, instead of the response | EOF / connection reset |
+//! | `corrupt`   | connection handler, mangled response frame  | corrupt-frame error    |
+//! | `connect`   | accept path, before any frame is read       | EOF / connection reset |
+//! | `handshake` | `Capabilities` request                      | non-retryable error    |
 //!
 //! `panic` and `delay` act inside a worker, so they only apply to cache
 //! misses (a hit never reaches the pool); `drop` and `corrupt` act on
-//! the wire and apply to hits and misses alike.
+//! the wire and apply to hits and misses alike. `connect` is indexed by
+//! accepted-connection order and `handshake` by `Capabilities`-request
+//! order — each has its own counter, so e.g. `connect@0;handshake@1..3`
+//! kills the first connection and refuses the second and third
+//! handshakes while leaving submit faults untouched.
 
 use backfill_sim::canon::fnv1a_64;
 use std::fmt;
@@ -100,6 +110,12 @@ pub enum FaultKind {
     Corrupt,
     /// Sleep this long in the worker before simulating (a slow worker).
     Delay(Duration),
+    /// Close an accepted connection before reading anything (indexed by
+    /// accepted-connection order, not submit order).
+    ConnectDrop,
+    /// Answer a `Capabilities` request with a non-retryable error
+    /// (indexed by `Capabilities`-request order, not submit order).
+    HandshakeRefuse,
 }
 
 impl fmt::Display for FaultKind {
@@ -109,6 +125,8 @@ impl fmt::Display for FaultKind {
             FaultKind::Drop => write!(f, "drop"),
             FaultKind::Corrupt => write!(f, "corrupt"),
             FaultKind::Delay(_) => write!(f, "delay"),
+            FaultKind::ConnectDrop => write!(f, "connect"),
+            FaultKind::HandshakeRefuse => write!(f, "handshake"),
         }
     }
 }
@@ -187,6 +205,8 @@ impl FaultPlan {
                 "panic" => (rest, FaultKind::Panic),
                 "drop" => (rest, FaultKind::Drop),
                 "corrupt" => (rest, FaultKind::Corrupt),
+                "connect" => (rest, FaultKind::ConnectDrop),
+                "handshake" => (rest, FaultKind::HandshakeRefuse),
                 "delay" => {
                     let (sel, ms) = rest.split_once('=').ok_or_else(|| {
                         format!("delay directive {part:?} needs '=MILLIS' after the selector")
@@ -200,7 +220,8 @@ impl FaultPlan {
                 }
                 other => {
                     return Err(format!(
-                        "unknown fault kind {other:?} (panic | drop | corrupt | delay)"
+                        "unknown fault kind {other:?} \
+                         (panic | drop | corrupt | delay | connect | handshake)"
                     ))
                 }
             };
@@ -234,7 +255,10 @@ impl FaultPlan {
     }
 
     /// The merged fault actions for submit `index`. Pure: equal
-    /// `(plan, index)` always answer the same actions.
+    /// `(plan, index)` always answer the same actions. Connection- and
+    /// handshake-scoped rules never contribute here — they live in
+    /// their own index spaces ([`FaultPlan::connect_drops`],
+    /// [`FaultPlan::handshake_refuses`]).
     pub fn actions(&self, index: u64) -> FaultActions {
         let mut actions = FaultActions::default();
         for (salt, rule) in self.rules.iter().enumerate() {
@@ -248,9 +272,26 @@ impl FaultPlan {
                 FaultKind::Delay(d) => {
                     actions.delay = Some(actions.delay.map_or(d, |prev| prev.max(d)))
                 }
+                FaultKind::ConnectDrop | FaultKind::HandshakeRefuse => {}
             }
         }
         actions
+    }
+
+    /// Should the `index`-th accepted connection be dropped at accept?
+    /// Pure, like [`FaultPlan::actions`].
+    pub fn connect_drops(&self, index: u64) -> bool {
+        self.rules.iter().enumerate().any(|(salt, rule)| {
+            rule.kind == FaultKind::ConnectDrop && rule.sel.matches(self.seed, salt as u64, index)
+        })
+    }
+
+    /// Should the `index`-th `Capabilities` request be refused?
+    pub fn handshake_refuses(&self, index: u64) -> bool {
+        self.rules.iter().enumerate().any(|(salt, rule)| {
+            rule.kind == FaultKind::HandshakeRefuse
+                && rule.sel.matches(self.seed, salt as u64, index)
+        })
     }
 
     /// True when the plan injects nothing.
@@ -269,12 +310,15 @@ impl fmt::Display for FaultPlan {
     }
 }
 
-/// Shared per-daemon injection state: the plan plus the atomic submit
-/// index counter that assigns each accepted `Submit` its index.
+/// Shared per-daemon injection state: the plan plus one atomic counter
+/// per index space — submits, accepted connections, and `Capabilities`
+/// handshakes each count independently.
 #[derive(Debug, Default)]
 pub struct FaultInjector {
     plan: FaultPlan,
     next_index: AtomicU64,
+    next_connect: AtomicU64,
+    next_handshake: AtomicU64,
 }
 
 impl FaultInjector {
@@ -283,6 +327,8 @@ impl FaultInjector {
         FaultInjector {
             plan,
             next_index: AtomicU64::new(0),
+            next_connect: AtomicU64::new(0),
+            next_handshake: AtomicU64::new(0),
         }
     }
 
@@ -290,6 +336,18 @@ impl FaultInjector {
     pub fn next(&self) -> (u64, FaultActions) {
         let index = self.next_index.fetch_add(1, Ordering::SeqCst);
         (index, self.plan.actions(index))
+    }
+
+    /// Claim the next accepted-connection index; true = drop it.
+    pub fn next_connect(&self) -> (u64, bool) {
+        let index = self.next_connect.fetch_add(1, Ordering::SeqCst);
+        (index, self.plan.connect_drops(index))
+    }
+
+    /// Claim the next `Capabilities`-request index; true = refuse it.
+    pub fn next_handshake(&self) -> (u64, bool) {
+        let index = self.next_handshake.fetch_add(1, Ordering::SeqCst);
+        (index, self.plan.handshake_refuses(index))
     }
 
     /// The wrapped plan.
@@ -415,5 +473,37 @@ mod tests {
         assert_eq!((i0, i1), (0, 1));
         assert!(!a0.panic && a1.panic);
         assert_eq!(injector.assigned(), 2);
+    }
+
+    #[test]
+    fn connect_and_handshake_rules_parse_and_round_trip() {
+        let plan = FaultPlan::parse("connect@0;handshake@1..3").unwrap();
+        assert!(plan.connect_drops(0));
+        assert!(!plan.connect_drops(1));
+        assert!(!plan.handshake_refuses(0));
+        assert!(plan.handshake_refuses(1) && plan.handshake_refuses(2));
+        assert!(!plan.handshake_refuses(3), "range end is exclusive");
+        let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(reparsed, plan);
+    }
+
+    #[test]
+    fn connection_scoped_rules_never_leak_into_submit_actions() {
+        let plan = FaultPlan::parse("connect@0..100;handshake@0..100").unwrap();
+        for i in 0..100 {
+            assert!(plan.actions(i).is_none(), "submit {i} must see no fault");
+        }
+    }
+
+    #[test]
+    fn injector_counts_each_index_space_independently() {
+        let injector = FaultInjector::new(FaultPlan::parse("connect@1;handshake@0").unwrap());
+        // Submit indices advance without touching the other counters.
+        let _ = injector.next();
+        let _ = injector.next();
+        assert_eq!(injector.next_connect(), (0, false));
+        assert_eq!(injector.next_connect(), (1, true));
+        assert_eq!(injector.next_handshake(), (0, true));
+        assert_eq!(injector.next_handshake(), (1, false));
     }
 }

@@ -57,6 +57,7 @@ pub mod fault;
 pub mod pool;
 pub mod protocol;
 pub mod server;
+pub mod supervisor;
 pub mod tracecache;
 
 pub use cache::{JournalReplay, Lookup, ResultCache};
@@ -68,3 +69,7 @@ pub use protocol::{
     ServiceStats, TraceContext, WireSpan, PROTO_VERSION,
 };
 pub use server::{Server, ServerHandle, ServiceConfig};
+pub use supervisor::{
+    Breaker, BreakerPolicy, ChildStatus, ChildView, RestartDecision, Supervisor, SupervisorReport,
+    SupervisorSpec,
+};

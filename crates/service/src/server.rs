@@ -146,6 +146,8 @@ struct Inner {
     fault_drops: Arc<Counter>,
     fault_corrupts: Arc<Counter>,
     fault_delays: Arc<Counter>,
+    fault_connect_drops: Arc<Counter>,
+    fault_handshake_refusals: Arc<Counter>,
     wall_ms_total: Arc<Counter>,
     /// Largest single-request wall time; not a monotone sum, so it stays
     /// a raw atomic and is mirrored into a gauge at snapshot time.
@@ -209,6 +211,8 @@ impl Inner {
             fault_drops: registry.counter("service.fault.drops"),
             fault_corrupts: registry.counter("service.fault.corrupts"),
             fault_delays: registry.counter("service.fault.delays"),
+            fault_connect_drops: registry.counter("service.fault.connect_drops"),
+            fault_handshake_refusals: registry.counter("service.fault.handshake_refusals"),
             wall_ms_total: registry.counter("service.wall_ms_total"),
             wall_ms_max: AtomicU64::new(0),
             wall_ms: registry.histogram("service.wall_ms"),
@@ -498,6 +502,18 @@ impl Served {
 }
 
 fn handle_connection(stream: TcpStream, inner: &Inner) {
+    // Injected connection fault: each accepted connection claims the
+    // next `connect` index; a match closes the socket before any frame
+    // is read (the client sees EOF / connection reset).
+    if let Some(fault) = &inner.fault {
+        let (index, drop) = fault.next_connect();
+        if drop {
+            inner.fault_connect_drops.inc();
+            obs::debug!(target: "service::fault",
+                "dropping accepted connection #{index} at accept");
+            return;
+        }
+    }
     let _ = stream.set_nodelay(true);
     // Socket deadlines: a peer that stops sending (or reading) cannot
     // pin this thread past the configured timeouts.
@@ -656,7 +672,27 @@ fn serve(request: Request, inner: &Inner) -> Served {
             json: inner.metrics_snapshot(),
         }),
         Request::Health => Served::plain(Response::Health(inner.health())),
-        Request::Capabilities => Served::plain(Response::Capabilities(inner.capabilities())),
+        Request::Capabilities => {
+            // Injected handshake fault: each Capabilities request claims
+            // the next `handshake` index; a match is refused with a
+            // non-retryable error so a probing coordinator fails this
+            // attempt cleanly (and deterministically) instead of waiting
+            // out a retry budget.
+            if let Some(fault) = &inner.fault {
+                let (index, refuse) = fault.next_handshake();
+                if refuse {
+                    inner.fault_handshake_refusals.inc();
+                    obs::debug!(target: "service::fault",
+                        "refusing capabilities handshake #{index}");
+                    return Served::plain(Response::Error {
+                        message: format!("injected handshake refusal (#{index})"),
+                        config_hash: 0,
+                        retryable: false,
+                    });
+                }
+            }
+            Served::plain(Response::Capabilities(inner.capabilities()))
+        }
         Request::Spans => {
             // Hand the caller every span buffered since the last drain —
             // handler threads flush after each traced submit, so this

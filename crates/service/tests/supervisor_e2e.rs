@@ -1,0 +1,132 @@
+//! Supervisor e2e against the real `bfsimd` binary: a SIGKILLed child
+//! is respawned (and answers the handshake again), a child that cannot
+//! even start crash-loops into its breaker, and `stop` tears the fleet
+//! down cleanly.
+
+#![cfg(unix)]
+
+use service::{
+    BreakerPolicy, ChildStatus, Client, ClientOptions, ResilientClient, RetryPolicy, SupervisorSpec,
+};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+fn bfsimd() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_bfsimd"))
+}
+
+/// Reserve a free port by binding and dropping.
+fn free_addr() -> String {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    listener.local_addr().expect("addr").to_string()
+}
+
+/// Fast restart schedule so the tests finish in milliseconds.
+fn quick_retry() -> RetryPolicy {
+    RetryPolicy {
+        base: Duration::from_millis(5),
+        cap: Duration::from_millis(40),
+        ..RetryPolicy::default()
+    }
+}
+
+/// Poll `addr` until a capabilities handshake succeeds.
+fn wait_ready(addr: &str, what: &str) {
+    let opts = ClientOptions {
+        deadline: Some(Duration::from_millis(500)),
+        retry: RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        },
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if ResilientClient::new(addr, opts).capabilities().is_ok() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "{what}: {addr} never came up");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigkilled_child_is_respawned_and_answers_again() {
+    let addr = free_addr();
+    let spec = SupervisorSpec {
+        bfsimd: bfsimd(),
+        addrs: vec![addr.clone()],
+        args: Vec::new(),
+        retry: quick_retry(),
+        breaker: BreakerPolicy {
+            max_restarts: 5,
+            stable_uptime: Duration::from_millis(200),
+        },
+    };
+    let supervisor = service::Supervisor::spawn(spec).expect("spawn fleet");
+    wait_ready(&addr, "first spawn");
+    let first_pid = supervisor.children()[0]
+        .pid
+        .expect("running child has a pid");
+
+    // Murder the child the way a crashing host would: no drain, no exit
+    // handler. The supervisor must reap it and bring a fresh one up.
+    unsafe {
+        kill(first_pid as i32, 9);
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let view = &supervisor.children()[0];
+        if view.status == ChildStatus::Running && view.pid.is_some_and(|pid| pid != first_pid) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "child was never respawned");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    wait_ready(&addr, "respawn");
+    let view = &supervisor.children()[0];
+    assert!(
+        view.restarts >= 2,
+        "the first spawn and the respawn both count: {view:?}"
+    );
+
+    // Drain the replacement politely before stopping the supervisor so
+    // nothing lingers on the reserved port.
+    Client::connect(&addr)
+        .and_then(|mut c| c.shutdown())
+        .expect("shutdown respawned child");
+    supervisor.stop();
+    let report = supervisor.join();
+    assert_eq!(report.children[0].status, ChildStatus::Stopped);
+}
+
+#[test]
+fn crash_looping_child_trips_the_breaker_and_the_fleet_gives_up() {
+    let addr = free_addr();
+    let spec = SupervisorSpec {
+        bfsimd: bfsimd(),
+        addrs: vec![addr],
+        // An unknown flag makes bfsimd exit 2 instantly on every spawn:
+        // the canonical crash loop.
+        args: vec!["--definitely-not-a-flag".to_string()],
+        retry: quick_retry(),
+        breaker: BreakerPolicy {
+            max_restarts: 3,
+            stable_uptime: Duration::from_millis(200),
+        },
+    };
+    let supervisor = service::Supervisor::spawn(spec).expect("spawn fleet");
+    // With every child broken the monitor exits on its own — no stop().
+    let report = supervisor.join();
+    let child = &report.children[0];
+    assert_eq!(child.status, ChildStatus::Broken, "{child:?}");
+    assert_eq!(
+        child.restarts,
+        3 + 1,
+        "the breaker allows max_restarts consecutive short-lived restarts \
+         after the initial spawn, then opens"
+    );
+}
